@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks for the consensus layer: VRF-PoS election
+//! and the PBFT/stake-block message protocols over the simulated network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use prb_consensus::election::{elect, ElectionClaim};
+use prb_consensus::pbft::{PbftMsg, PbftReplica};
+use prb_consensus::stake::{StakeTable, StakeTransfer};
+use prb_consensus::stake_block::{StakeGovernor, StakeMsg};
+use prb_crypto::signer::{CryptoScheme, KeyPair, PublicKey};
+use prb_net::sim::{NetConfig, Network};
+use prb_net::time::{SimDuration, SimTime};
+
+fn keys(m: u32) -> (Vec<KeyPair>, Vec<PublicKey>) {
+    let scheme = CryptoScheme::sim();
+    let keys: Vec<KeyPair> = (0..m)
+        .map(|g| scheme.keypair_from_seed(format!("bench-{g}").as_bytes()))
+        .collect();
+    let pks = keys.iter().map(|k| k.public_key()).collect();
+    (keys, pks)
+}
+
+fn bench_election(c: &mut Criterion) {
+    let mut group = c.benchmark_group("election");
+    let (keys, pks) = keys(8);
+    let stakes = vec![4u64; 8];
+    group.bench_function("claim/stake=4", |b| {
+        b.iter(|| ElectionClaim::compute(b"bench", 7, 0, 4, std::hint::black_box(&keys[0])))
+    });
+    let claims: Vec<ElectionClaim> = keys
+        .iter()
+        .enumerate()
+        .filter_map(|(g, k)| ElectionClaim::compute(b"bench", 7, g as u32, 4, k))
+        .collect();
+    group.bench_function("elect/m=8", |b| {
+        b.iter(|| elect(b"bench", 7, std::hint::black_box(&claims), &stakes, &pks))
+    });
+    group.finish();
+}
+
+fn bench_pbft_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pbft");
+    for m in [4u32, 16] {
+        group.bench_function(format!("decision/m={m}"), |b| {
+            b.iter(|| {
+                let mut net = Network::new(NetConfig::uniform(1, 4), 9);
+                for i in 0..m {
+                    net.add_node(PbftReplica::new(i, m, 0, SimDuration(10_000)));
+                }
+                let v = prb_crypto::sha256::sha256(b"bench-block");
+                net.send_external(0, "client", PbftMsg::ClientRequest(v), SimTime(0));
+                net.run_until(SimTime(2_000));
+                assert_eq!(net.node(1).decided().len(), 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stake_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stake-block");
+    for m in [4u32, 16] {
+        let (keys, pks) = keys(m);
+        group.bench_function(format!("round/m={m}"), |b| {
+            b.iter(|| {
+                let mut net = Network::new(NetConfig::uniform(1, 5), 3);
+                for g in 0..m {
+                    net.add_node(StakeGovernor::new(
+                        g,
+                        m,
+                        0,
+                        keys[g as usize].clone(),
+                        pks.clone(),
+                        StakeTable::uniform(m as usize, 8),
+                    ));
+                }
+                let t = StakeTransfer::create(0, 1, 1, 0, &keys[0]);
+                net.send_external(0, "submit", StakeMsg::SubmitTransfer(t), SimTime(0));
+                for g in 0..m as usize {
+                    net.send_external(
+                        g,
+                        "start",
+                        StakeMsg::StartRound { round: 1, leader: 0 },
+                        SimTime(50),
+                    );
+                }
+                net.run_until_idle(1_000_000);
+                assert_eq!(net.node(1).committed().len(), 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_election, bench_pbft_round, bench_stake_round);
+criterion_main!(benches);

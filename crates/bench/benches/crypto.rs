@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks for the cryptographic substrate.
+//!
+//! Quantifies the cost gap motivating the `SimSigner` substitution
+//! (DESIGN.md substitution 3): hash vs Schnorr vs group size.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use prb_crypto::group::SchnorrGroup;
+use prb_crypto::merkle::MerkleTree;
+use prb_crypto::schnorr::SigningKey;
+use prb_crypto::sha256::sha256;
+use prb_crypto::signer::CryptoScheme;
+use prb_crypto::vrf::VrfKeyPair;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| b.iter(|| sha256(std::hint::black_box(&data))));
+    }
+    group.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sign-verify");
+    let msg = b"a labeled transaction upload";
+    for scheme in [
+        CryptoScheme::sim(),
+        CryptoScheme::schnorr_test_256(),
+        CryptoScheme::schnorr_test_512(),
+    ] {
+        let kp = scheme.keypair_from_seed(b"bench");
+        let pk = kp.public_key();
+        let sig = kp.sign(msg);
+        group.bench_function(format!("sign/{}", scheme.name()), |b| {
+            b.iter(|| kp.sign(std::hint::black_box(msg)))
+        });
+        group.bench_function(format!("verify/{}", scheme.name()), |b| {
+            b.iter(|| pk.verify(std::hint::black_box(msg), &sig))
+        });
+    }
+    group.finish();
+}
+
+fn bench_schnorr_2048(c: &mut Criterion) {
+    // Kept separate (and small) — this is the slow secure parameter set.
+    let mut group = c.benchmark_group("schnorr-2048");
+    group.sample_size(10);
+    let sk = SigningKey::from_seed(&SchnorrGroup::rfc3526_2048(), b"bench-2048");
+    let msg = b"secure parameter set";
+    let sig = sk.sign(msg);
+    group.bench_function("sign", |b| b.iter(|| sk.sign(std::hint::black_box(msg))));
+    group.bench_function("verify", |b| {
+        b.iter(|| sk.verifying_key().verify(std::hint::black_box(msg), &sig))
+    });
+    group.finish();
+}
+
+fn bench_vrf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vrf");
+    let kp = VrfKeyPair::from_seed(&SchnorrGroup::test_256(), b"vrf-bench");
+    let (_, proof) = kp.evaluate(b"round-1");
+    group.bench_function("evaluate/test-256", |b| {
+        b.iter(|| kp.evaluate(std::hint::black_box(b"round-1")))
+    });
+    group.bench_function("verify/test-256", |b| {
+        b.iter(|| proof.verify(kp.public_key(), std::hint::black_box(b"round-1")))
+    });
+    group.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle");
+    for leaves in [64usize, 1024] {
+        let data: Vec<Vec<u8>> = (0..leaves).map(|i| format!("leaf-{i}").into_bytes()).collect();
+        group.bench_function(format!("build/{leaves}"), |b| {
+            b.iter(|| MerkleTree::from_leaves(std::hint::black_box(&data)))
+        });
+        let tree = MerkleTree::from_leaves(&data);
+        let proof = tree.prove(leaves / 2).expect("in range");
+        let root = tree.root();
+        let target = &data[leaves / 2];
+        group.bench_function(format!("verify-proof/{leaves}"), |b| {
+            b.iter(|| proof.verify(&root, std::hint::black_box(target)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_signatures,
+    bench_schnorr_2048,
+    bench_vrf,
+    bench_merkle
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion macro-benchmarks: whole protocol rounds end to end.
+//!
+//! The headline numbers: a full round (32 txs through 3 tiers, screening,
+//! reputation, block) under the fast sim scheme, under real Schnorr
+//! (256-bit test group), and across governor modes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use prb_core::behavior::ProviderProfile;
+use prb_core::config::{GovernorMode, ProtocolConfig};
+use prb_core::sim::Simulation;
+use prb_crypto::signer::CryptoScheme;
+
+fn build(crypto: CryptoScheme, mode: GovernorMode) -> Simulation {
+    let cfg = ProtocolConfig {
+        crypto,
+        governor_mode: mode,
+        seed: 77,
+        ..Default::default()
+    };
+    Simulation::builder(cfg)
+        .provider_profiles(vec![ProviderProfile { invalid_rate: 0.3, active: true }; 8])
+        .build()
+        .expect("valid config")
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol-round");
+    // 8 providers × 4 txs per round.
+    group.throughput(Throughput::Elements(32));
+    group.bench_function("round/sim-crypto", |b| {
+        b.iter_batched(
+            || build(CryptoScheme::sim(), GovernorMode::Reputation),
+            |mut sim| {
+                sim.run_round();
+                sim
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.sample_size(10);
+    group.bench_function("round/schnorr-256", |b| {
+        b.iter_batched(
+            || build(CryptoScheme::schnorr_test_256(), GovernorMode::Reputation),
+            |mut sim| {
+                sim.run_round();
+                sim
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("governor-mode");
+    group.throughput(Throughput::Elements(32 * 5));
+    for (name, mode) in [
+        ("reputation", GovernorMode::Reputation),
+        ("check-all", GovernorMode::CheckAll),
+        ("check-none", GovernorMode::CheckNone),
+    ] {
+        group.bench_function(format!("5-rounds/{name}"), |b| {
+            b.iter_batched(
+                || build(CryptoScheme::sim(), mode),
+                |mut sim| {
+                    sim.run(5);
+                    sim
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds, bench_modes);
+criterion_main!(benches);

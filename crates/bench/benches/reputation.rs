@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks for the reputation mechanism: the per-
+//! transaction costs of screening, RWM updates, and revenue distribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use prb_reputation::params::ReputationParams;
+use prb_reputation::revenue;
+use prb_reputation::rwm::{Advice, Rwm};
+use prb_reputation::screening::{screen, Report};
+use prb_reputation::update::{RevealedBehaviour, RevealedReport, ReputationTable};
+
+fn bench_screening(c: &mut Criterion) {
+    let mut group = c.benchmark_group("screening");
+    for r in [4usize, 8, 32] {
+        let reports: Vec<Report> = (0..r)
+            .map(|i| Report {
+                collector: i as u32,
+                labeled_valid: i % 3 == 0,
+                weight: 1.0 / (i + 1) as f64,
+            })
+            .collect();
+        group.bench_function(format!("screen/r={r}"), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| screen(std::hint::black_box(&reports), 0.5, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rwm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rwm");
+    for experts in [8usize, 64] {
+        let advice: Vec<Advice> = (0..experts)
+            .map(|i| match i % 3 {
+                0 => Advice::Correct,
+                1 => Advice::Wrong,
+                _ => Advice::Abstain,
+            })
+            .collect();
+        group.bench_function(format!("round/experts={experts}"), |b| {
+            let mut rwm = Rwm::new(experts, 0.9);
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| rwm.round(std::hint::black_box(&advice), &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_table_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reputation-table");
+    let reports: Vec<RevealedReport> = (0..8)
+        .map(|i| RevealedReport {
+            collector: i,
+            provider_slot: 0,
+            behaviour: match i % 3 {
+                0 => RevealedBehaviour::Correct,
+                1 => RevealedBehaviour::Wrong,
+                _ => RevealedBehaviour::Missed,
+            },
+        })
+        .collect();
+    group.bench_function("record_revealed/8", |b| {
+        let mut table = ReputationTable::new(8, 4, ReputationParams::default());
+        b.iter(|| table.record_revealed(std::hint::black_box(&reports)))
+    });
+    let checked: Vec<(usize, bool)> = (0..8).map(|i| (i, i % 2 == 0)).collect();
+    group.bench_function("record_checked/8", |b| {
+        let mut table = ReputationTable::new(8, 4, ReputationParams::default());
+        b.iter(|| table.record_checked(std::hint::black_box(&checked)))
+    });
+    group.finish();
+}
+
+fn bench_revenue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("revenue");
+    for n in [8usize, 128] {
+        let logs: Vec<f64> = (0..n).map(|i| -(i as f64)).collect();
+        group.bench_function(format!("distribute/{n}"), |b| {
+            b.iter(|| revenue::distribute(100.0, std::hint::black_box(&logs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_screening,
+    bench_rwm,
+    bench_table_updates,
+    bench_revenue
+);
+criterion_main!(benches);

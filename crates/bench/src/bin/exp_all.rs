@@ -1,0 +1,97 @@
+//! **Runs the entire experiment suite** (E1–E10 plus ablations) and emits
+//! one markdown report — the source of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo build --release -p prb-bench
+//! cargo run --release -p prb-bench --bin exp_all [--quick]
+//! ```
+//!
+//! Each experiment binary is invoked as a sibling executable; `--quick`
+//! shrinks seeds/rounds for a fast smoke pass.
+
+use std::process::Command;
+
+use prb_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("exe has a parent dir")
+        .to_path_buf();
+
+    let experiments: Vec<(&str, Vec<&str>)> = vec![
+        (
+            "exp_regret",
+            if quick {
+                vec!["--seeds", "8", "--proto-seeds", "3", "--ablate-beta", "--ablate-gamma"]
+            } else {
+                vec!["--seeds", "30", "--proto-seeds", "8", "--ablate-beta", "--ablate-gamma"]
+            },
+        ),
+        (
+            "exp_unchecked",
+            if quick { vec!["--seeds", "4", "--rounds", "6"] } else { vec!["--seeds", "10", "--rounds", "12"] },
+        ),
+        ("exp_tail", if quick { vec!["--trials", "1000"] } else { vec!["--trials", "4000"] }),
+        (
+            "exp_loss",
+            if quick { vec!["--seeds", "4", "--rounds", "12"] } else { vec!["--seeds", "8", "--rounds", "25"] },
+        ),
+        (
+            "exp_loss#u",
+            if quick {
+                vec!["--sweep-u", "--seeds", "4", "--rounds", "10"]
+            } else {
+                vec!["--sweep-u", "--seeds", "8", "--rounds", "20"]
+            },
+        ),
+        (
+            "exp_throughput",
+            if quick { vec!["--seeds", "3", "--rounds", "10"] } else { vec!["--seeds", "6", "--rounds", "20"] },
+        ),
+        ("exp_messages", vec!["--ablate-election"]),
+        (
+            "exp_incentives",
+            if quick {
+                vec!["--seeds", "3", "--rounds", "15", "--ablate-floor", "--floor-rounds", "25"]
+            } else {
+                vec!["--seeds", "6", "--rounds", "25", "--ablate-floor", "--floor-rounds", "40"]
+            },
+        ),
+        ("exp_election", if quick { vec!["--rounds", "4000"] } else { vec!["--rounds", "20000"] }),
+        (
+            "exp_apps",
+            if quick { vec!["--seeds", "3", "--rounds", "10"] } else { vec!["--seeds", "6", "--rounds", "20"] },
+        ),
+        ("exp_properties", vec!["--rounds", "12"]),
+    ];
+
+    println!("# prb experiment suite — full run\n");
+    println!("(regenerate with `cargo run --release -p prb-bench --bin exp_all`)\n");
+    let mut failures = Vec::new();
+    for (name, exp_args) in experiments {
+        let bin = name.split('#').next().expect("non-empty name");
+        let path = exe_dir.join(bin);
+        eprintln!(">> running {name} {exp_args:?}");
+        let output = Command::new(&path)
+            .args(&exp_args)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {path:?}: {e}; build with `cargo build --release -p prb-bench` first"));
+        if !output.status.success() {
+            failures.push(name);
+            eprintln!("!! {name} failed: {}", String::from_utf8_lossy(&output.stderr));
+            continue;
+        }
+        println!("{}", String::from_utf8_lossy(&output.stdout));
+        println!("\n---\n");
+    }
+    if failures.is_empty() {
+        eprintln!("all experiments completed");
+    } else {
+        eprintln!("FAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,77 @@
+//! **E8 — §3.4.3: VRF-PoS leader election is stake-proportional.**
+//!
+//! ```text
+//! cargo run --release -p prb-bench --bin exp_election [--rounds 20000] [--crypto sim]
+//! ```
+//!
+//! Ten governors hold stakes 1..10; over many rounds each governor's
+//! election frequency should match its stake share (the paper's
+//! pseudorandomness claim). We report frequencies, the χ² statistic
+//! against the stake-proportional null (9 degrees of freedom;
+//! χ²₀.₉₉ = 21.67), and contrast with the round-robin baseline under the
+//! same skewed stakes.
+
+use prb_bench::{crypto_from_args, Args, Table};
+use prb_consensus::election::{elect, ElectionClaim};
+use prb_consensus::round_robin::{leader_of_round, weighted_leader_of_round};
+use prb_crypto::signer::{KeyPair, PublicKey};
+
+fn main() {
+    let args = Args::parse();
+    let rounds = args.get_or("rounds", 20_000u64);
+    let scheme = crypto_from_args(&args);
+    let m = 10u32;
+    let stakes: Vec<u64> = (1..=m as u64).collect();
+    let total: u64 = stakes.iter().sum();
+
+    let keys: Vec<KeyPair> = (0..m)
+        .map(|g| scheme.keypair_from_seed(format!("election-{g}").as_bytes()))
+        .collect();
+    let pks: Vec<PublicKey> = keys.iter().map(|k| k.public_key()).collect();
+
+    let mut wins = vec![0u64; m as usize];
+    let mut rr_wins = vec![0u64; m as usize];
+    let mut wrr_wins = vec![0u64; m as usize];
+    for round in 0..rounds {
+        let claims: Vec<ElectionClaim> = keys
+            .iter()
+            .enumerate()
+            .filter_map(|(g, k)| {
+                ElectionClaim::compute(b"exp-election", round, g as u32, stakes[g], k)
+            })
+            .collect();
+        let (result, rejections) = elect(b"exp-election", round, &claims, &stakes, &pks);
+        assert!(rejections.is_empty());
+        wins[result.expect("someone wins").leader as usize] += 1;
+        rr_wins[leader_of_round(round, m) as usize] += 1;
+        wrr_wins[weighted_leader_of_round(round, &stakes) as usize] += 1;
+    }
+
+    println!("# E8 — leader election fairness ({rounds} rounds, crypto = {})\n", scheme.name());
+    let mut table = Table::new(
+        "election frequency vs stake share",
+        &["governor", "stake", "expected %", "VRF-PoS %", "round-robin %", "weighted rotation %"],
+    );
+    let mut chi2 = 0.0;
+    for g in 0..m as usize {
+        let expected = stakes[g] as f64 / total as f64;
+        let observed = wins[g] as f64 / rounds as f64;
+        let exp_count = expected * rounds as f64;
+        chi2 += (wins[g] as f64 - exp_count).powi(2) / exp_count;
+        table.row(vec![
+            format!("g{g}"),
+            stakes[g].to_string(),
+            format!("{:.2}", 100.0 * expected),
+            format!("{:.2}", 100.0 * observed),
+            format!("{:.2}", 100.0 * rr_wins[g] as f64 / rounds as f64),
+            format!("{:.2}", 100.0 * wrr_wins[g] as f64 / rounds as f64),
+        ]);
+    }
+    table.print();
+    println!("χ² against stake-proportional null: {chi2:.2} (9 dof; accept at 1% if < 21.67)");
+    println!("stake-proportional: {}", chi2 < 21.67);
+    println!("\nInterpretation: VRF-PoS frequencies match stake shares (χ² accepts");
+    println!("the null); plain round-robin ignores stake entirely (every governor");
+    println!("10%), and weighted rotation matches stake but is fully predictable —");
+    println!("the paper's §3.4.3 trade-off.");
+}

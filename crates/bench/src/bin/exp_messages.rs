@@ -1,0 +1,216 @@
+//! **E6 — §4.1 communication complexity** (plus ablation A4: leader
+//! election schemes).
+//!
+//! ```text
+//! cargo run --release -p prb-bench --bin exp_messages [--ablate-election]
+//! ```
+//!
+//! The paper claims `O(b_limit · m)` messages to disseminate an ordinary
+//! block and `O(m²)` for a stake-transform block (and classical PBFT costs
+//! `O(m²)` *per decision*). We measure all three over sweeps of `m` and of
+//! the block size `b`, and report the growth ratios (×4 per doubling ⇒
+//! quadratic; ×2 ⇒ linear).
+
+use prb_bench::{Args, Table};
+use prb_consensus::pbft::{PbftMsg, PbftReplica};
+use prb_consensus::rotation::{RotationMsg, RotationReplica};
+use prb_consensus::stake::{StakeTable, StakeTransfer};
+use prb_consensus::stake_block::{StakeGovernor, StakeMsg};
+use prb_core::behavior::ProviderProfile;
+use prb_core::config::ProtocolConfig;
+use prb_core::sim::Simulation;
+use prb_crypto::signer::{CryptoScheme, KeyPair, PublicKey};
+use prb_net::sim::{NetConfig, Network};
+use prb_net::time::{SimDuration, SimTime};
+
+/// Ordinary-block dissemination bytes/messages per round in the full
+/// protocol, for a given governor count and per-round block size.
+fn ordinary_block(m: u32, tx_per_provider: u32) -> (u64, u64) {
+    let cfg = ProtocolConfig {
+        governors: m,
+        tx_per_provider,
+        b_limit: 16_384,
+        seed: 5,
+        ..Default::default()
+    };
+    let mut sim = Simulation::builder(cfg)
+        .provider_profiles(vec![ProviderProfile::honest_active(); 8])
+        .build()
+        .expect("valid config");
+    sim.run(4);
+    let stats = sim.net_stats();
+    let proposals = stats.kind("block-proposal");
+    (proposals.sent / 4, proposals.bytes_sent / 4)
+}
+
+fn stake_block_messages(m: u32) -> u64 {
+    let scheme = CryptoScheme::sim();
+    let keys: Vec<KeyPair> = (0..m)
+        .map(|g| scheme.keypair_from_seed(format!("sg{g}").as_bytes()))
+        .collect();
+    let pks: Vec<PublicKey> = keys.iter().map(|k| k.public_key()).collect();
+    let mut net = Network::new(NetConfig::uniform(1, 5), 31);
+    for g in 0..m {
+        net.add_node(StakeGovernor::new(
+            g,
+            m,
+            0,
+            keys[g as usize].clone(),
+            pks.clone(),
+            StakeTable::uniform(m as usize, 16),
+        ));
+    }
+    for g in 0..m {
+        let t = StakeTransfer::create(g, (g + 1) % m, 1, 0, &keys[g as usize]);
+        net.send_external(g as usize, "submit", StakeMsg::SubmitTransfer(t), SimTime(0));
+    }
+    for g in 0..m as usize {
+        net.send_external(
+            g,
+            "start-round",
+            StakeMsg::StartRound { round: 1, leader: 0 },
+            SimTime(100),
+        );
+    }
+    net.run_until_idle(1_000_000);
+    let s = net.stats();
+    s.kind("stake-transfer").sent
+        + s.kind("stake-newstate").sent
+        + s.kind("stake-ack").sent
+        + s.kind("stake-commit").sent
+}
+
+fn pbft_messages(m: u32) -> u64 {
+    let mut net = Network::new(NetConfig::uniform(1, 4), 77);
+    for i in 0..m {
+        net.add_node(PbftReplica::new(i, m, 0, SimDuration(10_000)));
+    }
+    let v = prb_crypto::sha256::sha256(b"block");
+    net.send_external(0, "client", PbftMsg::ClientRequest(v), SimTime(0));
+    net.run_until(SimTime(5_000));
+    let s = net.stats();
+    s.kind("pbft-preprepare").sent + s.kind("pbft-prepare").sent + s.kind("pbft-commit").sent
+}
+
+fn rotation_messages(m: u32) -> u64 {
+    let mut net = Network::new(NetConfig::uniform(1, 4), 55);
+    for i in 0..m {
+        net.add_node(RotationReplica::new(i, m, 0, SimDuration(5_000)));
+    }
+    let value = prb_crypto::sha256::sha256(b"block");
+    for g in 0..m as usize {
+        net.send_external(
+            g,
+            "start",
+            RotationMsg::StartHeight { height: 0, value },
+            SimTime(0),
+        );
+    }
+    net.run_until(SimTime(4_000));
+    net.stats().kind("rot-propose").sent + net.stats().kind("rot-vote").sent
+}
+
+fn growth(values: &[u64]) -> String {
+    values
+        .windows(2)
+        .map(|w| format!("×{:.1}", w[1] as f64 / w[0].max(1) as f64))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn main() {
+    let args = Args::parse();
+    println!("# E6 — message complexity (§4.1)\n");
+
+    // Sweep m.
+    let ms = [4u32, 8, 16, 32];
+    let mut ordinary = Vec::new();
+    let mut ordinary_bytes = Vec::new();
+    let mut stake = Vec::new();
+    let mut pbft = Vec::new();
+    let mut rotation = Vec::new();
+    for &m in &ms {
+        let (msgs, bytes) = ordinary_block(m, 4);
+        ordinary.push(msgs);
+        ordinary_bytes.push(bytes);
+        stake.push(stake_block_messages(m));
+        pbft.push(pbft_messages(m));
+        rotation.push(rotation_messages(m));
+    }
+    let mut t1 = Table::new(
+        "messages per committed block vs governor count m (fixed b = 32)",
+        &["m", "ordinary block msgs", "stake block msgs", "PBFT msgs/decision", "rotation msgs/decision"],
+    );
+    for (i, &m) in ms.iter().enumerate() {
+        t1.row(vec![
+            m.to_string(),
+            ordinary[i].to_string(),
+            stake[i].to_string(),
+            pbft[i].to_string(),
+            rotation[i].to_string(),
+        ]);
+    }
+    t1.row(vec![
+        "growth/doubling".into(),
+        growth(&ordinary),
+        growth(&stake),
+        growth(&pbft),
+        growth(&rotation),
+    ]);
+    t1.print();
+
+    // Sweep b at fixed m: ordinary block *bytes* scale with b·m.
+    let mut t2 = Table::new(
+        "ordinary block dissemination vs block size b (m = 8)",
+        &["b (txs/block)", "messages", "bytes", "bytes growth"],
+    );
+    let mut prev_bytes = None;
+    for tx_per_provider in [2u32, 4, 8, 16] {
+        let (msgs, bytes) = ordinary_block(8, tx_per_provider);
+        let growth = prev_bytes
+            .map(|p: u64| format!("×{:.1}", bytes as f64 / p as f64))
+            .unwrap_or_else(|| "—".into());
+        prev_bytes = Some(bytes);
+        t2.row(vec![
+            (tx_per_provider * 8).to_string(),
+            msgs.to_string(),
+            bytes.to_string(),
+            growth,
+        ]);
+    }
+    t2.print();
+
+    if args.flag("ablate-election") {
+        let mut t3 = Table::new(
+            "A4: election-related messages per round vs m",
+            &["m", "VRF election msgs", "round-robin msgs", "PBFT view msgs (crash-free)"],
+        );
+        for &m in &ms {
+            // VRF claims: every governor broadcasts one claim → m(m−1).
+            let cfg = ProtocolConfig {
+                governors: m,
+                seed: 6,
+                ..Default::default()
+            };
+            let mut sim = Simulation::new(cfg).expect("valid config");
+            sim.run(3);
+            let claims = sim.net_stats().kind("election-claim").sent / 3;
+            t3.row(vec![
+                m.to_string(),
+                claims.to_string(),
+                "0 (deterministic schedule)".into(),
+                "0 (primary fixed per view)".into(),
+            ]);
+        }
+        t3.print();
+        println!("A4 note: VRF-PoS costs m(m−1) small messages per round but is");
+        println!("unpredictable and stake-proportional; rotation is free but");
+        println!("predictable (the paper argues predictability is acceptable only");
+        println!("because governors are assumed not to attack the chain).");
+    }
+
+    println!("Interpretation: ordinary-block messages grow ×2 per doubling of m");
+    println!("(linear, O(b·m) with bytes scaling in b as the second table shows),");
+    println!("while stake blocks and PBFT grow ×4 per doubling (quadratic, O(m²))");
+    println!("— the complexity separation claimed in §4.1.");
+}

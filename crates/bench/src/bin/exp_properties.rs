@@ -1,0 +1,183 @@
+//! **E10 — §3.1 safety & liveness properties under fault injection.**
+//!
+//! ```text
+//! cargo run --release -p prb-bench --bin exp_properties [--rounds 12]
+//! ```
+//!
+//! Exercises the five properties across a fault matrix:
+//!
+//! - clean run,
+//! - forging + misreporting collectors,
+//! - a crashed (non-observer) governor,
+//! - lossy provider→collector links,
+//!
+//! and reports Agreement, Chain Integrity, No Skipping, Almost No
+//! Creation, and Validity per scenario.
+
+use prb_bench::{Args, Table};
+use prb_core::behavior::{CollectorProfile, ProviderProfile};
+use prb_core::config::{ProtocolConfig, RevealPolicy};
+use prb_core::sim::Simulation;
+use prb_ledger::block::Verdict;
+use prb_net::fault::FaultPlan;
+use prb_net::time::SimTime;
+
+struct PropertyResult {
+    agreement: bool,
+    integrity: bool,
+    no_skipping: bool,
+    no_creation: bool,
+    validity: bool,
+}
+
+fn check_properties(sim: &Simulation, live_governors: &[u32]) -> PropertyResult {
+    let agreement = sim.chains_agree_among(live_governors);
+    let integrity = live_governors
+        .iter()
+        .all(|&g| sim.governor(g).chain().audit().is_none());
+    let chain = sim.governor(live_governors[0]).chain();
+    let no_skipping = (0..=chain.height()).all(|s| chain.retrieve(s).is_some());
+    let oracle = sim.oracle();
+    let no_creation = chain
+        .iter()
+        .flat_map(|b| &b.entries)
+        .all(|e| oracle.borrow().peek(e.tx.id()).is_some());
+    // Validity (liveness for active providers): every *argued-valid* entry
+    // is genuinely valid, and no genuinely-valid tx of an active provider
+    // remains buried given unlimited argue budget (checked as: every
+    // buried valid tx was eventually re-recorded).
+    let mut buried_forever = 0;
+    for block in chain.iter() {
+        for entry in &block.entries {
+            if entry.verdict == Verdict::UncheckedInvalid
+                && oracle.borrow().peek(entry.tx.id()) == Some(true)
+                && chain.latest_verdict(entry.tx.id()) == Some(Verdict::UncheckedInvalid)
+            {
+                buried_forever += 1;
+            }
+        }
+    }
+    let argued_ok = chain
+        .iter()
+        .flat_map(|b| &b.entries)
+        .filter(|e| e.verdict == Verdict::ArguedValid)
+        .all(|e| oracle.borrow().peek(e.tx.id()) == Some(true));
+    PropertyResult {
+        agreement,
+        integrity,
+        no_skipping,
+        no_creation,
+        validity: argued_ok && buried_forever == 0,
+    }
+}
+
+fn scenario(name: &str, rounds: u32, table: &mut Table, build: impl FnOnce() -> (Simulation, Vec<u32>)) {
+    let (mut sim, live) = build();
+    sim.run(rounds);
+    sim.run_drain_rounds(4);
+    let r = check_properties(&sim, &live);
+    table.row(vec![
+        name.into(),
+        r.agreement.to_string(),
+        r.integrity.to_string(),
+        r.no_skipping.to_string(),
+        r.no_creation.to_string(),
+        r.validity.to_string(),
+    ]);
+    assert!(
+        r.agreement && r.integrity && r.no_skipping && r.no_creation && r.validity,
+        "property violated in scenario '{name}'"
+    );
+}
+
+fn base_cfg(seed: u64) -> ProtocolConfig {
+    let mut cfg = ProtocolConfig {
+        tx_per_provider: 4,
+        seed,
+        ..Default::default()
+    };
+    cfg.reputation.f = 0.7;
+    cfg.reveal = RevealPolicy::AfterRounds(1);
+    cfg
+}
+
+fn main() {
+    let args = Args::parse();
+    let rounds = args.get_or("rounds", 12u32);
+
+    println!("# E10 — §3.1 properties under fault injection\n");
+    let mut table = Table::new(
+        "property matrix (all cells must be true)",
+        &["scenario", "Agreement", "Chain Integrity", "No Skipping", "Almost No Creation", "Validity"],
+    );
+
+    scenario("clean run", rounds, &mut table, || {
+        let sim = Simulation::builder(base_cfg(1))
+            .provider_profiles(vec![ProviderProfile { invalid_rate: 0.2, active: true }; 8])
+            .build()
+            .expect("valid config");
+        (sim, (0..4).collect())
+    });
+
+    scenario("forger + misreporters", rounds, &mut table, || {
+        let sim = Simulation::builder(base_cfg(2))
+            .collector_profile(0, CollectorProfile::forger(0.5))
+            .collector_profile(1, CollectorProfile::misreporter(0.8))
+            .collector_profile(2, CollectorProfile::misreporter(0.8))
+            .provider_profiles(vec![ProviderProfile { invalid_rate: 0.2, active: true }; 8])
+            .build()
+            .expect("valid config");
+        (sim, (0..4).collect())
+    });
+
+    scenario("governor g3 crashed from t=0", rounds, &mut table, || {
+        let mut sim = Simulation::builder(base_cfg(3))
+            .provider_profiles(vec![ProviderProfile { invalid_rate: 0.2, active: true }; 8])
+            .build()
+            .expect("valid config");
+        let mut faults = FaultPlan::none();
+        faults.crash(sim.governor_net_index(3), SimTime(0));
+        sim.set_faults(faults);
+        (sim, vec![0, 1, 2])
+    });
+
+    scenario("g3 crashes rounds 2–4, recovers and syncs", rounds.max(8), &mut table, || {
+        let cfg = base_cfg(5);
+        let round_ticks = cfg.round_ticks();
+        let mut sim = Simulation::builder(cfg)
+            .provider_profiles(vec![ProviderProfile { invalid_rate: 0.2, active: true }; 8])
+            .build()
+            .expect("valid config");
+        let mut faults = FaultPlan::none();
+        faults.crash_window(
+            sim.governor_net_index(3),
+            SimTime(round_ticks),
+            SimTime(4 * round_ticks),
+        );
+        sim.set_faults(faults);
+        (sim, (0..4).collect())
+    });
+
+    scenario("10% loss on provider→collector links", rounds, &mut table, || {
+        let mut sim = Simulation::builder(base_cfg(4))
+            .provider_profiles(vec![ProviderProfile { invalid_rate: 0.2, active: true }; 8])
+            .build()
+            .expect("valid config");
+        let mut faults = FaultPlan::none();
+        for p in 0..8 {
+            for c in 0..8 {
+                faults.drop_link(sim.provider_net_index(p), sim.collector_net_index(c), 0.1);
+            }
+        }
+        sim.set_faults(faults);
+        (sim, (0..4).collect())
+    });
+
+    table.print();
+    println!("Interpretation: all five §3.1 properties hold in every scenario:");
+    println!("forged transactions never enter the ledger (detected with");
+    println!("overwhelming probability via signatures), a crashed governor does");
+    println!("not disturb the survivors' agreement (the paper assumes governors");
+    println!("do not equivocate; its VRF election is deterministic given claims),");
+    println!("and active providers recover every wrongly-buried transaction.");
+}

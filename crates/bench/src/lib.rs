@@ -1,0 +1,258 @@
+//! # prb-bench
+//!
+//! Shared machinery for the experiment binaries (`exp_*`): markdown table
+//! rendering, summary statistics over seeds, a tiny CLI flag parser, and a
+//! parallel multi-seed runner.
+//!
+//! Each experiment in DESIGN.md maps to one binary:
+//!
+//! | Experiment | Binary |
+//! |---|---|
+//! | E1 regret `O(√T)` + A1/A2 ablations | `exp_regret` |
+//! | E2 unchecked fraction ≤ f | `exp_unchecked` |
+//! | E3 Hoeffding tail | `exp_tail` |
+//! | E4 end-to-end loss + A3 (U sweep) | `exp_loss` |
+//! | E5 validation cost / throughput | `exp_throughput` |
+//! | E6 message complexity + A4 | `exp_messages` |
+//! | E7 incentives | `exp_incentives` |
+//! | E8 election fairness | `exp_election` |
+//! | E9 applications | `exp_apps` |
+//! | E10 safety/liveness properties | `exp_properties` |
+//! | everything | `exp_all` |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A markdown table under construction.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Prints the markdown to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+}
+
+/// Mean of a sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator; 0 for n < 2).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Formats `mean ± std` compactly.
+pub fn pm(xs: &[f64]) -> String {
+    format!("{:.2} ± {:.2}", mean(xs), std_dev(xs))
+}
+
+/// Runs `f(seed)` for every seed, in parallel across threads, preserving
+/// seed order in the output.
+pub fn run_seeds<T, F>(seeds: &[u64], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(seeds.len().max(1));
+    let mut results: Vec<Option<T>> = (0..seeds.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let chunks = seeds.len().div_ceil(threads);
+        for (chunk_idx, (seed_chunk, out_chunk)) in seeds
+            .chunks(chunks)
+            .zip(results.chunks_mut(chunks))
+            .enumerate()
+        {
+            let f = &f;
+            let _ = chunk_idx;
+            scope.spawn(move || {
+                for (seed, slot) in seed_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(*seed));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Minimal `--key value` / `--flag` argument parser for the experiment
+/// binaries.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                continue;
+            };
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked");
+                    out.values.insert(name.to_owned(), value);
+                }
+                _ => out.flags.push(name.to_owned()),
+            }
+        }
+        out
+    }
+
+    /// Whether `--name` was passed as a bare flag.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The value of `--name value`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Parses `--name value` as `T`, with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+/// The crypto scheme chosen by `--crypto` (default `sim`).
+///
+/// # Panics
+///
+/// Panics on an unknown scheme name.
+pub fn crypto_from_args(args: &Args) -> prb_crypto::signer::CryptoScheme {
+    let name = args.get("crypto").unwrap_or("sim");
+    prb_crypto::signer::CryptoScheme::parse(name)
+        .unwrap_or_else(|| panic!("unknown crypto scheme {name}; use sim|schnorr-256|schnorr-512|schnorr-2048"))
+}
+
+/// Standard seed list for multi-seed experiments: `base..base+count`.
+pub fn seed_list(base: u64, count: u64) -> Vec<u64> {
+    (base..base + count).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_wrong_arity() {
+        Table::new("t", &["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn stats() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((std_dev(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!(pm(&[1.0, 3.0]).contains("2.00"));
+    }
+
+    #[test]
+    fn run_seeds_preserves_order() {
+        let seeds = seed_list(10, 17);
+        let out = run_seeds(&seeds, |s| s * 2);
+        assert_eq!(out, seeds.iter().map(|s| s * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn args_parse_values_and_flags() {
+        let args = Args::from_args(
+            ["--rounds", "20", "--verbose", "--f", "0.5"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(args.get_or("rounds", 0u32), 20);
+        assert_eq!(args.get_or::<f64>("f", 0.0), 0.5);
+        assert!(args.flag("verbose"));
+        assert!(!args.flag("quiet"));
+        assert_eq!(args.get_or("missing", 7u32), 7);
+    }
+
+    #[test]
+    fn crypto_parsing() {
+        let args = Args::from_args(["--crypto", "schnorr-256"].into_iter().map(String::from));
+        assert_eq!(crypto_from_args(&args).name(), "test-256");
+        let default = Args::default();
+        assert_eq!(crypto_from_args(&default).name(), "sim");
+    }
+}

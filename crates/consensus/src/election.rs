@@ -1,0 +1,291 @@
+//! PoS-VRF leader election (§3.4.3).
+//!
+//! Each round `r`, governor `g_j` with `y_j` stake units computes
+//! `⟨hash_{j,u}, π_{j,u}⟩ ← VRF_{g_j}(r, j, u)` for every stake unit `u`,
+//! broadcasts the evaluations, and the owner of the globally least hash
+//! leads the round. Because the VRF output is pseudorandom, the winning
+//! probability of each governor is proportional to its stake.
+
+use std::fmt;
+
+use prb_crypto::sha256::{Digest, Sha256};
+use prb_crypto::signer::{KeyPair, PublicKey, VrfEvaluation};
+
+/// The VRF input for `(round, governor, unit)` — the paper's
+/// `VRF_{g_j}(r, j, u)` with a chain tag for domain separation between
+/// deployments.
+pub fn election_message(chain_tag: &[u8], round: u64, governor: u32, unit: u64) -> Vec<u8> {
+    let mut h = Sha256::new();
+    h.update_field(b"prb-election");
+    h.update_field(chain_tag);
+    h.update(&round.to_be_bytes());
+    h.update(&governor.to_be_bytes());
+    h.update(&unit.to_be_bytes());
+    h.finalize().to_bytes().to_vec()
+}
+
+/// One governor's election claim for a round: its best (least) VRF output
+/// over its stake units, with the proof for that unit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ElectionClaim {
+    /// Claiming governor.
+    pub governor: u32,
+    /// The stake unit achieving the least hash.
+    pub unit: u64,
+    /// The VRF evaluation for that unit.
+    pub evaluation: VrfEvaluation,
+}
+
+impl ElectionClaim {
+    /// Computes a governor's claim: evaluates the VRF once per stake unit
+    /// and keeps the minimum output.
+    ///
+    /// Returns `None` for zero stake (no units, no claim).
+    pub fn compute(
+        chain_tag: &[u8],
+        round: u64,
+        governor: u32,
+        stake: u64,
+        key: &KeyPair,
+    ) -> Option<Self> {
+        let mut best: Option<(Digest, u64, VrfEvaluation)> = None;
+        for unit in 0..stake {
+            let msg = election_message(chain_tag, round, governor, unit);
+            let eval = key.vrf_evaluate(&msg);
+            let out = eval.output();
+            if best.as_ref().is_none_or(|(b, _, _)| out < *b) {
+                best = Some((out, unit, eval));
+            }
+        }
+        best.map(|(_, unit, evaluation)| ElectionClaim {
+            governor,
+            unit,
+            evaluation,
+        })
+    }
+
+    /// Verifies the claim's proof; returns the authenticated output.
+    ///
+    /// The verifier must separately ensure `unit < stake(governor)` — a
+    /// governor could otherwise mint extra lottery tickets.
+    pub fn verify(&self, chain_tag: &[u8], round: u64, pk: &PublicKey) -> Option<Digest> {
+        let msg = election_message(chain_tag, round, self.governor, self.unit);
+        pk.vrf_verify(&msg, &self.evaluation)
+    }
+}
+
+/// Result of an election round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ElectionResult {
+    /// The winning governor.
+    pub leader: u32,
+    /// The winning (least) VRF output.
+    pub winning_hash: Digest,
+}
+
+/// Why a claim was rejected during tallying.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClaimRejection {
+    /// Proof failed to verify.
+    BadProof,
+    /// The claimed unit is at or beyond the governor's stake.
+    UnitOutOfRange,
+    /// The claiming governor index is unknown.
+    UnknownGovernor,
+}
+
+impl fmt::Display for ClaimRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ClaimRejection::BadProof => "vrf proof invalid",
+            ClaimRejection::UnitOutOfRange => "claimed stake unit out of range",
+            ClaimRejection::UnknownGovernor => "unknown governor",
+        })
+    }
+}
+
+/// Tallies verified claims and elects the least hash.
+///
+/// `stakes[g]` and `pks[g]` give each governor's stake and public key.
+/// Invalid claims are skipped and reported; ties on the hash (which are
+/// cryptographically negligible but possible in tests) break toward the
+/// smaller governor index so every honest tallier agrees.
+///
+/// Returns `(result, rejections)`; `result` is `None` when no claim
+/// survived.
+pub fn elect(
+    chain_tag: &[u8],
+    round: u64,
+    claims: &[ElectionClaim],
+    stakes: &[u64],
+    pks: &[PublicKey],
+) -> (Option<ElectionResult>, Vec<(u32, ClaimRejection)>) {
+    let mut rejections = Vec::new();
+    let mut best: Option<(Digest, u32)> = None;
+    for claim in claims {
+        let g = claim.governor as usize;
+        if g >= stakes.len() || g >= pks.len() {
+            rejections.push((claim.governor, ClaimRejection::UnknownGovernor));
+            continue;
+        }
+        if claim.unit >= stakes[g] {
+            rejections.push((claim.governor, ClaimRejection::UnitOutOfRange));
+            continue;
+        }
+        let Some(output) = claim.verify(chain_tag, round, &pks[g]) else {
+            rejections.push((claim.governor, ClaimRejection::BadProof));
+            continue;
+        };
+        let key = (output, claim.governor);
+        if best.is_none_or(|b| key < b) {
+            best = Some(key);
+        }
+    }
+    (
+        best.map(|(winning_hash, leader)| ElectionResult {
+            leader,
+            winning_hash,
+        }),
+        rejections,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prb_crypto::signer::CryptoScheme;
+
+    const TAG: &[u8] = b"election-test";
+
+    fn keys(m: u32) -> Vec<KeyPair> {
+        (0..m)
+            .map(|i| CryptoScheme::sim().keypair_from_seed(format!("g{i}").as_bytes()))
+            .collect()
+    }
+
+    fn run_round(round: u64, stakes: &[u64], keys: &[KeyPair]) -> Option<ElectionResult> {
+        let claims: Vec<ElectionClaim> = keys
+            .iter()
+            .enumerate()
+            .filter_map(|(g, k)| ElectionClaim::compute(TAG, round, g as u32, stakes[g], k))
+            .collect();
+        let pks: Vec<PublicKey> = keys.iter().map(|k| k.public_key()).collect();
+        let (result, rejections) = elect(TAG, round, &claims, stakes, &pks);
+        assert!(rejections.is_empty(), "{rejections:?}");
+        result
+    }
+
+    #[test]
+    fn all_governors_agree_and_result_is_deterministic() {
+        let keys = keys(4);
+        let stakes = [3, 1, 2, 5];
+        let a = run_round(7, &stakes, &keys);
+        let b = run_round(7, &stakes, &keys);
+        assert_eq!(a, b);
+        assert!(a.is_some());
+    }
+
+    #[test]
+    fn different_rounds_rotate_leaders() {
+        let keys = keys(4);
+        let stakes = [1, 1, 1, 1];
+        let leaders: Vec<u32> = (0..32)
+            .map(|r| run_round(r, &stakes, &keys).unwrap().leader)
+            .collect();
+        let mut distinct = leaders.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() >= 3, "leaders {leaders:?} too concentrated");
+    }
+
+    #[test]
+    fn zero_stake_governor_never_claims_or_wins() {
+        let keys = keys(3);
+        let stakes = [0, 1, 1];
+        for r in 0..50 {
+            let result = run_round(r, &stakes, &keys).unwrap();
+            assert_ne!(result.leader, 0);
+        }
+        assert!(ElectionClaim::compute(TAG, 0, 0, 0, &keys[0]).is_none());
+    }
+
+    #[test]
+    fn stake_proportionality_statistical() {
+        // Governor 0 holds 3/4 of the stake; over many rounds it should win
+        // roughly 75% of elections.
+        let keys = keys(2);
+        let stakes = [30, 10];
+        let rounds = 600;
+        let wins0 = (0..rounds)
+            .filter(|&r| run_round(r, &stakes, &keys).unwrap().leader == 0)
+            .count();
+        let rate = wins0 as f64 / rounds as f64;
+        assert!((0.67..0.83).contains(&rate), "win rate {rate}");
+    }
+
+    #[test]
+    fn forged_claim_rejected() {
+        let keys = keys(2);
+        let stakes = [2, 2];
+        let pks: Vec<PublicKey> = keys.iter().map(|k| k.public_key()).collect();
+        // Governor 1 presents a claim computed with governor 0's key.
+        let mut claim = ElectionClaim::compute(TAG, 3, 0, 2, &keys[0]).unwrap();
+        claim.governor = 1;
+        let (result, rejections) = elect(TAG, 3, std::slice::from_ref(&claim), &stakes, &pks);
+        assert_eq!(result, None);
+        assert_eq!(rejections, vec![(1, ClaimRejection::BadProof)]);
+    }
+
+    #[test]
+    fn overclaimed_units_rejected() {
+        let keys = keys(2);
+        let stakes = [1, 1];
+        let pks: Vec<PublicKey> = keys.iter().map(|k| k.public_key()).collect();
+        // Governor 0 evaluates unit 5 it does not own.
+        let msg = election_message(TAG, 1, 0, 5);
+        let claim = ElectionClaim {
+            governor: 0,
+            unit: 5,
+            evaluation: keys[0].vrf_evaluate(&msg),
+        };
+        let (_, rejections) = elect(TAG, 1, &[claim], &stakes, &pks);
+        assert_eq!(rejections, vec![(0, ClaimRejection::UnitOutOfRange)]);
+    }
+
+    #[test]
+    fn unknown_governor_rejected() {
+        let keys = keys(1);
+        let pks: Vec<PublicKey> = keys.iter().map(|k| k.public_key()).collect();
+        let claim = ElectionClaim::compute(TAG, 1, 7, 1, &keys[0]).unwrap();
+        let (_, rejections) = elect(TAG, 1, &[claim], &[1], &pks);
+        assert_eq!(rejections, vec![(7, ClaimRejection::UnknownGovernor)]);
+    }
+
+    #[test]
+    fn claim_verification_binds_round_and_tag() {
+        let keys = keys(1);
+        let pk = keys[0].public_key();
+        let claim = ElectionClaim::compute(TAG, 5, 0, 1, &keys[0]).unwrap();
+        assert!(claim.verify(TAG, 5, &pk).is_some());
+        assert!(claim.verify(TAG, 6, &pk).is_none());
+        assert!(claim.verify(b"other-chain", 5, &pk).is_none());
+    }
+
+    #[test]
+    fn works_with_real_schnorr_vrf() {
+        let scheme = CryptoScheme::schnorr_test_256();
+        let keys: Vec<KeyPair> = (0..2)
+            .map(|i| scheme.keypair_from_seed(format!("s{i}").as_bytes()))
+            .collect();
+        let stakes = [2, 2];
+        let pks: Vec<PublicKey> = keys.iter().map(|k| k.public_key()).collect();
+        let claims: Vec<ElectionClaim> = keys
+            .iter()
+            .enumerate()
+            .filter_map(|(g, k)| ElectionClaim::compute(TAG, 0, g as u32, stakes[g], k))
+            .collect();
+        let (result, rejections) = elect(TAG, 0, &claims, &stakes, &pks);
+        assert!(rejections.is_empty());
+        assert!(result.is_some());
+    }
+}

@@ -1,0 +1,54 @@
+//! # prb-consensus
+//!
+//! Consensus machinery for the `prb` permissioned blockchain (reproduction
+//! of *"An Efficient Permissioned Blockchain with Provable Reputation
+//! Mechanism"*, ICDCS 2021):
+//!
+//! - [`stake`] — the governors' stake ledger with signed, replay-protected
+//!   transfers and the deterministic `NEW_STATE` construction,
+//! - [`election`] — PoS-VRF leader election: one VRF evaluation per stake
+//!   unit, least hash leads (§3.4.3),
+//! - [`stake_block`] — the 3-step stake-transform block protocol with
+//!   signature collection and provable leader expulsion, run over the
+//!   simulated network (message complexity `O(m²)`, measured by E6),
+//! - [`pbft`] — a simplified PBFT baseline (normal case + crash-fault view
+//!   change) for the message-complexity comparison,
+//! - [`round_robin`] — deterministic rotation schedules,
+//! - [`rotation`] — the executable rotating-leader replication protocol
+//!   (propose + ≥2/3 votes, crashed leaders skipped by timeout).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use prb_consensus::election::{elect, ElectionClaim};
+//! use prb_crypto::signer::CryptoScheme;
+//!
+//! let scheme = CryptoScheme::sim();
+//! let keys: Vec<_> = (0..3)
+//!     .map(|g| scheme.keypair_from_seed(format!("g{g}").as_bytes()))
+//!     .collect();
+//! let stakes = [4, 2, 1];
+//! let claims: Vec<_> = keys
+//!     .iter()
+//!     .enumerate()
+//!     .filter_map(|(g, k)| ElectionClaim::compute(b"chain", 1, g as u32, stakes[g], k))
+//!     .collect();
+//! let pks: Vec<_> = keys.iter().map(|k| k.public_key()).collect();
+//! let (result, rejected) = elect(b"chain", 1, &claims, &stakes, &pks);
+//! assert!(rejected.is_empty());
+//! assert!(result.is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod election;
+pub mod pbft;
+pub mod rotation;
+pub mod round_robin;
+pub mod stake;
+pub mod stake_block;
+
+pub use election::{elect, ElectionClaim, ElectionResult};
+pub use stake::{StakeTable, StakeTransfer};
+pub use stake_block::{StakeBlock, StakeGovernor, StakeMsg};

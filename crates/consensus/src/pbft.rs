@@ -1,0 +1,427 @@
+//! A simplified PBFT replica — the message-complexity baseline (§2.2).
+//!
+//! The paper positions its leader-based scheme against classical BFT
+//! protocols (PBFT in early Hyperledger Fabric, BFT-SMaRt, Tendermint).
+//! For experiment E6/A4 we implement the normal-case three-phase exchange
+//! of PBFT over the simulated network:
+//!
+//! - **pre-prepare**: the primary broadcasts the proposal,
+//! - **prepare**: every replica broadcasts a prepare once it has the
+//!   proposal; a replica is *prepared* after `2f` matching prepares,
+//! - **commit**: prepared replicas broadcast a commit; a replica decides
+//!   after `2f + 1` matching commits.
+//!
+//! This yields the classical `O(m²)` per decision, versus the reputation
+//! protocol's `O(b_limit·m)` block dissemination. View changes are
+//! triggered by a driver-set timeout when the primary is crashed: replicas
+//! broadcast view-change votes and move to view `v+1` on `2f + 1` votes
+//! (a simplification of the full PBFT view-change certificate, sufficient
+//! for crash faults; Byzantine primaries are out of scope for the
+//! baseline, which only serves as a message-count and latency yardstick).
+
+use std::collections::{HashMap, HashSet};
+
+use prb_crypto::sha256::Digest;
+use prb_net::message::Envelope;
+use prb_net::sim::{Actor, Context};
+use prb_net::time::SimDuration;
+use prb_net::TimerId;
+
+/// PBFT protocol messages.
+#[derive(Clone, Debug)]
+pub enum PbftMsg {
+    /// Driver command to the current primary: propose this value.
+    ClientRequest(Digest),
+    /// Primary's proposal for (view, seq).
+    PrePrepare {
+        /// View number.
+        view: u64,
+        /// Sequence number.
+        seq: u64,
+        /// Proposed value.
+        value: Digest,
+    },
+    /// Replica's prepare vote.
+    Prepare {
+        /// View number.
+        view: u64,
+        /// Sequence number.
+        seq: u64,
+        /// Value being prepared.
+        value: Digest,
+    },
+    /// Replica's commit vote.
+    Commit {
+        /// View number.
+        view: u64,
+        /// Sequence number.
+        seq: u64,
+        /// Value being committed.
+        value: Digest,
+    },
+    /// View-change vote for `new_view`.
+    ViewChange {
+        /// The proposed new view.
+        new_view: u64,
+    },
+}
+
+/// One PBFT replica.
+#[derive(Debug)]
+pub struct PbftReplica {
+    index: u32,
+    m: u32,
+    net_base: usize,
+    view: u64,
+    next_seq: u64,
+    /// Outstanding client requests (primary only).
+    backlog: Vec<Digest>,
+    prepares: HashMap<(u64, u64, Digest), HashSet<u32>>,
+    commits: HashMap<(u64, u64, Digest), HashSet<u32>>,
+    prepared: HashSet<(u64, u64)>,
+    committed_seqs: HashSet<(u64, u64)>,
+    decided: Vec<(u64, Digest)>,
+    view_votes: HashMap<u64, HashSet<u32>>,
+    /// Pre-prepares for views we have not entered yet (buffered so a fast
+    /// new primary does not outrun slower replicas' view changes).
+    future_preprepares: Vec<(u64, u64, Digest)>,
+    /// Pending request timer (for view change detection).
+    request_timer: Option<TimerId>,
+    timeout: SimDuration,
+}
+
+impl PbftReplica {
+    /// Creates replica `index` of `m`; replica `i` lives at network index
+    /// `net_base + i`. `timeout` arms the view-change timer per request.
+    pub fn new(index: u32, m: u32, net_base: usize, timeout: SimDuration) -> Self {
+        PbftReplica {
+            index,
+            m,
+            net_base,
+            view: 0,
+            next_seq: 0,
+            backlog: Vec::new(),
+            prepares: HashMap::new(),
+            commits: HashMap::new(),
+            prepared: HashSet::new(),
+            committed_seqs: HashSet::new(),
+            decided: Vec::new(),
+            view_votes: HashMap::new(),
+            future_preprepares: Vec::new(),
+            request_timer: None,
+            timeout,
+        }
+    }
+
+    /// Values this replica has decided, in decision order.
+    pub fn decided(&self) -> &[(u64, Digest)] {
+        &self.decided
+    }
+
+    /// The replica's current view.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// Maximum tolerated faults: `f = ⌊(m−1)/3⌋`.
+    pub fn max_faults(&self) -> u32 {
+        (self.m - 1) / 3
+    }
+
+    fn quorum(&self) -> usize {
+        (2 * self.max_faults() + 1) as usize
+    }
+
+    fn primary_of(&self, view: u64) -> u32 {
+        (view % self.m as u64) as u32
+    }
+
+    fn is_primary(&self) -> bool {
+        self.primary_of(self.view) == self.index
+    }
+
+    fn broadcast(&self, ctx: &mut Context<'_, PbftMsg>, kind: &'static str, msg: &PbftMsg) {
+        for g in 0..self.m as usize {
+            let peer = self.net_base + g;
+            if peer != ctx.self_idx() {
+                ctx.send_sized(peer, kind, 48, msg.clone());
+            }
+        }
+    }
+
+    fn gov_of(&self, net_idx: usize) -> Option<u32> {
+        let rel = net_idx.checked_sub(self.net_base)?;
+        (rel < self.m as usize).then_some(rel as u32)
+    }
+
+    fn try_propose(&mut self, ctx: &mut Context<'_, PbftMsg>) {
+        if !self.is_primary() {
+            return;
+        }
+        while let Some(value) = self.backlog.pop() {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let msg = PbftMsg::PrePrepare {
+                view: self.view,
+                seq,
+                value,
+            };
+            self.broadcast(ctx, "pbft-preprepare", &msg);
+            // The primary votes implicitly via its own prepare/commit path.
+            self.on_preprepare(self.view, seq, value, ctx);
+        }
+    }
+
+    fn on_preprepare(&mut self, view: u64, seq: u64, value: Digest, ctx: &mut Context<'_, PbftMsg>) {
+        if view > self.view {
+            // A fast new primary outran our view change; replay on entry.
+            self.future_preprepares.push((view, seq, value));
+            return;
+        }
+        if view < self.view {
+            return;
+        }
+        self.record_prepare(view, seq, value, self.index);
+        self.broadcast(ctx, "pbft-prepare", &PbftMsg::Prepare { view, seq, value });
+        self.check_prepared(view, seq, value, ctx);
+    }
+
+    fn record_prepare(&mut self, view: u64, seq: u64, value: Digest, from: u32) {
+        self.prepares
+            .entry((view, seq, value))
+            .or_default()
+            .insert(from);
+    }
+
+    fn check_prepared(&mut self, view: u64, seq: u64, value: Digest, ctx: &mut Context<'_, PbftMsg>) {
+        let have = self
+            .prepares
+            .get(&(view, seq, value))
+            .map(HashSet::len)
+            .unwrap_or(0);
+        // Prepared: pre-prepare + 2f prepares (own vote counted).
+        if have >= self.quorum() && self.prepared.insert((view, seq)) {
+            self.commits
+                .entry((view, seq, value))
+                .or_default()
+                .insert(self.index);
+            self.broadcast(ctx, "pbft-commit", &PbftMsg::Commit { view, seq, value });
+            self.check_committed(view, seq, value);
+        }
+    }
+
+    fn check_committed(&mut self, view: u64, seq: u64, value: Digest) {
+        let have = self
+            .commits
+            .get(&(view, seq, value))
+            .map(HashSet::len)
+            .unwrap_or(0);
+        if have >= self.quorum() && self.committed_seqs.insert((view, seq)) {
+            self.decided.push((seq, value));
+            self.request_timer = None;
+        }
+    }
+}
+
+impl Actor for PbftReplica {
+    type Msg = PbftMsg;
+
+    fn on_message(&mut self, env: Envelope<PbftMsg>, ctx: &mut Context<'_, PbftMsg>) {
+        match env.payload {
+            PbftMsg::ClientRequest(value) => {
+                self.backlog.push(value);
+                self.request_timer = Some(ctx.set_timer(self.timeout));
+                self.try_propose(ctx);
+            }
+            PbftMsg::PrePrepare { view, seq, value } => {
+                if self.gov_of(env.from) != Some(self.primary_of(view)) {
+                    return; // only the view's primary may pre-prepare
+                }
+                self.on_preprepare(view, seq, value, ctx);
+            }
+            PbftMsg::Prepare { view, seq, value } => {
+                let Some(from) = self.gov_of(env.from) else {
+                    return;
+                };
+                if view < self.view {
+                    return;
+                }
+                // Future-view prepares are recorded; the quorum check only
+                // fires once we have pre-prepared in that view ourselves.
+                self.record_prepare(view, seq, value, from);
+                if view == self.view {
+                    self.check_prepared(view, seq, value, ctx);
+                }
+            }
+            PbftMsg::Commit { view, seq, value } => {
+                let Some(from) = self.gov_of(env.from) else {
+                    return;
+                };
+                if view < self.view {
+                    return;
+                }
+                self.commits
+                    .entry((view, seq, value))
+                    .or_default()
+                    .insert(from);
+                self.check_committed(view, seq, value);
+            }
+            PbftMsg::ViewChange { new_view } => {
+                let Some(from) = self.gov_of(env.from) else {
+                    return;
+                };
+                if new_view <= self.view {
+                    return;
+                }
+                let votes = self.view_votes.entry(new_view).or_default();
+                votes.insert(from);
+                if votes.len() >= self.quorum() {
+                    self.view = new_view;
+                    self.prepared.clear();
+                    // Replay pre-prepares buffered for this view.
+                    let ready: Vec<_> = self
+                        .future_preprepares
+                        .iter()
+                        .filter(|(v, _, _)| *v <= new_view)
+                        .copied()
+                        .collect();
+                    self.future_preprepares.retain(|(v, _, _)| *v > new_view);
+                    for (v, seq, value) in ready {
+                        self.on_preprepare(v, seq, value, ctx);
+                    }
+                    // The new primary re-proposes its backlog.
+                    self.try_propose(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<'_, PbftMsg>) {
+        if self.request_timer != Some(timer) {
+            return; // stale timer
+        }
+        self.request_timer = None;
+        // Suspect the primary: vote to move to the next view.
+        let new_view = self.view + 1;
+        let votes = self.view_votes.entry(new_view).or_default();
+        votes.insert(self.index);
+        let msg = PbftMsg::ViewChange { new_view };
+        self.broadcast(ctx, "pbft-viewchange", &msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prb_crypto::sha256::sha256;
+    use prb_net::fault::FaultPlan;
+    use prb_net::sim::{NetConfig, Network};
+    use prb_net::time::SimTime;
+
+    fn build(m: u32) -> Network<PbftReplica> {
+        let mut net = Network::new(NetConfig::uniform(1, 4), 21);
+        for i in 0..m {
+            net.add_node(PbftReplica::new(i, m, 0, SimDuration(500)));
+        }
+        net
+    }
+
+    #[test]
+    fn normal_case_all_replicas_decide_same_value() {
+        let m = 4;
+        let mut net = build(m);
+        let v = sha256(b"block-1");
+        net.send_external(0, "client", PbftMsg::ClientRequest(v), SimTime(0));
+        net.run_until(SimTime(400));
+        for i in 0..m as usize {
+            assert_eq!(net.node(i).decided(), &[(0, v)], "replica {i}");
+            assert_eq!(net.node(i).view(), 0);
+        }
+    }
+
+    #[test]
+    fn sequential_requests_decide_in_order() {
+        let m = 4;
+        let mut net = build(m);
+        let v1 = sha256(b"b1");
+        let v2 = sha256(b"b2");
+        net.send_external(0, "client", PbftMsg::ClientRequest(v1), SimTime(0));
+        net.send_external(0, "client", PbftMsg::ClientRequest(v2), SimTime(100));
+        net.run_until(SimTime(600));
+        for i in 0..m as usize {
+            assert_eq!(net.node(i).decided(), &[(0, v1), (1, v2)]);
+        }
+    }
+
+    #[test]
+    fn crashed_primary_triggers_view_change_and_recovery() {
+        let m = 4;
+        let mut net = build(m);
+        let mut faults = FaultPlan::none();
+        faults.crash(0, SimTime(0)); // primary of view 0 is dead
+        net.set_faults(faults);
+        let v = sha256(b"after-crash");
+        // The request reaches every live replica (client broadcast).
+        for i in 1..m as usize {
+            net.send_external(i, "client", PbftMsg::ClientRequest(v), SimTime(0));
+        }
+        net.run_until(SimTime(3_000));
+        for i in 1..m as usize {
+            assert_eq!(net.node(i).view(), 1, "replica {i} should be in view 1");
+            assert_eq!(net.node(i).decided(), &[(0, v)], "replica {i}");
+        }
+    }
+
+    #[test]
+    fn message_count_is_quadratic() {
+        let count_for = |m: u32| {
+            let mut net = build(m);
+            let v = sha256(b"payload");
+            net.send_external(0, "client", PbftMsg::ClientRequest(v), SimTime(0));
+            net.run_until(SimTime(400));
+            let s = net.stats();
+            s.kind("pbft-preprepare").sent + s.kind("pbft-prepare").sent + s.kind("pbft-commit").sent
+        };
+        let c4 = count_for(4);
+        let c8 = count_for(8);
+        let c16 = count_for(16);
+        let r1 = c8 as f64 / c4 as f64;
+        let r2 = c16 as f64 / c8 as f64;
+        assert!((3.0..5.0).contains(&r1), "c4={c4} c8={c8}");
+        assert!((3.0..5.0).contains(&r2), "c8={c8} c16={c16}");
+    }
+
+    #[test]
+    fn f_and_quorum_sizes() {
+        let r = PbftReplica::new(0, 4, 0, SimDuration(10));
+        assert_eq!(r.max_faults(), 1);
+        assert_eq!(r.quorum(), 3);
+        let r = PbftReplica::new(0, 10, 0, SimDuration(10));
+        assert_eq!(r.max_faults(), 3);
+        assert_eq!(r.quorum(), 7);
+    }
+
+    #[test]
+    fn non_primary_preprepare_is_ignored() {
+        let m = 4;
+        let mut net = build(m);
+        // Replica 2 (not primary of view 0) tries to pre-prepare directly.
+        // We simulate by injecting the message as if from node 2 via a
+        // driver-triggered send: replica 1 must ignore it because the
+        // sender is not the primary. External messages have from=EXTERNAL,
+        // which maps to no governor, so they are ignored too.
+        let v = sha256(b"rogue");
+        net.send_external(
+            1,
+            "rogue",
+            PbftMsg::PrePrepare {
+                view: 0,
+                seq: 0,
+                value: v,
+            },
+            SimTime(0),
+        );
+        net.run_until(SimTime(300));
+        assert!(net.node(1).decided().is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! Round-robin leader rotation — the Tendermint-style baseline (§2.2).
+//!
+//! Ablation A4 compares the paper's VRF-PoS election against the simplest
+//! permissioned alternative: rotate the leader deterministically each
+//! round. Rotation is fair in *rounds* but ignores stake; the experiment
+//! contrasts leadership frequency under both schemes for skewed stakes.
+
+/// The round-robin leader of `round` among `m` governors.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn leader_of_round(round: u64, m: u32) -> u32 {
+    assert!(m > 0, "no governors");
+    (round % m as u64) as u32
+}
+
+/// Stake-weighted deterministic rotation: governors appear proportionally
+/// to their stake within a cycle of `total_stake` rounds, in governor
+/// order. (E.g. stakes `[2,1]` give the schedule `0,0,1,0,0,1,…`.)
+///
+/// # Panics
+///
+/// Panics if all stakes are zero.
+pub fn weighted_leader_of_round(round: u64, stakes: &[u64]) -> u32 {
+    let total: u64 = stakes.iter().sum();
+    assert!(total > 0, "no stake in the system");
+    let mut slot = round % total;
+    for (g, &s) in stakes.iter().enumerate() {
+        if slot < s {
+            return g as u32;
+        }
+        slot -= s;
+    }
+    unreachable!("slot < total by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_cycles() {
+        let leaders: Vec<u32> = (0..8).map(|r| leader_of_round(r, 3)).collect();
+        assert_eq!(leaders, vec![0, 1, 2, 0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no governors")]
+    fn zero_governors_panics() {
+        leader_of_round(0, 0);
+    }
+
+    #[test]
+    fn weighted_rotation_matches_stakes() {
+        let stakes = [2, 1, 3];
+        let leaders: Vec<u32> = (0..12).map(|r| weighted_leader_of_round(r, &stakes)).collect();
+        assert_eq!(leaders, vec![0, 0, 1, 2, 2, 2, 0, 0, 1, 2, 2, 2]);
+        // Frequencies over one cycle are exactly stake-proportional.
+        let count = |g: u32| leaders[..6].iter().filter(|&&l| l == g).count() as u64;
+        assert_eq!(count(0), 2);
+        assert_eq!(count(1), 1);
+        assert_eq!(count(2), 3);
+    }
+
+    #[test]
+    fn zero_stake_governor_skipped() {
+        let stakes = [0, 2];
+        for r in 0..10 {
+            assert_eq!(weighted_leader_of_round(r, &stakes), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no stake")]
+    fn all_zero_stakes_panic() {
+        weighted_leader_of_round(0, &[0, 0]);
+    }
+}

@@ -1,0 +1,344 @@
+//! The governors' stake ledger and signed stake transfers.
+//!
+//! §3.4.3: leader election probability is proportional to stake, which can
+//! be *"money or any reliable form of asset"*; stake movements are signed
+//! by the governors involved and committed in a stake-transform block at
+//! the end of the round.
+
+use std::fmt;
+
+use prb_crypto::sha256::{Digest, Sha256};
+use prb_crypto::signer::{KeyPair, PublicKey, Sig};
+
+/// Errors from stake operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StakeError {
+    /// Unknown governor index.
+    UnknownGovernor(u32),
+    /// The sender's balance is insufficient.
+    InsufficientStake {
+        /// The paying governor.
+        from: u32,
+        /// Its balance.
+        balance: u64,
+        /// The attempted amount.
+        amount: u64,
+    },
+    /// Transfer of zero units (disallowed as it is meaningless spam).
+    ZeroAmount,
+    /// A transfer signature failed to verify.
+    BadSignature,
+    /// Replay: the nonce is not the sender's next nonce.
+    BadNonce {
+        /// Expected next nonce.
+        expected: u64,
+        /// The transfer's nonce.
+        got: u64,
+    },
+}
+
+impl fmt::Display for StakeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StakeError::UnknownGovernor(g) => write!(f, "unknown governor g{g}"),
+            StakeError::InsufficientStake {
+                from,
+                balance,
+                amount,
+            } => write!(f, "g{from} has {balance} stake, cannot move {amount}"),
+            StakeError::ZeroAmount => write!(f, "zero-amount transfer"),
+            StakeError::BadSignature => write!(f, "transfer signature invalid"),
+            StakeError::BadNonce { expected, got } => {
+                write!(f, "expected nonce {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StakeError {}
+
+/// A signed stake movement between two governors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StakeTransfer {
+    /// Paying governor (index).
+    pub from: u32,
+    /// Receiving governor (index).
+    pub to: u32,
+    /// Units moved.
+    pub amount: u64,
+    /// Sender's transfer counter (replay protection).
+    pub nonce: u64,
+    /// Sender's signature over all of the above.
+    pub signature: Sig,
+}
+
+impl StakeTransfer {
+    fn signing_bytes(from: u32, to: u32, amount: u64, nonce: u64) -> Vec<u8> {
+        let mut h = Sha256::new();
+        h.update_field(b"prb-stake-transfer");
+        h.update(&from.to_be_bytes());
+        h.update(&to.to_be_bytes());
+        h.update(&amount.to_be_bytes());
+        h.update(&nonce.to_be_bytes());
+        h.finalize().to_bytes().to_vec()
+    }
+
+    /// Creates and signs a transfer.
+    pub fn create(from: u32, to: u32, amount: u64, nonce: u64, key: &KeyPair) -> Self {
+        let signature = key.sign(&Self::signing_bytes(from, to, amount, nonce));
+        StakeTransfer {
+            from,
+            to,
+            amount,
+            nonce,
+            signature,
+        }
+    }
+
+    /// Verifies the sender signature.
+    pub fn verify(&self, sender_pk: &PublicKey) -> bool {
+        sender_pk.verify(
+            &Self::signing_bytes(self.from, self.to, self.amount, self.nonce),
+            &self.signature,
+        )
+    }
+}
+
+/// Balances of all governors, with per-governor transfer nonces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StakeTable {
+    stakes: Vec<u64>,
+    nonces: Vec<u64>,
+}
+
+impl StakeTable {
+    /// Builds a table from initial balances.
+    pub fn new(stakes: Vec<u64>) -> Self {
+        let n = stakes.len();
+        StakeTable {
+            stakes,
+            nonces: vec![0; n],
+        }
+    }
+
+    /// Equal stake `amount` for `governors` governors.
+    pub fn uniform(governors: usize, amount: u64) -> Self {
+        Self::new(vec![amount; governors])
+    }
+
+    /// Balance of governor `g`.
+    pub fn stake(&self, g: u32) -> Option<u64> {
+        self.stakes.get(g as usize).copied()
+    }
+
+    /// All balances, indexed by governor.
+    pub fn stakes(&self) -> &[u64] {
+        &self.stakes
+    }
+
+    /// Total stake in the system (invariant under transfers).
+    pub fn total(&self) -> u64 {
+        self.stakes.iter().sum()
+    }
+
+    /// Number of governors.
+    pub fn governor_count(&self) -> usize {
+        self.stakes.len()
+    }
+
+    /// Next expected nonce for governor `g`.
+    pub fn next_nonce(&self, g: u32) -> Option<u64> {
+        self.nonces.get(g as usize).copied()
+    }
+
+    /// Validates and applies a transfer (signature checked by caller via
+    /// [`StakeTransfer::verify`]; this checks balances and nonces).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StakeError`]; the table is unchanged on error.
+    pub fn apply(&mut self, t: &StakeTransfer) -> Result<(), StakeError> {
+        if t.amount == 0 {
+            return Err(StakeError::ZeroAmount);
+        }
+        let from = t.from as usize;
+        let to = t.to as usize;
+        if from >= self.stakes.len() {
+            return Err(StakeError::UnknownGovernor(t.from));
+        }
+        if to >= self.stakes.len() {
+            return Err(StakeError::UnknownGovernor(t.to));
+        }
+        if self.nonces[from] != t.nonce {
+            return Err(StakeError::BadNonce {
+                expected: self.nonces[from],
+                got: t.nonce,
+            });
+        }
+        if self.stakes[from] < t.amount {
+            return Err(StakeError::InsufficientStake {
+                from: t.from,
+                balance: self.stakes[from],
+                amount: t.amount,
+            });
+        }
+        self.stakes[from] -= t.amount;
+        self.stakes[to] += t.amount;
+        self.nonces[from] += 1;
+        Ok(())
+    }
+
+    /// Applies every transfer that validates (signature + balance + nonce),
+    /// in the given order; returns the indices of rejected transfers.
+    ///
+    /// This is the deterministic `NEW_STATE` construction of §3.4.3: every
+    /// governor applying the same transfer list to the same previous state
+    /// reaches the same state.
+    pub fn apply_all<'a>(
+        &mut self,
+        transfers: impl IntoIterator<Item = &'a StakeTransfer>,
+        pk_of: impl Fn(u32) -> Option<PublicKey>,
+    ) -> Vec<usize> {
+        let mut rejected = Vec::new();
+        for (i, t) in transfers.into_iter().enumerate() {
+            let ok = pk_of(t.from).map(|pk| t.verify(&pk)).unwrap_or(false);
+            if !ok || self.apply(t).is_err() {
+                rejected.push(i);
+            }
+        }
+        rejected
+    }
+
+    /// Canonical digest of the state (the `NEW_STATE` commitment).
+    pub fn digest(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update_field(b"prb-stake-state");
+        for (&s, &n) in self.stakes.iter().zip(&self.nonces) {
+            h.update(&s.to_be_bytes());
+            h.update(&n.to_be_bytes());
+        }
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prb_crypto::signer::CryptoScheme;
+
+    fn key(i: u32) -> KeyPair {
+        CryptoScheme::sim().keypair_from_seed(format!("gov-{i}").as_bytes())
+    }
+
+    #[test]
+    fn transfer_moves_stake_and_preserves_total() {
+        let mut table = StakeTable::uniform(3, 10);
+        let t = StakeTransfer::create(0, 1, 4, 0, &key(0));
+        assert!(t.verify(&key(0).public_key()));
+        table.apply(&t).unwrap();
+        assert_eq!(table.stake(0), Some(6));
+        assert_eq!(table.stake(1), Some(14));
+        assert_eq!(table.total(), 30);
+    }
+
+    #[test]
+    fn insufficient_stake_rejected() {
+        let mut table = StakeTable::uniform(2, 3);
+        let t = StakeTransfer::create(0, 1, 5, 0, &key(0));
+        assert_eq!(
+            table.apply(&t),
+            Err(StakeError::InsufficientStake {
+                from: 0,
+                balance: 3,
+                amount: 5
+            })
+        );
+        assert_eq!(table.stake(0), Some(3));
+    }
+
+    #[test]
+    fn nonce_replay_rejected() {
+        let mut table = StakeTable::uniform(2, 10);
+        let t = StakeTransfer::create(0, 1, 1, 0, &key(0));
+        table.apply(&t).unwrap();
+        assert_eq!(
+            table.apply(&t),
+            Err(StakeError::BadNonce {
+                expected: 1,
+                got: 0
+            })
+        );
+        assert_eq!(table.next_nonce(0), Some(1));
+    }
+
+    #[test]
+    fn zero_and_unknown_rejected() {
+        let mut table = StakeTable::uniform(2, 10);
+        let t0 = StakeTransfer::create(0, 1, 0, 0, &key(0));
+        assert_eq!(table.apply(&t0), Err(StakeError::ZeroAmount));
+        let t1 = StakeTransfer::create(0, 9, 1, 0, &key(0));
+        assert_eq!(table.apply(&t1), Err(StakeError::UnknownGovernor(9)));
+        let t2 = StakeTransfer::create(9, 0, 1, 0, &key(9));
+        assert_eq!(table.apply(&t2), Err(StakeError::UnknownGovernor(9)));
+    }
+
+    #[test]
+    fn signature_binds_fields() {
+        let t = StakeTransfer::create(0, 1, 4, 0, &key(0));
+        let mut tampered = t.clone();
+        tampered.amount = 5;
+        assert!(!tampered.verify(&key(0).public_key()));
+        let mut tampered = t.clone();
+        tampered.to = 2;
+        assert!(!tampered.verify(&key(0).public_key()));
+        assert!(!t.verify(&key(1).public_key()));
+    }
+
+    #[test]
+    fn apply_all_is_deterministic_and_skips_bad() {
+        let transfers = vec![
+            StakeTransfer::create(0, 1, 4, 0, &key(0)),
+            StakeTransfer::create(0, 1, 100, 1, &key(0)), // too big
+            StakeTransfer::create(1, 2, 2, 0, &key(1)),
+            StakeTransfer::create(2, 0, 1, 5, &key(2)), // bad nonce
+            StakeTransfer::create(2, 0, 1, 0, &key(1)), // wrong signer
+        ];
+        let run = || {
+            let mut table = StakeTable::uniform(3, 10);
+            let rejected =
+                table.apply_all(&transfers, |g| Some(key(g).public_key()));
+            (table, rejected)
+        };
+        let (t1, r1) = run();
+        let (t2, r2) = run();
+        assert_eq!(t1, t2);
+        assert_eq!(r1, r2);
+        assert_eq!(r1, vec![1, 3, 4]);
+        assert_eq!(t1.digest(), t2.digest());
+        assert_eq!(t1.stake(0), Some(6));
+        assert_eq!(t1.stake(1), Some(12));
+        assert_eq!(t1.stake(2), Some(12));
+    }
+
+    #[test]
+    fn digest_changes_with_state() {
+        let a = StakeTable::uniform(3, 10);
+        let mut b = a.clone();
+        let t = StakeTransfer::create(0, 1, 1, 0, &key(0));
+        b.apply(&t).unwrap();
+        assert_ne!(a.digest(), b.digest());
+        // Nonce participates in the digest (prevents replay-equivalence).
+        let mut c = StakeTable::uniform(3, 10);
+        let back = StakeTransfer::create(1, 0, 1, 0, &key(1));
+        c.apply(&t).unwrap();
+        c.apply(&back).unwrap();
+        assert_eq!(c.stakes(), a.stakes());
+        assert_ne!(c.digest(), a.digest());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(StakeError::UnknownGovernor(4).to_string().contains("g4"));
+        assert!(StakeError::ZeroAmount.to_string().contains("zero"));
+    }
+}

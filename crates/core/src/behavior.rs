@@ -1,0 +1,229 @@
+//! Behaviour profiles for collectors and providers.
+//!
+//! §4.2 names three classes of collector misbehaviour: misreporting a
+//! status, failing to report, and forging transactions. A
+//! [`CollectorProfile`] mixes all three with independent probabilities and
+//! an optional activation round (sleeper adversaries that build reputation
+//! first), which is exactly the adversary family exercised by experiments
+//! E1/E4/E7.
+
+use rand::Rng;
+
+/// A collector's (mis)behaviour parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CollectorProfile {
+    /// Probability of flipping the label of a transaction (misreport).
+    pub flip_prob: f64,
+    /// Probability of silently discarding a received transaction.
+    pub drop_prob: f64,
+    /// Probability, per received transaction, of *additionally* uploading
+    /// a fabricated transaction with a forged provider signature.
+    pub forge_prob: f64,
+    /// The profile applies from this round on; before it the collector is
+    /// honest (sleeper adversaries).
+    pub from_round: u64,
+    /// The profile stops applying at this round (exclusive); afterwards
+    /// the collector is honest again (reformed adversaries). Defaults to
+    /// `u64::MAX` — misbehaviour forever.
+    pub until_round: u64,
+}
+
+impl Default for CollectorProfile {
+    fn default() -> Self {
+        Self::honest()
+    }
+}
+
+impl CollectorProfile {
+    /// Fully honest collector.
+    pub fn honest() -> Self {
+        CollectorProfile {
+            flip_prob: 0.0,
+            drop_prob: 0.0,
+            forge_prob: 0.0,
+            from_round: 0,
+            until_round: u64::MAX,
+        }
+    }
+
+    /// Flips labels with probability `p`.
+    pub fn misreporter(p: f64) -> Self {
+        CollectorProfile {
+            flip_prob: p,
+            ..Self::honest()
+        }
+    }
+
+    /// Discards transactions with probability `p` (the concealing
+    /// collector a selfish governor would bribe).
+    pub fn concealer(p: f64) -> Self {
+        CollectorProfile {
+            drop_prob: p,
+            ..Self::honest()
+        }
+    }
+
+    /// Fabricates transactions at rate `p`.
+    pub fn forger(p: f64) -> Self {
+        CollectorProfile {
+            forge_prob: p,
+            ..Self::honest()
+        }
+    }
+
+    /// Behaves as `self` only from round `round`; honest before.
+    pub fn sleeper(mut self, round: u64) -> Self {
+        self.from_round = round;
+        self
+    }
+
+    /// Stops misbehaving at `round` (exclusive); honest afterwards.
+    pub fn reformed_at(mut self, round: u64) -> Self {
+        self.until_round = round;
+        self
+    }
+
+    /// Whether the adversarial parameters are live in `round`.
+    pub fn active(&self, round: u64) -> bool {
+        round >= self.from_round && round < self.until_round
+    }
+
+    /// Decides this transaction's handling. Returns `None` to discard, or
+    /// `Some(flip)` where `flip` says whether to invert the honest label.
+    pub fn decide_label<R: Rng + ?Sized>(&self, round: u64, rng: &mut R) -> Option<bool> {
+        if !self.active(round) {
+            return Some(false);
+        }
+        if self.drop_prob > 0.0 && rng.gen::<f64>() < self.drop_prob {
+            return None;
+        }
+        Some(self.flip_prob > 0.0 && rng.gen::<f64>() < self.flip_prob)
+    }
+
+    /// Decides whether to fabricate a forged transaction now.
+    pub fn decide_forge<R: Rng + ?Sized>(&self, round: u64, rng: &mut R) -> bool {
+        self.active(round) && self.forge_prob > 0.0 && rng.gen::<f64>() < self.forge_prob
+    }
+
+    /// Whether the profile is honest at every round.
+    pub fn is_honest(&self) -> bool {
+        self.flip_prob == 0.0 && self.drop_prob == 0.0 && self.forge_prob == 0.0
+    }
+}
+
+/// A provider's behaviour parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProviderProfile {
+    /// Probability a created transaction is genuinely invalid (e.g. an
+    /// uninsurable application, an unserviceable ride request).
+    pub invalid_rate: f64,
+    /// Whether the provider is *active* in the paper's sense: retrieves
+    /// every block and argues when a valid transaction was recorded
+    /// invalid.
+    pub active: bool,
+}
+
+impl Default for ProviderProfile {
+    fn default() -> Self {
+        ProviderProfile {
+            invalid_rate: 0.2,
+            active: true,
+        }
+    }
+}
+
+impl ProviderProfile {
+    /// An always-valid, always-arguing provider.
+    pub fn honest_active() -> Self {
+        ProviderProfile {
+            invalid_rate: 0.0,
+            active: true,
+        }
+    }
+
+    /// A provider that never argues (its wrongly-buried transactions stay
+    /// buried — the Validity property only covers active providers).
+    pub fn passive(invalid_rate: f64) -> Self {
+        ProviderProfile {
+            invalid_rate,
+            active: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn honest_profile_never_misbehaves() {
+        let p = CollectorProfile::honest();
+        let mut rng = StdRng::seed_from_u64(1);
+        for round in 0..100 {
+            assert_eq!(p.decide_label(round, &mut rng), Some(false));
+            assert!(!p.decide_forge(round, &mut rng));
+        }
+        assert!(p.is_honest());
+    }
+
+    #[test]
+    fn misreporter_flips_at_rate() {
+        let p = CollectorProfile::misreporter(0.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let flips = (0..10_000)
+            .filter(|_| p.decide_label(0, &mut rng) == Some(true))
+            .count();
+        assert!((4_000..6_000).contains(&flips), "{flips}");
+        assert!(!p.is_honest());
+    }
+
+    #[test]
+    fn concealer_drops_at_rate() {
+        let p = CollectorProfile::concealer(0.3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let drops = (0..10_000)
+            .filter(|_| p.decide_label(0, &mut rng).is_none())
+            .count();
+        assert!((2_400..3_600).contains(&drops), "{drops}");
+    }
+
+    #[test]
+    fn forger_forges_at_rate() {
+        let p = CollectorProfile::forger(0.2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let forges = (0..10_000).filter(|_| p.decide_forge(0, &mut rng)).count();
+        assert!((1_500..2_500).contains(&forges), "{forges}");
+    }
+
+    #[test]
+    fn sleeper_is_honest_before_activation() {
+        let p = CollectorProfile::misreporter(1.0).sleeper(10);
+        let mut rng = StdRng::seed_from_u64(5);
+        for round in 0..10 {
+            assert_eq!(p.decide_label(round, &mut rng), Some(false));
+            assert!(!p.active(round));
+        }
+        assert_eq!(p.decide_label(10, &mut rng), Some(true));
+        assert!(p.active(10));
+    }
+
+    #[test]
+    fn reformed_adversary_goes_honest_again() {
+        let p = CollectorProfile::misreporter(1.0).reformed_at(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(p.decide_label(4, &mut rng), Some(true));
+        assert_eq!(p.decide_label(5, &mut rng), Some(false));
+        assert!(!p.active(5));
+    }
+
+    #[test]
+    fn provider_profiles() {
+        assert_eq!(ProviderProfile::honest_active().invalid_rate, 0.0);
+        assert!(ProviderProfile::honest_active().active);
+        assert!(!ProviderProfile::passive(0.5).active);
+        let default = ProviderProfile::default();
+        assert!(default.active);
+    }
+}

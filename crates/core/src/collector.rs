@@ -1,0 +1,421 @@
+//! The collector role (§3.3 — Uploading phase, Algorithm 1).
+//!
+//! An honest collector verifies each incoming transaction's provider
+//! signature, validates it, attaches a ±1 label with its own signature,
+//! and atomically broadcasts the labeled transaction to every governor.
+//! Adversarial profiles flip labels, discard transactions, or fabricate
+//! forged ones (§4.2's three misbehaviour classes).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use prb_crypto::identity::NodeId;
+use prb_crypto::signer::{CryptoScheme, KeyPair, PublicKey, Sig};
+use prb_ledger::oracle::ValidityOracle;
+use prb_ledger::transaction::{Label, LabeledTx, SignedTx, TxPayload};
+use prb_net::message::{Envelope, NodeIdx};
+use prb_net::order::{ChannelId, OrderedInbox};
+use prb_net::sim::Context;
+
+use crate::behavior::CollectorProfile;
+use crate::msg::ProtocolMsg;
+
+/// Collector actor state.
+#[derive(Debug)]
+pub struct CollectorNode {
+    index: u32,
+    key: KeyPair,
+    scheme: CryptoScheme,
+    profile: CollectorProfile,
+    round: u64,
+    /// Providers this collector is linked with, and their public keys.
+    provider_pks: HashMap<u32, PublicKey>,
+    governor_nets: Vec<NodeIdx>,
+    oracle: Rc<RefCell<ValidityOracle>>,
+    inbox: OrderedInbox<SignedTx>,
+    upload_seq: u64,
+    forge_nonce: u64,
+    uploaded: u64,
+    discarded: u64,
+    flipped: u64,
+    forged: u64,
+}
+
+impl CollectorNode {
+    /// Creates collector `index` with its wiring and credentials.
+    pub fn new(
+        index: u32,
+        key: KeyPair,
+        scheme: CryptoScheme,
+        profile: CollectorProfile,
+        provider_pks: HashMap<u32, PublicKey>,
+        governor_nets: Vec<NodeIdx>,
+        oracle: Rc<RefCell<ValidityOracle>>,
+    ) -> Self {
+        CollectorNode {
+            index,
+            key,
+            scheme,
+            profile,
+            round: 0,
+            provider_pks,
+            governor_nets,
+            oracle,
+            inbox: OrderedInbox::new(),
+            upload_seq: 0,
+            forge_nonce: 0,
+            uploaded: 0,
+            discarded: 0,
+            flipped: 0,
+            forged: 0,
+        }
+    }
+
+    /// The collector's index.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Counters: `(uploaded, discarded, flipped, forged)`.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (self.uploaded, self.discarded, self.flipped, self.forged)
+    }
+
+    /// The behaviour profile (exposed for experiment scoring).
+    pub fn profile(&self) -> &CollectorProfile {
+        &self.profile
+    }
+
+    /// Handles a delivered message.
+    pub fn on_message(&mut self, env: Envelope<ProtocolMsg>, ctx: &mut Context<'_, ProtocolMsg>) {
+        match env.payload {
+            ProtocolMsg::StartRound { round } => {
+                self.round = round;
+            }
+            ProtocolMsg::TxBroadcast { seq, tx } => {
+                let provider_index = tx.payload.provider.index;
+                let released = self
+                    .inbox
+                    .push(ChannelId(provider_index as u64), seq, tx);
+                for tx in released {
+                    self.process_tx(tx, ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn process_tx(&mut self, tx: SignedTx, ctx: &mut Context<'_, ProtocolMsg>) {
+        let provider_index = tx.payload.provider.index;
+        // verify(p_k, tx): signature by a provider this collector is linked
+        // with (Algorithm 1 line 3).
+        let Some(pk) = self.provider_pks.get(&provider_index) else {
+            return; // not linked: ignore entirely
+        };
+        if !tx.verify(pk) {
+            return; // bad provider signature: discard
+        }
+        // Adversarial forging happens alongside normal processing.
+        if self.profile.decide_forge(self.round, ctx.rng()) {
+            self.upload_forged(provider_index, ctx);
+        }
+        let Some(flip) = self.profile.decide_label(self.round, ctx.rng()) else {
+            self.discarded += 1;
+            return;
+        };
+        // l ← validate(tx): the collector does the validation work itself;
+        // ground truth comes from the oracle without charging the
+        // governor-side validation counter.
+        let truth = self
+            .oracle
+            .borrow()
+            .peek(tx.id())
+            .unwrap_or(false);
+        let honest_label = Label::from_validity(truth);
+        let label = if flip {
+            self.flipped += 1;
+            honest_label.flipped()
+        } else {
+            honest_label
+        };
+        let ltx = LabeledTx::create(tx, label, NodeId::collector(self.index), &self.key);
+        self.upload(ltx, ctx);
+    }
+
+    fn upload(&mut self, ltx: LabeledTx, ctx: &mut Context<'_, ProtocolMsg>) {
+        let seq = self.upload_seq;
+        self.upload_seq += 1;
+        self.uploaded += 1;
+        let size = ltx.wire_size();
+        for &g in &self.governor_nets {
+            ctx.send_sized(
+                g,
+                "tx-upload",
+                size,
+                ProtocolMsg::TxUpload {
+                    seq,
+                    ltx: ltx.clone(),
+                },
+            );
+        }
+    }
+
+    /// Fabricates a transaction "from" a linked provider with a forged
+    /// signature. Detection probability is overwhelming (§4.2): the
+    /// governor's `verify` will fail.
+    fn upload_forged(&mut self, provider_index: u32, ctx: &mut Context<'_, ProtocolMsg>) {
+        self.forged += 1;
+        let payload = TxPayload {
+            provider: NodeId::provider(provider_index),
+            // High nonces keep forged ids from colliding with real ones.
+            nonce: u64::MAX - self.forge_nonce,
+            data: b"forged".to_vec(),
+        };
+        self.forge_nonce += 1;
+        let fake_tx = SignedTx::from_parts(
+            payload,
+            ctx.now().ticks(),
+            Sig::forged(&self.scheme, ctx.rng()),
+        );
+        let ltx = LabeledTx::create(fake_tx, Label::Valid, NodeId::collector(self.index), &self.key);
+        self.upload(ltx, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prb_net::sim::{Actor, NetConfig, Network};
+    use prb_net::time::SimTime;
+
+    #[allow(clippy::large_enum_variant)]
+    enum Harness {
+        Collector(CollectorNode),
+        Sink(Vec<(usize, ProtocolMsg)>),
+    }
+
+    impl Actor for Harness {
+        type Msg = ProtocolMsg;
+        fn on_message(&mut self, env: Envelope<ProtocolMsg>, ctx: &mut Context<'_, ProtocolMsg>) {
+            match self {
+                Harness::Collector(c) => c.on_message(env, ctx),
+                Harness::Sink(seen) => seen.push((env.from, env.payload)),
+            }
+        }
+    }
+
+    fn provider_key(i: u32) -> KeyPair {
+        CryptoScheme::sim().keypair_from_seed(format!("prov-{i}").as_bytes())
+    }
+
+    fn build(profile: CollectorProfile) -> (Network<Harness>, Rc<RefCell<ValidityOracle>>) {
+        let oracle = Rc::new(RefCell::new(ValidityOracle::new()));
+        let mut net = Network::new(NetConfig::uniform(1, 3), 9);
+        // Node 0 = collector; node 1 = governor sink.
+        let mut provider_pks = HashMap::new();
+        provider_pks.insert(0, provider_key(0).public_key());
+        let collector = CollectorNode::new(
+            0,
+            CryptoScheme::sim().keypair_from_seed(b"c0"),
+            CryptoScheme::sim(),
+            profile,
+            provider_pks,
+            vec![1],
+            Rc::clone(&oracle),
+        );
+        net.add_node(Harness::Collector(collector));
+        net.add_node(Harness::Sink(Vec::new()));
+        (net, oracle)
+    }
+
+    fn make_tx(provider: u32, nonce: u64, oracle: &Rc<RefCell<ValidityOracle>>, valid: bool) -> SignedTx {
+        let tx = SignedTx::create(
+            TxPayload {
+                provider: NodeId::provider(provider),
+                nonce,
+                data: vec![1],
+            },
+            5,
+            &provider_key(provider),
+        );
+        oracle.borrow_mut().register(tx.id(), valid);
+        tx
+    }
+
+    fn uploads(net: &Network<Harness>) -> Vec<LabeledTx> {
+        let Harness::Sink(seen) = net.node(1) else { panic!() };
+        seen.iter()
+            .filter_map(|(_, m)| match m {
+                ProtocolMsg::TxUpload { ltx, .. } => Some(ltx.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn honest_collector_labels_truthfully_and_signs() {
+        let (mut net, oracle) = build(CollectorProfile::honest());
+        let valid_tx = make_tx(0, 0, &oracle, true);
+        let invalid_tx = make_tx(0, 1, &oracle, false);
+        net.send_external(
+            0,
+            "tx",
+            ProtocolMsg::TxBroadcast {
+                seq: 0,
+                tx: valid_tx.clone(),
+            },
+            SimTime(0),
+        );
+        net.send_external(
+            0,
+            "tx",
+            ProtocolMsg::TxBroadcast {
+                seq: 1,
+                tx: invalid_tx.clone(),
+            },
+            SimTime(1),
+        );
+        net.run_until_idle(100);
+        let got = uploads(&net);
+        assert_eq!(got.len(), 2);
+        let collector_pk = CryptoScheme::sim().keypair_from_seed(b"c0").public_key();
+        for ltx in &got {
+            assert!(ltx.verify_collector(&collector_pk));
+        }
+        let by_id: HashMap<_, _> = got.iter().map(|l| (l.tx.id(), l.label)).collect();
+        assert_eq!(by_id[&valid_tx.id()], Label::Valid);
+        assert_eq!(by_id[&invalid_tx.id()], Label::Invalid);
+    }
+
+    #[test]
+    fn unlinked_provider_is_ignored() {
+        let (mut net, oracle) = build(CollectorProfile::honest());
+        let tx = {
+            let tx = SignedTx::create(
+                TxPayload {
+                    provider: NodeId::provider(7), // not linked
+                    nonce: 0,
+                    data: vec![1],
+                },
+                5,
+                &provider_key(7),
+            );
+            oracle.borrow_mut().register(tx.id(), true);
+            tx
+        };
+        net.send_external(0, "tx", ProtocolMsg::TxBroadcast { seq: 0, tx }, SimTime(0));
+        net.run_until_idle(100);
+        assert!(uploads(&net).is_empty());
+    }
+
+    #[test]
+    fn bad_provider_signature_discarded() {
+        let (mut net, oracle) = build(CollectorProfile::honest());
+        let mut tx = make_tx(0, 0, &oracle, true);
+        tx.payload.data = vec![9, 9]; // breaks the signature
+        net.send_external(0, "tx", ProtocolMsg::TxBroadcast { seq: 0, tx }, SimTime(0));
+        net.run_until_idle(100);
+        assert!(uploads(&net).is_empty());
+    }
+
+    #[test]
+    fn always_flipping_collector_inverts_labels() {
+        let (mut net, oracle) = build(CollectorProfile::misreporter(1.0));
+        let tx = make_tx(0, 0, &oracle, true);
+        net.send_external(
+            0,
+            "tx",
+            ProtocolMsg::TxBroadcast { seq: 0, tx: tx.clone() },
+            SimTime(0),
+        );
+        net.run_until_idle(100);
+        let got = uploads(&net);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].label, Label::Invalid);
+        let Harness::Collector(c) = net.node(0) else { panic!() };
+        assert_eq!(c.counters().2, 1); // flipped
+    }
+
+    #[test]
+    fn concealer_uploads_nothing() {
+        let (mut net, oracle) = build(CollectorProfile::concealer(1.0));
+        let tx = make_tx(0, 0, &oracle, true);
+        net.send_external(0, "tx", ProtocolMsg::TxBroadcast { seq: 0, tx }, SimTime(0));
+        net.run_until_idle(100);
+        assert!(uploads(&net).is_empty());
+        let Harness::Collector(c) = net.node(0) else { panic!() };
+        assert_eq!(c.counters().1, 1); // discarded
+    }
+
+    #[test]
+    fn forger_uploads_extra_fabricated_tx_with_bad_provider_sig() {
+        let (mut net, oracle) = build(CollectorProfile::forger(1.0));
+        let tx = make_tx(0, 0, &oracle, true);
+        net.send_external(0, "tx", ProtocolMsg::TxBroadcast { seq: 0, tx }, SimTime(0));
+        net.run_until_idle(100);
+        let got = uploads(&net);
+        assert_eq!(got.len(), 2); // real + forged
+        let provider_pk = provider_key(0).public_key();
+        let collector_pk = CryptoScheme::sim().keypair_from_seed(b"c0").public_key();
+        let forged: Vec<_> = got.iter().filter(|l| !l.tx.verify(&provider_pk)).collect();
+        assert_eq!(forged.len(), 1);
+        // The forged one carries a legitimate collector signature (the
+        // collector cannot hide who uploaded it).
+        assert!(forged[0].verify_collector(&collector_pk));
+    }
+
+    #[test]
+    fn out_of_order_delivery_is_reordered() {
+        let (mut net, oracle) = build(CollectorProfile::honest());
+        let tx0 = make_tx(0, 0, &oracle, true);
+        let tx1 = make_tx(0, 1, &oracle, true);
+        // Deliver seq 1 first.
+        net.send_external(
+            0,
+            "tx",
+            ProtocolMsg::TxBroadcast { seq: 1, tx: tx1.clone() },
+            SimTime(0),
+        );
+        net.run_until_idle(10);
+        assert!(uploads(&net).is_empty(), "gap must hold delivery");
+        net.send_external(
+            0,
+            "tx",
+            ProtocolMsg::TxBroadcast { seq: 0, tx: tx0.clone() },
+            SimTime(10),
+        );
+        net.run_until_idle(100);
+        let got = uploads(&net);
+        assert_eq!(got.len(), 2);
+        // Upload order follows provider sequence order.
+        assert_eq!(got[0].tx.id(), tx0.id());
+        assert_eq!(got[1].tx.id(), tx1.id());
+    }
+
+    #[test]
+    fn sleeper_behaves_honestly_before_activation_round() {
+        let (mut net, oracle) = build(CollectorProfile::misreporter(1.0).sleeper(5));
+        let tx = make_tx(0, 0, &oracle, true);
+        net.send_external(0, "round", ProtocolMsg::StartRound { round: 1 }, SimTime(0));
+        net.send_external(
+            0,
+            "tx",
+            ProtocolMsg::TxBroadcast { seq: 0, tx: tx.clone() },
+            SimTime(1),
+        );
+        net.run_until_idle(100);
+        assert_eq!(uploads(&net)[0].label, Label::Valid);
+        // After activation the same profile flips.
+        let tx2 = make_tx(0, 1, &oracle, true);
+        net.send_external(0, "round", ProtocolMsg::StartRound { round: 5 }, SimTime(200));
+        net.send_external(
+            0,
+            "tx",
+            ProtocolMsg::TxBroadcast { seq: 1, tx: tx2 },
+            SimTime(201),
+        );
+        net.run_until_idle(100);
+        assert_eq!(uploads(&net)[1].label, Label::Invalid);
+    }
+}

@@ -1,0 +1,282 @@
+//! Protocol configuration: every tunable named in the paper plus the
+//! simulation-level knobs.
+
+use prb_crypto::signer::CryptoScheme;
+use prb_net::topology::TopologyParams;
+use prb_reputation::ReputationParams;
+
+use std::fmt;
+
+/// How the provider↔collector bipartite graph is wired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// Deterministic cyclic wiring.
+    Cyclic,
+    /// Seeded random r-regular wiring.
+    Random,
+}
+
+/// Governor screening policy — the paper's mechanism and two baselines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GovernorMode {
+    /// Algorithm 2: reputation-guided screening with parameter `f`.
+    Reputation,
+    /// Baseline: validate every transaction (`f → 0` limit; the behaviour
+    /// of classical permissioned chains the paper improves on).
+    CheckAll,
+    /// Baseline: never validate; trust the weighted majority label
+    /// blindly (`f → 1` limit without the `+1`-label safeguard).
+    CheckNone,
+}
+
+impl fmt::Display for GovernorMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GovernorMode::Reputation => "reputation",
+            GovernorMode::CheckAll => "check-all",
+            GovernorMode::CheckNone => "check-none",
+        })
+    }
+}
+
+/// How the real status of *unchecked* transactions becomes known
+/// (Theorem 1 assumes it is *"revealed sometime after"*).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RevealPolicy {
+    /// Only provider `argue` calls reveal statuses (valid transactions
+    /// wrongly recorded invalid). Invalid unchecked transactions are never
+    /// revealed — reputations only learn from argues.
+    ArgueOnly,
+    /// Every unchecked transaction's truth surfaces `rounds` rounds after
+    /// it was recorded (settlement/audit evidence), in addition to argues.
+    AfterRounds(u32),
+    /// Each unchecked transaction's truth surfaces independently with the
+    /// given probability, after the given number of rounds.
+    Probabilistic {
+        /// Chance the truth ever surfaces.
+        prob: f64,
+        /// Delay in rounds when it does.
+        rounds: u32,
+    },
+}
+
+/// Full configuration of a protocol simulation.
+#[derive(Clone, Debug)]
+pub struct ProtocolConfig {
+    /// Number of providers `l`.
+    pub providers: u32,
+    /// Number of collectors `n`.
+    pub collectors: u32,
+    /// Number of governors `m`.
+    pub governors: u32,
+    /// Collectors per provider `r`.
+    pub replication: u32,
+    /// Reputation mechanism parameters (`β`, `f`, `μ`, `ν`).
+    pub reputation: ReputationParams,
+    /// Universal bound on transactions per block.
+    pub b_limit: usize,
+    /// Argue latency bound `U` (in unchecked transactions per provider).
+    pub argue_limit_u: u64,
+    /// Governor screening policy.
+    pub governor_mode: GovernorMode,
+    /// Reveal policy for unchecked transactions.
+    pub reveal: RevealPolicy,
+    /// Signature scheme.
+    pub crypto: CryptoScheme,
+    /// Topology wiring.
+    pub topology: TopologyKind,
+    /// Transactions each provider creates per round.
+    pub tx_per_provider: u32,
+    /// Initial stake per governor (units; each unit is one VRF lottery
+    /// ticket per round).
+    pub stake_per_governor: u64,
+    /// Minimum network latency (ticks).
+    pub min_delay: u64,
+    /// Maximum network latency Δ (ticks).
+    pub max_delay: u64,
+    /// Profit credited per valid transaction executed in a block, split
+    /// among collectors by reputation (§3.4.3).
+    pub profit_per_tx: f64,
+    /// Modeled cost of one `validate(tx)` call, in ticks (used by the
+    /// throughput metric, not by event scheduling).
+    pub validation_cost: u64,
+    /// Paranoid block adoption: re-verify every entry's provider and
+    /// collector signatures before appending a received block. The paper
+    /// assumes governors do not fabricate (§3.4.3), so this is off by
+    /// default; turning it on defends against a Byzantine leader at the
+    /// cost of `b` signature verifications per block.
+    pub verify_blocks: bool,
+    /// Master seed; every run with the same config is bit-identical.
+    pub seed: u64,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            providers: 8,
+            collectors: 8,
+            governors: 4,
+            replication: 4,
+            reputation: ReputationParams::default(),
+            b_limit: 4096,
+            argue_limit_u: 64,
+            governor_mode: GovernorMode::Reputation,
+            reveal: RevealPolicy::AfterRounds(1),
+            crypto: CryptoScheme::sim(),
+            topology: TopologyKind::Cyclic,
+            tx_per_provider: 4,
+            stake_per_governor: 4,
+            min_delay: 1,
+            max_delay: 10,
+            profit_per_tx: 1.0,
+            validation_cost: 50,
+            verify_blocks: false,
+            seed: 42,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// Providers per collector, `s = r·l / n`.
+    pub fn s(&self) -> u32 {
+        self.replication * self.providers / self.collectors
+    }
+
+    /// The topology parameters implied by this config.
+    pub fn topology_params(&self) -> TopologyParams {
+        TopologyParams {
+            providers: self.providers,
+            collectors: self.collectors,
+            governors: self.governors,
+            replication: self.replication,
+        }
+    }
+
+    /// Ticks reserved per round: enough for collection, upload, the Δ
+    /// aggregation window, screening and block dissemination.
+    pub fn round_ticks(&self) -> u64 {
+        let tx_spread = self.tx_per_provider as u64 * 2;
+        // provider→collector + collector→governor + aggregation + proposal.
+        tx_spread + 4 * self.max_delay + self.aggregation_window() + 4 * self.max_delay + 20
+    }
+
+    /// The governor-side Δ timer for collecting all copies of one
+    /// transaction (§3.4.1's `starttime(tx, Δ)`).
+    pub fn aggregation_window(&self) -> u64 {
+        2 * self.max_delay + 2
+    }
+
+    /// Validates the whole configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.topology_params().validate()?;
+        self.reputation.validate().map_err(|e| e.to_string())?;
+        if self.b_limit == 0 {
+            return Err("b_limit must be positive".into());
+        }
+        if self.tx_per_provider == 0 {
+            return Err("tx_per_provider must be positive".into());
+        }
+        if self.min_delay > self.max_delay {
+            return Err("min_delay exceeds max_delay".into());
+        }
+        if self.stake_per_governor == 0 {
+            return Err("governors need stake to be electable".into());
+        }
+        if let RevealPolicy::Probabilistic { prob, .. } = self.reveal {
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(format!("reveal probability {prob} out of [0,1]"));
+            }
+        }
+        let per_round = self.providers as u64 * self.tx_per_provider as u64;
+        if per_round > self.b_limit as u64 {
+            return Err(format!(
+                "{per_round} transactions per round exceed b_limit {}",
+                self.b_limit
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ProtocolConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn s_is_computed() {
+        let cfg = ProtocolConfig::default();
+        assert_eq!(cfg.s(), 4); // 4·8/8
+    }
+
+    #[test]
+    fn invalid_topology_rejected() {
+        let cfg = ProtocolConfig {
+            replication: 3,
+            collectors: 7,
+            providers: 5,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_reputation_rejected() {
+        let mut cfg = ProtocolConfig::default();
+        cfg.reputation.f = 0.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn block_limit_must_cover_round_volume() {
+        let cfg = ProtocolConfig {
+            b_limit: 10,
+            tx_per_provider: 4,
+            ..Default::default() // 8 providers × 4 = 32 > 10
+        };
+        assert!(cfg.validate().unwrap_err().contains("b_limit"));
+    }
+
+    #[test]
+    fn delay_ordering_checked() {
+        let cfg = ProtocolConfig {
+            min_delay: 20,
+            max_delay: 10,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn reveal_probability_checked() {
+        let cfg = ProtocolConfig {
+            reveal: RevealPolicy::Probabilistic {
+                prob: 1.5,
+                rounds: 1,
+            },
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn round_ticks_cover_aggregation() {
+        let cfg = ProtocolConfig::default();
+        assert!(cfg.round_ticks() > cfg.aggregation_window() + 2 * cfg.max_delay);
+    }
+
+    #[test]
+    fn governor_mode_display() {
+        assert_eq!(GovernorMode::Reputation.to_string(), "reputation");
+        assert_eq!(GovernorMode::CheckAll.to_string(), "check-all");
+        assert_eq!(GovernorMode::CheckNone.to_string(), "check-none");
+    }
+}

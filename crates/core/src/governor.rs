@@ -1,0 +1,729 @@
+//! The governor role (§3.4 — Processing phase).
+//!
+//! Implements, per governor:
+//!
+//! - **Transaction screening** (Algorithm 2): per-transaction Δ aggregation
+//!   timers, the weighted source draw, the `1 − f·Pr` validation coin,
+//!   recording of checked-valid / unchecked transactions;
+//! - **Reputation updating** (Algorithm 3): forgery (case 1), checked
+//!   (case 2) and revealed-unchecked (case 3) updates on its local
+//!   [`ReputationTable`];
+//! - **Argue handling** with the `U` latency bound (§3.1/§4.2);
+//! - **PoS-VRF leader election** message exchange and **block
+//!   proposal/adoption** with chain-integrity checks;
+//! - **Revenue distribution** to collectors when leading (§3.4.3);
+//! - Loss accounting for the regret experiments (Theorems 1 and 4).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use prb_consensus::election::{elect, ElectionClaim};
+use prb_consensus::stake::{StakeTable, StakeTransfer};
+use prb_crypto::identity::NodeId;
+use prb_crypto::signer::{KeyPair, PublicKey};
+use prb_ledger::block::{Block, BlockEntry, Verdict};
+use prb_ledger::chain::Chain;
+use prb_ledger::oracle::ValidityOracle;
+use prb_ledger::transaction::{Label, LabeledTx, TxId};
+use prb_net::message::{Envelope, NodeIdx, TimerId};
+use prb_net::order::{ChannelId, OrderedInbox};
+use prb_net::sim::Context;
+use prb_net::time::SimDuration;
+use prb_net::topology::Topology;
+use prb_reputation::screening::{screen, Report};
+use prb_reputation::update::{RevealedBehaviour, RevealedReport};
+use prb_reputation::{revenue, ReputationTable};
+
+use crate::config::{GovernorMode, ProtocolConfig};
+use crate::metrics::GovernorMetrics;
+use crate::msg::ProtocolMsg;
+
+/// How a screened transaction was resolved locally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Outcome {
+    /// Validated by this governor; ground truth attached.
+    Checked {
+        /// The validation result.
+        valid: bool,
+    },
+    /// Skipped validation; recorded under the drawn label.
+    Unchecked {
+        /// The label the block records.
+        recorded: Label,
+        /// Index in this provider's unchecked sequence (for the U bound).
+        index: u64,
+    },
+}
+
+/// Everything the governor remembers about one transaction.
+#[derive(Clone, Debug)]
+struct TxRecord {
+    ltx: LabeledTx,
+    provider: u32,
+    reports: Vec<(u32, Label)>,
+    outcome: Outcome,
+}
+
+/// A transaction still inside its Δ aggregation window.
+#[derive(Clone, Debug)]
+struct PendingTx {
+    ltx: LabeledTx,
+    provider: u32,
+    reports: Vec<(u32, Label)>,
+}
+
+/// Governor actor state.
+pub struct GovernorNode {
+    index: u32,
+    key: KeyPair,
+    cfg: ProtocolConfig,
+    topology: Rc<Topology>,
+    oracle: Rc<RefCell<ValidityOracle>>,
+    /// Network index of governor 0 (governors are contiguous).
+    governor_base: NodeIdx,
+    collector_pks: Vec<PublicKey>,
+    provider_pks: Vec<PublicKey>,
+    governor_pks: Vec<PublicKey>,
+    stake_table: StakeTable,
+    reputation: ReputationTable,
+    chain: Chain,
+    inbox: OrderedInbox<LabeledTx>,
+    pending: HashMap<TxId, PendingTx>,
+    timers: HashMap<TimerId, TxId>,
+    history: HashMap<TxId, TxRecord>,
+    revealed: HashSet<TxId>,
+    unchecked_counter: HashMap<u32, u64>,
+    /// Screened entries awaiting inclusion in a block.
+    ready_entries: Vec<BlockEntry>,
+    /// Accepted argues awaiting re-recording.
+    argued_entries: Vec<BlockEntry>,
+    /// Blocks that arrived ahead of a gap, parked until sync completes.
+    future_blocks: Vec<Block>,
+    round: u64,
+    claims: Vec<ElectionClaim>,
+    leader: Option<u32>,
+    metrics: GovernorMetrics,
+}
+
+impl std::fmt::Debug for GovernorNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GovernorNode")
+            .field("index", &self.index)
+            .field("round", &self.round)
+            .field("height", &self.chain.height())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GovernorNode {
+    /// Creates governor `index`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        index: u32,
+        key: KeyPair,
+        cfg: ProtocolConfig,
+        topology: Rc<Topology>,
+        oracle: Rc<RefCell<ValidityOracle>>,
+        governor_base: NodeIdx,
+        collector_pks: Vec<PublicKey>,
+        provider_pks: Vec<PublicKey>,
+        governor_pks: Vec<PublicKey>,
+    ) -> Self {
+        let n = cfg.collectors as usize;
+        let s = cfg.s() as usize;
+        let stake_table = StakeTable::uniform(cfg.governors as usize, cfg.stake_per_governor);
+        GovernorNode {
+            index,
+            key,
+            reputation: ReputationTable::new(n, s, cfg.reputation),
+            chain: Chain::new(b"prb-chain", cfg.b_limit),
+            metrics: GovernorMetrics::new(n),
+            cfg,
+            topology,
+            oracle,
+            governor_base,
+            collector_pks,
+            provider_pks,
+            governor_pks,
+            stake_table,
+            inbox: OrderedInbox::new(),
+            pending: HashMap::new(),
+            timers: HashMap::new(),
+            history: HashMap::new(),
+            revealed: HashSet::new(),
+            unchecked_counter: HashMap::new(),
+            ready_entries: Vec::new(),
+            argued_entries: Vec::new(),
+            future_blocks: Vec::new(),
+            round: 0,
+            claims: Vec::new(),
+            leader: None,
+        }
+    }
+
+    /// The governor's index.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// The governor's local copy of the ledger.
+    pub fn chain(&self) -> &Chain {
+        &self.chain
+    }
+
+    /// The governor's reputation table.
+    pub fn reputation(&self) -> &ReputationTable {
+        &self.reputation
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &GovernorMetrics {
+        &self.metrics
+    }
+
+    /// The leader this governor elected for the current round.
+    pub fn current_leader(&self) -> Option<u32> {
+        self.leader
+    }
+
+    /// The governor's view of the stake distribution.
+    pub fn stake_table(&self) -> &StakeTable {
+        &self.stake_table
+    }
+
+    /// Transaction ids currently buffered for inclusion (diagnostics).
+    pub fn ready_tx_ids(&self) -> Vec<TxId> {
+        self.ready_entries.iter().map(|e| e.tx.id()).collect()
+    }
+
+    /// Number of transactions still inside their Δ window (diagnostics).
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn broadcast_governors(
+        &self,
+        ctx: &mut Context<'_, ProtocolMsg>,
+        kind: &'static str,
+        size: usize,
+        msg: &ProtocolMsg,
+    ) {
+        for g in 0..self.cfg.governors as usize {
+            let peer = self.governor_base + g;
+            if peer != ctx.self_idx() {
+                ctx.send_sized(peer, kind, size, msg.clone());
+            }
+        }
+    }
+
+    /// Handles a delivered message.
+    pub fn on_message(&mut self, env: Envelope<ProtocolMsg>, ctx: &mut Context<'_, ProtocolMsg>) {
+        match env.payload {
+            ProtocolMsg::StartRound { round } => self.on_start_round(round, ctx),
+            ProtocolMsg::Election { round, claim }
+                if round == self.round => {
+                    self.claims.push(claim);
+                    if self.claims.len() == self.cfg.governors as usize {
+                        self.run_election();
+                    }
+                }
+            ProtocolMsg::TxUpload { seq, ltx } => {
+                let channel = ChannelId(ltx.collector.index as u64);
+                for ltx in self.inbox.push(channel, seq, ltx) {
+                    self.on_upload(ltx, ctx);
+                }
+            }
+            ProtocolMsg::ProposeBlock { round } => self.on_propose(round, ctx),
+            ProtocolMsg::BlockProposal(block) => self.on_block(block, ctx),
+            ProtocolMsg::SyncRequest { have } => self.on_sync_request(have, env.from, ctx),
+            ProtocolMsg::SyncResponse { blocks } => self.on_sync_response(blocks),
+            ProtocolMsg::Argue { tx, .. } => self.on_argue(tx, ctx),
+            ProtocolMsg::StakeTransfer(transfer) => self.on_stake_transfer(transfer, ctx),
+            ProtocolMsg::Reveal { tx, valid } => self.on_reveal(tx, valid),
+            _ => {}
+        }
+    }
+
+    /// Handles a Δ aggregation timer.
+    pub fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<'_, ProtocolMsg>) {
+        if let Some(tx) = self.timers.remove(&timer) {
+            self.screen_tx(tx, ctx);
+        }
+    }
+
+    fn on_start_round(&mut self, round: u64, ctx: &mut Context<'_, ProtocolMsg>) {
+        self.round = round;
+        self.claims.clear();
+        self.leader = None;
+        let claim = ElectionClaim::compute(
+            b"prb-chain",
+            round,
+            self.index,
+            self.stake_table.stake(self.index).unwrap_or(0),
+            &self.key,
+        );
+        if let Some(claim) = claim {
+            self.claims.push(claim.clone());
+            self.broadcast_governors(
+                ctx,
+                "election-claim",
+                96,
+                &ProtocolMsg::Election { round, claim },
+            );
+        }
+    }
+
+    fn run_election(&mut self) {
+        let (result, _rejected) = elect(
+            b"prb-chain",
+            self.round,
+            &self.claims,
+            self.stake_table.stakes(),
+            &self.governor_pks,
+        );
+        self.leader = result.map(|r| r.leader);
+    }
+
+    fn on_upload(&mut self, ltx: LabeledTx, ctx: &mut Context<'_, ProtocolMsg>) {
+        let collector = ltx.collector.index;
+        // Unknown collector identity: drop silently (cannot attribute).
+        let Some(collector_pk) = self.collector_pks.get(collector as usize) else {
+            return;
+        };
+        if !ltx.verify_collector(collector_pk) {
+            return; // not actually from that collector
+        }
+        // The paper's verify(c, Tx): the inner provider signature must be
+        // genuine and the provider must be linked with the collector.
+        let provider = ltx.tx.payload.provider.index;
+        let provider_ok = ltx.tx.payload.provider.role == prb_crypto::identity::Role::Provider
+            && (provider as usize) < self.provider_pks.len()
+            && self.topology.linked(provider, collector)
+            && ltx.tx.verify(&self.provider_pks[provider as usize]);
+        if !provider_ok {
+            // Case 1: forged or mis-attributed transaction.
+            self.reputation.record_forgery(collector as usize);
+            self.metrics.forged_detected += 1;
+            return;
+        }
+        let id = ltx.tx.id();
+        if let Some(pending) = self.pending.get_mut(&id) {
+            if !pending.reports.iter().any(|(c, _)| *c == collector) {
+                pending.reports.push((collector, ltx.label));
+            }
+            return;
+        }
+        if let Some(record) = self.history.get_mut(&id) {
+            // Late report (after screening): still informs reputations.
+            if record.reports.iter().any(|(c, _)| *c == collector) {
+                return;
+            }
+            record.reports.push((collector, ltx.label));
+            match record.outcome {
+                Outcome::Checked { valid } => {
+                    let correct = ltx.label.is_valid() == valid;
+                    self.reputation.record_checked(&[(collector as usize, correct)]);
+                }
+                Outcome::Unchecked { .. } => {} // counted at reveal
+            }
+            return;
+        }
+        // First copy: open the Δ window (starttime(tx, Δ)).
+        let timer = ctx.set_timer(SimDuration(self.cfg.aggregation_window()));
+        self.timers.insert(timer, id);
+        self.pending.insert(
+            id,
+            PendingTx {
+                provider,
+                reports: vec![(collector, ltx.label)],
+                ltx,
+            },
+        );
+    }
+
+    fn screen_tx(&mut self, id: TxId, ctx: &mut Context<'_, ProtocolMsg>) {
+        let Some(pending) = self.pending.remove(&id) else {
+            return;
+        };
+        let provider = pending.provider;
+        let mut reports = pending.reports.clone();
+        reports.sort_by_key(|(c, _)| *c);
+        let screen_reports: Vec<Report> = reports
+            .iter()
+            .map(|(c, label)| {
+                let slot = self
+                    .topology
+                    .provider_slot(*c, provider)
+                    .expect("reporter is linked");
+                Report {
+                    collector: *c,
+                    labeled_valid: label.is_valid(),
+                    weight: self.reputation.weight(*c as usize, slot),
+                }
+            })
+            .collect();
+        let outcome = screen(&screen_reports, self.cfg.reputation.f, ctx.rng())
+            .expect("at least one report exists");
+        let check = match self.cfg.governor_mode {
+            GovernorMode::Reputation => outcome.check,
+            GovernorMode::CheckAll => true,
+            GovernorMode::CheckNone => false,
+        };
+        let drawn_label = if screen_reports[outcome.drawn].labeled_valid {
+            Label::Valid
+        } else {
+            Label::Invalid
+        };
+        self.metrics.screened += 1;
+
+        if check {
+            let valid = self.oracle.borrow().validate(id);
+            self.metrics.validations += 1;
+            self.metrics.checked += 1;
+            // Case 2: every reporter's misreport counter moves.
+            let case2: Vec<(usize, bool)> = reports
+                .iter()
+                .map(|(c, label)| (*c as usize, label.is_valid() == valid))
+                .collect();
+            self.reputation.record_checked(&case2);
+            if valid {
+                self.ready_entries.push(BlockEntry {
+                    tx: pending.ltx.tx.clone(),
+                    verdict: Verdict::CheckedValid,
+                    reported_labels: label_pairs(&reports),
+                });
+            }
+            self.history.insert(
+                id,
+                TxRecord {
+                    ltx: pending.ltx,
+                    provider,
+                    reports,
+                    outcome: Outcome::Checked { valid },
+                },
+            );
+        } else {
+            let counter = self.unchecked_counter.entry(provider).or_insert(0);
+            let index = *counter;
+            *counter += 1;
+            self.metrics.unchecked += 1;
+            let verdict = if drawn_label.is_valid() {
+                Verdict::UncheckedValid
+            } else {
+                Verdict::UncheckedInvalid
+            };
+            self.ready_entries.push(BlockEntry {
+                tx: pending.ltx.tx.clone(),
+                verdict,
+                reported_labels: label_pairs(&reports),
+            });
+            self.history.insert(
+                id,
+                TxRecord {
+                    ltx: pending.ltx,
+                    provider,
+                    reports,
+                    outcome: Outcome::Unchecked {
+                        recorded: drawn_label,
+                        index,
+                    },
+                },
+            );
+        }
+    }
+
+    fn on_propose(&mut self, round: u64, ctx: &mut Context<'_, ProtocolMsg>) {
+        if self.leader.is_none() {
+            // Missing claims (crashed governors): elect from what arrived.
+            self.run_election();
+        }
+        if self.leader != Some(self.index) {
+            return;
+        }
+        let _ = round;
+        // Argued re-records first, then fresh screenings, capped by b_limit.
+        let mut entries: Vec<BlockEntry> = Vec::new();
+        let mut argued_rest = Vec::new();
+        for e in self.argued_entries.drain(..) {
+            if entries.len() < self.cfg.b_limit {
+                entries.push(e);
+            } else {
+                argued_rest.push(e);
+            }
+        }
+        self.argued_entries = argued_rest;
+        let mut ready_rest = Vec::new();
+        let mut ready: Vec<BlockEntry> = self.ready_entries.drain(..).collect();
+        ready.sort_by_key(|e| e.tx.id());
+        for e in ready {
+            // Never re-record something already in the ledger (argue
+            // re-records enter via argued_entries only).
+            if self.chain.find_tx(e.tx.id()).is_some() {
+                continue;
+            }
+            if entries.len() < self.cfg.b_limit {
+                entries.push(e);
+            } else {
+                ready_rest.push(e);
+            }
+        }
+        self.ready_entries = ready_rest;
+
+        let block = Block::build(
+            self.chain.height() + 1,
+            entries,
+            self.chain.latest().hash(),
+            NodeId::governor(self.index),
+            ctx.now().ticks(),
+        );
+        let size = 64 + 96 * block.tx_count();
+        self.pay_collectors(&block);
+        match self.chain.append(block.clone()) {
+            Ok(()) => self.metrics.blocks_appended += 1,
+            Err(_) => self.metrics.append_failures += 1,
+        }
+        self.metrics.rounds_led += 1;
+        self.broadcast_governors(ctx, "block-proposal", size, &ProtocolMsg::BlockProposal(block));
+    }
+
+    fn pay_collectors(&mut self, block: &Block) {
+        let valid = block
+            .entries
+            .iter()
+            .filter(|e| e.verdict.counts_as_valid())
+            .count();
+        if valid == 0 {
+            return;
+        }
+        let profit = valid as f64 * self.cfg.profit_per_tx;
+        let logs = self.reputation.log_revenue_weights();
+        for (c, share) in revenue::distribute(profit, &logs).into_iter().enumerate() {
+            self.metrics.revenue_paid[c] += share;
+        }
+    }
+
+    fn on_block(&mut self, block: Block, ctx: &mut Context<'_, ProtocolMsg>) {
+        if block.leader == NodeId::governor(self.index) {
+            return; // own proposal echoed back (should not happen)
+        }
+        // Gap: we missed blocks (e.g. while crashed). Park the block and
+        // ask its proposer to backfill.
+        if block.serial > self.chain.height() + 1 {
+            let proposer = block.leader.index;
+            if !self
+                .future_blocks
+                .iter()
+                .any(|b| b.serial == block.serial)
+            {
+                self.future_blocks.push(block);
+            }
+            let have = self.chain.height();
+            ctx.send_sized(
+                self.governor_base + proposer as usize,
+                "sync-request",
+                16,
+                ProtocolMsg::SyncRequest { have },
+            );
+            return;
+        }
+        if self.cfg.verify_blocks && !self.entries_authentic(&block) {
+            self.metrics.append_failures += 1;
+            return;
+        }
+        self.append_and_clean(block);
+    }
+
+    /// Paranoid mode: every entry must carry a genuine provider signature
+    /// from a provider linked with at least one reporting collector whose
+    /// own signature is also genuine... the provider signature alone
+    /// suffices for Almost No Creation, so that is what is checked (the
+    /// reported labels are the leader's claim and feed only revenue).
+    fn entries_authentic(&self, block: &Block) -> bool {
+        block.entries.iter().all(|e| {
+            let p = e.tx.payload.provider.index;
+            e.tx.payload.provider.role == prb_crypto::identity::Role::Provider
+                && (p as usize) < self.provider_pks.len()
+                && e.tx.verify(&self.provider_pks[p as usize])
+        })
+    }
+
+    fn append_and_clean(&mut self, block: Block) {
+        let included: HashSet<TxId> = block.entries.iter().map(|e| e.tx.id()).collect();
+        match self.chain.append(block) {
+            Ok(()) => self.metrics.blocks_appended += 1,
+            Err(_) => {
+                self.metrics.append_failures += 1;
+                return;
+            }
+        }
+        // Drop local buffers covered by the leader's block.
+        self.ready_entries.retain(|e| !included.contains(&e.tx.id()));
+        self.argued_entries
+            .retain(|e| !included.contains(&e.tx.id()));
+    }
+
+    fn on_sync_request(&mut self, have: u64, requester: NodeIdx, ctx: &mut Context<'_, ProtocolMsg>) {
+        if have >= self.chain.height() {
+            return; // nothing to offer
+        }
+        let blocks: Vec<Block> = ((have + 1)..=self.chain.height())
+            .filter_map(|s| self.chain.retrieve(s).cloned())
+            .collect();
+        let size = 64 + 96 * blocks.iter().map(Block::tx_count).sum::<usize>();
+        ctx.send_sized(requester, "sync-response", size, ProtocolMsg::SyncResponse { blocks });
+        self.metrics.sync_served += 1;
+    }
+
+    fn on_sync_response(&mut self, blocks: Vec<Block>) {
+        for block in blocks {
+            if block.serial == self.chain.height() + 1 {
+                self.append_and_clean(block);
+                self.metrics.sync_applied += 1;
+            }
+        }
+        // Drain any parked blocks that now fit.
+        self.future_blocks.sort_by_key(|b| b.serial);
+        let parked = std::mem::take(&mut self.future_blocks);
+        for block in parked {
+            if block.serial == self.chain.height() + 1 {
+                self.append_and_clean(block);
+            } else if block.serial > self.chain.height() + 1 {
+                self.future_blocks.push(block);
+            }
+        }
+    }
+
+    /// Applies a signed stake transfer broadcast during the round.
+    ///
+    /// Every governor receives the same transfer set (atomic broadcast)
+    /// and applies the same validation deterministically, so the stake
+    /// tables stay in agreement; the 3-step signed stake-block protocol
+    /// that certifies the resulting state is exercised separately in
+    /// `prb-consensus` (this path keeps the election weights live).
+    fn on_stake_transfer(&mut self, transfer: StakeTransfer, _ctx: &mut Context<'_, ProtocolMsg>) {
+        let Some(sender_pk) = self.governor_pks.get(transfer.from as usize) else {
+            return;
+        };
+        if !transfer.verify(sender_pk) {
+            return;
+        }
+        let _ = self.stake_table.apply(&transfer);
+    }
+
+    fn on_argue(&mut self, id: TxId, _ctx: &mut Context<'_, ProtocolMsg>) {
+        if self.revealed.contains(&id) {
+            return;
+        }
+        let Some(record) = self.history.get(&id) else {
+            return; // never screened here
+        };
+        let Outcome::Unchecked {
+            recorded: Label::Invalid,
+            index,
+        } = record.outcome
+        else {
+            return; // only invalid-unchecked records can be argued
+        };
+        let provider = record.provider;
+        let current = self.unchecked_counter.get(&provider).copied().unwrap_or(0);
+        if current.saturating_sub(index) > self.cfg.argue_limit_u {
+            // Buried under more than U unchecked transactions: permanently
+            // invalid (§3.1).
+            self.metrics.argue_rejected += 1;
+            if self.oracle.borrow().peek(id) == Some(true) {
+                self.metrics.lost_valid += 1;
+            }
+            return;
+        }
+        // "Governors will immediately verify this transaction."
+        let valid = self.oracle.borrow().validate(id);
+        self.metrics.validations += 1;
+        self.metrics.argue_accepted += 1;
+        if valid {
+            let record = &self.history[&id];
+            self.argued_entries.push(BlockEntry {
+                tx: record.ltx.tx.clone(),
+                verdict: Verdict::ArguedValid,
+                reported_labels: label_pairs(&record.reports),
+            });
+        }
+        self.reveal_internal(id, valid);
+    }
+
+    fn on_reveal(&mut self, id: TxId, valid: bool) {
+        if self.revealed.contains(&id) {
+            return;
+        }
+        let Some(record) = self.history.get(&id) else {
+            return;
+        };
+        if !matches!(record.outcome, Outcome::Unchecked { .. }) {
+            return; // checked transactions are already settled
+        }
+        self.reveal_internal(id, valid);
+    }
+
+    /// Case 3 plus loss accounting for a now-revealed unchecked tx.
+    fn reveal_internal(&mut self, id: TxId, valid: bool) {
+        self.revealed.insert(id);
+        let record = self.history[&id].clone();
+        let provider = record.provider;
+        let mut revealed_reports = Vec::new();
+        let mut involvements = Vec::new();
+        let mut reporters = HashSet::new();
+        for (c, label) in &record.reports {
+            reporters.insert(*c);
+            let slot = self
+                .topology
+                .provider_slot(*c, provider)
+                .expect("reporter is linked");
+            let behaviour = if label.is_valid() == valid {
+                RevealedBehaviour::Correct
+            } else {
+                RevealedBehaviour::Wrong
+            };
+            involvements.push((
+                *c,
+                if behaviour == RevealedBehaviour::Wrong {
+                    2.0
+                } else {
+                    0.0
+                },
+            ));
+            revealed_reports.push(RevealedReport {
+                collector: *c as usize,
+                provider_slot: slot,
+                behaviour,
+            });
+        }
+        for &c in self.topology.collectors_of(provider) {
+            if !reporters.contains(&c) {
+                let slot = self
+                    .topology
+                    .provider_slot(c, provider)
+                    .expect("linked by construction");
+                involvements.push((c, 1.0));
+                revealed_reports.push(RevealedReport {
+                    collector: c as usize,
+                    provider_slot: slot,
+                    behaviour: RevealedBehaviour::Missed,
+                });
+            }
+        }
+        let out = self.reputation.record_revealed(&revealed_reports);
+        let recorded_wrong = match record.outcome {
+            Outcome::Unchecked { recorded, .. } => recorded.is_valid() != valid,
+            Outcome::Checked { .. } => false,
+        };
+        self.metrics
+            .record_reveal(provider, out.l_tx, recorded_wrong, involvements);
+    }
+}
+
+fn label_pairs(reports: &[(u32, Label)]) -> Vec<(NodeId, Label)> {
+    reports
+        .iter()
+        .map(|(c, l)| (NodeId::collector(*c), *l))
+        .collect()
+}

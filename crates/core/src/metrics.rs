@@ -1,0 +1,184 @@
+//! Per-governor measurement of everything the paper's analysis talks
+//! about: losses (realized and expected), screening counts, validation
+//! cost, argue outcomes, and the per-(provider, collector) loss tallies
+//! behind the regret computation of Theorem 1/4.
+
+use std::collections::HashMap;
+
+/// Counters and accumulators for one governor.
+#[derive(Clone, Debug, Default)]
+pub struct GovernorMetrics {
+    /// Transactions screened (timer fired, decision taken).
+    pub screened: u64,
+    /// Transactions the governor validated itself.
+    pub checked: u64,
+    /// Transactions recorded unchecked.
+    pub unchecked: u64,
+    /// `validate(tx)` calls (screening + argue verification).
+    pub validations: u64,
+    /// Uploads rejected for bad signatures / forgery (case 1 updates).
+    pub forged_detected: u64,
+    /// Realized loss: 2 per unchecked transaction whose recorded label
+    /// turned out wrong (counted at reveal).
+    pub realized_loss: f64,
+    /// Expected loss: `Σ L_tx` over revealed unchecked transactions.
+    pub expected_loss: f64,
+    /// Argues accepted (validated and queued for re-recording).
+    pub argue_accepted: u64,
+    /// Argues rejected for exceeding the `U` latency bound.
+    pub argue_rejected: u64,
+    /// Valid transactions permanently lost to the `U` bound.
+    pub lost_valid: u64,
+    /// Unchecked transactions whose truth was revealed.
+    pub revealed: u64,
+    /// Blocks this governor appended to its chain.
+    pub blocks_appended: u64,
+    /// Blocks that failed to append (agreement violations; 0 in any
+    /// correct run).
+    pub append_failures: u64,
+    /// Profit paid out per collector (leader rounds only).
+    pub revenue_paid: Vec<f64>,
+    /// Rounds this governor led.
+    pub rounds_led: u64,
+    /// Sync requests this governor answered (crash recovery of peers).
+    pub sync_served: u64,
+    /// Blocks this governor recovered via sync after its own crash.
+    pub sync_applied: u64,
+    /// Realized loss per provider.
+    pub realized_loss_by_provider: HashMap<u32, f64>,
+    /// Expected loss per provider.
+    pub expected_loss_by_provider: HashMap<u32, f64>,
+    /// Cumulative loss per (provider, collector): 2 per wrong label, 1 per
+    /// miss, over revealed unchecked transactions — the expert losses of
+    /// Theorem 1.
+    pub collector_loss: HashMap<(u32, u32), f64>,
+}
+
+impl GovernorMetrics {
+    /// Fresh metrics for a governor paying `collectors` collectors.
+    pub fn new(collectors: usize) -> Self {
+        GovernorMetrics {
+            revenue_paid: vec![0.0; collectors],
+            ..Default::default()
+        }
+    }
+
+    /// Records the reveal of an unchecked transaction.
+    pub fn record_reveal(
+        &mut self,
+        provider: u32,
+        l_tx: f64,
+        recorded_label_was_wrong: bool,
+        involvements: impl IntoIterator<Item = (u32, f64)>,
+    ) {
+        self.revealed += 1;
+        self.expected_loss += l_tx;
+        *self.expected_loss_by_provider.entry(provider).or_default() += l_tx;
+        if recorded_label_was_wrong {
+            self.realized_loss += 2.0;
+            *self.realized_loss_by_provider.entry(provider).or_default() += 2.0;
+        }
+        for (collector, loss) in involvements {
+            *self.collector_loss.entry((provider, collector)).or_default() += loss;
+        }
+    }
+
+    /// The best collector's cumulative loss for `provider` — `S^min_T`
+    /// over the collectors that oversee it.
+    pub fn best_collector_loss(&self, provider: u32, collectors: &[u32]) -> f64 {
+        collectors
+            .iter()
+            .map(|c| {
+                self.collector_loss
+                    .get(&(provider, *c))
+                    .copied()
+                    .unwrap_or(0.0)
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The governor's regret on `provider`:
+    /// expected loss − best collector loss (Theorem 1's `L_T − S^min_T`).
+    pub fn regret(&self, provider: u32, collectors: &[u32]) -> f64 {
+        let loss = self
+            .expected_loss_by_provider
+            .get(&provider)
+            .copied()
+            .unwrap_or(0.0);
+        let best = self.best_collector_loss(provider, collectors);
+        if best.is_finite() {
+            loss - best
+        } else {
+            loss
+        }
+    }
+
+    /// Fraction of screened transactions that went unchecked.
+    pub fn unchecked_fraction(&self) -> f64 {
+        if self.screened == 0 {
+            0.0
+        } else {
+            self.unchecked as f64 / self.screened as f64
+        }
+    }
+
+    /// Modeled validation time: `validations × cost_per_validation` ticks
+    /// (the throughput denominator of experiment E5).
+    pub fn validation_ticks(&self, cost_per_validation: u64) -> u64 {
+        self.validations * cost_per_validation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reveal_accumulates_all_accounts() {
+        let mut m = GovernorMetrics::new(3);
+        m.record_reveal(0, 1.0, true, vec![(0, 2.0), (1, 0.0), (2, 1.0)]);
+        m.record_reveal(0, 0.5, false, vec![(0, 2.0), (1, 0.0), (2, 1.0)]);
+        assert_eq!(m.revealed, 2);
+        assert_eq!(m.realized_loss, 2.0);
+        assert_eq!(m.expected_loss, 1.5);
+        assert_eq!(m.realized_loss_by_provider[&0], 2.0);
+        assert_eq!(m.collector_loss[&(0, 0)], 4.0);
+        assert_eq!(m.collector_loss[&(0, 2)], 2.0);
+    }
+
+    #[test]
+    fn best_collector_and_regret() {
+        let mut m = GovernorMetrics::new(3);
+        m.record_reveal(0, 1.0, true, vec![(0, 2.0), (1, 0.0), (2, 1.0)]);
+        m.record_reveal(0, 1.0, true, vec![(0, 2.0), (1, 0.0), (2, 1.0)]);
+        assert_eq!(m.best_collector_loss(0, &[0, 1, 2]), 0.0);
+        assert_eq!(m.regret(0, &[0, 1, 2]), 2.0);
+        // Collector 1 excluded: the best remaining is collector 2.
+        assert_eq!(m.best_collector_loss(0, &[0, 2]), 2.0);
+        assert_eq!(m.regret(0, &[0, 2]), 0.0);
+    }
+
+    #[test]
+    fn regret_with_no_collectors_is_plain_loss() {
+        let mut m = GovernorMetrics::new(0);
+        m.record_reveal(3, 0.7, false, vec![]);
+        assert_eq!(m.regret(3, &[]), 0.7);
+        assert_eq!(m.regret(9, &[]), 0.0);
+    }
+
+    #[test]
+    fn unchecked_fraction() {
+        let mut m = GovernorMetrics::new(0);
+        assert_eq!(m.unchecked_fraction(), 0.0);
+        m.screened = 10;
+        m.unchecked = 3;
+        assert!((m.unchecked_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_ticks() {
+        let mut m = GovernorMetrics::new(0);
+        m.validations = 7;
+        assert_eq!(m.validation_ticks(50), 350);
+    }
+}

@@ -1,0 +1,96 @@
+//! The protocol's wire messages.
+//!
+//! Driver-injected commands (round starts, block notifications, reveals)
+//! share the enum with node-to-node traffic; they arrive with
+//! `from == EXTERNAL` and are never counted toward the complexity
+//! experiments' protocol-message kinds.
+
+use prb_consensus::election::ElectionClaim;
+use prb_consensus::stake::StakeTransfer;
+use prb_ledger::block::{Block, Verdict};
+use prb_ledger::transaction::{LabeledTx, SignedTx, TxId};
+
+use crate::workload::GeneratedTx;
+
+/// All messages exchanged in the simulation.
+#[derive(Clone, Debug)]
+pub enum ProtocolMsg {
+    /// Driver → provider: create and broadcast these transactions.
+    StartCollect {
+        /// Current round.
+        round: u64,
+        /// Pre-generated payloads (the driver owns the workload).
+        txs: Vec<GeneratedTx>,
+    },
+    /// Driver → collector/governor: a new round begins.
+    StartRound {
+        /// Current round.
+        round: u64,
+    },
+    /// Provider → collector: `broadcast_provider(tx)`, sequenced for
+    /// atomic-broadcast delivery.
+    TxBroadcast {
+        /// Sequence number on the provider's channel.
+        seq: u64,
+        /// The signed transaction.
+        tx: SignedTx,
+    },
+    /// Collector → governor: `broadcast_collector(Tx)`, sequenced.
+    TxUpload {
+        /// Sequence number on the collector's channel.
+        seq: u64,
+        /// The labeled, collector-signed transaction.
+        ltx: LabeledTx,
+    },
+    /// Governor → governor: a VRF election claim for the round.
+    Election {
+        /// The round being contested.
+        round: u64,
+        /// The claimant's best VRF evaluation.
+        claim: ElectionClaim,
+    },
+    /// Driver → governor: close the round; the leader assembles the block.
+    ProposeBlock {
+        /// The round being closed.
+        round: u64,
+    },
+    /// Leader → governor: the proposed block.
+    BlockProposal(Block),
+    /// Driver → provider: a block was committed; these are the verdicts
+    /// (the provider's view of `retrieve(s)`).
+    BlockNotify {
+        /// Block serial.
+        serial: u64,
+        /// `(transaction, verdict)` pairs recorded in the block.
+        verdicts: Vec<(TxId, Verdict)>,
+    },
+    /// Provider → governor: `argue(tx, s)`.
+    Argue {
+        /// The disputed transaction.
+        tx: TxId,
+        /// The block that recorded it.
+        serial: u64,
+    },
+    /// Governor → governor (or driver-injected): a signed stake transfer
+    /// to apply at the end of the round (§3.4.3).
+    StakeTransfer(StakeTransfer),
+    /// Governor → governor: "my chain head is `have`; send me what I am
+    /// missing" (crash recovery).
+    SyncRequest {
+        /// The requester's current chain height.
+        have: u64,
+    },
+    /// Governor → governor: the blocks requested by a [`ProtocolMsg::SyncRequest`].
+    SyncResponse {
+        /// Consecutive blocks starting at the requester's `have + 1`.
+        blocks: Vec<Block>,
+    },
+    /// Driver → governor: external evidence reveals an unchecked
+    /// transaction's real status (the reveal policy of Theorem 1).
+    Reveal {
+        /// The revealed transaction.
+        tx: TxId,
+        /// Its ground-truth validity.
+        valid: bool,
+    },
+}

@@ -1,0 +1,69 @@
+//! The unified actor type: one enum wrapping the three roles.
+
+use prb_net::message::{Envelope, TimerId};
+use prb_net::sim::{Actor, Context};
+
+use crate::collector::CollectorNode;
+use crate::governor::GovernorNode;
+use crate::msg::ProtocolMsg;
+use crate::provider::ProviderNode;
+
+/// A node of any role, as stored in the simulated network.
+#[derive(Debug)]
+pub enum NodeActor {
+    /// A provider.
+    Provider(ProviderNode),
+    /// A collector.
+    Collector(CollectorNode),
+    /// A governor (boxed: its state dwarfs the other roles').
+    Governor(Box<GovernorNode>),
+}
+
+impl NodeActor {
+    /// The provider inside, if this is one.
+    pub fn as_provider(&self) -> Option<&ProviderNode> {
+        match self {
+            NodeActor::Provider(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The collector inside, if this is one.
+    pub fn as_collector(&self) -> Option<&CollectorNode> {
+        match self {
+            NodeActor::Collector(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The governor inside, if this is one.
+    pub fn as_governor(&self) -> Option<&GovernorNode> {
+        match self {
+            NodeActor::Governor(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Wraps a governor (boxing it).
+    pub fn governor(node: GovernorNode) -> Self {
+        NodeActor::Governor(Box::new(node))
+    }
+}
+
+impl Actor for NodeActor {
+    type Msg = ProtocolMsg;
+
+    fn on_message(&mut self, env: Envelope<ProtocolMsg>, ctx: &mut Context<'_, ProtocolMsg>) {
+        match self {
+            NodeActor::Provider(p) => p.on_message(env, ctx),
+            NodeActor::Collector(c) => c.on_message(env, ctx),
+            NodeActor::Governor(g) => g.on_message(env, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<'_, ProtocolMsg>) {
+        if let NodeActor::Governor(g) = self {
+            g.on_timer(timer, ctx);
+        }
+    }
+}

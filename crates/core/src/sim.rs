@@ -1,0 +1,680 @@
+//! The simulation driver: builds the three-tier deployment and runs
+//! protocol rounds end to end.
+//!
+//! The driver owns the workload, injects round-start commands, relays
+//! committed-block notifications to providers (their `retrieve(s)`), and
+//! schedules the reveal events assumed by Theorem 1. Everything else —
+//! transactions, labels, screening, blocks, argues — travels through the
+//! simulated network between the node actors.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::fmt;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use prb_consensus::stake::StakeTransfer;
+use prb_crypto::identity::{IdentityManager, NodeId};
+use prb_crypto::signer::{KeyPair, PublicKey};
+use prb_ledger::block::Verdict;
+use prb_ledger::oracle::ValidityOracle;
+use prb_ledger::transaction::TxId;
+use prb_net::fault::FaultPlan;
+use prb_net::message::NodeIdx;
+use prb_net::sim::{NetConfig, Network};
+use prb_net::stats::MessageStats;
+use prb_net::time::SimTime;
+use prb_net::topology::Topology;
+
+use crate::behavior::{CollectorProfile, ProviderProfile};
+use crate::collector::CollectorNode;
+use crate::config::{ProtocolConfig, RevealPolicy, TopologyKind};
+use crate::governor::GovernorNode;
+use crate::metrics::GovernorMetrics;
+use crate::msg::ProtocolMsg;
+use crate::node::NodeActor;
+use crate::provider::ProviderNode;
+use crate::workload::{UniformWorkload, Workload};
+
+/// What happened in one round (driver's view, read from governor 0).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundOutcome {
+    /// The round number.
+    pub round: u64,
+    /// The leader governor 0 elected, if any.
+    pub leader: Option<u32>,
+    /// Serial of the block committed this round, if one was.
+    pub block_serial: Option<u64>,
+    /// Transactions in that block.
+    pub txs_in_block: usize,
+}
+
+/// Builder for a [`Simulation`].
+pub struct SimulationBuilder {
+    cfg: ProtocolConfig,
+    workload: Option<Box<dyn Workload>>,
+    collector_profiles: Vec<CollectorProfile>,
+    provider_profiles: Vec<ProviderProfile>,
+}
+
+impl fmt::Debug for SimulationBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimulationBuilder")
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimulationBuilder {
+    /// Overrides the workload (default: [`UniformWorkload`] driven by the
+    /// provider profiles' invalid rates).
+    pub fn workload(mut self, workload: Box<dyn Workload>) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Sets all collector profiles at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the configured collector count.
+    pub fn collector_profiles(mut self, profiles: Vec<CollectorProfile>) -> Self {
+        assert_eq!(
+            profiles.len(),
+            self.cfg.collectors as usize,
+            "need one profile per collector"
+        );
+        self.collector_profiles = profiles;
+        self
+    }
+
+    /// Sets the profile of one collector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn collector_profile(mut self, index: u32, profile: CollectorProfile) -> Self {
+        self.collector_profiles[index as usize] = profile;
+        self
+    }
+
+    /// Sets all provider profiles at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the configured provider count.
+    pub fn provider_profiles(mut self, profiles: Vec<ProviderProfile>) -> Self {
+        assert_eq!(
+            profiles.len(),
+            self.cfg.providers as usize,
+            "need one profile per provider"
+        );
+        self.provider_profiles = profiles;
+        self
+    }
+
+    /// Sets the profile of one provider.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn provider_profile(mut self, index: u32, profile: ProviderProfile) -> Self {
+        self.provider_profiles[index as usize] = profile;
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of any invalid configuration.
+    pub fn build(self) -> Result<Simulation, String> {
+        Simulation::from_builder(self)
+    }
+}
+
+/// A fully wired protocol deployment.
+pub struct Simulation {
+    cfg: ProtocolConfig,
+    net: Network<NodeActor>,
+    topology: Rc<Topology>,
+    oracle: Rc<RefCell<ValidityOracle>>,
+    workload: Box<dyn Workload>,
+    governor_keys: Vec<KeyPair>,
+    stake_nonces: Vec<u64>,
+    driver_rng: StdRng,
+    round: u64,
+    next_start: u64,
+    observed_height: u64,
+    /// Transactions already scheduled for reveal (argue may race; the
+    /// governor dedupes, this only avoids duplicate events).
+    reveal_scheduled: HashSet<TxId>,
+}
+
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("round", &self.round)
+            .field("height", &self.observed_height)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Starts building a simulation for `cfg`.
+    pub fn builder(cfg: ProtocolConfig) -> SimulationBuilder {
+        let collectors = cfg.collectors as usize;
+        let providers = cfg.providers as usize;
+        SimulationBuilder {
+            cfg,
+            workload: None,
+            collector_profiles: vec![CollectorProfile::honest(); collectors],
+            provider_profiles: vec![ProviderProfile::default(); providers],
+        }
+    }
+
+    /// A simulation with all-honest nodes and the default workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of any invalid configuration.
+    pub fn new(cfg: ProtocolConfig) -> Result<Self, String> {
+        Self::builder(cfg).build()
+    }
+
+    fn from_builder(builder: SimulationBuilder) -> Result<Self, String> {
+        let cfg = builder.cfg;
+        cfg.validate()?;
+        let mut seed_rng = StdRng::seed_from_u64(cfg.seed);
+        let topo_params = cfg.topology_params();
+        let topology = Rc::new(match cfg.topology {
+            TopologyKind::Cyclic => Topology::cyclic(topo_params)?,
+            TopologyKind::Random => Topology::random(topo_params, &mut seed_rng)?,
+        });
+        let mut im = IdentityManager::new(cfg.crypto.clone(), &cfg.seed.to_be_bytes());
+        let oracle = Rc::new(RefCell::new(ValidityOracle::new()));
+
+        let l = cfg.providers;
+        let n = cfg.collectors;
+        let m = cfg.governors;
+        let collector_net = |c: u32| (l + c) as NodeIdx;
+        let governor_base = (l + n) as NodeIdx;
+        let governor_nets: Vec<NodeIdx> = (0..m).map(|g| governor_base + g as NodeIdx).collect();
+
+        // Enroll everyone and gather public keys.
+        let mut provider_creds = Vec::new();
+        let mut collector_creds = Vec::new();
+        let mut governor_creds = Vec::new();
+        for p in 0..l {
+            provider_creds.push(im.enroll(NodeId::provider(p)).map_err(|e| e.to_string())?);
+        }
+        for c in 0..n {
+            collector_creds.push(im.enroll(NodeId::collector(c)).map_err(|e| e.to_string())?);
+        }
+        for g in 0..m {
+            governor_creds.push(im.enroll(NodeId::governor(g)).map_err(|e| e.to_string())?);
+        }
+        let provider_pks: Vec<PublicKey> = provider_creds
+            .iter()
+            .map(|c| c.certificate.public_key.clone())
+            .collect();
+        let collector_pks: Vec<PublicKey> = collector_creds
+            .iter()
+            .map(|c| c.certificate.public_key.clone())
+            .collect();
+        let governor_pks: Vec<PublicKey> = governor_creds
+            .iter()
+            .map(|c| c.certificate.public_key.clone())
+            .collect();
+
+        let mut net = Network::new(
+            NetConfig::uniform(cfg.min_delay, cfg.max_delay),
+            cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+
+        for p in 0..l {
+            let collector_nets = topology.collectors_of(p).iter().map(|&c| collector_net(c)).collect();
+            net.add_node(NodeActor::Provider(ProviderNode::new(
+                p,
+                provider_creds[p as usize].keypair.clone(),
+                builder.provider_profiles[p as usize],
+                collector_nets,
+                governor_nets.clone(),
+                Rc::clone(&oracle),
+            )));
+        }
+        for c in 0..n {
+            let linked_pks = topology
+                .providers_of(c)
+                .iter()
+                .map(|&p| (p, provider_pks[p as usize].clone()))
+                .collect();
+            net.add_node(NodeActor::Collector(CollectorNode::new(
+                c,
+                collector_creds[c as usize].keypair.clone(),
+                cfg.crypto.clone(),
+                builder.collector_profiles[c as usize],
+                linked_pks,
+                governor_nets.clone(),
+                Rc::clone(&oracle),
+            )));
+        }
+        for g in 0..m {
+            net.add_node(NodeActor::governor(GovernorNode::new(
+                g,
+                governor_creds[g as usize].keypair.clone(),
+                cfg.clone(),
+                Rc::clone(&topology),
+                Rc::clone(&oracle),
+                governor_base,
+                collector_pks.clone(),
+                provider_pks.clone(),
+                governor_pks.clone(),
+            )));
+        }
+
+        let governor_keys: Vec<KeyPair> = governor_creds.iter().map(|c| c.keypair.clone()).collect();
+        let workload = builder.workload.unwrap_or_else(|| {
+            Box::new(UniformWorkload {
+                invalid_rates: builder
+                    .provider_profiles
+                    .iter()
+                    .map(|p| p.invalid_rate)
+                    .collect(),
+                payload_len: 32,
+            })
+        });
+        let driver_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x5151_5151));
+        Ok(Simulation {
+            cfg,
+            net,
+            topology,
+            oracle,
+            workload,
+            stake_nonces: vec![0; governor_keys.len()],
+            governor_keys,
+            driver_rng,
+            round: 0,
+            next_start: 0,
+            observed_height: 0,
+            reveal_scheduled: HashSet::new(),
+        })
+    }
+
+    /// The configuration this simulation runs.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    /// The wired topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of completed rounds.
+    pub fn rounds_run(&self) -> u64 {
+        self.round
+    }
+
+    /// Network traffic statistics.
+    pub fn net_stats(&self) -> &MessageStats {
+        self.net.stats()
+    }
+
+    /// The validity oracle (for experiment scoring).
+    pub fn oracle(&self) -> &Rc<RefCell<ValidityOracle>> {
+        &self.oracle
+    }
+
+    fn governor_node(&self, g: u32) -> &GovernorNode {
+        self.net
+            .node((self.cfg.providers + self.cfg.collectors + g) as NodeIdx)
+            .as_governor()
+            .expect("index is a governor")
+    }
+
+    /// Governor `g`'s state (chain, reputation, metrics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn governor(&self, g: u32) -> &GovernorNode {
+        assert!(g < self.cfg.governors, "governor {g} out of range");
+        self.governor_node(g)
+    }
+
+    /// Governor `g`'s metrics (shorthand).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn metrics(&self, g: u32) -> &GovernorMetrics {
+        self.governor(g).metrics()
+    }
+
+    /// Provider `p`'s node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn provider(&self, p: u32) -> &crate::provider::ProviderNode {
+        assert!(p < self.cfg.providers);
+        self.net
+            .node(p as NodeIdx)
+            .as_provider()
+            .expect("index is a provider")
+    }
+
+    /// Collector `c`'s node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn collector(&self, c: u32) -> &crate::collector::CollectorNode {
+        assert!(c < self.cfg.collectors);
+        self.net
+            .node((self.cfg.providers + c) as NodeIdx)
+            .as_collector()
+            .expect("index is a collector")
+    }
+
+    /// Whether all governors hold identical chains (the Agreement
+    /// property).
+    pub fn chains_agree(&self) -> bool {
+        self.chains_agree_among(&(0..self.cfg.governors).collect::<Vec<_>>())
+    }
+
+    /// Agreement restricted to a subset of governors (used when some have
+    /// been crash-faulted: the property only covers live replicas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `governors` is empty or contains an out-of-range index.
+    pub fn chains_agree_among(&self, governors: &[u32]) -> bool {
+        let reference = self.governor_node(governors[0]).chain();
+        governors[1..].iter().all(|&g| {
+            let other = self.governor_node(g).chain();
+            other.height() == reference.height()
+                && other.latest().hash() == reference.latest().hash()
+        })
+    }
+
+    /// Installs a fault plan on the underlying network. Node indices in
+    /// the plan are network indices: providers take `0..l`, collectors
+    /// `l..l+n`, governors `l+n..l+n+m` (see [`Simulation::governor_net_index`]).
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.net.set_faults(faults);
+    }
+
+    /// The network index of governor `g` (for fault plans).
+    pub fn governor_net_index(&self, g: u32) -> NodeIdx {
+        (self.cfg.providers + self.cfg.collectors + g) as NodeIdx
+    }
+
+    /// The network index of collector `c` (for fault plans).
+    pub fn collector_net_index(&self, c: u32) -> NodeIdx {
+        (self.cfg.providers + c) as NodeIdx
+    }
+
+    /// The network index of provider `p` (for fault plans).
+    pub fn provider_net_index(&self, p: u32) -> NodeIdx {
+        p as NodeIdx
+    }
+
+    /// Submits a stake transfer on behalf of governor `from`, broadcast to
+    /// every governor at the end of the current round (§3.4.3: stake
+    /// movements are settled in the round's stake-transform block; the
+    /// next round's election uses the new weights).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown governor indices; balance/nonce
+    /// violations surface as the transfer simply not applying (each
+    /// governor validates independently, exactly like a live deployment).
+    pub fn submit_stake_transfer(&mut self, from: u32, to: u32, amount: u64) -> Result<(), String> {
+        let key = self
+            .governor_keys
+            .get(from as usize)
+            .ok_or_else(|| format!("unknown governor g{from}"))?;
+        if to >= self.cfg.governors {
+            return Err(format!("unknown governor g{to}"));
+        }
+        let nonce = self.stake_nonces[from as usize];
+        self.stake_nonces[from as usize] += 1;
+        let transfer = StakeTransfer::create(from, to, amount, nonce, key);
+        let l = self.cfg.providers;
+        let n = self.cfg.collectors;
+        let at = SimTime(self.next_start);
+        for g in 0..self.cfg.governors {
+            self.net.send_external(
+                (l + n + g) as NodeIdx,
+                "stake-transfer",
+                ProtocolMsg::StakeTransfer(transfer.clone()),
+                at,
+            );
+        }
+        Ok(())
+    }
+
+    /// Runs one full protocol round; returns what was committed.
+    pub fn run_round(&mut self) -> RoundOutcome {
+        self.round += 1;
+        let round = self.round;
+        let t0 = self.next_start;
+        let round_ticks = self.cfg.round_ticks();
+        self.next_start = t0 + round_ticks;
+
+        let l = self.cfg.providers;
+        let n = self.cfg.collectors;
+        let m = self.cfg.governors;
+
+        // Round start: governors run the election, collectors learn the
+        // round number (for sleeper profiles).
+        for g in 0..m {
+            self.net.send_external(
+                (l + n + g) as NodeIdx,
+                "start-round",
+                ProtocolMsg::StartRound { round },
+                SimTime(t0),
+            );
+        }
+        for c in 0..n {
+            self.net.send_external(
+                (l + c) as NodeIdx,
+                "start-round",
+                ProtocolMsg::StartRound { round },
+                SimTime(t0),
+            );
+        }
+        // Collecting phase: hand each provider its generated transactions.
+        for p in 0..l {
+            let txs = (0..self.cfg.tx_per_provider)
+                .map(|_| self.workload.next_tx(p, round, &mut self.driver_rng))
+                .collect();
+            self.net.send_external(
+                p as NodeIdx,
+                "start-collect",
+                ProtocolMsg::StartCollect { round, txs },
+                SimTime(t0),
+            );
+        }
+        // Processing phase close: the leader packs the block.
+        let propose_at = t0 + self.cfg.tx_per_provider as u64 * 2
+            + 4 * self.cfg.max_delay
+            + self.cfg.aggregation_window()
+            + 10;
+        for g in 0..m {
+            self.net.send_external(
+                (l + n + g) as NodeIdx,
+                "propose-block",
+                ProtocolMsg::ProposeBlock { round },
+                SimTime(propose_at),
+            );
+        }
+        self.net.run_until(SimTime(t0 + round_ticks));
+
+        // Post-round bookkeeping from governor 0's chain.
+        let (leader, new_blocks) = {
+            let gov0 = self.governor_node(0);
+            let chain = gov0.chain();
+            let mut blocks = Vec::new();
+            for serial in (self.observed_height + 1)..=chain.height() {
+                let block = chain.retrieve(serial).expect("no skipping");
+                blocks.push((
+                    serial,
+                    block
+                        .entries
+                        .iter()
+                        .map(|e| (e.tx.id(), e.verdict))
+                        .collect::<Vec<(TxId, Verdict)>>(),
+                ));
+            }
+            (gov0.current_leader(), blocks)
+        };
+
+        let mut outcome = RoundOutcome {
+            round,
+            leader,
+            block_serial: None,
+            txs_in_block: 0,
+        };
+        for (serial, verdicts) in &new_blocks {
+            outcome.block_serial = Some(*serial);
+            outcome.txs_in_block = verdicts.len();
+            self.observed_height = *serial;
+            // Providers retrieve the block (BlockNotify) at the start of
+            // the next round.
+            let notify_at = SimTime(self.next_start);
+            for p in 0..l {
+                self.net.send_external(
+                    p as NodeIdx,
+                    "block-notify",
+                    ProtocolMsg::BlockNotify {
+                        serial: *serial,
+                        verdicts: verdicts.clone(),
+                    },
+                    notify_at,
+                );
+            }
+            // Schedule reveals per policy.
+            self.schedule_reveals(verdicts);
+        }
+        outcome
+    }
+
+    fn schedule_reveals(&mut self, verdicts: &[(TxId, Verdict)]) {
+        let (reveal, lag_rounds) = match self.cfg.reveal {
+            RevealPolicy::ArgueOnly => return,
+            RevealPolicy::AfterRounds(k) => (1.0, k),
+            RevealPolicy::Probabilistic { prob, rounds } => (prob, rounds),
+        };
+        let l = self.cfg.providers;
+        let n = self.cfg.collectors;
+        let m = self.cfg.governors;
+        let at = SimTime(self.next_start + lag_rounds as u64 * self.cfg.round_ticks());
+        for (tx, verdict) in verdicts {
+            if !matches!(
+                verdict,
+                Verdict::UncheckedInvalid | Verdict::UncheckedValid
+            ) {
+                continue;
+            }
+            if !self.reveal_scheduled.insert(*tx) {
+                continue;
+            }
+            if reveal < 1.0 && self.driver_rng.gen::<f64>() >= reveal {
+                continue;
+            }
+            let valid = self.oracle.borrow().peek(*tx).unwrap_or(false);
+            for g in 0..m {
+                self.net.send_external(
+                    (l + n + g) as NodeIdx,
+                    "reveal",
+                    ProtocolMsg::Reveal { tx: *tx, valid },
+                    at,
+                );
+            }
+        }
+    }
+
+    /// Runs `rounds` rounds plus enough drain rounds for scheduled reveals
+    /// and argues to land (no new transactions in the drain rounds — the
+    /// `tx_per_provider` generator is bypassed by sending empty batches).
+    pub fn run(&mut self, rounds: u32) -> Vec<RoundOutcome> {
+        let mut outcomes = Vec::with_capacity(rounds as usize);
+        for _ in 0..rounds {
+            outcomes.push(self.run_round());
+        }
+        outcomes
+    }
+
+    /// Runs rounds that carry no new transactions, letting in-flight
+    /// argues and reveals settle (blocks may still commit argued
+    /// re-records).
+    pub fn run_drain_rounds(&mut self, rounds: u32) {
+        for _ in 0..rounds {
+            self.round += 1;
+            let round = self.round;
+            let t0 = self.next_start;
+            let round_ticks = self.cfg.round_ticks();
+            self.next_start = t0 + round_ticks;
+            let l = self.cfg.providers;
+            let n = self.cfg.collectors;
+            let m = self.cfg.governors;
+            for g in 0..m {
+                self.net.send_external(
+                    (l + n + g) as NodeIdx,
+                    "start-round",
+                    ProtocolMsg::StartRound { round },
+                    SimTime(t0),
+                );
+            }
+            let propose_at = t0 + self.cfg.aggregation_window() + 4 * self.cfg.max_delay + 10;
+            for g in 0..m {
+                self.net.send_external(
+                    (l + n + g) as NodeIdx,
+                    "propose-block",
+                    ProtocolMsg::ProposeBlock { round },
+                    SimTime(propose_at),
+                );
+            }
+            self.net.run_until(SimTime(t0 + round_ticks));
+            // Even drain rounds can commit blocks (argued re-records);
+            // keep providers in the loop.
+            let new_blocks: Vec<(u64, Vec<(TxId, Verdict)>)> = {
+                let chain = self.governor_node(0).chain();
+                ((self.observed_height + 1)..=chain.height())
+                    .map(|serial| {
+                        let block = chain.retrieve(serial).expect("no skipping");
+                        (
+                            serial,
+                            block
+                                .entries
+                                .iter()
+                                .map(|e| (e.tx.id(), e.verdict))
+                                .collect(),
+                        )
+                    })
+                    .collect()
+            };
+            for (serial, verdicts) in &new_blocks {
+                self.observed_height = *serial;
+                let notify_at = SimTime(self.next_start);
+                for p in 0..l {
+                    self.net.send_external(
+                        p as NodeIdx,
+                        "block-notify",
+                        ProtocolMsg::BlockNotify {
+                            serial: *serial,
+                            verdicts: verdicts.clone(),
+                        },
+                        notify_at,
+                    );
+                }
+                self.schedule_reveals(verdicts);
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! The workload abstraction: where transaction payloads come from.
+//!
+//! The protocol is payload-agnostic; scenario crates (car-sharing,
+//! insurance — see `prb-workload`) implement [`Workload`] to drive the
+//! simulation with domain-shaped data and ground-truth validity.
+
+use rand::rngs::StdRng;
+
+/// A generated transaction before signing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GeneratedTx {
+    /// Opaque application payload.
+    pub data: Vec<u8>,
+    /// Ground-truth validity (registered with the validity oracle).
+    pub valid: bool,
+}
+
+/// A source of transactions for the simulation driver.
+pub trait Workload {
+    /// Produces the next transaction for `provider` in `round`.
+    fn next_tx(&mut self, provider: u32, round: u64, rng: &mut StdRng) -> GeneratedTx;
+
+    /// A short name for reports.
+    fn name(&self) -> &str {
+        "workload"
+    }
+}
+
+/// The default workload: random bytes, invalid with a per-provider rate
+/// taken from the provider profiles.
+#[derive(Clone, Debug)]
+pub struct UniformWorkload {
+    /// Probability that a transaction is genuinely invalid, per provider.
+    pub invalid_rates: Vec<f64>,
+    /// Payload size in bytes.
+    pub payload_len: usize,
+}
+
+impl UniformWorkload {
+    /// Same invalid rate for every one of `providers` providers.
+    pub fn new(providers: u32, invalid_rate: f64) -> Self {
+        UniformWorkload {
+            invalid_rates: vec![invalid_rate; providers as usize],
+            payload_len: 32,
+        }
+    }
+}
+
+impl Workload for UniformWorkload {
+    fn next_tx(&mut self, provider: u32, _round: u64, rng: &mut StdRng) -> GeneratedTx {
+        use rand::Rng;
+        let rate = self
+            .invalid_rates
+            .get(provider as usize)
+            .copied()
+            .unwrap_or(0.0);
+        let mut data = vec![0u8; self.payload_len];
+        rng.fill(&mut data[..]);
+        GeneratedTx {
+            data,
+            valid: rng.gen::<f64>() >= rate,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_workload_respects_rate() {
+        let mut w = UniformWorkload::new(2, 0.4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let invalid = (0..10_000)
+            .filter(|i| !w.next_tx(i % 2, 0, &mut rng).valid)
+            .count();
+        assert!((3_400..4_600).contains(&invalid), "{invalid}");
+        assert_eq!(w.name(), "uniform");
+    }
+
+    #[test]
+    fn unknown_provider_defaults_to_valid() {
+        let mut w = UniformWorkload::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(w.next_tx(9, 0, &mut rng).valid);
+    }
+
+    #[test]
+    fn payloads_are_random() {
+        let mut w = UniformWorkload::new(1, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = w.next_tx(0, 0, &mut rng);
+        let b = w.next_tx(0, 0, &mut rng);
+        assert_ne!(a.data, b.data);
+        assert_eq!(a.data.len(), 32);
+    }
+}

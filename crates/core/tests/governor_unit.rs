@@ -1,0 +1,370 @@
+//! Focused governor tests: a single governor actor driven directly with
+//! crafted envelopes, covering edge paths the full simulation rarely
+//! exercises (duplicate uploads, late reports after screening, argues and
+//! reveals for unknown transactions, unlinked uploads).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use prb_core::config::{GovernorMode, ProtocolConfig};
+use prb_core::governor::GovernorNode;
+use prb_core::msg::ProtocolMsg;
+use prb_core::node::NodeActor;
+use prb_crypto::identity::NodeId;
+use prb_crypto::signer::{CryptoScheme, KeyPair, PublicKey, Sig};
+use prb_ledger::oracle::ValidityOracle;
+use prb_ledger::transaction::{Label, LabeledTx, SignedTx, TxId, TxPayload};
+use prb_net::sim::{NetConfig, Network};
+use prb_net::time::SimTime;
+use prb_net::topology::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One governor alone in a network; we feed it crafted envelopes.
+struct Rig {
+    net: Network<NodeActor>,
+    oracle: Rc<RefCell<ValidityOracle>>,
+    provider_keys: Vec<KeyPair>,
+    collector_keys: Vec<KeyPair>,
+    cfg: ProtocolConfig,
+}
+
+impl Rig {
+    fn new(mode: GovernorMode, f: f64) -> Self {
+        let mut cfg = ProtocolConfig {
+            providers: 2,
+            collectors: 2,
+            governors: 1,
+            replication: 2,
+            tx_per_provider: 1,
+            governor_mode: mode,
+            seed: 9,
+            ..Default::default()
+        };
+        cfg.reputation.f = f;
+        let scheme = CryptoScheme::sim();
+        let provider_keys: Vec<KeyPair> = (0..2)
+            .map(|p| scheme.keypair_from_seed(format!("rig-p{p}").as_bytes()))
+            .collect();
+        let collector_keys: Vec<KeyPair> = (0..2)
+            .map(|c| scheme.keypair_from_seed(format!("rig-c{c}").as_bytes()))
+            .collect();
+        let governor_key = scheme.keypair_from_seed(b"rig-g0");
+        let provider_pks: Vec<PublicKey> = provider_keys.iter().map(|k| k.public_key()).collect();
+        let collector_pks: Vec<PublicKey> =
+            collector_keys.iter().map(|k| k.public_key()).collect();
+        let topology = Rc::new(Topology::cyclic(cfg.topology_params()).unwrap());
+        let oracle = Rc::new(RefCell::new(ValidityOracle::new()));
+        let mut net = Network::new(NetConfig::uniform(1, 2), 4);
+        let governor = GovernorNode::new(
+            0,
+            governor_key.clone(),
+            cfg.clone(),
+            topology,
+            Rc::clone(&oracle),
+            0,
+            collector_pks,
+            provider_pks,
+            vec![governor_key.public_key()],
+            );
+        net.add_node(NodeActor::governor(governor));
+        Rig {
+            net,
+            oracle,
+            provider_keys,
+            collector_keys,
+            cfg,
+        }
+    }
+
+    fn governor(&self) -> &GovernorNode {
+        self.net.node(0).as_governor().unwrap()
+    }
+
+    fn make_tx(&self, provider: u32, nonce: u64, valid: bool) -> SignedTx {
+        let tx = SignedTx::create(
+            TxPayload {
+                provider: NodeId::provider(provider),
+                nonce,
+                data: vec![1],
+            },
+            5,
+            &self.provider_keys[provider as usize],
+        );
+        self.oracle.borrow_mut().register(tx.id(), valid);
+        tx
+    }
+
+    fn upload(&mut self, collector: u32, seq: u64, tx: SignedTx, label: Label, at: u64) {
+        let ltx = LabeledTx::create(
+            tx,
+            label,
+            NodeId::collector(collector),
+            &self.collector_keys[collector as usize],
+        );
+        self.net
+            .send_external(0, "up", ProtocolMsg::TxUpload { seq, ltx }, SimTime(at));
+    }
+
+    fn run(&mut self) {
+        self.net.run_until_idle(1_000);
+    }
+}
+
+#[test]
+fn duplicate_uploads_from_same_collector_are_deduped() {
+    let mut rig = Rig::new(GovernorMode::CheckAll, 0.5);
+    let tx = rig.make_tx(0, 0, true);
+    // Collector 0 spams the same transaction twice under different seqs.
+    rig.upload(0, 0, tx.clone(), Label::Valid, 0);
+    rig.upload(0, 1, tx.clone(), Label::Valid, 1);
+    rig.upload(1, 0, tx, Label::Valid, 2);
+    rig.run();
+    let m = rig.governor().metrics();
+    assert_eq!(m.screened, 1);
+    // Case-2 update applied once per collector: misreport counters are +1.
+    let table = rig.governor().reputation();
+    assert_eq!(table.collector(0).misreport(), 1);
+    assert_eq!(table.collector(1).misreport(), 1);
+}
+
+#[test]
+fn late_report_after_screening_still_updates_reputation() {
+    let mut rig = Rig::new(GovernorMode::CheckAll, 0.5);
+    let window = rig.cfg.aggregation_window();
+    let tx = rig.make_tx(0, 0, true);
+    rig.upload(0, 0, tx.clone(), Label::Valid, 0);
+    // Collector 1's report arrives long after the Δ window closed.
+    rig.upload(1, 0, tx, Label::Invalid, window + 50);
+    rig.run();
+    let m = rig.governor().metrics();
+    assert_eq!(m.screened, 1, "screened once, at the Δ timer");
+    let table = rig.governor().reputation();
+    assert_eq!(table.collector(0).misreport(), 1, "on-time correct label");
+    assert_eq!(table.collector(1).misreport(), -1, "late wrong label still punished");
+}
+
+#[test]
+fn unlinked_provider_upload_counts_as_forgery() {
+    // Topology: cyclic l=2, n=2, r=2 links every provider with every
+    // collector, so craft a tx from a *nonexistent* provider index instead.
+    let mut rig = Rig::new(GovernorMode::CheckAll, 0.5);
+    let ghost_key = CryptoScheme::sim().keypair_from_seed(b"ghost");
+    let tx = SignedTx::create(
+        TxPayload {
+            provider: NodeId::provider(7),
+            nonce: 0,
+            data: vec![2],
+        },
+        5,
+        &ghost_key,
+    );
+    let ltx = LabeledTx::create(tx, Label::Valid, NodeId::collector(0), &rig.collector_keys[0]);
+    rig.net
+        .send_external(0, "up", ProtocolMsg::TxUpload { seq: 0, ltx }, SimTime(0));
+    rig.run();
+    let m = rig.governor().metrics();
+    assert_eq!(m.forged_detected, 1);
+    assert_eq!(m.screened, 0);
+    assert_eq!(rig.governor().reputation().collector(0).forge(), -1);
+}
+
+#[test]
+fn upload_with_wrong_collector_signature_is_dropped_silently() {
+    let mut rig = Rig::new(GovernorMode::CheckAll, 0.5);
+    let tx = rig.make_tx(0, 0, true);
+    // Collector 1's key signs, but the message claims collector 0.
+    let ltx = LabeledTx::create(tx, Label::Valid, NodeId::collector(0), &rig.collector_keys[1]);
+    rig.net
+        .send_external(0, "up", ProtocolMsg::TxUpload { seq: 0, ltx }, SimTime(0));
+    rig.run();
+    let m = rig.governor().metrics();
+    // Cannot attribute: no forgery charged, nothing screened.
+    assert_eq!(m.forged_detected, 0);
+    assert_eq!(m.screened, 0);
+    assert_eq!(rig.governor().reputation().collector(0).forge(), 0);
+}
+
+#[test]
+fn argue_and_reveal_for_unknown_tx_are_ignored() {
+    let mut rig = Rig::new(GovernorMode::Reputation, 0.5);
+    let ghost = TxId(prb_crypto::sha256::sha256(b"never-screened"));
+    rig.net.send_external(
+        0,
+        "argue",
+        ProtocolMsg::Argue { tx: ghost, serial: 1 },
+        SimTime(0),
+    );
+    rig.net.send_external(
+        0,
+        "reveal",
+        ProtocolMsg::Reveal { tx: ghost, valid: true },
+        SimTime(1),
+    );
+    rig.run();
+    let m = rig.governor().metrics();
+    assert_eq!(m.argue_accepted, 0);
+    assert_eq!(m.argue_rejected, 0);
+    assert_eq!(m.revealed, 0);
+}
+
+#[test]
+fn argue_for_checked_tx_is_ignored() {
+    let mut rig = Rig::new(GovernorMode::CheckAll, 0.5);
+    let tx = rig.make_tx(0, 0, true);
+    let id = tx.id();
+    rig.upload(0, 0, tx, Label::Valid, 0);
+    rig.run();
+    assert_eq!(rig.governor().metrics().checked, 1);
+    rig.net.send_external(
+        0,
+        "argue",
+        ProtocolMsg::Argue { tx: id, serial: 1 },
+        SimTime(500),
+    );
+    rig.run();
+    let m = rig.governor().metrics();
+    assert_eq!(m.argue_accepted, 0, "checked txs cannot be argued");
+}
+
+#[test]
+fn reveal_for_checked_tx_is_a_no_op() {
+    let mut rig = Rig::new(GovernorMode::CheckAll, 0.5);
+    let tx = rig.make_tx(0, 0, false);
+    let id = tx.id();
+    rig.upload(0, 0, tx, Label::Invalid, 0);
+    rig.run();
+    rig.net.send_external(
+        0,
+        "reveal",
+        ProtocolMsg::Reveal { tx: id, valid: false },
+        SimTime(500),
+    );
+    rig.run();
+    assert_eq!(rig.governor().metrics().revealed, 0);
+}
+
+#[test]
+fn double_reveal_processes_once() {
+    let mut rig = Rig::new(GovernorMode::CheckNone, 0.9);
+    let tx = rig.make_tx(0, 0, true);
+    let id = tx.id();
+    rig.upload(0, 0, tx, Label::Invalid, 0);
+    rig.run();
+    assert_eq!(rig.governor().metrics().unchecked, 1);
+    for at in [500, 600] {
+        rig.net.send_external(
+            0,
+            "reveal",
+            ProtocolMsg::Reveal { tx: id, valid: true },
+            SimTime(at),
+        );
+    }
+    rig.run();
+    let m = rig.governor().metrics();
+    assert_eq!(m.revealed, 1);
+    assert_eq!(m.realized_loss, 2.0, "recorded invalid but truly valid");
+}
+
+#[test]
+fn forged_provider_signature_on_linked_provider_is_case_one() {
+    let mut rig = Rig::new(GovernorMode::CheckAll, 0.5);
+    let mut rng = StdRng::seed_from_u64(1);
+    let scheme = CryptoScheme::sim();
+    let fake_tx = SignedTx::from_parts(
+        TxPayload {
+            provider: NodeId::provider(0),
+            nonce: 99,
+            data: b"fabricated".to_vec(),
+        },
+        5,
+        Sig::forged(&scheme, &mut rng),
+    );
+    let ltx = LabeledTx::create(fake_tx, Label::Valid, NodeId::collector(1), &rig.collector_keys[1]);
+    rig.net
+        .send_external(0, "up", ProtocolMsg::TxUpload { seq: 0, ltx }, SimTime(0));
+    rig.run();
+    assert_eq!(rig.governor().metrics().forged_detected, 1);
+    assert_eq!(rig.governor().reputation().collector(1).forge(), -1);
+}
+
+#[test]
+fn paranoid_mode_rejects_blocks_with_fabricated_entries() {
+    use prb_ledger::block::{Block, BlockEntry, Verdict};
+
+    for (verify_blocks, expect_failure) in [(true, true), (false, false)] {
+        let mut cfg = ProtocolConfig {
+            providers: 2,
+            collectors: 2,
+            governors: 2,
+            replication: 2,
+            tx_per_provider: 1,
+            verify_blocks,
+            seed: 9,
+            ..Default::default()
+        };
+        cfg.reputation.f = 0.5;
+        let scheme = CryptoScheme::sim();
+        let provider_pks: Vec<PublicKey> = (0..2)
+            .map(|p| scheme.keypair_from_seed(format!("pv-{p}").as_bytes()).public_key())
+            .collect();
+        let collector_pks: Vec<PublicKey> = (0..2)
+            .map(|c| scheme.keypair_from_seed(format!("cv-{c}").as_bytes()).public_key())
+            .collect();
+        let g0_key = scheme.keypair_from_seed(b"gv-0");
+        let g1_key = scheme.keypair_from_seed(b"gv-1");
+        let topology = Rc::new(Topology::cyclic(cfg.topology_params()).unwrap());
+        let oracle = Rc::new(RefCell::new(ValidityOracle::new()));
+        let mut net = Network::new(NetConfig::uniform(1, 2), 4);
+        let governor = GovernorNode::new(
+            0,
+            g0_key.clone(),
+            cfg.clone(),
+            topology,
+            Rc::clone(&oracle),
+            0,
+            collector_pks,
+            provider_pks,
+            vec![g0_key.public_key(), g1_key.public_key()],
+        );
+        net.add_node(NodeActor::governor(governor));
+
+        // A Byzantine leader (g1) fabricates an entry with a garbage
+        // provider signature and builds an otherwise well-formed block.
+        let mut rng = StdRng::seed_from_u64(3);
+        let fake_tx = SignedTx::from_parts(
+            TxPayload {
+                provider: NodeId::provider(0),
+                nonce: 5,
+                data: b"invented by the leader".to_vec(),
+            },
+            9,
+            Sig::forged(&scheme, &mut rng),
+        );
+        let genesis_hash = net.node(0).as_governor().unwrap().chain().latest().hash();
+        let block = Block::build(
+            1,
+            vec![BlockEntry {
+                tx: fake_tx,
+                verdict: Verdict::CheckedValid,
+                reported_labels: vec![(NodeId::collector(0), Label::Valid)],
+            }],
+            genesis_hash,
+            NodeId::governor(1),
+            50,
+        );
+        net.send_external(0, "block", ProtocolMsg::BlockProposal(block), SimTime(0));
+        net.run_until_idle(100);
+        let gov = net.node(0).as_governor().unwrap();
+        if expect_failure {
+            assert_eq!(gov.chain().height(), 0, "paranoid governor appended a fabricated block");
+            assert_eq!(gov.metrics().append_failures, 1);
+        } else {
+            assert_eq!(
+                gov.chain().height(),
+                1,
+                "default mode trusts the leader per the paper's assumption"
+            );
+        }
+    }
+}

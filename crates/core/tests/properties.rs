@@ -1,0 +1,182 @@
+//! Property-based tests over the whole protocol: for random (small)
+//! topologies, parameters, and adversary mixes, the paper's invariants
+//! hold on every run.
+
+use proptest::prelude::*;
+
+use prb_core::behavior::{CollectorProfile, ProviderProfile};
+use prb_core::config::{GovernorMode, ProtocolConfig, RevealPolicy};
+use prb_core::sim::Simulation;
+use prb_ledger::block::Verdict;
+
+#[derive(Debug, Clone)]
+struct RandomSetup {
+    seed: u64,
+    f: f64,
+    governors: u32,
+    invalid_rate: f64,
+    flip_probs: Vec<f64>,
+    drop_probs: Vec<f64>,
+    forge_probs: Vec<f64>,
+    mode: GovernorMode,
+    reveal_lag: u32,
+}
+
+fn setup_strategy() -> impl Strategy<Value = RandomSetup> {
+    (
+        any::<u64>(),
+        0.05f64..0.95,
+        2u32..5,
+        0.0f64..0.9,
+        proptest::collection::vec(0.0f64..0.9, 4),
+        proptest::collection::vec(0.0f64..0.6, 4),
+        proptest::collection::vec(0.0f64..0.4, 4),
+        prop_oneof![
+            Just(GovernorMode::Reputation),
+            Just(GovernorMode::CheckAll),
+            Just(GovernorMode::CheckNone),
+        ],
+        0u32..3,
+    )
+        .prop_map(
+            |(seed, f, governors, invalid_rate, flip_probs, drop_probs, forge_probs, mode, reveal_lag)| RandomSetup {
+                seed,
+                f,
+                governors,
+                invalid_rate,
+                flip_probs,
+                drop_probs,
+                forge_probs,
+                mode,
+                reveal_lag,
+            },
+        )
+}
+
+fn run(setup: &RandomSetup) -> Simulation {
+    let mut cfg = ProtocolConfig {
+        providers: 4,
+        collectors: 4,
+        governors: setup.governors,
+        replication: 2,
+        tx_per_provider: 3,
+        governor_mode: setup.mode,
+        reveal: RevealPolicy::AfterRounds(setup.reveal_lag),
+        seed: setup.seed,
+        ..Default::default()
+    };
+    cfg.reputation.f = setup.f;
+    let mut sim = Simulation::builder(cfg)
+        .collector_profiles(
+            (0..4)
+                .map(|c| CollectorProfile {
+                    flip_prob: setup.flip_probs[c],
+                    drop_prob: setup.drop_probs[c],
+                    forge_prob: setup.forge_probs[c],
+                    ..CollectorProfile::honest()
+                })
+                .collect(),
+        )
+        .provider_profiles(vec![
+            ProviderProfile {
+                invalid_rate: setup.invalid_rate,
+                active: true,
+            };
+            4
+        ])
+        .build()
+        .expect("valid config");
+    sim.run(4);
+    sim.run_drain_rounds(2 + setup.reveal_lag);
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever the adversary mix, mode and parameters: agreement holds,
+    /// chains audit clean, nothing fabricated enters the ledger, argued
+    /// entries are genuinely valid, and the loss accounting is coherent.
+    #[test]
+    fn protocol_invariants_hold(setup in setup_strategy()) {
+        let sim = run(&setup);
+        // Agreement + integrity + no skipping.
+        prop_assert!(sim.chains_agree(), "{setup:?}");
+        for g in 0..setup.governors {
+            prop_assert_eq!(sim.governor(g).chain().audit(), None);
+        }
+        let chain = sim.governor(0).chain();
+        for s in 0..=chain.height() {
+            prop_assert!(chain.retrieve(s).is_some());
+        }
+        // Almost No Creation: every ledger tx was provider-created.
+        let oracle = sim.oracle();
+        for block in chain.iter() {
+            for e in &block.entries {
+                prop_assert!(
+                    oracle.borrow().peek(e.tx.id()).is_some(),
+                    "fabricated tx in ledger: {setup:?}"
+                );
+                if e.verdict == Verdict::ArguedValid {
+                    prop_assert_eq!(oracle.borrow().peek(e.tx.id()), Some(true));
+                }
+                // The paper's mechanism never records unchecked-valid.
+                if setup.mode != GovernorMode::CheckNone {
+                    prop_assert!(e.verdict != Verdict::UncheckedValid);
+                }
+            }
+        }
+        // Metric coherence on every governor.
+        for g in 0..setup.governors {
+            let m = sim.metrics(g);
+            prop_assert_eq!(m.screened, m.checked + m.unchecked);
+            prop_assert!(m.revealed <= m.unchecked);
+            prop_assert!(m.realized_loss <= 2.0 * m.revealed as f64);
+            prop_assert!(m.expected_loss <= 2.0 * m.revealed as f64 + 1e-9);
+            prop_assert_eq!(m.append_failures, 0);
+            match setup.mode {
+                GovernorMode::CheckAll => prop_assert_eq!(m.unchecked, 0),
+                GovernorMode::CheckNone => prop_assert_eq!(m.checked, 0),
+                GovernorMode::Reputation => {}
+            }
+            // Lemma 2 shape: the unchecked fraction cannot exceed f by a
+            // sampling margin (only meaningful with enough screenings).
+            if setup.mode == GovernorMode::Reputation && m.screened >= 30 {
+                prop_assert!(
+                    m.unchecked_fraction() <= setup.f + 0.25,
+                    "unchecked fraction {} vs f {} ({setup:?})",
+                    m.unchecked_fraction(),
+                    setup.f
+                );
+            }
+        }
+        // Reputation sanity: weights in (0, 1], counters consistent with
+        // forgery detection.
+        for g in 0..setup.governors {
+            let table = sim.governor(g).reputation();
+            for c in 0..4 {
+                let v = table.collector(c);
+                for &w in v.weights() {
+                    prop_assert!(w > 0.0 && w <= 1.0);
+                }
+                prop_assert!(v.forge() <= 0);
+                if setup.forge_probs[c] == 0.0 {
+                    prop_assert_eq!(v.forge(), 0);
+                }
+            }
+        }
+    }
+
+    /// Determinism: identical setups produce identical ledgers and metrics.
+    #[test]
+    fn runs_are_reproducible(setup in setup_strategy()) {
+        let a = run(&setup);
+        let b = run(&setup);
+        prop_assert_eq!(
+            a.governor(0).chain().latest().hash(),
+            b.governor(0).chain().latest().hash()
+        );
+        prop_assert_eq!(a.metrics(0).expected_loss.to_bits(), b.metrics(0).expected_loss.to_bits());
+        prop_assert_eq!(a.net_stats().total_sent(), b.net_stats().total_sent());
+    }
+}

@@ -1,0 +1,348 @@
+//! Schnorr groups: prime-order subgroups of `Z_p^*` for a safe prime `p`.
+//!
+//! All discrete-log-based primitives in this crate (Schnorr signatures,
+//! Chaum–Pedersen DLEQ proofs, and the VRF) operate over a [`SchnorrGroup`]:
+//! the order-`q` subgroup of quadratic residues modulo a safe prime
+//! `p = 2q + 1`. Three parameter sets are provided:
+//!
+//! - [`SchnorrGroup::rfc3526_2048`] — the 2048-bit MODP group from RFC 3526
+//!   (the secure default),
+//! - [`SchnorrGroup::test_512`] and [`SchnorrGroup::test_256`] — small groups
+//!   for fast tests and simulations. **These are not secure** and exist only
+//!   to keep test suites and high-volume experiments fast.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rand::Rng;
+
+use crate::bigint::BigUint;
+use crate::sha256::Sha256;
+
+/// RFC 3526 group 14: 2048-bit MODP prime (a safe prime), generator 2.
+const RFC3526_2048_P: &str = "\
+FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05\
+98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB\
+9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B\
+E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718\
+3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF";
+
+/// 512-bit safe prime for tests (deterministically generated; INSECURE).
+const TEST_512_P: &str = "\
+ee2c50993f2bc0bb8dcaccb41f81d9cf35e3f7bbd0e8c2b90d143f2704683b67\
+27016b2dedc50d6920f98dce68f096b9efa87e7cd76a2e3c89518c5642dd65cf";
+
+/// 256-bit safe prime for tests (deterministically generated; INSECURE).
+const TEST_256_P: &str = "d87d5bf5d41fe719288a7235e78adfc7713253fa5e3b8acac9f3184936331497";
+
+/// A Schnorr group: the order-`q` subgroup of `Z_p^*` with `p = 2q + 1`.
+///
+/// Cheap to clone (parameters are behind an `Arc`).
+///
+/// # Examples
+///
+/// ```
+/// use prb_crypto::group::SchnorrGroup;
+///
+/// let group = SchnorrGroup::test_256();
+/// let x = group.random_scalar(&mut rand::thread_rng());
+/// let y = group.pow_g(&x);
+/// assert!(group.is_element(&y));
+/// ```
+#[derive(Clone)]
+pub struct SchnorrGroup {
+    inner: Arc<GroupParams>,
+}
+
+struct GroupParams {
+    /// Safe prime modulus.
+    p: BigUint,
+    /// Subgroup order, `q = (p - 1) / 2`.
+    q: BigUint,
+    /// Generator of the order-`q` subgroup.
+    g: BigUint,
+    /// Byte length of `p` (for fixed-width serialization).
+    element_len: usize,
+    /// Human-readable parameter-set name.
+    name: &'static str,
+}
+
+impl fmt::Debug for SchnorrGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchnorrGroup")
+            .field("name", &self.inner.name)
+            .field("bits", &self.inner.p.bit_len())
+            .finish()
+    }
+}
+
+impl PartialEq for SchnorrGroup {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner.p == other.inner.p && self.inner.g == other.inner.g
+    }
+}
+
+impl Eq for SchnorrGroup {}
+
+impl SchnorrGroup {
+    fn from_safe_prime_hex(p_hex: &str, g: u64, name: &'static str) -> Self {
+        let p = BigUint::from_hex(p_hex).expect("valid hex constant");
+        let q = p.shr(1); // (p - 1) / 2 for odd p
+        let element_len = p.bit_len().div_ceil(8);
+        SchnorrGroup {
+            inner: Arc::new(GroupParams {
+                p,
+                q,
+                g: BigUint::from_u64(g),
+                element_len,
+                name,
+            }),
+        }
+    }
+
+    /// The 2048-bit MODP group from RFC 3526 (group 14), generator 2.
+    ///
+    /// `2` generates the order-`q` subgroup because `p ≡ 7 (mod 8)` makes 2
+    /// a quadratic residue.
+    pub fn rfc3526_2048() -> Self {
+        Self::from_safe_prime_hex(RFC3526_2048_P, 2, "rfc3526-2048")
+    }
+
+    /// A 512-bit test group. **Insecure**; for tests and simulations only.
+    ///
+    /// Generator 4 = 2² is always a quadratic residue, hence has order `q`.
+    pub fn test_512() -> Self {
+        Self::from_safe_prime_hex(TEST_512_P, 4, "test-512")
+    }
+
+    /// A 256-bit test group. **Insecure**; for tests and simulations only.
+    pub fn test_256() -> Self {
+        Self::from_safe_prime_hex(TEST_256_P, 4, "test-256")
+    }
+
+    /// The modulus `p`.
+    pub fn p(&self) -> &BigUint {
+        &self.inner.p
+    }
+
+    /// The subgroup order `q`.
+    pub fn q(&self) -> &BigUint {
+        &self.inner.q
+    }
+
+    /// The generator `g`.
+    pub fn g(&self) -> &BigUint {
+        &self.inner.g
+    }
+
+    /// Parameter-set name (e.g. `"rfc3526-2048"`).
+    pub fn name(&self) -> &'static str {
+        self.inner.name
+    }
+
+    /// Byte width used for fixed-length element serialization.
+    pub fn element_len(&self) -> usize {
+        self.inner.element_len
+    }
+
+    /// Uniformly samples a non-zero scalar in `[1, q)`.
+    pub fn random_scalar<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
+        loop {
+            let s = BigUint::random_below(rng, &self.inner.q);
+            if !s.is_zero() {
+                return s;
+            }
+        }
+    }
+
+    /// `g^e mod p`.
+    pub fn pow_g(&self, e: &BigUint) -> BigUint {
+        self.inner.g.pow_mod(e, &self.inner.p)
+    }
+
+    /// `base^e mod p`.
+    pub fn pow(&self, base: &BigUint, e: &BigUint) -> BigUint {
+        base.pow_mod(e, &self.inner.p)
+    }
+
+    /// `a * b mod p`.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        a.mul_mod(b, &self.inner.p)
+    }
+
+    /// Scalar addition `a + b mod q` (inputs must be reduced).
+    pub fn scalar_add(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        a.add_mod(b, &self.inner.q)
+    }
+
+    /// Scalar multiplication `a * b mod q`.
+    pub fn scalar_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        a.mul_mod(b, &self.inner.q)
+    }
+
+    /// Reduces arbitrary bytes to a scalar in `[0, q)`.
+    pub fn scalar_from_bytes(&self, bytes: &[u8]) -> BigUint {
+        BigUint::from_bytes_be(bytes).rem(&self.inner.q)
+    }
+
+    /// Whether `x` is a valid element of the order-`q` subgroup.
+    ///
+    /// Checks `0 < x < p` and `x^q = 1 (mod p)`.
+    pub fn is_element(&self, x: &BigUint) -> bool {
+        !x.is_zero() && x < &self.inner.p && self.pow(x, &self.inner.q) == BigUint::one()
+    }
+
+    /// Hashes a message into the order-`q` subgroup.
+    ///
+    /// Expands `domain || msg` with counter-mode SHA-256 until enough bytes
+    /// are available, reduces mod `p`, and squares: any square is a quadratic
+    /// residue, hence lies in the order-`q` subgroup of a safe-prime group.
+    /// Re-hashes in the (cryptographically negligible, but possible for the
+    /// tiny test groups) event the result is 0 or 1.
+    pub fn hash_to_group(&self, domain: &str, msg: &[u8]) -> BigUint {
+        let needed = self.inner.element_len + 16; // oversample to smooth the mod-p bias
+        let mut counter = 0u32;
+        loop {
+            let mut bytes = Vec::with_capacity(needed);
+            let mut block = 0u32;
+            while bytes.len() < needed {
+                let mut h = Sha256::new();
+                h.update_field(domain.as_bytes());
+                h.update_field(msg);
+                h.update(&counter.to_be_bytes());
+                h.update(&block.to_be_bytes());
+                bytes.extend_from_slice(h.finalize().as_bytes());
+                block += 1;
+            }
+            bytes.truncate(needed);
+            let x = BigUint::from_bytes_be(&bytes).rem(&self.inner.p);
+            let sq = x.mul_mod(&x, &self.inner.p);
+            if !sq.is_zero() && sq != BigUint::one() {
+                return sq;
+            }
+            counter += 1;
+        }
+    }
+
+    /// Serializes a group element to `element_len` big-endian bytes.
+    pub fn element_to_bytes(&self, x: &BigUint) -> Vec<u8> {
+        x.to_bytes_be_padded(self.inner.element_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn test_groups_are_safe_prime_groups() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for group in [SchnorrGroup::test_256(), SchnorrGroup::test_512()] {
+            assert!(group.p().is_probable_prime(12, &mut rng), "{group:?} p");
+            assert!(group.q().is_probable_prime(12, &mut rng), "{group:?} q");
+            // p = 2q + 1
+            assert_eq!(
+                group.q().shl(1).add(&crate::bigint::BigUint::one()),
+                *group.p()
+            );
+            // generator is in the subgroup and not the identity
+            assert!(group.is_element(group.g()));
+            assert_ne!(*group.g(), BigUint::one());
+        }
+    }
+
+    #[test]
+    #[ignore = "2048-bit Miller-Rabin is slow; run with --ignored"]
+    fn rfc3526_is_safe_prime_group() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let group = SchnorrGroup::rfc3526_2048();
+        assert_eq!(group.p().bit_len(), 2048);
+        assert!(group.p().is_probable_prime(4, &mut rng));
+        assert!(group.q().is_probable_prime(4, &mut rng));
+        assert!(group.is_element(group.g()));
+    }
+
+    #[test]
+    fn rfc3526_constant_sanity() {
+        let group = SchnorrGroup::rfc3526_2048();
+        assert_eq!(group.p().bit_len(), 2048);
+        assert_eq!(group.element_len(), 256);
+        // p ≡ 7 (mod 8) makes 2 a quadratic residue.
+        assert_eq!(group.p().low_u64() % 8, 7);
+        assert_eq!(group.name(), "rfc3526-2048");
+    }
+
+    #[test]
+    fn exponent_arithmetic_laws() {
+        let group = SchnorrGroup::test_256();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = group.random_scalar(&mut rng);
+        let b = group.random_scalar(&mut rng);
+        // g^(a+b) == g^a * g^b
+        let lhs = group.pow_g(&group.scalar_add(&a, &b));
+        let rhs = group.mul(&group.pow_g(&a), &group.pow_g(&b));
+        assert_eq!(lhs, rhs);
+        // (g^a)^b == g^(ab)
+        let lhs = group.pow(&group.pow_g(&a), &b);
+        let rhs = group.pow_g(&group.scalar_mul(&a, &b));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn group_elements_have_order_q() {
+        let group = SchnorrGroup::test_256();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..5 {
+            let x = group.random_scalar(&mut rng);
+            let y = group.pow_g(&x);
+            assert!(group.is_element(&y));
+            assert_eq!(group.pow(&y, group.q()), BigUint::one());
+        }
+        // p - 1 has order 2, not q: must be rejected.
+        let minus_one = group.p().sub(&BigUint::one());
+        assert!(!group.is_element(&minus_one));
+        assert!(!group.is_element(&BigUint::zero()));
+        assert!(!group.is_element(group.p()));
+    }
+
+    #[test]
+    fn hash_to_group_lands_in_subgroup_and_separates() {
+        let group = SchnorrGroup::test_256();
+        let h1 = group.hash_to_group("vrf", b"message-1");
+        let h2 = group.hash_to_group("vrf", b"message-2");
+        let h3 = group.hash_to_group("other", b"message-1");
+        assert!(group.is_element(&h1));
+        assert!(group.is_element(&h2));
+        assert_ne!(h1, h2);
+        assert_ne!(h1, h3);
+        // Deterministic.
+        assert_eq!(group.hash_to_group("vrf", b"message-1"), h1);
+    }
+
+    #[test]
+    fn scalar_from_bytes_reduces() {
+        let group = SchnorrGroup::test_256();
+        let big = vec![0xffu8; 64];
+        let s = group.scalar_from_bytes(&big);
+        assert!(&s < group.q());
+    }
+
+    #[test]
+    fn element_serialization_fixed_width() {
+        let group = SchnorrGroup::test_256();
+        let bytes = group.element_to_bytes(&BigUint::one());
+        assert_eq!(bytes.len(), group.element_len());
+        assert_eq!(BigUint::from_bytes_be(&bytes), BigUint::one());
+    }
+
+    #[test]
+    fn groups_compare_by_parameters() {
+        assert_eq!(SchnorrGroup::test_256(), SchnorrGroup::test_256());
+        assert_ne!(SchnorrGroup::test_256(), SchnorrGroup::test_512());
+    }
+}

@@ -1,0 +1,124 @@
+//! Minimal hex encoding/decoding helpers used throughout the crate.
+
+use std::fmt;
+
+/// Error returned when decoding an invalid hex string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeHexError {
+    /// Byte offset of the first offending character, or the (odd) length.
+    pub position: usize,
+    kind: DecodeHexErrorKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DecodeHexErrorKind {
+    OddLength,
+    InvalidChar,
+}
+
+impl fmt::Display for DecodeHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            DecodeHexErrorKind::OddLength => {
+                write!(f, "hex string has odd length {}", self.position)
+            }
+            DecodeHexErrorKind::InvalidChar => {
+                write!(f, "invalid hex character at position {}", self.position)
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeHexError {}
+
+/// Encodes `bytes` as lowercase hex.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(prb_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string (upper- or lowercase) into bytes.
+///
+/// # Errors
+///
+/// Returns [`DecodeHexError`] when the string has odd length or contains a
+/// non-hex character.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(prb_crypto::hex::decode("DEad").unwrap(), vec![0xde, 0xad]);
+/// assert!(prb_crypto::hex::decode("xy").is_err());
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
+    let s = s.as_bytes();
+    if !s.len().is_multiple_of(2) {
+        return Err(DecodeHexError {
+            position: s.len(),
+            kind: DecodeHexErrorKind::OddLength,
+        });
+    }
+    let nibble = |c: u8, pos: usize| -> Result<u8, DecodeHexError> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(DecodeHexError {
+                position: pos,
+                kind: DecodeHexErrorKind::InvalidChar,
+            }),
+        }
+    };
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for (i, pair) in s.chunks_exact(2).enumerate() {
+        out.push(nibble(pair[0], 2 * i)? << 4 | nibble(pair[1], 2 * i + 1)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0u8..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        let err = decode("abc").unwrap_err();
+        assert_eq!(err.position, 3);
+        assert!(err.to_string().contains("odd length"));
+    }
+
+    #[test]
+    fn invalid_char_position_reported() {
+        let err = decode("ag").unwrap_err();
+        assert_eq!(err.position, 1);
+        assert!(err.to_string().contains("position 1"));
+    }
+
+    #[test]
+    fn uppercase_accepted() {
+        assert_eq!(decode("FF00").unwrap(), vec![0xff, 0x00]);
+    }
+}

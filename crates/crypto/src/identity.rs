@@ -1,0 +1,398 @@
+//! The Identity Manager (IM): the paper's PKI / Certificate Authority.
+//!
+//! §3.1: *"an Identity Manager is responsible for recording the members of
+//! the chain as well as their roles \[and\] providing nodes credentials that
+//! are used for authenticating and authorizing. As a default, an IM should
+//! contain all standard PKI methods and play the role of a CA."*
+//!
+//! The [`IdentityManager`] enrolls nodes, hands each a [`Credential`]
+//! (key pair + role certificate signed by the CA), answers certificate
+//! lookups, and supports revocation. Enrollment is deterministic from the
+//! IM seed so seeded simulations are reproducible.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::sha256::Sha256;
+use crate::signer::{CryptoScheme, KeyPair, PublicKey, Sig};
+
+/// The role a node plays in the three-tier hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Role {
+    /// Offers signed transactions to collectors.
+    Provider,
+    /// Labels and uploads transactions to governors.
+    Collector,
+    /// Validates, packs blocks, maintains the ledger.
+    Governor,
+}
+
+impl Role {
+    /// One-letter tag used in display form and key derivation.
+    pub fn tag(self) -> char {
+        match self {
+            Role::Provider => 'p',
+            Role::Collector => 'c',
+            Role::Governor => 'g',
+        }
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Role::Provider => "provider",
+            Role::Collector => "collector",
+            Role::Governor => "governor",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Identity of a node: its role and index within that role.
+///
+/// Displays as `p3`, `c5`, `g0` — matching the paper's `p_k`, `c_i`, `g_j`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId {
+    /// The node's role.
+    pub role: Role,
+    /// Zero-based index within the role.
+    pub index: u32,
+}
+
+impl NodeId {
+    /// Creates a provider id.
+    pub fn provider(index: u32) -> Self {
+        NodeId {
+            role: Role::Provider,
+            index,
+        }
+    }
+
+    /// Creates a collector id.
+    pub fn collector(index: u32) -> Self {
+        NodeId {
+            role: Role::Collector,
+            index,
+        }
+    }
+
+    /// Creates a governor id.
+    pub fn governor(index: u32) -> Self {
+        NodeId {
+            role: Role::Governor,
+            index,
+        }
+    }
+
+    /// Canonical byte encoding for hashing/signing.
+    pub fn to_bytes(self) -> [u8; 5] {
+        let mut out = [0u8; 5];
+        out[0] = self.role.tag() as u8;
+        out[1..5].copy_from_slice(&self.index.to_be_bytes());
+        out
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.role.tag(), self.index)
+    }
+}
+
+/// A role certificate: the CA's signature binding a node id to a public key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Certificate {
+    /// The certified node.
+    pub node: NodeId,
+    /// The node's public key.
+    pub public_key: PublicKey,
+    /// CA signature over `(node, public_key)`.
+    pub ca_sig: Sig,
+}
+
+impl Certificate {
+    fn message(node: NodeId, public_key: &PublicKey) -> Vec<u8> {
+        let mut h = Sha256::new();
+        h.update_field(b"prb-certificate");
+        h.update_field(&node.to_bytes());
+        h.update_field(&public_key.to_bytes());
+        h.finalize().to_bytes().to_vec()
+    }
+}
+
+/// A node's credential: its key pair plus the CA-issued certificate.
+#[derive(Clone, Debug)]
+pub struct Credential {
+    /// The node's signing key pair. Only the enrolled node should hold this.
+    pub keypair: KeyPair,
+    /// Publicly distributable certificate.
+    pub certificate: Certificate,
+}
+
+/// Errors from identity operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdentityError {
+    /// The node was already enrolled.
+    AlreadyEnrolled(NodeId),
+    /// The node is unknown to the IM.
+    Unknown(NodeId),
+    /// The node's certificate has been revoked.
+    Revoked(NodeId),
+}
+
+impl fmt::Display for IdentityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdentityError::AlreadyEnrolled(n) => write!(f, "node {n} already enrolled"),
+            IdentityError::Unknown(n) => write!(f, "node {n} is not enrolled"),
+            IdentityError::Revoked(n) => write!(f, "node {n} has been revoked"),
+        }
+    }
+}
+
+impl std::error::Error for IdentityError {}
+
+/// The Identity Manager / Certificate Authority.
+///
+/// # Examples
+///
+/// ```
+/// use prb_crypto::identity::{IdentityManager, NodeId};
+/// use prb_crypto::signer::CryptoScheme;
+///
+/// let mut im = IdentityManager::new(CryptoScheme::sim(), b"example-seed");
+/// let cred = im.enroll(NodeId::provider(0)).unwrap();
+/// assert!(im.verify_certificate(&cred.certificate));
+/// ```
+pub struct IdentityManager {
+    scheme: CryptoScheme,
+    ca: KeyPair,
+    seed: Vec<u8>,
+    directory: HashMap<NodeId, Certificate>,
+    revoked: HashMap<NodeId, ()>,
+}
+
+impl fmt::Debug for IdentityManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IdentityManager")
+            .field("scheme", &self.scheme.name())
+            .field("enrolled", &self.directory.len())
+            .field("revoked", &self.revoked.len())
+            .finish()
+    }
+}
+
+impl IdentityManager {
+    /// Creates an IM with a deterministic CA key derived from `seed`.
+    pub fn new(scheme: CryptoScheme, seed: &[u8]) -> Self {
+        let mut ca_seed = b"prb-im-ca:".to_vec();
+        ca_seed.extend_from_slice(seed);
+        let ca = scheme.keypair_from_seed(&ca_seed);
+        IdentityManager {
+            scheme,
+            ca,
+            seed: seed.to_vec(),
+            directory: HashMap::new(),
+            revoked: HashMap::new(),
+        }
+    }
+
+    /// The scheme this IM issues keys under.
+    pub fn scheme(&self) -> &CryptoScheme {
+        &self.scheme
+    }
+
+    /// The CA's public key (for out-of-band certificate verification).
+    pub fn ca_public_key(&self) -> PublicKey {
+        self.ca.public_key()
+    }
+
+    /// Enrolls `node`, generating its key pair and certificate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdentityError::AlreadyEnrolled`] on duplicate enrollment.
+    pub fn enroll(&mut self, node: NodeId) -> Result<Credential, IdentityError> {
+        if self.directory.contains_key(&node) {
+            return Err(IdentityError::AlreadyEnrolled(node));
+        }
+        let mut node_seed = b"prb-im-node:".to_vec();
+        node_seed.extend_from_slice(&self.seed);
+        node_seed.extend_from_slice(&node.to_bytes());
+        let keypair = self.scheme.keypair_from_seed(&node_seed);
+        let public_key = keypair.public_key();
+        let ca_sig = self.ca.sign(&Certificate::message(node, &public_key));
+        let certificate = Certificate {
+            node,
+            public_key,
+            ca_sig,
+        };
+        self.directory.insert(node, certificate.clone());
+        Ok(Credential {
+            keypair,
+            certificate,
+        })
+    }
+
+    /// Verifies that `cert` was issued by this CA and is not revoked.
+    pub fn verify_certificate(&self, cert: &Certificate) -> bool {
+        if self.revoked.contains_key(&cert.node) {
+            return false;
+        }
+        self.ca.public_key().verify(
+            &Certificate::message(cert.node, &cert.public_key),
+            &cert.ca_sig,
+        )
+    }
+
+    /// Looks up the certificate of an enrolled node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdentityError::Unknown`] or [`IdentityError::Revoked`].
+    pub fn certificate(&self, node: NodeId) -> Result<&Certificate, IdentityError> {
+        if self.revoked.contains_key(&node) {
+            return Err(IdentityError::Revoked(node));
+        }
+        self.directory
+            .get(&node)
+            .ok_or(IdentityError::Unknown(node))
+    }
+
+    /// Convenience: the public key of an enrolled node.
+    pub fn public_key(&self, node: NodeId) -> Result<&PublicKey, IdentityError> {
+        self.certificate(node).map(|c| &c.public_key)
+    }
+
+    /// Revokes a node's certificate (e.g. an expelled leader, §3.4.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdentityError::Unknown`] when the node was never enrolled.
+    pub fn revoke(&mut self, node: NodeId) -> Result<(), IdentityError> {
+        if !self.directory.contains_key(&node) {
+            return Err(IdentityError::Unknown(node));
+        }
+        self.revoked.insert(node, ());
+        Ok(())
+    }
+
+    /// Whether `node` has been revoked.
+    pub fn is_revoked(&self, node: NodeId) -> bool {
+        self.revoked.contains_key(&node)
+    }
+
+    /// Number of enrolled (non-revoked) nodes.
+    pub fn active_count(&self) -> usize {
+        self.directory.len() - self.revoked.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn im() -> IdentityManager {
+        IdentityManager::new(CryptoScheme::sim(), b"test-seed")
+    }
+
+    #[test]
+    fn enroll_and_verify() {
+        let mut im = im();
+        let cred = im.enroll(NodeId::collector(3)).unwrap();
+        assert!(im.verify_certificate(&cred.certificate));
+        assert_eq!(im.certificate(NodeId::collector(3)).unwrap(), &cred.certificate);
+        assert_eq!(im.active_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_enrollment_rejected() {
+        let mut im = im();
+        im.enroll(NodeId::provider(0)).unwrap();
+        assert_eq!(
+            im.enroll(NodeId::provider(0)).unwrap_err(),
+            IdentityError::AlreadyEnrolled(NodeId::provider(0))
+        );
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let im = im();
+        assert_eq!(
+            im.certificate(NodeId::governor(9)).unwrap_err(),
+            IdentityError::Unknown(NodeId::governor(9))
+        );
+    }
+
+    #[test]
+    fn revocation() {
+        let mut im = im();
+        let cred = im.enroll(NodeId::governor(1)).unwrap();
+        assert!(im.revoke(NodeId::governor(2)).is_err());
+        im.revoke(NodeId::governor(1)).unwrap();
+        assert!(im.is_revoked(NodeId::governor(1)));
+        assert!(!im.verify_certificate(&cred.certificate));
+        assert_eq!(
+            im.certificate(NodeId::governor(1)).unwrap_err(),
+            IdentityError::Revoked(NodeId::governor(1))
+        );
+        assert_eq!(im.active_count(), 0);
+    }
+
+    #[test]
+    fn tampered_certificate_rejected() {
+        let mut im = im();
+        let cred = im.enroll(NodeId::provider(1)).unwrap();
+        let other = im.enroll(NodeId::provider(2)).unwrap();
+        // Swap the public key: binding must break.
+        let tampered = Certificate {
+            node: cred.certificate.node,
+            public_key: other.certificate.public_key.clone(),
+            ca_sig: cred.certificate.ca_sig.clone(),
+        };
+        assert!(!im.verify_certificate(&tampered));
+        // Swap the node id.
+        let tampered = Certificate {
+            node: NodeId::provider(2),
+            ..cred.certificate.clone()
+        };
+        assert!(!im.verify_certificate(&tampered));
+    }
+
+    #[test]
+    fn certificates_from_other_ca_rejected() {
+        let mut im1 = IdentityManager::new(CryptoScheme::sim(), b"seed-1");
+        let im2 = IdentityManager::new(CryptoScheme::sim(), b"seed-2");
+        let cred = im1.enroll(NodeId::collector(0)).unwrap();
+        assert!(!im2.verify_certificate(&cred.certificate));
+    }
+
+    #[test]
+    fn deterministic_enrollment() {
+        let mut a = IdentityManager::new(CryptoScheme::sim(), b"same");
+        let mut b = IdentityManager::new(CryptoScheme::sim(), b"same");
+        let ca = a.enroll(NodeId::provider(7)).unwrap();
+        let cb = b.enroll(NodeId::provider(7)).unwrap();
+        assert_eq!(ca.certificate, cb.certificate);
+    }
+
+    #[test]
+    fn works_with_schnorr_scheme() {
+        let mut im = IdentityManager::new(CryptoScheme::schnorr_test_256(), b"schnorr");
+        let cred = im.enroll(NodeId::governor(0)).unwrap();
+        assert!(im.verify_certificate(&cred.certificate));
+    }
+
+    #[test]
+    fn node_id_display_and_bytes() {
+        assert_eq!(NodeId::provider(3).to_string(), "p3");
+        assert_eq!(NodeId::collector(15).to_string(), "c15");
+        assert_eq!(NodeId::governor(0).to_string(), "g0");
+        assert_ne!(
+            NodeId::provider(1).to_bytes(),
+            NodeId::collector(1).to_bytes()
+        );
+        assert_eq!(Role::Provider.to_string(), "provider");
+    }
+}

@@ -1,0 +1,342 @@
+//! Schnorr signatures over a [`SchnorrGroup`].
+//!
+//! This is the EUF-CMA signature scheme backing `sig_p(tx)`, `sig_c(tx, l)`
+//! and governor signatures in the protocol. Signing is deterministic
+//! (RFC 6979-style nonce derivation via HMAC) so that the whole simulation
+//! is reproducible from a seed.
+//!
+//! Scheme (key `x`, public `y = g^x`):
+//! - sign(m):   `k = H_nonce(x, m)`, `r = g^k`, `e = H(r, y, m) mod q`,
+//!   `s = k + x·e mod q`; signature is `(r, s)`.
+//! - verify(m): recompute `e` and check `g^s = r · y^e (mod p)`.
+//!
+//! [`SchnorrGroup`]: crate::group::SchnorrGroup
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::bigint::BigUint;
+use crate::group::SchnorrGroup;
+use crate::hmac::HmacSha256;
+use crate::sha256::Sha256;
+
+/// A Schnorr signing key (keep secret).
+#[derive(Clone)]
+pub struct SigningKey {
+    group: SchnorrGroup,
+    x: BigUint,
+    public: VerifyingKey,
+}
+
+/// A Schnorr verification (public) key.
+#[derive(Clone, PartialEq, Eq)]
+pub struct VerifyingKey {
+    group: SchnorrGroup,
+    y: BigUint,
+}
+
+/// A Schnorr signature `(r, s)`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Signature {
+    r: BigUint,
+    s: BigUint,
+}
+
+impl fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the secret scalar.
+        f.debug_struct("SigningKey")
+            .field("group", &self.group)
+            .field("public", &self.public)
+            .finish_non_exhaustive()
+    }
+}
+
+impl fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VerifyingKey({}…)", &self.y.to_hex()[..8.min(self.y.to_hex().len())])
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Signature")
+            .field("r", &self.r)
+            .field("s", &self.s)
+            .finish()
+    }
+}
+
+impl SigningKey {
+    /// Generates a fresh key pair.
+    pub fn generate<R: Rng + ?Sized>(group: &SchnorrGroup, rng: &mut R) -> Self {
+        let x = group.random_scalar(rng);
+        Self::from_scalar(group, x)
+    }
+
+    /// Derives a key pair deterministically from a byte seed.
+    ///
+    /// Used by the identity manager to hand out reproducible credentials in
+    /// seeded simulations.
+    pub fn from_seed(group: &SchnorrGroup, seed: &[u8]) -> Self {
+        let mut h = Sha256::new();
+        h.update_field(b"schnorr-keygen");
+        h.update_field(group.name().as_bytes());
+        h.update_field(seed);
+        // Two hash blocks give ≥ 512 bits, enough to smooth the mod-q bias
+        // for groups up to 256 bits of order; for larger groups the bias is
+        // irrelevant for simulation purposes.
+        let d1 = h.clone().finalize();
+        let mut h2 = h;
+        h2.update(b"2");
+        let d2 = h2.finalize();
+        let mut bytes = Vec::with_capacity(64);
+        bytes.extend_from_slice(d1.as_bytes());
+        bytes.extend_from_slice(d2.as_bytes());
+        let mut x = group.scalar_from_bytes(&bytes);
+        if x.is_zero() {
+            x = BigUint::one();
+        }
+        Self::from_scalar(group, x)
+    }
+
+    fn from_scalar(group: &SchnorrGroup, x: BigUint) -> Self {
+        let y = group.pow_g(&x);
+        SigningKey {
+            group: group.clone(),
+            public: VerifyingKey {
+                group: group.clone(),
+                y,
+            },
+            x,
+        }
+    }
+
+    /// The corresponding public key.
+    pub fn verifying_key(&self) -> &VerifyingKey {
+        &self.public
+    }
+
+    /// The group this key lives in.
+    pub fn group(&self) -> &SchnorrGroup {
+        &self.group
+    }
+
+    /// Exposes the secret scalar (used by the VRF, which shares key material).
+    pub(crate) fn secret_scalar(&self) -> &BigUint {
+        &self.x
+    }
+
+    /// Signs `message` deterministically.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let k = self.derive_nonce(message);
+        let r = self.group.pow_g(&k);
+        let e = challenge(&self.group, &r, &self.public.y, message);
+        let xe = self.group.scalar_mul(&self.x, &e);
+        let s = self.group.scalar_add(&k, &xe);
+        Signature { r, s }
+    }
+
+    /// RFC 6979-flavoured deterministic nonce: `HMAC(x, m) mod q`, rejecting 0.
+    fn derive_nonce(&self, message: &[u8]) -> BigUint {
+        let key = self.x.to_bytes_be();
+        let mut counter = 0u32;
+        loop {
+            let mut mac = HmacSha256::new(&key);
+            mac.update(b"schnorr-nonce");
+            mac.update(&counter.to_be_bytes());
+            mac.update(message);
+            let d1 = mac.clone().finalize();
+            mac.update(b"x");
+            let d2 = mac.finalize();
+            let mut bytes = Vec::with_capacity(64);
+            bytes.extend_from_slice(d1.as_bytes());
+            bytes.extend_from_slice(d2.as_bytes());
+            let k = self.group.scalar_from_bytes(&bytes);
+            if !k.is_zero() {
+                return k;
+            }
+            counter += 1;
+        }
+    }
+}
+
+impl VerifyingKey {
+    /// Verifies `signature` over `message`.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        // Reject degenerate/out-of-group values outright.
+        if !self.group.is_element(&signature.r) || signature.s >= *self.group.q() {
+            return false;
+        }
+        let e = challenge(&self.group, &signature.r, &self.y, message);
+        let lhs = self.group.pow_g(&signature.s);
+        let rhs = self.group.mul(&signature.r, &self.group.pow(&self.y, &e));
+        lhs == rhs
+    }
+
+    /// The group element `y = g^x`.
+    pub fn element(&self) -> &BigUint {
+        &self.y
+    }
+
+    /// The group this key lives in.
+    pub fn group(&self) -> &SchnorrGroup {
+        &self.group
+    }
+
+    /// Canonical byte encoding (fixed width), e.g. for hashing into ids.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.group.element_to_bytes(&self.y)
+    }
+}
+
+impl Signature {
+    /// The commitment element `r`.
+    pub fn r(&self) -> &BigUint {
+        &self.r
+    }
+
+    /// The response scalar `s`.
+    pub fn s(&self) -> &BigUint {
+        &self.s
+    }
+
+    /// Builds a signature from raw parts (e.g. after deserialization).
+    pub fn from_parts(r: BigUint, s: BigUint) -> Self {
+        Signature { r, s }
+    }
+
+    /// Byte encoding: fixed-width `r` followed by fixed-width `s`.
+    pub fn to_bytes(&self, group: &SchnorrGroup) -> Vec<u8> {
+        let mut out = group.element_to_bytes(&self.r);
+        out.extend_from_slice(&self.s.to_bytes_be_padded(group.element_len()));
+        out
+    }
+}
+
+/// Fiat–Shamir challenge `e = H(domain, r, y, m) mod q`.
+fn challenge(group: &SchnorrGroup, r: &BigUint, y: &BigUint, message: &[u8]) -> BigUint {
+    let mut h = Sha256::new();
+    h.update_field(b"schnorr-challenge");
+    h.update_field(group.name().as_bytes());
+    h.update_field(&group.element_to_bytes(r));
+    h.update_field(&group.element_to_bytes(y));
+    h.update_field(message);
+    group.scalar_from_bytes(h.finalize().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SchnorrGroup, SigningKey) {
+        let group = SchnorrGroup::test_256();
+        let sk = SigningKey::from_seed(&group, b"unit-test-key");
+        (group, sk)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (_, sk) = setup();
+        let sig = sk.sign(b"hello governors");
+        assert!(sk.verifying_key().verify(b"hello governors", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let (_, sk) = setup();
+        let sig = sk.sign(b"message A");
+        assert!(!sk.verifying_key().verify(b"message B", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let group = SchnorrGroup::test_256();
+        let sk1 = SigningKey::from_seed(&group, b"key-1");
+        let sk2 = SigningKey::from_seed(&group, b"key-2");
+        let sig = sk1.sign(b"msg");
+        assert!(!sk2.verifying_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let (group, sk) = setup();
+        let sig = sk.sign(b"msg");
+        let bumped_s = Signature::from_parts(
+            sig.r().clone(),
+            sig.s().add(&BigUint::one()).rem(group.q()),
+        );
+        assert!(!sk.verifying_key().verify(b"msg", &bumped_s));
+        // r replaced by an arbitrary subgroup element.
+        let other_r = group.pow_g(&BigUint::from_u64(12345));
+        let swapped_r = Signature::from_parts(other_r, sig.s().clone());
+        assert!(!sk.verifying_key().verify(b"msg", &swapped_r));
+    }
+
+    #[test]
+    fn out_of_group_r_rejected() {
+        let (group, sk) = setup();
+        let sig = sk.sign(b"msg");
+        // p - 1 is not in the order-q subgroup.
+        let bad_r = group.p().sub(&BigUint::one());
+        let forged = Signature::from_parts(bad_r, sig.s().clone());
+        assert!(!sk.verifying_key().verify(b"msg", &forged));
+        // s out of range.
+        let forged = Signature::from_parts(sig.r().clone(), group.q().clone());
+        assert!(!sk.verifying_key().verify(b"msg", &forged));
+    }
+
+    #[test]
+    fn deterministic_signing() {
+        let (_, sk) = setup();
+        assert_eq!(sk.sign(b"same message"), sk.sign(b"same message"));
+        assert_ne!(sk.sign(b"message 1"), sk.sign(b"message 2"));
+    }
+
+    #[test]
+    fn seed_derivation_deterministic_and_distinct() {
+        let group = SchnorrGroup::test_256();
+        let a = SigningKey::from_seed(&group, b"seed");
+        let b = SigningKey::from_seed(&group, b"seed");
+        let c = SigningKey::from_seed(&group, b"other");
+        assert_eq!(a.verifying_key().element(), b.verifying_key().element());
+        assert_ne!(a.verifying_key().element(), c.verifying_key().element());
+    }
+
+    #[test]
+    fn generate_produces_valid_keys() {
+        let group = SchnorrGroup::test_256();
+        let mut rng = StdRng::seed_from_u64(9);
+        let sk = SigningKey::generate(&group, &mut rng);
+        assert!(group.is_element(sk.verifying_key().element()));
+        let sig = sk.sign(b"generated");
+        assert!(sk.verifying_key().verify(b"generated", &sig));
+    }
+
+    #[test]
+    fn signature_byte_encoding() {
+        let (group, sk) = setup();
+        let sig = sk.sign(b"enc");
+        let bytes = sig.to_bytes(&group);
+        assert_eq!(bytes.len(), 2 * group.element_len());
+    }
+
+    #[test]
+    fn works_on_512_bit_group() {
+        let group = SchnorrGroup::test_512();
+        let sk = SigningKey::from_seed(&group, b"512");
+        let sig = sk.sign(b"bigger group");
+        assert!(sk.verifying_key().verify(b"bigger group", &sig));
+        assert!(!sk.verifying_key().verify(b"other", &sig));
+    }
+
+    #[test]
+    fn debug_never_leaks_secret() {
+        let (_, sk) = setup();
+        let debug = format!("{sk:?}");
+        assert!(!debug.contains(&sk.secret_scalar().to_hex()));
+    }
+}

@@ -1,0 +1,233 @@
+//! Fast *simulation-only* signatures.
+//!
+//! At 2048-bit security every Schnorr verification costs a modular
+//! exponentiation, which would dominate the runtime of experiments that
+//! push hundreds of thousands of transactions and measure protocol-level
+//! quantities (loss, unchecked fraction, message counts). `SimKeyPair`
+//! replaces the signature with a hash tag so those experiments measure the
+//! protocol rather than the exponentiation, as documented in DESIGN.md
+//! (substitution 3).
+//!
+//! # Security model (read this)
+//!
+//! A sim "signature" over `m` is `SHA-256("sim-sig" ‖ pk ‖ m)`: anyone
+//! holding the public key *could* compute it. Within the simulation this is
+//! sound because the adversaries are our own code and model a
+//! computationally-bounded attacker: a forging node calls
+//! [`SimSignature::forged`], which produces a random tag that fails
+//! verification — exactly the negligible-`λ` forgery success the paper
+//! assumes. Never use this scheme outside a simulation.
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::sha256::{sha256, Digest, Sha256};
+
+/// A simulation-only key pair.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SimKeyPair {
+    public: SimPublicKey,
+}
+
+/// A simulation-only public key: 32 opaque bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SimPublicKey(pub(crate) [u8; 32]);
+
+/// A simulation-only signature tag.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimSignature(pub(crate) Digest);
+
+impl fmt::Debug for SimKeyPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimKeyPair")
+            .field("public", &self.public)
+            .finish()
+    }
+}
+
+impl fmt::Debug for SimPublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimPublicKey({}…)", &crate::hex::encode(&self.0)[..8])
+    }
+}
+
+impl fmt::Debug for SimSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimSignature({}…)", &self.0.to_hex()[..8])
+    }
+}
+
+impl SimKeyPair {
+    /// Derives a key pair deterministically from a seed.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let mut h = Sha256::new();
+        h.update_field(b"sim-keygen");
+        h.update_field(seed);
+        SimKeyPair {
+            public: SimPublicKey(h.finalize().to_bytes()),
+        }
+    }
+
+    /// Generates a random key pair.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut seed = [0u8; 32];
+        rng.fill(&mut seed);
+        Self::from_seed(&seed)
+    }
+
+    /// The public key.
+    pub fn public_key(&self) -> &SimPublicKey {
+        &self.public
+    }
+
+    /// Produces the tag for `message`.
+    pub fn sign(&self, message: &[u8]) -> SimSignature {
+        SimSignature(tag(&self.public, message))
+    }
+}
+
+impl SimPublicKey {
+    /// Verifies `signature` over `message`.
+    pub fn verify(&self, message: &[u8], signature: &SimSignature) -> bool {
+        tag(self, message) == signature.0
+    }
+
+    /// Canonical byte encoding.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0
+    }
+}
+
+impl SimSignature {
+    /// Rebuilds a signature from its raw tag (deserialization).
+    pub fn from_digest(digest: Digest) -> Self {
+        SimSignature(digest)
+    }
+
+    /// A forgery attempt by an adversary without the key: a random tag.
+    ///
+    /// Fails verification except with probability `2^-256`, modeling the
+    /// paper's negligible-`λ` forgery bound.
+    pub fn forged<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut bytes = [0u8; 32];
+        rng.fill(&mut bytes);
+        SimSignature(Digest(bytes))
+    }
+
+    /// The raw tag.
+    pub fn digest(&self) -> &Digest {
+        &self.0
+    }
+}
+
+fn tag(public: &SimPublicKey, message: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update_field(b"sim-sig");
+    h.update_field(&public.0);
+    h.update_field(message);
+    h.finalize()
+}
+
+/// Simulation-only VRF: `output = H(pk, m)`, proof is the output itself.
+///
+/// Pseudorandom and unique by construction of SHA-256; "verification"
+/// recomputes the hash. As with [`SimKeyPair`], soundness against forgery
+/// holds only under the simulation's adversary discipline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimVrf {
+    key: SimKeyPair,
+}
+
+impl SimVrf {
+    /// Derives deterministically from a seed.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        SimVrf {
+            key: SimKeyPair::from_seed(seed),
+        }
+    }
+
+    /// The public key.
+    pub fn public_key(&self) -> &SimPublicKey {
+        &self.key.public
+    }
+
+    /// Evaluates on `message`.
+    pub fn evaluate(&self, message: &[u8]) -> Digest {
+        sim_vrf_output(&self.key.public, message)
+    }
+}
+
+/// Recomputes (= verifies) a sim-VRF output for a public key.
+pub fn sim_vrf_output(public: &SimPublicKey, message: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update_field(b"sim-vrf");
+    h.update_field(&public.0);
+    h.update_field(message);
+    h.finalize()
+}
+
+/// One-shot convenience mirroring [`crate::sha256::sha256`].
+pub fn sim_id(bytes: &[u8]) -> Digest {
+    sha256(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = SimKeyPair::from_seed(b"node-1");
+        let sig = kp.sign(b"payload");
+        assert!(kp.public_key().verify(b"payload", &sig));
+        assert!(!kp.public_key().verify(b"other", &sig));
+    }
+
+    #[test]
+    fn keys_are_deterministic_and_distinct() {
+        assert_eq!(SimKeyPair::from_seed(b"a"), SimKeyPair::from_seed(b"a"));
+        assert_ne!(SimKeyPair::from_seed(b"a"), SimKeyPair::from_seed(b"b"));
+    }
+
+    #[test]
+    fn forgery_fails() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let kp = SimKeyPair::from_seed(b"victim");
+        for _ in 0..100 {
+            let forged = SimSignature::forged(&mut rng);
+            assert!(!kp.public_key().verify(b"payload", &forged));
+        }
+    }
+
+    #[test]
+    fn cross_key_verification_fails() {
+        let kp1 = SimKeyPair::from_seed(b"k1");
+        let kp2 = SimKeyPair::from_seed(b"k2");
+        let sig = kp1.sign(b"m");
+        assert!(!kp2.public_key().verify(b"m", &sig));
+    }
+
+    #[test]
+    fn sim_vrf_deterministic_unique() {
+        let vrf = SimVrf::from_seed(b"gov-1");
+        assert_eq!(vrf.evaluate(b"r1"), vrf.evaluate(b"r1"));
+        assert_ne!(vrf.evaluate(b"r1"), vrf.evaluate(b"r2"));
+        assert_eq!(
+            sim_vrf_output(vrf.public_key(), b"r1"),
+            vrf.evaluate(b"r1")
+        );
+        let other = SimVrf::from_seed(b"gov-2");
+        assert_ne!(vrf.evaluate(b"r1"), other.evaluate(b"r1"));
+    }
+
+    #[test]
+    fn generate_uses_rng() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = SimKeyPair::generate(&mut rng);
+        let b = SimKeyPair::generate(&mut rng);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests over the cryptographic substrate: algebraic
+//! identities of the bignum arithmetic, signature/VRF soundness over
+//! random inputs, and Merkle proof completeness.
+
+use proptest::prelude::*;
+
+use prb_crypto::bigint::BigUint;
+use prb_crypto::group::SchnorrGroup;
+use prb_crypto::merkle::MerkleTree;
+use prb_crypto::schnorr::SigningKey;
+use prb_crypto::sha256::sha256;
+use prb_crypto::signer::{CryptoScheme, Sig};
+use prb_crypto::vrf::VrfKeyPair;
+
+fn biguint_strategy(max_bytes: usize) -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 0..=max_bytes).prop_map(|b| BigUint::from_bytes_be(&b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fundamental division identity: `u = q·v + r` with `r < v`.
+    #[test]
+    fn division_identity(u in biguint_strategy(40), v in biguint_strategy(24)) {
+        prop_assume!(!v.is_zero());
+        let (q, r) = u.div_rem(&v);
+        prop_assert!(r < v);
+        prop_assert_eq!(q.mul(&v).add(&r), u);
+    }
+
+    /// Addition/subtraction invert each other.
+    #[test]
+    fn add_sub_roundtrip(a in biguint_strategy(32), b in biguint_strategy(32)) {
+        let sum = a.add(&b);
+        prop_assert_eq!(sum.sub(&b), a.clone());
+        prop_assert_eq!(sum.sub(&a), b);
+    }
+
+    /// Multiplication is commutative and distributes over addition.
+    #[test]
+    fn mul_laws(a in biguint_strategy(20), b in biguint_strategy(20), c in biguint_strategy(20)) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    /// Shifts match multiplication/division by powers of two.
+    #[test]
+    fn shift_laws(a in biguint_strategy(24), bits in 0usize..100) {
+        let shifted = a.shl(bits);
+        prop_assert_eq!(shifted.shr(bits), a.clone());
+        let pow2 = BigUint::one().shl(bits);
+        prop_assert_eq!(shifted, a.mul(&pow2));
+    }
+
+    /// Byte round-trips preserve value.
+    #[test]
+    fn bytes_roundtrip(a in biguint_strategy(40)) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a.clone());
+        if let Some(parsed) = BigUint::from_hex(&a.to_hex()) {
+            prop_assert_eq!(parsed, a);
+        } else {
+            prop_assert!(false, "hex failed to parse");
+        }
+    }
+
+    /// Modular exponentiation matches iterated multiplication for small
+    /// exponents.
+    #[test]
+    fn pow_mod_matches_naive(base in biguint_strategy(8), e in 0u64..24, m in biguint_strategy(8)) {
+        prop_assume!(!m.is_zero());
+        let fast = base.pow_mod(&BigUint::from_u64(e), &m);
+        let mut slow = BigUint::one().rem(&m);
+        for _ in 0..e {
+            slow = slow.mul(&base).rem(&m);
+        }
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Modular inverse, when it exists, really inverts.
+    #[test]
+    fn inv_mod_inverts(a in biguint_strategy(12), m in biguint_strategy(12)) {
+        prop_assume!(!m.is_zero() && m > BigUint::one());
+        if let Some(inv) = a.inv_mod(&m) {
+            prop_assert_eq!(a.mul_mod(&inv, &m), BigUint::one());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Schnorr signatures verify on the signed message and on no other.
+    #[test]
+    fn schnorr_soundness(seed in any::<[u8; 8]>(), msg in proptest::collection::vec(any::<u8>(), 0..64), other in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let group = SchnorrGroup::test_256();
+        let sk = SigningKey::from_seed(&group, &seed);
+        let sig = sk.sign(&msg);
+        prop_assert!(sk.verifying_key().verify(&msg, &sig));
+        if msg != other {
+            prop_assert!(!sk.verifying_key().verify(&other, &sig));
+        }
+    }
+
+    /// VRF outputs verify and are unique per (key, message).
+    #[test]
+    fn vrf_soundness(seed in any::<[u8; 8]>(), msg in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let group = SchnorrGroup::test_256();
+        let kp = VrfKeyPair::from_seed(&group, &seed);
+        let (out1, proof) = kp.evaluate(&msg);
+        let (out2, _) = kp.evaluate(&msg);
+        prop_assert_eq!(out1, out2);
+        prop_assert_eq!(proof.verify(kp.public_key(), &msg), Some(out1));
+    }
+
+    /// Forged signatures of every scheme fail verification.
+    #[test]
+    fn forgeries_fail(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..32)) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for scheme in [CryptoScheme::sim(), CryptoScheme::schnorr_test_256()] {
+            let kp = scheme.keypair_from_seed(b"victim");
+            let forged = Sig::forged(&scheme, &mut rng);
+            prop_assert!(!kp.public_key().verify(&msg, &forged));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every leaf of every tree size has a verifying proof, and proofs do
+    /// not transfer between positions.
+    #[test]
+    fn merkle_completeness(leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 1..40)) {
+        let tree = MerkleTree::from_leaves(&leaves);
+        let root = tree.root();
+        for (i, leaf) in leaves.iter().enumerate() {
+            let proof = tree.prove(i).expect("leaf in range");
+            prop_assert!(proof.verify(&root, leaf));
+        }
+        // A proof for position 0 never verifies a different leaf value.
+        let proof0 = tree.prove(0).expect("non-empty");
+        let tampered = sha256(b"not-a-leaf").to_bytes().to_vec();
+        if leaves[0] != tampered {
+            prop_assert!(!proof0.verify(&root, &tampered));
+        }
+    }
+
+    /// Distinct leaf lists produce distinct roots (collision resistance at
+    /// the structural level).
+    #[test]
+    fn merkle_injective_on_content(
+        a in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..8), 1..10),
+        b in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..8), 1..10),
+    ) {
+        let ta = MerkleTree::from_leaves(&a);
+        let tb = MerkleTree::from_leaves(&b);
+        if a != b {
+            prop_assert_ne!(ta.root(), tb.root());
+        } else {
+            prop_assert_eq!(ta.root(), tb.root());
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! The hash-chained ledger with the paper's safety properties enforced on
+//! append and checkable after the fact.
+//!
+//! §3.1 properties implemented here:
+//! - **Agreement** — `retrieve(s)` is a pure lookup; all replicas appending
+//!   the same blocks return identical results (checked across replicas by
+//!   the integration tests).
+//! - **Chain Integrity** — `append` rejects a block whose `prev_hash` is not
+//!   `H(latest)`.
+//! - **No Skipping** — `append` rejects serial numbers other than
+//!   `latest + 1`, so retrieval of serial `s` implies all of `1..s` exist.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::block::{Block, BlockEntry, Verdict};
+use crate::codec;
+use crate::transaction::TxId;
+
+/// Errors returned by [`Chain::append`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChainError {
+    /// The block's serial is not exactly `latest + 1`.
+    NonConsecutiveSerial {
+        /// Serial the chain expected.
+        expected: u64,
+        /// Serial the block carried.
+        got: u64,
+    },
+    /// The block's `prev_hash` does not equal the hash of the latest block.
+    BrokenHashChain {
+        /// The offending block's serial.
+        serial: u64,
+    },
+    /// The block's Merkle root does not match its entries.
+    MerkleMismatch {
+        /// The offending block's serial.
+        serial: u64,
+    },
+    /// The block exceeds the universal transaction bound `b_limit`.
+    BlockTooLarge {
+        /// Number of transactions in the block.
+        got: usize,
+        /// The configured `b_limit`.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::NonConsecutiveSerial { expected, got } => {
+                write!(f, "expected serial {expected}, block has {got}")
+            }
+            ChainError::BrokenHashChain { serial } => {
+                write!(f, "block {serial} does not extend the chain head")
+            }
+            ChainError::MerkleMismatch { serial } => {
+                write!(f, "block {serial} merkle root does not match entries")
+            }
+            ChainError::BlockTooLarge { got, limit } => {
+                write!(f, "block has {got} transactions, limit is {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// Where a transaction ended up in the chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxLocation {
+    /// Block serial number.
+    pub serial: u64,
+    /// Index inside the block's entry list.
+    pub index: usize,
+}
+
+/// The ledger: an append-only list of blocks with lookup indices.
+///
+/// # Examples
+///
+/// ```
+/// use prb_ledger::chain::Chain;
+///
+/// let chain = Chain::new(b"example", 1024);
+/// assert_eq!(chain.height(), 0);
+/// assert!(chain.retrieve(0).is_some()); // genesis
+/// ```
+#[derive(Clone)]
+pub struct Chain {
+    blocks: Vec<Block>,
+    tx_index: HashMap<TxId, TxLocation>,
+    b_limit: usize,
+}
+
+impl fmt::Debug for Chain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Chain")
+            .field("height", &self.height())
+            .field("transactions", &self.tx_index.len())
+            .field("b_limit", &self.b_limit)
+            .finish()
+    }
+}
+
+impl Chain {
+    /// Creates a chain holding only the genesis block for `chain_tag`.
+    ///
+    /// `b_limit` is the paper's universal bound on transactions per block.
+    pub fn new(chain_tag: &[u8], b_limit: usize) -> Self {
+        Chain {
+            blocks: vec![Block::genesis(chain_tag)],
+            tx_index: HashMap::new(),
+            b_limit,
+        }
+    }
+
+    /// The configured per-block transaction bound.
+    pub fn b_limit(&self) -> usize {
+        self.b_limit
+    }
+
+    /// Height = serial of the latest block (genesis is height 0).
+    pub fn height(&self) -> u64 {
+        self.blocks.len() as u64 - 1
+    }
+
+    /// The latest block.
+    pub fn latest(&self) -> &Block {
+        self.blocks.last().expect("chain always has genesis")
+    }
+
+    /// The paper's `retrieve(s)`: the block with serial `s`, if present.
+    pub fn retrieve(&self, serial: u64) -> Option<&Block> {
+        self.blocks.get(serial as usize)
+    }
+
+    /// Iterates over all blocks from genesis.
+    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// Appends a block after validating serial, hash chain, Merkle root and
+    /// size bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChainError`] describing the violated invariant; the chain
+    /// is unchanged on error.
+    pub fn append(&mut self, block: Block) -> Result<(), ChainError> {
+        let expected = self.height() + 1;
+        if block.serial != expected {
+            return Err(ChainError::NonConsecutiveSerial {
+                expected,
+                got: block.serial,
+            });
+        }
+        if block.prev_hash != self.latest().hash() {
+            return Err(ChainError::BrokenHashChain {
+                serial: block.serial,
+            });
+        }
+        if !block.merkle_consistent() {
+            return Err(ChainError::MerkleMismatch {
+                serial: block.serial,
+            });
+        }
+        if block.tx_count() > self.b_limit {
+            return Err(ChainError::BlockTooLarge {
+                got: block.tx_count(),
+                limit: self.b_limit,
+            });
+        }
+        for (index, entry) in block.entries.iter().enumerate() {
+            self.tx_index.entry(entry.tx.id()).or_insert(TxLocation {
+                serial: block.serial,
+                index,
+            });
+        }
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// Finds the first recording of a transaction.
+    pub fn find_tx(&self, id: TxId) -> Option<(TxLocation, &BlockEntry)> {
+        let loc = *self.tx_index.get(&id)?;
+        let entry = &self.blocks[loc.serial as usize].entries[loc.index];
+        Some((loc, entry))
+    }
+
+    /// The latest verdict for a transaction (argue re-records supersede the
+    /// original `UncheckedInvalid` entry).
+    pub fn latest_verdict(&self, id: TxId) -> Option<Verdict> {
+        // Walk from the tail: re-records are strictly later.
+        for block in self.blocks.iter().rev() {
+            if let Some((_, entry)) = block.entry(id) {
+                return Some(entry.verdict);
+            }
+        }
+        None
+    }
+
+    /// Full-chain integrity audit: rehashes every link and recomputes every
+    /// Merkle root. Returns the serial of the first bad block, if any.
+    pub fn audit(&self) -> Option<u64> {
+        for window in self.blocks.windows(2) {
+            let (prev, next) = (&window[0], &window[1]);
+            if next.serial != prev.serial + 1
+                || next.prev_hash != prev.hash()
+                || !next.merkle_consistent()
+            {
+                return Some(next.serial);
+            }
+        }
+        None
+    }
+
+    /// Total number of distinct transactions recorded.
+    pub fn tx_count(&self) -> usize {
+        self.tx_index.len()
+    }
+
+    /// Serializes the whole chain (genesis tag is implied by the genesis
+    /// block itself) to canonical bytes for sync or offline audit.
+    ///
+    /// The file ends with an authentication trailer — the hash of the
+    /// configuration and the chain head — so that *every* byte of the
+    /// export is either structural or hash-committed: the hash chain
+    /// covers all interior blocks, and the trailer pins the otherwise
+    /// free-floating head header and `b_limit`.
+    pub fn export(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.b_limit as u64).to_be_bytes());
+        out.extend_from_slice(&(self.blocks.len() as u64).to_be_bytes());
+        for block in &self.blocks {
+            codec::encode_block(&mut out, block);
+        }
+        out.extend_from_slice(self.export_trailer().as_bytes());
+        out
+    }
+
+    fn export_trailer(&self) -> prb_crypto::sha256::Digest {
+        let mut h = prb_crypto::sha256::Sha256::new();
+        h.update_field(b"prb-chain-export");
+        h.update(&(self.b_limit as u64).to_be_bytes());
+        h.update_field(self.latest().hash().as_bytes());
+        h.finalize()
+    }
+
+    /// Imports a chain exported with [`export`](Self::export), replaying
+    /// every block through [`append`](Self::append) so all structural
+    /// invariants (serial continuity, hash chaining, Merkle consistency,
+    /// size bound) are re-verified.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error description or the violated chain invariant.
+    pub fn import(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 16 + 32 {
+            return Err("input shorter than header + trailer".into());
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 32);
+        let mut r = codec::Reader::new(body);
+        let header = &body[..16];
+        let b_limit = u64::from_be_bytes(header[..8].try_into().expect("8 bytes")) as usize;
+        let count = u64::from_be_bytes(header[8..16].try_into().expect("8 bytes"));
+        // Skip the header in the reader.
+        r.skip(16).expect("length checked above");
+        let mut blocks = Vec::new();
+        for i in 0..count {
+            blocks.push(codec::decode_block(&mut r).map_err(|e| format!("block {i}: {e}"))?);
+        }
+        if r.remaining() != 0 {
+            return Err("trailing bytes after chain".into());
+        }
+        let mut iter = blocks.into_iter();
+        let genesis = iter.next().ok_or("empty chain has no genesis")?;
+        if genesis.serial != 0 {
+            return Err("first block is not a genesis block".into());
+        }
+        let mut chain = Chain {
+            blocks: vec![genesis],
+            tx_index: HashMap::new(),
+            b_limit,
+        };
+        for block in iter {
+            let serial = block.serial;
+            chain
+                .append(block)
+                .map_err(|e| format!("block {serial}: {e}"))?;
+        }
+        if chain.export_trailer().as_bytes() != trailer {
+            return Err("authentication trailer mismatch: head or b_limit tampered".into());
+        }
+        Ok(chain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Verdict;
+    use crate::transaction::{Label, SignedTx, TxPayload};
+    use prb_crypto::identity::NodeId;
+    use prb_crypto::signer::CryptoScheme;
+
+    fn entry(nonce: u64, verdict: Verdict) -> BlockEntry {
+        let key = CryptoScheme::sim().keypair_from_seed(b"p0");
+        let tx = SignedTx::create(
+            TxPayload {
+                provider: NodeId::provider(0),
+                nonce,
+                data: vec![9],
+            },
+            1,
+            &key,
+        );
+        BlockEntry {
+            tx,
+            verdict,
+            reported_labels: vec![(NodeId::collector(0), Label::Valid)],
+        }
+    }
+
+    fn extend(chain: &Chain, entries: Vec<BlockEntry>) -> Block {
+        Block::build(
+            chain.height() + 1,
+            entries,
+            chain.latest().hash(),
+            NodeId::governor(0),
+            10,
+        )
+    }
+
+    #[test]
+    fn append_and_retrieve() {
+        let mut chain = Chain::new(b"t", 100);
+        let b1 = extend(&chain, vec![entry(0, Verdict::CheckedValid)]);
+        chain.append(b1.clone()).unwrap();
+        assert_eq!(chain.height(), 1);
+        assert_eq!(chain.retrieve(1), Some(&b1));
+        assert_eq!(chain.retrieve(2), None);
+        assert_eq!(chain.tx_count(), 1);
+    }
+
+    #[test]
+    fn no_skipping_enforced() {
+        let mut chain = Chain::new(b"t", 100);
+        let mut b = extend(&chain, vec![]);
+        b.serial = 5;
+        assert_eq!(
+            chain.append(b),
+            Err(ChainError::NonConsecutiveSerial {
+                expected: 1,
+                got: 5
+            })
+        );
+    }
+
+    #[test]
+    fn chain_integrity_enforced() {
+        let mut chain = Chain::new(b"t", 100);
+        let mut b = extend(&chain, vec![]);
+        b.prev_hash = prb_crypto::sha256::sha256(b"wrong");
+        assert_eq!(
+            chain.append(b),
+            Err(ChainError::BrokenHashChain { serial: 1 })
+        );
+    }
+
+    #[test]
+    fn merkle_mismatch_rejected() {
+        let mut chain = Chain::new(b"t", 100);
+        let mut b = extend(&chain, vec![entry(0, Verdict::CheckedValid)]);
+        b.entries.push(entry(1, Verdict::CheckedValid)); // root now stale
+        assert_eq!(chain.append(b), Err(ChainError::MerkleMismatch { serial: 1 }));
+    }
+
+    #[test]
+    fn block_limit_enforced() {
+        let mut chain = Chain::new(b"t", 2);
+        let b = extend(
+            &chain,
+            vec![
+                entry(0, Verdict::CheckedValid),
+                entry(1, Verdict::CheckedValid),
+                entry(2, Verdict::CheckedValid),
+            ],
+        );
+        assert_eq!(
+            chain.append(b),
+            Err(ChainError::BlockTooLarge { got: 3, limit: 2 })
+        );
+        assert_eq!(chain.b_limit(), 2);
+    }
+
+    #[test]
+    fn find_tx_and_latest_verdict() {
+        let mut chain = Chain::new(b"t", 100);
+        let e = entry(0, Verdict::UncheckedInvalid);
+        let id = e.tx.id();
+        chain.append(extend(&chain, vec![e.clone()])).unwrap();
+        let (loc, found) = chain.find_tx(id).unwrap();
+        assert_eq!(loc, TxLocation { serial: 1, index: 0 });
+        assert_eq!(found.verdict, Verdict::UncheckedInvalid);
+        assert_eq!(chain.latest_verdict(id), Some(Verdict::UncheckedInvalid));
+
+        // Argue re-records the same tx later; latest verdict updates.
+        let mut argued = e;
+        argued.verdict = Verdict::ArguedValid;
+        chain.append(extend(&chain, vec![argued])).unwrap();
+        assert_eq!(chain.latest_verdict(id), Some(Verdict::ArguedValid));
+        // find_tx still reports the first location.
+        assert_eq!(chain.find_tx(id).unwrap().0.serial, 1);
+    }
+
+    #[test]
+    fn audit_detects_tampering() {
+        let mut chain = Chain::new(b"t", 100);
+        for i in 0..5 {
+            chain
+                .append(extend(&chain, vec![entry(i, Verdict::CheckedValid)]))
+                .unwrap();
+        }
+        assert_eq!(chain.audit(), None);
+        // Tamper with a middle block's entry (simulating a rewritten ledger).
+        let mut broken = chain.clone();
+        broken.blocks[2].entries[0].verdict = Verdict::ArguedValid;
+        assert_eq!(broken.audit(), Some(2));
+    }
+
+    #[test]
+    fn agreement_two_replicas_identical() {
+        let mut a = Chain::new(b"t", 100);
+        let mut b = Chain::new(b"t", 100);
+        for i in 0..3 {
+            let blk = extend(&a, vec![entry(i, Verdict::CheckedValid)]);
+            a.append(blk.clone()).unwrap();
+            b.append(blk).unwrap();
+        }
+        for s in 0..=3 {
+            assert_eq!(a.retrieve(s), b.retrieve(s));
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ChainError::NonConsecutiveSerial {
+            expected: 2,
+            got: 7,
+        };
+        assert!(e.to_string().contains("expected serial 2"));
+        assert!(ChainError::BrokenHashChain { serial: 3 }
+            .to_string()
+            .contains("block 3"));
+    }
+}

@@ -1,0 +1,378 @@
+//! Transactions: provider-signed payloads and collector-labeled uploads.
+//!
+//! §3.1 of the paper: a provider's broadcast `tx` *"should contain a
+//! transaction payload, the current timestamp, as well as the provider's
+//! signature on them, to prevent a collector from fabricating one"*; a
+//! collector's upload `Tx` adds *"a label (e.g. valid or invalid), and the
+//! collector's signature on all of them"*.
+
+use std::fmt;
+
+use prb_crypto::identity::NodeId;
+use prb_crypto::sha256::{hash_fields, Digest, Sha256};
+use prb_crypto::signer::{KeyPair, PublicKey, Sig};
+
+/// Unique transaction identifier: the hash of the signed content.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxId(pub Digest);
+
+impl fmt::Debug for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TxId({}…)", &self.0.to_hex()[..12])
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0.to_hex()[..12])
+    }
+}
+
+/// The label a collector assigns to a transaction: `+1` (valid) or `-1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// The collector judged the transaction valid (`+1`).
+    Valid,
+    /// The collector judged the transaction invalid (`-1`).
+    Invalid,
+}
+
+impl Label {
+    /// The paper's numeric form: `+1` or `-1`.
+    pub fn to_i8(self) -> i8 {
+        match self {
+            Label::Valid => 1,
+            Label::Invalid => -1,
+        }
+    }
+
+    /// Builds from a ground-truth validity bit.
+    pub fn from_validity(valid: bool) -> Self {
+        if valid {
+            Label::Valid
+        } else {
+            Label::Invalid
+        }
+    }
+
+    /// The opposite label (a misreport).
+    pub fn flipped(self) -> Self {
+        match self {
+            Label::Valid => Label::Invalid,
+            Label::Invalid => Label::Valid,
+        }
+    }
+
+    /// Whether the label is [`Label::Valid`].
+    pub fn is_valid(self) -> bool {
+        matches!(self, Label::Valid)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Label::Valid => "+1",
+            Label::Invalid => "-1",
+        })
+    }
+}
+
+/// The raw transaction content a provider creates.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TxPayload {
+    /// The authoring provider.
+    pub provider: NodeId,
+    /// Provider-local sequence number (guards against replay of identical
+    /// payloads; combined with the timestamp in the signature).
+    pub nonce: u64,
+    /// Opaque application data (ride request, insurance form, …).
+    pub data: Vec<u8>,
+}
+
+impl TxPayload {
+    fn signing_bytes(&self, timestamp: u64) -> Vec<u8> {
+        let mut h = Sha256::new();
+        h.update_field(b"prb-tx");
+        h.update_field(&self.provider.to_bytes());
+        h.update(&self.nonce.to_be_bytes());
+        h.update(&timestamp.to_be_bytes());
+        h.update_field(&self.data);
+        h.finalize().to_bytes().to_vec()
+    }
+}
+
+/// A provider-signed transaction (`tx` in the paper).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SignedTx {
+    /// The payload.
+    pub payload: TxPayload,
+    /// Provider-side timestamp (simulated ticks), signed together with the
+    /// payload so a collector cannot replay an old transaction as new.
+    pub timestamp: u64,
+    /// Provider signature over payload + timestamp.
+    pub provider_sig: Sig,
+}
+
+impl SignedTx {
+    /// Creates and signs a transaction.
+    pub fn create(payload: TxPayload, timestamp: u64, provider_key: &KeyPair) -> Self {
+        let provider_sig = provider_key.sign(&payload.signing_bytes(timestamp));
+        SignedTx {
+            payload,
+            timestamp,
+            provider_sig,
+        }
+    }
+
+    /// Assembles a transaction from parts without signing (for modeling
+    /// forgery attempts: pair with a garbage [`Sig`]).
+    pub fn from_parts(payload: TxPayload, timestamp: u64, provider_sig: Sig) -> Self {
+        SignedTx {
+            payload,
+            timestamp,
+            provider_sig,
+        }
+    }
+
+    /// The transaction id: hash of payload, timestamp and provider id.
+    pub fn id(&self) -> TxId {
+        TxId(hash_fields(
+            "tx-id",
+            &[
+                &self.payload.provider.to_bytes(),
+                &self.payload.nonce.to_be_bytes(),
+                &self.timestamp.to_be_bytes(),
+                &self.payload.data,
+            ],
+        ))
+    }
+
+    /// Verifies the provider signature against `provider_pk`.
+    pub fn verify(&self, provider_pk: &PublicKey) -> bool {
+        provider_pk.verify(
+            &self.payload.signing_bytes(self.timestamp),
+            &self.provider_sig,
+        )
+    }
+
+    /// Approximate wire size in bytes (for bandwidth accounting).
+    pub fn wire_size(&self) -> usize {
+        self.payload.data.len() + 5 + 8 + 8 + 64
+    }
+}
+
+/// A collector's labeled upload (`Tx` in the paper).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LabeledTx {
+    /// The provider-signed transaction being forwarded.
+    pub tx: SignedTx,
+    /// The collector's validity label.
+    pub label: Label,
+    /// The uploading collector.
+    pub collector: NodeId,
+    /// Collector signature over (tx id, label).
+    pub collector_sig: Sig,
+}
+
+impl LabeledTx {
+    fn signing_bytes(tx_id: TxId, label: Label, collector: NodeId) -> Vec<u8> {
+        let mut h = Sha256::new();
+        h.update_field(b"prb-labeled-tx");
+        h.update_field(tx_id.0.as_bytes());
+        h.update(&[label.to_i8() as u8]);
+        h.update_field(&collector.to_bytes());
+        h.finalize().to_bytes().to_vec()
+    }
+
+    /// Labels and signs `tx` as `collector`.
+    pub fn create(tx: SignedTx, label: Label, collector: NodeId, collector_key: &KeyPair) -> Self {
+        let collector_sig =
+            collector_key.sign(&Self::signing_bytes(tx.id(), label, collector));
+        LabeledTx {
+            tx,
+            label,
+            collector,
+            collector_sig,
+        }
+    }
+
+    /// Assembles from parts without signing (forgery modeling).
+    pub fn from_parts(tx: SignedTx, label: Label, collector: NodeId, collector_sig: Sig) -> Self {
+        LabeledTx {
+            tx,
+            label,
+            collector,
+            collector_sig,
+        }
+    }
+
+    /// Verifies the collector signature (not the inner provider signature).
+    pub fn verify_collector(&self, collector_pk: &PublicKey) -> bool {
+        self.collector_pkless_bytes()
+            .map(|bytes| collector_pk.verify(&bytes, &self.collector_sig))
+            .unwrap_or(false)
+    }
+
+    fn collector_pkless_bytes(&self) -> Option<Vec<u8>> {
+        Some(Self::signing_bytes(self.tx.id(), self.label, self.collector))
+    }
+
+    /// Full verification per the paper's `verify(d, m)` for a collector
+    /// message: the collector signature is genuine *and* the inner provider
+    /// signature is genuine.
+    pub fn verify_full(&self, collector_pk: &PublicKey, provider_pk: &PublicKey) -> bool {
+        self.verify_collector(collector_pk) && self.tx.verify(provider_pk)
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.tx.wire_size() + 1 + 5 + 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prb_crypto::signer::CryptoScheme;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys() -> (KeyPair, KeyPair) {
+        let scheme = CryptoScheme::sim();
+        (
+            scheme.keypair_from_seed(b"provider-0"),
+            scheme.keypair_from_seed(b"collector-0"),
+        )
+    }
+
+    fn sample_tx(pk: &KeyPair) -> SignedTx {
+        SignedTx::create(
+            TxPayload {
+                provider: NodeId::provider(0),
+                nonce: 1,
+                data: b"ride to airport".to_vec(),
+            },
+            100,
+            pk,
+        )
+    }
+
+    #[test]
+    fn provider_signature_verifies() {
+        let (pk, _) = keys();
+        let tx = sample_tx(&pk);
+        assert!(tx.verify(&pk.public_key()));
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let (pk, _) = keys();
+        let mut tx = sample_tx(&pk);
+        tx.payload.data = b"ride to mars".to_vec();
+        assert!(!tx.verify(&pk.public_key()));
+    }
+
+    #[test]
+    fn tampered_timestamp_rejected() {
+        let (pk, _) = keys();
+        let mut tx = sample_tx(&pk);
+        tx.timestamp += 1;
+        assert!(!tx.verify(&pk.public_key()));
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let (pk, _) = keys();
+        let mut rng = StdRng::seed_from_u64(1);
+        let scheme = CryptoScheme::sim();
+        let tx = SignedTx::from_parts(
+            TxPayload {
+                provider: NodeId::provider(0),
+                nonce: 9,
+                data: b"fabricated".to_vec(),
+            },
+            5,
+            Sig::forged(&scheme, &mut rng),
+        );
+        assert!(!tx.verify(&pk.public_key()));
+    }
+
+    #[test]
+    fn tx_ids_are_unique_per_content() {
+        let (pk, _) = keys();
+        let t1 = sample_tx(&pk);
+        let mut p2 = t1.payload.clone();
+        p2.nonce = 2;
+        let t2 = SignedTx::create(p2, 100, &pk);
+        assert_ne!(t1.id(), t2.id());
+        assert_eq!(t1.id(), sample_tx(&pk).id());
+    }
+
+    #[test]
+    fn labeled_tx_roundtrip() {
+        let (pk, ck) = keys();
+        let tx = sample_tx(&pk);
+        let ltx = LabeledTx::create(tx, Label::Valid, NodeId::collector(0), &ck);
+        assert!(ltx.verify_collector(&ck.public_key()));
+        assert!(ltx.verify_full(&ck.public_key(), &pk.public_key()));
+    }
+
+    #[test]
+    fn label_flip_is_detected() {
+        let (pk, ck) = keys();
+        let tx = sample_tx(&pk);
+        let mut ltx = LabeledTx::create(tx, Label::Valid, NodeId::collector(0), &ck);
+        ltx.label = Label::Invalid;
+        assert!(!ltx.verify_collector(&ck.public_key()));
+    }
+
+    #[test]
+    fn collector_identity_bound_into_signature() {
+        let (pk, ck) = keys();
+        let tx = sample_tx(&pk);
+        let mut ltx = LabeledTx::create(tx, Label::Valid, NodeId::collector(0), &ck);
+        ltx.collector = NodeId::collector(1);
+        assert!(!ltx.verify_collector(&ck.public_key()));
+    }
+
+    #[test]
+    fn forged_inner_tx_fails_full_verification() {
+        let (pk, ck) = keys();
+        let mut rng = StdRng::seed_from_u64(2);
+        let scheme = CryptoScheme::sim();
+        let forged_tx = SignedTx::from_parts(
+            TxPayload {
+                provider: NodeId::provider(0),
+                nonce: 3,
+                data: b"never sent".to_vec(),
+            },
+            7,
+            Sig::forged(&scheme, &mut rng),
+        );
+        let ltx = LabeledTx::create(forged_tx, Label::Valid, NodeId::collector(0), &ck);
+        // Collector signature is fine, provider signature is garbage.
+        assert!(ltx.verify_collector(&ck.public_key()));
+        assert!(!ltx.verify_full(&ck.public_key(), &pk.public_key()));
+    }
+
+    #[test]
+    fn label_helpers() {
+        assert_eq!(Label::Valid.to_i8(), 1);
+        assert_eq!(Label::Invalid.to_i8(), -1);
+        assert_eq!(Label::Valid.flipped(), Label::Invalid);
+        assert_eq!(Label::from_validity(true), Label::Valid);
+        assert_eq!(Label::from_validity(false), Label::Invalid);
+        assert!(Label::Valid.is_valid());
+        assert_eq!(Label::Valid.to_string(), "+1");
+        assert_eq!(Label::Invalid.to_string(), "-1");
+    }
+
+    #[test]
+    fn wire_sizes_are_positive_and_monotone() {
+        let (pk, ck) = keys();
+        let tx = sample_tx(&pk);
+        let ltx = LabeledTx::create(tx.clone(), Label::Valid, NodeId::collector(0), &ck);
+        assert!(ltx.wire_size() > tx.wire_size());
+    }
+}

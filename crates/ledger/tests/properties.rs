@@ -1,0 +1,204 @@
+//! Property-based tests of the ledger: whatever sequence of valid blocks
+//! is appended, the chain invariants hold; whatever tampering is applied,
+//! the audit catches it.
+
+use proptest::prelude::*;
+
+use prb_crypto::identity::NodeId;
+use prb_crypto::signer::CryptoScheme;
+use prb_ledger::block::{Block, BlockEntry, Verdict};
+use prb_ledger::chain::Chain;
+use prb_ledger::transaction::{Label, SignedTx, TxPayload};
+
+fn verdict_strategy() -> impl Strategy<Value = Verdict> {
+    prop_oneof![
+        Just(Verdict::CheckedValid),
+        Just(Verdict::UncheckedInvalid),
+        Just(Verdict::UncheckedValid),
+        Just(Verdict::ArguedValid),
+    ]
+}
+
+fn entry(provider: u32, nonce: u64, verdict: Verdict) -> BlockEntry {
+    let key = CryptoScheme::sim().keypair_from_seed(format!("prop-{provider}").as_bytes());
+    let tx = SignedTx::create(
+        TxPayload {
+            provider: NodeId::provider(provider),
+            nonce,
+            data: vec![provider as u8],
+        },
+        7,
+        &key,
+    );
+    BlockEntry {
+        tx,
+        verdict,
+        reported_labels: vec![(NodeId::collector(provider % 3), Label::Valid)],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Appending any sequence of well-formed blocks keeps the chain
+    /// auditable, retrievable, and gap-free.
+    #[test]
+    fn chain_invariants_hold_for_any_block_sequence(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec((0u32..4, verdict_strategy()), 0..6),
+            1..8,
+        )
+    ) {
+        let mut chain = Chain::new(b"prop", 64);
+        let mut nonce = 0u64;
+        for spec in &blocks {
+            let entries: Vec<BlockEntry> = spec
+                .iter()
+                .map(|&(p, v)| {
+                    nonce += 1;
+                    entry(p, nonce, v)
+                })
+                .collect();
+            let block = Block::build(
+                chain.height() + 1,
+                entries,
+                chain.latest().hash(),
+                NodeId::governor(0),
+                nonce,
+            );
+            chain.append(block).expect("well-formed block appends");
+        }
+        prop_assert_eq!(chain.height(), blocks.len() as u64);
+        prop_assert_eq!(chain.audit(), None);
+        // No Skipping: every serial up to the height retrieves.
+        for s in 0..=chain.height() {
+            prop_assert!(chain.retrieve(s).is_some());
+        }
+        // Every recorded transaction is findable at its first location.
+        for block in chain.iter() {
+            for e in &block.entries {
+                let (loc, found) = chain.find_tx(e.tx.id()).expect("indexed");
+                let stored = &chain.retrieve(loc.serial).expect("exists").entries[loc.index];
+                prop_assert_eq!(stored.tx.id(), found.tx.id());
+            }
+        }
+    }
+
+    /// Any bit of tampering with a committed block is caught by audit.
+    #[test]
+    fn audit_catches_any_tamper(
+        n_blocks in 2u64..6,
+        target in 0usize..4,
+        kind in 0u8..3,
+    ) {
+        let mut chain = Chain::new(b"prop2", 64);
+        for i in 0..n_blocks {
+            let block = Block::build(
+                chain.height() + 1,
+                vec![entry(0, i + 1, Verdict::CheckedValid)],
+                chain.latest().hash(),
+                NodeId::governor(0),
+                i,
+            );
+            chain.append(block).expect("appends");
+        }
+        prop_assert_eq!(chain.audit(), None);
+        // Tamper via a cloned chain's internals: rebuild one block. A
+        // header-only tamper (kind 1) of the *last* block produces a
+        // different-but-self-consistent chain that replay alone cannot
+        // distinguish (agreement across replicas catches that case), so
+        // the victim is never the final block.
+        let victim = (target as u64 % (n_blocks - 1)) + 1;
+        let mut blocks: Vec<Block> = chain.iter().cloned().collect();
+        let b = &mut blocks[victim as usize];
+        match kind {
+            0 => b.entries[0].verdict = Verdict::ArguedValid, // merkle break
+            1 => b.timestamp += 1,                            // hash-chain break
+            _ => b.serial += 1,                               // serial break
+        }
+        // Re-assemble a chain-like structure and audit it by replaying.
+        let mut replay = Chain::new(b"prop2", 64);
+        let mut broken = false;
+        for block in blocks.into_iter().skip(1) {
+            if replay.append(block).is_err() {
+                broken = true;
+                break;
+            }
+        }
+        prop_assert!(broken, "tampering of kind {kind} went unnoticed");
+    }
+
+    /// Merkle commitments make block hashes injective in the entry list.
+    #[test]
+    fn block_hash_injective_in_entries(
+        a in proptest::collection::vec((0u32..3, verdict_strategy()), 0..5),
+        b in proptest::collection::vec((0u32..3, verdict_strategy()), 0..5),
+    ) {
+        let prev = Block::genesis(b"x").hash();
+        let build = |spec: &[(u32, Verdict)]| {
+            let entries = spec
+                .iter()
+                .enumerate()
+                .map(|(i, &(p, v))| entry(p, i as u64, v))
+                .collect();
+            Block::build(1, entries, prev, NodeId::governor(0), 0)
+        };
+        let ba = build(&a);
+        let bb = build(&b);
+        if a == b {
+            prop_assert_eq!(ba.hash(), bb.hash());
+        } else {
+            prop_assert_ne!(ba.hash(), bb.hash());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Export/import round-trips exactly, and flipping any byte past the
+    /// 16-byte file header (b_limit + block count) is rejected on import:
+    /// every content byte is either hash-committed or structural.
+    #[test]
+    fn export_is_tamper_evident(
+        n_blocks in 1u64..5,
+        per_block in 1usize..4,
+        flip in any::<proptest::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut chain = Chain::new(b"export-prop", 64);
+        let mut nonce = 0;
+        for _ in 0..n_blocks {
+            let entries = (0..per_block)
+                .map(|p| {
+                    nonce += 1;
+                    entry(p as u32 % 4, nonce, Verdict::CheckedValid)
+                })
+                .collect();
+            let block = Block::build(
+                chain.height() + 1,
+                entries,
+                chain.latest().hash(),
+                NodeId::governor(0),
+                nonce,
+            );
+            chain.append(block).expect("appends");
+        }
+        let bytes = chain.export();
+        // Clean import round-trips.
+        let imported = Chain::import(&bytes).expect("clean import");
+        prop_assert_eq!(imported.latest().hash(), chain.latest().hash());
+        prop_assert_eq!(imported.height(), chain.height());
+        // Any single-bit flip anywhere in the file fails to import
+        // (lengths are structural, content is hash-committed, and the
+        // trailer pins b_limit and the chain head).
+        let idx = flip.index(bytes.len());
+        let mut tampered = bytes.clone();
+        tampered[idx] ^= 1 << bit;
+        prop_assert!(
+            Chain::import(&tampered).is_err(),
+            "flip of bit {bit} at byte {idx} (of {}) imported cleanly",
+            bytes.len()
+        );
+    }
+}

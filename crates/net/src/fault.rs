@@ -1,0 +1,177 @@
+//! Fault injection: crashes, message loss, and network partitions.
+//!
+//! The protocol's safety properties (§3.1) must hold under crash faults and
+//! message loss within the synchrony budget. [`FaultPlan`] describes the
+//! faults for a run; the kernel consults it on every send/delivery.
+
+use std::collections::HashMap;
+
+use crate::message::NodeIdx;
+use crate::time::SimTime;
+
+/// A temporary partition of the node set.
+///
+/// While active, messages between nodes in *different* groups are dropped.
+/// Nodes in no group communicate freely with each other and with every
+/// group (they are unaffected bystanders).
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Disjoint groups of nodes that cannot reach each other.
+    pub groups: Vec<Vec<NodeIdx>>,
+    /// Partition start (inclusive).
+    pub from: SimTime,
+    /// Partition end (exclusive).
+    pub until: SimTime,
+}
+
+/// The full fault schedule for a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    crashes: HashMap<NodeIdx, Vec<(SimTime, SimTime)>>,
+    link_drop_prob: HashMap<(NodeIdx, NodeIdx), f64>,
+    default_drop_prob: f64,
+    partitions: Vec<Partition>,
+}
+
+impl FaultPlan {
+    /// A fault-free plan.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Crashes `node` at time `at`, permanently (it neither sends nor
+    /// receives afterwards).
+    pub fn crash(&mut self, node: NodeIdx, at: SimTime) -> &mut Self {
+        self.crash_window(node, at, SimTime::MAX)
+    }
+
+    /// Crashes `node` for the window `[from, until)`: a crash-recovery
+    /// fault. The node is deaf and mute inside the window and resumes with
+    /// its pre-crash state afterwards (any recovery protocol — e.g. chain
+    /// sync — is the application's job).
+    pub fn crash_window(&mut self, node: NodeIdx, from: SimTime, until: SimTime) -> &mut Self {
+        self.crashes.entry(node).or_default().push((from, until));
+        self
+    }
+
+    /// Sets a uniform drop probability for all links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not in `[0, 1]`.
+    pub fn drop_all(&mut self, prob: f64) -> &mut Self {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.default_drop_prob = prob;
+        self
+    }
+
+    /// Sets a drop probability for the directed link `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not in `[0, 1]`.
+    pub fn drop_link(&mut self, from: NodeIdx, to: NodeIdx, prob: f64) -> &mut Self {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.link_drop_prob.insert((from, to), prob);
+        self
+    }
+
+    /// Adds a timed partition.
+    pub fn partition(&mut self, partition: Partition) -> &mut Self {
+        self.partitions.push(partition);
+        self
+    }
+
+    /// Whether `node` is crashed at time `at`.
+    pub fn is_crashed(&self, node: NodeIdx, at: SimTime) -> bool {
+        self.crashes
+            .get(&node)
+            .is_some_and(|windows| windows.iter().any(|&(from, until)| at >= from && at < until))
+    }
+
+    /// Drop probability for the link `from → to`.
+    pub fn drop_prob(&self, from: NodeIdx, to: NodeIdx) -> f64 {
+        self.link_drop_prob
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_drop_prob)
+    }
+
+    /// Whether a partition separates `from` and `to` at time `at`.
+    pub fn is_partitioned(&self, from: NodeIdx, to: NodeIdx, at: SimTime) -> bool {
+        self.partitions.iter().any(|p| {
+            if at < p.from || at >= p.until {
+                return false;
+            }
+            let group_of = |n: NodeIdx| p.groups.iter().position(|g| g.contains(&n));
+            match (group_of(from), group_of(to)) {
+                (Some(a), Some(b)) => a != b,
+                // A node outside every group is unaffected.
+                _ => false,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crashes_take_effect_at_time() {
+        let mut plan = FaultPlan::none();
+        plan.crash(3, SimTime(100));
+        assert!(!plan.is_crashed(3, SimTime(99)));
+        assert!(plan.is_crashed(3, SimTime(100)));
+        assert!(plan.is_crashed(3, SimTime(200)));
+        assert!(!plan.is_crashed(4, SimTime(200)));
+    }
+
+    #[test]
+    fn crash_windows_allow_recovery() {
+        let mut plan = FaultPlan::none();
+        plan.crash_window(1, SimTime(10), SimTime(20));
+        plan.crash_window(1, SimTime(40), SimTime(50));
+        assert!(!plan.is_crashed(1, SimTime(9)));
+        assert!(plan.is_crashed(1, SimTime(10)));
+        assert!(plan.is_crashed(1, SimTime(19)));
+        assert!(!plan.is_crashed(1, SimTime(20)));
+        assert!(plan.is_crashed(1, SimTime(45)));
+        assert!(!plan.is_crashed(1, SimTime(50)));
+    }
+
+    #[test]
+    fn link_overrides_default_drop() {
+        let mut plan = FaultPlan::none();
+        plan.drop_all(0.1).drop_link(1, 2, 0.9);
+        assert_eq!(plan.drop_prob(1, 2), 0.9);
+        assert_eq!(plan.drop_prob(2, 1), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_probability_rejected() {
+        FaultPlan::none().drop_all(1.5);
+    }
+
+    #[test]
+    fn partition_window_and_groups() {
+        let mut plan = FaultPlan::none();
+        plan.partition(Partition {
+            groups: vec![vec![0, 1], vec![2, 3]],
+            from: SimTime(10),
+            until: SimTime(20),
+        });
+        // Across groups, inside window: partitioned.
+        assert!(plan.is_partitioned(0, 2, SimTime(10)));
+        assert!(plan.is_partitioned(3, 1, SimTime(19)));
+        // Same group: fine.
+        assert!(!plan.is_partitioned(0, 1, SimTime(15)));
+        // Outside window: fine.
+        assert!(!plan.is_partitioned(0, 2, SimTime(9)));
+        assert!(!plan.is_partitioned(0, 2, SimTime(20)));
+        // Bystander (node 4 in no group): fine both ways.
+        assert!(!plan.is_partitioned(4, 0, SimTime(15)));
+        assert!(!plan.is_partitioned(2, 4, SimTime(15)));
+    }
+}

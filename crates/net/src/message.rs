@@ -1,0 +1,66 @@
+//! Message envelopes and node addressing for the simulation kernel.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Index of a node within a [`crate::sim::Network`].
+pub type NodeIdx = usize;
+
+/// Pseudo-sender for messages injected by the simulation driver (e.g.
+/// round-start commands) rather than by another node.
+pub const EXTERNAL: NodeIdx = usize::MAX;
+
+/// A message in flight or being delivered.
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    /// Sending node, or [`EXTERNAL`] for driver-injected messages.
+    pub from: NodeIdx,
+    /// Receiving node.
+    pub to: NodeIdx,
+    /// Statistic/debugging tag chosen by the sender.
+    pub kind: &'static str,
+    /// Declared payload size in bytes (for bandwidth accounting only).
+    pub size: usize,
+    /// When the message was sent.
+    pub sent_at: SimTime,
+    /// The payload.
+    pub payload: M,
+}
+
+impl<M> Envelope<M> {
+    /// Whether this message was injected by the driver.
+    pub fn is_external(&self) -> bool {
+        self.from == EXTERNAL
+    }
+}
+
+/// Identifier of a pending timer, unique within one network run.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(pub(crate) u64);
+
+impl fmt::Debug for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TimerId({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn external_detection() {
+        let env = Envelope {
+            from: EXTERNAL,
+            to: 0,
+            kind: "cmd",
+            size: 0,
+            sent_at: SimTime::ZERO,
+            payload: (),
+        };
+        assert!(env.is_external());
+        let env = Envelope { from: 1, ..env };
+        assert!(!env.is_external());
+    }
+}

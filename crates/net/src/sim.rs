@@ -1,0 +1,643 @@
+//! The discrete-event simulation kernel.
+//!
+//! A [`Network`] owns a set of actors, an event heap, a [`FaultPlan`], and
+//! the message statistics. Actors implement [`Actor`] and interact with the
+//! world only through the [`Context`] handed to their callbacks, which keeps
+//! the kernel deterministic: given the same seed and the same actor logic, a
+//! run is bit-for-bit reproducible.
+//!
+//! Delivery model: each message is assigned a delay drawn uniformly from
+//! `[min_delay, max_delay]` (the synchrony bound Δ of §3.1). Ties are broken
+//! by send order, so the schedule is deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fault::FaultPlan;
+use crate::message::{Envelope, NodeIdx, TimerId, EXTERNAL};
+use crate::stats::MessageStats;
+use crate::time::{SimDuration, SimTime};
+
+/// A protocol participant driven by the kernel.
+pub trait Actor {
+    /// The message type exchanged between actors.
+    type Msg;
+
+    /// Called when a message (or external command) is delivered.
+    fn on_message(&mut self, envelope: Envelope<Self::Msg>, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _timer: TimerId, _ctx: &mut Context<'_, Self::Msg>) {}
+}
+
+/// Network delay configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Minimum message latency.
+    pub min_delay: SimDuration,
+    /// Maximum message latency — the synchrony bound Δ.
+    pub max_delay: SimDuration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            min_delay: SimDuration(1),
+            max_delay: SimDuration(10),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Uniform latency in `[min, max]` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn uniform(min: u64, max: u64) -> Self {
+        assert!(min <= max, "min_delay must not exceed max_delay");
+        NetConfig {
+            min_delay: SimDuration(min),
+            max_delay: SimDuration(max),
+        }
+    }
+
+    /// The synchrony bound Δ.
+    pub fn delta(&self) -> SimDuration {
+        self.max_delay
+    }
+}
+
+enum EventKind<M> {
+    Deliver(Envelope<M>),
+    Timer { node: NodeIdx, timer: TimerId },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Handle through which an actor interacts with the kernel during a callback.
+///
+/// Sends and timer requests are buffered and applied by the kernel after the
+/// callback returns.
+pub struct Context<'a, M> {
+    now: SimTime,
+    self_idx: NodeIdx,
+    rng: &'a mut StdRng,
+    outbox: Vec<(NodeIdx, &'static str, usize, M, Option<SimDuration>)>,
+    timer_requests: Vec<(SimDuration, TimerId)>,
+    next_timer: &'a mut u64,
+}
+
+impl<M> std::fmt::Debug for Context<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("now", &self.now)
+            .field("self_idx", &self.self_idx)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M> Context<'_, M> {
+    /// Current global simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The index of the actor being called.
+    pub fn self_idx(&self) -> NodeIdx {
+        self.self_idx
+    }
+
+    /// The kernel's deterministic RNG (shared by all actors).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Sends `payload` to `to` with a kernel-chosen delay in `[min, Δ]`.
+    pub fn send(&mut self, to: NodeIdx, kind: &'static str, payload: M) {
+        self.outbox.push((to, kind, 0, payload, None));
+    }
+
+    /// Like [`send`](Self::send) with a declared payload size for
+    /// bandwidth accounting.
+    pub fn send_sized(&mut self, to: NodeIdx, kind: &'static str, size: usize, payload: M) {
+        self.outbox.push((to, kind, size, payload, None));
+    }
+
+    /// Sends with an explicit delay (still subject to faults). Useful for
+    /// modeling processing time on top of network latency.
+    pub fn send_after(
+        &mut self,
+        to: NodeIdx,
+        kind: &'static str,
+        payload: M,
+        delay: SimDuration,
+    ) {
+        self.outbox.push((to, kind, 0, payload, Some(delay)));
+    }
+
+    /// Schedules a timer for this actor after `delay`; returns its id.
+    pub fn set_timer(&mut self, delay: SimDuration) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.timer_requests.push((delay, id));
+        id
+    }
+}
+
+/// The simulated network: actors + event queue + faults + statistics.
+pub struct Network<A: Actor> {
+    nodes: Vec<A>,
+    queue: BinaryHeap<Event<A::Msg>>,
+    now: SimTime,
+    config: NetConfig,
+    faults: FaultPlan,
+    stats: MessageStats,
+    rng: StdRng,
+    next_seq: u64,
+    next_timer: u64,
+    events_processed: u64,
+}
+
+impl<A: Actor> std::fmt::Debug for Network<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.now)
+            .field("pending_events", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl<A: Actor> Network<A> {
+    /// Creates an empty network.
+    pub fn new(config: NetConfig, seed: u64) -> Self {
+        Network {
+            nodes: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            config,
+            faults: FaultPlan::none(),
+            stats: MessageStats::new(),
+            rng: StdRng::seed_from_u64(seed),
+            next_seq: 0,
+            next_timer: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// Installs a fault plan (replacing any previous one).
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// Adds an actor, returning its index.
+    pub fn add_node(&mut self, actor: A) -> NodeIdx {
+        self.nodes.push(actor);
+        self.nodes.len() - 1
+    }
+
+    /// Number of actors.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to an actor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn node(&self, idx: NodeIdx) -> &A {
+        &self.nodes[idx]
+    }
+
+    /// Mutable access to an actor (e.g. for post-run inspection hooks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn node_mut(&mut self, idx: NodeIdx) -> &mut A {
+        &mut self.nodes[idx]
+    }
+
+    /// Iterates over all actors.
+    pub fn nodes(&self) -> impl Iterator<Item = &A> {
+        self.nodes.iter()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MessageStats {
+        &self.stats
+    }
+
+    /// Mutable statistics (to reset between measurement windows).
+    pub fn stats_mut(&mut self) -> &mut MessageStats {
+        &mut self.stats
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Injects an external message to `to`, delivered at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past or `to` is out of range.
+    pub fn send_external(&mut self, to: NodeIdx, kind: &'static str, payload: A::Msg, at: SimTime) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        assert!(to < self.nodes.len(), "unknown node {to}");
+        self.stats.record_sent(kind, 0);
+        let seq = self.bump_seq();
+        self.queue.push(Event {
+            at,
+            seq,
+            kind: EventKind::Deliver(Envelope {
+                from: EXTERNAL,
+                to,
+                kind,
+                size: 0,
+                sent_at: self.now,
+                payload,
+            }),
+        });
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Runs until the queue is empty or `max_events` have been processed.
+    ///
+    /// Returns the number of events processed by this call.
+    pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
+        let mut processed = 0;
+        while processed < max_events {
+            if !self.step() {
+                break;
+            }
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Runs events with `at <= deadline`. Afterwards `now == deadline` if
+    /// the queue emptied or the next event lies beyond the deadline.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.queue.peek() {
+                Some(e) if e.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Processes one event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(event) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.now, "time went backwards");
+        self.now = event.at;
+        self.events_processed += 1;
+        match event.kind {
+            EventKind::Deliver(envelope) => {
+                if self.faults.is_crashed(envelope.to, self.now) {
+                    self.stats.record_dropped(envelope.kind);
+                    return true;
+                }
+                self.stats.record_delivered(envelope.kind);
+                let to = envelope.to;
+                self.dispatch(to, |actor, ctx| actor.on_message(envelope, ctx));
+            }
+            EventKind::Timer { node, timer } => {
+                if self.faults.is_crashed(node, self.now) {
+                    return true;
+                }
+                self.stats.record_timer();
+                self.dispatch(node, |actor, ctx| actor.on_timer(timer, ctx));
+            }
+        }
+        true
+    }
+
+    fn dispatch<F>(&mut self, node: NodeIdx, f: F)
+    where
+        F: FnOnce(&mut A, &mut Context<'_, A::Msg>),
+    {
+        let mut ctx = Context {
+            now: self.now,
+            self_idx: node,
+            rng: &mut self.rng,
+            outbox: Vec::new(),
+            timer_requests: Vec::new(),
+            next_timer: &mut self.next_timer,
+        };
+        f(&mut self.nodes[node], &mut ctx);
+        let Context {
+            outbox,
+            timer_requests,
+            ..
+        } = ctx;
+        for (to, kind, size, payload, explicit_delay) in outbox {
+            self.enqueue_send(node, to, kind, size, payload, explicit_delay);
+        }
+        for (delay, timer) in timer_requests {
+            let seq = self.bump_seq();
+            self.queue.push(Event {
+                at: self.now + delay,
+                seq,
+                kind: EventKind::Timer { node, timer },
+            });
+        }
+    }
+
+    fn enqueue_send(
+        &mut self,
+        from: NodeIdx,
+        to: NodeIdx,
+        kind: &'static str,
+        size: usize,
+        payload: A::Msg,
+        explicit_delay: Option<SimDuration>,
+    ) {
+        assert!(to < self.nodes.len(), "send to unknown node {to}");
+        self.stats.record_sent(kind, size);
+        // Fault checks at send time.
+        if self.faults.is_crashed(from, self.now)
+            || self.faults.is_partitioned(from, to, self.now)
+        {
+            self.stats.record_dropped(kind);
+            return;
+        }
+        let p = self.faults.drop_prob(from, to);
+        if p > 0.0 && self.rng.gen::<f64>() < p {
+            self.stats.record_dropped(kind);
+            return;
+        }
+        let delay = explicit_delay.unwrap_or_else(|| {
+            let min = self.config.min_delay.0;
+            let max = self.config.max_delay.0;
+            SimDuration(self.rng.gen_range(min..=max))
+        });
+        let seq = self.bump_seq();
+        self.queue.push(Event {
+            at: self.now + delay,
+            seq,
+            kind: EventKind::Deliver(Envelope {
+                from,
+                to,
+                kind,
+                size,
+                sent_at: self.now,
+                payload,
+            }),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Partition;
+
+    /// Test actor: counts received values; pings neighbours on command.
+    struct Counter {
+        received: Vec<(NodeIdx, u64)>,
+        timers: u32,
+        forward_to: Option<NodeIdx>,
+    }
+
+    impl Counter {
+        fn new() -> Self {
+            Counter {
+                received: Vec::new(),
+                timers: 0,
+                forward_to: None,
+            }
+        }
+    }
+
+    impl Actor for Counter {
+        type Msg = u64;
+
+        fn on_message(&mut self, env: Envelope<u64>, ctx: &mut Context<'_, u64>) {
+            self.received.push((env.from, env.payload));
+            if let Some(next) = self.forward_to {
+                ctx.send(next, "fwd", env.payload + 1);
+            }
+        }
+
+        fn on_timer(&mut self, _t: TimerId, _ctx: &mut Context<'_, u64>) {
+            self.timers += 1;
+        }
+    }
+
+    fn two_node_net() -> Network<Counter> {
+        let mut net = Network::new(NetConfig::uniform(1, 5), 42);
+        net.add_node(Counter::new());
+        net.add_node(Counter::new());
+        net
+    }
+
+    #[test]
+    fn external_message_delivery() {
+        let mut net = two_node_net();
+        net.send_external(0, "cmd", 7, SimTime(3));
+        net.run_until_idle(100);
+        assert_eq!(net.node(0).received, vec![(EXTERNAL, 7)]);
+        assert_eq!(net.now(), SimTime(3));
+    }
+
+    #[test]
+    fn forwarding_respects_delay_bounds() {
+        let mut net = two_node_net();
+        net.node_mut(0).forward_to = Some(1);
+        net.send_external(0, "cmd", 1, SimTime(0));
+        net.run_until_idle(100);
+        assert_eq!(net.node(1).received, vec![(0, 2)]);
+        // Delivered within [1, 5] ticks of the send at t=0.
+        assert!(net.now().ticks() >= 1 && net.now().ticks() <= 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut net = Network::new(NetConfig::uniform(1, 50), seed);
+            let a = net.add_node(Counter::new());
+            let b = net.add_node(Counter::new());
+            net.node_mut(a).forward_to = Some(b);
+            net.node_mut(b).forward_to = Some(a);
+            for i in 0..10 {
+                net.send_external(a, "cmd", i, SimTime(i));
+            }
+            net.run_until_idle(100); // bounded: forwarding loops forever
+            (net.now(), net.node(a).received.clone())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).1, run(8).1);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerActor {
+            fired: Vec<TimerId>,
+            pending: Vec<TimerId>,
+        }
+        impl Actor for TimerActor {
+            type Msg = ();
+            fn on_message(&mut self, _env: Envelope<()>, ctx: &mut Context<'_, ()>) {
+                self.pending.push(ctx.set_timer(SimDuration(10)));
+                self.pending.push(ctx.set_timer(SimDuration(5)));
+            }
+            fn on_timer(&mut self, t: TimerId, _ctx: &mut Context<'_, ()>) {
+                self.fired.push(t);
+            }
+        }
+        let mut net = Network::new(NetConfig::default(), 1);
+        let n = net.add_node(TimerActor {
+            fired: vec![],
+            pending: vec![],
+        });
+        net.send_external(n, "cmd", (), SimTime(0));
+        net.run_until_idle(10);
+        let pending = net.node(n).pending.clone();
+        // The 5-tick timer (second set) fires before the 10-tick timer.
+        assert_eq!(net.node(n).fired, vec![pending[1], pending[0]]);
+        assert_eq!(net.stats().timers_fired(), 2);
+    }
+
+    #[test]
+    fn crashed_node_receives_nothing() {
+        let mut net = two_node_net();
+        let mut faults = FaultPlan::none();
+        faults.crash(1, SimTime(0));
+        net.set_faults(faults);
+        net.node_mut(0).forward_to = Some(1);
+        net.send_external(0, "cmd", 1, SimTime(0));
+        net.run_until_idle(100);
+        assert!(net.node(1).received.is_empty());
+        assert_eq!(net.stats().kind("fwd").dropped, 1);
+    }
+
+    #[test]
+    fn crashed_sender_sends_nothing() {
+        let mut net = two_node_net();
+        let mut faults = FaultPlan::none();
+        faults.crash(0, SimTime(1));
+        net.set_faults(faults);
+        net.node_mut(0).forward_to = Some(1);
+        // Delivered at t=2 (> crash) — the actor is dead, handler not run.
+        net.send_external(0, "cmd", 1, SimTime(2));
+        net.run_until_idle(100);
+        assert!(net.node(0).received.is_empty());
+        assert!(net.node(1).received.is_empty());
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic() {
+        let mut net = two_node_net();
+        let mut faults = FaultPlan::none();
+        faults.partition(Partition {
+            groups: vec![vec![0], vec![1]],
+            from: SimTime(0),
+            until: SimTime(100),
+        });
+        net.set_faults(faults);
+        net.node_mut(0).forward_to = Some(1);
+        net.send_external(0, "cmd", 9, SimTime(0));
+        net.run_until_idle(100);
+        assert!(net.node(1).received.is_empty());
+        // After the partition heals, traffic flows.
+        net.send_external(0, "cmd", 10, SimTime(200));
+        net.run_until_idle(100);
+        assert_eq!(net.node(1).received, vec![(0, 11)]);
+    }
+
+    #[test]
+    fn lossy_link_drops_approximately_p() {
+        let mut net = Network::new(NetConfig::uniform(1, 1), 99);
+        let a = net.add_node(Counter::new());
+        let b = net.add_node(Counter::new());
+        let mut faults = FaultPlan::none();
+        faults.drop_link(a, b, 0.5);
+        net.set_faults(faults);
+        net.node_mut(a).forward_to = Some(b);
+        for i in 0..1000 {
+            net.send_external(a, "cmd", i, SimTime(i));
+        }
+        net.run_until_idle(10_000);
+        let got = net.node(b).received.len();
+        assert!((300..700).contains(&got), "got {got} of 1000 at p=0.5");
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut net = two_node_net();
+        net.send_external(0, "cmd", 1, SimTime(10));
+        net.send_external(0, "cmd", 2, SimTime(20));
+        net.run_until(SimTime(15));
+        assert_eq!(net.node(0).received.len(), 1);
+        assert_eq!(net.now(), SimTime(15));
+        net.run_until(SimTime(25));
+        assert_eq!(net.node(0).received.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn external_to_unknown_node_panics() {
+        let mut net = two_node_net();
+        net.send_external(5, "cmd", 1, SimTime(0));
+    }
+
+    #[test]
+    fn stats_track_sent_and_delivered() {
+        let mut net = two_node_net();
+        net.node_mut(0).forward_to = Some(1);
+        net.send_external(0, "cmd", 1, SimTime(0));
+        net.run_until_idle(100);
+        assert_eq!(net.stats().kind("cmd").sent, 1);
+        assert_eq!(net.stats().kind("cmd").delivered, 1);
+        assert_eq!(net.stats().kind("fwd").sent, 1);
+        assert_eq!(net.stats().kind("fwd").delivered, 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Message accounting for complexity experiments.
+//!
+//! §4.1 of the paper claims `O(b_limit · m)` communication for an ordinary
+//! block and `O(m²)` for a stake-transform block. [`MessageStats`] counts
+//! every send/delivery/drop per message kind so experiment E6 can measure
+//! those shapes directly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-kind message counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Messages handed to the kernel for sending.
+    pub sent: u64,
+    /// Messages actually delivered to a live receiver.
+    pub delivered: u64,
+    /// Messages dropped (faults, crashes, partitions).
+    pub dropped: u64,
+    /// Sum of declared payload sizes of sent messages, in bytes.
+    pub bytes_sent: u64,
+}
+
+/// Aggregated network statistics, broken down by message kind.
+///
+/// Kinds are `&'static str` tags chosen by the sending actor (e.g.
+/// `"tx-upload"`, `"block-proposal"`).
+#[derive(Clone, Debug, Default)]
+pub struct MessageStats {
+    by_kind: BTreeMap<&'static str, KindStats>,
+    timers_fired: u64,
+}
+
+impl MessageStats {
+    /// Fresh, all-zero statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_sent(&mut self, kind: &'static str, bytes: usize) {
+        let entry = self.by_kind.entry(kind).or_default();
+        entry.sent += 1;
+        entry.bytes_sent += bytes as u64;
+    }
+
+    pub(crate) fn record_delivered(&mut self, kind: &'static str) {
+        self.by_kind.entry(kind).or_default().delivered += 1;
+    }
+
+    pub(crate) fn record_dropped(&mut self, kind: &'static str) {
+        self.by_kind.entry(kind).or_default().dropped += 1;
+    }
+
+    pub(crate) fn record_timer(&mut self) {
+        self.timers_fired += 1;
+    }
+
+    /// Counters for one message kind (zeros if never seen).
+    pub fn kind(&self, kind: &str) -> KindStats {
+        self.by_kind.get(kind).cloned().unwrap_or_default()
+    }
+
+    /// Iterates over all kinds in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &KindStats)> {
+        self.by_kind.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Total messages sent across all kinds.
+    pub fn total_sent(&self) -> u64 {
+        self.by_kind.values().map(|k| k.sent).sum()
+    }
+
+    /// Total messages delivered across all kinds.
+    pub fn total_delivered(&self) -> u64 {
+        self.by_kind.values().map(|k| k.delivered).sum()
+    }
+
+    /// Total messages dropped across all kinds.
+    pub fn total_dropped(&self) -> u64 {
+        self.by_kind.values().map(|k| k.dropped).sum()
+    }
+
+    /// Total declared bytes sent.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.by_kind.values().map(|k| k.bytes_sent).sum()
+    }
+
+    /// Number of timer events fired.
+    pub fn timers_fired(&self) -> u64 {
+        self.timers_fired
+    }
+
+    /// Resets all counters (e.g. between measurement windows).
+    pub fn reset(&mut self) {
+        self.by_kind.clear();
+        self.timers_fired = 0;
+    }
+}
+
+impl fmt::Display for MessageStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<24} {:>10} {:>10} {:>8} {:>12}",
+            "kind", "sent", "delivered", "dropped", "bytes"
+        )?;
+        for (kind, stats) in self.iter() {
+            writeln!(
+                f,
+                "{:<24} {:>10} {:>10} {:>8} {:>12}",
+                kind, stats.sent, stats.delivered, stats.dropped, stats.bytes_sent
+            )?;
+        }
+        write!(f, "timers fired: {}", self.timers_fired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = MessageStats::new();
+        s.record_sent("tx", 100);
+        s.record_sent("tx", 50);
+        s.record_delivered("tx");
+        s.record_dropped("tx");
+        s.record_sent("block", 10);
+        assert_eq!(s.kind("tx").sent, 2);
+        assert_eq!(s.kind("tx").delivered, 1);
+        assert_eq!(s.kind("tx").dropped, 1);
+        assert_eq!(s.kind("tx").bytes_sent, 150);
+        assert_eq!(s.total_sent(), 3);
+        assert_eq!(s.total_bytes_sent(), 160);
+        assert_eq!(s.kind("unknown"), KindStats::default());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = MessageStats::new();
+        s.record_sent("tx", 1);
+        s.record_timer();
+        s.reset();
+        assert_eq!(s.total_sent(), 0);
+        assert_eq!(s.timers_fired(), 0);
+    }
+
+    #[test]
+    fn display_renders_all_kinds() {
+        let mut s = MessageStats::new();
+        s.record_sent("alpha", 5);
+        s.record_sent("beta", 6);
+        let text = s.to_string();
+        assert!(text.contains("alpha"));
+        assert!(text.contains("beta"));
+        assert!(text.contains("timers fired: 0"));
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let mut s = MessageStats::new();
+        s.record_sent("zz", 0);
+        s.record_sent("aa", 0);
+        let kinds: Vec<_> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(kinds, vec!["aa", "zz"]);
+    }
+}

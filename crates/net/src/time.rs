@@ -1,0 +1,205 @@
+//! Simulated time: global ticks plus per-node drifting local clocks.
+//!
+//! The paper's system model (§3.1) is synchronous: *"there is a known upper
+//! bound on processing delays, message transmission delays, each node is
+//! equipped with a local physical clock and there is an upper bound on the
+//! rate at which any local clock deviates from a global real-time clock"*.
+//! [`SimTime`] is the global real-time clock of the simulation;
+//! [`LocalClock`] models a node's bounded-drift physical clock.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in abstract ticks.
+///
+/// Experiments interpret one tick as one microsecond when they need a human
+/// unit, but nothing in the kernel depends on the interpretation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in ticks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable time (used as "never").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Ticks since time zero.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Duration of `n` ticks.
+    pub fn from_ticks(n: u64) -> Self {
+        SimDuration(n)
+    }
+
+    /// Number of ticks.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ticks", self.0)
+    }
+}
+
+/// A node's local physical clock with bounded drift.
+///
+/// Local time is `offset + global * rate`, with `rate = rate_ppm / 10^6`
+/// expressed in parts-per-million so a `rate_ppm` of `1_000_000` is a
+/// perfect clock and `1_000_100` runs 100 ppm fast. The synchrony
+/// assumption bounds `|rate_ppm - 10^6|`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LocalClock {
+    offset: u64,
+    rate_ppm: u64,
+}
+
+impl Default for LocalClock {
+    fn default() -> Self {
+        Self::perfect()
+    }
+}
+
+impl LocalClock {
+    /// A drift-free clock with zero offset.
+    pub fn perfect() -> Self {
+        LocalClock {
+            offset: 0,
+            rate_ppm: 1_000_000,
+        }
+    }
+
+    /// A clock with the given start offset and rate (ppm of real time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_ppm` is zero (a stopped clock violates the model).
+    pub fn with_drift(offset: u64, rate_ppm: u64) -> Self {
+        assert!(rate_ppm > 0, "clock rate must be positive");
+        LocalClock { offset, rate_ppm }
+    }
+
+    /// Reads the local clock at global time `now`.
+    pub fn read(&self, now: SimTime) -> SimTime {
+        let scaled = (now.0 as u128 * self.rate_ppm as u128 / 1_000_000) as u64;
+        SimTime(self.offset.saturating_add(scaled))
+    }
+
+    /// Maximum absolute skew versus a perfect clock over `horizon` ticks.
+    pub fn max_skew(&self, horizon: SimDuration) -> SimDuration {
+        let drift = (self.rate_ppm as i128 - 1_000_000).unsigned_abs();
+        let skew = (horizon.0 as u128 * drift / 1_000_000) as u64;
+        SimDuration(skew.saturating_add(self.offset))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime(100) + SimDuration(50);
+        assert_eq!(t, SimTime(150));
+        assert_eq!(t - SimTime(100), SimDuration(50));
+        assert_eq!(SimTime(10).since(SimTime(50)), SimDuration::ZERO);
+        assert_eq!(SimDuration(2) + SimDuration(3), SimDuration(5));
+    }
+
+    #[test]
+    fn saturation_at_extremes() {
+        assert_eq!(SimTime::MAX + SimDuration(1), SimTime::MAX);
+        assert_eq!(SimDuration(u64::MAX) + SimDuration(1), SimDuration(u64::MAX));
+    }
+
+    #[test]
+    fn perfect_clock_tracks_global() {
+        let c = LocalClock::perfect();
+        assert_eq!(c.read(SimTime(12345)), SimTime(12345));
+        assert_eq!(c.max_skew(SimDuration(1_000_000)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fast_clock_runs_ahead() {
+        let c = LocalClock::with_drift(0, 1_000_100); // 100 ppm fast
+        assert_eq!(c.read(SimTime(1_000_000)), SimTime(1_000_100));
+        assert_eq!(c.max_skew(SimDuration(1_000_000)), SimDuration(100));
+    }
+
+    #[test]
+    fn slow_clock_lags() {
+        let c = LocalClock::with_drift(10, 999_900);
+        assert_eq!(c.read(SimTime(1_000_000)), SimTime(999_910));
+        assert_eq!(c.max_skew(SimDuration(1_000_000)), SimDuration(110));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn stopped_clock_panics() {
+        LocalClock::with_drift(0, 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SimTime(7).to_string(), "7");
+        assert_eq!(format!("{:?}", SimTime(7)), "t=7");
+        assert_eq!(SimDuration(3).to_string(), "3 ticks");
+    }
+}

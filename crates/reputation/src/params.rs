@@ -1,0 +1,258 @@
+//! Parameters of the reputation mechanism and the paper's constraints on
+//! them.
+//!
+//! §3.4 introduces three tunables: `f` (screening-skip aggressiveness),
+//! and `μ, ν > 1` (revenue weighting of the misreport/forge counters).
+//! §3.4.2 adds the discount base `β ∈ (0, 1)` and the per-transaction
+//! discount `γ_tx`, which must satisfy
+//!
+//! ```text
+//! β² ≤ γ_tx ≤ β ≤ ½(γ_tx − 1)·L_tx + 1 ≤ 1
+//! ```
+//!
+//! with `L_tx = 2·W_wrong / (W_right + W_wrong)`. The paper proves that for
+//! every `β ∈ (0,1)` and `L_tx < 2` such a `γ_tx` exists and suggests the
+//! concrete choice implemented by [`gamma_tx`]:
+//!
+//! ```text
+//! γ_tx = max{ (β−1)/L_tx + (β+1)/2 , (β² + β)/2 }
+//! ```
+
+use std::fmt;
+
+/// Validated parameters of the reputation mechanism.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReputationParams {
+    /// Discount base `β ∈ (0, 1)`; the paper's practical choice is 0.9.
+    pub beta: f64,
+    /// Screening parameter `f ∈ (0, 1)`: larger skips more validations.
+    pub f: f64,
+    /// Revenue weight of the misreport counter, `μ > 1`.
+    pub mu: f64,
+    /// Revenue weight of the forge counter, `ν > 1`.
+    pub nu: f64,
+    /// Extension (not in the paper): a lower bound on per-provider
+    /// weights. `0.0` reproduces the paper exactly (weights decay forever);
+    /// a positive floor lets a reformed collector regain influence, at the
+    /// cost of weakening the regret bound (ablated in `exp_incentives
+    /// --ablate-floor`).
+    pub weight_floor: f64,
+}
+
+impl Default for ReputationParams {
+    /// The paper's practical defaults: `β = 0.9`, `f = 0.5`, `μ = ν = 2`.
+    fn default() -> Self {
+        ReputationParams {
+            beta: 0.9,
+            f: 0.5,
+            mu: 2.0,
+            nu: 2.0,
+            weight_floor: 0.0,
+        }
+    }
+}
+
+/// Error for out-of-range parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InvalidParamsError(String);
+
+impl fmt::Display for InvalidParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid reputation parameters: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidParamsError {}
+
+impl ReputationParams {
+    /// Builds validated parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParamsError`] unless `β, f ∈ (0,1)` and `μ, ν > 1`.
+    pub fn new(beta: f64, f: f64, mu: f64, nu: f64) -> Result<Self, InvalidParamsError> {
+        let p = ReputationParams {
+            beta,
+            f,
+            mu,
+            nu,
+            weight_floor: 0.0,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Re-checks all constraints (useful after field tweaks in sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParamsError`] describing the violated constraint.
+    pub fn validate(&self) -> Result<(), InvalidParamsError> {
+        if !(self.beta > 0.0 && self.beta < 1.0) {
+            return Err(InvalidParamsError(format!(
+                "beta must be in (0,1), got {}",
+                self.beta
+            )));
+        }
+        if !(self.f > 0.0 && self.f < 1.0) {
+            return Err(InvalidParamsError(format!(
+                "f must be in (0,1), got {}",
+                self.f
+            )));
+        }
+        if self.mu <= 1.0 || self.mu.is_nan() {
+            return Err(InvalidParamsError(format!("mu must exceed 1, got {}", self.mu)));
+        }
+        if self.nu <= 1.0 || self.nu.is_nan() {
+            return Err(InvalidParamsError(format!("nu must exceed 1, got {}", self.nu)));
+        }
+        if !(0.0..1.0).contains(&self.weight_floor) {
+            return Err(InvalidParamsError(format!(
+                "weight_floor must be in [0,1), got {}",
+                self.weight_floor
+            )));
+        }
+        Ok(())
+    }
+
+    /// The theorem-optimal discount base `β = 1 − 4·√(ln r / T)` for a
+    /// known horizon of `t` transactions over `r` collectors (Theorem 1),
+    /// clamped into `[0.1, 0.9]` — the interval on which the proof's
+    /// log-linearization `−ln β / (1−β) ≤ 17/2 − 8β` holds.
+    pub fn theorem_beta(r: usize, t: u64) -> f64 {
+        let raw = 1.0 - 4.0 * ((r.max(2) as f64).ln() / (t.max(1) as f64)).sqrt();
+        raw.clamp(0.1, 0.9)
+    }
+
+    /// Replaces `beta` with the theorem-optimal value for horizon `t`.
+    pub fn with_theorem_beta(mut self, r: usize, t: u64) -> Self {
+        self.beta = Self::theorem_beta(r, t);
+        self
+    }
+}
+
+/// The paper's expected per-transaction governor loss when the transaction
+/// goes unchecked: `L_tx = 2·W_wrong / (W_right + W_wrong)`.
+///
+/// Returns 0 when no reporter had any weight (degenerate; the caller falls
+/// back to uniform sampling there).
+pub fn loss_ltx(w_right: f64, w_wrong: f64) -> f64 {
+    let total = w_right + w_wrong;
+    if total <= 0.0 {
+        0.0
+    } else {
+        2.0 * w_wrong / total
+    }
+}
+
+/// The paper's concrete discount `γ_tx` (§3.4.2).
+///
+/// When `l_tx == 0` nobody mislabeled and the first branch is `−∞`, so the
+/// value degenerates to `(β²+β)/2` (it is then never applied to anyone).
+pub fn gamma_tx(beta: f64, l_tx: f64) -> f64 {
+    let fallback = (beta * beta + beta) / 2.0;
+    if l_tx <= 0.0 {
+        return fallback;
+    }
+    let primary = (beta - 1.0) / l_tx + (beta + 1.0) / 2.0;
+    primary.max(fallback)
+}
+
+/// Checks the paper's inequality chain
+/// `β² ≤ γ ≤ β ≤ ½(γ−1)L + 1 ≤ 1` for a concrete `(β, γ, L)` triple.
+///
+/// Used by tests and the parameter-sweep harness to confirm the concrete
+/// `γ_tx` choice is admissible. A small epsilon absorbs floating-point
+/// round-off.
+pub fn gamma_chain_holds(beta: f64, gamma: f64, l_tx: f64) -> bool {
+    const EPS: f64 = 1e-9;
+    let mid = 0.5 * (gamma - 1.0) * l_tx + 1.0;
+    beta * beta <= gamma + EPS && gamma <= beta + EPS && beta <= mid + EPS && mid <= 1.0 + EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        ReputationParams::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(ReputationParams::new(0.0, 0.5, 2.0, 2.0).is_err());
+        assert!(ReputationParams::new(1.0, 0.5, 2.0, 2.0).is_err());
+        assert!(ReputationParams::new(0.9, 0.0, 2.0, 2.0).is_err());
+        assert!(ReputationParams::new(0.9, 1.0, 2.0, 2.0).is_err());
+        assert!(ReputationParams::new(0.9, 0.5, 1.0, 2.0).is_err());
+        assert!(ReputationParams::new(0.9, 0.5, 2.0, 0.5).is_err());
+        let err = ReputationParams::new(2.0, 0.5, 2.0, 2.0).unwrap_err();
+        assert!(err.to_string().contains("beta"));
+    }
+
+    #[test]
+    fn theorem_beta_matches_formula_and_clamps() {
+        // r = 8, T = 4800 → β = 1 − 4√(ln 8 / 4800) ≈ 0.9167 → clamped 0.9.
+        assert_eq!(ReputationParams::theorem_beta(8, 4800), 0.9);
+        // Small T forces tiny beta → clamped at 0.1.
+        assert_eq!(ReputationParams::theorem_beta(8, 4), 0.1);
+        // Mid-range: formula applies un-clamped.
+        let b = ReputationParams::theorem_beta(8, 400);
+        let expected = 1.0 - 4.0 * ((8f64).ln() / 400.0).sqrt();
+        assert!((b - expected).abs() < 1e-12);
+        assert!(b > 0.1 && b < 0.9);
+    }
+
+    #[test]
+    fn with_theorem_beta_replaces_beta() {
+        let p = ReputationParams::default().with_theorem_beta(8, 400);
+        assert!((p.beta - ReputationParams::theorem_beta(8, 400)).abs() < 1e-15);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn loss_edge_cases() {
+        assert_eq!(loss_ltx(1.0, 0.0), 0.0);
+        assert_eq!(loss_ltx(0.0, 1.0), 2.0);
+        assert_eq!(loss_ltx(1.0, 1.0), 1.0);
+        assert_eq!(loss_ltx(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        // With beta = 0.9, L = 2 (everyone wrong): γ = max{0.9+(-0.05), .855}
+        let g = gamma_tx(0.9, 2.0);
+        assert!((g - 0.9).abs() < 1e-12);
+        // L → 0: fallback (β²+β)/2 = 0.855.
+        assert!((gamma_tx(0.9, 0.0) - 0.855).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// The paper's claim: for every β ∈ (0,1) and L ∈ (0,2], the chosen
+        /// γ_tx satisfies the full inequality chain.
+        #[test]
+        fn gamma_chain_always_holds(beta in 0.01f64..0.99, l in 0.001f64..2.0) {
+            let gamma = gamma_tx(beta, l);
+            prop_assert!(gamma > 0.0 && gamma < 1.0, "gamma {gamma} out of (0,1)");
+            prop_assert!(
+                gamma_chain_holds(beta, gamma, l),
+                "chain violated: beta={beta} gamma={gamma} l={l}"
+            );
+        }
+
+        /// γ ≥ β² always (needed so w_min ≥ β^{S_min} in Theorem 1).
+        #[test]
+        fn gamma_at_least_beta_squared(beta in 0.01f64..0.99, l in 0.0f64..2.0) {
+            prop_assert!(gamma_tx(beta, l) >= beta * beta - 1e-12);
+        }
+
+        /// γ ≥ 2(β−1)/L + 1, the lower bound used in the potential argument.
+        #[test]
+        fn gamma_upper_bounds_potential(beta in 0.01f64..0.99, l in 0.001f64..2.0) {
+            let gamma = gamma_tx(beta, l);
+            prop_assert!(gamma >= 2.0 * (beta - 1.0) / l + 1.0 - 1e-9);
+        }
+    }
+}

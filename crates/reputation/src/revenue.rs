@@ -1,0 +1,100 @@
+//! Collector revenue distribution (§3.4.3).
+//!
+//! *"A constant proportion of the profit gained by executing these
+//! transactions will be allotted to the collectors according to their
+//! reputations. Concretely, collector `c_i`'s revenue would be in
+//! proportion with `∏ w · μ^misreport · ν^forge`."*
+//!
+//! Shares are computed from log-space weights with a max-shift so that very
+//! long histories (weights like `0.9^10000`) normalize without underflow.
+
+/// Splits `total_profit` among collectors proportionally to their
+/// (log-space) revenue weights.
+///
+/// Collectors whose weight collapsed to zero (`-∞` log weight) receive 0.
+/// When *every* weight is `-∞` (or the list is empty) nobody is paid and
+/// the profit is considered retained by the governors.
+pub fn distribute(total_profit: f64, log_weights: &[f64]) -> Vec<f64> {
+    let shares = shares(log_weights);
+    shares.iter().map(|s| s * total_profit).collect()
+}
+
+/// Normalized shares (summing to 1 unless all weights are `-∞`).
+pub fn shares(log_weights: &[f64]) -> Vec<f64> {
+    let max = log_weights
+        .iter()
+        .copied()
+        .filter(|w| w.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return vec![0.0; log_weights.len()];
+    }
+    let exps: Vec<f64> = log_weights
+        .iter()
+        .map(|&w| if w.is_finite() { (w - max).exp() } else { 0.0 })
+        .collect();
+    let total: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn equal_weights_split_equally() {
+        let out = distribute(100.0, &[0.0, 0.0, 0.0, 0.0]);
+        for share in out {
+            assert!((share - 25.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn higher_weight_earns_more() {
+        let out = distribute(100.0, &[2f64.ln(), 0.0]);
+        assert!((out[0] - 100.0 * 2.0 / 3.0).abs() < 1e-9);
+        assert!((out[1] - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weight_collector_gets_nothing() {
+        let out = distribute(60.0, &[0.0, f64::NEG_INFINITY, 0.0]);
+        assert!((out[0] - 30.0).abs() < 1e-9);
+        assert_eq!(out[1], 0.0);
+        assert!((out[2] - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_negative_infinity_pays_nobody() {
+        let out = distribute(60.0, &[f64::NEG_INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(out, vec![0.0, 0.0]);
+        assert!(shares(&[]).is_empty());
+    }
+
+    #[test]
+    fn extreme_log_weights_are_stable() {
+        // Weights like β^50_000 — direct exponentiation would underflow.
+        let out = shares(&[-50_000.0, -50_001.0]);
+        assert!(out[0] > out[1]);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(out.iter().all(|s| s.is_finite()));
+    }
+
+    proptest! {
+        #[test]
+        fn shares_sum_to_one_and_order_matches(
+            logs in proptest::collection::vec(-100.0f64..100.0, 1..10)
+        ) {
+            let s = shares(&logs);
+            prop_assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+            for i in 0..logs.len() {
+                for j in 0..logs.len() {
+                    if logs[i] > logs[j] {
+                        prop_assert!(s[i] >= s[j]);
+                    }
+                }
+            }
+        }
+    }
+}

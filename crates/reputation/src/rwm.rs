@@ -1,0 +1,405 @@
+//! Randomized Weighted Majority with abstentions — the learning-theoretic
+//! core of Theorem 1.
+//!
+//! Theorem 1 is *"an extension of the result for the Randomized Weighted
+//! Majority algorithm in the problem of learning with expert advice"*: the
+//! collectors overseeing one provider are the experts, their labels are the
+//! predictions, a missed upload is an abstention, and the governor is the
+//! learner. Per revealed transaction `t`:
+//!
+//! - experts that judged correctly keep their weight,
+//! - experts that abstained are discounted by `β`,
+//! - experts that judged wrongly are discounted by `γ_t` (see
+//!   [`crate::params::gamma_tx`]),
+//! - the learner's expected loss is `L_t = 2·W_wrong / (W_right + W_wrong)`.
+//!
+//! Expert losses are 2 per wrong judgment and 1 per abstention (so that
+//! `w_min ≥ β^{S_min}`, the potential bound in the proof). The regret bound
+//! is `L_T ≤ S^min_T + O(√T)`.
+//!
+//! This module exists separately from the full protocol so experiment E1
+//! can compare the protocol's measured regret against the clean
+//! learning-theoretic process, and so the bound itself is unit-testable.
+
+use rand::Rng;
+
+use crate::params::{gamma_tx, loss_ltx};
+
+/// Which discount `γ_t` the learner applies to wrong experts (ablation A2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GammaMode {
+    /// The paper's `max{(β−1)/L + (β+1)/2, (β²+β)/2}`.
+    #[default]
+    PaperMax,
+    /// The naive alternative `γ = β` (admissible: it satisfies the
+    /// inequality chain for every `L ≤ 2`, but discounts wrong experts no
+    /// harder than abstainers).
+    FixedBeta,
+}
+
+/// What an expert (collector) did for one transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Advice {
+    /// Judged correctly (label matched the revealed truth).
+    Correct,
+    /// Judged incorrectly.
+    Wrong,
+    /// Did not report (missed/discarded the transaction).
+    Abstain,
+}
+
+/// The Randomized Weighted Majority learner.
+#[derive(Clone, Debug)]
+pub struct Rwm {
+    weights: Vec<f64>,
+    beta: f64,
+    gamma_mode: GammaMode,
+    expected_loss: f64,
+    realized_loss: f64,
+    expert_loss: Vec<f64>,
+    rounds: u64,
+}
+
+impl Rwm {
+    /// A learner over `experts` experts with discount base `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `experts ≥ 1` and `beta ∈ (0, 1)`.
+    pub fn new(experts: usize, beta: f64) -> Self {
+        assert!(experts >= 1, "need at least one expert");
+        assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1)");
+        Rwm {
+            weights: vec![1.0; experts],
+            beta,
+            gamma_mode: GammaMode::PaperMax,
+            expected_loss: 0.0,
+            realized_loss: 0.0,
+            expert_loss: vec![0.0; experts],
+            rounds: 0,
+        }
+    }
+
+    /// Selects the `γ_t` formula (ablation hook); defaults to the paper's.
+    pub fn set_gamma_mode(&mut self, mode: GammaMode) {
+        self.gamma_mode = mode;
+    }
+
+    /// Number of experts.
+    pub fn expert_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Current weight of expert `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Sum of all weights (the potential `W_t`).
+    pub fn potential(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Processes one revealed transaction.
+    ///
+    /// `advice[i]` is what expert `i` did; `rng` drives the learner's
+    /// randomized pick among the non-abstaining experts (weight-
+    /// proportional), which accrues *realized* loss: 2 when the picked
+    /// expert was wrong. Expected loss accrues `L_t` regardless of the
+    /// draw. Returns the index of the picked expert, or `None` when every
+    /// expert abstained (no loss accrues; weights untouched, matching the
+    /// protocol where an unreported transaction never reaches a governor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `advice.len()` differs from the expert count.
+    pub fn round<R: Rng + ?Sized>(&mut self, advice: &[Advice], rng: &mut R) -> Option<usize> {
+        assert_eq!(advice.len(), self.weights.len(), "advice length mismatch");
+        let mut w_right = 0.0;
+        let mut w_wrong = 0.0;
+        for (i, a) in advice.iter().enumerate() {
+            match a {
+                Advice::Correct => w_right += self.weights[i],
+                Advice::Wrong => w_wrong += self.weights[i],
+                Advice::Abstain => {}
+            }
+        }
+        let reporting_total = w_right + w_wrong;
+        if reporting_total <= 0.0 {
+            return None;
+        }
+        self.rounds += 1;
+
+        // Learner's expected loss for this transaction.
+        let l_t = loss_ltx(w_right, w_wrong);
+        self.expected_loss += l_t;
+
+        // Weight-proportional draw among reporters (the screening draw).
+        let mut pick = rng.gen::<f64>() * reporting_total;
+        let mut picked = None;
+        for (i, a) in advice.iter().enumerate() {
+            if matches!(a, Advice::Abstain) {
+                continue;
+            }
+            pick -= self.weights[i];
+            if pick <= 0.0 {
+                picked = Some(i);
+                break;
+            }
+        }
+        // Float round-off can leave `pick` marginally positive: take the
+        // last reporter.
+        let picked = picked.unwrap_or_else(|| {
+            advice
+                .iter()
+                .rposition(|a| !matches!(a, Advice::Abstain))
+                .expect("reporting_total > 0 implies a reporter exists")
+        });
+        if matches!(advice[picked], Advice::Wrong) {
+            self.realized_loss += 2.0;
+        }
+
+        // Multiplicative updates + expert loss accounting.
+        let gamma = match self.gamma_mode {
+            GammaMode::PaperMax => gamma_tx(self.beta, l_t),
+            GammaMode::FixedBeta => self.beta,
+        };
+        for (i, a) in advice.iter().enumerate() {
+            match a {
+                Advice::Correct => {}
+                Advice::Wrong => {
+                    self.weights[i] *= gamma;
+                    self.expert_loss[i] += 2.0;
+                }
+                Advice::Abstain => {
+                    self.weights[i] *= self.beta;
+                    self.expert_loss[i] += 1.0;
+                }
+            }
+        }
+        Some(picked)
+    }
+
+    /// Cumulative expected learner loss `L_T`.
+    pub fn expected_loss(&self) -> f64 {
+        self.expected_loss
+    }
+
+    /// Cumulative realized (sampled) learner loss.
+    pub fn realized_loss(&self) -> f64 {
+        self.realized_loss
+    }
+
+    /// Cumulative loss of expert `i` (2 per wrong, 1 per abstention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn expert_loss(&self, i: usize) -> f64 {
+        self.expert_loss[i]
+    }
+
+    /// Loss of the best expert, `S^min_T`.
+    pub fn best_expert_loss(&self) -> f64 {
+        self.expert_loss
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The learner's regret `L_T − S^min_T`.
+    pub fn regret(&self) -> f64 {
+        self.expected_loss - self.best_expert_loss()
+    }
+
+    /// Rounds processed (excluding all-abstain rounds).
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The closed-form bound from the proof of Theorem 1:
+    /// `L_T ≤ S^min + 2·(ln r / (1−β) + 16·(1−β)·T)` for `β ∈ [0.1, 0.9]`.
+    pub fn theorem_bound(&self, t: u64) -> f64 {
+        let r = self.weights.len() as f64;
+        self.best_expert_loss()
+            + 2.0 * (r.ln() / (1.0 - self.beta) + 16.0 * (1.0 - self.beta) * t as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_expert_keeps_weight() {
+        let mut rwm = Rwm::new(3, 0.9);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            rwm.round(&[Advice::Correct, Advice::Wrong, Advice::Abstain], &mut rng);
+        }
+        assert_eq!(rwm.weight(0), 1.0);
+        assert!(rwm.weight(1) < rwm.weight(0));
+        assert!(rwm.weight(2) < rwm.weight(0));
+        // Wrong (γ ≤ β per round) decays at least as fast as abstain (β).
+        assert!(rwm.weight(1) <= rwm.weight(2) + 1e-12);
+        assert_eq!(rwm.best_expert_loss(), 0.0);
+        assert_eq!(rwm.rounds(), 50);
+    }
+
+    #[test]
+    fn expected_loss_vanishes_with_perfect_majority() {
+        let mut rwm = Rwm::new(2, 0.9);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            rwm.round(&[Advice::Correct, Advice::Correct], &mut rng);
+        }
+        assert_eq!(rwm.expected_loss(), 0.0);
+        assert_eq!(rwm.realized_loss(), 0.0);
+    }
+
+    #[test]
+    fn all_abstain_rounds_are_skipped() {
+        let mut rwm = Rwm::new(2, 0.9);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(rwm.round(&[Advice::Abstain, Advice::Abstain], &mut rng), None);
+        assert_eq!(rwm.rounds(), 0);
+        assert_eq!(rwm.potential(), 2.0);
+    }
+
+    #[test]
+    fn expected_loss_formula_single_round() {
+        let mut rwm = Rwm::new(2, 0.9);
+        let mut rng = StdRng::seed_from_u64(4);
+        // Equal weights, one right one wrong: L = 2·1/(1+1) = 1.
+        rwm.round(&[Advice::Correct, Advice::Wrong], &mut rng);
+        assert!((rwm.expected_loss() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn picked_expert_is_never_an_abstainer() {
+        let mut rwm = Rwm::new(3, 0.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let picked = rwm
+                .round(&[Advice::Abstain, Advice::Wrong, Advice::Abstain], &mut rng)
+                .unwrap();
+            assert_eq!(picked, 1);
+        }
+    }
+
+    #[test]
+    fn regret_within_theorem_bound_adversarial_mix() {
+        // One honest expert, seven noisy ones with varying error rates.
+        let t = 2000u64;
+        let r = 8;
+        let beta = crate::params::ReputationParams::theorem_beta(r, t);
+        let mut rwm = Rwm::new(r, beta);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut advice_rng = StdRng::seed_from_u64(7);
+        use rand::Rng as _;
+        for _ in 0..t {
+            let advice: Vec<Advice> = (0..r)
+                .map(|i| {
+                    if i == 0 {
+                        Advice::Correct
+                    } else {
+                        let p = 0.2 + 0.1 * i as f64 / r as f64;
+                        if advice_rng.gen::<f64>() < p {
+                            Advice::Wrong
+                        } else {
+                            Advice::Correct
+                        }
+                    }
+                })
+                .collect();
+            rwm.round(&advice, &mut rng);
+        }
+        assert_eq!(rwm.best_expert_loss(), 0.0);
+        assert!(rwm.expected_loss() <= rwm.theorem_bound(t));
+        // The constant-free shape check: regret well below T.
+        assert!(rwm.regret() < t as f64 / 4.0, "regret {}", rwm.regret());
+    }
+
+    #[test]
+    fn regret_grows_sublinearly() {
+        // Measure regret at two horizons; the ratio should be far below the
+        // horizon ratio (≈ √ for the theory, allow generous slack).
+        let run = |t: u64| {
+            let beta = crate::params::ReputationParams::theorem_beta(4, t);
+            let mut rwm = Rwm::new(4, beta);
+            let mut rng = StdRng::seed_from_u64(8);
+            let mut advice_rng = StdRng::seed_from_u64(9);
+            use rand::Rng as _;
+            for _ in 0..t {
+                let advice: Vec<Advice> = (0..4)
+                    .map(|i| {
+                        if i == 0 {
+                            Advice::Correct
+                        } else if advice_rng.gen::<f64>() < 0.5 {
+                            Advice::Wrong
+                        } else {
+                            Advice::Correct
+                        }
+                    })
+                    .collect();
+                rwm.round(&advice, &mut rng);
+            }
+            rwm.regret()
+        };
+        let r1 = run(500);
+        let r2 = run(8000);
+        // 16× horizon → regret should grow ≲ 4–6×, not 16×.
+        assert!(r2 < r1 * 8.0, "r1={r1} r2={r2}");
+    }
+
+    #[test]
+    fn realized_tracks_expected() {
+        let mut rwm = Rwm::new(4, 0.9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut advice_rng = StdRng::seed_from_u64(11);
+        use rand::Rng as _;
+        for _ in 0..3000 {
+            let advice: Vec<Advice> = (0..4)
+                .map(|_| {
+                    if advice_rng.gen::<f64>() < 0.3 {
+                        Advice::Wrong
+                    } else {
+                        Advice::Correct
+                    }
+                })
+                .collect();
+            rwm.round(&advice, &mut rng);
+        }
+        let ratio = rwm.realized_loss() / rwm.expected_loss();
+        assert!((0.85..1.15).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn fixed_beta_gamma_mode_discounts_like_abstain() {
+        let mut rwm = Rwm::new(2, 0.9);
+        rwm.set_gamma_mode(GammaMode::FixedBeta);
+        let mut rng = StdRng::seed_from_u64(12);
+        rwm.round(&[Advice::Correct, Advice::Wrong], &mut rng);
+        assert!((rwm.weight(1) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "advice length")]
+    fn mismatched_advice_panics() {
+        let mut rwm = Rwm::new(2, 0.9);
+        let mut rng = StdRng::seed_from_u64(1);
+        rwm.round(&[Advice::Correct], &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn invalid_beta_panics() {
+        Rwm::new(2, 1.0);
+    }
+}

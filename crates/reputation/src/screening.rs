@@ -1,0 +1,270 @@
+//! The probabilistic core of Algorithm 2 (transaction screening).
+//!
+//! For a transaction reported by a set of collectors with per-provider
+//! weights, the governor:
+//!
+//! 1. draws one reporter with probability proportional to its weight
+//!    (`Pr = w / (W₊₁ + W₋₁)`),
+//! 2. if the drawn label is `+1`, validates;
+//! 3. if the drawn label is `-1`, validates with probability
+//!    `1 − f · Pr_drawn` — i.e. skips with probability `f · Pr_drawn`.
+//!
+//! Lemma 2: the skip probability is `Σ_{-1 reporters} f·w²/W² ≤ f`.
+
+use rand::Rng;
+
+/// One collector's report of a transaction, as input to screening.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Report {
+    /// Caller-side identifier (e.g. collector index); opaque here.
+    pub collector: u32,
+    /// Whether the collector labeled the transaction valid (`+1`).
+    pub labeled_valid: bool,
+    /// The collector's reputation weight w.r.t. the providing provider.
+    pub weight: f64,
+}
+
+/// Outcome of one screening draw.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScreeningOutcome {
+    /// Index into the report slice of the drawn collector.
+    pub drawn: usize,
+    /// The probability with which that collector was drawn.
+    pub pr_drawn: f64,
+    /// Whether the governor validates the transaction itself.
+    pub check: bool,
+}
+
+/// Weight aggregates over one transaction's reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WeightSums {
+    /// `W₊₁`: total weight of collectors that labeled valid.
+    pub valid: f64,
+    /// `W₋₁`: total weight of collectors that labeled invalid.
+    pub invalid: f64,
+}
+
+impl WeightSums {
+    /// Computes the aggregates for `reports`.
+    pub fn of(reports: &[Report]) -> Self {
+        let mut sums = WeightSums::default();
+        for r in reports {
+            if r.labeled_valid {
+                sums.valid += r.weight;
+            } else {
+                sums.invalid += r.weight;
+            }
+        }
+        sums
+    }
+
+    /// `W₊₁ + W₋₁`.
+    pub fn total(&self) -> f64 {
+        self.valid + self.invalid
+    }
+}
+
+/// Performs the screening draw and coin toss of Algorithm 2.
+///
+/// When every reported weight is 0 (all reporters fully discredited) the
+/// draw falls back to uniform over the reporters and the transaction is
+/// always checked — trusting no one means verifying yourself.
+///
+/// Returns `None` when `reports` is empty.
+pub fn screen<R: Rng + ?Sized>(reports: &[Report], f: f64, rng: &mut R) -> Option<ScreeningOutcome> {
+    if reports.is_empty() {
+        return None;
+    }
+    let sums = WeightSums::of(reports);
+    let total = sums.total();
+    let (drawn, pr_drawn) = if total <= 0.0 {
+        (rng.gen_range(0..reports.len()), 0.0)
+    } else {
+        let mut pick = rng.gen::<f64>() * total;
+        let mut drawn = reports.len() - 1;
+        for (i, r) in reports.iter().enumerate() {
+            pick -= r.weight;
+            if pick <= 0.0 {
+                drawn = i;
+                break;
+            }
+        }
+        (drawn, reports[drawn].weight / total)
+    };
+    let check = if reports[drawn].labeled_valid || total <= 0.0 {
+        true
+    } else {
+        // Validate with probability 1 − f·Pr.
+        rng.gen::<f64>() >= f * pr_drawn
+    };
+    Some(ScreeningOutcome {
+        drawn,
+        pr_drawn,
+        check,
+    })
+}
+
+/// The exact probability that a transaction goes *unchecked* under the
+/// screening rule: `Σ_{-1 reporters} f · w² / W²` (from the proof of
+/// Lemma 2). Always ≤ `f`.
+pub fn prob_unchecked(reports: &[Report], f: f64) -> f64 {
+    let total = WeightSums::of(reports).total();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    reports
+        .iter()
+        .filter(|r| !r.labeled_valid)
+        .map(|r| f * (r.weight / total) * (r.weight / total))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn report(collector: u32, labeled_valid: bool, weight: f64) -> Report {
+        Report {
+            collector,
+            labeled_valid,
+            weight,
+        }
+    }
+
+    #[test]
+    fn empty_reports_yield_none() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(screen(&[], 0.5, &mut rng), None);
+    }
+
+    #[test]
+    fn positive_label_always_checked() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let out = screen(&[report(0, true, 1.0)], 0.99, &mut rng).unwrap();
+            assert!(out.check);
+            assert_eq!(out.drawn, 0);
+            assert!((out.pr_drawn - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_negative_reporter_skips_at_rate_f() {
+        // One reporter labeled -1 with all the weight: Pr = 1, skip prob f.
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = 0.6;
+        let mut skipped = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let out = screen(&[report(0, false, 1.0)], f, &mut rng).unwrap();
+            if !out.check {
+                skipped += 1;
+            }
+        }
+        let rate = skipped as f64 / n as f64;
+        assert!((rate - f).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn draw_is_weight_proportional() {
+        let reports = [
+            report(0, false, 3.0),
+            report(1, false, 1.0),
+            report(2, true, 0.0),
+        ];
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0u32; 3];
+        for _ in 0..40_000 {
+            counts[screen(&reports, 0.5, &mut rng).unwrap().drawn] += 1;
+        }
+        let p0 = counts[0] as f64 / 40_000.0;
+        let p1 = counts[1] as f64 / 40_000.0;
+        assert!((p0 - 0.75).abs() < 0.02, "p0 {p0}");
+        assert!((p1 - 0.25).abs() < 0.02, "p1 {p1}");
+        assert_eq!(counts[2], 0, "zero-weight reporter must never be drawn");
+    }
+
+    #[test]
+    fn zero_total_weight_falls_back_to_uniform_and_checks() {
+        let reports = [report(0, false, 0.0), report(1, false, 0.0)];
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            let out = screen(&reports, 0.9, &mut rng).unwrap();
+            assert!(out.check);
+            seen[out.drawn] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn empirical_unchecked_rate_matches_formula() {
+        let reports = [
+            report(0, false, 2.0),
+            report(1, false, 1.0),
+            report(2, true, 1.0),
+        ];
+        let f = 0.8;
+        let analytic = prob_unchecked(&reports, f);
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 60_000;
+        let mut unchecked = 0;
+        for _ in 0..n {
+            if !screen(&reports, f, &mut rng).unwrap().check {
+                unchecked += 1;
+            }
+        }
+        let rate = unchecked as f64 / n as f64;
+        assert!((rate - analytic).abs() < 0.01, "rate {rate} vs {analytic}");
+    }
+
+    #[test]
+    fn weight_sums() {
+        let sums = WeightSums::of(&[
+            report(0, true, 2.0),
+            report(1, false, 0.5),
+            report(2, true, 1.0),
+        ]);
+        assert_eq!(sums.valid, 3.0);
+        assert_eq!(sums.invalid, 0.5);
+        assert_eq!(sums.total(), 3.5);
+    }
+
+    proptest! {
+        /// Lemma 2: the unchecked probability never exceeds f.
+        #[test]
+        fn lemma2_unchecked_at_most_f(
+            weights in proptest::collection::vec((any::<bool>(), 0.0f64..10.0), 1..12),
+            f in 0.01f64..0.99,
+        ) {
+            let reports: Vec<Report> = weights
+                .iter()
+                .enumerate()
+                .map(|(i, &(v, w))| report(i as u32, v, w))
+                .collect();
+            prop_assert!(prob_unchecked(&reports, f) <= f + 1e-12);
+        }
+
+        /// The screening draw always returns a reporter index in range and
+        /// pr_drawn is a probability.
+        #[test]
+        fn outcome_well_formed(
+            weights in proptest::collection::vec((any::<bool>(), 0.0f64..10.0), 1..12),
+            f in 0.01f64..0.99,
+            seed in any::<u64>(),
+        ) {
+            let reports: Vec<Report> = weights
+                .iter()
+                .enumerate()
+                .map(|(i, &(v, w))| report(i as u32, v, w))
+                .collect();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = screen(&reports, f, &mut rng).unwrap();
+            prop_assert!(out.drawn < reports.len());
+            prop_assert!((0.0..=1.0).contains(&out.pr_drawn));
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Algorithm 3 — Reputation Updating — over a governor's full table.
+//!
+//! A governor keeps one [`ReputationVector`] per collector; this module
+//! applies the three update cases of §3.4.2:
+//!
+//! - **case 1** (forged/illegal signature): `w_forge −= 1`,
+//! - **case 2** (transaction checked): `w_misreport ± 1` per reporting
+//!   collector,
+//! - **case 3** (unchecked transaction's truth revealed): multiplicative
+//!   discounts on the per-provider weights — `×γ_tx` for wrong labels,
+//!   `×β` for missed uploads, unchanged for correct labels.
+//!
+//! ### Note on a discrepancy in the paper
+//!
+//! The prose of §3.4.2 and the potential argument in Theorem 1's proof
+//! (`W_{t+1} = W_{t,0} + β·W_{t,1} + γ_t·W_{t,2}`, with `W_{t,0}` the
+//! *correct* weight and `W_{t,1}` the *abstaining* weight) both say:
+//! correct → unchanged, missed → `×β`, wrong → `×γ`. The pseudo-code of
+//! Algorithm 3 (lines 20–25) instead applies `β` to *correct* labels and
+//! nothing to the missing. We implement the prose/proof version — the
+//! pseudo-code variant would break the regret bound the paper proves
+//! (a perfect expert's weight would decay as `β^T`).
+
+use std::fmt;
+
+use crate::params::{gamma_tx, loss_ltx, ReputationParams};
+use crate::vector::ReputationVector;
+
+/// What a collector did with a revealed transaction, for case 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RevealedBehaviour {
+    /// Labeled in agreement with the revealed status.
+    Correct,
+    /// Labeled opposite to the revealed status.
+    Wrong,
+    /// Was linked with the provider but did not upload the transaction.
+    Missed,
+}
+
+/// One collector's involvement in a revealed transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RevealedReport {
+    /// The collector's index in the table.
+    pub collector: usize,
+    /// The provider slot in that collector's reputation vector.
+    pub provider_slot: usize,
+    /// What the collector did.
+    pub behaviour: RevealedBehaviour,
+}
+
+/// Summary of a case-3 update (exposed for metrics and tests).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RevealOutcome {
+    /// The realized `L_tx` over the reporting weights.
+    pub l_tx: f64,
+    /// The applied `γ_tx`.
+    pub gamma: f64,
+    /// `W_right` at update time.
+    pub w_right: f64,
+    /// `W_wrong` at update time.
+    pub w_wrong: f64,
+}
+
+/// A governor's reputation table: one vector per collector.
+#[derive(Clone, PartialEq)]
+pub struct ReputationTable {
+    vectors: Vec<ReputationVector>,
+    params: ReputationParams,
+}
+
+impl fmt::Debug for ReputationTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReputationTable")
+            .field("collectors", &self.vectors.len())
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+impl ReputationTable {
+    /// A table for `collectors` collectors, each overseeing `s` providers.
+    pub fn new(collectors: usize, s: usize, params: ReputationParams) -> Self {
+        ReputationTable {
+            vectors: (0..collectors).map(|_| ReputationVector::new(s)).collect(),
+            params,
+        }
+    }
+
+    /// The mechanism parameters.
+    pub fn params(&self) -> &ReputationParams {
+        &self.params
+    }
+
+    /// The vector for collector `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn collector(&self, i: usize) -> &ReputationVector {
+        &self.vectors[i]
+    }
+
+    /// Number of collectors tracked.
+    pub fn collector_count(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// The screening weight of collector `i` w.r.t. its provider slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn weight(&self, collector: usize, provider_slot: usize) -> f64 {
+        self.vectors[collector].weight(provider_slot)
+    }
+
+    /// Case 1: collector `i` uploaded a transaction with an illegal
+    /// signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn record_forgery(&mut self, i: usize) {
+        self.vectors[i].record_forgery();
+    }
+
+    /// Case 2: the governor checked a transaction; `reports` lists each
+    /// reporting collector and whether its label matched the outcome.
+    pub fn record_checked(&mut self, reports: &[(usize, bool)]) {
+        for &(collector, correct) in reports {
+            self.vectors[collector].record_checked(correct);
+        }
+    }
+
+    /// Case 3: the real status of a previously unchecked transaction is
+    /// revealed; applies the multiplicative discounts and returns the
+    /// realized `(L_tx, γ_tx)`.
+    pub fn record_revealed(&mut self, reports: &[RevealedReport]) -> RevealOutcome {
+        let mut w_right = 0.0;
+        let mut w_wrong = 0.0;
+        for r in reports {
+            let w = self.vectors[r.collector].weight(r.provider_slot);
+            match r.behaviour {
+                RevealedBehaviour::Correct => w_right += w,
+                RevealedBehaviour::Wrong => w_wrong += w,
+                RevealedBehaviour::Missed => {}
+            }
+        }
+        let l_tx = loss_ltx(w_right, w_wrong);
+        let gamma = gamma_tx(self.params.beta, l_tx);
+        let floor = self.params.weight_floor;
+        for r in reports {
+            match r.behaviour {
+                RevealedBehaviour::Correct => {}
+                RevealedBehaviour::Wrong => {
+                    self.vectors[r.collector].discount_floored(r.provider_slot, gamma, floor)
+                }
+                RevealedBehaviour::Missed => {
+                    self.vectors[r.collector].discount_floored(r.provider_slot, self.params.beta, floor)
+                }
+            }
+        }
+        RevealOutcome {
+            l_tx,
+            gamma,
+            w_right,
+            w_wrong,
+        }
+    }
+
+    /// Log revenue weights for all collectors (§3.4.3 revenue product).
+    pub fn log_revenue_weights(&self) -> Vec<f64> {
+        self.vectors
+            .iter()
+            .map(|v| v.log_revenue_weight(self.params.mu, self.params.nu))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> ReputationTable {
+        ReputationTable::new(4, 2, ReputationParams::default())
+    }
+
+    #[test]
+    fn fresh_table_all_ones() {
+        let t = table();
+        assert_eq!(t.collector_count(), 4);
+        for i in 0..4 {
+            assert_eq!(t.weight(i, 0), 1.0);
+            assert_eq!(t.collector(i).misreport(), 0);
+        }
+    }
+
+    #[test]
+    fn case1_decrements_forge() {
+        let mut t = table();
+        t.record_forgery(2);
+        t.record_forgery(2);
+        assert_eq!(t.collector(2).forge(), -2);
+        assert_eq!(t.collector(1).forge(), 0);
+    }
+
+    #[test]
+    fn case2_moves_misreport_both_ways() {
+        let mut t = table();
+        t.record_checked(&[(0, true), (1, false), (2, true)]);
+        assert_eq!(t.collector(0).misreport(), 1);
+        assert_eq!(t.collector(1).misreport(), -1);
+        assert_eq!(t.collector(2).misreport(), 1);
+        assert_eq!(t.collector(3).misreport(), 0);
+    }
+
+    #[test]
+    fn case3_discounts_follow_prose_not_pseudocode() {
+        let mut t = table();
+        let out = t.record_revealed(&[
+            RevealedReport {
+                collector: 0,
+                provider_slot: 0,
+                behaviour: RevealedBehaviour::Correct,
+            },
+            RevealedReport {
+                collector: 1,
+                provider_slot: 0,
+                behaviour: RevealedBehaviour::Wrong,
+            },
+            RevealedReport {
+                collector: 2,
+                provider_slot: 0,
+                behaviour: RevealedBehaviour::Missed,
+            },
+        ]);
+        // Correct: unchanged. Wrong: ×γ. Missed: ×β.
+        assert_eq!(t.weight(0, 0), 1.0);
+        assert!((t.weight(1, 0) - out.gamma).abs() < 1e-12);
+        assert!((t.weight(2, 0) - 0.9).abs() < 1e-12);
+        // L = 2·1/(1+1) = 1 at equal weights.
+        assert!((out.l_tx - 1.0).abs() < 1e-12);
+        assert_eq!(out.w_right, 1.0);
+        assert_eq!(out.w_wrong, 1.0);
+    }
+
+    #[test]
+    fn case3_only_touches_named_slot() {
+        let mut t = table();
+        t.record_revealed(&[RevealedReport {
+            collector: 0,
+            provider_slot: 1,
+            behaviour: RevealedBehaviour::Wrong,
+        }]);
+        assert_eq!(t.weight(0, 0), 1.0);
+        assert!(t.weight(0, 1) < 1.0);
+    }
+
+    #[test]
+    fn case3_gamma_uses_current_weights() {
+        let mut t = table();
+        // Degrade collector 1 first so its wrongness matters less.
+        for _ in 0..10 {
+            t.record_revealed(&[RevealedReport {
+                collector: 1,
+                provider_slot: 0,
+                behaviour: RevealedBehaviour::Wrong,
+            }]);
+        }
+        let out = t.record_revealed(&[
+            RevealedReport {
+                collector: 0,
+                provider_slot: 0,
+                behaviour: RevealedBehaviour::Correct,
+            },
+            RevealedReport {
+                collector: 1,
+                provider_slot: 0,
+                behaviour: RevealedBehaviour::Wrong,
+            },
+        ]);
+        // w_wrong is tiny now, so L ≈ 0 and γ ≈ (β²+β)/2 path is possible;
+        // in all cases L < 1 (the equal-weight value).
+        assert!(out.l_tx < 1.0);
+        assert!(out.w_wrong < out.w_right);
+    }
+
+    #[test]
+    fn revenue_weights_reflect_history() {
+        let mut t = table();
+        t.record_checked(&[(0, true), (1, false)]);
+        t.record_forgery(2);
+        let logs = t.log_revenue_weights();
+        assert!(logs[0] > logs[3]); // praised > neutral
+        assert!(logs[1] < logs[3]); // misreporter < neutral
+        assert!(logs[2] < logs[3]); // forger < neutral
+    }
+}

@@ -1,0 +1,265 @@
+//! The `(s+2)`-dimensional reputation vector a governor keeps per collector.
+//!
+//! §3.4: `~r_{j,i} = (w_{j,i,k_{i,1}}, …, w_{j,i,k_{i,s}}, w_misreport,
+//! w_forge)`. The first `s` entries are multiplicative weights — one per
+//! provider the collector oversees — governing source selection on
+//! *unchecked* transactions. The `(s+1)`-th entry counts behaviour on
+//! *checked* transactions (±1 per outcome) and the last counts forgery
+//! attempts (−1 each). The two counters feed the revenue product
+//! `∏ w · μ^misreport · ν^forge` (§3.4.3).
+
+use std::fmt;
+
+/// Reputation state for one collector, as seen by one governor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReputationVector {
+    per_provider: Vec<f64>,
+    misreport: i64,
+    forge: i64,
+}
+
+impl ReputationVector {
+    /// A fresh vector for a collector overseeing `s` providers: all
+    /// per-provider weights start at 1, counters at 0.
+    pub fn new(s: usize) -> Self {
+        ReputationVector {
+            per_provider: vec![1.0; s],
+            misreport: 0,
+            forge: 0,
+        }
+    }
+
+    /// Number of provider slots (`s`).
+    pub fn provider_slots(&self) -> usize {
+        self.per_provider.len()
+    }
+
+    /// The weight for provider slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn weight(&self, slot: usize) -> f64 {
+        self.per_provider[slot]
+    }
+
+    /// All per-provider weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.per_provider
+    }
+
+    /// Multiplies the weight of `slot` by `factor` (a `γ_tx` or `β`
+    /// discount from Algorithm 3, case 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range or `factor` is not in `(0, 1]`.
+    pub fn discount(&mut self, slot: usize, factor: f64) {
+        self.discount_floored(slot, factor, 0.0);
+    }
+
+    /// Like [`discount`](Self::discount) but never drops below `floor`
+    /// (the forgiveness extension; `floor = 0` is the paper's rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range or `factor` is not in `(0, 1]`.
+    pub fn discount_floored(&mut self, slot: usize, factor: f64, floor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "discount factor must be in (0,1], got {factor}"
+        );
+        self.per_provider[slot] = (self.per_provider[slot] * factor).max(floor);
+    }
+
+    /// The misreport counter (checked-transaction behaviour).
+    pub fn misreport(&self) -> i64 {
+        self.misreport
+    }
+
+    /// The forge counter (≤ 0 in honest operation).
+    pub fn forge(&self) -> i64 {
+        self.forge
+    }
+
+    /// Algorithm 3 case 2: +1 when the collector's label matched the
+    /// checked outcome, −1 when it was opposite.
+    pub fn record_checked(&mut self, correct: bool) {
+        self.misreport += if correct { 1 } else { -1 };
+    }
+
+    /// Algorithm 3 case 1: a forged/illegal signature costs 1.
+    pub fn record_forgery(&mut self) {
+        self.forge -= 1;
+    }
+
+    /// Natural log of the revenue weight
+    /// `∏_u w_u · μ^misreport · ν^forge` (§3.4.3, computed in log space so
+    /// long histories neither overflow nor underflow).
+    ///
+    /// Returns `f64::NEG_INFINITY` when any per-provider weight reached 0.
+    pub fn log_revenue_weight(&self, mu: f64, nu: f64) -> f64 {
+        let mut log = 0.0;
+        for &w in &self.per_provider {
+            if w <= 0.0 {
+                return f64::NEG_INFINITY;
+            }
+            log += w.ln();
+        }
+        log + self.misreport as f64 * mu.ln() + self.forge as f64 * nu.ln()
+    }
+
+    /// The revenue weight itself; may underflow to 0 for terrible histories
+    /// (prefer [`log_revenue_weight`](Self::log_revenue_weight) for
+    /// comparisons).
+    pub fn revenue_weight(&self, mu: f64, nu: f64) -> f64 {
+        self.log_revenue_weight(mu, nu).exp()
+    }
+}
+
+impl fmt::Display for ReputationVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, w) in self.per_provider.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{w:.4}")?;
+        }
+        write!(f, " | mis={} forge={})", self.misreport, self.forge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fresh_vector_is_all_ones() {
+        let v = ReputationVector::new(3);
+        assert_eq!(v.weights(), &[1.0, 1.0, 1.0]);
+        assert_eq!(v.misreport(), 0);
+        assert_eq!(v.forge(), 0);
+        assert_eq!(v.provider_slots(), 3);
+    }
+
+    #[test]
+    fn discounts_compound() {
+        let mut v = ReputationVector::new(2);
+        v.discount(0, 0.9);
+        v.discount(0, 0.9);
+        assert!((v.weight(0) - 0.81).abs() < 1e-12);
+        assert_eq!(v.weight(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "discount factor")]
+    fn zero_discount_rejected() {
+        ReputationVector::new(1).discount(0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "discount factor")]
+    fn amplifying_discount_rejected() {
+        ReputationVector::new(1).discount(0, 1.5);
+    }
+
+    #[test]
+    fn counters_move_correctly() {
+        let mut v = ReputationVector::new(1);
+        v.record_checked(true);
+        v.record_checked(true);
+        v.record_checked(false);
+        assert_eq!(v.misreport(), 1);
+        v.record_forgery();
+        assert_eq!(v.forge(), -1);
+    }
+
+    #[test]
+    fn revenue_ordering_matches_behaviour() {
+        let mu = 2.0;
+        let nu = 3.0;
+        let honest = {
+            let mut v = ReputationVector::new(2);
+            v.record_checked(true);
+            v.record_checked(true);
+            v
+        };
+        let misreporter = {
+            let mut v = ReputationVector::new(2);
+            v.record_checked(false);
+            v.record_checked(false);
+            v
+        };
+        let forger = {
+            let mut v = ReputationVector::new(2);
+            v.record_checked(true);
+            v.record_checked(true);
+            v.record_forgery();
+            v
+        };
+        let discounted = {
+            let mut v = ReputationVector::new(2);
+            v.record_checked(true);
+            v.record_checked(true);
+            v.discount(0, 0.5);
+            v
+        };
+        let h = honest.log_revenue_weight(mu, nu);
+        assert!(h > misreporter.log_revenue_weight(mu, nu));
+        assert!(h > forger.log_revenue_weight(mu, nu));
+        assert!(h > discounted.log_revenue_weight(mu, nu));
+    }
+
+    #[test]
+    fn log_revenue_matches_direct_product_when_small() {
+        let mut v = ReputationVector::new(2);
+        v.discount(0, 0.5);
+        v.record_checked(true);
+        v.record_forgery();
+        // Product = 0.5 * 1 * 2^1 * 3^-1.
+        let direct: f64 = 0.5 * 2.0 / 3.0;
+        assert!((v.revenue_weight(2.0, 3.0) - direct).abs() < 1e-12);
+        assert!((v.log_revenue_weight(2.0, 3.0) - direct.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders() {
+        let v = ReputationVector::new(2);
+        assert!(v.to_string().contains("mis=0"));
+    }
+
+    proptest! {
+        /// Weights only decrease under discounts and stay positive.
+        #[test]
+        fn weights_monotone_nonincreasing(factors in proptest::collection::vec(0.01f64..=1.0, 1..50)) {
+            let mut v = ReputationVector::new(1);
+            let mut prev = v.weight(0);
+            for f in factors {
+                v.discount(0, f);
+                prop_assert!(v.weight(0) <= prev + 1e-15);
+                prop_assert!(v.weight(0) > 0.0);
+                prev = v.weight(0);
+            }
+        }
+
+        /// Log-revenue is strictly monotone in the counters.
+        #[test]
+        fn revenue_monotone_in_counters(mis in -20i64..20, forge in -20i64..0) {
+            let mut v = ReputationVector::new(1);
+            for _ in 0..mis.abs() {
+                v.record_checked(mis > 0);
+            }
+            for _ in 0..forge.abs() {
+                v.record_forgery();
+            }
+            let base = v.log_revenue_weight(2.0, 2.0);
+            v.record_checked(true);
+            prop_assert!(v.log_revenue_weight(2.0, 2.0) > base);
+            v.record_forgery();
+            v.record_forgery();
+            prop_assert!(v.log_revenue_weight(2.0, 2.0) < base);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Adversary schedules: named mixes of collector behaviours used across
+//! the experiment suite, so every experiment draws its adversaries from
+//! one audited catalogue.
+
+use prb_core::behavior::CollectorProfile;
+
+/// A named adversary mix over `n` collectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdversaryMix {
+    /// Everyone honest.
+    AllHonest,
+    /// One honest collector; the rest misreport at graded rates
+    /// `0.2 + 0.6·i/n` (the Theorem 1 setting: at least one well-behaved
+    /// collector exists).
+    OneHonestRestNoisy,
+    /// Half the collectors misreport at the given rate.
+    HalfMisreport(u8),
+    /// One concealer, one forger, one misreporter, rest honest.
+    Zoo,
+    /// Sleeper: everyone honest until the given round, after which half
+    /// of them misreport at 0.8.
+    Sleeper(u32),
+}
+
+impl AdversaryMix {
+    /// Materializes the mix for `n` collectors.
+    pub fn profiles(&self, n: u32) -> Vec<CollectorProfile> {
+        match *self {
+            AdversaryMix::AllHonest => vec![CollectorProfile::honest(); n as usize],
+            AdversaryMix::OneHonestRestNoisy => (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        CollectorProfile::honest()
+                    } else {
+                        CollectorProfile::misreporter(0.2 + 0.6 * i as f64 / n as f64)
+                    }
+                })
+                .collect(),
+            AdversaryMix::HalfMisreport(percent) => (0..n)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        CollectorProfile::honest()
+                    } else {
+                        CollectorProfile::misreporter(percent as f64 / 100.0)
+                    }
+                })
+                .collect(),
+            AdversaryMix::Zoo => (0..n)
+                .map(|i| match i {
+                    0 => CollectorProfile::concealer(0.5),
+                    1 => CollectorProfile::forger(0.3),
+                    2 => CollectorProfile::misreporter(0.5),
+                    _ => CollectorProfile::honest(),
+                })
+                .collect(),
+            AdversaryMix::Sleeper(round) => (0..n)
+                .map(|i| {
+                    if i % 2 == 1 {
+                        CollectorProfile::misreporter(0.8).sleeper(round as u64)
+                    } else {
+                        CollectorProfile::honest()
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            AdversaryMix::AllHonest => "all-honest".into(),
+            AdversaryMix::OneHonestRestNoisy => "one-honest-rest-noisy".into(),
+            AdversaryMix::HalfMisreport(p) => format!("half-misreport-{p}"),
+            AdversaryMix::Zoo => "zoo".into(),
+            AdversaryMix::Sleeper(r) => format!("sleeper-{r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_honest() {
+        let profiles = AdversaryMix::AllHonest.profiles(4);
+        assert_eq!(profiles.len(), 4);
+        assert!(profiles.iter().all(|p| p.is_honest()));
+    }
+
+    #[test]
+    fn one_honest_rest_noisy_keeps_expert_zero() {
+        let profiles = AdversaryMix::OneHonestRestNoisy.profiles(8);
+        assert!(profiles[0].is_honest());
+        assert!(profiles[1..].iter().all(|p| p.flip_prob > 0.0));
+        // Rates are graded and bounded.
+        assert!(profiles[7].flip_prob > profiles[1].flip_prob);
+        assert!(profiles[7].flip_prob < 1.0);
+    }
+
+    #[test]
+    fn half_misreport_alternates() {
+        let profiles = AdversaryMix::HalfMisreport(50).profiles(6);
+        assert!(profiles[0].is_honest());
+        assert_eq!(profiles[1].flip_prob, 0.5);
+        assert!(profiles[2].is_honest());
+    }
+
+    #[test]
+    fn zoo_has_all_three_classes() {
+        let profiles = AdversaryMix::Zoo.profiles(8);
+        assert!(profiles[0].drop_prob > 0.0);
+        assert!(profiles[1].forge_prob > 0.0);
+        assert!(profiles[2].flip_prob > 0.0);
+        assert!(profiles[3..].iter().all(|p| p.is_honest()));
+    }
+
+    #[test]
+    fn sleeper_activates_later() {
+        let profiles = AdversaryMix::Sleeper(10).profiles(4);
+        assert_eq!(profiles[1].from_round, 10);
+        assert!(!profiles[1].active(9));
+        assert!(profiles[1].active(10));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(AdversaryMix::AllHonest.name(), "all-honest");
+        assert_eq!(AdversaryMix::HalfMisreport(30).name(), "half-misreport-30");
+        assert_eq!(AdversaryMix::Sleeper(5).name(), "sleeper-5");
+    }
+}

@@ -1,0 +1,218 @@
+//! The car-sharing scenario (§5.1).
+//!
+//! Mapping from the paper: *users* are providers whose ride requests and
+//! payments are the transactions; *drivers* are collectors who label a
+//! request `+1` when they are willing and able to serve it; *schedulers*
+//! are governors who assign rides and maintain the ledger.
+//!
+//! A request is *valid* (serviceable) when it is well-formed: pickup and
+//! dropoff differ, the fare covers the minimum, and the requested time is
+//! in the service window. Invalid requests model spam, impossible routes
+//! and underpriced rides that an honest driver would refuse.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use prb_core::workload::{GeneratedTx, Workload};
+
+/// Geography size: locations are cells of a `GRID × GRID` city grid.
+pub const GRID: u16 = 64;
+
+/// Minimum fare (cents) for a request to be serviceable.
+pub const MIN_FARE: u32 = 250;
+
+/// A ride request — the car-sharing transaction payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RideRequest {
+    /// Requesting user (provider index).
+    pub user: u32,
+    /// Pickup cell, row-major in the city grid.
+    pub pickup: u16,
+    /// Dropoff cell.
+    pub dropoff: u16,
+    /// Offered fare in cents.
+    pub fare_cents: u32,
+    /// Requested pickup time (minutes from service start, 0..=1440).
+    pub pickup_minute: u16,
+}
+
+impl RideRequest {
+    /// Whether the request is serviceable (the scenario's validity rule).
+    pub fn is_serviceable(&self) -> bool {
+        self.pickup != self.dropoff
+            && self.pickup < GRID * GRID
+            && self.dropoff < GRID * GRID
+            && self.fare_cents >= MIN_FARE
+            && self.pickup_minute <= 1440
+    }
+
+    /// Manhattan distance between pickup and dropoff cells.
+    pub fn distance(&self) -> u32 {
+        let (px, py) = (self.pickup % GRID, self.pickup / GRID);
+        let (dx, dy) = (self.dropoff % GRID, self.dropoff / GRID);
+        (px.abs_diff(dx) + py.abs_diff(dy)) as u32
+    }
+
+    /// Canonical payload bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(14);
+        out.extend_from_slice(&self.user.to_be_bytes());
+        out.extend_from_slice(&self.pickup.to_be_bytes());
+        out.extend_from_slice(&self.dropoff.to_be_bytes());
+        out.extend_from_slice(&self.fare_cents.to_be_bytes());
+        out.extend_from_slice(&self.pickup_minute.to_be_bytes());
+        out
+    }
+
+    /// Parses payload bytes written by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 14 {
+            return None;
+        }
+        Some(RideRequest {
+            user: u32::from_be_bytes(bytes[0..4].try_into().ok()?),
+            pickup: u16::from_be_bytes(bytes[4..6].try_into().ok()?),
+            dropoff: u16::from_be_bytes(bytes[6..8].try_into().ok()?),
+            fare_cents: u32::from_be_bytes(bytes[8..12].try_into().ok()?),
+            pickup_minute: u16::from_be_bytes(bytes[12..14].try_into().ok()?),
+        })
+    }
+}
+
+/// Workload generating ride requests with a tunable unserviceable rate.
+#[derive(Clone, Debug)]
+pub struct CarShareWorkload {
+    /// Probability that a generated request is unserviceable.
+    pub bad_request_rate: f64,
+}
+
+impl CarShareWorkload {
+    /// A workload with the given bad-request rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bad_request_rate ∈ [0, 1]`.
+    pub fn new(bad_request_rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&bad_request_rate));
+        CarShareWorkload { bad_request_rate }
+    }
+
+    fn gen_request(&self, user: u32, make_bad: bool, rng: &mut StdRng) -> RideRequest {
+        let pickup = rng.gen_range(0..GRID * GRID);
+        let mut dropoff = rng.gen_range(0..GRID * GRID);
+        while dropoff == pickup {
+            dropoff = rng.gen_range(0..GRID * GRID);
+        }
+        let mut req = RideRequest {
+            user,
+            pickup,
+            dropoff,
+            fare_cents: rng.gen_range(MIN_FARE..5_000),
+            pickup_minute: rng.gen_range(0..=1440),
+        };
+        if make_bad {
+            // Break the request one of three ways.
+            match rng.gen_range(0..3) {
+                0 => req.dropoff = req.pickup,               // going nowhere
+                1 => req.fare_cents = rng.gen_range(0..MIN_FARE), // underpriced
+                _ => req.pickup_minute = 2_000,              // outside window
+            }
+        }
+        req
+    }
+}
+
+impl Workload for CarShareWorkload {
+    fn next_tx(&mut self, provider: u32, _round: u64, rng: &mut StdRng) -> GeneratedTx {
+        let make_bad = rng.gen::<f64>() < self.bad_request_rate;
+        let req = self.gen_request(provider, make_bad, rng);
+        GeneratedTx {
+            valid: req.is_serviceable(),
+            data: req.to_bytes(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "car-share"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn serviceability_rules() {
+        let good = RideRequest {
+            user: 0,
+            pickup: 0,
+            dropoff: 1,
+            fare_cents: MIN_FARE,
+            pickup_minute: 100,
+        };
+        assert!(good.is_serviceable());
+        assert!(!RideRequest { dropoff: 0, ..good.clone() }.is_serviceable());
+        assert!(!RideRequest { fare_cents: 10, ..good.clone() }.is_serviceable());
+        assert!(!RideRequest { pickup_minute: 1500, ..good.clone() }.is_serviceable());
+        assert!(!RideRequest { pickup: GRID * GRID, ..good }.is_serviceable());
+    }
+
+    #[test]
+    fn distance_is_manhattan() {
+        let req = RideRequest {
+            user: 0,
+            pickup: 0,              // (0, 0)
+            dropoff: GRID + 3,      // (3, 1)
+            fare_cents: 300,
+            pickup_minute: 0,
+        };
+        assert_eq!(req.distance(), 4);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let req = RideRequest {
+            user: 42,
+            pickup: 17,
+            dropoff: 99,
+            fare_cents: 1234,
+            pickup_minute: 777,
+        };
+        assert_eq!(RideRequest::from_bytes(&req.to_bytes()), Some(req));
+        assert_eq!(RideRequest::from_bytes(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn workload_respects_bad_rate_and_truth_matches_payload() {
+        let mut w = CarShareWorkload::new(0.3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut bad = 0;
+        for _ in 0..5_000 {
+            let tx = w.next_tx(0, 0, &mut rng);
+            let req = RideRequest::from_bytes(&tx.data).unwrap();
+            // The oracle bit and the decoded payload always agree.
+            assert_eq!(tx.valid, req.is_serviceable());
+            if !tx.valid {
+                bad += 1;
+            }
+        }
+        assert!((1_200..1_800).contains(&bad), "{bad}");
+        assert_eq!(w.name(), "car-share");
+    }
+
+    #[test]
+    fn zero_rate_generates_only_serviceable() {
+        let mut w = CarShareWorkload::new(0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..500 {
+            assert!(w.next_tx(1, 0, &mut rng).valid);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_rate_panics() {
+        CarShareWorkload::new(1.5);
+    }
+}

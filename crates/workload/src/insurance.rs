@@ -1,0 +1,252 @@
+//! The insurance scenario (§5.2).
+//!
+//! Mapping from the paper: *potential policyholders* are providers whose
+//! signed application materials are the transactions; *independent
+//! agents* are collectors who verify the materials and label them;
+//! *insurance companies* are governors who spot-check with a certain
+//! probability and underwrite policies.
+//!
+//! An application is *valid* when its declared risk factors are internally
+//! consistent and within the policy's underwriting rules. Invalid
+//! applications model concealed medical history, impossible ages, and
+//! inconsistent declarations — exactly the fraud §5.2 describes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use prb_core::workload::{GeneratedTx, Workload};
+
+/// A critical-illness insurance application — the transaction payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Application {
+    /// Applying policyholder (provider index).
+    pub applicant: u32,
+    /// Declared age in years.
+    pub age: u8,
+    /// Declared smoker status.
+    pub smoker: bool,
+    /// Declared pack-years of smoking history (0 for never-smokers).
+    pub pack_years: u8,
+    /// Number of declared prior hospitalizations.
+    pub hospitalizations: u8,
+    /// Declared weekly alcohol units.
+    pub alcohol_units: u8,
+    /// Requested coverage in thousands.
+    pub coverage_k: u16,
+}
+
+impl Application {
+    /// Underwriting rules: the scenario's ground-truth validity.
+    ///
+    /// - age must be 18..=75,
+    /// - a never-smoker cannot declare pack-years,
+    /// - more than 5 hospitalizations is uninsurable under this policy,
+    /// - more than 60 weekly units is implausible (fraud indicator),
+    /// - coverage is capped at 500k, scaled down past age 60.
+    pub fn is_insurable(&self) -> bool {
+        if !(18..=75).contains(&self.age) {
+            return false;
+        }
+        if !self.smoker && self.pack_years > 0 {
+            return false;
+        }
+        if self.hospitalizations > 5 {
+            return false;
+        }
+        if self.alcohol_units > 60 {
+            return false;
+        }
+        let cap = if self.age > 60 { 200 } else { 500 };
+        self.coverage_k <= cap
+    }
+
+    /// A simple actuarial risk score in [0, 100] (used by examples).
+    pub fn risk_score(&self) -> u32 {
+        let mut score = self.age as u32 / 2;
+        if self.smoker {
+            score += 15 + self.pack_years as u32 / 2;
+        }
+        score += self.hospitalizations as u32 * 8;
+        score += self.alcohol_units as u32 / 4;
+        score.min(100)
+    }
+
+    /// Canonical payload bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(11);
+        out.extend_from_slice(&self.applicant.to_be_bytes());
+        out.push(self.age);
+        out.push(self.smoker as u8);
+        out.push(self.pack_years);
+        out.push(self.hospitalizations);
+        out.push(self.alcohol_units);
+        out.extend_from_slice(&self.coverage_k.to_be_bytes());
+        out
+    }
+
+    /// Parses payload bytes written by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 11 {
+            return None;
+        }
+        Some(Application {
+            applicant: u32::from_be_bytes(bytes[0..4].try_into().ok()?),
+            age: bytes[4],
+            smoker: bytes[5] != 0,
+            pack_years: bytes[6],
+            hospitalizations: bytes[7],
+            alcohol_units: bytes[8],
+            coverage_k: u16::from_be_bytes(bytes[9..11].try_into().ok()?),
+        })
+    }
+}
+
+/// Workload generating insurance applications with a tunable fraud rate.
+#[derive(Clone, Debug)]
+pub struct InsuranceWorkload {
+    /// Probability a generated application conceals or fabricates facts.
+    pub fraud_rate: f64,
+}
+
+impl InsuranceWorkload {
+    /// A workload with the given fraud rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fraud_rate ∈ [0, 1]`.
+    pub fn new(fraud_rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraud_rate));
+        InsuranceWorkload { fraud_rate }
+    }
+
+    fn gen_application(&self, applicant: u32, fraudulent: bool, rng: &mut StdRng) -> Application {
+        let smoker = rng.gen_bool(0.3);
+        let mut app = Application {
+            applicant,
+            age: rng.gen_range(18..=75),
+            smoker,
+            pack_years: if smoker { rng.gen_range(1..=40) } else { 0 },
+            hospitalizations: rng.gen_range(0..=5),
+            alcohol_units: rng.gen_range(0..=60),
+            coverage_k: rng.gen_range(50..=500),
+        };
+        if app.age > 60 {
+            app.coverage_k = app.coverage_k.min(200);
+        }
+        if fraudulent {
+            match rng.gen_range(0..4) {
+                0 => app.age = rng.gen_range(76..=120),         // age fraud
+                1 => {
+                    // Concealed smoking: declares non-smoker with history.
+                    app.smoker = false;
+                    app.pack_years = rng.gen_range(1..=40);
+                }
+                2 => app.hospitalizations = rng.gen_range(6..=20), // hidden history
+                _ => {
+                    // Over-insuring an elderly applicant.
+                    app.age = rng.gen_range(61..=75);
+                    app.coverage_k = rng.gen_range(201..=500);
+                }
+            }
+        }
+        app
+    }
+}
+
+impl Workload for InsuranceWorkload {
+    fn next_tx(&mut self, provider: u32, _round: u64, rng: &mut StdRng) -> GeneratedTx {
+        let fraudulent = rng.gen::<f64>() < self.fraud_rate;
+        let app = self.gen_application(provider, fraudulent, rng);
+        GeneratedTx {
+            valid: app.is_insurable(),
+            data: app.to_bytes(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "insurance"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn base() -> Application {
+        Application {
+            applicant: 0,
+            age: 40,
+            smoker: false,
+            pack_years: 0,
+            hospitalizations: 1,
+            alcohol_units: 10,
+            coverage_k: 300,
+        }
+    }
+
+    #[test]
+    fn underwriting_rules() {
+        assert!(base().is_insurable());
+        assert!(!Application { age: 17, ..base() }.is_insurable());
+        assert!(!Application { age: 76, ..base() }.is_insurable());
+        assert!(!Application { pack_years: 5, ..base() }.is_insurable());
+        assert!(Application { smoker: true, pack_years: 5, ..base() }.is_insurable());
+        assert!(!Application { hospitalizations: 6, ..base() }.is_insurable());
+        assert!(!Application { alcohol_units: 61, ..base() }.is_insurable());
+        assert!(!Application { age: 61, coverage_k: 300, ..base() }.is_insurable());
+        assert!(Application { age: 61, coverage_k: 200, ..base() }.is_insurable());
+        assert!(!Application { coverage_k: 501, ..base() }.is_insurable());
+    }
+
+    #[test]
+    fn risk_score_monotone_in_risk_factors() {
+        let healthy = base();
+        let smoker = Application { smoker: true, pack_years: 20, ..base() };
+        let sick = Application { hospitalizations: 5, ..base() };
+        assert!(smoker.risk_score() > healthy.risk_score());
+        assert!(sick.risk_score() > healthy.risk_score());
+        assert!(healthy.risk_score() <= 100);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let app = Application {
+            applicant: 9,
+            age: 55,
+            smoker: true,
+            pack_years: 12,
+            hospitalizations: 2,
+            alcohol_units: 21,
+            coverage_k: 450,
+        };
+        assert_eq!(Application::from_bytes(&app.to_bytes()), Some(app));
+        assert_eq!(Application::from_bytes(&[0; 5]), None);
+    }
+
+    #[test]
+    fn workload_truth_matches_payload() {
+        let mut w = InsuranceWorkload::new(0.4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut fraud = 0;
+        for _ in 0..5_000 {
+            let tx = w.next_tx(2, 0, &mut rng);
+            let app = Application::from_bytes(&tx.data).unwrap();
+            assert_eq!(tx.valid, app.is_insurable());
+            if !tx.valid {
+                fraud += 1;
+            }
+        }
+        assert!((1_700..2_300).contains(&fraud), "{fraud}");
+        assert_eq!(w.name(), "insurance");
+    }
+
+    #[test]
+    fn honest_applications_always_insurable() {
+        let mut w = InsuranceWorkload::new(0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..500 {
+            assert!(w.next_tx(0, 0, &mut rng).valid);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Integration tests for the `prb-sim` command-line binary.
+
+use std::process::Command;
+
+fn prb_sim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_prb-sim"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = prb_sim().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("--providers"));
+    assert!(text.contains("--workload"));
+    assert!(text.contains("--export-chain"));
+}
+
+#[test]
+fn default_run_reports_agreement_and_reputation() {
+    let out = prb_sim()
+        .args(["--rounds", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("agreement: true"), "{text}");
+    assert!(text.contains("reputation (governor g0):"));
+    assert!(text.contains("round   1: leader g"));
+}
+
+#[test]
+fn misreporter_flag_is_reflected_in_output() {
+    let out = prb_sim()
+        .args(["--rounds", "4", "--misreporter", "2:0.8", "--seed", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("[misreporter 0.8]"), "{text}");
+}
+
+#[test]
+fn export_chain_writes_importable_bytes() {
+    let dir = std::env::temp_dir().join(format!("prb-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("chain.bin");
+    let out = prb_sim()
+        .args([
+            "--rounds",
+            "3",
+            "--workload",
+            "insurance",
+            "--export-chain",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let bytes = std::fs::read(&path).expect("export written");
+    let chain = prb::ledger::chain::Chain::import(&bytes).expect("export is importable");
+    assert!(chain.height() >= 3);
+    assert_eq!(chain.audit(), None);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_flags_fail_cleanly() {
+    let out = prb_sim()
+        .args(["--mode", "nonsense"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let out = prb_sim()
+        .args(["--misreporter", "notanumber"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let out = prb_sim()
+        .args(["--workload", "unknown"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn deterministic_output_per_seed() {
+    let run = || {
+        let out = prb_sim()
+            .args(["--rounds", "3", "--seed", "91"])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    assert_eq!(run(), run());
+}
