@@ -80,7 +80,10 @@ fn bench_stake_round(c: &mut Criterion) {
                     net.send_external(
                         g,
                         "start",
-                        StakeMsg::StartRound { round: 1, leader: 0 },
+                        StakeMsg::StartRound {
+                            round: 1,
+                            leader: 0,
+                        },
                         SimTime(50),
                     );
                 }

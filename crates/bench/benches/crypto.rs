@@ -17,7 +17,9 @@ fn bench_sha256(c: &mut Criterion) {
     for size in [64usize, 1024, 16 * 1024] {
         let data = vec![0xabu8; size];
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(format!("{size}B"), |b| b.iter(|| sha256(std::hint::black_box(&data))));
+        group.bench_function(format!("{size}B"), |b| {
+            b.iter(|| sha256(std::hint::black_box(&data)))
+        });
     }
     group.finish();
 }
@@ -73,7 +75,9 @@ fn bench_vrf(c: &mut Criterion) {
 fn bench_merkle(c: &mut Criterion) {
     let mut group = c.benchmark_group("merkle");
     for leaves in [64usize, 1024] {
-        let data: Vec<Vec<u8>> = (0..leaves).map(|i| format!("leaf-{i}").into_bytes()).collect();
+        let data: Vec<Vec<u8>> = (0..leaves)
+            .map(|i| format!("leaf-{i}").into_bytes())
+            .collect();
         group.bench_function(format!("build/{leaves}"), |b| {
             b.iter(|| MerkleTree::from_leaves(std::hint::black_box(&data)))
         });

@@ -19,7 +19,13 @@ fn build(crypto: CryptoScheme, mode: GovernorMode) -> Simulation {
         ..Default::default()
     };
     Simulation::builder(cfg)
-        .provider_profiles(vec![ProviderProfile { invalid_rate: 0.3, active: true }; 8])
+        .provider_profiles(vec![
+            ProviderProfile {
+                invalid_rate: 0.3,
+                active: true
+            };
+            8
+        ])
         .build()
         .expect("valid config")
 }

@@ -9,7 +9,7 @@ use prb_reputation::params::ReputationParams;
 use prb_reputation::revenue;
 use prb_reputation::rwm::{Advice, Rwm};
 use prb_reputation::screening::{screen, Report};
-use prb_reputation::update::{RevealedBehaviour, RevealedReport, ReputationTable};
+use prb_reputation::update::{ReputationTable, RevealedBehaviour, RevealedReport};
 
 fn bench_screening(c: &mut Criterion) {
     let mut group = c.benchmark_group("screening");

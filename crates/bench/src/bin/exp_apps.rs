@@ -37,8 +37,13 @@ fn run_scenario(
     };
     cfg.reputation.f = f;
     let dishonest = [1u32, 4];
-    let mut builder = Simulation::builder(cfg)
-        .provider_profiles(vec![ProviderProfile { invalid_rate: 0.0, active: true }; 12]);
+    let mut builder = Simulation::builder(cfg).provider_profiles(vec![
+        ProviderProfile {
+            invalid_rate: 0.0,
+            active: true
+        };
+        12
+    ]);
     for &d in &dishonest {
         builder = builder.collector_profile(d, CollectorProfile::misreporter(0.7));
     }
@@ -57,7 +62,10 @@ fn run_scenario(
     let mut ranked: Vec<(u32, f64)> = (0..6)
         .map(|c| {
             let v = table.collector(c as usize);
-            (c, v.weights().iter().sum::<f64>() + v.misreport() as f64 * 1e-6)
+            (
+                c,
+                v.weights().iter().sum::<f64>() + v.misreport() as f64 * 1e-6,
+            )
         })
         .collect();
     ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
@@ -108,6 +116,11 @@ fn run_scenario(
 
 fn main() {
     let args = Args::parse();
+    // Shared `--trace-out FILE` flag: one traced run of a representative
+    // deployment (JSONL trace + summary) instead of the sweeps.
+    if prb_bench::run_traced(&args, 10, 2, || prb_bench::traced_default_sim(100)) {
+        return;
+    }
     let seeds = seed_list(300, args.get_or("seeds", 6));
     let rounds = args.get_or("rounds", 20u32);
 

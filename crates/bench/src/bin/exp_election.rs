@@ -18,6 +18,11 @@ use prb_crypto::signer::{KeyPair, PublicKey};
 
 fn main() {
     let args = Args::parse();
+    // Shared `--trace-out FILE` flag: one traced run of a representative
+    // deployment (JSONL trace + summary) instead of the sweeps.
+    if prb_bench::run_traced(&args, 10, 2, || prb_bench::traced_default_sim(100)) {
+        return;
+    }
     let rounds = args.get_or("rounds", 20_000u64);
     let scheme = crypto_from_args(&args);
     let m = 10u32;
@@ -47,10 +52,20 @@ fn main() {
         wrr_wins[weighted_leader_of_round(round, &stakes) as usize] += 1;
     }
 
-    println!("# E8 — leader election fairness ({rounds} rounds, crypto = {})\n", scheme.name());
+    println!(
+        "# E8 — leader election fairness ({rounds} rounds, crypto = {})\n",
+        scheme.name()
+    );
     let mut table = Table::new(
         "election frequency vs stake share",
-        &["governor", "stake", "expected %", "VRF-PoS %", "round-robin %", "weighted rotation %"],
+        &[
+            "governor",
+            "stake",
+            "expected %",
+            "VRF-PoS %",
+            "round-robin %",
+            "weighted rotation %",
+        ],
     );
     let mut chi2 = 0.0;
     for g in 0..m as usize {

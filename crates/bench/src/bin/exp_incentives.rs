@@ -37,7 +37,13 @@ fn ablate_floor(args: &Args) {
             cfg.reputation.weight_floor = floor;
             let mut sim = Simulation::builder(cfg)
                 .collector_profile(1, CollectorProfile::misreporter(1.0).reformed_at(20))
-                .provider_profiles(vec![ProviderProfile { invalid_rate: 0.5, active: true }; 8])
+                .provider_profiles(vec![
+                    ProviderProfile {
+                        invalid_rate: 0.5,
+                        active: true
+                    };
+                    8
+                ])
                 .build()
                 .expect("valid config");
             sim.run(rounds);
@@ -77,6 +83,11 @@ fn ablate_floor(args: &Args) {
 
 fn main() {
     let args = Args::parse();
+    // Shared `--trace-out FILE` flag: one traced run of a representative
+    // deployment (JSONL trace + summary) instead of the sweeps.
+    if prb_bench::run_traced(&args, 10, 2, || prb_bench::traced_default_sim(100)) {
+        return;
+    }
     let seeds = seed_list(200, args.get_or("seeds", 6));
     let rounds = args.get_or("rounds", 25u32);
 
@@ -88,7 +99,10 @@ fn main() {
         ("misreport 80%", CollectorProfile::misreporter(0.8)),
         ("conceal 50%", CollectorProfile::concealer(0.5)),
         ("forge 30%", CollectorProfile::forger(0.3)),
-        ("sleeper (hostile from round 12)", CollectorProfile::misreporter(0.8).sleeper(12)),
+        (
+            "sleeper (hostile from round 12)",
+            CollectorProfile::misreporter(0.8).sleeper(12),
+        ),
     ];
 
     println!("# E7 — incentives: behaviour vs reputation vs revenue\n");
@@ -116,7 +130,13 @@ fn main() {
         cfg.reputation.f = 0.6;
         let mut sim = Simulation::builder(cfg)
             .collector_profiles(profiles.iter().map(|(_, p)| *p).collect())
-            .provider_profiles(vec![ProviderProfile { invalid_rate: 0.4, active: true }; 8])
+            .provider_profiles(vec![
+                ProviderProfile {
+                    invalid_rate: 0.4,
+                    active: true
+                };
+                8
+            ])
             .build()
             .expect("valid config");
         sim.run(rounds);
@@ -153,7 +173,14 @@ fn main() {
 
     let mut table = Table::new(
         "per-collector outcome after 25 rounds (governor g0's table; mean ± std)",
-        &["collector", "behaviour", "mean weight", "misreport ctr", "forge ctr", "revenue share %"],
+        &[
+            "collector",
+            "behaviour",
+            "mean weight",
+            "misreport ctr",
+            "forge ctr",
+            "revenue share %",
+        ],
     );
     for (c, (name, _)) in profiles.iter().enumerate() {
         table.row(vec![
@@ -162,7 +189,11 @@ fn main() {
             pm(&rows[c].mean_weight),
             pm(&rows[c].misreport),
             pm(&rows[c].forge),
-            format!("{:.2} ± {:.2}", 100.0 * mean(&rows[c].revenue_share), 100.0 * prb_bench::std_dev(&rows[c].revenue_share)),
+            format!(
+                "{:.2} ± {:.2}",
+                100.0 * mean(&rows[c].revenue_share),
+                100.0 * prb_bench::std_dev(&rows[c].revenue_share)
+            ),
         ]);
     }
     table.print();

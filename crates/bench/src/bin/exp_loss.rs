@@ -39,7 +39,13 @@ fn run_once(seed: u64, f: f64, rounds: u32) -> LossOutcome {
     cfg.reputation.f = f;
     let mut sim = Simulation::builder(cfg)
         .collector_profiles(AdversaryMix::OneHonestRestNoisy.profiles(8))
-        .provider_profiles(vec![ProviderProfile { invalid_rate: 0.5, active: false }; 8])
+        .provider_profiles(vec![
+            ProviderProfile {
+                invalid_rate: 0.5,
+                active: false
+            };
+            8
+        ])
         .build()
         .expect("valid config");
     sim.run(rounds);
@@ -81,10 +87,7 @@ fn sweep_f(args: &Args) {
         let s_: Vec<f64> = runs.iter().map(|r| r.best_loss).collect();
         let unchecked: Vec<f64> = runs.iter().map(|r| r.unchecked).collect();
         let n: Vec<f64> = runs.iter().map(|r| r.total_txs).collect();
-        let gap: Vec<f64> = runs
-            .iter()
-            .map(|r| r.expected_loss - r.best_loss)
-            .collect();
+        let gap: Vec<f64> = runs.iter().map(|r| r.expected_loss - r.best_loss).collect();
         let refs: Vec<f64> = runs
             .iter()
             .map(|r| ((f + delta) * r.total_txs).sqrt())
@@ -114,7 +117,13 @@ fn sweep_u(args: &Args) {
     let rounds = args.get_or("rounds", 20u32);
     let mut table = Table::new(
         "A3: argue latency bound U (argue-only reveals, hostile majority)",
-        &["U", "argues accepted", "argues rejected", "valid txs lost", "expected loss"],
+        &[
+            "U",
+            "argues accepted",
+            "argues rejected",
+            "valid txs lost",
+            "expected loss",
+        ],
     );
     for u in [0u64, 2, 8, 32, 128, 512] {
         let runs = run_seeds(&seeds, |seed| {
@@ -157,6 +166,11 @@ fn sweep_u(args: &Args) {
 
 fn main() {
     let args = Args::parse();
+    // Shared `--trace-out FILE` flag: one traced run of a representative
+    // deployment (JSONL trace + summary) instead of the sweeps.
+    if prb_bench::run_traced(&args, 10, 2, || prb_bench::traced_default_sim(100)) {
+        return;
+    }
     println!("# E4 — end-to-end governor loss (Theorem 4)\n");
     if args.flag("sweep-u") {
         sweep_u(&args);

@@ -62,13 +62,21 @@ fn stake_block_messages(m: u32) -> u64 {
     }
     for g in 0..m {
         let t = StakeTransfer::create(g, (g + 1) % m, 1, 0, &keys[g as usize]);
-        net.send_external(g as usize, "submit", StakeMsg::SubmitTransfer(t), SimTime(0));
+        net.send_external(
+            g as usize,
+            "submit",
+            StakeMsg::SubmitTransfer(t),
+            SimTime(0),
+        );
     }
     for g in 0..m as usize {
         net.send_external(
             g,
             "start-round",
-            StakeMsg::StartRound { round: 1, leader: 0 },
+            StakeMsg::StartRound {
+                round: 1,
+                leader: 0,
+            },
             SimTime(100),
         );
     }
@@ -120,6 +128,11 @@ fn growth(values: &[u64]) -> String {
 
 fn main() {
     let args = Args::parse();
+    // Shared `--trace-out FILE` flag: one traced run of a representative
+    // deployment (JSONL trace + summary) instead of the sweeps.
+    if prb_bench::run_traced(&args, 10, 2, || prb_bench::traced_default_sim(100)) {
+        return;
+    }
     println!("# E6 — message complexity (§4.1)\n");
 
     // Sweep m.
@@ -139,7 +152,13 @@ fn main() {
     }
     let mut t1 = Table::new(
         "messages per committed block vs governor count m (fixed b = 32)",
-        &["m", "ordinary block msgs", "stake block msgs", "PBFT msgs/decision", "rotation msgs/decision"],
+        &[
+            "m",
+            "ordinary block msgs",
+            "stake block msgs",
+            "PBFT msgs/decision",
+            "rotation msgs/decision",
+        ],
     );
     for (i, &m) in ms.iter().enumerate() {
         t1.row(vec![
@@ -183,7 +202,12 @@ fn main() {
     if args.flag("ablate-election") {
         let mut t3 = Table::new(
             "A4: election-related messages per round vs m",
-            &["m", "VRF election msgs", "round-robin msgs", "PBFT view msgs (crash-free)"],
+            &[
+                "m",
+                "VRF election msgs",
+                "round-robin msgs",
+                "PBFT view msgs (crash-free)",
+            ],
         );
         for &m in &ms {
             // VRF claims: every governor broadcasts one claim → m(m−1).

@@ -71,7 +71,12 @@ fn check_properties(sim: &Simulation, live_governors: &[u32]) -> PropertyResult 
     }
 }
 
-fn scenario(name: &str, rounds: u32, table: &mut Table, build: impl FnOnce() -> (Simulation, Vec<u32>)) {
+fn scenario(
+    name: &str,
+    rounds: u32,
+    table: &mut Table,
+    build: impl FnOnce() -> (Simulation, Vec<u32>),
+) {
     let (mut sim, live) = build();
     sim.run(rounds);
     sim.run_drain_rounds(4);
@@ -103,17 +108,35 @@ fn base_cfg(seed: u64) -> ProtocolConfig {
 
 fn main() {
     let args = Args::parse();
+    // Shared `--trace-out FILE` flag: one traced run of a representative
+    // deployment (JSONL trace + summary) instead of the sweeps.
+    if prb_bench::run_traced(&args, 10, 2, || prb_bench::traced_default_sim(100)) {
+        return;
+    }
     let rounds = args.get_or("rounds", 12u32);
 
     println!("# E10 — §3.1 properties under fault injection\n");
     let mut table = Table::new(
         "property matrix (all cells must be true)",
-        &["scenario", "Agreement", "Chain Integrity", "No Skipping", "Almost No Creation", "Validity"],
+        &[
+            "scenario",
+            "Agreement",
+            "Chain Integrity",
+            "No Skipping",
+            "Almost No Creation",
+            "Validity",
+        ],
     );
 
     scenario("clean run", rounds, &mut table, || {
         let sim = Simulation::builder(base_cfg(1))
-            .provider_profiles(vec![ProviderProfile { invalid_rate: 0.2, active: true }; 8])
+            .provider_profiles(vec![
+                ProviderProfile {
+                    invalid_rate: 0.2,
+                    active: true
+                };
+                8
+            ])
             .build()
             .expect("valid config");
         (sim, (0..4).collect())
@@ -124,7 +147,13 @@ fn main() {
             .collector_profile(0, CollectorProfile::forger(0.5))
             .collector_profile(1, CollectorProfile::misreporter(0.8))
             .collector_profile(2, CollectorProfile::misreporter(0.8))
-            .provider_profiles(vec![ProviderProfile { invalid_rate: 0.2, active: true }; 8])
+            .provider_profiles(vec![
+                ProviderProfile {
+                    invalid_rate: 0.2,
+                    active: true
+                };
+                8
+            ])
             .build()
             .expect("valid config");
         (sim, (0..4).collect())
@@ -132,7 +161,13 @@ fn main() {
 
     scenario("governor g3 crashed from t=0", rounds, &mut table, || {
         let mut sim = Simulation::builder(base_cfg(3))
-            .provider_profiles(vec![ProviderProfile { invalid_rate: 0.2, active: true }; 8])
+            .provider_profiles(vec![
+                ProviderProfile {
+                    invalid_rate: 0.2,
+                    active: true
+                };
+                8
+            ])
             .build()
             .expect("valid config");
         let mut faults = FaultPlan::none();
@@ -141,37 +176,59 @@ fn main() {
         (sim, vec![0, 1, 2])
     });
 
-    scenario("g3 crashes rounds 2–4, recovers and syncs", rounds.max(8), &mut table, || {
-        let cfg = base_cfg(5);
-        let round_ticks = cfg.round_ticks();
-        let mut sim = Simulation::builder(cfg)
-            .provider_profiles(vec![ProviderProfile { invalid_rate: 0.2, active: true }; 8])
-            .build()
-            .expect("valid config");
-        let mut faults = FaultPlan::none();
-        faults.crash_window(
-            sim.governor_net_index(3),
-            SimTime(round_ticks),
-            SimTime(4 * round_ticks),
-        );
-        sim.set_faults(faults);
-        (sim, (0..4).collect())
-    });
+    scenario(
+        "g3 crashes rounds 2–4, recovers and syncs",
+        rounds.max(8),
+        &mut table,
+        || {
+            let cfg = base_cfg(5);
+            let round_ticks = cfg.round_ticks();
+            let mut sim = Simulation::builder(cfg)
+                .provider_profiles(vec![
+                    ProviderProfile {
+                        invalid_rate: 0.2,
+                        active: true
+                    };
+                    8
+                ])
+                .build()
+                .expect("valid config");
+            let mut faults = FaultPlan::none();
+            faults.crash_window(
+                sim.governor_net_index(3),
+                SimTime(round_ticks),
+                SimTime(4 * round_ticks),
+            );
+            sim.set_faults(faults);
+            (sim, (0..4).collect())
+        },
+    );
 
-    scenario("10% loss on provider→collector links", rounds, &mut table, || {
-        let mut sim = Simulation::builder(base_cfg(4))
-            .provider_profiles(vec![ProviderProfile { invalid_rate: 0.2, active: true }; 8])
-            .build()
-            .expect("valid config");
-        let mut faults = FaultPlan::none();
-        for p in 0..8 {
-            for c in 0..8 {
-                faults.drop_link(sim.provider_net_index(p), sim.collector_net_index(c), 0.1);
+    scenario(
+        "10% loss on provider→collector links",
+        rounds,
+        &mut table,
+        || {
+            let mut sim = Simulation::builder(base_cfg(4))
+                .provider_profiles(vec![
+                    ProviderProfile {
+                        invalid_rate: 0.2,
+                        active: true
+                    };
+                    8
+                ])
+                .build()
+                .expect("valid config");
+            let mut faults = FaultPlan::none();
+            for p in 0..8 {
+                for c in 0..8 {
+                    faults.drop_link(sim.provider_net_index(p), sim.collector_net_index(c), 0.1);
+                }
             }
-        }
-        sim.set_faults(faults);
-        (sim, (0..4).collect())
-    });
+            sim.set_faults(faults);
+            (sim, (0..4).collect())
+        },
+    );
 
     table.print();
     println!("Interpretation: all five §3.1 properties hold in every scenario:");

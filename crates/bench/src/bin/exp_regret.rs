@@ -14,7 +14,7 @@
 //! drives a real deployment and regret is measured from governor 0's
 //! metrics over revealed unchecked transactions.
 
-use prb_bench::{mean, pm, run_seeds, seed_list, Args, Table};
+use prb_bench::{mean, pm, run_seeds, run_traced, seed_list, Args, Table};
 use prb_core::behavior::ProviderProfile;
 use prb_core::config::ProtocolConfig;
 use prb_core::sim::Simulation;
@@ -77,7 +77,14 @@ fn theory_table(
 ) {
     let mut table = Table::new(
         title,
-        &["T", "beta", "regret L_T − S_min", "regret/√T", "S_min", "theorem bound"],
+        &[
+            "T",
+            "beta",
+            "regret L_T − S_min",
+            "regret/√T",
+            "S_min",
+            "theorem bound",
+        ],
     );
     for &t in horizons {
         let beta = fixed_beta.unwrap_or_else(|| ReputationParams::theorem_beta(R, t));
@@ -98,7 +105,8 @@ fn theory_table(
     table.print();
 }
 
-fn protocol_regret(seed: u64, rounds: u32) -> (f64, f64, f64) {
+/// The E1b deployment: 8 providers, the 1-honest-7-noisy collector mix.
+fn build_protocol_sim(seed: u64) -> Simulation {
     let mut cfg = ProtocolConfig {
         providers: 8,
         collectors: 8,
@@ -109,11 +117,21 @@ fn protocol_regret(seed: u64, rounds: u32) -> (f64, f64, f64) {
         ..Default::default()
     };
     cfg.reputation.f = 0.8;
-    let mut sim = Simulation::builder(cfg)
+    Simulation::builder(cfg)
         .collector_profiles(AdversaryMix::OneHonestRestNoisy.profiles(8))
-        .provider_profiles(vec![ProviderProfile { invalid_rate: 0.5, active: false }; 8])
+        .provider_profiles(vec![
+            ProviderProfile {
+                invalid_rate: 0.5,
+                active: false
+            };
+            8
+        ])
         .build()
-        .expect("valid config");
+        .expect("valid config")
+}
+
+fn protocol_regret(seed: u64, rounds: u32) -> (f64, f64, f64) {
+    let mut sim = build_protocol_sim(seed);
     sim.run(rounds);
     sim.run_drain_rounds(3);
     let m = sim.metrics(0);
@@ -129,6 +147,14 @@ fn protocol_regret(seed: u64, rounds: u32) -> (f64, f64, f64) {
 
 fn main() {
     let args = Args::parse();
+    // `--trace-out FILE`: one traced run of the smallest E1b deployment
+    // (10 rounds, seed 100) instead of the sweeps; prints the event
+    // summary, phase percentiles, and the trace ↔ kernel reconciliation.
+    if run_traced(&args, args.get_or("trace-rounds", 10), 3, || {
+        build_protocol_sim(100)
+    }) {
+        return;
+    }
     let seeds = seed_list(100, args.get_or("seeds", 30));
 
     println!("# E1 — regret of the reputation mechanism (Theorem 1)\n");

@@ -36,13 +36,24 @@ fn empirical_tail(n: u32, f: f64, delta: f64, trials: u32, seed: u64) -> f64 {
 
 fn main() {
     let args = Args::parse();
+    // Shared `--trace-out FILE` flag: one traced run of a representative
+    // deployment (JSONL trace + summary) instead of the sweeps.
+    if prb_bench::run_traced(&args, 10, 2, || prb_bench::traced_default_sim(100)) {
+        return;
+    }
     let trials = args.get_or("trials", 4_000u32);
     let f = args.get_or("f", 0.5f64);
 
     println!("# E3 — Hoeffding tail of the unchecked count (Theorem 3)\n");
     let mut table = Table::new(
         &format!("worst-case screening (per-tx skip prob = f = {f}), {trials} trials"),
-        &["N", "δ", "empirical P[#unchecked > (f+δ)N]", "bound e^(−2δ²N)", "within bound?"],
+        &[
+            "N",
+            "δ",
+            "empirical P[#unchecked > (f+δ)N]",
+            "bound e^(−2δ²N)",
+            "within bound?",
+        ],
     );
     for n in [100u32, 500, 1000] {
         for delta in [0.02, 0.05, 0.10, 0.15, 0.20] {

@@ -40,7 +40,13 @@ fn run_once(seed: u64, mode: GovernorMode, f: f64, rounds: u32) -> Throughput {
     cfg.reputation.f = f;
     let mut sim = Simulation::builder(cfg.clone())
         .collector_profiles(AdversaryMix::HalfMisreport(40).profiles(8))
-        .provider_profiles(vec![ProviderProfile { invalid_rate: 0.4, active: false }; 8])
+        .provider_profiles(vec![
+            ProviderProfile {
+                invalid_rate: 0.4,
+                active: false
+            };
+            8
+        ])
         .build()
         .expect("valid config");
     sim.run(rounds);
@@ -113,6 +119,11 @@ fn measure_crypto(args: &Args) {
 
 fn main() {
     let args = Args::parse();
+    // Shared `--trace-out FILE` flag: one traced run of a representative
+    // deployment (JSONL trace + summary) instead of the sweeps.
+    if prb_bench::run_traced(&args, 10, 2, || prb_bench::traced_default_sim(100)) {
+        return;
+    }
     let seeds = seed_list(70, args.get_or("seeds", 6));
     let rounds = args.get_or("rounds", 20u32);
 
@@ -128,9 +139,8 @@ fn main() {
             "loss / 1k txs",
         ],
     );
-    let mut configs: Vec<(String, GovernorMode, f64)> = vec![
-        ("check-all (baseline)".into(), GovernorMode::CheckAll, 0.5),
-    ];
+    let mut configs: Vec<(String, GovernorMode, f64)> =
+        vec![("check-all (baseline)".into(), GovernorMode::CheckAll, 0.5)];
     for f in [0.1, 0.3, 0.5, 0.7, 0.9] {
         configs.push((format!("reputation f={f:.1}"), GovernorMode::Reputation, f));
     }
@@ -140,7 +150,10 @@ fn main() {
         let runs = run_seeds(&seeds, |s| run_once(s, mode, f, rounds));
         table.row(vec![
             name,
-            pm(&runs.iter().map(|r| r.validations_per_tx).collect::<Vec<_>>()),
+            pm(&runs
+                .iter()
+                .map(|r| r.validations_per_tx)
+                .collect::<Vec<_>>()),
             pm(&runs.iter().map(|r| r.processing_ms).collect::<Vec<_>>()),
             pm(&runs.iter().map(|r| r.tx_per_sec).collect::<Vec<_>>()),
             pm(&runs.iter().map(|r| r.realized_loss).collect::<Vec<_>>()),

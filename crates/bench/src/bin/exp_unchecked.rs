@@ -34,39 +34,79 @@ fn isolated_rate(reports: &[Report], f: f64, samples: u32, seed: u64) -> f64 {
 
 fn main() {
     let args = Args::parse();
+    // Shared `--trace-out FILE` flag: one traced run of a representative
+    // deployment (JSONL trace + summary) instead of the sweeps.
+    if prb_bench::run_traced(&args, 10, 2, || prb_bench::traced_default_sim(100)) {
+        return;
+    }
     println!("# E2 — unchecked probability vs the Lemma 2 bound\n");
 
     // Part 1: the screening rule in isolation.
     let profiles: Vec<(&str, Vec<Report>)> = vec![
         (
             "1 reporter, -1 (worst case)",
-            vec![Report { collector: 0, labeled_valid: false, weight: 1.0 }],
+            vec![Report {
+                collector: 0,
+                labeled_valid: false,
+                weight: 1.0,
+            }],
         ),
         (
             "4 equal reporters, all -1",
             (0..4)
-                .map(|c| Report { collector: c, labeled_valid: false, weight: 1.0 })
+                .map(|c| Report {
+                    collector: c,
+                    labeled_valid: false,
+                    weight: 1.0,
+                })
                 .collect(),
         ),
         (
             "4 equal reporters, 2 of each label",
             (0..4)
-                .map(|c| Report { collector: c, labeled_valid: c < 2, weight: 1.0 })
+                .map(|c| Report {
+                    collector: c,
+                    labeled_valid: c < 2,
+                    weight: 1.0,
+                })
                 .collect(),
         ),
         (
             "skewed weights 8:1:1:1, heavy says -1",
             vec![
-                Report { collector: 0, labeled_valid: false, weight: 8.0 },
-                Report { collector: 1, labeled_valid: true, weight: 1.0 },
-                Report { collector: 2, labeled_valid: true, weight: 1.0 },
-                Report { collector: 3, labeled_valid: true, weight: 1.0 },
+                Report {
+                    collector: 0,
+                    labeled_valid: false,
+                    weight: 8.0,
+                },
+                Report {
+                    collector: 1,
+                    labeled_valid: true,
+                    weight: 1.0,
+                },
+                Report {
+                    collector: 2,
+                    labeled_valid: true,
+                    weight: 1.0,
+                },
+                Report {
+                    collector: 3,
+                    labeled_valid: true,
+                    weight: 1.0,
+                },
             ],
         ),
     ];
     let mut t1 = Table::new(
         "screening rule in isolation (100k samples per cell)",
-        &["profile", "f", "measured P[unchecked]", "analytic Σf·w²/W²", "bound f", "≤ f?"],
+        &[
+            "profile",
+            "f",
+            "measured P[unchecked]",
+            "analytic Σf·w²/W²",
+            "bound f",
+            "≤ f?",
+        ],
     );
     for (name, reports) in &profiles {
         for f in [0.2, 0.5, 0.8] {
@@ -93,15 +133,29 @@ fn main() {
     );
     for f in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let runs = run_seeds(&seeds, |seed| {
-            let mut cfg = ProtocolConfig { seed, ..Default::default() };
+            let mut cfg = ProtocolConfig {
+                seed,
+                ..Default::default()
+            };
             cfg.reputation.f = f;
             let mut sim = Simulation::builder(cfg)
-                .provider_profiles(vec![ProviderProfile { invalid_rate: 0.9, active: false }; 8])
+                .provider_profiles(vec![
+                    ProviderProfile {
+                        invalid_rate: 0.9,
+                        active: false
+                    };
+                    8
+                ])
                 .build()
                 .expect("valid config");
             sim.run(rounds);
-            let fractions: Vec<f64> = (0..4).map(|g| sim.metrics(g).unchecked_fraction()).collect();
-            (mean(&fractions), fractions.iter().cloned().fold(0.0, f64::max))
+            let fractions: Vec<f64> = (0..4)
+                .map(|g| sim.metrics(g).unchecked_fraction())
+                .collect();
+            (
+                mean(&fractions),
+                fractions.iter().cloned().fold(0.0, f64::max),
+            )
         });
         let means: Vec<f64> = runs.iter().map(|r| r.0).collect();
         let maxes: Vec<f64> = runs.iter().map(|r| r.1).collect();

@@ -25,6 +25,12 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::rc::Rc;
+
+use prb_core::behavior::{CollectorProfile, ProviderProfile};
+use prb_core::config::{ProtocolConfig, RevealPolicy};
+use prb_core::sim::Simulation;
+use prb_obs::{JsonlRecorder, Obs};
 
 /// A markdown table under construction.
 #[derive(Clone, Debug)]
@@ -55,18 +61,30 @@ impl Table {
         self
     }
 
-    /// Renders the table as markdown.
+    /// Renders the table as markdown. `|` inside headers or cells is
+    /// escaped so it cannot break the column structure.
     pub fn to_markdown(&self) -> String {
+        let esc = |cells: &[String]| {
+            cells
+                .iter()
+                .map(|c| c.replace('|', "\\|"))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
         let mut out = String::new();
         let _ = writeln!(out, "### {}\n", self.title);
-        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(out, "| {} |", esc(&self.headers));
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
-            let _ = writeln!(out, "| {} |", row.join(" | "));
+            let _ = writeln!(out, "| {} |", esc(row));
         }
         out
     }
@@ -178,7 +196,9 @@ impl Args {
 
     /// Parses `--name value` as `T`, with a default.
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
-        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 }
 
@@ -189,13 +209,91 @@ impl Args {
 /// Panics on an unknown scheme name.
 pub fn crypto_from_args(args: &Args) -> prb_crypto::signer::CryptoScheme {
     let name = args.get("crypto").unwrap_or("sim");
-    prb_crypto::signer::CryptoScheme::parse(name)
-        .unwrap_or_else(|| panic!("unknown crypto scheme {name}; use sim|schnorr-256|schnorr-512|schnorr-2048"))
+    prb_crypto::signer::CryptoScheme::parse(name).unwrap_or_else(|| {
+        panic!("unknown crypto scheme {name}; use sim|schnorr-256|schnorr-512|schnorr-2048")
+    })
 }
 
 /// Standard seed list for multi-seed experiments: `base..base+count`.
 pub fn seed_list(base: u64, count: u64) -> Vec<u64> {
     (base..base + count).collect()
+}
+
+/// The standard small traced deployment: the default config with active
+/// providers and one strong misreporter among the collectors, revealing
+/// one round after commitment — every event kind has a chance to fire.
+pub fn traced_default_sim(seed: u64) -> Simulation {
+    let cfg = ProtocolConfig {
+        seed,
+        reveal: RevealPolicy::AfterRounds(1),
+        ..Default::default()
+    };
+    let mut collectors = vec![CollectorProfile::honest(); cfg.collectors as usize];
+    collectors[0] = CollectorProfile::misreporter(0.8);
+    let providers = vec![ProviderProfile::honest_active(); cfg.providers as usize];
+    Simulation::builder(cfg)
+        .collector_profiles(collectors)
+        .provider_profiles(providers)
+        .build()
+        .expect("default config is valid")
+}
+
+/// Runs `build()`'s deployment under a JSONL trace when the shared
+/// `--trace-out FILE` flag was passed: `rounds` live rounds plus `drain`
+/// drain rounds, then the event/phase summary and the trace ↔ kernel
+/// reconciliation table. Returns `true` when a traced run happened (the
+/// caller then typically skips its sweeps), `false` without the flag.
+///
+/// # Panics
+///
+/// Panics if the trace file cannot be created.
+pub fn run_traced<F>(args: &Args, rounds: u32, drain: u32, build: F) -> bool
+where
+    F: FnOnce() -> Simulation,
+{
+    let Some(path) = args.get("trace-out") else {
+        return false;
+    };
+    let recorder = JsonlRecorder::create(path)
+        .unwrap_or_else(|e| panic!("cannot create trace file {path}: {e}"));
+    let obs = Obs::with_sink(Rc::new(recorder));
+    let mut sim = build();
+    sim.set_obs(Rc::clone(&obs));
+    sim.run(rounds);
+    sim.run_drain_rounds(drain);
+    println!("{}", sim.obs_summary());
+    let ok = print_reconciliation(&sim);
+    println!(
+        "trace written to {path}; reconciliation: {}",
+        if ok { "OK" } else { "MISMATCH" }
+    );
+    true
+}
+
+/// Prints the per-message-kind reconciliation of trace events against the
+/// kernel's own `MessageStats`; `OK` on every row is the proof that the
+/// trace misses nothing. Returns whether everything matched.
+pub fn print_reconciliation(sim: &Simulation) -> bool {
+    let mut table = Table::new(
+        "trace ↔ kernel reconciliation (trace events / MessageStats)",
+        &["msg kind", "sent", "delivered", "dropped", "status"],
+    );
+    let counts = sim.obs().msg_counts();
+    let mut ok = true;
+    for (kind, c) in &counts {
+        let k = sim.net_stats().kind(kind);
+        let row_ok = c.sent == k.sent && c.delivered == k.delivered && c.dropped == k.dropped;
+        ok &= row_ok;
+        table.row(vec![
+            (*kind).to_owned(),
+            format!("{}/{}", c.sent, k.sent),
+            format!("{}/{}", c.delivered, k.delivered),
+            format!("{}/{}", c.dropped, k.dropped),
+            if row_ok { "OK" } else { "MISMATCH" }.to_owned(),
+        ]);
+    }
+    table.print();
+    ok
 }
 
 #[cfg(test)]
@@ -216,6 +314,17 @@ mod tests {
     #[should_panic(expected = "arity")]
     fn table_rejects_wrong_arity() {
         Table::new("t", &["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn table_escapes_pipes() {
+        let mut t = Table::new("t", &["a|b", "c"]);
+        t.row(vec!["x|y".into(), "z".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a\\|b | c |"), "{md}");
+        assert!(md.contains("| x\\|y | z |"), "{md}");
+        // The separator row is structural and stays unescaped.
+        assert!(md.contains("|---|---|"), "{md}");
     }
 
     #[test]
@@ -246,6 +355,47 @@ mod tests {
         assert!(args.flag("verbose"));
         assert!(!args.flag("quiet"));
         assert_eq!(args.get_or("missing", 7u32), 7);
+    }
+
+    #[test]
+    fn stats_edge_cases() {
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(mean(&[4.5]), 4.5);
+        let one = pm(&[4.5]);
+        assert!(one.contains("4.50") && one.contains("0.00"), "{one}");
+        assert_eq!(pm(&[]), "0.00 \u{b1} 0.00");
+    }
+
+    #[test]
+    fn args_unknown_flag_and_missing_value() {
+        let args = Args::from_args(["--rounds", "20"].into_iter().map(String::from));
+        assert!(!args.flag("nope"));
+        assert_eq!(args.get("nope"), None);
+        // A trailing `--key` with no value parses as a bare flag, not a
+        // value, and `get` does not see it.
+        let args = Args::from_args(["--quick", "--seeds"].into_iter().map(String::from));
+        assert!(args.flag("quick"));
+        assert!(args.flag("seeds"));
+        assert_eq!(args.get("seeds"), None);
+        // Tokens without a `--` prefix (and not a value) are skipped.
+        let args = Args::from_args(["stray", "--f", "0.5"].into_iter().map(String::from));
+        assert_eq!(args.get_or::<f64>("f", 0.0), 0.5);
+    }
+
+    #[test]
+    fn trace_out_passes_through_the_shared_parser() {
+        let args = Args::from_args(
+            ["--trace-out", "/tmp/t.jsonl", "--seeds", "3"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(args.get("trace-out"), Some("/tmp/t.jsonl"));
+        assert_eq!(args.get_or("seeds", 0u32), 3);
+        // Without the flag, run_traced declines immediately.
+        let untraced = Args::from_args(["--seeds", "3"].into_iter().map(String::from));
+        assert!(!run_traced(&untraced, 1, 0, || unreachable!(
+            "must not build"
+        )));
     }
 
     #[test]

@@ -26,6 +26,7 @@ use prb_net::message::Envelope;
 use prb_net::sim::{Actor, Context};
 use prb_net::time::SimDuration;
 use prb_net::TimerId;
+use prb_obs::{phases, EventKind as ObsEvent, Obs, ObsHandle, Span};
 
 /// PBFT protocol messages.
 #[derive(Clone, Debug)]
@@ -88,6 +89,11 @@ pub struct PbftReplica {
     /// Pending request timer (for view change detection).
     request_timer: Option<TimerId>,
     timeout: SimDuration,
+    obs: ObsHandle,
+    /// Open vote spans: pre-prepare accepted → prepared.
+    vote_spans: HashMap<(u64, u64), Span>,
+    /// Open commit spans: prepared → committed.
+    commit_spans: HashMap<(u64, u64), Span>,
 }
 
 impl PbftReplica {
@@ -110,7 +116,21 @@ impl PbftReplica {
             future_preprepares: Vec::new(),
             request_timer: None,
             timeout,
+            obs: Obs::off(),
+            vote_spans: HashMap::new(),
+            commit_spans: HashMap::new(),
         }
+    }
+
+    /// Installs an observability hub (defaults to [`Obs::off`]); the
+    /// replica then emits `pbft.*` events and `vote`/`commit` phase
+    /// spans.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
+    fn net_idx(&self) -> u64 {
+        (self.net_base + self.index as usize) as u64
     }
 
     /// Values this replica has decided, in decision order.
@@ -172,7 +192,13 @@ impl PbftReplica {
         }
     }
 
-    fn on_preprepare(&mut self, view: u64, seq: u64, value: Digest, ctx: &mut Context<'_, PbftMsg>) {
+    fn on_preprepare(
+        &mut self,
+        view: u64,
+        seq: u64,
+        value: Digest,
+        ctx: &mut Context<'_, PbftMsg>,
+    ) {
         if view > self.view {
             // A fast new primary outran our view change; replay on entry.
             self.future_preprepares.push((view, seq, value));
@@ -181,6 +207,12 @@ impl PbftReplica {
         if view < self.view {
             return;
         }
+        let now = ctx.now().ticks();
+        self.obs
+            .emit(now, self.net_idx(), ObsEvent::PbftPrePrepare { view, seq });
+        self.vote_spans
+            .entry((view, seq))
+            .or_insert_with(|| Span::begin(phases::VOTE, now));
         self.record_prepare(view, seq, value, self.index);
         self.broadcast(ctx, "pbft-prepare", &PbftMsg::Prepare { view, seq, value });
         self.check_prepared(view, seq, value, ctx);
@@ -193,7 +225,13 @@ impl PbftReplica {
             .insert(from);
     }
 
-    fn check_prepared(&mut self, view: u64, seq: u64, value: Digest, ctx: &mut Context<'_, PbftMsg>) {
+    fn check_prepared(
+        &mut self,
+        view: u64,
+        seq: u64,
+        value: Digest,
+        ctx: &mut Context<'_, PbftMsg>,
+    ) {
         let have = self
             .prepares
             .get(&(view, seq, value))
@@ -201,16 +239,25 @@ impl PbftReplica {
             .unwrap_or(0);
         // Prepared: pre-prepare + 2f prepares (own vote counted).
         if have >= self.quorum() && self.prepared.insert((view, seq)) {
+            let now = ctx.now().ticks();
+            self.obs
+                .emit(now, self.net_idx(), ObsEvent::PbftPrepared { view, seq });
+            if let Some(span) = self.vote_spans.remove(&(view, seq)) {
+                self.obs.end_span(span, now, self.net_idx());
+            }
+            self.commit_spans
+                .entry((view, seq))
+                .or_insert_with(|| Span::begin(phases::COMMIT, now));
             self.commits
                 .entry((view, seq, value))
                 .or_default()
                 .insert(self.index);
             self.broadcast(ctx, "pbft-commit", &PbftMsg::Commit { view, seq, value });
-            self.check_committed(view, seq, value);
+            self.check_committed(view, seq, value, now);
         }
     }
 
-    fn check_committed(&mut self, view: u64, seq: u64, value: Digest) {
+    fn check_committed(&mut self, view: u64, seq: u64, value: Digest, now: u64) {
         let have = self
             .commits
             .get(&(view, seq, value))
@@ -219,6 +266,11 @@ impl PbftReplica {
         if have >= self.quorum() && self.committed_seqs.insert((view, seq)) {
             self.decided.push((seq, value));
             self.request_timer = None;
+            self.obs
+                .emit(now, self.net_idx(), ObsEvent::PbftCommitted { view, seq });
+            if let Some(span) = self.commit_spans.remove(&(view, seq)) {
+                self.obs.end_span(span, now, self.net_idx());
+            }
         }
     }
 }
@@ -264,7 +316,7 @@ impl Actor for PbftReplica {
                     .entry((view, seq, value))
                     .or_default()
                     .insert(from);
-                self.check_committed(view, seq, value);
+                self.check_committed(view, seq, value, ctx.now().ticks());
             }
             PbftMsg::ViewChange { new_view } => {
                 let Some(from) = self.gov_of(env.from) else {
@@ -277,6 +329,11 @@ impl Actor for PbftReplica {
                 votes.insert(from);
                 if votes.len() >= self.quorum() {
                     self.view = new_view;
+                    self.obs.emit(
+                        ctx.now().ticks(),
+                        self.net_idx(),
+                        ObsEvent::PbftViewChange { view: new_view },
+                    );
                     self.prepared.clear();
                     // Replay pre-prepares buffered for this view.
                     let ready: Vec<_> = self
@@ -380,7 +437,9 @@ mod tests {
             net.send_external(0, "client", PbftMsg::ClientRequest(v), SimTime(0));
             net.run_until(SimTime(400));
             let s = net.stats();
-            s.kind("pbft-preprepare").sent + s.kind("pbft-prepare").sent + s.kind("pbft-commit").sent
+            s.kind("pbft-preprepare").sent
+                + s.kind("pbft-prepare").sent
+                + s.kind("pbft-commit").sent
         };
         let c4 = count_for(4);
         let c8 = count_for(8);

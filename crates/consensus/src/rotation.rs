@@ -18,6 +18,7 @@ use prb_net::message::Envelope;
 use prb_net::sim::{Actor, Context};
 use prb_net::time::SimDuration;
 use prb_net::TimerId;
+use prb_obs::{phases, EventKind as ObsEvent, Obs, ObsHandle, Span};
 
 /// Messages of the rotation protocol.
 #[derive(Clone, Debug)]
@@ -57,6 +58,9 @@ pub struct RotationReplica {
     decided: Vec<(u64, Option<Digest>)>,
     round_timer: Option<TimerId>,
     timeout: SimDuration,
+    obs: ObsHandle,
+    /// Open commit spans: height start → decision.
+    height_spans: HashMap<u64, Span>,
 }
 
 impl RotationReplica {
@@ -72,7 +76,19 @@ impl RotationReplica {
             decided: Vec::new(),
             round_timer: None,
             timeout,
+            obs: Obs::off(),
+            height_spans: HashMap::new(),
         }
+    }
+
+    /// Installs an observability hub (defaults to [`Obs::off`]); the
+    /// replica then emits `rot.decided` events and `commit` phase spans.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
+    fn net_idx(&self) -> u64 {
+        (self.net_base + self.index as usize) as u64
     }
 
     /// Heights decided so far; `None` marks a skipped (timed-out) leader.
@@ -103,12 +119,23 @@ impl RotationReplica {
         votes.len() >= self.quorum()
     }
 
-    fn decide(&mut self, height: u64, value: Option<Digest>) {
+    fn decide(&mut self, height: u64, value: Option<Digest>, now: u64) {
         if self.decided.iter().any(|(h, _)| *h == height) {
             return;
         }
         self.decided.push((height, value));
         self.round_timer = None;
+        self.obs.emit(
+            now,
+            self.net_idx(),
+            ObsEvent::RotationDecided {
+                height,
+                skipped: value.is_none(),
+            },
+        );
+        if let Some(span) = self.height_spans.remove(&height) {
+            self.obs.end_span(span, now, self.net_idx());
+        }
     }
 }
 
@@ -121,12 +148,15 @@ impl Actor for RotationReplica {
                 self.height = height;
                 self.pending_value = Some(value);
                 self.round_timer = Some(ctx.set_timer(self.timeout));
+                self.height_spans
+                    .entry(height)
+                    .or_insert_with(|| Span::begin(phases::COMMIT, ctx.now().ticks()));
                 if self.leader_of(height) == self.index {
                     let msg = RotationMsg::Propose { height, value };
                     self.broadcast(ctx, "rot-propose", &msg);
                     // Leader votes for its own proposal.
                     if self.record_vote(height, value, self.index) {
-                        self.decide(height, Some(value));
+                        self.decide(height, Some(value), ctx.now().ticks());
                     }
                     self.broadcast(ctx, "rot-vote", &RotationMsg::Vote { height, value });
                 }
@@ -140,7 +170,7 @@ impl Actor for RotationReplica {
                     return; // only the height's leader may propose
                 }
                 if self.record_vote(height, value, self.index) {
-                    self.decide(height, Some(value));
+                    self.decide(height, Some(value), ctx.now().ticks());
                 }
                 self.broadcast(ctx, "rot-vote", &RotationMsg::Vote { height, value });
             }
@@ -152,19 +182,19 @@ impl Actor for RotationReplica {
                     return;
                 };
                 if self.record_vote(height, value, from) {
-                    self.decide(height, Some(value));
+                    self.decide(height, Some(value), ctx.now().ticks());
                 }
             }
         }
     }
 
-    fn on_timer(&mut self, timer: TimerId, _ctx: &mut Context<'_, RotationMsg>) {
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<'_, RotationMsg>) {
         if self.round_timer != Some(timer) {
             return;
         }
         // Leader silent for a whole round: skip the height.
         let height = self.height;
-        self.decide(height, None);
+        self.decide(height, None, ctx.now().ticks());
     }
 }
 

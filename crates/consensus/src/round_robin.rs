@@ -54,7 +54,9 @@ mod tests {
     #[test]
     fn weighted_rotation_matches_stakes() {
         let stakes = [2, 1, 3];
-        let leaders: Vec<u32> = (0..12).map(|r| weighted_leader_of_round(r, &stakes)).collect();
+        let leaders: Vec<u32> = (0..12)
+            .map(|r| weighted_leader_of_round(r, &stakes))
+            .collect();
         assert_eq!(leaders, vec![0, 0, 1, 2, 2, 2, 0, 0, 1, 2, 2, 2]);
         // Frequencies over one cycle are exactly stake-proportional.
         let count = |g: u32| leaders[..6].iter().filter(|&&l| l == g).count() as u64;

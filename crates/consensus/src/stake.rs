@@ -305,8 +305,7 @@ mod tests {
         ];
         let run = || {
             let mut table = StakeTable::uniform(3, 10);
-            let rejected =
-                table.apply_all(&transfers, |g| Some(key(g).public_key()));
+            let rejected = table.apply_all(&transfers, |g| Some(key(g).public_key()));
             (table, rejected)
         };
         let (t1, r1) = run();

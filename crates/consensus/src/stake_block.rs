@@ -218,7 +218,11 @@ impl Actor for StakeGovernor {
                     let sig = self.key.sign(&state_sig_bytes(round, &digest));
                     self.proposed = Some(digest);
                     self.acks.insert(self.index, sig.clone());
-                    self.broadcast(ctx, "stake-newstate", &StakeMsg::NewState { round, digest, sig });
+                    self.broadcast(
+                        ctx,
+                        "stake-newstate",
+                        &StakeMsg::NewState { round, digest, sig },
+                    );
                     self.maybe_commit(ctx);
                 }
             }

@@ -17,6 +17,7 @@ use prb_ledger::transaction::{Label, LabeledTx, SignedTx, TxPayload};
 use prb_net::message::{Envelope, NodeIdx};
 use prb_net::order::{ChannelId, OrderedInbox};
 use prb_net::sim::Context;
+use prb_obs::{EventKind as ObsEvent, Obs, ObsHandle};
 
 use crate::behavior::CollectorProfile;
 use crate::msg::ProtocolMsg;
@@ -40,6 +41,9 @@ pub struct CollectorNode {
     discarded: u64,
     flipped: u64,
     forged: u64,
+    obs: ObsHandle,
+    /// This collector's kernel node index (set with the obs handle).
+    net_idx: u64,
 }
 
 impl CollectorNode {
@@ -69,7 +73,17 @@ impl CollectorNode {
             discarded: 0,
             flipped: 0,
             forged: 0,
+            obs: Obs::off(),
+            net_idx: 0,
         }
+    }
+
+    /// Installs an observability hub and this node's kernel index
+    /// (defaults to [`Obs::off`]); adversarial actions then emit
+    /// `col.adversary` events.
+    pub fn set_obs(&mut self, obs: ObsHandle, net_idx: u64) {
+        self.obs = obs;
+        self.net_idx = net_idx;
     }
 
     /// The collector's index.
@@ -95,9 +109,7 @@ impl CollectorNode {
             }
             ProtocolMsg::TxBroadcast { seq, tx } => {
                 let provider_index = tx.payload.provider.index;
-                let released = self
-                    .inbox
-                    .push(ChannelId(provider_index as u64), seq, tx);
+                let released = self.inbox.push(ChannelId(provider_index as u64), seq, tx);
                 for tx in released {
                     self.process_tx(tx, ctx);
                 }
@@ -122,19 +134,25 @@ impl CollectorNode {
         }
         let Some(flip) = self.profile.decide_label(self.round, ctx.rng()) else {
             self.discarded += 1;
+            self.obs.emit(
+                ctx.now().ticks(),
+                self.net_idx,
+                ObsEvent::CollectorAction { action: "drop" },
+            );
             return;
         };
         // l ← validate(tx): the collector does the validation work itself;
         // ground truth comes from the oracle without charging the
         // governor-side validation counter.
-        let truth = self
-            .oracle
-            .borrow()
-            .peek(tx.id())
-            .unwrap_or(false);
+        let truth = self.oracle.borrow().peek(tx.id()).unwrap_or(false);
         let honest_label = Label::from_validity(truth);
         let label = if flip {
             self.flipped += 1;
+            self.obs.emit(
+                ctx.now().ticks(),
+                self.net_idx,
+                ObsEvent::CollectorAction { action: "flip" },
+            );
             honest_label.flipped()
         } else {
             honest_label
@@ -166,6 +184,11 @@ impl CollectorNode {
     /// governor's `verify` will fail.
     fn upload_forged(&mut self, provider_index: u32, ctx: &mut Context<'_, ProtocolMsg>) {
         self.forged += 1;
+        self.obs.emit(
+            ctx.now().ticks(),
+            self.net_idx,
+            ObsEvent::CollectorAction { action: "forge" },
+        );
         let payload = TxPayload {
             provider: NodeId::provider(provider_index),
             // High nonces keep forged ids from colliding with real ones.
@@ -178,7 +201,12 @@ impl CollectorNode {
             ctx.now().ticks(),
             Sig::forged(&self.scheme, ctx.rng()),
         );
-        let ltx = LabeledTx::create(fake_tx, Label::Valid, NodeId::collector(self.index), &self.key);
+        let ltx = LabeledTx::create(
+            fake_tx,
+            Label::Valid,
+            NodeId::collector(self.index),
+            &self.key,
+        );
         self.upload(ltx, ctx);
     }
 }
@@ -229,7 +257,12 @@ mod tests {
         (net, oracle)
     }
 
-    fn make_tx(provider: u32, nonce: u64, oracle: &Rc<RefCell<ValidityOracle>>, valid: bool) -> SignedTx {
+    fn make_tx(
+        provider: u32,
+        nonce: u64,
+        oracle: &Rc<RefCell<ValidityOracle>>,
+        valid: bool,
+    ) -> SignedTx {
         let tx = SignedTx::create(
             TxPayload {
                 provider: NodeId::provider(provider),
@@ -244,7 +277,9 @@ mod tests {
     }
 
     fn uploads(net: &Network<Harness>) -> Vec<LabeledTx> {
-        let Harness::Sink(seen) = net.node(1) else { panic!() };
+        let Harness::Sink(seen) = net.node(1) else {
+            panic!()
+        };
         seen.iter()
             .filter_map(|(_, m)| match m {
                 ProtocolMsg::TxUpload { ltx, .. } => Some(ltx.clone()),
@@ -326,14 +361,19 @@ mod tests {
         net.send_external(
             0,
             "tx",
-            ProtocolMsg::TxBroadcast { seq: 0, tx: tx.clone() },
+            ProtocolMsg::TxBroadcast {
+                seq: 0,
+                tx: tx.clone(),
+            },
             SimTime(0),
         );
         net.run_until_idle(100);
         let got = uploads(&net);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].label, Label::Invalid);
-        let Harness::Collector(c) = net.node(0) else { panic!() };
+        let Harness::Collector(c) = net.node(0) else {
+            panic!()
+        };
         assert_eq!(c.counters().2, 1); // flipped
     }
 
@@ -344,7 +384,9 @@ mod tests {
         net.send_external(0, "tx", ProtocolMsg::TxBroadcast { seq: 0, tx }, SimTime(0));
         net.run_until_idle(100);
         assert!(uploads(&net).is_empty());
-        let Harness::Collector(c) = net.node(0) else { panic!() };
+        let Harness::Collector(c) = net.node(0) else {
+            panic!()
+        };
         assert_eq!(c.counters().1, 1); // discarded
     }
 
@@ -374,7 +416,10 @@ mod tests {
         net.send_external(
             0,
             "tx",
-            ProtocolMsg::TxBroadcast { seq: 1, tx: tx1.clone() },
+            ProtocolMsg::TxBroadcast {
+                seq: 1,
+                tx: tx1.clone(),
+            },
             SimTime(0),
         );
         net.run_until_idle(10);
@@ -382,7 +427,10 @@ mod tests {
         net.send_external(
             0,
             "tx",
-            ProtocolMsg::TxBroadcast { seq: 0, tx: tx0.clone() },
+            ProtocolMsg::TxBroadcast {
+                seq: 0,
+                tx: tx0.clone(),
+            },
             SimTime(10),
         );
         net.run_until_idle(100);
@@ -401,14 +449,22 @@ mod tests {
         net.send_external(
             0,
             "tx",
-            ProtocolMsg::TxBroadcast { seq: 0, tx: tx.clone() },
+            ProtocolMsg::TxBroadcast {
+                seq: 0,
+                tx: tx.clone(),
+            },
             SimTime(1),
         );
         net.run_until_idle(100);
         assert_eq!(uploads(&net)[0].label, Label::Valid);
         // After activation the same profile flips.
         let tx2 = make_tx(0, 1, &oracle, true);
-        net.send_external(0, "round", ProtocolMsg::StartRound { round: 5 }, SimTime(200));
+        net.send_external(
+            0,
+            "round",
+            ProtocolMsg::StartRound { round: 5 },
+            SimTime(200),
+        );
         net.send_external(
             0,
             "tx",

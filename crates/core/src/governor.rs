@@ -31,6 +31,7 @@ use prb_net::order::{ChannelId, OrderedInbox};
 use prb_net::sim::Context;
 use prb_net::time::SimDuration;
 use prb_net::topology::Topology;
+use prb_obs::{phases, EventKind as ObsEvent, Obs, ObsHandle, Span};
 use prb_reputation::screening::{screen, Report};
 use prb_reputation::update::{RevealedBehaviour, RevealedReport};
 use prb_reputation::{revenue, ReputationTable};
@@ -104,6 +105,14 @@ pub struct GovernorNode {
     claims: Vec<ElectionClaim>,
     leader: Option<u32>,
     metrics: GovernorMetrics,
+    obs: ObsHandle,
+    /// Open per-transaction Δ-window screening spans.
+    screen_spans: HashMap<TxId, Span>,
+    /// Screening tick of still-unchecked transactions (reveal/argue spans).
+    screened_at: HashMap<TxId, u64>,
+    election_span: Option<Span>,
+    proposal_span: Option<Span>,
+    commit_span: Option<Span>,
 }
 
 impl std::fmt::Debug for GovernorNode {
@@ -159,7 +168,24 @@ impl GovernorNode {
             round: 0,
             claims: Vec::new(),
             leader: None,
+            obs: Obs::off(),
+            screen_spans: HashMap::new(),
+            screened_at: HashMap::new(),
+            election_span: None,
+            proposal_span: None,
+            commit_span: None,
         }
+    }
+
+    /// Installs an observability hub (defaults to [`Obs::off`]); the
+    /// governor then emits `gov.*` events and election / proposal /
+    /// screening / commit / reveal / argue phase spans.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
+    fn net_idx(&self) -> u64 {
+        (self.governor_base + self.index as usize) as u64
     }
 
     /// The governor's index.
@@ -221,13 +247,12 @@ impl GovernorNode {
     pub fn on_message(&mut self, env: Envelope<ProtocolMsg>, ctx: &mut Context<'_, ProtocolMsg>) {
         match env.payload {
             ProtocolMsg::StartRound { round } => self.on_start_round(round, ctx),
-            ProtocolMsg::Election { round, claim }
-                if round == self.round => {
-                    self.claims.push(claim);
-                    if self.claims.len() == self.cfg.governors as usize {
-                        self.run_election();
-                    }
+            ProtocolMsg::Election { round, claim } if round == self.round => {
+                self.claims.push(claim);
+                if self.claims.len() == self.cfg.governors as usize {
+                    self.run_election(ctx.now().ticks());
                 }
+            }
             ProtocolMsg::TxUpload { seq, ltx } => {
                 let channel = ChannelId(ltx.collector.index as u64);
                 for ltx in self.inbox.push(channel, seq, ltx) {
@@ -237,10 +262,12 @@ impl GovernorNode {
             ProtocolMsg::ProposeBlock { round } => self.on_propose(round, ctx),
             ProtocolMsg::BlockProposal(block) => self.on_block(block, ctx),
             ProtocolMsg::SyncRequest { have } => self.on_sync_request(have, env.from, ctx),
-            ProtocolMsg::SyncResponse { blocks } => self.on_sync_response(blocks),
+            ProtocolMsg::SyncResponse { blocks } => {
+                self.on_sync_response(blocks, ctx.now().ticks());
+            }
             ProtocolMsg::Argue { tx, .. } => self.on_argue(tx, ctx),
             ProtocolMsg::StakeTransfer(transfer) => self.on_stake_transfer(transfer, ctx),
-            ProtocolMsg::Reveal { tx, valid } => self.on_reveal(tx, valid),
+            ProtocolMsg::Reveal { tx, valid } => self.on_reveal(tx, valid, ctx.now().ticks()),
             _ => {}
         }
     }
@@ -256,6 +283,10 @@ impl GovernorNode {
         self.round = round;
         self.claims.clear();
         self.leader = None;
+        let now = ctx.now().ticks();
+        self.election_span = Some(Span::begin(phases::ELECTION, now));
+        self.proposal_span = Some(Span::begin(phases::PROPOSAL, now));
+        self.commit_span = Some(Span::begin(phases::COMMIT, now));
         let claim = ElectionClaim::compute(
             b"prb-chain",
             round,
@@ -274,7 +305,7 @@ impl GovernorNode {
         }
     }
 
-    fn run_election(&mut self) {
+    fn run_election(&mut self, now: u64) {
         let (result, _rejected) = elect(
             b"prb-chain",
             self.round,
@@ -283,6 +314,19 @@ impl GovernorNode {
             &self.governor_pks,
         );
         self.leader = result.map(|r| r.leader);
+        if let Some(leader) = self.leader {
+            self.obs.emit(
+                now,
+                self.net_idx(),
+                ObsEvent::ElectionDecided {
+                    leader: leader as u64,
+                    claims: self.claims.len() as u64,
+                },
+            );
+        }
+        if let Some(span) = self.election_span.take() {
+            self.obs.end_span(span, now, self.net_idx());
+        }
     }
 
     fn on_upload(&mut self, ltx: LabeledTx, ctx: &mut Context<'_, ProtocolMsg>) {
@@ -305,6 +349,13 @@ impl GovernorNode {
             // Case 1: forged or mis-attributed transaction.
             self.reputation.record_forgery(collector as usize);
             self.metrics.forged_detected += 1;
+            self.obs.emit(
+                ctx.now().ticks(),
+                self.net_idx(),
+                ObsEvent::ForgeryDetected {
+                    collector: collector as u64,
+                },
+            );
             return;
         }
         let id = ltx.tx.id();
@@ -323,7 +374,8 @@ impl GovernorNode {
             match record.outcome {
                 Outcome::Checked { valid } => {
                     let correct = ltx.label.is_valid() == valid;
-                    self.reputation.record_checked(&[(collector as usize, correct)]);
+                    self.reputation
+                        .record_checked(&[(collector as usize, correct)]);
                 }
                 Outcome::Unchecked { .. } => {} // counted at reveal
             }
@@ -332,6 +384,8 @@ impl GovernorNode {
         // First copy: open the Δ window (starttime(tx, Δ)).
         let timer = ctx.set_timer(SimDuration(self.cfg.aggregation_window()));
         self.timers.insert(timer, id);
+        self.screen_spans
+            .insert(id, Span::begin(phases::SCREENING, ctx.now().ticks()));
         self.pending.insert(
             id,
             PendingTx {
@@ -376,6 +430,19 @@ impl GovernorNode {
             Label::Invalid
         };
         self.metrics.screened += 1;
+        let now = ctx.now().ticks();
+        self.obs.emit(
+            now,
+            self.net_idx(),
+            ObsEvent::TxScreened {
+                drawn: screen_reports[outcome.drawn].collector as u64,
+                checked: check,
+                label_valid: drawn_label.is_valid(),
+            },
+        );
+        if let Some(span) = self.screen_spans.remove(&id) {
+            self.obs.end_span(span, now, self.net_idx());
+        }
 
         if check {
             let valid = self.oracle.borrow().validate(id);
@@ -408,6 +475,7 @@ impl GovernorNode {
             let index = *counter;
             *counter += 1;
             self.metrics.unchecked += 1;
+            self.screened_at.insert(id, now);
             let verdict = if drawn_label.is_valid() {
                 Verdict::UncheckedValid
             } else {
@@ -436,7 +504,7 @@ impl GovernorNode {
     fn on_propose(&mut self, round: u64, ctx: &mut Context<'_, ProtocolMsg>) {
         if self.leader.is_none() {
             // Missing claims (crashed governors): elect from what arrived.
-            self.run_election();
+            self.run_election(ctx.now().ticks());
         }
         if self.leader != Some(self.index) {
             return;
@@ -478,13 +546,43 @@ impl GovernorNode {
             ctx.now().ticks(),
         );
         let size = 64 + 96 * block.tx_count();
+        let now = ctx.now().ticks();
+        self.obs.emit(
+            now,
+            self.net_idx(),
+            ObsEvent::BlockProposed {
+                serial: block.serial,
+                entries: block.entries.len() as u64,
+            },
+        );
+        if let Some(span) = self.proposal_span.take() {
+            self.obs.end_span(span, now, self.net_idx());
+        }
         self.pay_collectors(&block);
         match self.chain.append(block.clone()) {
-            Ok(()) => self.metrics.blocks_appended += 1,
+            Ok(()) => {
+                self.metrics.blocks_appended += 1;
+                self.obs.emit(
+                    now,
+                    self.net_idx(),
+                    ObsEvent::BlockCommitted {
+                        serial: block.serial,
+                        entries: block.entries.len() as u64,
+                    },
+                );
+                if let Some(span) = self.commit_span.take() {
+                    self.obs.end_span(span, now, self.net_idx());
+                }
+            }
             Err(_) => self.metrics.append_failures += 1,
         }
         self.metrics.rounds_led += 1;
-        self.broadcast_governors(ctx, "block-proposal", size, &ProtocolMsg::BlockProposal(block));
+        self.broadcast_governors(
+            ctx,
+            "block-proposal",
+            size,
+            &ProtocolMsg::BlockProposal(block),
+        );
     }
 
     fn pay_collectors(&mut self, block: &Block) {
@@ -511,11 +609,7 @@ impl GovernorNode {
         // ask its proposer to backfill.
         if block.serial > self.chain.height() + 1 {
             let proposer = block.leader.index;
-            if !self
-                .future_blocks
-                .iter()
-                .any(|b| b.serial == block.serial)
-            {
+            if !self.future_blocks.iter().any(|b| b.serial == block.serial) {
                 self.future_blocks.push(block);
             }
             let have = self.chain.height();
@@ -531,7 +625,7 @@ impl GovernorNode {
             self.metrics.append_failures += 1;
             return;
         }
-        self.append_and_clean(block);
+        self.append_and_clean(block, ctx.now().ticks());
     }
 
     /// Paranoid mode: every entry must carry a genuine provider signature
@@ -548,22 +642,39 @@ impl GovernorNode {
         })
     }
 
-    fn append_and_clean(&mut self, block: Block) {
+    fn append_and_clean(&mut self, block: Block, now: u64) {
         let included: HashSet<TxId> = block.entries.iter().map(|e| e.tx.id()).collect();
+        let (serial, entries) = (block.serial, block.entries.len() as u64);
         match self.chain.append(block) {
-            Ok(()) => self.metrics.blocks_appended += 1,
+            Ok(()) => {
+                self.metrics.blocks_appended += 1;
+                self.obs.emit(
+                    now,
+                    self.net_idx(),
+                    ObsEvent::BlockCommitted { serial, entries },
+                );
+                if let Some(span) = self.commit_span.take() {
+                    self.obs.end_span(span, now, self.net_idx());
+                }
+            }
             Err(_) => {
                 self.metrics.append_failures += 1;
                 return;
             }
         }
         // Drop local buffers covered by the leader's block.
-        self.ready_entries.retain(|e| !included.contains(&e.tx.id()));
+        self.ready_entries
+            .retain(|e| !included.contains(&e.tx.id()));
         self.argued_entries
             .retain(|e| !included.contains(&e.tx.id()));
     }
 
-    fn on_sync_request(&mut self, have: u64, requester: NodeIdx, ctx: &mut Context<'_, ProtocolMsg>) {
+    fn on_sync_request(
+        &mut self,
+        have: u64,
+        requester: NodeIdx,
+        ctx: &mut Context<'_, ProtocolMsg>,
+    ) {
         if have >= self.chain.height() {
             return; // nothing to offer
         }
@@ -571,14 +682,19 @@ impl GovernorNode {
             .filter_map(|s| self.chain.retrieve(s).cloned())
             .collect();
         let size = 64 + 96 * blocks.iter().map(Block::tx_count).sum::<usize>();
-        ctx.send_sized(requester, "sync-response", size, ProtocolMsg::SyncResponse { blocks });
+        ctx.send_sized(
+            requester,
+            "sync-response",
+            size,
+            ProtocolMsg::SyncResponse { blocks },
+        );
         self.metrics.sync_served += 1;
     }
 
-    fn on_sync_response(&mut self, blocks: Vec<Block>) {
+    fn on_sync_response(&mut self, blocks: Vec<Block>, now: u64) {
         for block in blocks {
             if block.serial == self.chain.height() + 1 {
-                self.append_and_clean(block);
+                self.append_and_clean(block, now);
                 self.metrics.sync_applied += 1;
             }
         }
@@ -587,7 +703,7 @@ impl GovernorNode {
         let parked = std::mem::take(&mut self.future_blocks);
         for block in parked {
             if block.serial == self.chain.height() + 1 {
-                self.append_and_clean(block);
+                self.append_and_clean(block, now);
             } else if block.serial > self.chain.height() + 1 {
                 self.future_blocks.push(block);
             }
@@ -611,11 +727,28 @@ impl GovernorNode {
         let _ = self.stake_table.apply(&transfer);
     }
 
-    fn on_argue(&mut self, id: TxId, _ctx: &mut Context<'_, ProtocolMsg>) {
+    /// Stamps an `ArgueRejected` event (provider resolved from history
+    /// where possible).
+    fn emit_argue_rejected(&self, now: u64, id: TxId, reason: &'static str) {
+        let provider = self
+            .history
+            .get(&id)
+            .map_or(u64::MAX, |r| r.provider as u64);
+        self.obs.emit(
+            now,
+            self.net_idx(),
+            ObsEvent::ArgueRejected { provider, reason },
+        );
+    }
+
+    fn on_argue(&mut self, id: TxId, ctx: &mut Context<'_, ProtocolMsg>) {
+        let now = ctx.now().ticks();
         if self.revealed.contains(&id) {
+            self.emit_argue_rejected(now, id, "duplicate");
             return;
         }
         let Some(record) = self.history.get(&id) else {
+            self.emit_argue_rejected(now, id, "unknown-tx");
             return; // never screened here
         };
         let Outcome::Unchecked {
@@ -623,6 +756,7 @@ impl GovernorNode {
             index,
         } = record.outcome
         else {
+            self.emit_argue_rejected(now, id, "not-unchecked");
             return; // only invalid-unchecked records can be argued
         };
         let provider = record.provider;
@@ -631,6 +765,7 @@ impl GovernorNode {
             // Buried under more than U unchecked transactions: permanently
             // invalid (§3.1).
             self.metrics.argue_rejected += 1;
+            self.emit_argue_rejected(now, id, "bound");
             if self.oracle.borrow().peek(id) == Some(true) {
                 self.metrics.lost_valid += 1;
             }
@@ -640,6 +775,17 @@ impl GovernorNode {
         let valid = self.oracle.borrow().validate(id);
         self.metrics.validations += 1;
         self.metrics.argue_accepted += 1;
+        self.obs.emit(
+            now,
+            self.net_idx(),
+            ObsEvent::ArgueAccepted {
+                provider: provider as u64,
+            },
+        );
+        if let Some(&t0) = self.screened_at.get(&id) {
+            self.obs
+                .end_span(Span::begin(phases::ARGUE, t0), now, self.net_idx());
+        }
         if valid {
             let record = &self.history[&id];
             self.argued_entries.push(BlockEntry {
@@ -648,10 +794,10 @@ impl GovernorNode {
                 reported_labels: label_pairs(&record.reports),
             });
         }
-        self.reveal_internal(id, valid);
+        self.reveal_internal(id, valid, now);
     }
 
-    fn on_reveal(&mut self, id: TxId, valid: bool) {
+    fn on_reveal(&mut self, id: TxId, valid: bool, now: u64) {
         if self.revealed.contains(&id) {
             return;
         }
@@ -661,11 +807,11 @@ impl GovernorNode {
         if !matches!(record.outcome, Outcome::Unchecked { .. }) {
             return; // checked transactions are already settled
         }
-        self.reveal_internal(id, valid);
+        self.reveal_internal(id, valid, now);
     }
 
     /// Case 3 plus loss accounting for a now-revealed unchecked tx.
-    fn reveal_internal(&mut self, id: TxId, valid: bool) {
+    fn reveal_internal(&mut self, id: TxId, valid: bool, now: u64) {
         self.revealed.insert(id);
         let record = self.history[&id].clone();
         let provider = record.provider;
@@ -716,6 +862,18 @@ impl GovernorNode {
             Outcome::Unchecked { recorded, .. } => recorded.is_valid() != valid,
             Outcome::Checked { .. } => false,
         };
+        self.obs.emit(
+            now,
+            self.net_idx(),
+            ObsEvent::Revealed {
+                valid,
+                verdict_correct: !recorded_wrong,
+            },
+        );
+        if let Some(t0) = self.screened_at.remove(&id) {
+            self.obs
+                .end_span(Span::begin(phases::REVEAL, t0), now, self.net_idx());
+        }
         self.metrics
             .record_reveal(provider, out.l_tx, recorded_wrong, involvements);
     }

@@ -43,6 +43,8 @@ pub mod provider;
 pub mod sim;
 pub mod workload;
 
+pub use prb_obs as obs;
+
 pub use behavior::{CollectorProfile, ProviderProfile};
 pub use config::{GovernorMode, ProtocolConfig, RevealPolicy};
 pub use sim::{RoundOutcome, Simulation};

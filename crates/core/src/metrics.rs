@@ -79,7 +79,10 @@ impl GovernorMetrics {
             *self.realized_loss_by_provider.entry(provider).or_default() += 2.0;
         }
         for (collector, loss) in involvements {
-            *self.collector_loss.entry((provider, collector)).or_default() += loss;
+            *self
+                .collector_loss
+                .entry((provider, collector))
+                .or_default() += loss;
         }
     }
 

@@ -161,11 +161,7 @@ mod tests {
 
     impl Actor for Harness {
         type Msg = ProtocolMsg;
-        fn on_message(
-            &mut self,
-            env: Envelope<ProtocolMsg>,
-            ctx: &mut Context<'_, ProtocolMsg>,
-        ) {
+        fn on_message(&mut self, env: Envelope<ProtocolMsg>, ctx: &mut Context<'_, ProtocolMsg>) {
             match self {
                 Harness::Provider(p) => p.on_message(env, ctx),
                 Harness::Sink(seen) => seen.push(env.payload),
@@ -178,14 +174,7 @@ mod tests {
         let mut net = Network::new(NetConfig::uniform(1, 3), 5);
         // Layout: node 0 = provider, 1-2 = collector sinks, 3 = governor sink.
         let key = CryptoScheme::sim().keypair_from_seed(b"p0");
-        let provider = ProviderNode::new(
-            0,
-            key,
-            profile,
-            vec![1, 2],
-            vec![3],
-            Rc::clone(&oracle),
-        );
+        let provider = ProviderNode::new(0, key, profile, vec![1, 2], vec![3], Rc::clone(&oracle));
         net.add_node(Harness::Provider(provider));
         net.add_node(Harness::Sink(Vec::new()));
         net.add_node(Harness::Sink(Vec::new()));
@@ -228,7 +217,9 @@ mod tests {
                 assert!(oracle.borrow().peek(tx.id()).is_some());
             }
         }
-        let Harness::Provider(p) = net.node(0) else { panic!() };
+        let Harness::Provider(p) = net.node(0) else {
+            panic!()
+        };
         assert_eq!(p.created(), 2);
     }
 
@@ -245,7 +236,9 @@ mod tests {
             SimTime(0),
         );
         net.run_until_idle(100);
-        let Harness::Sink(seen) = net.node(1) else { panic!() };
+        let Harness::Sink(seen) = net.node(1) else {
+            panic!()
+        };
         let mut seqs: Vec<u64> = seen
             .iter()
             .map(|m| match m {
@@ -271,7 +264,9 @@ mod tests {
         );
         net.run_until_idle(100);
         let id = {
-            let Harness::Provider(p) = net.node(0) else { panic!() };
+            let Harness::Provider(p) = net.node(0) else {
+                panic!()
+            };
             *p.my_txs.keys().next().unwrap()
         };
         net.send_external(
@@ -284,7 +279,9 @@ mod tests {
             SimTime(200),
         );
         net.run_until_idle(100);
-        let Harness::Sink(gov) = net.node(3) else { panic!() };
+        let Harness::Sink(gov) = net.node(3) else {
+            panic!()
+        };
         assert_eq!(gov.len(), 1);
         assert!(matches!(gov[0], ProtocolMsg::Argue { tx, serial: 1 } if tx == id));
         // A second notify does not re-argue.
@@ -298,9 +295,13 @@ mod tests {
             SimTime(400),
         );
         net.run_until_idle(100);
-        let Harness::Sink(gov) = net.node(3) else { panic!() };
+        let Harness::Sink(gov) = net.node(3) else {
+            panic!()
+        };
         assert_eq!(gov.len(), 1);
-        let Harness::Provider(p) = net.node(0) else { panic!() };
+        let Harness::Provider(p) = net.node(0) else {
+            panic!()
+        };
         assert_eq!(p.argues_sent(), 1);
     }
 
@@ -318,7 +319,9 @@ mod tests {
         );
         net.run_until_idle(100);
         let id = {
-            let Harness::Provider(p) = net.node(0) else { panic!() };
+            let Harness::Provider(p) = net.node(0) else {
+                panic!()
+            };
             *p.my_txs.keys().next().unwrap()
         };
         net.send_external(
@@ -331,7 +334,9 @@ mod tests {
             SimTime(200),
         );
         net.run_until_idle(100);
-        let Harness::Sink(gov) = net.node(3) else { panic!() };
+        let Harness::Sink(gov) = net.node(3) else {
+            panic!()
+        };
         assert!(gov.is_empty());
     }
 
@@ -349,7 +354,9 @@ mod tests {
         );
         net.run_until_idle(100);
         let id = {
-            let Harness::Provider(p) = net.node(0) else { panic!() };
+            let Harness::Provider(p) = net.node(0) else {
+                panic!()
+            };
             *p.my_txs.keys().next().unwrap()
         };
         net.send_external(
@@ -362,7 +369,9 @@ mod tests {
             SimTime(200),
         );
         net.run_until_idle(100);
-        let Harness::Sink(gov) = net.node(3) else { panic!() };
+        let Harness::Sink(gov) = net.node(3) else {
+            panic!()
+        };
         assert!(gov.is_empty(), "invalid tx must not be argued");
     }
 
@@ -383,7 +392,9 @@ mod tests {
             SimTime(0),
         );
         net.run_until_idle(100);
-        let Harness::Sink(gov) = net.node(3) else { panic!() };
+        let Harness::Sink(gov) = net.node(3) else {
+            panic!()
+        };
         assert!(gov.is_empty());
         // Envelope helper coverage.
         assert_ne!(EXTERNAL, 0);

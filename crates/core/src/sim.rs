@@ -27,6 +27,7 @@ use prb_net::sim::{NetConfig, Network};
 use prb_net::stats::MessageStats;
 use prb_net::time::SimTime;
 use prb_net::topology::Topology;
+use prb_obs::{Obs, ObsHandle, Role};
 
 use crate::behavior::{CollectorProfile, ProviderProfile};
 use crate::collector::CollectorNode;
@@ -145,6 +146,7 @@ pub struct Simulation {
     governor_keys: Vec<KeyPair>,
     stake_nonces: Vec<u64>,
     driver_rng: StdRng,
+    obs: ObsHandle,
     round: u64,
     next_start: u64,
     observed_height: u64,
@@ -235,7 +237,11 @@ impl Simulation {
         );
 
         for p in 0..l {
-            let collector_nets = topology.collectors_of(p).iter().map(|&c| collector_net(c)).collect();
+            let collector_nets = topology
+                .collectors_of(p)
+                .iter()
+                .map(|&c| collector_net(c))
+                .collect();
             net.add_node(NodeActor::Provider(ProviderNode::new(
                 p,
                 provider_creds[p as usize].keypair.clone(),
@@ -275,7 +281,8 @@ impl Simulation {
             )));
         }
 
-        let governor_keys: Vec<KeyPair> = governor_creds.iter().map(|c| c.keypair.clone()).collect();
+        let governor_keys: Vec<KeyPair> =
+            governor_creds.iter().map(|c| c.keypair.clone()).collect();
         let workload = builder.workload.unwrap_or_else(|| {
             Box::new(UniformWorkload {
                 invalid_rates: builder
@@ -296,6 +303,7 @@ impl Simulation {
             stake_nonces: vec![0; governor_keys.len()],
             governor_keys,
             driver_rng,
+            obs: Obs::off(),
             round: 0,
             next_start: 0,
             observed_height: 0,
@@ -326,6 +334,43 @@ impl Simulation {
     /// The validity oracle (for experiment scoring).
     pub fn oracle(&self) -> &Rc<RefCell<ValidityOracle>> {
         &self.oracle
+    }
+
+    /// Installs an observability hub on the network kernel and every
+    /// node, and declares node roles on it. Until this runs the
+    /// deployment carries the default disabled hub and pays nothing.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        let l = self.cfg.providers as usize;
+        let n = self.cfg.collectors as usize;
+        let m = self.cfg.governors as usize;
+        let mut roles = Vec::with_capacity(l + n + m);
+        roles.extend(std::iter::repeat_n(Role::Provider, l));
+        roles.extend(std::iter::repeat_n(Role::Collector, n));
+        roles.extend(std::iter::repeat_n(Role::Governor, m));
+        obs.set_roles(roles);
+        self.net.set_obs(Rc::clone(&obs));
+        for idx in 0..self.net.node_count() {
+            match self.net.node_mut(idx) {
+                NodeActor::Provider(_) => {}
+                NodeActor::Collector(c) => c.set_obs(Rc::clone(&obs), idx as u64),
+                NodeActor::Governor(g) => g.set_obs(Rc::clone(&obs)),
+            }
+        }
+        self.obs = obs;
+    }
+
+    /// The observability hub (disabled unless [`Simulation::set_obs`]
+    /// installed one).
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    /// Flushes the trace sink and renders the end-of-run summary:
+    /// event counts per kind, then phase-latency percentiles in sim
+    /// ticks. Empty when tracing is off.
+    pub fn obs_summary(&self) -> String {
+        self.obs.flush();
+        self.obs.summary()
     }
 
     fn governor_node(&self, g: u32) -> &GovernorNode {
@@ -462,6 +507,7 @@ impl Simulation {
     pub fn run_round(&mut self) -> RoundOutcome {
         self.round += 1;
         let round = self.round;
+        self.obs.set_round(round);
         let t0 = self.next_start;
         let round_ticks = self.cfg.round_ticks();
         self.next_start = t0 + round_ticks;
@@ -501,7 +547,8 @@ impl Simulation {
             );
         }
         // Processing phase close: the leader packs the block.
-        let propose_at = t0 + self.cfg.tx_per_provider as u64 * 2
+        let propose_at = t0
+            + self.cfg.tx_per_provider as u64 * 2
             + 4 * self.cfg.max_delay
             + self.cfg.aggregation_window()
             + 10;
@@ -575,10 +622,7 @@ impl Simulation {
         let m = self.cfg.governors;
         let at = SimTime(self.next_start + lag_rounds as u64 * self.cfg.round_ticks());
         for (tx, verdict) in verdicts {
-            if !matches!(
-                verdict,
-                Verdict::UncheckedInvalid | Verdict::UncheckedValid
-            ) {
+            if !matches!(verdict, Verdict::UncheckedInvalid | Verdict::UncheckedValid) {
                 continue;
             }
             if !self.reveal_scheduled.insert(*tx) {
@@ -617,6 +661,7 @@ impl Simulation {
         for _ in 0..rounds {
             self.round += 1;
             let round = self.round;
+            self.obs.set_round(round);
             let t0 = self.next_start;
             let round_ticks = self.cfg.round_ticks();
             self.next_start = t0 + round_ticks;

@@ -51,8 +51,7 @@ impl Rig {
             .collect();
         let governor_key = scheme.keypair_from_seed(b"rig-g0");
         let provider_pks: Vec<PublicKey> = provider_keys.iter().map(|k| k.public_key()).collect();
-        let collector_pks: Vec<PublicKey> =
-            collector_keys.iter().map(|k| k.public_key()).collect();
+        let collector_pks: Vec<PublicKey> = collector_keys.iter().map(|k| k.public_key()).collect();
         let topology = Rc::new(Topology::cyclic(cfg.topology_params()).unwrap());
         let oracle = Rc::new(RefCell::new(ValidityOracle::new()));
         let mut net = Network::new(NetConfig::uniform(1, 2), 4);
@@ -66,7 +65,7 @@ impl Rig {
             collector_pks,
             provider_pks,
             vec![governor_key.public_key()],
-            );
+        );
         net.add_node(NodeActor::governor(governor));
         Rig {
             net,
@@ -141,7 +140,11 @@ fn late_report_after_screening_still_updates_reputation() {
     assert_eq!(m.screened, 1, "screened once, at the Δ timer");
     let table = rig.governor().reputation();
     assert_eq!(table.collector(0).misreport(), 1, "on-time correct label");
-    assert_eq!(table.collector(1).misreport(), -1, "late wrong label still punished");
+    assert_eq!(
+        table.collector(1).misreport(),
+        -1,
+        "late wrong label still punished"
+    );
 }
 
 #[test]
@@ -159,7 +162,12 @@ fn unlinked_provider_upload_counts_as_forgery() {
         5,
         &ghost_key,
     );
-    let ltx = LabeledTx::create(tx, Label::Valid, NodeId::collector(0), &rig.collector_keys[0]);
+    let ltx = LabeledTx::create(
+        tx,
+        Label::Valid,
+        NodeId::collector(0),
+        &rig.collector_keys[0],
+    );
     rig.net
         .send_external(0, "up", ProtocolMsg::TxUpload { seq: 0, ltx }, SimTime(0));
     rig.run();
@@ -174,7 +182,12 @@ fn upload_with_wrong_collector_signature_is_dropped_silently() {
     let mut rig = Rig::new(GovernorMode::CheckAll, 0.5);
     let tx = rig.make_tx(0, 0, true);
     // Collector 1's key signs, but the message claims collector 0.
-    let ltx = LabeledTx::create(tx, Label::Valid, NodeId::collector(0), &rig.collector_keys[1]);
+    let ltx = LabeledTx::create(
+        tx,
+        Label::Valid,
+        NodeId::collector(0),
+        &rig.collector_keys[1],
+    );
     rig.net
         .send_external(0, "up", ProtocolMsg::TxUpload { seq: 0, ltx }, SimTime(0));
     rig.run();
@@ -192,13 +205,19 @@ fn argue_and_reveal_for_unknown_tx_are_ignored() {
     rig.net.send_external(
         0,
         "argue",
-        ProtocolMsg::Argue { tx: ghost, serial: 1 },
+        ProtocolMsg::Argue {
+            tx: ghost,
+            serial: 1,
+        },
         SimTime(0),
     );
     rig.net.send_external(
         0,
         "reveal",
-        ProtocolMsg::Reveal { tx: ghost, valid: true },
+        ProtocolMsg::Reveal {
+            tx: ghost,
+            valid: true,
+        },
         SimTime(1),
     );
     rig.run();
@@ -237,7 +256,10 @@ fn reveal_for_checked_tx_is_a_no_op() {
     rig.net.send_external(
         0,
         "reveal",
-        ProtocolMsg::Reveal { tx: id, valid: false },
+        ProtocolMsg::Reveal {
+            tx: id,
+            valid: false,
+        },
         SimTime(500),
     );
     rig.run();
@@ -256,7 +278,10 @@ fn double_reveal_processes_once() {
         rig.net.send_external(
             0,
             "reveal",
-            ProtocolMsg::Reveal { tx: id, valid: true },
+            ProtocolMsg::Reveal {
+                tx: id,
+                valid: true,
+            },
             SimTime(at),
         );
     }
@@ -280,7 +305,12 @@ fn forged_provider_signature_on_linked_provider_is_case_one() {
         5,
         Sig::forged(&scheme, &mut rng),
     );
-    let ltx = LabeledTx::create(fake_tx, Label::Valid, NodeId::collector(1), &rig.collector_keys[1]);
+    let ltx = LabeledTx::create(
+        fake_tx,
+        Label::Valid,
+        NodeId::collector(1),
+        &rig.collector_keys[1],
+    );
     rig.net
         .send_external(0, "up", ProtocolMsg::TxUpload { seq: 0, ltx }, SimTime(0));
     rig.run();
@@ -306,10 +336,18 @@ fn paranoid_mode_rejects_blocks_with_fabricated_entries() {
         cfg.reputation.f = 0.5;
         let scheme = CryptoScheme::sim();
         let provider_pks: Vec<PublicKey> = (0..2)
-            .map(|p| scheme.keypair_from_seed(format!("pv-{p}").as_bytes()).public_key())
+            .map(|p| {
+                scheme
+                    .keypair_from_seed(format!("pv-{p}").as_bytes())
+                    .public_key()
+            })
             .collect();
         let collector_pks: Vec<PublicKey> = (0..2)
-            .map(|c| scheme.keypair_from_seed(format!("cv-{c}").as_bytes()).public_key())
+            .map(|c| {
+                scheme
+                    .keypair_from_seed(format!("cv-{c}").as_bytes())
+                    .public_key()
+            })
             .collect();
         let g0_key = scheme.keypair_from_seed(b"gv-0");
         let g1_key = scheme.keypair_from_seed(b"gv-1");
@@ -357,7 +395,11 @@ fn paranoid_mode_rejects_blocks_with_fabricated_entries() {
         net.run_until_idle(100);
         let gov = net.node(0).as_governor().unwrap();
         if expect_failure {
-            assert_eq!(gov.chain().height(), 0, "paranoid governor appended a fabricated block");
+            assert_eq!(
+                gov.chain().height(),
+                0,
+                "paranoid governor appended a fabricated block"
+            );
             assert_eq!(gov.metrics().append_failures, 1);
         } else {
             assert_eq!(

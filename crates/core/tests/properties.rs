@@ -39,7 +39,17 @@ fn setup_strategy() -> impl Strategy<Value = RandomSetup> {
         0u32..3,
     )
         .prop_map(
-            |(seed, f, governors, invalid_rate, flip_probs, drop_probs, forge_probs, mode, reveal_lag)| RandomSetup {
+            |(
+                seed,
+                f,
+                governors,
+                invalid_rate,
+                flip_probs,
+                drop_probs,
+                forge_probs,
+                mode,
+                reveal_lag,
+            )| RandomSetup {
                 seed,
                 f,
                 governors,

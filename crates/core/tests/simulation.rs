@@ -78,11 +78,15 @@ fn unchecked_fraction_is_bounded_by_f() {
     // With honest collectors every tx is labeled +1, so screening always
     // checks: to exercise the f coin we need invalid transactions that are
     // honestly labeled -1.
-    let cfg = ProtocolConfig {
-        ..base_config()
-    };
+    let cfg = ProtocolConfig { ..base_config() };
     let mut sim = Simulation::builder(cfg)
-        .provider_profiles(vec![ProviderProfile { invalid_rate: 0.9, active: true }; 8])
+        .provider_profiles(vec![
+            ProviderProfile {
+                invalid_rate: 0.9,
+                active: true
+            };
+            8
+        ])
         .build()
         .unwrap();
     sim.run(10);
@@ -106,7 +110,13 @@ fn check_all_baseline_validates_everything() {
         ..base_config()
     };
     let mut sim = Simulation::builder(cfg)
-        .provider_profiles(vec![ProviderProfile { invalid_rate: 0.5, active: true }; 8])
+        .provider_profiles(vec![
+            ProviderProfile {
+                invalid_rate: 0.5,
+                active: true
+            };
+            8
+        ])
         .build()
         .unwrap();
     sim.run(5);
@@ -125,7 +135,13 @@ fn check_none_baseline_never_validates_in_screening() {
         ..base_config()
     };
     let mut sim = Simulation::builder(cfg)
-        .provider_profiles(vec![ProviderProfile { invalid_rate: 0.5, active: false }; 8])
+        .provider_profiles(vec![
+            ProviderProfile {
+                invalid_rate: 0.5,
+                active: false
+            };
+            8
+        ])
         .build()
         .unwrap();
     sim.run(5);
@@ -167,7 +183,13 @@ fn forging_collector_is_detected_and_punished() {
 fn misreporting_collector_loses_weight_and_revenue() {
     let mut sim = Simulation::builder(base_config())
         .collector_profile(1, CollectorProfile::misreporter(0.8))
-        .provider_profiles(vec![ProviderProfile { invalid_rate: 0.4, active: true }; 8])
+        .provider_profiles(vec![
+            ProviderProfile {
+                invalid_rate: 0.4,
+                active: true
+            };
+            8
+        ])
         .build()
         .unwrap();
     sim.run(12);
@@ -261,7 +283,13 @@ fn reveal_policy_drives_case3_updates() {
     cfg.reveal = RevealPolicy::AfterRounds(1);
     let mut sim = Simulation::builder(cfg)
         .collector_profile(3, CollectorProfile::misreporter(0.9))
-        .provider_profiles(vec![ProviderProfile { invalid_rate: 0.6, active: false }; 8])
+        .provider_profiles(vec![
+            ProviderProfile {
+                invalid_rate: 0.6,
+                active: false
+            };
+            8
+        ])
         .build()
         .unwrap();
     sim.run(10);
@@ -295,10 +323,16 @@ fn regret_is_small_with_one_honest_collector() {
                 })
                 .collect(),
         )
-        .provider_profiles(vec![ProviderProfile { invalid_rate: 0.5, active: false }; 8])
+        .provider_profiles(vec![
+            ProviderProfile {
+                invalid_rate: 0.5,
+                active: false
+            };
+            8
+        ])
         .build()
         .unwrap();
-    sim.run(15);
+    sim.run(20);
     sim.run_drain_rounds(3);
     let m = sim.metrics(0);
     assert!(m.revealed > 50, "too few reveals: {}", m.revealed);
@@ -340,7 +374,10 @@ fn passive_providers_lose_valid_txs_silently() {
                 && sim.oracle().borrow().peek(e.tx.id()) == Some(true)
         })
         .count();
-    assert!(buried > 0, "expected some wrongly buried valid transactions");
+    assert!(
+        buried > 0,
+        "expected some wrongly buried valid transactions"
+    );
 }
 
 #[test]
@@ -396,11 +433,11 @@ fn stake_transfers_shift_election_power() {
         assert_eq!(table.total(), 32);
     }
     // Governor 2 holds 29/32 of the stake: it should lead most rounds.
-    let led_by_2 = outcomes
-        .iter()
-        .filter(|o| o.leader == Some(2))
-        .count();
-    assert!(led_by_2 >= 7, "g2 led only {led_by_2}/12 rounds with 91% stake");
+    let led_by_2 = outcomes.iter().filter(|o| o.leader == Some(2)).count();
+    assert!(
+        led_by_2 >= 7,
+        "g2 led only {led_by_2}/12 rounds with 91% stake"
+    );
     assert!(sim.chains_agree());
 }
 
@@ -450,7 +487,11 @@ fn block_limit_rolls_overflow_to_next_block() {
     for block in chain.iter() {
         assert!(block.tx_count() <= 20, "block {} too large", block.serial);
         for e in &block.entries {
-            assert!(seen.insert(e.tx.id()), "duplicate recording of {:?}", e.tx.id());
+            assert!(
+                seen.insert(e.tx.id()),
+                "duplicate recording of {:?}",
+                e.tx.id()
+            );
         }
     }
     assert_eq!(seen.len(), 6 * 16, "all transactions recorded exactly once");
@@ -518,4 +559,63 @@ fn crashed_governor_recovers_via_chain_sync() {
     // Somebody served the sync.
     let served: u64 = (0..3).map(|g| sim.metrics(g).sync_served).sum();
     assert!(served > 0);
+}
+
+#[test]
+fn obs_trace_reconciles_with_net_stats_and_captures_protocol_events() {
+    use prb_core::obs::{EventKind, Obs, RingRecorder, Role};
+    use std::rc::Rc;
+
+    let ring = Rc::new(RingRecorder::new(65_536));
+    let obs = Obs::with_sink(ring.clone());
+    let mut sim = Simulation::builder(ProtocolConfig {
+        reveal: RevealPolicy::AfterRounds(1),
+        ..base_config()
+    })
+    .provider_profiles(vec![ProviderProfile::honest_active(); 8])
+    .collector_profile(0, CollectorProfile::misreporter(1.0))
+    .build()
+    .unwrap();
+    sim.set_obs(Rc::clone(&obs));
+    sim.run(10);
+    sim.run_drain_rounds(2);
+
+    // Per-kind message events tally exactly with the kernel's stats.
+    let counts = obs.msg_counts();
+    assert!(!counts.is_empty());
+    for (kind, c) in &counts {
+        let k = sim.net_stats().kind(kind);
+        assert_eq!(c.sent, k.sent, "{kind} sent");
+        assert_eq!(c.delivered, k.delivered, "{kind} delivered");
+        assert_eq!(c.dropped, k.dropped, "{kind} dropped");
+    }
+    assert_eq!(
+        counts.values().map(|c| c.sent).sum::<u64>(),
+        sim.net_stats().total_sent()
+    );
+    assert_eq!(obs.count_of("timer.fired"), sim.net_stats().timers_fired());
+
+    // The protocol layers spoke too: elections, screenings, commits, and
+    // the misreporter's flips all left events.
+    assert!(obs.count_of("gov.election") > 0);
+    assert!(obs.count_of("gov.screened") > 0);
+    assert!(obs.count_of("gov.proposed") > 0);
+    assert!(obs.count_of("gov.committed") > 0);
+    assert!(obs.count_of("gov.revealed") > 0);
+    assert!(obs.count_of("col.adversary") > 0);
+    assert!(obs.count_of("phase.end") > 0);
+
+    // Roles and rounds were stamped by the driver.
+    let events = ring.events();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::ElectionDecided { .. }) && e.role == Role::Governor));
+    assert!(events.iter().any(|e| e.round == 4));
+
+    // Phase latency histograms populated; the summary renders them.
+    let summary = sim.obs_summary();
+    assert!(summary.contains("events by kind"), "{summary}");
+    assert!(summary.contains("phase latency"), "{summary}");
+    assert!(summary.contains("screening"), "{summary}");
+    assert!(summary.contains("election"), "{summary}");
 }

@@ -292,10 +292,7 @@ impl BigUint {
         } else {
             for i in 0..src.len() {
                 let lo = src[i] >> bit_shift;
-                let hi = src
-                    .get(i + 1)
-                    .map(|&l| l << (64 - bit_shift))
-                    .unwrap_or(0);
+                let hi = src.get(i + 1).map(|&l| l << (64 - bit_shift)).unwrap_or(0);
                 out.push(lo | hi);
             }
         }
@@ -800,7 +797,14 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        for hex in ["0", "1", "ff", "deadbeef", "123456789abcdef01", "100000000000000000000000001"] {
+        for hex in [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef01",
+            "100000000000000000000000001",
+        ] {
             assert_eq!(b(hex).to_hex(), hex);
         }
         assert!(BigUint::from_hex("zz").is_none());
@@ -809,14 +813,20 @@ mod tests {
     #[test]
     fn add_with_carry_chain() {
         let a = b("ffffffffffffffffffffffffffffffff");
-        assert_eq!(a.add(&BigUint::one()), b("100000000000000000000000000000000"));
+        assert_eq!(
+            a.add(&BigUint::one()),
+            b("100000000000000000000000000000000")
+        );
         assert_eq!(BigUint::zero().add(&a), a);
     }
 
     #[test]
     fn sub_with_borrow_chain() {
         let a = b("100000000000000000000000000000000");
-        assert_eq!(a.sub(&BigUint::one()), b("ffffffffffffffffffffffffffffffff"));
+        assert_eq!(
+            a.sub(&BigUint::one()),
+            b("ffffffffffffffffffffffffffffffff")
+        );
         assert_eq!(a.checked_sub(&a.add(&BigUint::one())), None);
         assert_eq!(a.sub(&a), BigUint::zero());
     }
@@ -896,7 +906,7 @@ mod tests {
     #[test]
     fn pow_mod_known_values() {
         let p = b("fffffffb"); // prime 2^32 - 5
-        // Fermat: a^(p-1) = 1 mod p
+                               // Fermat: a^(p-1) = 1 mod p
         let a = b("deadbeef");
         assert_eq!(a.pow_mod(&p.sub(&BigUint::one()), &p), BigUint::one());
         assert_eq!(a.pow_mod(&BigUint::zero(), &p), BigUint::one());
@@ -944,7 +954,9 @@ mod tests {
         // A known 256-bit prime (secp256k1 field prime).
         let p256 = b("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
         assert!(p256.is_probable_prime(8, &mut rng));
-        assert!(!p256.add(&BigUint::from_u64(2)).is_probable_prime(8, &mut rng));
+        assert!(!p256
+            .add(&BigUint::from_u64(2))
+            .is_probable_prime(8, &mut rng));
     }
 
     #[test]
@@ -990,10 +1002,7 @@ mod tests {
     fn even_modulus_falls_back_correctly() {
         let m = b("10000000000000000000000000000000"); // even, 2^124
         let a = b("3");
-        assert_eq!(
-            a.pow_mod(&b("40"), &m),
-            a.pow_mod_reference(&b("40"), &m)
-        );
+        assert_eq!(a.pow_mod(&b("40"), &m), a.pow_mod_reference(&b("40"), &m));
     }
 
     #[test]

@@ -302,7 +302,10 @@ mod tests {
         let mut im = im();
         let cred = im.enroll(NodeId::collector(3)).unwrap();
         assert!(im.verify_certificate(&cred.certificate));
-        assert_eq!(im.certificate(NodeId::collector(3)).unwrap(), &cred.certificate);
+        assert_eq!(
+            im.certificate(NodeId::collector(3)).unwrap(),
+            &cred.certificate
+        );
         assert_eq!(im.active_count(), 1);
     }
 

@@ -50,8 +50,8 @@ pub mod identity;
 pub mod merkle;
 pub mod schnorr;
 pub mod sha256;
-pub mod sim;
 pub mod signer;
+pub mod sim;
 pub mod vrf;
 
 pub use sha256::{sha256, Digest};

@@ -55,7 +55,11 @@ impl fmt::Debug for SigningKey {
 
 impl fmt::Debug for VerifyingKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "VerifyingKey({}…)", &self.y.to_hex()[..8.min(self.y.to_hex().len())])
+        write!(
+            f,
+            "VerifyingKey({}…)",
+            &self.y.to_hex()[..8.min(self.y.to_hex().len())]
+        )
     }
 }
 
@@ -265,10 +269,8 @@ mod tests {
     fn tampered_signature_rejected() {
         let (group, sk) = setup();
         let sig = sk.sign(b"msg");
-        let bumped_s = Signature::from_parts(
-            sig.r().clone(),
-            sig.s().add(&BigUint::one()).rem(group.q()),
-        );
+        let bumped_s =
+            Signature::from_parts(sig.r().clone(), sig.s().add(&BigUint::one()).rem(group.q()));
         assert!(!sk.verifying_key().verify(b"msg", &bumped_s));
         // r replaced by an arbitrary subgroup element.
         let other_r = group.pow_g(&BigUint::from_u64(12345));

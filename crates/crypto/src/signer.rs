@@ -7,8 +7,6 @@
 //! `--crypto {sim,schnorr-256,schnorr-512,schnorr-2048}` switch backed by
 //! [`CryptoScheme`].
 
-
-
 use rand::Rng;
 
 use crate::group::SchnorrGroup;

@@ -215,10 +215,7 @@ mod tests {
         let vrf = SimVrf::from_seed(b"gov-1");
         assert_eq!(vrf.evaluate(b"r1"), vrf.evaluate(b"r1"));
         assert_ne!(vrf.evaluate(b"r1"), vrf.evaluate(b"r2"));
-        assert_eq!(
-            sim_vrf_output(vrf.public_key(), b"r1"),
-            vrf.evaluate(b"r1")
-        );
+        assert_eq!(sim_vrf_output(vrf.public_key(), b"r1"), vrf.evaluate(b"r1"));
         let other = SimVrf::from_seed(b"gov-2");
         assert_ne!(vrf.evaluate(b"r1"), other.evaluate(b"r1"));
     }

@@ -374,7 +374,10 @@ mod tests {
         let mut chain = Chain::new(b"t", 100);
         let mut b = extend(&chain, vec![entry(0, Verdict::CheckedValid)]);
         b.entries.push(entry(1, Verdict::CheckedValid)); // root now stale
-        assert_eq!(chain.append(b), Err(ChainError::MerkleMismatch { serial: 1 }));
+        assert_eq!(
+            chain.append(b),
+            Err(ChainError::MerkleMismatch { serial: 1 })
+        );
     }
 
     #[test]
@@ -402,7 +405,13 @@ mod tests {
         let id = e.tx.id();
         chain.append(extend(&chain, vec![e.clone()])).unwrap();
         let (loc, found) = chain.find_tx(id).unwrap();
-        assert_eq!(loc, TxLocation { serial: 1, index: 0 });
+        assert_eq!(
+            loc,
+            TxLocation {
+                serial: 1,
+                index: 0
+            }
+        );
         assert_eq!(found.verdict, Verdict::UncheckedInvalid);
         assert_eq!(chain.latest_verdict(id), Some(Verdict::UncheckedInvalid));
 

@@ -92,11 +92,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn bytes_field(&mut self) -> Result<&'a [u8], DecodeError> {
@@ -229,7 +233,10 @@ fn decode_verdict(r: &mut Reader<'_>) -> Result<Verdict, DecodeError> {
         1 => Ok(Verdict::UncheckedInvalid),
         2 => Ok(Verdict::ArguedValid),
         3 => Ok(Verdict::UncheckedValid),
-        tag => Err(DecodeError::BadTag { what: "verdict", tag }),
+        tag => Err(DecodeError::BadTag {
+            what: "verdict",
+            tag,
+        }),
     }
 }
 

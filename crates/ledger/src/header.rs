@@ -222,7 +222,12 @@ mod tests {
     fn header_hash_matches_block_hash() {
         let chain = full_chain(3, 4);
         for block in chain.iter() {
-            assert_eq!(block.header().hash(), block.hash(), "serial {}", block.serial);
+            assert_eq!(
+                block.header().hash(),
+                block.hash(),
+                "serial {}",
+                block.serial
+            );
         }
     }
 
@@ -246,7 +251,10 @@ mod tests {
         let h2 = chain.retrieve(2).unwrap().header();
         assert!(matches!(
             light.append(h2),
-            Err(ChainError::NonConsecutiveSerial { expected: 1, got: 2 })
+            Err(ChainError::NonConsecutiveSerial {
+                expected: 1,
+                got: 2
+            })
         ));
         // Fork: block 1 with a doctored prev hash.
         let mut h1 = chain.retrieve(1).unwrap().header();

@@ -187,8 +187,7 @@ impl LabeledTx {
 
     /// Labels and signs `tx` as `collector`.
     pub fn create(tx: SignedTx, label: Label, collector: NodeId, collector_key: &KeyPair) -> Self {
-        let collector_sig =
-            collector_key.sign(&Self::signing_bytes(tx.id(), label, collector));
+        let collector_sig = collector_key.sign(&Self::signing_bytes(tx.id(), label, collector));
         LabeledTx {
             tx,
             label,
@@ -215,7 +214,11 @@ impl LabeledTx {
     }
 
     fn collector_pkless_bytes(&self) -> Option<Vec<u8>> {
-        Some(Self::signing_bytes(self.tx.id(), self.label, self.collector))
+        Some(Self::signing_bytes(
+            self.tx.id(),
+            self.label,
+            self.collector,
+        ))
     }
 
     /// Full verification per the paper's `verify(d, m)` for a collector

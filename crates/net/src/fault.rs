@@ -84,9 +84,11 @@ impl FaultPlan {
 
     /// Whether `node` is crashed at time `at`.
     pub fn is_crashed(&self, node: NodeIdx, at: SimTime) -> bool {
-        self.crashes
-            .get(&node)
-            .is_some_and(|windows| windows.iter().any(|&(from, until)| at >= from && at < until))
+        self.crashes.get(&node).is_some_and(|windows| {
+            windows
+                .iter()
+                .any(|&(from, until)| at >= from && at < until)
+        })
     }
 
     /// Drop probability for the link `from → to`.

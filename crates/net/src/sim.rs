@@ -13,6 +13,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use prb_obs::{DropReason, EventKind as ObsEvent, Obs, ObsHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -151,13 +152,7 @@ impl<M> Context<'_, M> {
 
     /// Sends with an explicit delay (still subject to faults). Useful for
     /// modeling processing time on top of network latency.
-    pub fn send_after(
-        &mut self,
-        to: NodeIdx,
-        kind: &'static str,
-        payload: M,
-        delay: SimDuration,
-    ) {
+    pub fn send_after(&mut self, to: NodeIdx, kind: &'static str, payload: M, delay: SimDuration) {
         self.outbox.push((to, kind, 0, payload, Some(delay)));
     }
 
@@ -178,6 +173,7 @@ pub struct Network<A: Actor> {
     config: NetConfig,
     faults: FaultPlan,
     stats: MessageStats,
+    obs: ObsHandle,
     rng: StdRng,
     next_seq: u64,
     next_timer: u64,
@@ -205,6 +201,7 @@ impl<A: Actor> Network<A> {
             config,
             faults: FaultPlan::none(),
             stats: MessageStats::new(),
+            obs: Obs::off(),
             rng: StdRng::seed_from_u64(seed),
             next_seq: 0,
             next_timer: 0,
@@ -215,6 +212,18 @@ impl<A: Actor> Network<A> {
     /// Installs a fault plan (replacing any previous one).
     pub fn set_faults(&mut self, faults: FaultPlan) {
         self.faults = faults;
+    }
+
+    /// Installs an observability hub; the kernel mirrors every
+    /// send/deliver/drop/timer into it. The default is [`Obs::off`],
+    /// which reduces each hook to a single branch.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
+    /// The installed observability hub.
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
     }
 
     /// Adds an actor, returning its index.
@@ -280,6 +289,15 @@ impl<A: Actor> Network<A> {
         assert!(at >= self.now, "cannot schedule in the past");
         assert!(to < self.nodes.len(), "unknown node {to}");
         self.stats.record_sent(kind, 0);
+        self.obs.emit(
+            self.now.ticks(),
+            prb_obs::EXTERNAL_NODE,
+            ObsEvent::MsgSent {
+                msg: kind,
+                to: to as u64,
+                bytes: 0,
+            },
+        );
         let seq = self.bump_seq();
         self.queue.push(Event {
             at,
@@ -342,10 +360,30 @@ impl<A: Actor> Network<A> {
         match event.kind {
             EventKind::Deliver(envelope) => {
                 if self.faults.is_crashed(envelope.to, self.now) {
-                    self.stats.record_dropped(envelope.kind);
+                    self.stats.record_dropped(envelope.kind, envelope.size);
+                    self.obs.emit(
+                        self.now.ticks(),
+                        envelope.to as u64,
+                        ObsEvent::MsgDropped {
+                            msg: envelope.kind,
+                            from: node_id(envelope.from),
+                            bytes: envelope.size as u64,
+                            reason: DropReason::Crash,
+                        },
+                    );
                     return true;
                 }
-                self.stats.record_delivered(envelope.kind);
+                self.stats.record_delivered(envelope.kind, envelope.size);
+                self.obs.emit(
+                    self.now.ticks(),
+                    envelope.to as u64,
+                    ObsEvent::MsgDelivered {
+                        msg: envelope.kind,
+                        from: node_id(envelope.from),
+                        bytes: envelope.size as u64,
+                        latency: self.now.ticks().saturating_sub(envelope.sent_at.ticks()),
+                    },
+                );
                 let to = envelope.to;
                 self.dispatch(to, |actor, ctx| actor.on_message(envelope, ctx));
             }
@@ -354,6 +392,11 @@ impl<A: Actor> Network<A> {
                     return true;
                 }
                 self.stats.record_timer();
+                self.obs.emit(
+                    self.now.ticks(),
+                    node as u64,
+                    ObsEvent::TimerFired { timer: timer.0 },
+                );
                 self.dispatch(node, |actor, ctx| actor.on_timer(timer, ctx));
             }
         }
@@ -402,16 +445,49 @@ impl<A: Actor> Network<A> {
     ) {
         assert!(to < self.nodes.len(), "send to unknown node {to}");
         self.stats.record_sent(kind, size);
+        self.obs.emit(
+            self.now.ticks(),
+            from as u64,
+            ObsEvent::MsgSent {
+                msg: kind,
+                to: to as u64,
+                bytes: size as u64,
+            },
+        );
         // Fault checks at send time.
-        if self.faults.is_crashed(from, self.now)
-            || self.faults.is_partitioned(from, to, self.now)
+        if self.faults.is_crashed(from, self.now) || self.faults.is_partitioned(from, to, self.now)
         {
-            self.stats.record_dropped(kind);
+            let reason = if self.faults.is_crashed(from, self.now) {
+                DropReason::Crash
+            } else {
+                DropReason::Partition
+            };
+            self.stats.record_dropped(kind, size);
+            self.obs.emit(
+                self.now.ticks(),
+                from as u64,
+                ObsEvent::MsgDropped {
+                    msg: kind,
+                    from: from as u64,
+                    bytes: size as u64,
+                    reason,
+                },
+            );
             return;
         }
         let p = self.faults.drop_prob(from, to);
         if p > 0.0 && self.rng.gen::<f64>() < p {
-            self.stats.record_dropped(kind);
+            self.stats.record_dropped(kind, size);
+            self.obs.emit(
+                self.now.ticks(),
+                from as u64,
+                ObsEvent::MsgDropped {
+                    msg: kind,
+                    from: from as u64,
+                    bytes: size as u64,
+                    reason: DropReason::Loss,
+                },
+            );
             return;
         }
         let delay = explicit_delay.unwrap_or_else(|| {
@@ -432,6 +508,16 @@ impl<A: Actor> Network<A> {
                 payload,
             }),
         });
+    }
+}
+
+/// Maps a kernel node index onto the obs node-id space, folding the
+/// sentinel [`EXTERNAL`] onto [`prb_obs::EXTERNAL_NODE`].
+fn node_id(idx: NodeIdx) -> u64 {
+    if idx == EXTERNAL {
+        prb_obs::EXTERNAL_NODE
+    } else {
+        idx as u64
     }
 }
 
@@ -627,6 +713,51 @@ mod tests {
     fn external_to_unknown_node_panics() {
         let mut net = two_node_net();
         net.send_external(5, "cmd", 1, SimTime(0));
+    }
+
+    #[test]
+    fn obs_events_mirror_stats() {
+        use std::rc::Rc;
+
+        let ring = Rc::new(prb_obs::RingRecorder::new(4096));
+        let obs = prb_obs::Obs::with_sink(ring.clone());
+        let mut net = Network::new(NetConfig::uniform(1, 1), 5);
+        let a = net.add_node(Counter::new());
+        let b = net.add_node(Counter::new());
+        net.set_obs(obs.clone());
+        let mut faults = FaultPlan::none();
+        faults.drop_link(a, b, 0.4);
+        net.set_faults(faults);
+        net.node_mut(a).forward_to = Some(b);
+        for i in 0..200 {
+            net.send_external(a, "cmd", i, SimTime(i));
+        }
+        net.run_until_idle(10_000);
+        // Per-kind obs tallies equal the kernel's own stats.
+        let counts = obs.msg_counts();
+        for (kind, c) in &counts {
+            let k = net.stats().kind(kind);
+            assert_eq!(c.sent, k.sent, "{kind} sent");
+            assert_eq!(c.delivered, k.delivered, "{kind} delivered");
+            assert_eq!(c.dropped, k.dropped, "{kind} dropped");
+        }
+        assert_eq!(
+            counts.values().map(|c| c.sent).sum::<u64>(),
+            net.stats().total_sent()
+        );
+        assert!(ring.total_recorded() > 0);
+        // Node-to-node deliveries carry latencies within the delay
+        // bounds (external injections measure scheduling gap instead).
+        for e in ring.events() {
+            if let prb_obs::EventKind::MsgDelivered {
+                msg: "fwd",
+                latency,
+                ..
+            } = e.kind
+            {
+                assert_eq!(latency, 1, "uniform(1,1) kernel");
+            }
+        }
     }
 
     #[test]

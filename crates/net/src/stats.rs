@@ -19,6 +19,10 @@ pub struct KindStats {
     pub dropped: u64,
     /// Sum of declared payload sizes of sent messages, in bytes.
     pub bytes_sent: u64,
+    /// Sum of declared payload sizes of delivered messages, in bytes.
+    pub bytes_delivered: u64,
+    /// Sum of declared payload sizes of dropped messages, in bytes.
+    pub bytes_dropped: u64,
 }
 
 /// Aggregated network statistics, broken down by message kind.
@@ -43,12 +47,16 @@ impl MessageStats {
         entry.bytes_sent += bytes as u64;
     }
 
-    pub(crate) fn record_delivered(&mut self, kind: &'static str) {
-        self.by_kind.entry(kind).or_default().delivered += 1;
+    pub(crate) fn record_delivered(&mut self, kind: &'static str, bytes: usize) {
+        let entry = self.by_kind.entry(kind).or_default();
+        entry.delivered += 1;
+        entry.bytes_delivered += bytes as u64;
     }
 
-    pub(crate) fn record_dropped(&mut self, kind: &'static str) {
-        self.by_kind.entry(kind).or_default().dropped += 1;
+    pub(crate) fn record_dropped(&mut self, kind: &'static str, bytes: usize) {
+        let entry = self.by_kind.entry(kind).or_default();
+        entry.dropped += 1;
+        entry.bytes_dropped += bytes as u64;
     }
 
     pub(crate) fn record_timer(&mut self) {
@@ -85,6 +93,16 @@ impl MessageStats {
         self.by_kind.values().map(|k| k.bytes_sent).sum()
     }
 
+    /// Total declared bytes delivered (effective bandwidth).
+    pub fn total_bytes_delivered(&self) -> u64 {
+        self.by_kind.values().map(|k| k.bytes_delivered).sum()
+    }
+
+    /// Total declared bytes dropped (attempted minus effective).
+    pub fn total_bytes_dropped(&self) -> u64 {
+        self.by_kind.values().map(|k| k.bytes_dropped).sum()
+    }
+
     /// Number of timer events fired.
     pub fn timers_fired(&self) -> u64 {
         self.timers_fired
@@ -101,14 +119,19 @@ impl fmt::Display for MessageStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<24} {:>10} {:>10} {:>8} {:>12}",
-            "kind", "sent", "delivered", "dropped", "bytes"
+            "{:<24} {:>10} {:>10} {:>8} {:>12} {:>12}",
+            "kind", "sent", "delivered", "dropped", "bytes-sent", "bytes-dlvd"
         )?;
         for (kind, stats) in self.iter() {
             writeln!(
                 f,
-                "{:<24} {:>10} {:>10} {:>8} {:>12}",
-                kind, stats.sent, stats.delivered, stats.dropped, stats.bytes_sent
+                "{:<24} {:>10} {:>10} {:>8} {:>12} {:>12}",
+                kind,
+                stats.sent,
+                stats.delivered,
+                stats.dropped,
+                stats.bytes_sent,
+                stats.bytes_delivered
             )?;
         }
         write!(f, "timers fired: {}", self.timers_fired)
@@ -124,15 +147,19 @@ mod tests {
         let mut s = MessageStats::new();
         s.record_sent("tx", 100);
         s.record_sent("tx", 50);
-        s.record_delivered("tx");
-        s.record_dropped("tx");
+        s.record_delivered("tx", 100);
+        s.record_dropped("tx", 50);
         s.record_sent("block", 10);
         assert_eq!(s.kind("tx").sent, 2);
         assert_eq!(s.kind("tx").delivered, 1);
         assert_eq!(s.kind("tx").dropped, 1);
         assert_eq!(s.kind("tx").bytes_sent, 150);
+        assert_eq!(s.kind("tx").bytes_delivered, 100);
+        assert_eq!(s.kind("tx").bytes_dropped, 50);
         assert_eq!(s.total_sent(), 3);
         assert_eq!(s.total_bytes_sent(), 160);
+        assert_eq!(s.total_bytes_delivered(), 100);
+        assert_eq!(s.total_bytes_dropped(), 50);
         assert_eq!(s.kind("unknown"), KindStats::default());
     }
 

@@ -166,7 +166,10 @@ mod tests {
     #[test]
     fn saturation_at_extremes() {
         assert_eq!(SimTime::MAX + SimDuration(1), SimTime::MAX);
-        assert_eq!(SimDuration(u64::MAX) + SimDuration(1), SimDuration(u64::MAX));
+        assert_eq!(
+            SimDuration(u64::MAX) + SimDuration(1),
+            SimDuration(u64::MAX)
+        );
     }
 
     #[test]

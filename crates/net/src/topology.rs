@@ -93,8 +93,11 @@ impl Topology {
         let mut collectors_of = Vec::with_capacity(params.providers as usize);
         for k in 0..params.providers {
             let base = (k as u64 * r as u64) % n as u64;
-            collectors_of
-                .push((0..r).map(|i| ((base + i as u64) % n as u64) as u32).collect());
+            collectors_of.push(
+                (0..r)
+                    .map(|i| ((base + i as u64) % n as u64) as u32)
+                    .collect(),
+            );
         }
         Ok(Self::from_provider_adjacency(params, collectors_of))
     }
@@ -114,7 +117,9 @@ impl Topology {
         // Stub list: each collector appears s times; shuffle and deal r per
         // provider; retry on duplicates within one provider's hand.
         'attempt: for _ in 0..1000 {
-            let mut stubs: Vec<u32> = (0..n as u32).flat_map(|c| std::iter::repeat_n(c, s)).collect();
+            let mut stubs: Vec<u32> = (0..n as u32)
+                .flat_map(|c| std::iter::repeat_n(c, s))
+                .collect();
             stubs.shuffle(rng);
             let mut collectors_of: Vec<Vec<u32>> = Vec::with_capacity(l);
             for p in 0..l {

@@ -1,0 +1,77 @@
+//! A small hand-written JSON writer — just enough for JSONL event lines.
+//!
+//! The crate is std-only by design (the build environment has no registry
+//! access), so rather than pulling in serde this module emits the narrow
+//! JSON subset events need: u64/f64 numbers, booleans, and escaped
+//! strings.
+
+use crate::event::FieldValue;
+
+/// Appends `v` in decimal.
+pub fn write_u64(out: &mut String, v: u64) {
+    use std::fmt::Write;
+    let _ = write!(out, "{v}");
+}
+
+/// Appends `v` as a JSON number, or `null` if it is not finite (JSON has
+/// no NaN/Infinity).
+pub fn write_f64(out: &mut String, v: f64) {
+    use std::fmt::Write;
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `s` as a quoted, escaped JSON string.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends one typed field value.
+pub fn write_value(out: &mut String, value: FieldValue) {
+    match value {
+        FieldValue::U64(v) => write_u64(out, v),
+        FieldValue::F64(v) => write_f64(out, v),
+        FieldValue::Bool(b) => out.push_str(if b { "true" } else { "false" }),
+        FieldValue::Str(s) => write_str(out, s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        write_str(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        write_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+        out.clear();
+        write_f64(&mut out, 2.5);
+        assert_eq!(out, "2.5");
+    }
+}

@@ -1,0 +1,403 @@
+//! Observability for the prb protocol stack: structured event tracing,
+//! sim-time phase spans, and a metrics registry.
+//!
+//! The paper's claims are measured shapes — `O(√T)` regret (Theorem 1/4),
+//! an unchecked fraction `≤ f` (Lemma 2), `O(b·m)` message complexity
+//! (§4.1) — and this crate is the substrate that lets every layer prove
+//! its contribution to them from traces rather than printlns:
+//!
+//! - [`Event`]: node, role, round, sim-time tick, and a typed
+//!   [`EventKind`] payload.
+//! - [`Recorder`]: a pluggable sink trait with three built-ins —
+//!   [`NullRecorder`] (discard), [`RingRecorder`] (bounded in-memory),
+//!   and [`JsonlRecorder`] (one JSON object per line, hand-serialized;
+//!   the crate is std-only because the build environment has no registry
+//!   access).
+//! - [`Metrics`]: counters, gauges, and log₂-bucketed [`Histogram`]s
+//!   with p50/p95/p99, keyed by static names.
+//! - [`Span`]: sim-time intervals for the protocol phases
+//!   (election → proposal → screening → vote → commit → reveal → argue),
+//!   recorded into `phase.<name>` histograms.
+//!
+//! Everything hangs off an [`Obs`] behind an [`ObsHandle`]
+//! (`Rc<Obs>`): the network kernel, the protocol nodes, and the
+//! consensus baselines all clone the same handle. [`Obs::off`] is the
+//! default everywhere and short-circuits to a single branch, so an
+//! untraced run pays nothing.
+
+mod event;
+pub mod json;
+mod metrics;
+mod recorder;
+mod span;
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+pub use event::{DropReason, Event, EventKind, FieldValue, Role, EXTERNAL_NODE};
+pub use metrics::{Histogram, Metrics};
+pub use recorder::{JsonlRecorder, NullRecorder, Recorder, RingRecorder};
+pub use span::{phases, Span};
+
+/// The shared, cheaply-cloned handle the whole stack threads through.
+pub type ObsHandle = Rc<Obs>;
+
+/// Per-message-kind event tallies, for reconciling against the kernel's
+/// `MessageStats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MsgCounts {
+    /// `msg.sent` events.
+    pub sent: u64,
+    /// `msg.delivered` events.
+    pub delivered: u64,
+    /// `msg.dropped` events.
+    pub dropped: u64,
+}
+
+/// The observability hub: an event sink, the metrics registry, and the
+/// ambient context (round number, node roles) events are stamped with.
+pub struct Obs {
+    enabled: bool,
+    sink: Rc<dyn Recorder>,
+    metrics: Metrics,
+    round: Cell<u64>,
+    roles: RefCell<Vec<Role>>,
+    /// (event kind, msg kind or "") → occurrences.
+    kind_counts: RefCell<BTreeMap<(&'static str, &'static str), u64>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.enabled)
+            .field("round", &self.round.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Obs {
+    /// A disabled hub: every emit is a single branch, nothing is
+    /// recorded. The default for all components.
+    pub fn off() -> ObsHandle {
+        Rc::new(Obs {
+            enabled: false,
+            sink: Rc::new(NullRecorder),
+            metrics: Metrics::new(),
+            round: Cell::new(0),
+            roles: RefCell::new(Vec::new()),
+            kind_counts: RefCell::new(BTreeMap::new()),
+        })
+    }
+
+    /// An active hub feeding `sink`.
+    pub fn with_sink(sink: Rc<dyn Recorder>) -> ObsHandle {
+        Rc::new(Obs {
+            enabled: true,
+            sink,
+            metrics: Metrics::new(),
+            round: Cell::new(0),
+            roles: RefCell::new(Vec::new()),
+            kind_counts: RefCell::new(BTreeMap::new()),
+        })
+    }
+
+    /// An active hub that counts and aggregates but stores no events.
+    pub fn counting() -> ObsHandle {
+        Self::with_sink(Rc::new(NullRecorder))
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Declares the role of each kernel node index (the driver resolves
+    /// roles so emitting sites don't have to).
+    pub fn set_roles(&self, roles: Vec<Role>) {
+        *self.roles.borrow_mut() = roles;
+    }
+
+    /// Stamps subsequent events with `round`.
+    pub fn set_round(&self, round: u64) {
+        self.round.set(round);
+    }
+
+    /// The round currently being stamped.
+    pub fn round(&self) -> u64 {
+        self.round.get()
+    }
+
+    fn role_of(&self, node: u64) -> Role {
+        if node == EXTERNAL_NODE {
+            return Role::External;
+        }
+        self.roles
+            .borrow()
+            .get(node as usize)
+            .copied()
+            .unwrap_or(Role::External)
+    }
+
+    /// Records one event at sim tick `time`, attributed to kernel node
+    /// `node` ([`EXTERNAL_NODE`] for the driver). No-op when disabled.
+    pub fn emit(&self, time: u64, node: u64, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        *self
+            .kind_counts
+            .borrow_mut()
+            .entry((kind.name(), kind.msg_kind().unwrap_or("")))
+            .or_insert(0) += 1;
+        let event = Event {
+            time,
+            node,
+            role: self.role_of(node),
+            round: self.round.get(),
+            kind,
+        };
+        self.sink.record(&event);
+    }
+
+    /// Opens a phase span at tick `now` (pure; see [`Obs::end_span`]).
+    pub fn span(&self, phase: &'static str, now: u64) -> Span {
+        Span::begin(phase, now)
+    }
+
+    /// Closes `span` at tick `now` on behalf of `node`: observes the
+    /// duration into the `phase.<name>` histogram and emits a
+    /// `phase.end` event. No-op when disabled.
+    pub fn end_span(&self, span: Span, now: u64, node: u64) {
+        if !self.enabled {
+            return;
+        }
+        let ticks = span.elapsed(now);
+        self.metrics.observe(phase_key(span.phase()), ticks);
+        self.emit(
+            now,
+            node,
+            EventKind::PhaseEnd {
+                phase: span.phase(),
+                ticks,
+            },
+        );
+    }
+
+    /// Flushes the sink.
+    pub fn flush(&self) {
+        self.sink.flush();
+    }
+
+    /// Event occurrences grouped by (kind name, msg kind or "").
+    pub fn kind_counts(&self) -> Vec<((&'static str, &'static str), u64)> {
+        self.kind_counts
+            .borrow()
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// Total occurrences of `kind` across all message kinds.
+    pub fn count_of(&self, kind: &str) -> u64 {
+        self.kind_counts
+            .borrow()
+            .iter()
+            .filter(|((k, _), _)| *k == kind)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Per-message-kind sent/delivered/dropped tallies, for reconciling
+    /// against the kernel's `MessageStats`.
+    pub fn msg_counts(&self) -> BTreeMap<&'static str, MsgCounts> {
+        let mut out: BTreeMap<&'static str, MsgCounts> = BTreeMap::new();
+        for (&(kind, msg), &n) in self.kind_counts.borrow().iter() {
+            if msg.is_empty() {
+                continue;
+            }
+            let entry = out.entry(msg).or_default();
+            match kind {
+                "msg.sent" => entry.sent += n,
+                "msg.delivered" => entry.delivered += n,
+                "msg.dropped" => entry.dropped += n,
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The end-of-run summary: event counts per kind, then phase-latency
+    /// percentiles in sim ticks. Empty string when disabled or empty.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        if !self.enabled {
+            return String::new();
+        }
+        let mut out = String::new();
+        let counts = self.kind_counts();
+        if !counts.is_empty() {
+            let _ = writeln!(out, "## events by kind");
+            let _ = writeln!(out, "{:<20} {:<16} {:>10}", "kind", "msg", "count");
+            for ((kind, msg), n) in counts {
+                let msg = if msg.is_empty() { "-" } else { msg };
+                let _ = writeln!(out, "{kind:<20} {msg:<16} {n:>10}");
+            }
+        }
+        let phase_rows: Vec<(&'static str, Histogram)> = self
+            .metrics
+            .histograms()
+            .into_iter()
+            .filter(|(name, _)| name.starts_with("phase."))
+            .collect();
+        if !phase_rows.is_empty() {
+            if !out.is_empty() {
+                let _ = writeln!(out);
+            }
+            let _ = writeln!(out, "## phase latency (sim ticks)");
+            let _ = writeln!(
+                out,
+                "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                "phase", "count", "p50", "p95", "p99", "max"
+            );
+            for (name, h) in phase_rows {
+                let phase = name.strip_prefix("phase.").unwrap_or(name);
+                let _ = writeln!(
+                    out,
+                    "{phase:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                    h.count(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
+                    h.max()
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Maps a phase constant to its histogram key.
+fn phase_key(phase: &'static str) -> &'static str {
+    match phase {
+        phases::ELECTION => "phase.election",
+        phases::PROPOSAL => "phase.proposal",
+        phases::SCREENING => "phase.screening",
+        phases::VOTE => "phase.vote",
+        phases::COMMIT => "phase.commit",
+        phases::REVEAL => "phase.reveal",
+        phases::ARGUE => "phase.argue",
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_records_nothing() {
+        let obs = Obs::off();
+        obs.emit(1, 0, EventKind::TimerFired { timer: 0 });
+        let span = obs.span(phases::VOTE, 0);
+        obs.end_span(span, 10, 0);
+        assert!(obs.kind_counts().is_empty());
+        assert!(obs.metrics().histogram("phase.vote").is_none());
+        assert!(obs.summary().is_empty());
+    }
+
+    #[test]
+    fn emit_stamps_round_and_role() {
+        let ring = Rc::new(RingRecorder::new(16));
+        let obs = Obs::with_sink(ring.clone());
+        obs.set_roles(vec![Role::Provider, Role::Governor]);
+        obs.set_round(3);
+        obs.emit(5, 1, EventKind::TimerFired { timer: 9 });
+        obs.emit(6, EXTERNAL_NODE, EventKind::TimerFired { timer: 10 });
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].role, Role::Governor);
+        assert_eq!(events[0].round, 3);
+        assert_eq!(events[1].role, Role::External);
+    }
+
+    #[test]
+    fn spans_feed_phase_histograms_and_events() {
+        let obs = Obs::counting();
+        let span = obs.span(phases::COMMIT, 100);
+        obs.end_span(span, 140, 2);
+        let h = obs.metrics().histogram("phase.commit").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 40);
+        assert_eq!(obs.count_of("phase.end"), 1);
+    }
+
+    #[test]
+    fn msg_counts_reconcile_by_kind() {
+        let obs = Obs::counting();
+        obs.emit(
+            0,
+            0,
+            EventKind::MsgSent {
+                msg: "ping",
+                to: 1,
+                bytes: 4,
+            },
+        );
+        obs.emit(
+            1,
+            1,
+            EventKind::MsgDelivered {
+                msg: "ping",
+                from: 0,
+                bytes: 4,
+                latency: 1,
+            },
+        );
+        obs.emit(
+            2,
+            0,
+            EventKind::MsgDropped {
+                msg: "ping",
+                from: 0,
+                bytes: 4,
+                reason: DropReason::Loss,
+            },
+        );
+        let counts = obs.msg_counts();
+        assert_eq!(
+            counts.get("ping"),
+            Some(&MsgCounts {
+                sent: 1,
+                delivered: 1,
+                dropped: 1
+            })
+        );
+    }
+
+    #[test]
+    fn summary_lists_kinds_and_phases() {
+        let obs = Obs::counting();
+        obs.emit(
+            0,
+            0,
+            EventKind::MsgSent {
+                msg: "ping",
+                to: 1,
+                bytes: 0,
+            },
+        );
+        let span = obs.span(phases::ELECTION, 0);
+        obs.end_span(span, 16, 0);
+        let s = obs.summary();
+        assert!(s.contains("events by kind"), "{s}");
+        assert!(s.contains("msg.sent"), "{s}");
+        assert!(s.contains("phase latency"), "{s}");
+        assert!(s.contains("election"), "{s}");
+    }
+}

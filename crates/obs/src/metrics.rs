@@ -1,0 +1,270 @@
+//! The metrics registry: counters, gauges, and log₂-bucketed histograms
+//! keyed by static names.
+//!
+//! All methods take `&self` (interior mutability) so the registry can sit
+//! behind the same shared handle as the event sink.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: one per power of two of the `u64` range,
+/// plus a dedicated zero bucket.
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket `0` holds zeros; bucket `i > 0` holds values in
+/// `[2^(i-1), 2^i)`. Quantiles are answered with the *upper bound* of the
+/// containing bucket, so they are exact to within a factor of two — ample
+/// for latency distributions spanning orders of magnitude.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The quantile `q` in `[0, 1]`, as the upper bound of the bucket
+    /// containing the `⌈q·n⌉`-th sample (clamped to the observed max).
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i == 0 {
+                    0
+                } else {
+                    (1u64 << (i - 1)).saturating_mul(2) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (upper-bound approximation).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (upper-bound approximation).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (upper-bound approximation).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// The registry. Names are static strings in a dotted namespace
+/// (`phase.election`, `net.delivery_latency`, …).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: RefCell<BTreeMap<&'static str, u64>>,
+    gauges: RefCell<BTreeMap<&'static str, f64>>,
+    histograms: RefCell<BTreeMap<&'static str, Histogram>>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1 to counter `name`.
+    pub fn inc(&self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn add(&self, name: &'static str, n: u64) {
+        *self.counters.borrow_mut().entry(name).or_insert(0) += n;
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.borrow().get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name`.
+    pub fn set_gauge(&self, name: &'static str, value: f64) {
+        self.gauges.borrow_mut().insert(name, value);
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.borrow().get(name).copied()
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&self, name: &'static str, value: u64) {
+        self.histograms
+            .borrow_mut()
+            .entry(name)
+            .or_default()
+            .observe(value);
+    }
+
+    /// A snapshot of histogram `name`, if it has samples.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.histograms.borrow().get(name).cloned()
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.counters
+            .borrow()
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> Vec<(&'static str, f64)> {
+        self.gauges.borrow().iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> Vec<(&'static str, Histogram)> {
+        self.histograms
+            .borrow()
+            .iter()
+            .map(|(&k, v)| (k, v.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.inc("a");
+        m.add("a", 4);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let m = Metrics::new();
+        m.set_gauge("g", 1.5);
+        m.set_gauge("g", 2.5);
+        assert_eq!(m.gauge("g"), Some(2.5));
+        assert_eq!(m.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.sum(), 1010);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_distribution() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        // Upper-bound semantics: within 2x above the true quantile.
+        let p50 = h.p50();
+        assert!((500..=1023).contains(&p50), "p50={p50}");
+        let p99 = h.p99();
+        assert!((990..=1000).contains(&p99), "p99={p99}");
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_max() {
+        let mut h = Histogram::default();
+        h.observe(5);
+        assert_eq!(h.p50(), 5);
+        assert_eq!(h.p99(), 5);
+    }
+}

@@ -1,0 +1,57 @@
+//! Sim-time spans for protocol phases.
+
+/// Canonical phase names, in protocol order. Using these constants keeps
+/// the `phase.<name>` histogram keys and the `phase.end` events aligned
+/// across crates.
+pub mod phases {
+    /// PoS-VRF leader election (§3.4.1).
+    pub const ELECTION: &str = "election";
+    /// Leader assembling + broadcasting the block.
+    pub const PROPOSAL: &str = "proposal";
+    /// Algorithm 2 screening, from first upload to decision.
+    pub const SCREENING: &str = "screening";
+    /// Voting (PBFT prepare round in the baseline).
+    pub const VOTE: &str = "vote";
+    /// Commit: proposal broadcast to local chain append.
+    pub const COMMIT: &str = "commit";
+    /// Reveal lag: block commit to external reveal.
+    pub const REVEAL: &str = "reveal";
+    /// Argue: block commit to argue resolution.
+    pub const ARGUE: &str = "argue";
+}
+
+/// An open interval of sim time attributed to a named phase.
+///
+/// A span is deliberately inert — just a name and a start tick. Closing
+/// it through [`Obs::end_span`](crate::Obs::end_span) records the
+/// duration into the `phase.<name>` histogram and emits a `phase.end`
+/// event, so dropping an unfinished span (e.g. a round cut short by a
+/// crash) simply records nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use = "a span only produces data when closed via Obs::end_span"]
+pub struct Span {
+    phase: &'static str,
+    start: u64,
+}
+
+impl Span {
+    /// Opens a span for `phase` at tick `start`.
+    pub fn begin(phase: &'static str, start: u64) -> Self {
+        Span { phase, start }
+    }
+
+    /// The phase name.
+    pub fn phase(&self) -> &'static str {
+        self.phase
+    }
+
+    /// The opening tick.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Duration up to `now` (0 if time ran backwards across a reset).
+    pub fn elapsed(&self, now: u64) -> u64 {
+        now.saturating_sub(self.start)
+    }
+}

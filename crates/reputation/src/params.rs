@@ -101,10 +101,16 @@ impl ReputationParams {
             )));
         }
         if self.mu <= 1.0 || self.mu.is_nan() {
-            return Err(InvalidParamsError(format!("mu must exceed 1, got {}", self.mu)));
+            return Err(InvalidParamsError(format!(
+                "mu must exceed 1, got {}",
+                self.mu
+            )));
         }
         if self.nu <= 1.0 || self.nu.is_nan() {
-            return Err(InvalidParamsError(format!("nu must exceed 1, got {}", self.nu)));
+            return Err(InvalidParamsError(format!(
+                "nu must exceed 1, got {}",
+                self.nu
+            )));
         }
         if !(0.0..1.0).contains(&self.weight_floor) {
             return Err(InvalidParamsError(format!(

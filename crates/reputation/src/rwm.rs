@@ -267,7 +267,10 @@ mod tests {
     fn all_abstain_rounds_are_skipped() {
         let mut rwm = Rwm::new(2, 0.9);
         let mut rng = StdRng::seed_from_u64(3);
-        assert_eq!(rwm.round(&[Advice::Abstain, Advice::Abstain], &mut rng), None);
+        assert_eq!(
+            rwm.round(&[Advice::Abstain, Advice::Abstain], &mut rng),
+            None
+        );
         assert_eq!(rwm.rounds(), 0);
         assert_eq!(rwm.potential(), 2.0);
     }

@@ -71,7 +71,11 @@ impl WeightSums {
 /// always checked — trusting no one means verifying yourself.
 ///
 /// Returns `None` when `reports` is empty.
-pub fn screen<R: Rng + ?Sized>(reports: &[Report], f: f64, rng: &mut R) -> Option<ScreeningOutcome> {
+pub fn screen<R: Rng + ?Sized>(
+    reports: &[Report],
+    f: f64,
+    rng: &mut R,
+) -> Option<ScreeningOutcome> {
     if reports.is_empty() {
         return None;
     }

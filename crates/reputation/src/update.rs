@@ -155,9 +155,11 @@ impl ReputationTable {
                 RevealedBehaviour::Wrong => {
                     self.vectors[r.collector].discount_floored(r.provider_slot, gamma, floor)
                 }
-                RevealedBehaviour::Missed => {
-                    self.vectors[r.collector].discount_floored(r.provider_slot, self.params.beta, floor)
-                }
+                RevealedBehaviour::Missed => self.vectors[r.collector].discount_floored(
+                    r.provider_slot,
+                    self.params.beta,
+                    floor,
+                ),
             }
         }
         RevealOutcome {

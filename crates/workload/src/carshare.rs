@@ -113,9 +113,9 @@ impl CarShareWorkload {
         if make_bad {
             // Break the request one of three ways.
             match rng.gen_range(0..3) {
-                0 => req.dropoff = req.pickup,               // going nowhere
+                0 => req.dropoff = req.pickup,                    // going nowhere
                 1 => req.fare_cents = rng.gen_range(0..MIN_FARE), // underpriced
-                _ => req.pickup_minute = 2_000,              // outside window
+                _ => req.pickup_minute = 2_000,                   // outside window
             }
         }
         req
@@ -152,18 +152,34 @@ mod tests {
             pickup_minute: 100,
         };
         assert!(good.is_serviceable());
-        assert!(!RideRequest { dropoff: 0, ..good.clone() }.is_serviceable());
-        assert!(!RideRequest { fare_cents: 10, ..good.clone() }.is_serviceable());
-        assert!(!RideRequest { pickup_minute: 1500, ..good.clone() }.is_serviceable());
-        assert!(!RideRequest { pickup: GRID * GRID, ..good }.is_serviceable());
+        assert!(!RideRequest {
+            dropoff: 0,
+            ..good.clone()
+        }
+        .is_serviceable());
+        assert!(!RideRequest {
+            fare_cents: 10,
+            ..good.clone()
+        }
+        .is_serviceable());
+        assert!(!RideRequest {
+            pickup_minute: 1500,
+            ..good.clone()
+        }
+        .is_serviceable());
+        assert!(!RideRequest {
+            pickup: GRID * GRID,
+            ..good
+        }
+        .is_serviceable());
     }
 
     #[test]
     fn distance_is_manhattan() {
         let req = RideRequest {
             user: 0,
-            pickup: 0,              // (0, 0)
-            dropoff: GRID + 3,      // (3, 1)
+            pickup: 0,         // (0, 0)
+            dropoff: GRID + 3, // (3, 1)
             fare_cents: 300,
             pickup_minute: 0,
         };

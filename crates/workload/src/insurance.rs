@@ -135,7 +135,7 @@ impl InsuranceWorkload {
         }
         if fraudulent {
             match rng.gen_range(0..4) {
-                0 => app.age = rng.gen_range(76..=120),         // age fraud
+                0 => app.age = rng.gen_range(76..=120), // age fraud
                 1 => {
                     // Concealed smoking: declares non-smoker with history.
                     app.smoker = false;
@@ -190,20 +190,58 @@ mod tests {
         assert!(base().is_insurable());
         assert!(!Application { age: 17, ..base() }.is_insurable());
         assert!(!Application { age: 76, ..base() }.is_insurable());
-        assert!(!Application { pack_years: 5, ..base() }.is_insurable());
-        assert!(Application { smoker: true, pack_years: 5, ..base() }.is_insurable());
-        assert!(!Application { hospitalizations: 6, ..base() }.is_insurable());
-        assert!(!Application { alcohol_units: 61, ..base() }.is_insurable());
-        assert!(!Application { age: 61, coverage_k: 300, ..base() }.is_insurable());
-        assert!(Application { age: 61, coverage_k: 200, ..base() }.is_insurable());
-        assert!(!Application { coverage_k: 501, ..base() }.is_insurable());
+        assert!(!Application {
+            pack_years: 5,
+            ..base()
+        }
+        .is_insurable());
+        assert!(Application {
+            smoker: true,
+            pack_years: 5,
+            ..base()
+        }
+        .is_insurable());
+        assert!(!Application {
+            hospitalizations: 6,
+            ..base()
+        }
+        .is_insurable());
+        assert!(!Application {
+            alcohol_units: 61,
+            ..base()
+        }
+        .is_insurable());
+        assert!(!Application {
+            age: 61,
+            coverage_k: 300,
+            ..base()
+        }
+        .is_insurable());
+        assert!(Application {
+            age: 61,
+            coverage_k: 200,
+            ..base()
+        }
+        .is_insurable());
+        assert!(!Application {
+            coverage_k: 501,
+            ..base()
+        }
+        .is_insurable());
     }
 
     #[test]
     fn risk_score_monotone_in_risk_factors() {
         let healthy = base();
-        let smoker = Application { smoker: true, pack_years: 20, ..base() };
-        let sick = Application { hospitalizations: 5, ..base() };
+        let smoker = Application {
+            smoker: true,
+            pack_years: 20,
+            ..base()
+        };
+        let sick = Application {
+            hospitalizations: 5,
+            ..base()
+        };
         assert!(smoker.risk_score() > healthy.risk_score());
         assert!(sick.risk_score() > healthy.risk_score());
         assert!(healthy.risk_score() <= 100);

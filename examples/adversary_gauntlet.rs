@@ -45,7 +45,13 @@ fn main() -> Result<(), String> {
 
     let mut sim = Simulation::builder(cfg)
         .collector_profiles(profiles)
-        .provider_profiles(vec![ProviderProfile { invalid_rate: 0.3, active: true }; 8])
+        .provider_profiles(vec![
+            ProviderProfile {
+                invalid_rate: 0.3,
+                active: true
+            };
+            8
+        ])
         .build()?;
 
     sim.run(20);
@@ -87,8 +93,10 @@ fn main() -> Result<(), String> {
             .flat_map(|b| &b.entries)
             .all(|e| oracle.borrow().peek(e.tx.id()).is_some())
     };
-    println!("Almost No Creation: {no_creation} (forger sent {} fabrications, all rejected)",
-        sim.collector(1).counters().3);
+    println!(
+        "Almost No Creation: {no_creation} (forger sent {} fabrications, all rejected)",
+        sim.collector(1).counters().3
+    );
     let validity = {
         // Every argued-valid entry is genuinely valid.
         let chain = sim.governor(0).chain();

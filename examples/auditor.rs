@@ -32,7 +32,13 @@ fn main() -> Result<(), String> {
         ..Default::default()
     })
     .collector_profile(2, CollectorProfile::misreporter(0.6))
-    .provider_profiles(vec![ProviderProfile { invalid_rate: 0.3, active: true }; 8])
+    .provider_profiles(vec![
+        ProviderProfile {
+            invalid_rate: 0.3,
+            active: true
+        };
+        8
+    ])
     .build()?;
     sim.run(8);
     sim.run_drain_rounds(2);
@@ -46,7 +52,10 @@ fn main() -> Result<(), String> {
 
     // -- Phase 2: full offline audit from an export -------------------------
     let export = governor_chain.export();
-    println!("\nauditor received {} bytes of exported chain", export.len());
+    println!(
+        "\nauditor received {} bytes of exported chain",
+        export.len()
+    );
     let audited = Chain::import(&export).map_err(|e| format!("import failed: {e}"))?;
     assert_eq!(audited.audit(), None);
     println!(
@@ -116,10 +125,16 @@ fn main() -> Result<(), String> {
     }
     println!("\noffline label audit (wrong / reported):");
     for c in 0..8 {
-        let marker = if c == 2 { "  <- flagged for punishment" } else { "" };
+        let marker = if c == 2 {
+            "  <- flagged for punishment"
+        } else {
+            ""
+        };
         println!("  c{c}: {:>3} / {:>3}{marker}", wrong[c], total[c]);
     }
-    let worst = (0..8).max_by_key(|&c| wrong[c] * 1000 / total[c].max(1)).unwrap();
+    let worst = (0..8)
+        .max_by_key(|&c| wrong[c] * 1000 / total[c].max(1))
+        .unwrap();
     assert_eq!(worst, 2, "the auditor finds the misreporting collector");
     println!("\naudit complete: member c{worst} detected from the ledger alone.");
     Ok(())

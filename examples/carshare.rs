@@ -27,14 +27,23 @@ fn main() -> Result<(), String> {
         seed: 51,
         ..Default::default()
     };
-    println!("== car-sharing: {} users, {} drivers, {} schedulers ==", cfg.providers, cfg.collectors, cfg.governors);
+    println!(
+        "== car-sharing: {} users, {} drivers, {} schedulers ==",
+        cfg.providers, cfg.collectors, cfg.governors
+    );
 
     let mut sim = Simulation::builder(cfg)
         // Driver d1 "rejects" 70% of rides (flips serviceable ones to -1);
         // driver d4 rubber-stamps everything (flips unserviceable to +1).
         .collector_profile(1, CollectorProfile::misreporter(0.7))
         .collector_profile(4, CollectorProfile::misreporter(0.7))
-        .provider_profiles(vec![ProviderProfile { invalid_rate: 0.0, active: true }; 12])
+        .provider_profiles(vec![
+            ProviderProfile {
+                invalid_rate: 0.0,
+                active: true
+            };
+            12
+        ])
         .workload(Box::new(CarShareWorkload::new(0.25)))
         .build()?;
 
@@ -61,7 +70,12 @@ fn main() -> Result<(), String> {
             }
         }
     }
-    println!("\nledger height {} — {} assignable rides, {} rejected/unchecked", chain.height(), assignable, rejected);
+    println!(
+        "\nledger height {} — {} assignable rides, {} rejected/unchecked",
+        chain.height(),
+        assignable,
+        rejected
+    );
     if assignable > 0 {
         println!(
             "average fare {:.2} EUR, average trip {:.1} cells",

@@ -36,7 +36,13 @@ fn main() -> Result<(), String> {
         // Agent a2 helps applicants: flips 80% of its labels, so frauds
         // read as clean (and clean reads as fraud).
         .collector_profile(2, CollectorProfile::misreporter(0.8))
-        .provider_profiles(vec![ProviderProfile { invalid_rate: 0.0, active: false }; 10])
+        .provider_profiles(vec![
+            ProviderProfile {
+                invalid_rate: 0.0,
+                active: false
+            };
+            10
+        ])
         .workload(Box::new(InsuranceWorkload::new(0.35)))
         .build()?;
 
@@ -70,7 +76,10 @@ fn main() -> Result<(), String> {
     }
     let _ = seen;
     println!("\nledger height {}", chain.height());
-    println!("underwritten policies: {underwritten} (mean risk score {:.1})", risk_sum as f64 / underwritten.max(1) as f64);
+    println!(
+        "underwritten policies: {underwritten} (mean risk score {:.1})",
+        risk_sum as f64 / underwritten.max(1) as f64
+    );
     println!("fraudulent applications recorded-but-flagged: {fraud_blocked}");
     println!("fraudulent applications slipped through unchecked: {fraud_slipped}");
 
@@ -90,8 +99,11 @@ fn main() -> Result<(), String> {
         }
     }
     println!("\n-- cumulative commission --");
-    let honest_avg: f64 =
-        (0..5).filter(|&a| a != 2).map(|a| commission[a]).sum::<f64>() / 4.0;
+    let honest_avg: f64 = (0..5)
+        .filter(|&a| a != 2)
+        .map(|a| commission[a])
+        .sum::<f64>()
+        / 4.0;
     for (a, c) in commission.iter().enumerate() {
         let marker = if a == 2 { "  <- colluding agent" } else { "" };
         println!("agent a{a}: {c:>8.2}{marker}");

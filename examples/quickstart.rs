@@ -64,10 +64,23 @@ fn main() -> Result<(), String> {
     let m = sim.metrics(0);
     println!("\n-- governor g0 --");
     println!("screened {:>5} transactions", m.screened);
-    println!("checked  {:>5} ({} validations incl. argues)", m.checked, m.validations);
-    println!("unchecked{:>6} ({:.1}% — bounded by f = 50%)", m.unchecked, 100.0 * m.unchecked_fraction());
-    println!("argues   {:>5} accepted, {} rejected", m.argue_accepted, m.argue_rejected);
-    println!("realized loss {:.1}, expected loss {:.2}", m.realized_loss, m.expected_loss);
+    println!(
+        "checked  {:>5} ({} validations incl. argues)",
+        m.checked, m.validations
+    );
+    println!(
+        "unchecked{:>6} ({:.1}% — bounded by f = 50%)",
+        m.unchecked,
+        100.0 * m.unchecked_fraction()
+    );
+    println!(
+        "argues   {:>5} accepted, {} rejected",
+        m.argue_accepted, m.argue_rejected
+    );
+    println!(
+        "realized loss {:.1}, expected loss {:.2}",
+        m.realized_loss, m.expected_loss
+    );
 
     println!("\n-- reputation table (governor g0) --");
     let table = sim.governor(0).reputation();

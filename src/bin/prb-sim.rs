@@ -75,7 +75,8 @@ fn parse_idx_prob(spec: &str) -> Result<(u32, f64), String> {
         .ok_or_else(|| format!("expected index:probability, got {spec:?}"))?;
     Ok((
         idx.parse().map_err(|_| format!("bad index in {spec:?}"))?,
-        prob.parse().map_err(|_| format!("bad probability in {spec:?}"))?,
+        prob.parse()
+            .map_err(|_| format!("bad probability in {spec:?}"))?,
     ))
 }
 
@@ -118,14 +119,13 @@ fn main() -> Result<(), String> {
     let n = cfg.collectors;
     let l = cfg.providers;
     let m = cfg.governors;
-    let mut builder = Simulation::builder(cfg)
-        .provider_profiles(vec![
-            ProviderProfile {
-                invalid_rate,
-                active: true,
-            };
-            l as usize
-        ]);
+    let mut builder = Simulation::builder(cfg).provider_profiles(vec![
+        ProviderProfile {
+            invalid_rate,
+            active: true,
+        };
+        l as usize
+    ]);
     match cli.get_str("workload", "uniform").as_str() {
         "uniform" => {}
         "carshare" => builder = builder.workload(Box::new(CarShareWorkload::new(invalid_rate))),

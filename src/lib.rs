@@ -41,5 +41,6 @@ pub use prb_core as core;
 pub use prb_crypto as crypto;
 pub use prb_ledger as ledger;
 pub use prb_net as net;
+pub use prb_obs as obs;
 pub use prb_reputation as reputation;
 pub use prb_workload as workload;

@@ -22,7 +22,11 @@ fn default_run_reports_agreement_and_reputation() {
         .args(["--rounds", "3"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("agreement: true"), "{text}");
     assert!(text.contains("reputation (governor g0):"));
@@ -56,7 +60,11 @@ fn export_chain_writes_importable_bytes() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let bytes = std::fs::read(&path).expect("export written");
     let chain = prb::ledger::chain::Chain::import(&bytes).expect("export is importable");
     assert!(chain.height() >= 3);

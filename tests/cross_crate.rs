@@ -29,7 +29,13 @@ fn end_to_end_with_real_schnorr_crypto() {
         ..Default::default()
     };
     let mut sim = Simulation::builder(cfg)
-        .provider_profiles(vec![ProviderProfile { invalid_rate: 0.2, active: true }; 4])
+        .provider_profiles(vec![
+            ProviderProfile {
+                invalid_rate: 0.2,
+                active: true
+            };
+            4
+        ])
         .build()
         .unwrap();
     let outcomes = sim.run(3);
@@ -73,7 +79,13 @@ fn carshare_payloads_travel_the_whole_stack() {
         ..Default::default()
     })
     .workload(Box::new(CarShareWorkload::new(0.2)))
-    .provider_profiles(vec![ProviderProfile { invalid_rate: 0.0, active: true }; 8])
+    .provider_profiles(vec![
+        ProviderProfile {
+            invalid_rate: 0.0,
+            active: true
+        };
+        8
+    ])
     .build()
     .unwrap();
     sim.run(4);
@@ -221,7 +233,13 @@ fn probabilistic_reveal_reveals_a_subset() {
         rounds: 1,
     };
     let mut sim = Simulation::builder(cfg)
-        .provider_profiles(vec![ProviderProfile { invalid_rate: 0.8, active: false }; 8])
+        .provider_profiles(vec![
+            ProviderProfile {
+                invalid_rate: 0.8,
+                active: false
+            };
+            8
+        ])
         .build()
         .unwrap();
     sim.run(10);
@@ -276,9 +294,7 @@ fn sim_and_schnorr_runs_agree_on_identical_traces() {
     use prb::workload::trace::Trace;
     use prb::workload::CarShareWorkload;
 
-    let record = || {
-        Trace::record(&mut CarShareWorkload::new(0.3), 4, 4, 2, 777).into_workload()
-    };
+    let record = || Trace::record(&mut CarShareWorkload::new(0.3), 4, 4, 2, 777).into_workload();
     let run = |crypto: CryptoScheme| {
         let cfg = ProtocolConfig {
             providers: 4,
@@ -292,7 +308,13 @@ fn sim_and_schnorr_runs_agree_on_identical_traces() {
         };
         let mut sim = Simulation::builder(cfg)
             .workload(Box::new(record()))
-            .provider_profiles(vec![ProviderProfile { invalid_rate: 0.0, active: true }; 4])
+            .provider_profiles(vec![
+                ProviderProfile {
+                    invalid_rate: 0.0,
+                    active: true
+                };
+                4
+            ])
             .build()
             .unwrap();
         sim.run(4);
@@ -308,7 +330,81 @@ fn sim_and_schnorr_runs_agree_on_identical_traces() {
     };
     let (sim_content, sim_checked, _) = run(CryptoScheme::sim());
     let (sch_content, sch_checked, _) = run(CryptoScheme::schnorr_test_256());
-    assert_eq!(sim_content, sch_content, "ledger content differs across schemes");
+    assert_eq!(
+        sim_content, sch_content,
+        "ledger content differs across schemes"
+    );
     assert_eq!(sim_checked, sch_checked);
     assert!(!sim_content.is_empty());
+}
+
+#[test]
+fn obs_trace_reconciles_with_message_stats_across_the_facade() {
+    use prb::obs::{EventKind, Obs, RingRecorder};
+    use std::rc::Rc;
+
+    let cfg = ProtocolConfig {
+        providers: 4,
+        collectors: 4,
+        governors: 3,
+        replication: 2,
+        tx_per_provider: 2,
+        reveal: RevealPolicy::AfterRounds(1),
+        seed: 77,
+        ..Default::default()
+    };
+    let ring = Rc::new(RingRecorder::new(1 << 20));
+    let obs = Obs::with_sink(ring.clone());
+    let mut sim = Simulation::builder(cfg)
+        .provider_profiles(vec![
+            ProviderProfile {
+                invalid_rate: 0.3,
+                active: true
+            };
+            4
+        ])
+        .collector_profile(0, CollectorProfile::misreporter(0.5))
+        .build()
+        .unwrap();
+    sim.set_obs(Rc::clone(&obs));
+    sim.run(6);
+    sim.run_drain_rounds(2);
+
+    // Event counts match the kernel's per-kind MessageStats exactly.
+    let stats = sim.net_stats();
+    let counts = obs.msg_counts();
+    assert!(!counts.is_empty());
+    for (kind, c) in &counts {
+        let k = stats.kind(kind);
+        assert_eq!(c.sent, k.sent, "{kind} sent");
+        assert_eq!(c.delivered, k.delivered, "{kind} delivered");
+        assert_eq!(c.dropped, k.dropped, "{kind} dropped");
+    }
+    assert_eq!(
+        counts.values().map(|c| c.sent).sum::<u64>(),
+        stats.total_sent()
+    );
+
+    // Byte accounting: the bytes carried by delivered/dropped events sum
+    // to the kernel's per-direction byte totals.
+    assert!(
+        ring.total_recorded() <= 1 << 20,
+        "ring must not have evicted"
+    );
+    let (mut sent_b, mut dlvd_b, mut drop_b) = (0u64, 0u64, 0u64);
+    for e in ring.events() {
+        match e.kind {
+            EventKind::MsgSent { bytes, .. } => sent_b += bytes,
+            EventKind::MsgDelivered { bytes, .. } => dlvd_b += bytes,
+            EventKind::MsgDropped { bytes, .. } => drop_b += bytes,
+            _ => {}
+        }
+    }
+    // External driver injections are sized 0, so sent bytes from events
+    // undercount the kernel total by exactly 0 (they are recorded as 0
+    // there too): the totals must agree.
+    assert_eq!(sent_b, stats.total_bytes_sent());
+    assert_eq!(dlvd_b, stats.total_bytes_delivered());
+    assert_eq!(drop_b, stats.total_bytes_dropped());
+    assert_eq!(dlvd_b + drop_b, sent_b, "no loss faults: all bytes settle");
 }

@@ -1,0 +1,222 @@
+//! A workspace-local, dependency-free stand-in for the parts of the
+//! `criterion` 0.5 API that `prb`'s benches use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal harness. It keeps the structural API —
+//! [`Criterion`], [`BenchmarkGroup`], `bench_function`, `iter`,
+//! `iter_batched`, [`Throughput`], `criterion_group!`/`criterion_main!` —
+//! but replaces the statistical machinery with a simple
+//! warm-up-then-measure loop that reports the mean wall-clock time per
+//! iteration. Good enough to compare hot paths before/after a change;
+//! not a replacement for real criterion's outlier analysis.
+//!
+//! When the binary is invoked with `--test` (as `cargo test --benches`
+//! does), each benchmark runs exactly once to check it executes.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` sizes its batches. The stand-in runs one routine
+/// call per setup call regardless of the variant.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Declared per-iteration work, used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The per-benchmark timing handle passed to `bench_function` closures.
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean time per iteration measured by the last `iter*` call.
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over repeated calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            (self.mean, self.iters) = (Duration::ZERO, 1);
+            return;
+        }
+        // Warm up, then scale the batch so measurement takes ~100ms.
+        let warm = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
+        let iters = (100_000_000 / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / iters as u32;
+        self.iters = iters;
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; only the
+    /// routine is measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            (self.mean, self.iters) = (Duration::ZERO, 1);
+            return;
+        }
+        // Batched routines are typically expensive; cap the sample count.
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while iters < 20 && total < Duration::from_millis(200) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.mean = total / iters.max(1) as u32;
+        self.iters = iters;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration (reported, not enforced).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes samples itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id.as_ref());
+        if self.criterion.test_mode {
+            println!("{label}: ok (test mode)");
+            return self;
+        }
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if bencher.mean > Duration::ZERO => {
+                let per_sec = n as f64 / bencher.mean.as_secs_f64();
+                format!("  {:>10.1} MiB/s", per_sec / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) if bencher.mean > Duration::ZERO => {
+                format!("  {:>10.0} elem/s", n as f64 / bencher.mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{label:<44} {:>12} /iter ({} iters){rate}",
+            format_duration(bencher.mean),
+            bencher.iters
+        );
+        self
+    }
+
+    /// Ends the group (a no-op beyond matching the real API).
+    pub fn finish(&mut self) {}
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// The top-level benchmark harness.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` passes `--test`; `cargo bench` passes
+        // `--bench`. Filters and other flags are ignored.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(id.as_ref().to_string())
+            .bench_function("", f);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one name, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

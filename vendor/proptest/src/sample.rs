@@ -1,0 +1,22 @@
+//! Sampling helper types.
+
+/// A position-independent index: generated once, then projected onto any
+/// collection length with [`index`](Index::index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Index(u64);
+
+impl Index {
+    pub(crate) fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Projects onto `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        ((self.0 as u128 * len as u128) >> 64) as usize
+    }
+}

@@ -1,0 +1,77 @@
+//! The case-execution loop behind the `proptest!` macro.
+
+use rand::{SeedableRng, StdRng};
+
+use crate::strategy::Strategy;
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to generate and run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A failed property assertion.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Wraps an assertion message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// FNV-1a over the test name: a stable, platform-independent seed so
+/// failures reproduce without persisted regression files.
+fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Draws `config.cases` values from `strategy` and runs `test` on each;
+/// panics (failing the enclosing `#[test]`) on the first assertion error.
+pub fn run<S, F>(config: ProptestConfig, strategy: S, mut test: F, name: &str)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = StdRng::seed_from_u64(seed_for(name));
+    for case in 0..config.cases {
+        let value = strategy.generate(&mut rng);
+        if let Err(e) = test(value) {
+            panic!(
+                "proptest '{name}' failed at case {case}/{} (deterministic seed {:#x}):\n{e}",
+                config.cases,
+                seed_for(name),
+            );
+        }
+    }
+}
