@@ -1,0 +1,24 @@
+//! Thin `cargo bench` wrapper around [`prb_bench::crypto_bench`]: measures
+//! every Schnorr parameter set plus the sim scheme and writes
+//! `BENCH_crypto.json` to the workspace root (same document as
+//! `exp_throughput --bench-out BENCH_crypto.json`).
+
+use prb_crypto::signer::CryptoScheme;
+
+fn main() {
+    // `cargo bench` passes harness flags (e.g. `--bench`); ignore them.
+    let schemes = [
+        CryptoScheme::sim(),
+        CryptoScheme::schnorr_test_256(),
+        CryptoScheme::schnorr_test_512(),
+        CryptoScheme::schnorr_2048(),
+    ];
+    let rows = prb_bench::crypto_bench::run_and_write(&schemes, 20, 3, "BENCH_crypto.json");
+    for r in &rows {
+        println!(
+            "{:>14}: sign {:8.1}µs  verify {:8.1}µs  vrf-eval {:8.1}µs  vrf-verify {:8.1}µs  round {:10.1}µs",
+            r.scheme, r.sign_us, r.verify_us, r.vrf_evaluate_us, r.vrf_verify_us, r.round_us
+        );
+    }
+    println!("written to BENCH_crypto.json");
+}

@@ -3,7 +3,12 @@
 //!
 //! ```text
 //! cargo run --release -p prb-bench --bin exp_throughput [--seeds 6] [--rounds 20]
+//! cargo run --release -p prb-bench --bin exp_throughput -- \
+//!     --bench-out BENCH_crypto.json [--crypto NAME] [--iters 20] [--bench-rounds 3]
 //! ```
+//!
+//! The second form skips the sweeps and emits the machine-readable crypto
+//! micro-benchmark (see [`prb_bench::crypto_bench`]).
 //!
 //! §1/§3.4: *"The larger f is, the less probability a transaction is
 //! checked, thus the faster the execution of the protocol"*. We sweep `f`
@@ -117,11 +122,61 @@ fn measure_crypto(args: &Args) {
     println!("Montgomery-accelerated, but still ~ms per exponentiation)");
 }
 
+/// `--bench-out FILE` mode: the machine-readable crypto micro-benchmark.
+/// Measures sign/verify/VRF/round wall-clock per scheme (all Schnorr
+/// parameter sets by default, or just `--crypto NAME`), writes the JSON
+/// document (with embedded pre-optimization baselines and speedups), and
+/// prints the same numbers as a table.
+fn bench_crypto_json(args: &Args, path: &str) {
+    let iters = args.get_or("iters", 20u32);
+    let sim_rounds = args.get_or("bench-rounds", 3u32);
+    let schemes = match args.get("crypto") {
+        Some(name) => {
+            vec![CryptoScheme::parse(name).unwrap_or_else(|| panic!("unknown crypto scheme {name}"))]
+        }
+        None => vec![
+            CryptoScheme::sim(),
+            CryptoScheme::schnorr_test_256(),
+            CryptoScheme::schnorr_test_512(),
+            CryptoScheme::schnorr_2048(),
+        ],
+    };
+    let rows = prb_bench::crypto_bench::run_and_write(&schemes, iters, sim_rounds, path);
+    let mut table = Table::new(
+        "crypto micro-benchmark (µs/op, release build; tables warmed)",
+        &[
+            "scheme",
+            "sign",
+            "verify",
+            "vrf eval",
+            "vrf verify",
+            "round",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.scheme.clone(),
+            format!("{:.1}", r.sign_us),
+            format!("{:.1}", r.verify_us),
+            format!("{:.1}", r.vrf_evaluate_us),
+            format!("{:.1}", r.vrf_verify_us),
+            format!("{:.1}", r.round_us),
+        ]);
+    }
+    table.print();
+    println!("written to {path}");
+}
+
 fn main() {
     let args = Args::parse();
     // Shared `--trace-out FILE` flag: one traced run of a representative
     // deployment (JSONL trace + summary) instead of the sweeps.
     if prb_bench::run_traced(&args, 10, 2, || prb_bench::traced_default_sim(100)) {
+        return;
+    }
+    if let Some(path) = args.get("bench-out") {
+        let path = path.to_owned();
+        bench_crypto_json(&args, &path);
         return;
     }
     let seeds = seed_list(70, args.get_or("seeds", 6));

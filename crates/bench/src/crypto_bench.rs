@@ -1,0 +1,258 @@
+//! Machine-readable crypto micro-benchmark: per-scheme sign / verify /
+//! VRF / protocol-round timings, written to `BENCH_crypto.json`.
+//!
+//! Two entry points share this module: `exp_throughput --bench-out FILE`
+//! and the `crypto_json` bench target (`cargo bench --bench crypto_json`).
+//! Timings are wall-clock means over `iters` iterations after a warm-up
+//! that trains the fixed-base window tables — the steady state a long run
+//! pays, which is what the reputation-chain experiments care about.
+//!
+//! Each row embeds the pre-optimization baseline (measured on this
+//! machine, release build, before the Montgomery-context / fixed-base /
+//! Straus overhaul) so the JSON is self-describing about the speedup.
+
+use std::time::Instant;
+
+use prb_core::config::ProtocolConfig;
+use prb_core::sim::Simulation;
+use prb_crypto::signer::CryptoScheme;
+
+/// One baseline row: `(scheme, sign, verify, vrf_evaluate, vrf_verify)`.
+type BaselineRow = (&'static str, f64, f64, Option<f64>, Option<f64>);
+
+/// Pre-overhaul timings in microseconds. `None` where the baseline run
+/// did not measure the operation.
+const BASELINE_US: &[BaselineRow] = &[
+    ("test-256", 88.7, 198.5, None, None),
+    ("test-512", 265.3, 581.0, None, None),
+    ("rfc3526-2048", 2253.3, 13635.6, Some(6919.3), Some(33071.5)),
+];
+
+/// Measured timings for one scheme, microseconds per operation.
+#[derive(Clone, Debug)]
+pub struct SchemeTiming {
+    /// Scheme name (`sim`, `test-256`, …, `rfc3526-2048`).
+    pub scheme: String,
+    /// Mean time to sign one message.
+    pub sign_us: f64,
+    /// Mean time to verify one (valid) signature.
+    pub verify_us: f64,
+    /// Mean time to evaluate the VRF.
+    pub vrf_evaluate_us: f64,
+    /// Mean time to verify a VRF proof.
+    pub vrf_verify_us: f64,
+    /// Mean wall-clock per protocol round of a tiny 4p/4c/3g deployment.
+    pub round_us: f64,
+}
+
+fn time_us<T>(iters: u32, mut f: impl FnMut(u32) -> T) -> f64 {
+    let start = Instant::now();
+    for i in 0..iters {
+        std::hint::black_box(f(i));
+    }
+    start.elapsed().as_secs_f64() * 1e6 / f64::from(iters.max(1))
+}
+
+/// Measures `scheme` end to end: `iters` timed iterations per operation
+/// (after table-training warm-up) plus `sim_rounds` rounds of a tiny
+/// deployment for the per-round wall-clock.
+pub fn measure_scheme(scheme: &CryptoScheme, iters: u32, sim_rounds: u32) -> SchemeTiming {
+    let kp = scheme.keypair_from_seed(b"crypto-bench");
+    let pk = kp.public_key();
+    // Warm-up: trains the generator table (threshold 2) and the per-key
+    // verification table (threshold 3) so the timed loop measures the
+    // steady state.
+    for i in 0..4u32 {
+        let msg = i.to_be_bytes();
+        let sig = kp.sign(&msg);
+        assert!(pk.verify(&msg, &sig));
+        let eval = kp.vrf_evaluate(&msg);
+        assert!(pk.vrf_verify(&msg, &eval).is_some());
+    }
+    let sign_us = time_us(iters, |i| kp.sign(&i.to_be_bytes()));
+    let sigs: Vec<_> = (0..iters).map(|i| kp.sign(&i.to_be_bytes())).collect();
+    let verify_us = time_us(iters, |i| {
+        assert!(pk.verify(&i.to_be_bytes(), &sigs[i as usize]))
+    });
+    let vrf_evaluate_us = time_us(iters, |i| kp.vrf_evaluate(&i.to_be_bytes()));
+    let evals: Vec<_> = (0..iters)
+        .map(|i| kp.vrf_evaluate(&i.to_be_bytes()))
+        .collect();
+    let vrf_verify_us = time_us(iters, |i| {
+        assert!(pk
+            .vrf_verify(&i.to_be_bytes(), &evals[i as usize])
+            .is_some())
+    });
+
+    let cfg = ProtocolConfig {
+        providers: 4,
+        collectors: 4,
+        governors: 3,
+        replication: 2,
+        tx_per_provider: 2,
+        crypto: scheme.clone(),
+        seed: 60,
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(cfg).expect("valid config");
+    let start = Instant::now();
+    sim.run(sim_rounds.max(1));
+    let round_us = start.elapsed().as_secs_f64() * 1e6 / f64::from(sim_rounds.max(1));
+
+    SchemeTiming {
+        scheme: scheme.name().to_owned(),
+        sign_us,
+        verify_us,
+        vrf_evaluate_us,
+        vrf_verify_us,
+        round_us,
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders the rows as the `BENCH_crypto.json` document (pretty-printed,
+/// stable field order, no external JSON dependency).
+pub fn render_json(rows: &[SchemeTiming], iters: u32, sim_rounds: u32) -> String {
+    let mut out = String::from("{\n  \"bench\": \"crypto\",\n");
+    out.push_str(&format!(
+        "  \"iters\": {iters},\n  \"sim_rounds\": {sim_rounds},\n"
+    ));
+    out.push_str("  \"units\": \"microseconds\",\n  \"schemes\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"scheme\": \"{}\",\n", row.scheme));
+        out.push_str(&format!("      \"sign_us\": {},\n", json_f64(row.sign_us)));
+        out.push_str(&format!(
+            "      \"verify_us\": {},\n",
+            json_f64(row.verify_us)
+        ));
+        out.push_str(&format!(
+            "      \"vrf_evaluate_us\": {},\n",
+            json_f64(row.vrf_evaluate_us)
+        ));
+        out.push_str(&format!(
+            "      \"vrf_verify_us\": {},\n",
+            json_f64(row.vrf_verify_us)
+        ));
+        out.push_str(&format!("      \"round_us\": {}", json_f64(row.round_us)));
+        if let Some((_, sign, verify, vrf_eval, vrf_ver)) = BASELINE_US
+            .iter()
+            .find(|(name, ..)| *name == row.scheme)
+            .copied()
+        {
+            out.push_str(",\n      \"baseline_pre_pr\": {\n");
+            out.push_str(&format!("        \"sign_us\": {},\n", json_f64(sign)));
+            out.push_str(&format!("        \"verify_us\": {}", json_f64(verify)));
+            if let (Some(e), Some(v)) = (vrf_eval, vrf_ver) {
+                out.push_str(&format!(
+                    ",\n        \"vrf_evaluate_us\": {},\n",
+                    json_f64(e)
+                ));
+                out.push_str(&format!("        \"vrf_verify_us\": {}", json_f64(v)));
+            }
+            out.push_str("\n      },\n");
+            out.push_str("      \"speedup\": {\n");
+            out.push_str(&format!(
+                "        \"sign\": {},\n",
+                json_f64(sign / row.sign_us)
+            ));
+            out.push_str(&format!(
+                "        \"verify\": {}",
+                json_f64(verify / row.verify_us)
+            ));
+            if let (Some(e), Some(v)) = (vrf_eval, vrf_ver) {
+                out.push_str(&format!(
+                    ",\n        \"vrf_evaluate\": {},\n",
+                    json_f64(e / row.vrf_evaluate_us)
+                ));
+                out.push_str(&format!(
+                    "        \"vrf_verify\": {}",
+                    json_f64(v / row.vrf_verify_us)
+                ));
+            }
+            out.push_str("\n      }\n");
+        } else {
+            out.push('\n');
+        }
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Measures every scheme in `schemes` and writes `BENCH_crypto.json` to
+/// `path`. Returns the rows for table rendering.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn run_and_write(
+    schemes: &[CryptoScheme],
+    iters: u32,
+    sim_rounds: u32,
+    path: &str,
+) -> Vec<SchemeTiming> {
+    let rows: Vec<SchemeTiming> = schemes
+        .iter()
+        .map(|s| measure_scheme(s, iters, sim_rounds))
+        .collect();
+    std::fs::write(path, render_json(&rows, iters, sim_rounds))
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_json_is_well_formed_and_carries_baselines() {
+        let rows = vec![
+            SchemeTiming {
+                scheme: "sim".into(),
+                sign_us: 1.0,
+                verify_us: 2.0,
+                vrf_evaluate_us: 3.0,
+                vrf_verify_us: 4.0,
+                round_us: 5.0,
+            },
+            SchemeTiming {
+                scheme: "rfc3526-2048".into(),
+                sign_us: 500.0,
+                verify_us: 1000.0,
+                vrf_evaluate_us: 2000.0,
+                vrf_verify_us: 3000.0,
+                round_us: 9.0,
+            },
+        ];
+        let json = render_json(&rows, 7, 2);
+        // Balanced braces/brackets (poor man's JSON validation, good
+        // enough to catch broken string assembly).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"iters\": 7"));
+        // sim has no baseline (row closes right after round_us); 2048 has
+        // one, with a computed speedup.
+        assert!(json.contains("\"round_us\": 5.0\n    },"));
+        assert!(json.contains("\"baseline_pre_pr\""));
+        assert!(json.contains(&format!("\"verify\": {}", json_f64(13635.6 / 1000.0))));
+    }
+
+    #[test]
+    fn measure_scheme_smoke() {
+        let t = measure_scheme(&CryptoScheme::sim(), 2, 1);
+        assert_eq!(t.scheme, "sim");
+        assert!(t.sign_us >= 0.0 && t.round_us > 0.0);
+    }
+}

@@ -23,6 +23,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod crypto_bench;
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::rc::Rc;
@@ -210,7 +212,10 @@ impl Args {
 pub fn crypto_from_args(args: &Args) -> prb_crypto::signer::CryptoScheme {
     let name = args.get("crypto").unwrap_or("sim");
     prb_crypto::signer::CryptoScheme::parse(name).unwrap_or_else(|| {
-        panic!("unknown crypto scheme {name}; use sim|schnorr-256|schnorr-512|schnorr-2048")
+        panic!(
+            "unknown crypto scheme {name}; use \
+             sim|schnorr-256|schnorr-512|schnorr-2048|schnorr-3072|schnorr-4096"
+        )
     })
 }
 

@@ -21,11 +21,11 @@ use std::rc::Rc;
 use prb_consensus::election::{elect, ElectionClaim};
 use prb_consensus::stake::{StakeTable, StakeTransfer};
 use prb_crypto::identity::NodeId;
-use prb_crypto::signer::{KeyPair, PublicKey};
+use prb_crypto::signer::{KeyPair, PublicKey, Sig};
 use prb_ledger::block::{Block, BlockEntry, Verdict};
 use prb_ledger::chain::Chain;
 use prb_ledger::oracle::ValidityOracle;
-use prb_ledger::transaction::{Label, LabeledTx, TxId};
+use prb_ledger::transaction::{Label, LabeledTx, SignedTx, TxId};
 use prb_net::message::{Envelope, NodeIdx, TimerId};
 use prb_net::order::{ChannelId, OrderedInbox};
 use prb_net::sim::Context;
@@ -67,6 +67,11 @@ struct TxRecord {
 }
 
 /// A transaction still inside its Δ aggregation window.
+/// Entry cap for the provider-signature memo; the map is cleared when it
+/// fills. 8192 entries (~100 bytes each) keep the governor's footprint
+/// bounded however long the run.
+const SIG_MEMO_MAX: usize = 8192;
+
 #[derive(Clone, Debug)]
 struct PendingTx {
     ltx: LabeledTx,
@@ -106,6 +111,9 @@ pub struct GovernorNode {
     leader: Option<u32>,
     metrics: GovernorMetrics,
     obs: ObsHandle,
+    /// Memoized provider-signature verdicts, keyed by
+    /// `(provider, tx id, signature)`.
+    sig_memo: HashMap<(u32, TxId, Sig), bool>,
     /// Open per-transaction Δ-window screening spans.
     screen_spans: HashMap<TxId, Span>,
     /// Screening tick of still-unchecked transactions (reveal/argue spans).
@@ -169,6 +177,7 @@ impl GovernorNode {
             claims: Vec::new(),
             leader: None,
             obs: Obs::off(),
+            sig_memo: HashMap::new(),
             screen_spans: HashMap::new(),
             screened_at: HashMap::new(),
             election_span: None,
@@ -344,7 +353,7 @@ impl GovernorNode {
         let provider_ok = ltx.tx.payload.provider.role == prb_crypto::identity::Role::Provider
             && (provider as usize) < self.provider_pks.len()
             && self.topology.linked(provider, collector)
-            && ltx.tx.verify(&self.provider_pks[provider as usize]);
+            && self.verify_provider_sig(provider, &ltx.tx);
         if !provider_ok {
             // Case 1: forged or mis-attributed transaction.
             self.reputation.record_forgery(collector as usize);
@@ -633,13 +642,43 @@ impl GovernorNode {
     /// own signature is also genuine... the provider signature alone
     /// suffices for Almost No Creation, so that is what is checked (the
     /// reported labels are the leader's claim and feed only revenue).
-    fn entries_authentic(&self, block: &Block) -> bool {
+    fn entries_authentic(&mut self, block: &Block) -> bool {
         block.entries.iter().all(|e| {
             let p = e.tx.payload.provider.index;
             e.tx.payload.provider.role == prb_crypto::identity::Role::Provider
                 && (p as usize) < self.provider_pks.len()
-                && e.tx.verify(&self.provider_pks[p as usize])
+                && self.verify_provider_sig(p, &e.tx)
         })
+    }
+
+    /// Memoized provider-signature verification.
+    ///
+    /// The same signed transaction is verified at upload and then again,
+    /// in paranoid mode, for every governor that re-checks the committed
+    /// block carrying it. The verdict is a pure function of the provider's
+    /// key and `(tx id, signature)` — the id hashes every signed field
+    /// (provider, nonce, timestamp, data) — so it is memoized, turning the
+    /// re-checks into map lookups. A forged signature is memoized as
+    /// `false` and stays `false`: probes cannot flip a cached verdict.
+    fn verify_provider_sig(&mut self, provider: u32, tx: &SignedTx) -> bool {
+        let key = (provider, tx.id(), tx.provider_sig.clone());
+        if let Some(&ok) = self.sig_memo.get(&key) {
+            self.metrics.sig_memo_hits += 1;
+            if self.obs.is_enabled() {
+                self.obs.metrics().inc("gov.sig_memo_hit");
+            }
+            return ok;
+        }
+        let ok = tx.verify(&self.provider_pks[provider as usize]);
+        self.metrics.sig_memo_misses += 1;
+        if self.obs.is_enabled() {
+            self.obs.metrics().inc("gov.sig_memo_miss");
+        }
+        if self.sig_memo.len() >= SIG_MEMO_MAX {
+            self.sig_memo.clear();
+        }
+        self.sig_memo.insert(key, ok);
+        ok
     }
 
     fn append_and_clean(&mut self, block: Block, now: u64) {

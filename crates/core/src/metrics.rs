@@ -18,6 +18,11 @@ pub struct GovernorMetrics {
     pub validations: u64,
     /// Uploads rejected for bad signatures / forgery (case 1 updates).
     pub forged_detected: u64,
+    /// Provider-signature checks answered from the verification memo.
+    pub sig_memo_hits: u64,
+    /// Provider-signature checks that ran the real verifier (and seeded
+    /// the memo).
+    pub sig_memo_misses: u64,
     /// Realized loss: 2 per unchecked transaction whose recorded label
     /// turned out wrong (counted at reveal).
     pub realized_loss: f64,

@@ -147,6 +147,9 @@ pub struct Simulation {
     stake_nonces: Vec<u64>,
     driver_rng: StdRng,
     obs: ObsHandle,
+    /// Crypto counter values when the obs hub was installed, so the
+    /// summary reports per-run deltas of the process-wide counters.
+    crypto_stats_base: prb_crypto::stats::CryptoStats,
     round: u64,
     next_start: u64,
     observed_height: u64,
@@ -304,6 +307,7 @@ impl Simulation {
             governor_keys,
             driver_rng,
             obs: Obs::off(),
+            crypto_stats_base: prb_crypto::stats::snapshot(),
             round: 0,
             next_start: 0,
             observed_height: 0,
@@ -357,6 +361,7 @@ impl Simulation {
             }
         }
         self.obs = obs;
+        self.crypto_stats_base = prb_crypto::stats::snapshot();
     }
 
     /// The observability hub (disabled unless [`Simulation::set_obs`]
@@ -369,6 +374,17 @@ impl Simulation {
     /// event counts per kind, then phase-latency percentiles in sim
     /// ticks. Empty when tracing is off.
     pub fn obs_summary(&self) -> String {
+        if self.obs.is_enabled() {
+            // Export the run's modexp hot-path activity (see
+            // `prb_crypto::stats`): deltas of the process-wide counters
+            // since the hub was installed.
+            let d = prb_crypto::stats::snapshot().delta_since(&self.crypto_stats_base);
+            let m = self.obs.metrics();
+            m.add("crypto.modexp_calls", d.modexp_calls);
+            m.add("crypto.multi_pow_calls", d.multi_pow_calls);
+            m.add("crypto.table_builds", d.table_builds);
+            m.add("crypto.table_pows", d.table_pows);
+        }
         self.obs.flush();
         self.obs.summary()
     }

@@ -410,3 +410,36 @@ fn paranoid_mode_rejects_blocks_with_fabricated_entries() {
         }
     }
 }
+
+#[test]
+fn sig_memo_caches_verdicts_and_forged_probes_stay_false() {
+    let mut rig = Rig::new(GovernorMode::CheckAll, 0.5);
+    let mut rng = StdRng::seed_from_u64(7);
+    let scheme = CryptoScheme::sim();
+    let tx = rig.make_tx(0, 0, true);
+    // A forged twin of the genuine transaction: identical signed fields
+    // (hence the same tx id) but a garbage signature. The memo keys on
+    // (provider, id, signature), so the twin gets its own entry.
+    let forged_tx = SignedTx::from_parts(
+        tx.payload.clone(),
+        tx.timestamp,
+        Sig::forged(&scheme, &mut rng),
+    );
+    // Genuine upload via both collectors: one real verification seeds the
+    // memo, the second upload is answered from it.
+    rig.upload(0, 0, tx.clone(), Label::Valid, 0);
+    rig.upload(1, 0, tx, Label::Valid, 1);
+    // Forged probes with the same forged signature: the first memoizes
+    // `false`, repeats keep failing from cache — a probe can never flip a
+    // cached verdict.
+    rig.upload(0, 1, forged_tx.clone(), Label::Valid, 2);
+    rig.upload(1, 1, forged_tx, Label::Valid, 3);
+    rig.run();
+    let m = rig.governor().metrics();
+    assert_eq!(m.forged_detected, 2, "cached false verdicts stay false");
+    assert_eq!(
+        m.sig_memo_misses, 2,
+        "one real check per distinct (id, sig)"
+    );
+    assert_eq!(m.sig_memo_hits, 2);
+}

@@ -436,6 +436,11 @@ impl BigUint {
     /// Montgomery fast path — one REDC per step instead of a full Knuth
     /// division; other moduli fall back to plain square-and-multiply.
     ///
+    /// Callers that exponentiate repeatedly under the same modulus should
+    /// build a [`Montgomery`] context once and call [`Montgomery::pow`]
+    /// instead: this convenience wrapper re-derives `n'` and `R² mod n` on
+    /// every invocation.
+    ///
     /// # Panics
     ///
     /// Panics if `modulus` is zero.
@@ -450,6 +455,7 @@ impl BigUint {
         if !modulus.is_even() && modulus.limbs.len() >= 2 {
             return Montgomery::new(modulus).pow(self, exponent);
         }
+        crate::stats::record_modexp();
         self.pow_mod_plain(exponent, modulus)
     }
 
@@ -469,8 +475,14 @@ impl BigUint {
         result
     }
 
-    #[cfg(test)]
-    pub(crate) fn pow_mod_reference(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+    /// Plain square-and-multiply oracle for the optimized paths.
+    ///
+    /// Every fast route in this crate ([`pow_mod`](Self::pow_mod),
+    /// [`Montgomery::pow`], [`Montgomery::multi_pow`],
+    /// [`FixedBaseTable::pow`]) is property-tested byte-identical against
+    /// this implementation; it performs a full Knuth division per step and
+    /// touches none of the precomputation machinery.
+    pub fn pow_mod_reference(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
         assert!(!modulus.is_zero(), "zero modulus");
         if modulus == &BigUint::one() {
             return BigUint::zero();
@@ -479,6 +491,17 @@ impl BigUint {
             return BigUint::one();
         }
         self.pow_mod_plain(exponent, modulus)
+    }
+
+    /// The 4-bit window of the exponent starting at bit `4 * d`.
+    ///
+    /// Window boundaries never straddle a limb because 4 divides 64.
+    fn window4(&self, d: usize) -> usize {
+        let bit = 4 * d;
+        match self.limbs.get(bit / 64) {
+            Some(limb) => ((limb >> (bit % 64)) & 0xF) as usize,
+            None => 0,
+        }
     }
 
     /// Modular inverse via the extended Euclidean algorithm.
@@ -598,22 +621,38 @@ impl BigUint {
 
 /// Montgomery arithmetic context for a fixed odd modulus.
 ///
-/// Precomputes `n' = -n^{-1} mod 2^64` and `R² mod n` (with
+/// Precomputes `n' = -n^{-1} mod 2^64`, `R² mod n`, and `R mod n` (with
 /// `R = 2^{64·k}`, `k` the limb count of `n`) so that modular
 /// exponentiation needs only multiply-and-REDC steps — no division in the
-/// hot loop.
-struct Montgomery {
+/// hot loop. Build the context once per modulus and reuse it: the
+/// precomputation performs two division-heavy reductions that would
+/// otherwise be paid on every [`BigUint::pow_mod`] call.
+#[derive(Clone, Debug)]
+pub struct Montgomery {
     n: Vec<u64>,
     n_prime: u64,
     r2: BigUint,
+    /// `R mod n`: the Montgomery form of 1.
+    one_m: BigUint,
+    modulus: BigUint,
 }
 
+/// Exponents at or below this bit count skip the windowed table (the
+/// 14-multiplication precomputation would outweigh the saved multiplies).
+const WINDOW_MIN_BITS: usize = 48;
+
 impl Montgomery {
-    /// Builds the context.
+    /// Builds the context for an odd modulus `> 1`.
     ///
-    /// Caller guarantees `modulus` is odd and has at least one limb.
-    fn new(modulus: &BigUint) -> Self {
-        debug_assert!(!modulus.is_even() && !modulus.is_zero());
+    /// # Panics
+    ///
+    /// Panics if `modulus` is even, zero, or one.
+    pub fn new(modulus: &BigUint) -> Self {
+        assert!(
+            !modulus.is_even() && !modulus.is_zero(),
+            "Montgomery modulus must be odd"
+        );
+        assert!(modulus != &BigUint::one(), "Montgomery modulus must be > 1");
         let n = modulus.limbs.clone();
         let k = n.len();
         // Newton iteration for the inverse of n[0] modulo 2^64:
@@ -625,9 +664,21 @@ impl Montgomery {
         }
         debug_assert_eq!(n0.wrapping_mul(inv), 1);
         let n_prime = inv.wrapping_neg();
-        // R² mod n, computed once with the general-purpose division.
+        // R² mod n and R mod n, computed once with the general division.
         let r2 = BigUint::one().shl(2 * 64 * k).rem(modulus);
-        Montgomery { n, n_prime, r2 }
+        let one_m = BigUint::one().shl(64 * k).rem(modulus);
+        Montgomery {
+            n,
+            n_prime,
+            r2,
+            one_m,
+            modulus: modulus.clone(),
+        }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
     }
 
     fn k(&self) -> usize {
@@ -659,11 +710,8 @@ impl Montgomery {
             limbs: t[k..].to_vec(),
         };
         out.normalize();
-        let modulus = BigUint {
-            limbs: self.n.clone(),
-        };
-        if out >= modulus {
-            out = out.sub(&modulus);
+        if out >= self.modulus {
+            out = out.sub(&self.modulus);
         }
         out
     }
@@ -673,23 +721,220 @@ impl Montgomery {
         self.redc(a.mul(b).limbs)
     }
 
-    /// `base^exponent mod n` via Montgomery square-and-multiply.
-    fn pow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
-        let modulus = BigUint {
-            limbs: self.n.clone(),
+    /// Converts into Montgomery form: `x·R = REDC(x · R²)`.
+    fn to_mont(&self, x: &BigUint) -> BigUint {
+        if x < &self.modulus {
+            self.redc(x.mul(&self.r2).limbs)
+        } else {
+            self.redc(x.rem(&self.modulus).mul(&self.r2).limbs)
+        }
+    }
+
+    /// Converts out of Montgomery form: `REDC(x·R) = x`.
+    fn demont(&self, x_m: &BigUint) -> BigUint {
+        self.redc(x_m.limbs.clone())
+    }
+
+    /// `base^exponent mod n`.
+    ///
+    /// Uses 4-bit fixed windows (left-to-right) for long exponents and
+    /// plain square-and-multiply for short ones.
+    pub fn pow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        crate::stats::record_modexp();
+        if exponent.is_zero() {
+            return BigUint::one().rem(&self.modulus);
+        }
+        let base_m = self.to_mont(base);
+        let result_m = if exponent.bit_len() <= WINDOW_MIN_BITS {
+            self.pow_binary_m(&base_m, exponent)
+        } else {
+            self.pow_windowed_m(&base_m, exponent)
         };
-        let base = base.rem(&modulus);
-        // Into Montgomery form: x·R = REDC(x · R²).
-        let base_m = self.redc(base.mul(&self.r2).limbs);
-        let mut result_m = self.redc(self.r2.limbs.clone()); // 1·R
+        self.demont(&result_m)
+    }
+
+    /// Square-and-multiply on Montgomery-form values.
+    fn pow_binary_m(&self, base_m: &BigUint, exponent: &BigUint) -> BigUint {
+        let mut result_m = self.one_m.clone();
         for i in (0..exponent.bit_len()).rev() {
             result_m = self.mont_mul(&result_m, &result_m);
             if exponent.bit(i) {
-                result_m = self.mont_mul(&result_m, &base_m);
+                result_m = self.mont_mul(&result_m, base_m);
             }
         }
-        // Out of Montgomery form: REDC(x·R) = x.
-        self.redc(result_m.limbs)
+        result_m
+    }
+
+    /// Fixed 4-bit-window exponentiation on Montgomery-form values:
+    /// ~`bits/4 · 15/16` multiplications instead of `bits/2`.
+    fn pow_windowed_m(&self, base_m: &BigUint, exponent: &BigUint) -> BigUint {
+        // powers[v - 1] = base^v for v in 1..=15.
+        let mut powers = Vec::with_capacity(15);
+        powers.push(base_m.clone());
+        for v in 1..15 {
+            let next = self.mont_mul(&powers[v - 1], base_m);
+            powers.push(next);
+        }
+        let windows = exponent.bit_len().div_ceil(4);
+        let mut result_m = self.one_m.clone();
+        for d in (0..windows).rev() {
+            if d != windows - 1 {
+                for _ in 0..4 {
+                    result_m = self.mont_mul(&result_m, &result_m);
+                }
+            }
+            let v = exponent.window4(d);
+            if v != 0 {
+                result_m = self.mont_mul(&result_m, &powers[v - 1]);
+            }
+        }
+        result_m
+    }
+
+    /// Straus/Shamir simultaneous multi-exponentiation:
+    /// `∏ baseᵢ^expᵢ mod n` with one shared squaring chain.
+    ///
+    /// Cost is `max(bits)` squarings plus one multiplication per nonzero
+    /// 4-bit exponent window — for `k` exponents of similar width this is
+    /// nearly `k`× cheaper than `k` separate exponentiations. The canonical
+    /// use is signature-style checks of the form `g^s · y^{-e} == r`.
+    pub fn multi_pow(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        crate::stats::record_multi_pow();
+        let max_bits = pairs.iter().map(|(_, e)| e.bit_len()).max().unwrap_or(0);
+        if max_bits == 0 {
+            return BigUint::one().rem(&self.modulus);
+        }
+        // tables[i][v - 1] = baseᵢ^v (Montgomery form) for v in 1..=15.
+        let tables: Vec<Vec<BigUint>> = pairs
+            .iter()
+            .map(|(base, _)| {
+                let base_m = self.to_mont(base);
+                let mut powers = Vec::with_capacity(15);
+                powers.push(base_m);
+                for v in 1..15 {
+                    let next = self.mont_mul(&powers[v - 1], &powers[0]);
+                    powers.push(next);
+                }
+                powers
+            })
+            .collect();
+        let windows = max_bits.div_ceil(4);
+        let mut result_m = self.one_m.clone();
+        for d in (0..windows).rev() {
+            if d != windows - 1 {
+                for _ in 0..4 {
+                    result_m = self.mont_mul(&result_m, &result_m);
+                }
+            }
+            for (i, (_, e)) in pairs.iter().enumerate() {
+                let v = e.window4(d);
+                if v != 0 {
+                    result_m = self.mont_mul(&result_m, &tables[i][v - 1]);
+                }
+            }
+        }
+        self.demont(&result_m)
+    }
+}
+
+/// A fixed-base precomputation table (Brickell–Gordon–McCurley–Wilson
+/// radix-16 variant).
+///
+/// Stores `base^(v · 16^d)` in Montgomery form for every 4-bit digit
+/// position `d` and digit value `v ∈ 1..=15`, so an exponentiation by any
+/// exponent up to `max_bits` becomes one table multiplication per nonzero
+/// digit — **no squarings at all**. For a 2048-bit group that is ~480
+/// multiplications instead of ~3070, at a one-time build cost of ~15
+/// multiplications per digit and ~2 MiB of memory.
+#[derive(Clone, Debug)]
+pub struct FixedBaseTable {
+    digits: usize,
+    /// Row-major: `rows[d * 15 + (v - 1)] = base^(v · 16^d)` (Montgomery).
+    rows: Vec<BigUint>,
+}
+
+impl FixedBaseTable {
+    /// Precomputes the table for exponents up to `max_exp_bits` bits.
+    pub fn build(ctx: &Montgomery, base: &BigUint, max_exp_bits: usize) -> Self {
+        crate::stats::record_table_build();
+        let digits = max_exp_bits.div_ceil(4).max(1);
+        let mut rows = Vec::with_capacity(digits * 15);
+        // cur = base^(16^d) in Montgomery form.
+        let mut cur = ctx.to_mont(base);
+        for _ in 0..digits {
+            let row_start = rows.len();
+            rows.push(cur.clone());
+            for v in 2..=15 {
+                let prev = &rows[row_start + v - 2];
+                rows.push(ctx.mont_mul(prev, &cur));
+            }
+            // base^(16^(d+1)) = base^(15·16^d) · base^(16^d).
+            cur = ctx.mont_mul(&rows[row_start + 14], &cur);
+        }
+        FixedBaseTable { digits, rows }
+    }
+
+    /// The widest exponent this table covers, in bits.
+    pub fn max_bits(&self) -> usize {
+        self.digits * 4
+    }
+
+    /// `base^exponent mod n`, or `None` when the exponent is wider than
+    /// the table (callers fall back to [`Montgomery::pow`]).
+    pub fn pow(&self, ctx: &Montgomery, exponent: &BigUint) -> Option<BigUint> {
+        if exponent.bit_len() > self.max_bits() {
+            return None;
+        }
+        crate::stats::record_table_pow();
+        let mut acc = ctx.one_m.clone();
+        for d in 0..self.digits {
+            let v = exponent.window4(d);
+            if v != 0 {
+                acc = ctx.mont_mul(&acc, &self.rows[d * 15 + v - 1]);
+            }
+        }
+        Some(ctx.demont(&acc))
+    }
+}
+
+/// The Jacobi symbol `(a/n)` for odd positive `n`, via the binary
+/// reciprocity algorithm — no exponentiation.
+///
+/// For an odd prime `n` this is the Legendre symbol: `1` when `a` is a
+/// nonzero quadratic residue, `-1` when a non-residue, `0` when `n`
+/// divides `a`. In a safe-prime group `p = 2q + 1` the order-`q` subgroup
+/// is exactly the set of quadratic residues, so `(x/p) == 1` decides
+/// subgroup membership ~30× faster than the Euler-criterion
+/// exponentiation `x^q mod p`.
+///
+/// # Panics
+///
+/// Panics if `n` is even or zero.
+pub fn jacobi(a: &BigUint, n: &BigUint) -> i32 {
+    assert!(!n.is_even() && !n.is_zero(), "Jacobi symbol needs odd n");
+    let mut a = a.rem(n);
+    let mut n = n.clone();
+    let mut t = 1i32;
+    while !a.is_zero() {
+        while a.is_even() {
+            a = a.shr(1);
+            // (2/n) = -1 iff n ≡ ±3 (mod 8).
+            let r = n.low_u64() % 8;
+            if r == 3 || r == 5 {
+                t = -t;
+            }
+        }
+        // Quadratic reciprocity flips the sign iff both ≡ 3 (mod 4).
+        std::mem::swap(&mut a, &mut n);
+        if a.low_u64() % 4 == 3 && n.low_u64() % 4 == 3 {
+            t = -t;
+        }
+        a = a.rem(&n);
+    }
+    if n == BigUint::one() {
+        t
+    } else {
+        0
     }
 }
 
@@ -1032,5 +1277,132 @@ mod tests {
         assert_eq!(format!("{}", b("ff")), "0xff");
         assert_eq!(format!("{:?}", b("ff")), "BigUint(0xff)");
         assert_eq!(format!("{}", BigUint::zero()), "0x0");
+    }
+
+    fn random_odd_modulus(rng: &mut StdRng, limbs: usize) -> BigUint {
+        let mut m_bytes = vec![0u8; limbs * 8];
+        rng.fill(&mut m_bytes[..]);
+        m_bytes[0] |= 0x80; // keep the limb count
+        let last = m_bytes.len() - 1;
+        m_bytes[last] |= 1; // odd
+        BigUint::from_bytes_be(&m_bytes)
+    }
+
+    #[test]
+    fn cached_context_matches_oneshot_pow_mod() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..20 {
+            let limbs = 2 + (rng.gen::<u8>() % 3) as usize;
+            let m = random_odd_modulus(&mut rng, limbs);
+            let ctx = Montgomery::new(&m);
+            let base = BigUint::random_below(&mut rng, &m);
+            let e_limbs = 1 + (rng.gen::<u8>() % 3) as usize;
+            let e = random_odd_modulus(&mut rng, e_limbs);
+            assert_eq!(ctx.pow(&base, &e), base.pow_mod(&e, &m));
+            assert_eq!(ctx.pow(&base, &BigUint::zero()), BigUint::one());
+            // Base larger than the modulus reduces first.
+            let big = base.add(&m);
+            assert_eq!(ctx.pow(&big, &e), base.pow_mod(&e, &m));
+        }
+    }
+
+    #[test]
+    fn windowed_and_binary_paths_agree() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let m = random_odd_modulus(&mut rng, 4);
+        let ctx = Montgomery::new(&m);
+        let base = BigUint::random_below(&mut rng, &m);
+        // Exponents straddling WINDOW_MIN_BITS take different code paths.
+        for bits in [1usize, 17, 47, 48, 49, 130, 255] {
+            let e = BigUint::one().shl(bits).sub(&BigUint::one());
+            assert_eq!(
+                ctx.pow(&base, &e),
+                base.pow_mod_reference(&e, &m),
+                "bits={bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_pow_matches_sequential_product() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..10 {
+            let limbs = 2 + (rng.gen::<u8>() % 3) as usize;
+            let m = random_odd_modulus(&mut rng, limbs);
+            let ctx = Montgomery::new(&m);
+            let bases: Vec<BigUint> = (0..3)
+                .map(|_| BigUint::random_below(&mut rng, &m))
+                .collect();
+            let exps: Vec<BigUint> = vec![
+                random_odd_modulus(&mut rng, 2),
+                BigUint::from_u64(rng.gen()),
+                BigUint::zero(),
+            ];
+            let pairs: Vec<(&BigUint, &BigUint)> = bases.iter().zip(exps.iter()).collect();
+            let got = ctx.multi_pow(&pairs);
+            let want = bases
+                .iter()
+                .zip(exps.iter())
+                .fold(BigUint::one(), |acc, (b, e)| {
+                    acc.mul_mod(&b.pow_mod_reference(e, &m), &m)
+                });
+            assert_eq!(got, want);
+        }
+        // Empty product is 1.
+        let m = b("ffffffffffffffffffffffffffffff61");
+        assert_eq!(Montgomery::new(&m).multi_pow(&[]), BigUint::one());
+    }
+
+    #[test]
+    fn fixed_base_table_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let m = random_odd_modulus(&mut rng, 4);
+        let ctx = Montgomery::new(&m);
+        let base = BigUint::random_below(&mut rng, &m);
+        let table = FixedBaseTable::build(&ctx, &base, 256);
+        assert_eq!(table.max_bits(), 256);
+        for _ in 0..10 {
+            let e = random_odd_modulus(&mut rng, 4);
+            assert_eq!(table.pow(&ctx, &e).unwrap(), base.pow_mod_reference(&e, &m));
+        }
+        assert_eq!(table.pow(&ctx, &BigUint::zero()).unwrap(), BigUint::one());
+        assert_eq!(table.pow(&ctx, &BigUint::one()).unwrap(), base.rem(&m));
+        // Exponent wider than the table: caller must fall back.
+        let wide = BigUint::one().shl(257);
+        assert_eq!(table.pow(&ctx, &wide), None);
+    }
+
+    #[test]
+    fn jacobi_matches_euler_criterion_on_small_prime() {
+        // p = 2^32 - 5 is prime; Euler: (a/p) = a^((p-1)/2) mod p.
+        let p = b("fffffffb");
+        let exp = p.shr(1);
+        let mut rng = StdRng::seed_from_u64(25);
+        for _ in 0..50 {
+            let a = BigUint::random_below(&mut rng, &p);
+            let euler = a.pow_mod(&exp, &p);
+            let want = if a.is_zero() {
+                0
+            } else if euler == BigUint::one() {
+                1
+            } else {
+                -1
+            };
+            assert_eq!(jacobi(&a, &p), want, "a={a}");
+        }
+        assert_eq!(jacobi(&BigUint::zero(), &p), 0);
+        assert_eq!(jacobi(&p, &p), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd n")]
+    fn jacobi_rejects_even_modulus() {
+        jacobi(&b("3"), &b("10"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn montgomery_rejects_even_modulus() {
+        Montgomery::new(&b("10"));
     }
 }

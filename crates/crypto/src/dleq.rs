@@ -59,7 +59,9 @@ impl DleqProof {
     pub fn prove(statement: &DleqStatement<'_>, x: &BigUint) -> DleqProof {
         let group = statement.group;
         let k = derive_nonce(statement, x);
-        let a = group.pow(statement.g, &k);
+        // `g` is almost always the group generator, so route through the
+        // fixed-base table when one is trained.
+        let a = group.pow_base(statement.g, &k);
         let b = group.pow(statement.h, &k);
         let c = challenge(statement, &a, &b);
         let s = group.scalar_add(&k, &group.scalar_mul(&c, x));
@@ -67,6 +69,12 @@ impl DleqProof {
     }
 
     /// Verifies the proof against `statement`.
+    ///
+    /// The `g`-side check `g^s = a·y^c` uses the generator window table for
+    /// `g^s` (when trained). The `h`-side check is folded into a single
+    /// Straus multi-exponentiation `h^s · (z^{-1})^c == b` — `h` and `z`
+    /// are statement-specific (fresh per VRF message), so per-base tables
+    /// cannot amortize there and the shared squaring chain is the win.
     pub fn verify(&self, statement: &DleqStatement<'_>) -> bool {
         let group = statement.group;
         // All transmitted elements must be in the subgroup.
@@ -74,14 +82,16 @@ impl DleqProof {
             return false;
         }
         let c = challenge(statement, &self.a, &self.b);
-        let lhs_g = group.pow(statement.g, &self.s);
+        let lhs_g = group.pow_base(statement.g, &self.s);
         let rhs_g = group.mul(&self.a, &group.pow(statement.y, &c));
         if lhs_g != rhs_g {
             return false;
         }
-        let lhs_h = group.pow(statement.h, &self.s);
-        let rhs_h = group.mul(&self.b, &group.pow(statement.z, &c));
-        lhs_h == rhs_h
+        let Some(z_inv) = statement.z.inv_mod(group.p()) else {
+            // z ≡ 0 (mod p) is never a subgroup element.
+            return false;
+        };
+        group.multi_pow(&[(statement.h, &self.s), (&z_inv, &c)]) == self.b
     }
 
     /// Commitment `a = g^k`.
@@ -227,6 +237,44 @@ mod tests {
         let out_of_group = group.p().sub(&BigUint::one());
         let bad = DleqProof::from_parts(out_of_group, proof.b().clone(), proof.s().clone());
         assert!(!bad.verify(&st));
+    }
+
+    #[test]
+    fn fast_verify_matches_two_sided_reference() {
+        let (group, x, h, y, z) = setup();
+        let st = DleqStatement {
+            group: &group,
+            g: group.g(),
+            y: &y,
+            h: &h,
+            z: &z,
+        };
+        let proof = DleqProof::prove(&st, &x);
+        // Textbook verification with reference exponentiation.
+        let c = challenge(&st, proof.a(), proof.b());
+        let lhs_g = group.g().pow_mod_reference(proof.s(), group.p());
+        let rhs_g = group.mul(proof.a(), &y.pow_mod_reference(&c, group.p()));
+        let lhs_h = h.pow_mod_reference(proof.s(), group.p());
+        let rhs_h = group.mul(proof.b(), &z.pow_mod_reference(&c, group.p()));
+        assert_eq!(lhs_g, rhs_g);
+        assert_eq!(lhs_h, rhs_h);
+        assert!(proof.verify(&st));
+    }
+
+    #[test]
+    fn zero_z_rejected() {
+        let (group, x, h, y, z) = setup();
+        let st = DleqStatement {
+            group: &group,
+            g: group.g(),
+            y: &y,
+            h: &h,
+            z: &z,
+        };
+        let proof = DleqProof::prove(&st, &x);
+        let zero = BigUint::zero();
+        let st_zero = DleqStatement { z: &zero, ..st };
+        assert!(!proof.verify(&st_zero));
     }
 
     #[test]

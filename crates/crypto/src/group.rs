@@ -3,21 +3,41 @@
 //! All discrete-log-based primitives in this crate (Schnorr signatures,
 //! Chaum–Pedersen DLEQ proofs, and the VRF) operate over a [`SchnorrGroup`]:
 //! the order-`q` subgroup of quadratic residues modulo a safe prime
-//! `p = 2q + 1`. Three parameter sets are provided:
+//! `p = 2q + 1`. Five parameter sets are provided:
 //!
-//! - [`SchnorrGroup::rfc3526_2048`] — the 2048-bit MODP group from RFC 3526
-//!   (the secure default),
+//! - [`SchnorrGroup::rfc3526_2048`], [`SchnorrGroup::rfc3526_3072`],
+//!   [`SchnorrGroup::rfc3526_4096`] — the MODP groups 14–16 from RFC 3526
+//!   (2048-bit is the secure default),
 //! - [`SchnorrGroup::test_512`] and [`SchnorrGroup::test_256`] — small groups
 //!   for fast tests and simulations. **These are not secure** and exist only
 //!   to keep test suites and high-volume experiments fast.
+//!
+//! # Exponentiation hot path
+//!
+//! Every group owns one [`Montgomery`] context (built once, reused by all
+//! exponentiations) and lazily builds a [`FixedBaseTable`] for the
+//! generator after [`G_TABLE_THRESHOLD`] `pow_g` calls, turning the
+//! hottest operation in signing/key-gen/VRF evaluation into table lookups.
+//! Subgroup membership tests use the Jacobi symbol instead of an
+//! `x^q mod p` exponentiation (~30× cheaper at 2048 bits); the
+//! Euler-criterion original is retained as
+//! [`SchnorrGroup::is_element_reference`] and pinned to the fast path by
+//! property tests.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, OnceLock};
 
 use rand::Rng;
 
-use crate::bigint::BigUint;
+use crate::bigint::{jacobi, BigUint, FixedBaseTable, Montgomery};
 use crate::sha256::Sha256;
+
+/// Number of `pow_g` calls after which the generator window table is
+/// built. One-shot users (a single key-gen, a lone forged signature)
+/// never pay the build; any steady caller amortizes it within a few
+/// operations.
+pub const G_TABLE_THRESHOLD: u64 = 2;
 
 /// RFC 3526 group 14: 2048-bit MODP prime (a safe prime), generator 2.
 const RFC3526_2048_P: &str = "\
@@ -29,6 +49,40 @@ EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05\
 9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B\
 E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718\
 3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF";
+
+/// RFC 3526 group 15: 3072-bit MODP prime (a safe prime), generator 2.
+const RFC3526_3072_P: &str = "\
+FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05\
+98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB\
+9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B\
+E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718\
+3995497CEA956AE515D2261898FA051015728E5A8AAAC42DAD33170D04507A33\
+A85521ABDF1CBA64ECFB850458DBEF0A8AEA71575D060C7DB3970F85A6E1E4C7\
+ABF5AE8CDB0933D71E8C94E04A25619DCEE3D2261AD2EE6BF12FFA06D98A0864\
+D87602733EC86A64521F2B18177B200CBBE117577A615D6C770988C0BAD946E2\
+08E24FA074E5AB3143DB5BFCE0FD108E4B82D120A93AD2CAFFFFFFFFFFFFFFFF";
+
+/// RFC 3526 group 16: 4096-bit MODP prime (a safe prime), generator 2.
+const RFC3526_4096_P: &str = "\
+FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05\
+98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB\
+9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B\
+E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718\
+3995497CEA956AE515D2261898FA051015728E5A8AAAC42DAD33170D04507A33\
+A85521ABDF1CBA64ECFB850458DBEF0A8AEA71575D060C7DB3970F85A6E1E4C7\
+ABF5AE8CDB0933D71E8C94E04A25619DCEE3D2261AD2EE6BF12FFA06D98A0864\
+D87602733EC86A64521F2B18177B200CBBE117577A615D6C770988C0BAD946E2\
+08E24FA074E5AB3143DB5BFCE0FD108E4B82D120A92108011A723C12A787E6D7\
+88719A10BDBA5B2699C327186AF4E23C1A946834B6150BDA2583E9CA2AD44CE8\
+DBBBC2DB04DE8EF92E8EFC141FBECAA6287C59474E6BC05D99B2964FA090C3A2\
+233BA186515BE7ED1F612970CEE2D7AFB81BDD762170481CD0069127D5B05AA9\
+93B4EA988D8FDDC186FFB7DC90A6C08F4DF435C934063199FFFFFFFFFFFFFFFF";
 
 /// 512-bit safe prime for tests (deterministically generated; INSECURE).
 const TEST_512_P: &str = "\
@@ -68,6 +122,12 @@ struct GroupParams {
     element_len: usize,
     /// Human-readable parameter-set name.
     name: &'static str,
+    /// Cached Montgomery context for `p`, shared by every exponentiation.
+    mont: Montgomery,
+    /// Lazily-built fixed-base window table for the generator.
+    g_table: OnceLock<FixedBaseTable>,
+    /// `pow_g` calls so far; triggers the table build at the threshold.
+    pow_g_calls: AtomicU64,
 }
 
 impl fmt::Debug for SchnorrGroup {
@@ -92,6 +152,7 @@ impl SchnorrGroup {
         let p = BigUint::from_hex(p_hex).expect("valid hex constant");
         let q = p.shr(1); // (p - 1) / 2 for odd p
         let element_len = p.bit_len().div_ceil(8);
+        let mont = Montgomery::new(&p);
         SchnorrGroup {
             inner: Arc::new(GroupParams {
                 p,
@@ -99,6 +160,9 @@ impl SchnorrGroup {
                 g: BigUint::from_u64(g),
                 element_len,
                 name,
+                mont,
+                g_table: OnceLock::new(),
+                pow_g_calls: AtomicU64::new(0),
             }),
         }
     }
@@ -109,6 +173,16 @@ impl SchnorrGroup {
     /// a quadratic residue.
     pub fn rfc3526_2048() -> Self {
         Self::from_safe_prime_hex(RFC3526_2048_P, 2, "rfc3526-2048")
+    }
+
+    /// The 3072-bit MODP group from RFC 3526 (group 15), generator 2.
+    pub fn rfc3526_3072() -> Self {
+        Self::from_safe_prime_hex(RFC3526_3072_P, 2, "rfc3526-3072")
+    }
+
+    /// The 4096-bit MODP group from RFC 3526 (group 16), generator 2.
+    pub fn rfc3526_4096() -> Self {
+        Self::from_safe_prime_hex(RFC3526_4096_P, 2, "rfc3526-4096")
     }
 
     /// A 512-bit test group. **Insecure**; for tests and simulations only.
@@ -158,14 +232,54 @@ impl SchnorrGroup {
         }
     }
 
+    /// The group's cached Montgomery context (for callers that manage
+    /// their own precomputation, e.g. per-key window tables).
+    pub fn mont(&self) -> &Montgomery {
+        &self.inner.mont
+    }
+
     /// `g^e mod p`.
+    ///
+    /// After [`G_TABLE_THRESHOLD`] calls a fixed-base window table for `g`
+    /// is built (shared across clones through the `Arc` inner) and every
+    /// subsequent call is answered from it: one multiplication per nonzero
+    /// 4-bit exponent digit, no squarings.
     pub fn pow_g(&self, e: &BigUint) -> BigUint {
-        self.inner.g.pow_mod(e, &self.inner.p)
+        let inner = &*self.inner;
+        let table = match inner.g_table.get() {
+            Some(t) => Some(t),
+            None if inner.pow_g_calls.fetch_add(1, Relaxed) + 1 >= G_TABLE_THRESHOLD => {
+                Some(inner.g_table.get_or_init(|| {
+                    FixedBaseTable::build(&inner.mont, &inner.g, inner.q.bit_len())
+                }))
+            }
+            None => None,
+        };
+        match table.and_then(|t| t.pow(&inner.mont, e)) {
+            Some(out) => out,
+            None => inner.mont.pow(&inner.g, e),
+        }
+    }
+
+    /// `base^e mod p`, routed through the generator table when `base` is
+    /// the generator (the common case in DLEQ statements).
+    pub fn pow_base(&self, base: &BigUint, e: &BigUint) -> BigUint {
+        if base == &self.inner.g {
+            self.pow_g(e)
+        } else {
+            self.inner.mont.pow(base, e)
+        }
     }
 
     /// `base^e mod p`.
     pub fn pow(&self, base: &BigUint, e: &BigUint) -> BigUint {
-        base.pow_mod(e, &self.inner.p)
+        self.inner.mont.pow(base, e)
+    }
+
+    /// Straus/Shamir simultaneous exponentiation `∏ baseᵢ^expᵢ mod p`
+    /// with one shared squaring chain (see [`Montgomery::multi_pow`]).
+    pub fn multi_pow(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        self.inner.mont.multi_pow(pairs)
     }
 
     /// `a * b mod p`.
@@ -190,9 +304,23 @@ impl SchnorrGroup {
 
     /// Whether `x` is a valid element of the order-`q` subgroup.
     ///
-    /// Checks `0 < x < p` and `x^q = 1 (mod p)`.
+    /// For a safe prime `p = 2q + 1` the order-`q` subgroup is exactly the
+    /// set of quadratic residues, so this checks `0 < x < p` and
+    /// `(x/p) = 1` via the Jacobi symbol — no exponentiation. Equivalent
+    /// to (and property-tested against)
+    /// [`is_element_reference`](Self::is_element_reference).
     pub fn is_element(&self, x: &BigUint) -> bool {
-        !x.is_zero() && x < &self.inner.p && self.pow(x, &self.inner.q) == BigUint::one()
+        !x.is_zero() && x < &self.inner.p && jacobi(x, &self.inner.p) == 1
+    }
+
+    /// Euler-criterion subgroup test: `0 < x < p` and `x^q = 1 (mod p)`.
+    ///
+    /// The pre-optimization implementation, kept as the oracle for
+    /// [`is_element`](Self::is_element) in property tests.
+    pub fn is_element_reference(&self, x: &BigUint) -> bool {
+        !x.is_zero()
+            && x < &self.inner.p
+            && x.pow_mod_reference(&self.inner.q, &self.inner.p) == BigUint::one()
     }
 
     /// Hashes a message into the order-`q` subgroup.
@@ -344,5 +472,82 @@ mod tests {
     fn groups_compare_by_parameters() {
         assert_eq!(SchnorrGroup::test_256(), SchnorrGroup::test_256());
         assert_ne!(SchnorrGroup::test_256(), SchnorrGroup::test_512());
+    }
+
+    #[test]
+    fn pow_g_same_before_and_after_table_build() {
+        let group = SchnorrGroup::test_256();
+        let mut rng = StdRng::seed_from_u64(11);
+        let exps: Vec<BigUint> = (0..6).map(|_| group.random_scalar(&mut rng)).collect();
+        // First pass may answer some calls pre-table, second pass is all
+        // table hits; results must be identical either way.
+        let first: Vec<BigUint> = exps.iter().map(|e| group.pow_g(e)).collect();
+        let second: Vec<BigUint> = exps.iter().map(|e| group.pow_g(e)).collect();
+        assert_eq!(first, second);
+        for (e, y) in exps.iter().zip(&first) {
+            assert_eq!(y, &group.g().pow_mod_reference(e, group.p()));
+        }
+    }
+
+    #[test]
+    fn pow_base_routes_generator_and_others() {
+        let group = SchnorrGroup::test_256();
+        let e = BigUint::from_u64(123456789);
+        assert_eq!(group.pow_base(group.g(), &e), group.pow_g(&e));
+        let h = group.hash_to_group("t", b"base");
+        assert_eq!(group.pow_base(&h, &e), group.pow(&h, &e));
+    }
+
+    #[test]
+    fn multi_pow_matches_separate_exponentiations() {
+        let group = SchnorrGroup::test_512();
+        let mut rng = StdRng::seed_from_u64(12);
+        let y = group.pow_g(&group.random_scalar(&mut rng));
+        let s = group.random_scalar(&mut rng);
+        let e = group.random_scalar(&mut rng);
+        let got = group.multi_pow(&[(group.g(), &s), (&y, &e)]);
+        let want = group.mul(&group.pow_g(&s), &group.pow(&y, &e));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn is_element_agrees_with_euler_reference() {
+        let group = SchnorrGroup::test_256();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..20 {
+            // Arbitrary values below p: roughly half are non-residues.
+            let x = BigUint::random_below(&mut rng, group.p());
+            assert_eq!(
+                group.is_element(&x),
+                group.is_element_reference(&x),
+                "x={x}"
+            );
+        }
+        assert!(!group.is_element(&BigUint::zero()));
+        assert!(!group.is_element(group.p()));
+        assert!(group.is_element(&BigUint::one()));
+    }
+
+    #[test]
+    fn rfc3526_large_groups_constant_sanity() {
+        // Bit lengths, p ≡ 7 (mod 8), and a Fermat canary: for random x,
+        // x^(p-1) = (x^q)^2 must be 1 and x^q must be ±1. A corrupted
+        // constant fails this with overwhelming probability.
+        let mut rng = StdRng::seed_from_u64(14);
+        for (group, bits) in [
+            (SchnorrGroup::rfc3526_3072(), 3072),
+            (SchnorrGroup::rfc3526_4096(), 4096),
+        ] {
+            assert_eq!(group.p().bit_len(), bits);
+            assert_eq!(group.element_len(), bits / 8);
+            assert_eq!(group.p().low_u64() % 8, 7);
+            let x = BigUint::random_below(&mut rng, group.p());
+            let xq = group.pow(&x, group.q());
+            let minus_one = group.p().sub(&BigUint::one());
+            assert!(xq == BigUint::one() || xq == minus_one, "{}", group.name());
+            // Jacobi fast path agrees with the Euler criterion.
+            assert_eq!(group.is_element(&x), xq == BigUint::one());
+            assert!(group.is_element(group.g()));
+        }
     }
 }

@@ -21,6 +21,7 @@
 //! - [`vrf`] — an ECVRF-style VRF built from hash-to-group + DLEQ,
 //! - [`merkle`] — Merkle trees with inclusion proofs,
 //! - [`sim`] — fast simulation-only signatures/VRF (see its security note),
+//! - [`stats`] — process-wide counters for the modexp hot path,
 //! - [`signer`] — scheme-agnostic `KeyPair`/`PublicKey`/`Sig` dispatch,
 //! - [`identity`] — the Identity Manager / CA with role certificates.
 //!
@@ -52,6 +53,7 @@ pub mod schnorr;
 pub mod sha256;
 pub mod signer;
 pub mod sim;
+pub mod stats;
 pub mod vrf;
 
 pub use sha256::{sha256, Digest};

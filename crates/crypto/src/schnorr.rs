@@ -10,31 +10,73 @@
 //!   `s = k + x·e mod q`; signature is `(r, s)`.
 //! - verify(m): recompute `e` and check `g^s = r · y^e (mod p)`.
 //!
+//! # Verification hot path
+//!
+//! A cold [`VerifyingKey`] verifies with one Straus/Shamir
+//! multi-exponentiation `g^s · (y^{-1})^e == r` (the inverse `y^{-1}` is
+//! computed once per key and cached). After [`KEY_TABLE_THRESHOLD`]
+//! verifications a fixed-base window table for `y` is built — sized to the
+//! 256-bit challenge width, not the full group order — after which the check
+//! splits into a generator-table `pow_g(s)` and a `y`-table `pow(e)`, both
+//! squaring-free. All paths are property-tested against the textbook
+//! `g^s == r · y^e` reference.
+//!
 //! [`SchnorrGroup`]: crate::group::SchnorrGroup
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, OnceLock};
 
 use rand::Rng;
 
-use crate::bigint::BigUint;
+use crate::bigint::{BigUint, FixedBaseTable};
 use crate::group::SchnorrGroup;
 use crate::hmac::HmacSha256;
 use crate::sha256::Sha256;
 
+/// Number of verifications after which a per-key window table for `y` is
+/// built. One-shot verifiers use the Straus path; any key verified
+/// repeatedly (governor screening, benchmark loops) amortizes the build
+/// within a handful of calls.
+pub const KEY_TABLE_THRESHOLD: u64 = 3;
+
 /// A Schnorr signing key (keep secret).
 #[derive(Clone)]
 pub struct SigningKey {
-    group: SchnorrGroup,
     x: BigUint,
     public: VerifyingKey,
 }
 
 /// A Schnorr verification (public) key.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// Carries a lazily-populated verification cache (`y^{-1}` and a fixed-base
+/// window table for `y`), shared across clones. The cache never affects
+/// results — equality and hashing consider only the group and `y`.
+#[derive(Clone)]
 pub struct VerifyingKey {
     group: SchnorrGroup,
     y: BigUint,
+    cache: Arc<VkCache>,
 }
+
+/// Lazily-populated per-key verification accelerators.
+#[derive(Debug, Default)]
+struct VkCache {
+    /// Verifications so far; triggers the table build at the threshold.
+    uses: AtomicU64,
+    /// Fixed-base window table for `y`, sized to the challenge width.
+    table: OnceLock<FixedBaseTable>,
+    /// `y^{-1} mod p`, for the Straus cold path.
+    y_inv: OnceLock<BigUint>,
+}
+
+impl PartialEq for VerifyingKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.group == other.group && self.y == other.y
+    }
+}
+
+impl Eq for VerifyingKey {}
 
 /// A Schnorr signature `(r, s)`.
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -47,7 +89,7 @@ impl fmt::Debug for SigningKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Never print the secret scalar.
         f.debug_struct("SigningKey")
-            .field("group", &self.group)
+            .field("group", self.group())
             .field("public", &self.public)
             .finish_non_exhaustive()
     }
@@ -108,11 +150,7 @@ impl SigningKey {
     fn from_scalar(group: &SchnorrGroup, x: BigUint) -> Self {
         let y = group.pow_g(&x);
         SigningKey {
-            group: group.clone(),
-            public: VerifyingKey {
-                group: group.clone(),
-                y,
-            },
+            public: VerifyingKey::from_element(group.clone(), y),
             x,
         }
     }
@@ -124,7 +162,7 @@ impl SigningKey {
 
     /// The group this key lives in.
     pub fn group(&self) -> &SchnorrGroup {
-        &self.group
+        &self.public.group
     }
 
     /// Exposes the secret scalar (used by the VRF, which shares key material).
@@ -134,11 +172,12 @@ impl SigningKey {
 
     /// Signs `message` deterministically.
     pub fn sign(&self, message: &[u8]) -> Signature {
+        let group = self.group();
         let k = self.derive_nonce(message);
-        let r = self.group.pow_g(&k);
-        let e = challenge(&self.group, &r, &self.public.y, message);
-        let xe = self.group.scalar_mul(&self.x, &e);
-        let s = self.group.scalar_add(&k, &xe);
+        let r = group.pow_g(&k);
+        let e = challenge(group, &r, &self.public.y, message);
+        let xe = group.scalar_mul(&self.x, &e);
+        let s = group.scalar_add(&k, &xe);
         Signature { r, s }
     }
 
@@ -157,7 +196,7 @@ impl SigningKey {
             let mut bytes = Vec::with_capacity(64);
             bytes.extend_from_slice(d1.as_bytes());
             bytes.extend_from_slice(d2.as_bytes());
-            let k = self.group.scalar_from_bytes(&bytes);
+            let k = self.group().scalar_from_bytes(&bytes);
             if !k.is_zero() {
                 return k;
             }
@@ -167,16 +206,55 @@ impl SigningKey {
 }
 
 impl VerifyingKey {
+    /// Builds a key from its group element, with an empty verification
+    /// cache.
+    pub(crate) fn from_element(group: SchnorrGroup, y: BigUint) -> Self {
+        VerifyingKey {
+            group,
+            y,
+            cache: Arc::new(VkCache::default()),
+        }
+    }
+
     /// Verifies `signature` over `message`.
+    ///
+    /// Hot path: with a trained per-key table the check is
+    /// `pow_g(s) == r · table(e)` (both squaring-free); before training it
+    /// is one Straus multi-exponentiation `g^s · (y^{-1})^e == r` with the
+    /// inverse cached per key. Both are algebraically identical to the
+    /// textbook `g^s == r · y^e` and are pinned to it by property tests.
     pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
         // Reject degenerate/out-of-group values outright.
         if !self.group.is_element(&signature.r) || signature.s >= *self.group.q() {
             return false;
         }
         let e = challenge(&self.group, &signature.r, &self.y, message);
-        let lhs = self.group.pow_g(&signature.s);
-        let rhs = self.group.mul(&signature.r, &self.group.pow(&self.y, &e));
-        lhs == rhs
+        let table = match self.cache.table.get() {
+            Some(t) => Some(t),
+            None if self.cache.uses.fetch_add(1, Relaxed) + 1 >= KEY_TABLE_THRESHOLD => {
+                // The challenge is 256 hash bits reduced mod q, so the table
+                // only needs min(256, |q|) bits — a quarter of the full-width
+                // build cost for the 2048-bit group.
+                let bits = self.group.q().bit_len().min(256);
+                Some(
+                    self.cache
+                        .table
+                        .get_or_init(|| FixedBaseTable::build(self.group.mont(), &self.y, bits)),
+                )
+            }
+            None => None,
+        };
+        if let Some(ye) = table.and_then(|t| t.pow(self.group.mont(), &e)) {
+            return self.group.pow_g(&signature.s) == self.group.mul(&signature.r, &ye);
+        }
+        let y_inv = self.cache.y_inv.get_or_init(|| {
+            self.y
+                .inv_mod(self.group.p())
+                .expect("subgroup element is invertible mod p")
+        });
+        self.group
+            .multi_pow(&[(self.group.g(), &signature.s), (y_inv, &e)])
+            == signature.r
     }
 
     /// The group element `y = g^x`.
@@ -340,5 +418,65 @@ mod tests {
         let (_, sk) = setup();
         let debug = format!("{sk:?}");
         assert!(!debug.contains(&sk.secret_scalar().to_hex()));
+    }
+
+    /// Textbook verification, used as the oracle for the fast paths.
+    fn verify_reference(vk: &VerifyingKey, message: &[u8], sig: &Signature) -> bool {
+        let group = vk.group();
+        if !group.is_element(sig.r()) || sig.s() >= group.q() {
+            return false;
+        }
+        let e = challenge(group, sig.r(), vk.element(), message);
+        let lhs = group.g().pow_mod_reference(sig.s(), group.p());
+        let ye = vk.element().pow_mod_reference(&e, group.p());
+        lhs == group.mul(sig.r(), &ye)
+    }
+
+    #[test]
+    fn straus_and_table_paths_agree_with_reference() {
+        let (_, sk) = setup();
+        let vk = sk.verifying_key().clone();
+        // Crossing KEY_TABLE_THRESHOLD switches verify from the Straus path
+        // to the per-key window table; every call must agree with the
+        // textbook check, for good and forged signatures alike.
+        for i in 0..(2 * KEY_TABLE_THRESHOLD + 2) {
+            let msg = format!("message-{i}");
+            let sig = sk.sign(msg.as_bytes());
+            assert!(vk.verify(msg.as_bytes(), &sig));
+            assert!(verify_reference(&vk, msg.as_bytes(), &sig));
+            assert!(!vk.verify(b"wrong message", &sig));
+            assert!(!verify_reference(&vk, b"wrong message", &sig));
+        }
+        assert!(vk.cache.table.get().is_some(), "table should have trained");
+    }
+
+    #[test]
+    fn clones_share_the_verification_cache() {
+        let (_, sk) = setup();
+        let vk = sk.verifying_key().clone();
+        let sig = sk.sign(b"shared-cache");
+        for _ in 0..KEY_TABLE_THRESHOLD {
+            assert!(vk.verify(b"shared-cache", &sig));
+        }
+        // The clone sees the table trained by the original.
+        let clone = vk.clone();
+        assert!(clone.cache.table.get().is_some());
+        assert!(clone.verify(b"shared-cache", &sig));
+    }
+
+    #[test]
+    fn equality_ignores_cache_state() {
+        let group = SchnorrGroup::test_256();
+        let sk = SigningKey::from_seed(&group, b"eq-key");
+        // Same key derived twice: independent caches, equal keys.
+        let cold = SigningKey::from_seed(&group, b"eq-key")
+            .verifying_key()
+            .clone();
+        let warm = sk.verifying_key().clone();
+        let sig = sk.sign(b"m");
+        for _ in 0..KEY_TABLE_THRESHOLD + 1 {
+            assert!(warm.verify(b"m", &sig));
+        }
+        assert_eq!(cold, warm);
     }
 }

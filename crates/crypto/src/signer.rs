@@ -3,9 +3,9 @@
 //! The protocol layers never name a concrete signature scheme; they work
 //! with [`KeyPair`] / [`PublicKey`] / [`Sig`], which dispatch to either the
 //! real Schnorr construction ([`crate::schnorr`]) or the fast simulation
-//! scheme ([`crate::sim`]). Every experiment binary accepts a
-//! `--crypto {sim,schnorr-256,schnorr-512,schnorr-2048}` switch backed by
-//! [`CryptoScheme`].
+//! scheme ([`crate::sim`]). Every experiment binary accepts a `--crypto
+//! {sim,schnorr-256,schnorr-512,schnorr-2048,schnorr-3072,schnorr-4096}`
+//! switch backed by [`CryptoScheme`].
 
 use rand::Rng;
 
@@ -13,7 +13,7 @@ use crate::group::SchnorrGroup;
 use crate::schnorr::{self, SigningKey, VerifyingKey};
 use crate::sha256::{Digest, Sha256};
 use crate::sim::{sim_vrf_output, SimKeyPair, SimPublicKey, SimSignature};
-use crate::vrf::{VrfKeyPair, VrfProof};
+use crate::vrf::{self, VrfProof};
 
 /// Selects the signature/VRF implementation for a simulation run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,15 +45,28 @@ impl CryptoScheme {
         CryptoScheme::Schnorr(SchnorrGroup::rfc3526_2048())
     }
 
+    /// Schnorr over RFC 3526 group 15 (secure, slower).
+    pub fn schnorr_3072() -> Self {
+        CryptoScheme::Schnorr(SchnorrGroup::rfc3526_3072())
+    }
+
+    /// Schnorr over RFC 3526 group 16 (secure, slowest).
+    pub fn schnorr_4096() -> Self {
+        CryptoScheme::Schnorr(SchnorrGroup::rfc3526_4096())
+    }
+
     /// Parses a command-line name.
     ///
-    /// Accepts `sim`, `schnorr-256`, `schnorr-512`, `schnorr-2048`.
+    /// Accepts `sim`, `schnorr-256`, `schnorr-512`, `schnorr-2048`,
+    /// `schnorr-3072`, `schnorr-4096`.
     pub fn parse(name: &str) -> Option<Self> {
         match name {
             "sim" => Some(Self::sim()),
             "schnorr-256" => Some(Self::schnorr_test_256()),
             "schnorr-512" => Some(Self::schnorr_test_512()),
             "schnorr-2048" => Some(Self::schnorr_2048()),
+            "schnorr-3072" => Some(Self::schnorr_3072()),
+            "schnorr-4096" => Some(Self::schnorr_4096()),
             _ => None,
         }
     }
@@ -106,7 +119,10 @@ pub enum PublicKey {
 }
 
 /// A signature under some [`CryptoScheme`].
-#[derive(Clone, Debug, PartialEq)]
+///
+/// `Eq + Hash` so signatures can key verification memo caches (e.g. the
+/// governor's screening memo).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Sig {
     /// Simulation tag.
     Sim(SimSignature),
@@ -153,8 +169,7 @@ impl KeyPair {
                 VrfEvaluation::Sim(vrf.evaluate(message))
             }
             KeyPair::Schnorr(sk) => {
-                let vrf = VrfKeyPair::from_signing_key((**sk).clone());
-                let (output, proof) = vrf.evaluate(message);
+                let (output, proof) = vrf::evaluate_with_key(sk, message);
                 VrfEvaluation::Schnorr {
                     output,
                     proof: Box::new(proof),

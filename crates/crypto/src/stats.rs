@@ -1,0 +1,102 @@
+//! Process-wide counters for the modular-exponentiation hot path.
+//!
+//! The crypto layer is shared across simulation threads (groups cross
+//! thread boundaries through their `Arc` inner), while the `prb-obs`
+//! registry is deliberately single-threaded (`Rc`-based). These relaxed
+//! atomics bridge the gap: the hot path bumps them for fractions of a
+//! nanosecond, and observability consumers snapshot them at the edges of a
+//! run and report deltas.
+//!
+//! Counted events:
+//!
+//! - `modexp_calls` — full modular exponentiations (Montgomery or plain),
+//! - `multi_pow_calls` — Straus/Shamir simultaneous exponentiations,
+//! - `table_builds` — fixed-base window-table precomputations,
+//! - `table_pows` — exponentiations answered from a fixed-base table.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static MODEXP_CALLS: AtomicU64 = AtomicU64::new(0);
+static MULTI_POW_CALLS: AtomicU64 = AtomicU64::new(0);
+static TABLE_BUILDS: AtomicU64 = AtomicU64::new(0);
+static TABLE_POWS: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+pub(crate) fn record_modexp() {
+    MODEXP_CALLS.fetch_add(1, Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_multi_pow() {
+    MULTI_POW_CALLS.fetch_add(1, Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_table_build() {
+    TABLE_BUILDS.fetch_add(1, Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_table_pow() {
+    TABLE_POWS.fetch_add(1, Relaxed);
+}
+
+/// A point-in-time snapshot of the process-wide crypto counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CryptoStats {
+    /// Full modular exponentiations (any base, any modulus).
+    pub modexp_calls: u64,
+    /// Straus/Shamir simultaneous multi-exponentiations.
+    pub multi_pow_calls: u64,
+    /// Fixed-base window tables built (generator or public-key tables).
+    pub table_builds: u64,
+    /// Exponentiations served from a fixed-base table.
+    pub table_pows: u64,
+}
+
+impl CryptoStats {
+    /// Counter increments since `earlier` (saturating, so a stale snapshot
+    /// never underflows).
+    pub fn delta_since(&self, earlier: &CryptoStats) -> CryptoStats {
+        CryptoStats {
+            modexp_calls: self.modexp_calls.saturating_sub(earlier.modexp_calls),
+            multi_pow_calls: self.multi_pow_calls.saturating_sub(earlier.multi_pow_calls),
+            table_builds: self.table_builds.saturating_sub(earlier.table_builds),
+            table_pows: self.table_pows.saturating_sub(earlier.table_pows),
+        }
+    }
+}
+
+/// Reads the current counter values.
+pub fn snapshot() -> CryptoStats {
+    CryptoStats {
+        modexp_calls: MODEXP_CALLS.load(Relaxed),
+        multi_pow_calls: MULTI_POW_CALLS.load(Relaxed),
+        table_builds: TABLE_BUILDS.load(Relaxed),
+        table_pows: TABLE_POWS.load(Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_move_and_deltas_subtract() {
+        let before = snapshot();
+        record_modexp();
+        record_multi_pow();
+        record_table_build();
+        record_table_pow();
+        let after = snapshot();
+        let d = after.delta_since(&before);
+        // Other tests run concurrently and also bump the counters, so only
+        // lower bounds are meaningful here.
+        assert!(d.modexp_calls >= 1);
+        assert!(d.multi_pow_calls >= 1);
+        assert!(d.table_builds >= 1);
+        assert!(d.table_pows >= 1);
+        // A stale snapshot must not underflow.
+        assert_eq!(before.delta_since(&after).table_builds, 0);
+    }
+}

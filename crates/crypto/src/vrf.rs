@@ -77,21 +77,29 @@ impl VrfKeyPair {
 
     /// Evaluates the VRF on `message`, returning `(output, proof)`.
     pub fn evaluate(&self, message: &[u8]) -> (Digest, VrfProof) {
-        let group = self.key.group();
-        let h = group.hash_to_group(H2G_DOMAIN, message);
-        let x = self.key.secret_scalar();
-        let gamma = group.pow(&h, x);
-        let statement = DleqStatement {
-            group,
-            g: group.g(),
-            y: self.public_key().element(),
-            h: &h,
-            z: &gamma,
-        };
-        let dleq = DleqProof::prove(&statement, x);
-        let output = output_from_gamma(group, &gamma);
-        (output, VrfProof { gamma, dleq })
+        evaluate_with_key(&self.key, message)
     }
+}
+
+/// Evaluates the VRF directly with a borrowed Schnorr signing key.
+///
+/// Identical to [`VrfKeyPair::evaluate`], without requiring the caller to
+/// move (or clone) the key into a `VrfKeyPair` wrapper first.
+pub fn evaluate_with_key(key: &SigningKey, message: &[u8]) -> (Digest, VrfProof) {
+    let group = key.group();
+    let h = group.hash_to_group(H2G_DOMAIN, message);
+    let x = key.secret_scalar();
+    let gamma = group.pow(&h, x);
+    let statement = DleqStatement {
+        group,
+        g: group.g(),
+        y: key.verifying_key().element(),
+        h: &h,
+        z: &gamma,
+    };
+    let dleq = DleqProof::prove(&statement, x);
+    let output = output_from_gamma(group, &gamma);
+    (output, VrfProof { gamma, dleq })
 }
 
 impl VrfProof {

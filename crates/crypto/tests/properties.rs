@@ -162,3 +162,122 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Hot-path exponentiation vs the reference implementation.
+//
+// The Montgomery windowed pow, the Straus multi-exponentiation, the
+// fixed-base tables, and the Jacobi subgroup test are all pinned here to
+// `pow_mod_reference` / the Euler criterion over random inputs.
+
+use prb_crypto::bigint::{FixedBaseTable, Montgomery};
+
+fn odd_modulus_strategy(max_bytes: usize) -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 1..=max_bytes).prop_map(|mut b| {
+        *b.last_mut().expect("non-empty") |= 1; // force odd
+        let m = BigUint::from_bytes_be(&b);
+        if m == BigUint::one() {
+            BigUint::from_u64(3)
+        } else {
+            m
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cached-context exponentiation matches the reference for arbitrary
+    /// bases, exponents (both window widths) and odd moduli.
+    #[test]
+    fn montgomery_pow_matches_reference(
+        base in biguint_strategy(24),
+        e in biguint_strategy(24),
+        m in odd_modulus_strategy(16),
+    ) {
+        let ctx = Montgomery::new(&m);
+        prop_assert_eq!(ctx.pow(&base, &e), base.pow_mod_reference(&e, &m));
+    }
+
+    /// Straus simultaneous exponentiation equals the sequential product of
+    /// reference exponentiations.
+    #[test]
+    fn multi_pow_matches_sequential_reference(
+        bases in proptest::collection::vec(biguint_strategy(16), 1..4),
+        exps in proptest::collection::vec(biguint_strategy(16), 1..4),
+        m in odd_modulus_strategy(12),
+    ) {
+        let ctx = Montgomery::new(&m);
+        let n = bases.len().min(exps.len());
+        let pairs: Vec<(&BigUint, &BigUint)> =
+            bases[..n].iter().zip(&exps[..n]).collect();
+        let got = ctx.multi_pow(&pairs);
+        let mut want = BigUint::one().rem(&m);
+        for (b, e) in &pairs {
+            want = want.mul_mod(&b.pow_mod_reference(e, &m), &m);
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    /// Fixed-base tables answer exactly like the reference for in-range
+    /// exponents and decline wider ones.
+    #[test]
+    fn fixed_base_table_matches_reference_random(
+        base in biguint_strategy(16),
+        e in biguint_strategy(8),
+        m in odd_modulus_strategy(12),
+    ) {
+        let ctx = Montgomery::new(&m);
+        let table = FixedBaseTable::build(&ctx, &base, 64);
+        match table.pow(&ctx, &e) {
+            Some(got) => prop_assert_eq!(got, base.pow_mod_reference(&e, &m)),
+            None => prop_assert!(e.bit_len() > table.max_bits()),
+        }
+    }
+
+    /// The Jacobi-symbol subgroup test agrees with the Euler criterion.
+    #[test]
+    fn is_element_matches_euler_reference(x in biguint_strategy(33)) {
+        for group in [SchnorrGroup::test_256(), SchnorrGroup::test_512()] {
+            let x = x.rem(group.p());
+            prop_assert_eq!(group.is_element(&x), group.is_element_reference(&x));
+        }
+    }
+}
+
+/// Every parameter set (the three RFC 3526 groups and both test groups):
+/// generator-table `pow_g` and a per-base table must match the reference
+/// at the edge exponents 0, 1 and `q − 1`, plus a mid-size scalar.
+#[test]
+fn fixed_base_tables_match_reference_all_groups_edge_exponents() {
+    for group in [
+        SchnorrGroup::test_256(),
+        SchnorrGroup::test_512(),
+        SchnorrGroup::rfc3526_2048(),
+        SchnorrGroup::rfc3526_3072(),
+        SchnorrGroup::rfc3526_4096(),
+    ] {
+        let q_minus_1 = group.q().sub(&BigUint::one());
+        let table = FixedBaseTable::build(group.mont(), group.g(), group.q().bit_len());
+        for e in [
+            BigUint::zero(),
+            BigUint::one(),
+            BigUint::from_u64(0xdead_beef_cafe),
+            q_minus_1,
+        ] {
+            let want = group.g().pow_mod_reference(&e, group.p());
+            // Direct table lookup…
+            assert_eq!(
+                table.pow(group.mont(), &e),
+                Some(want.clone()),
+                "{} table e={}",
+                group.name(),
+                e.bit_len()
+            );
+            // …and through the group's lazy pow_g path (twice: the second
+            // call crosses G_TABLE_THRESHOLD and flips to the table).
+            assert_eq!(group.pow_g(&e), want, "{} pow_g", group.name());
+            assert_eq!(group.pow_g(&e), want, "{} pow_g (table)", group.name());
+        }
+    }
+}
