@@ -76,8 +76,9 @@ fn run_once(seed: u64, mode: GovernorMode, f: f64, rounds: u32) -> Throughput {
 /// each signature scheme, actually measured (not modeled). This is the
 /// empirical basis of DESIGN.md substitution 3.
 fn measure_crypto(args: &Args) {
+    let reps = args.get_or("crypto-reps", 3u32).max(1);
     let mut table = Table::new(
-        "measured wall-clock per protocol round (4p/4c/3g, 2 tx/provider, 3 rounds, release build)",
+        "measured wall-clock per protocol round (4p/4c/3g, 2 tx/provider, 3 rounds, fastest of 3 runs, release build)",
         &["crypto scheme", "wall-clock / round", "vs sim"],
     );
     let mut schemes = vec![
@@ -91,20 +92,28 @@ fn measure_crypto(args: &Args) {
     let mut sim_time = None;
     for scheme in schemes {
         let name = scheme.name();
-        let cfg = ProtocolConfig {
-            providers: 4,
-            collectors: 4,
-            governors: 3,
-            replication: 2,
-            tx_per_provider: 2,
-            crypto: scheme,
-            seed: 60,
-            ..Default::default()
-        };
-        let mut sim = Simulation::new(cfg).expect("valid config");
-        let start = std::time::Instant::now();
-        sim.run(3);
-        let per_round = start.elapsed() / 3;
+        // Fastest-of-`reps` fresh runs: a single 3-round sample is at the
+        // mercy of scheduler noise at the ms scale, and the minimum is the
+        // standard low-noise estimator for "how fast can this go".
+        let per_round = (0..reps)
+            .map(|_| {
+                let cfg = ProtocolConfig {
+                    providers: 4,
+                    collectors: 4,
+                    governors: 3,
+                    replication: 2,
+                    tx_per_provider: 2,
+                    crypto: scheme.clone(),
+                    seed: 60,
+                    ..Default::default()
+                };
+                let mut sim = Simulation::new(cfg).expect("valid config");
+                let start = std::time::Instant::now();
+                sim.run(3);
+                start.elapsed() / 3
+            })
+            .min()
+            .expect("reps >= 1");
         let ratio = match sim_time {
             None => {
                 sim_time = Some(per_round);
@@ -119,7 +128,8 @@ fn measure_crypto(args: &Args) {
     }
     table.print();
     println!("(pass --with-2048 to include the secure RFC 3526 parameter set;");
-    println!("Montgomery-accelerated, but still ~ms per exponentiation)");
+    println!("Montgomery-accelerated and batch-verified, but still ~ms per");
+    println!("exponentiation; --crypto-reps N controls the repetition count)");
 }
 
 /// `--bench-out FILE` mode: the machine-readable crypto micro-benchmark.
@@ -150,20 +160,27 @@ fn bench_crypto_json(args: &Args, path: &str) {
             "verify",
             "vrf eval",
             "vrf verify",
+            "batch32/sig",
+            "batch speedup",
             "round",
         ],
     );
     for r in &rows {
+        let batch32 = r.batch.iter().find(|b| b.size == 32);
         table.row(vec![
             r.scheme.clone(),
             format!("{:.1}", r.sign_us),
             format!("{:.1}", r.verify_us),
             format!("{:.1}", r.vrf_evaluate_us),
             format!("{:.1}", r.vrf_verify_us),
+            batch32.map_or("-".into(), |b| format!("{:.1}", b.per_sig_us)),
+            batch32.map_or("-".into(), |b| format!("{:.1}×", b.speedup)),
             format!("{:.1}", r.round_us),
         ]);
     }
     table.print();
+    println!("batch columns: randomized-linear-combination verification of 32");
+    println!("signatures per call (the governor's per-block drain path)");
     println!("written to {path}");
 }
 

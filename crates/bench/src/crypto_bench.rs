@@ -28,6 +28,21 @@ const BASELINE_US: &[BaselineRow] = &[
     ("rfc3526-2048", 2253.3, 13635.6, Some(6919.3), Some(33071.5)),
 ];
 
+/// Batch sizes measured for the batch-vs-sequential comparison.
+pub const BATCH_SIZES: &[usize] = &[8, 32, 128];
+
+/// Randomized-linear-combination batch verification timing at one size.
+#[derive(Clone, Debug)]
+pub struct BatchTiming {
+    /// Number of signatures verified per batch call.
+    pub size: usize,
+    /// Mean time per signature inside the batch.
+    pub per_sig_us: f64,
+    /// `verify_us / per_sig_us`: throughput multiple over one-at-a-time
+    /// verification of the same signatures.
+    pub speedup: f64,
+}
+
 /// Measured timings for one scheme, microseconds per operation.
 #[derive(Clone, Debug)]
 pub struct SchemeTiming {
@@ -41,6 +56,8 @@ pub struct SchemeTiming {
     pub vrf_evaluate_us: f64,
     /// Mean time to verify a VRF proof.
     pub vrf_verify_us: f64,
+    /// Batch verification at each of [`BATCH_SIZES`].
+    pub batch: Vec<BatchTiming>,
     /// Mean wall-clock per protocol round of a tiny 4p/4c/3g deployment.
     pub round_us: f64,
 }
@@ -84,6 +101,48 @@ pub fn measure_scheme(scheme: &CryptoScheme, iters: u32, sim_rounds: u32) -> Sch
             .is_some())
     });
 
+    // Batch verification: a few distinct (warmed) keys cycling through the
+    // batch, the shape a governor sees when draining one block's worth of
+    // provider signatures.
+    let keys: Vec<_> = (0..4u32)
+        .map(|k| scheme.keypair_from_seed(format!("crypto-bench-{k}").as_bytes()))
+        .collect();
+    let pks: Vec<_> = keys.iter().map(|k| k.public_key()).collect();
+    for (k, key) in keys.iter().enumerate() {
+        for i in 0..4u32 {
+            let msg = (i * 31 + k as u32).to_be_bytes();
+            assert!(pks[k].verify(&msg, &key.sign(&msg)));
+        }
+    }
+    let max_size = BATCH_SIZES.iter().copied().max().unwrap_or(0);
+    let msgs: Vec<[u8; 4]> = (0..max_size as u32).map(|i| i.to_be_bytes()).collect();
+    let batch_sigs: Vec<_> = msgs
+        .iter()
+        .enumerate()
+        .map(|(i, m)| keys[i % keys.len()].sign(m))
+        .collect();
+    let batch = BATCH_SIZES
+        .iter()
+        .map(|&size| {
+            let items: Vec<(&[u8], _, _)> = (0..size)
+                .map(|i| (&msgs[i][..], &batch_sigs[i], &pks[i % pks.len()]))
+                .collect();
+            // Amortize so each size gets roughly `iters` verified sigs.
+            let reps = (iters / size as u32).max(1);
+            let call_us = time_us(reps, |_| {
+                assert!(prb_crypto::signer::verify_batch(&items)
+                    .iter()
+                    .all(|&ok| ok))
+            });
+            let per_sig_us = call_us / size as f64;
+            BatchTiming {
+                size,
+                per_sig_us,
+                speedup: verify_us / per_sig_us,
+            }
+        })
+        .collect();
+
     let cfg = ProtocolConfig {
         providers: 4,
         collectors: 4,
@@ -105,6 +164,7 @@ pub fn measure_scheme(scheme: &CryptoScheme, iters: u32, sim_rounds: u32) -> Sch
         verify_us,
         vrf_evaluate_us,
         vrf_verify_us,
+        batch,
         round_us,
     }
 }
@@ -141,6 +201,19 @@ pub fn render_json(rows: &[SchemeTiming], iters: u32, sim_rounds: u32) -> String
             "      \"vrf_verify_us\": {},\n",
             json_f64(row.vrf_verify_us)
         ));
+        if !row.batch.is_empty() {
+            out.push_str("      \"batch_verify\": [\n");
+            for (j, b) in row.batch.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{ \"size\": {}, \"per_sig_us\": {}, \"speedup_vs_sequential\": {} }}{}\n",
+                    b.size,
+                    json_f64(b.per_sig_us),
+                    json_f64(b.speedup),
+                    if j + 1 == row.batch.len() { "" } else { "," }
+                ));
+            }
+            out.push_str("      ],\n");
+        }
         out.push_str(&format!("      \"round_us\": {}", json_f64(row.round_us)));
         if let Some((_, sign, verify, vrf_eval, vrf_ver)) = BASELINE_US
             .iter()
@@ -225,6 +298,7 @@ mod tests {
                 verify_us: 2.0,
                 vrf_evaluate_us: 3.0,
                 vrf_verify_us: 4.0,
+                batch: vec![],
                 round_us: 5.0,
             },
             SchemeTiming {
@@ -233,6 +307,18 @@ mod tests {
                 verify_us: 1000.0,
                 vrf_evaluate_us: 2000.0,
                 vrf_verify_us: 3000.0,
+                batch: vec![
+                    BatchTiming {
+                        size: 8,
+                        per_sig_us: 400.0,
+                        speedup: 2.5,
+                    },
+                    BatchTiming {
+                        size: 32,
+                        per_sig_us: 250.0,
+                        speedup: 4.0,
+                    },
+                ],
                 round_us: 9.0,
             },
         ];
@@ -247,6 +333,10 @@ mod tests {
         assert!(json.contains("\"round_us\": 5.0\n    },"));
         assert!(json.contains("\"baseline_pre_pr\""));
         assert!(json.contains(&format!("\"verify\": {}", json_f64(13635.6 / 1000.0))));
+        // Batch rows render only when measured, in field order.
+        assert!(json
+            .contains("{ \"size\": 32, \"per_sig_us\": 250.0, \"speedup_vs_sequential\": 4.0 }"));
+        assert!(!json.contains("\"batch_verify\": []"));
     }
 
     #[test]
@@ -254,5 +344,7 @@ mod tests {
         let t = measure_scheme(&CryptoScheme::sim(), 2, 1);
         assert_eq!(t.scheme, "sim");
         assert!(t.sign_us >= 0.0 && t.round_us > 0.0);
+        assert_eq!(t.batch.len(), BATCH_SIZES.len());
+        assert!(t.batch.iter().all(|b| b.per_sig_us > 0.0));
     }
 }

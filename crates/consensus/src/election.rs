@@ -11,6 +11,8 @@ use std::fmt;
 use prb_crypto::sha256::{Digest, Sha256};
 use prb_crypto::signer::{KeyPair, PublicKey, VrfEvaluation};
 
+use crate::verify_pool::VerifyPool;
+
 /// The VRF input for `(round, governor, unit)` — the paper's
 /// `VRF_{g_j}(r, j, u)` with a chain tag for domain separation between
 /// deployments.
@@ -120,19 +122,79 @@ pub fn elect(
     stakes: &[u64],
     pks: &[PublicKey],
 ) -> (Option<ElectionResult>, Vec<(u32, ClaimRejection)>) {
-    let mut rejections = Vec::new();
-    let mut best: Option<(Digest, u32)> = None;
-    for claim in claims {
+    elect_with_pool(
+        chain_tag,
+        round,
+        claims,
+        stakes,
+        pks,
+        &VerifyPool::single_threaded(),
+    )
+}
+
+/// [`elect`] with the claims' VRF proofs verified as one batch through a
+/// [`VerifyPool`] — a round's `m` claim verifications share one randomized
+/// linear combination (and, for large `m`, multiple worker threads) instead
+/// of `m` independent exponentiation chains.
+///
+/// The result and the rejection list are identical to [`elect`]'s, entry
+/// for entry, regardless of the pool's thread count.
+pub fn elect_with_pool(
+    chain_tag: &[u8],
+    round: u64,
+    claims: &[ElectionClaim],
+    stakes: &[u64],
+    pks: &[PublicKey],
+    pool: &VerifyPool,
+) -> (Option<ElectionResult>, Vec<(u32, ClaimRejection)>) {
+    // Pass 1: structural checks, recording which claims reach the proof
+    // stage and the VRF message each one must verify against.
+    let mut verdicts: Vec<Option<ClaimRejection>> = vec![None; claims.len()];
+    let mut live = Vec::new();
+    let mut msgs = Vec::new();
+    for (i, claim) in claims.iter().enumerate() {
         let g = claim.governor as usize;
         if g >= stakes.len() || g >= pks.len() {
-            rejections.push((claim.governor, ClaimRejection::UnknownGovernor));
+            verdicts[i] = Some(ClaimRejection::UnknownGovernor);
             continue;
         }
         if claim.unit >= stakes[g] {
-            rejections.push((claim.governor, ClaimRejection::UnitOutOfRange));
+            verdicts[i] = Some(ClaimRejection::UnitOutOfRange);
             continue;
         }
-        let Some(output) = claim.verify(chain_tag, round, &pks[g]) else {
+        live.push(i);
+        msgs.push(election_message(
+            chain_tag,
+            round,
+            claim.governor,
+            claim.unit,
+        ));
+    }
+    // Pass 2: one pooled batch over every surviving proof.
+    let items: Vec<(&[u8], &VrfEvaluation, &PublicKey)> = live
+        .iter()
+        .zip(&msgs)
+        .map(|(&i, msg)| {
+            (
+                &msg[..],
+                &claims[i].evaluation,
+                &pks[claims[i].governor as usize],
+            )
+        })
+        .collect();
+    let outputs = pool.vrf_verify(&items);
+    // Pass 3: fold verdicts back in claim order, tallying the least hash.
+    let mut rejections = Vec::new();
+    let mut best: Option<(Digest, u32)> = None;
+    let mut live_pos = 0;
+    for (i, claim) in claims.iter().enumerate() {
+        if let Some(why) = verdicts[i] {
+            rejections.push((claim.governor, why));
+            continue;
+        }
+        let output = outputs[live_pos];
+        live_pos += 1;
+        let Some(output) = output else {
             rejections.push((claim.governor, ClaimRejection::BadProof));
             continue;
         };
@@ -269,6 +331,49 @@ mod tests {
         assert!(claim.verify(TAG, 5, &pk).is_some());
         assert!(claim.verify(TAG, 6, &pk).is_none());
         assert!(claim.verify(b"other-chain", 5, &pk).is_none());
+    }
+
+    #[test]
+    fn pooled_election_matches_sequential_including_rejections() {
+        let scheme = CryptoScheme::schnorr_test_256();
+        let keys: Vec<KeyPair> = (0..4)
+            .map(|i| scheme.keypair_from_seed(format!("p{i}").as_bytes()))
+            .collect();
+        let stakes = [2, 2, 2, 2];
+        let pks: Vec<PublicKey> = keys.iter().map(|k| k.public_key()).collect();
+        let mut claims: Vec<ElectionClaim> = keys
+            .iter()
+            .enumerate()
+            .filter_map(|(g, k)| ElectionClaim::compute(TAG, 9, g as u32, stakes[g], k))
+            .collect();
+        // Mix every rejection flavour into the batch.
+        claims[1].governor = 2; // proof no longer matches the message -> BadProof
+        claims.push(ElectionClaim {
+            governor: 3,
+            unit: 99,
+            evaluation: keys[3].vrf_evaluate(b"whatever"),
+        }); // UnitOutOfRange
+        let mut unknown = claims[0].clone();
+        unknown.governor = 42;
+        claims.push(unknown); // UnknownGovernor
+        let sequential = elect(TAG, 9, &claims, &stakes, &pks);
+        for threads in [1, 2, 4] {
+            let pooled = elect_with_pool(
+                TAG,
+                9,
+                &claims,
+                &stakes,
+                &pks,
+                &crate::verify_pool::VerifyPool::new(threads),
+            );
+            assert_eq!(pooled, sequential, "threads={threads}");
+        }
+        let (result, rejections) = sequential;
+        assert!(result.is_some());
+        assert_eq!(rejections.len(), 3);
+        assert!(rejections.contains(&(2, ClaimRejection::BadProof)));
+        assert!(rejections.contains(&(3, ClaimRejection::UnitOutOfRange)));
+        assert!(rejections.contains(&(42, ClaimRejection::UnknownGovernor)));
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //!   change) for the message-complexity comparison,
 //! - [`round_robin`] — deterministic rotation schedules,
 //! - [`rotation`] — the executable rotating-leader replication protocol
-//!   (propose + ≥2/3 votes, crashed leaders skipped by timeout).
+//!   (propose + ≥2/3 votes, crashed leaders skipped by timeout),
+//! - [`verify_pool`] — a std-only worker pool draining batched
+//!   signature/VRF verifications through `prb_crypto::batch`.
 //!
 //! # Quickstart
 //!
@@ -48,7 +50,9 @@ pub mod rotation;
 pub mod round_robin;
 pub mod stake;
 pub mod stake_block;
+pub mod verify_pool;
 
-pub use election::{elect, ElectionClaim, ElectionResult};
+pub use election::{elect, elect_with_pool, ElectionClaim, ElectionResult};
 pub use stake::{StakeTable, StakeTransfer};
 pub use stake_block::{StakeBlock, StakeGovernor, StakeMsg};
+pub use verify_pool::VerifyPool;

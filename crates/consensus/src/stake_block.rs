@@ -25,6 +25,7 @@ use prb_net::message::Envelope;
 use prb_net::sim::{Actor, Context};
 
 use crate::stake::{StakeTable, StakeTransfer};
+use crate::verify_pool::VerifyPool;
 
 /// A committed stake-transform block.
 #[derive(Clone, Debug, PartialEq)]
@@ -111,6 +112,8 @@ pub struct StakeGovernor {
     pub equivocate_digest: Option<Digest>,
     committed: Vec<StakeBlock>,
     expelled: Vec<u32>,
+    /// Drains the Commit certificate's `m` signatures as one batch.
+    pool: VerifyPool,
 }
 
 impl StakeGovernor {
@@ -139,7 +142,16 @@ impl StakeGovernor {
             equivocate_digest: None,
             committed: Vec::new(),
             expelled: Vec::new(),
+            pool: VerifyPool::single_threaded(),
         }
+    }
+
+    /// Replaces the pool used for certificate verification (defaults to
+    /// inline single-threaded batching). Verdicts are identical for every
+    /// thread count; only wall-clock changes.
+    pub fn with_verify_pool(mut self, pool: VerifyPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// The current stake table.
@@ -302,16 +314,23 @@ impl Actor for StakeGovernor {
                 if block.round != self.round {
                     return;
                 }
-                // Verify the full signature set.
-                let all_valid = block.signatures.len() == self.pks.len()
-                    && block.signatures.iter().all(|(g, sig)| {
-                        self.pks
-                            .get(*g as usize)
-                            .map(|pk| {
-                                pk.verify(&state_sig_bytes(block.round, &block.state_digest), sig)
-                            })
-                            .unwrap_or(false)
-                    });
+                // Verify the full signature set — all over the same
+                // `(round, digest)` message, so the certificate drains
+                // through the pool as a single batch.
+                let msg = state_sig_bytes(block.round, &block.state_digest);
+                let in_range = block.signatures.len() == self.pks.len()
+                    && block
+                        .signatures
+                        .iter()
+                        .all(|(g, _)| (*g as usize) < self.pks.len());
+                let all_valid = in_range && {
+                    let items: Vec<(&[u8], &Sig, &PublicKey)> = block
+                        .signatures
+                        .iter()
+                        .map(|(g, sig)| (&msg[..], sig, &self.pks[*g as usize]))
+                        .collect();
+                    self.pool.verify_sigs(&items).iter().all(|&ok| ok)
+                };
                 if all_valid {
                     self.finish_round(block);
                 }

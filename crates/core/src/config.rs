@@ -106,6 +106,11 @@ pub struct ProtocolConfig {
     /// default; turning it on defends against a Byzantine leader at the
     /// cost of `b` signature verifications per block.
     pub verify_blocks: bool,
+    /// Worker threads for the governors' batched signature/VRF
+    /// verification pool (`0` = host parallelism). Any value yields
+    /// bit-identical ledgers — pooling changes wall-clock only — so the
+    /// default of 1 keeps small simulations free of thread overhead.
+    pub verify_threads: usize,
     /// Master seed; every run with the same config is bit-identical.
     pub seed: u64,
 }
@@ -131,6 +136,7 @@ impl Default for ProtocolConfig {
             profit_per_tx: 1.0,
             validation_cost: 50,
             verify_blocks: false,
+            verify_threads: 1,
             seed: 42,
         }
     }

@@ -18,8 +18,9 @@ use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
-use prb_consensus::election::{elect, ElectionClaim};
+use prb_consensus::election::{elect_with_pool, ElectionClaim};
 use prb_consensus::stake::{StakeTable, StakeTransfer};
+use prb_consensus::verify_pool::VerifyPool;
 use prb_crypto::identity::NodeId;
 use prb_crypto::signer::{KeyPair, PublicKey, Sig};
 use prb_ledger::block::{Block, BlockEntry, Verdict};
@@ -77,6 +78,10 @@ struct PendingTx {
     ltx: LabeledTx,
     provider: u32,
     reports: Vec<(u32, Label)>,
+    /// The provider signature each reporter's copy carried. Copies share
+    /// the tx id (it binds the signed payload) but a malicious relay can
+    /// attach a different signature, so verdicts are per copy.
+    sigs: Vec<(u32, Sig)>,
 }
 
 /// Governor actor state.
@@ -114,6 +119,15 @@ pub struct GovernorNode {
     /// Memoized provider-signature verdicts, keyed by
     /// `(provider, tx id, signature)`.
     sig_memo: HashMap<(u32, TxId, Sig), bool>,
+    /// Provider signatures awaiting the next batched drain: copies whose
+    /// verdict the memo does not know yet, as `(provider, tx id,
+    /// signature, signed bytes)`.
+    verify_queue: Vec<(u32, TxId, Sig, Vec<u8>)>,
+    /// Dedupe set over the queue's `(provider, tx id, signature)` keys.
+    queued: HashSet<(u32, TxId, Sig)>,
+    /// Drains accumulated verifications as RLC batches, optionally across
+    /// worker threads (`ProtocolConfig::verify_threads`).
+    verify_pool: VerifyPool,
     /// Open per-transaction Δ-window screening spans.
     screen_spans: HashMap<TxId, Span>,
     /// Screening tick of still-unchecked transactions (reveal/argue spans).
@@ -150,6 +164,7 @@ impl GovernorNode {
         let n = cfg.collectors as usize;
         let s = cfg.s() as usize;
         let stake_table = StakeTable::uniform(cfg.governors as usize, cfg.stake_per_governor);
+        let verify_pool = VerifyPool::new(cfg.verify_threads);
         GovernorNode {
             index,
             key,
@@ -178,6 +193,9 @@ impl GovernorNode {
             leader: None,
             obs: Obs::off(),
             sig_memo: HashMap::new(),
+            verify_queue: Vec::new(),
+            queued: HashSet::new(),
+            verify_pool,
             screen_spans: HashMap::new(),
             screened_at: HashMap::new(),
             election_span: None,
@@ -315,12 +333,13 @@ impl GovernorNode {
     }
 
     fn run_election(&mut self, now: u64) {
-        let (result, _rejected) = elect(
+        let (result, _rejected) = elect_with_pool(
             b"prb-chain",
             self.round,
             &self.claims,
             self.stake_table.stakes(),
             &self.governor_pks,
+            &self.verify_pool,
         );
         self.leader = result.map(|r| r.leader);
         if let Some(leader) = self.leader {
@@ -347,38 +366,63 @@ impl GovernorNode {
         if !ltx.verify_collector(collector_pk) {
             return; // not actually from that collector
         }
-        // The paper's verify(c, Tx): the inner provider signature must be
-        // genuine and the provider must be linked with the collector.
+        // The paper's verify(c, Tx): the provider must be linked with the
+        // collector, and the inner provider signature must be genuine. The
+        // structural half is checked here; the signature check is deferred
+        // to the Δ-window drain so a round's copies verify as one batch —
+        // unless the memo already knows this copy's verdict.
         let provider = ltx.tx.payload.provider.index;
-        let provider_ok = ltx.tx.payload.provider.role == prb_crypto::identity::Role::Provider
+        let structural_ok = ltx.tx.payload.provider.role == prb_crypto::identity::Role::Provider
             && (provider as usize) < self.provider_pks.len()
-            && self.topology.linked(provider, collector)
-            && self.verify_provider_sig(provider, &ltx.tx);
-        if !provider_ok {
-            // Case 1: forged or mis-attributed transaction.
-            self.reputation.record_forgery(collector as usize);
-            self.metrics.forged_detected += 1;
-            self.obs.emit(
-                ctx.now().ticks(),
-                self.net_idx(),
-                ObsEvent::ForgeryDetected {
-                    collector: collector as u64,
-                },
-            );
+            && self.topology.linked(provider, collector);
+        if !structural_ok {
+            // Case 1: a mis-attributed transaction.
+            self.record_forgery(collector, ctx.now().ticks());
             return;
         }
         let id = ltx.tx.id();
-        if let Some(pending) = self.pending.get_mut(&id) {
-            if !pending.reports.iter().any(|(c, _)| *c == collector) {
-                pending.reports.push((collector, ltx.label));
+        let memo_key = (provider, id, ltx.tx.provider_sig.clone());
+        let verdict = self.sig_memo.get(&memo_key).copied();
+        if verdict.is_some() {
+            self.metrics.sig_memo_hits += 1;
+            if self.obs.is_enabled() {
+                self.obs.metrics().inc("gov.sig_memo_hit");
             }
+        }
+        if verdict == Some(false) {
+            // Case 1: a known-forged provider signature.
+            self.record_forgery(collector, ctx.now().ticks());
+            return;
+        }
+        if let Some(pending) = self.pending.get_mut(&id) {
+            if pending.reports.iter().any(|(c, _)| *c == collector) {
+                // Duplicate copy from a reporter already in the window: no
+                // report rides on it, so nothing joins the batch — but a
+                // forged-signature probe is still case 1, checked eagerly.
+                if verdict.is_none() && !self.verify_provider_sig(provider, &ltx.tx) {
+                    self.record_forgery(collector, ctx.now().ticks());
+                }
+                return;
+            }
+            if verdict.is_none() {
+                Self::enqueue_verify(&mut self.verify_queue, &mut self.queued, memo_key, &ltx.tx);
+            }
+            pending.reports.push((collector, ltx.label));
+            pending.sigs.push((collector, ltx.tx.provider_sig));
             return;
         }
         if let Some(record) = self.history.get_mut(&id) {
-            // Late report (after screening): still informs reputations.
+            // Late report (after screening): no batch is pending for it, so
+            // resolve the signature now (the memo almost always answers —
+            // screening verified this id already).
             if record.reports.iter().any(|(c, _)| *c == collector) {
                 return;
             }
+            if verdict.is_none() && !self.verify_provider_sig(provider, &ltx.tx) {
+                self.record_forgery(collector, ctx.now().ticks());
+                return;
+            }
+            let record = self.history.get_mut(&id).expect("checked above");
             record.reports.push((collector, ltx.label));
             match record.outcome {
                 Outcome::Checked { valid } => {
@@ -391,6 +435,9 @@ impl GovernorNode {
             return;
         }
         // First copy: open the Δ window (starttime(tx, Δ)).
+        if verdict.is_none() {
+            Self::enqueue_verify(&mut self.verify_queue, &mut self.queued, memo_key, &ltx.tx);
+        }
         let timer = ctx.set_timer(SimDuration(self.cfg.aggregation_window()));
         self.timers.insert(timer, id);
         self.screen_spans
@@ -400,17 +447,125 @@ impl GovernorNode {
             PendingTx {
                 provider,
                 reports: vec![(collector, ltx.label)],
+                sigs: vec![(collector, ltx.tx.provider_sig.clone())],
                 ltx,
             },
         );
     }
 
+    /// Records a case-1 forgery against `collector`.
+    fn record_forgery(&mut self, collector: u32, now: u64) {
+        self.reputation.record_forgery(collector as usize);
+        self.metrics.forged_detected += 1;
+        self.obs.emit(
+            now,
+            self.net_idx(),
+            ObsEvent::ForgeryDetected {
+                collector: collector as u64,
+            },
+        );
+    }
+
+    /// Queues a provider signature for the next batched drain (deduped).
+    fn enqueue_verify(
+        queue: &mut Vec<(u32, TxId, Sig, Vec<u8>)>,
+        queued: &mut HashSet<(u32, TxId, Sig)>,
+        key: (u32, TxId, Sig),
+        tx: &SignedTx,
+    ) {
+        if queued.insert(key.clone()) {
+            queue.push((key.0, key.1, key.2, tx.signing_bytes()));
+        }
+    }
+
+    /// Drains the verification queue through the pool as one batch and
+    /// folds the verdicts into the signature memo.
+    fn drain_verify_queue(&mut self) {
+        if self.verify_queue.is_empty() {
+            return;
+        }
+        let queue = std::mem::take(&mut self.verify_queue);
+        self.queued.clear();
+        if self.obs.is_enabled() {
+            self.obs
+                .metrics()
+                .observe("crypto.batch.size", queue.len() as u64);
+        }
+        let items: Vec<(&[u8], &Sig, &PublicKey)> = queue
+            .iter()
+            .map(|(p, _, sig, msg)| (&msg[..], sig, &self.provider_pks[*p as usize]))
+            .collect();
+        let verdicts = self.verify_pool.verify_sigs(&items);
+        self.metrics.sig_memo_misses += queue.len() as u64;
+        if self.obs.is_enabled() {
+            self.obs
+                .metrics()
+                .add("gov.sig_memo_miss", queue.len() as u64);
+        }
+        for ((p, id, sig, _), ok) in queue.into_iter().zip(verdicts) {
+            if self.sig_memo.len() >= SIG_MEMO_MAX {
+                self.sig_memo.clear();
+            }
+            self.sig_memo.insert((p, id, sig), ok);
+        }
+    }
+
     fn screen_tx(&mut self, id: TxId, ctx: &mut Context<'_, ProtocolMsg>) {
-        let Some(pending) = self.pending.remove(&id) else {
+        let Some(mut pending) = self.pending.remove(&id) else {
             return;
         };
+        // Settle every provider signature queued during the Δ window in
+        // one pooled batch, then attribute forgeries per reporting copy.
+        self.drain_verify_queue();
         let provider = pending.provider;
-        let mut reports = pending.reports.clone();
+        let signed_bytes = pending.ltx.tx.signing_bytes();
+        let mut ok_reports = Vec::with_capacity(pending.reports.len());
+        let mut good_sig: Option<Sig> = None;
+        for (collector, label) in pending.reports.drain(..) {
+            let sig = pending
+                .sigs
+                .iter()
+                .find(|(c, _)| *c == collector)
+                .map(|(_, s)| s.clone())
+                .expect("every reporter recorded a signature");
+            let key = (provider, id, sig.clone());
+            let ok = match self.sig_memo.get(&key) {
+                Some(&ok) => ok,
+                None => {
+                    // The memo filled and was cleared between the drain and
+                    // this lookup; verify the straggler inline.
+                    let ok = self.provider_pks[provider as usize].verify(&signed_bytes, &sig);
+                    self.sig_memo.insert(key, ok);
+                    ok
+                }
+            };
+            if ok {
+                if good_sig.is_none() {
+                    good_sig = Some(sig);
+                }
+                ok_reports.push((collector, label));
+            } else {
+                // Case 1, attributed at screen time: this reporter's copy
+                // carried a forged provider signature.
+                self.record_forgery(collector, ctx.now().ticks());
+            }
+        }
+        if ok_reports.is_empty() {
+            // Every copy was forged: nothing to screen (and no screening
+            // randomness is consumed, matching the eager-verification
+            // behaviour where such a window never opened).
+            self.screen_spans.remove(&id);
+            return;
+        }
+        // If the first-arrived copy carried a forged signature, re-home the
+        // buffered transaction onto a verified one so block entries never
+        // embed a bad signature.
+        if let Some(good) = good_sig {
+            if pending.ltx.tx.provider_sig != good {
+                pending.ltx.tx.provider_sig = good;
+            }
+        }
+        let mut reports = ok_reports;
         reports.sort_by_key(|(c, _)| *c);
         let screen_reports: Vec<Report> = reports
             .iter()
@@ -642,12 +797,53 @@ impl GovernorNode {
     /// own signature is also genuine... the provider signature alone
     /// suffices for Almost No Creation, so that is what is checked (the
     /// reported labels are the leader's claim and feed only revenue).
+    ///
+    /// Signatures the memo does not already know are verified as one
+    /// pooled batch instead of entry by entry.
     fn entries_authentic(&mut self, block: &Block) -> bool {
+        for e in &block.entries {
+            let p = e.tx.payload.provider.index;
+            if e.tx.payload.provider.role != prb_crypto::identity::Role::Provider
+                || (p as usize) >= self.provider_pks.len()
+            {
+                return false;
+            }
+        }
+        // Batch every signature the memo cannot answer.
+        let mut fresh: Vec<(u32, TxId, Sig, Vec<u8>)> = Vec::new();
+        let mut seen: HashSet<(u32, TxId, Sig)> = HashSet::new();
+        for e in &block.entries {
+            let p = e.tx.payload.provider.index;
+            let key = (p, e.tx.id(), e.tx.provider_sig.clone());
+            if !self.sig_memo.contains_key(&key) && seen.insert(key.clone()) {
+                fresh.push((key.0, key.1, key.2, e.tx.signing_bytes()));
+            }
+        }
+        if !fresh.is_empty() {
+            if self.obs.is_enabled() {
+                self.obs
+                    .metrics()
+                    .observe("crypto.batch.size", fresh.len() as u64);
+                self.obs
+                    .metrics()
+                    .add("gov.sig_memo_miss", fresh.len() as u64);
+            }
+            self.metrics.sig_memo_misses += fresh.len() as u64;
+            let items: Vec<(&[u8], &Sig, &PublicKey)> = fresh
+                .iter()
+                .map(|(p, _, sig, msg)| (&msg[..], sig, &self.provider_pks[*p as usize]))
+                .collect();
+            let verdicts = self.verify_pool.verify_sigs(&items);
+            for ((p, id, sig, _), ok) in fresh.into_iter().zip(verdicts) {
+                if self.sig_memo.len() >= SIG_MEMO_MAX {
+                    self.sig_memo.clear();
+                }
+                self.sig_memo.insert((p, id, sig), ok);
+            }
+        }
         block.entries.iter().all(|e| {
             let p = e.tx.payload.provider.index;
-            e.tx.payload.provider.role == prb_crypto::identity::Role::Provider
-                && (p as usize) < self.provider_pks.len()
-                && self.verify_provider_sig(p, &e.tx)
+            self.verify_provider_sig(p, &e.tx)
         })
     }
 

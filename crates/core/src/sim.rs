@@ -384,6 +384,10 @@ impl Simulation {
             m.add("crypto.multi_pow_calls", d.multi_pow_calls);
             m.add("crypto.table_builds", d.table_builds);
             m.add("crypto.table_pows", d.table_pows);
+            m.add("crypto.batch.calls", d.batch_calls);
+            m.add("crypto.batch.items", d.batch_items);
+            m.add("crypto.batch.bisect_steps", d.batch_bisect_steps);
+            m.add("crypto.batch.fallback_items", d.batch_fallback_items);
         }
         self.obs.flush();
         self.obs.summary()

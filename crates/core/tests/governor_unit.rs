@@ -437,9 +437,10 @@ fn sig_memo_caches_verdicts_and_forged_probes_stay_false() {
     rig.run();
     let m = rig.governor().metrics();
     assert_eq!(m.forged_detected, 2, "cached false verdicts stay false");
-    assert_eq!(
-        m.sig_memo_misses, 2,
-        "one real check per distinct (id, sig)"
-    );
-    assert_eq!(m.sig_memo_hits, 2);
+    // One real check per distinct (id, sig): the genuine signature settles
+    // in the Δ-window batch (both reporters' copies fold into it), the
+    // forged probe is checked eagerly when first seen.
+    assert_eq!(m.sig_memo_misses, 2);
+    // The second forged probe is answered straight from the memo.
+    assert_eq!(m.sig_memo_hits, 1);
 }

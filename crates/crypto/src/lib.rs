@@ -18,6 +18,8 @@
 //! - [`group`] — Schnorr groups over safe primes (RFC 3526 + test groups),
 //! - [`schnorr`] — deterministic Schnorr signatures,
 //! - [`dleq`] — Chaum–Pedersen discrete-log-equality proofs,
+//! - [`batch`] — randomized-linear-combination batch verification with
+//!   failure bisection,
 //! - [`vrf`] — an ECVRF-style VRF built from hash-to-group + DLEQ,
 //! - [`merkle`] — Merkle trees with inclusion proofs,
 //! - [`sim`] — fast simulation-only signatures/VRF (see its security note),
@@ -42,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod bigint;
 pub mod dleq;
 pub mod group;

@@ -298,7 +298,10 @@ impl Signature {
 }
 
 /// Fiat–Shamir challenge `e = H(domain, r, y, m) mod q`.
-fn challenge(group: &SchnorrGroup, r: &BigUint, y: &BigUint, message: &[u8]) -> BigUint {
+///
+/// `pub(crate)` so the batch verifier ([`crate::batch`]) can recompute the
+/// same challenges when assembling its linear combination.
+pub(crate) fn challenge(group: &SchnorrGroup, r: &BigUint, y: &BigUint, message: &[u8]) -> BigUint {
     let mut h = Sha256::new();
     h.update_field(b"schnorr-challenge");
     h.update_field(group.name().as_bytes());

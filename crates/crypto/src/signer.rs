@@ -233,6 +233,74 @@ impl PublicKey {
     }
 }
 
+/// Verifies a batch of signatures across schemes, returning per-item
+/// verdicts in order.
+///
+/// Schnorr items are routed through the randomized-linear-combination
+/// batch ([`crate::batch::verify_batch`]) with failure bisection; sim
+/// items and scheme mismatches are verified individually (they are cheap
+/// hash checks or immediate rejections). Verdicts are identical to calling
+/// [`PublicKey::verify`] per item.
+pub fn verify_batch(items: &[(&[u8], &Sig, &PublicKey)]) -> Vec<bool> {
+    let mut out = vec![false; items.len()];
+    let mut schnorr_idx = Vec::new();
+    let mut schnorr_items: Vec<(&[u8], &schnorr::Signature, &VerifyingKey)> = Vec::new();
+    for (i, &(msg, sig, pk)) in items.iter().enumerate() {
+        match (pk, sig) {
+            (PublicKey::Schnorr(vk), Sig::Schnorr(s)) => {
+                schnorr_idx.push(i);
+                schnorr_items.push((msg, s, vk));
+            }
+            _ => out[i] = pk.verify(msg, sig),
+        }
+    }
+    match crate::batch::verify_batch(&schnorr_items) {
+        Ok(()) => {
+            for &i in &schnorr_idx {
+                out[i] = true;
+            }
+        }
+        Err(bad) => {
+            let mut good = vec![true; schnorr_idx.len()];
+            for b in bad {
+                good[b] = false;
+            }
+            for (&i, ok) in schnorr_idx.iter().zip(good) {
+                out[i] = ok;
+            }
+        }
+    }
+    out
+}
+
+/// Verifies a batch of VRF evaluations across schemes, returning the
+/// authenticated output per item (`None` where verification fails).
+///
+/// Schnorr evaluations batch their DLEQ proofs through
+/// [`crate::vrf::verify_batch`]; sim evaluations and scheme mismatches are
+/// handled individually. Results are identical to calling
+/// [`PublicKey::vrf_verify`] per item.
+pub fn vrf_verify_batch(items: &[(&[u8], &VrfEvaluation, &PublicKey)]) -> Vec<Option<Digest>> {
+    let mut out = vec![None; items.len()];
+    let mut schnorr_idx = Vec::new();
+    let mut schnorr_items: Vec<(&[u8], &VrfProof, &VerifyingKey)> = Vec::new();
+    for (i, &(msg, eval, pk)) in items.iter().enumerate() {
+        match (pk, eval) {
+            (PublicKey::Schnorr(vk), VrfEvaluation::Schnorr { proof, .. }) => {
+                schnorr_idx.push(i);
+                schnorr_items.push((msg, proof, vk));
+            }
+            _ => out[i] = pk.vrf_verify(msg, eval),
+        }
+    }
+    for (&i, verified) in schnorr_idx.iter().zip(vrf::verify_batch(&schnorr_items)) {
+        // Authenticated output must also match the claimed one, exactly as
+        // in the per-item `vrf_verify` path.
+        out[i] = verified.filter(|v| *v == items[i].1.output());
+    }
+    out
+}
+
 impl VrfEvaluation {
     /// The claimed output (unauthenticated until verified).
     pub fn output(&self) -> Digest {
@@ -349,6 +417,52 @@ mod tests {
         );
         assert!(CryptoScheme::parse("schnorr-2048").is_some());
         assert!(CryptoScheme::parse("rsa").is_none());
+    }
+
+    #[test]
+    fn scheme_level_batch_matches_per_item_verify() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // A deliberately mixed batch: sim and Schnorr keys, valid sigs,
+        // forged sigs, and a scheme mismatch.
+        let sim_kp = CryptoScheme::sim().keypair_from_seed(b"sim");
+        let sch_kp = CryptoScheme::schnorr_test_256().keypair_from_seed(b"sch");
+        let sim_sig = sim_kp.sign(b"m0");
+        let sch_sig = sch_kp.sign(b"m1");
+        let forged = Sig::forged(&CryptoScheme::schnorr_test_256(), &mut rng);
+        let sch_sig2 = sch_kp.sign(b"m3");
+        let (sim_pk, sch_pk) = (sim_kp.public_key(), sch_kp.public_key());
+        let items: Vec<(&[u8], &Sig, &PublicKey)> = vec![
+            (b"m0", &sim_sig, &sim_pk),
+            (b"m1", &sch_sig, &sch_pk),
+            (b"m2", &forged, &sch_pk),
+            (b"m3", &sch_sig2, &sch_pk),
+            (b"m4", &sim_sig, &sch_pk), // scheme mismatch
+        ];
+        let batch = verify_batch(&items);
+        let individual: Vec<bool> = items.iter().map(|(m, s, pk)| pk.verify(m, s)).collect();
+        assert_eq!(batch, individual);
+        assert_eq!(batch, vec![true, true, false, true, false]);
+    }
+
+    #[test]
+    fn scheme_level_vrf_batch_matches_per_item_verify() {
+        let sim_kp = CryptoScheme::sim().keypair_from_seed(b"sim");
+        let sch_kp = CryptoScheme::schnorr_test_256().keypair_from_seed(b"sch");
+        let sim_eval = sim_kp.vrf_evaluate(b"r1");
+        let sch_eval = sch_kp.vrf_evaluate(b"r1");
+        let (sim_pk, sch_pk) = (sim_kp.public_key(), sch_kp.public_key());
+        let items: Vec<(&[u8], &VrfEvaluation, &PublicKey)> = vec![
+            (b"r1", &sim_eval, &sim_pk),
+            (b"r1", &sch_eval, &sch_pk),
+            (b"r2", &sch_eval, &sch_pk), // wrong message
+            (b"r1", &sch_eval, &sim_pk), // scheme mismatch
+        ];
+        let batch = vrf_verify_batch(&items);
+        let individual: Vec<Option<Digest>> =
+            items.iter().map(|(m, e, pk)| pk.vrf_verify(m, e)).collect();
+        assert_eq!(batch, individual);
+        assert_eq!(batch[1], Some(sch_eval.output()));
+        assert_eq!(batch[2], None);
     }
 
     #[test]

@@ -12,7 +12,12 @@
 //! - `modexp_calls` — full modular exponentiations (Montgomery or plain),
 //! - `multi_pow_calls` — Straus/Shamir simultaneous exponentiations,
 //! - `table_builds` — fixed-base window-table precomputations,
-//! - `table_pows` — exponentiations answered from a fixed-base table.
+//! - `table_pows` — exponentiations answered from a fixed-base table,
+//! - `batch_calls` / `batch_items` — RLC batch verifications and the items
+//!   they covered ([`crate::batch`]),
+//! - `batch_bisect_steps` — batch splits while isolating a bad item,
+//! - `batch_fallback_items` — batch items that ended up individually
+//!   verified (singleton partitions and bisection leaves).
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
@@ -20,6 +25,10 @@ static MODEXP_CALLS: AtomicU64 = AtomicU64::new(0);
 static MULTI_POW_CALLS: AtomicU64 = AtomicU64::new(0);
 static TABLE_BUILDS: AtomicU64 = AtomicU64::new(0);
 static TABLE_POWS: AtomicU64 = AtomicU64::new(0);
+static BATCH_CALLS: AtomicU64 = AtomicU64::new(0);
+static BATCH_ITEMS: AtomicU64 = AtomicU64::new(0);
+static BATCH_BISECT_STEPS: AtomicU64 = AtomicU64::new(0);
+static BATCH_FALLBACK_ITEMS: AtomicU64 = AtomicU64::new(0);
 
 #[inline]
 pub(crate) fn record_modexp() {
@@ -41,6 +50,22 @@ pub(crate) fn record_table_pow() {
     TABLE_POWS.fetch_add(1, Relaxed);
 }
 
+#[inline]
+pub(crate) fn record_batch(items: u64) {
+    BATCH_CALLS.fetch_add(1, Relaxed);
+    BATCH_ITEMS.fetch_add(items, Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_batch_bisect() {
+    BATCH_BISECT_STEPS.fetch_add(1, Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_batch_fallback(items: u64) {
+    BATCH_FALLBACK_ITEMS.fetch_add(items, Relaxed);
+}
+
 /// A point-in-time snapshot of the process-wide crypto counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CryptoStats {
@@ -52,6 +77,14 @@ pub struct CryptoStats {
     pub table_builds: u64,
     /// Exponentiations served from a fixed-base table.
     pub table_pows: u64,
+    /// RLC batch-verification calls (Schnorr or DLEQ).
+    pub batch_calls: u64,
+    /// Total items passed to batch verification.
+    pub batch_items: u64,
+    /// Batch halvings performed while bisecting to a bad item.
+    pub batch_bisect_steps: u64,
+    /// Batch items that fell back to individual verification.
+    pub batch_fallback_items: u64,
 }
 
 impl CryptoStats {
@@ -63,6 +96,14 @@ impl CryptoStats {
             multi_pow_calls: self.multi_pow_calls.saturating_sub(earlier.multi_pow_calls),
             table_builds: self.table_builds.saturating_sub(earlier.table_builds),
             table_pows: self.table_pows.saturating_sub(earlier.table_pows),
+            batch_calls: self.batch_calls.saturating_sub(earlier.batch_calls),
+            batch_items: self.batch_items.saturating_sub(earlier.batch_items),
+            batch_bisect_steps: self
+                .batch_bisect_steps
+                .saturating_sub(earlier.batch_bisect_steps),
+            batch_fallback_items: self
+                .batch_fallback_items
+                .saturating_sub(earlier.batch_fallback_items),
         }
     }
 }
@@ -74,6 +115,10 @@ pub fn snapshot() -> CryptoStats {
         multi_pow_calls: MULTI_POW_CALLS.load(Relaxed),
         table_builds: TABLE_BUILDS.load(Relaxed),
         table_pows: TABLE_POWS.load(Relaxed),
+        batch_calls: BATCH_CALLS.load(Relaxed),
+        batch_items: BATCH_ITEMS.load(Relaxed),
+        batch_bisect_steps: BATCH_BISECT_STEPS.load(Relaxed),
+        batch_fallback_items: BATCH_FALLBACK_ITEMS.load(Relaxed),
     }
 }
 
@@ -88,6 +133,9 @@ mod tests {
         record_multi_pow();
         record_table_build();
         record_table_pow();
+        record_batch(5);
+        record_batch_bisect();
+        record_batch_fallback(2);
         let after = snapshot();
         let d = after.delta_since(&before);
         // Other tests run concurrently and also bump the counters, so only
@@ -96,6 +144,10 @@ mod tests {
         assert!(d.multi_pow_calls >= 1);
         assert!(d.table_builds >= 1);
         assert!(d.table_pows >= 1);
+        assert!(d.batch_calls >= 1);
+        assert!(d.batch_items >= 5);
+        assert!(d.batch_bisect_steps >= 1);
+        assert!(d.batch_fallback_items >= 2);
         // A stale snapshot must not underflow.
         assert_eq!(before.delta_since(&after).table_builds, 0);
     }

@@ -263,7 +263,12 @@ impl Chain {
         let (body, trailer) = bytes.split_at(bytes.len() - 32);
         let mut r = codec::Reader::new(body);
         let header = &body[..16];
-        let b_limit = u64::from_be_bytes(header[..8].try_into().expect("8 bytes")) as usize;
+        // `b_limit` arrives as a u64 from untrusted bytes; a plain
+        // `as usize` cast would silently truncate on 32-bit targets and
+        // turn an absurd bound into a small one.
+        let b_limit: usize = u64::from_be_bytes(header[..8].try_into().expect("8 bytes"))
+            .try_into()
+            .map_err(|_| "b_limit field exceeds the platform word size".to_string())?;
         let count = u64::from_be_bytes(header[8..16].try_into().expect("8 bytes"));
         // Skip the header in the reader.
         r.skip(16).expect("length checked above");
@@ -450,6 +455,66 @@ mod tests {
         }
         for s in 0..=3 {
             assert_eq!(a.retrieve(s), b.retrieve(s));
+        }
+    }
+
+    #[test]
+    fn import_corruption_matrix_errors_without_panicking() {
+        // A valid export, then every class of corruption the wire can
+        // produce. Each mutation must yield Err — never a panic, never a
+        // silently wrong chain.
+        let mut chain = Chain::new(b"t", 100);
+        for i in 0..3 {
+            chain
+                .append(extend(&chain, vec![entry(i, Verdict::CheckedValid)]))
+                .unwrap();
+        }
+        let good = chain.export();
+        assert!(Chain::import(&good).is_ok(), "baseline export must import");
+
+        // Truncated body: every prefix shorter than the full export.
+        for cut in [0, 1, 15, 16, 47, 48, good.len() / 2, good.len() - 1] {
+            assert!(
+                Chain::import(&good[..cut]).is_err(),
+                "truncation to {cut} bytes must fail"
+            );
+        }
+
+        // Inflated count: header promises more blocks than the body holds.
+        let mut inflated = good.clone();
+        inflated[8..16].copy_from_slice(&u64::MAX.to_be_bytes());
+        assert!(Chain::import(&inflated).is_err());
+
+        // Oversized b_limit: u64::MAX either exceeds the platform word
+        // size (32-bit) or trips the authentication trailer (64-bit); it
+        // must never truncate into a small bound.
+        let mut oversized = good.clone();
+        oversized[..8].copy_from_slice(&u64::MAX.to_be_bytes());
+        assert!(Chain::import(&oversized).is_err());
+
+        // Flipped trailer byte: the authentication trailer must reject.
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert!(Chain::import(&flipped).is_err());
+    }
+
+    #[test]
+    fn import_rejects_every_single_byte_flip() {
+        // Every byte of the export is structural or hash-committed, so any
+        // one-bit corruption must surface as an error (and must not panic).
+        let mut chain = Chain::new(b"t", 16);
+        chain
+            .append(extend(&chain, vec![entry(0, Verdict::CheckedValid)]))
+            .unwrap();
+        let good = chain.export();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x80;
+            assert!(
+                Chain::import(&bad).is_err(),
+                "flip of byte {i} went undetected"
+            );
         }
     }
 

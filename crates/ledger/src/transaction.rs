@@ -148,12 +148,16 @@ impl SignedTx {
         ))
     }
 
+    /// The exact bytes [`SignedTx::verify`] checks the provider signature
+    /// against — exposed so callers can accumulate `(bytes, sig, key)`
+    /// triples and drain them through a batch verifier.
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        self.payload.signing_bytes(self.timestamp)
+    }
+
     /// Verifies the provider signature against `provider_pk`.
     pub fn verify(&self, provider_pk: &PublicKey) -> bool {
-        provider_pk.verify(
-            &self.payload.signing_bytes(self.timestamp),
-            &self.provider_sig,
-        )
+        provider_pk.verify(&self.signing_bytes(), &self.provider_sig)
     }
 
     /// Approximate wire size in bytes (for bandwidth accounting).

@@ -37,6 +37,18 @@ impl SimTime {
     pub fn since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
+
+    /// `self + rhs`, or `None` on overflow.
+    pub fn checked_add(self, rhs: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// `self + rhs`, clamped to [`SimTime::MAX`] on overflow. The only
+    /// arithmetic that may legitimately saturate — use it (not `+`) when
+    /// clamping to "never" is the intended semantics.
+    pub fn saturating_add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
 }
 
 impl SimDuration {
@@ -52,11 +64,30 @@ impl SimDuration {
     pub fn ticks(self) -> u64 {
         self.0
     }
+
+    /// `self + rhs`, or `None` on overflow.
+    pub fn checked_add(self, rhs: SimDuration) -> Option<SimDuration> {
+        self.0.checked_add(rhs.0).map(SimDuration)
+    }
+
+    /// `self + rhs`, clamped to `u64::MAX` ticks on overflow.
+    pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
 }
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
+        // Overflow here is a scheduling bug (an event pushed past the end
+        // of representable time), not a value the kernel can act on: the
+        // saturated result silently reorders timers that should have been
+        // distinct. Loudly reject it in debug builds; saturate in release
+        // so a long-running sim degrades instead of aborting.
+        debug_assert!(
+            self.0.checked_add(rhs.0).is_some(),
+            "SimTime overflow: {self:?} + {rhs:?} exceeds representable time"
+        );
         SimTime(self.0.saturating_add(rhs.0))
     }
 }
@@ -77,6 +108,10 @@ impl Sub<SimTime> for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(
+            self.0.checked_add(rhs.0).is_some(),
+            "SimDuration overflow: {self:?} + {rhs:?} exceeds u64 ticks"
+        );
         SimDuration(self.0.saturating_add(rhs.0))
     }
 }
@@ -165,11 +200,45 @@ mod tests {
 
     #[test]
     fn saturation_at_extremes() {
-        assert_eq!(SimTime::MAX + SimDuration(1), SimTime::MAX);
+        // Intentional clamping goes through the explicit saturating API;
+        // the `+` operators assert on overflow in debug builds.
+        assert_eq!(SimTime::MAX.saturating_add(SimDuration(1)), SimTime::MAX);
         assert_eq!(
-            SimDuration(u64::MAX) + SimDuration(1),
+            SimDuration(u64::MAX).saturating_add(SimDuration(1)),
             SimDuration(u64::MAX)
         );
+        assert_eq!(SimTime::MAX.checked_add(SimDuration(1)), None);
+        assert_eq!(SimDuration(u64::MAX).checked_add(SimDuration(1)), None);
+    }
+
+    #[test]
+    fn near_max_arithmetic_is_exact() {
+        // Regression: arithmetic that *fits* near the top of the range must
+        // stay exact — the old silent saturation could only be told apart
+        // from a correct result by pinning these values.
+        let near = SimTime(u64::MAX - 10);
+        assert_eq!(near + SimDuration(10), SimTime::MAX);
+        assert_eq!(near.checked_add(SimDuration(10)), Some(SimTime::MAX));
+        assert_eq!(near.checked_add(SimDuration(11)), None);
+        assert_eq!(SimTime::MAX.since(near), SimDuration(10));
+        assert_eq!(
+            SimDuration(u64::MAX - 1) + SimDuration(1),
+            SimDuration(u64::MAX)
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "SimTime overflow")]
+    fn overflowing_time_add_panics_in_debug() {
+        let _ = SimTime::MAX + SimDuration(1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "SimDuration overflow")]
+    fn overflowing_duration_add_panics_in_debug() {
+        let _ = SimDuration(u64::MAX) + SimDuration(1);
     }
 
     #[test]

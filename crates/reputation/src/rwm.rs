@@ -139,10 +139,14 @@ impl Rwm {
         self.expected_loss += l_t;
 
         // Weight-proportional draw among reporters (the screening draw).
+        // Zero-weight reporters (multiplicative underflow after enough
+        // discounting) must carry zero probability, so they are skipped:
+        // a draw of exactly 0.0 would otherwise land on the first reporter
+        // regardless of its weight, since `pick -= 0.0` keeps `pick ≤ 0`.
         let mut pick = rng.gen::<f64>() * reporting_total;
         let mut picked = None;
         for (i, a) in advice.iter().enumerate() {
-            if matches!(a, Advice::Abstain) {
+            if matches!(a, Advice::Abstain) || self.weights[i] <= 0.0 {
                 continue;
             }
             pick -= self.weights[i];
@@ -152,12 +156,12 @@ impl Rwm {
             }
         }
         // Float round-off can leave `pick` marginally positive: take the
-        // last reporter.
+        // last positively weighted reporter.
         let picked = picked.unwrap_or_else(|| {
-            advice
-                .iter()
-                .rposition(|a| !matches!(a, Advice::Abstain))
-                .expect("reporting_total > 0 implies a reporter exists")
+            (0..advice.len())
+                .rev()
+                .find(|&i| !matches!(advice[i], Advice::Abstain) && self.weights[i] > 0.0)
+                .expect("reporting_total > 0 implies a positively weighted reporter")
         });
         if matches!(advice[picked], Advice::Wrong) {
             self.realized_loss += 2.0;
@@ -390,6 +394,56 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         rwm.round(&[Advice::Correct, Advice::Wrong], &mut rng);
         assert!((rwm.weight(1) - 0.9).abs() < 1e-12);
+    }
+
+    /// Deterministic RNG whose `gen::<f64>()` is exactly 0.0 — the
+    /// adversarial draw for the zero-weight regression below.
+    struct ZeroRng;
+
+    impl rand::RngCore for ZeroRng {
+        fn next_u64(&mut self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn zero_weight_reporter_is_never_drawn() {
+        // Expert 0 answers Wrong until multiplicative discounting
+        // underflows its weight to exactly 0.0 (FixedBeta keeps γ = β, so
+        // 0.01^k hits the subnormal floor fast). Expert 1 stays perfect.
+        let mut rwm = Rwm::new(2, 0.01);
+        rwm.set_gamma_mode(GammaMode::FixedBeta);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..300 {
+            rwm.round(&[Advice::Wrong, Advice::Correct], &mut rng);
+        }
+        assert_eq!(rwm.weight(0), 0.0, "weight must have underflowed");
+        assert_eq!(rwm.weight(1), 1.0);
+        // A draw of exactly 0.0 used to land on the zero-weight reporter
+        // (`pick -= 0.0` leaves `pick ≤ 0` immediately); it must now pick
+        // the only positively weighted one.
+        let realized_before = rwm.realized_loss();
+        let picked = rwm.round(&[Advice::Wrong, Advice::Correct], &mut ZeroRng);
+        assert_eq!(picked, Some(1));
+        assert_eq!(rwm.realized_loss(), realized_before);
+    }
+
+    #[test]
+    fn rposition_fallback_skips_trailing_zero_weight_reporter() {
+        // Mirror image: the LAST reporter is the zero-weight one, so the
+        // round-off fallback path (draw ≈ reporting_total) must also skip
+        // it rather than blindly taking the last non-abstainer.
+        let mut rwm = Rwm::new(2, 0.01);
+        rwm.set_gamma_mode(GammaMode::FixedBeta);
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..300 {
+            rwm.round(&[Advice::Correct, Advice::Wrong], &mut rng);
+        }
+        assert_eq!(rwm.weight(1), 0.0);
+        for _ in 0..50 {
+            let picked = rwm.round(&[Advice::Correct, Advice::Wrong], &mut rng);
+            assert_eq!(picked, Some(0));
+        }
     }
 
     #[test]

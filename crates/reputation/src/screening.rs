@@ -84,15 +84,29 @@ pub fn screen<R: Rng + ?Sized>(
     let (drawn, pr_drawn) = if total <= 0.0 {
         (rng.gen_range(0..reports.len()), 0.0)
     } else {
+        // Zero-weight reports must carry zero draw probability: a pick of
+        // exactly 0.0 would otherwise land on the first report regardless
+        // of its weight (`pick -= 0.0` keeps `pick ≤ 0`).
         let mut pick = rng.gen::<f64>() * total;
-        let mut drawn = reports.len() - 1;
+        let mut drawn = None;
         for (i, r) in reports.iter().enumerate() {
+            if r.weight <= 0.0 {
+                continue;
+            }
             pick -= r.weight;
             if pick <= 0.0 {
-                drawn = i;
+                drawn = Some(i);
                 break;
             }
         }
+        // Float round-off can leave `pick` marginally positive: take the
+        // last positively weighted report.
+        let drawn = drawn.unwrap_or_else(|| {
+            (0..reports.len())
+                .rev()
+                .find(|&i| reports[i].weight > 0.0)
+                .expect("total > 0 implies a positively weighted report")
+        });
         (drawn, reports[drawn].weight / total)
     };
     let check = if reports[drawn].labeled_valid || total <= 0.0 {
@@ -189,6 +203,42 @@ mod tests {
         assert!((p0 - 0.75).abs() < 0.02, "p0 {p0}");
         assert!((p1 - 0.25).abs() < 0.02, "p1 {p1}");
         assert_eq!(counts[2], 0, "zero-weight reporter must never be drawn");
+    }
+
+    /// Deterministic stub: `gen::<f64>()` returns exactly 0.0, the draw
+    /// value that used to land on the first report regardless of weight.
+    struct ZeroRng;
+
+    impl rand::RngCore for ZeroRng {
+        fn next_u64(&mut self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn zero_weight_first_reporter_is_never_drawn() {
+        // Regression: with a leading zero-weight report, a pick of exactly
+        // 0.0 must skip it and draw the positively weighted report.
+        let reports = [report(0, false, 0.0), report(1, false, 1.0)];
+        let out = screen(&reports, 0.5, &mut ZeroRng).unwrap();
+        assert_eq!(out.drawn, 1);
+        assert!((out.pr_drawn - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fallback_skips_trailing_zero_weight_reporter() {
+        // Mirror image: the round-off fallback (pick ≈ total) must take the
+        // last *positively weighted* report, not blindly the last report.
+        let reports = [
+            report(0, false, 2.0),
+            report(1, true, 1.0),
+            report(2, false, 0.0),
+        ];
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5_000 {
+            let out = screen(&reports, 0.5, &mut rng).unwrap();
+            assert_ne!(out.drawn, 2, "zero-weight report drawn");
+        }
     }
 
     #[test]

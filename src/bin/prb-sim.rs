@@ -89,6 +89,7 @@ fn main() -> Result<(), String> {
         println!("       --mode reputation|check-all|check-none");
         println!("       --workload uniform|carshare|insurance  --invalid-rate P");
         println!("       --crypto sim|schnorr-256|schnorr-512|schnorr-2048");
+        println!("       --verify-threads N   (0 = host parallelism; ledger is identical)");
         println!("       --misreporter i:p  --concealer i:p  --forger i:p  (repeatable)");
         println!("       --export-chain PATH");
         return Ok(());
@@ -113,6 +114,7 @@ fn main() -> Result<(), String> {
     };
     cfg.crypto = CryptoScheme::parse(&cli.get_str("crypto", "sim"))
         .ok_or_else(|| "unknown crypto scheme".to_owned())?;
+    cfg.verify_threads = cli.get("verify-threads", cfg.verify_threads);
     let rounds: u32 = cli.get("rounds", 10);
     let invalid_rate: f64 = cli.get("invalid-rate", 0.2);
 

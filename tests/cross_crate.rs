@@ -339,6 +339,45 @@ fn sim_and_schnorr_runs_agree_on_identical_traces() {
 }
 
 #[test]
+fn verify_pool_threads_never_change_the_ledger() {
+    // The config contract: `verify_threads` changes wall-clock only. A
+    // pooled run and a single-threaded run with the same seed must produce
+    // byte-identical chain exports on every governor.
+    let run = |verify_threads: usize| {
+        let cfg = ProtocolConfig {
+            providers: 4,
+            collectors: 4,
+            governors: 3,
+            replication: 2,
+            tx_per_provider: 2,
+            crypto: CryptoScheme::schnorr_test_256(),
+            verify_threads,
+            seed: 91,
+            ..Default::default()
+        };
+        let mut sim = Simulation::builder(cfg)
+            .provider_profiles(vec![
+                ProviderProfile {
+                    invalid_rate: 0.2,
+                    active: true
+                };
+                4
+            ])
+            .collector_profile(1, CollectorProfile::forger(0.5))
+            .build()
+            .unwrap();
+        sim.run(4);
+        (0..3)
+            .map(|g| sim.governor(g).chain().export())
+            .collect::<Vec<_>>()
+    };
+    let single = run(1);
+    let pooled = run(4);
+    assert_eq!(single, pooled, "pooled verification altered the ledger");
+    assert!(single.iter().all(|bytes| bytes.len() > 100));
+}
+
+#[test]
 fn obs_trace_reconciles_with_message_stats_across_the_facade() {
     use prb::obs::{EventKind, Obs, RingRecorder};
     use std::rc::Rc;
