@@ -18,6 +18,7 @@
 //! | E8 election fairness | `exp_election` |
 //! | E9 applications | `exp_apps` |
 //! | E10 safety/liveness properties | `exp_properties` |
+//! | E11 robustness under faults | `exp_faults` |
 //! | everything | `exp_all` |
 
 #![warn(missing_docs)]

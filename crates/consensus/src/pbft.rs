@@ -18,6 +18,14 @@
 //! (a simplification of the full PBFT view-change certificate, sufficient
 //! for crash faults; Byzantine primaries are out of scope for the
 //! baseline, which only serves as a message-count and latency yardstick).
+//!
+//! A replica that slept through one or more view changes (a healed crash
+//! window) catches up via state transfer instead of stalling: the first
+//! message it sees from a higher view triggers a [`PbftMsg::StateRequest`]
+//! to the sender (rate-limited to one per observed view), and the
+//! [`PbftMsg::StateResponse`] carries the responder's view and decided
+//! log, which the requester merges (deduplicated by sequence number)
+//! before adopting the view.
 
 use std::collections::{HashMap, HashSet};
 
@@ -65,6 +73,18 @@ pub enum PbftMsg {
         /// The proposed new view.
         new_view: u64,
     },
+    /// A replica that observed traffic from a higher view (e.g. after a
+    /// crash window) asking the sender for its current state.
+    StateRequest,
+    /// Reply to [`PbftMsg::StateRequest`]: the responder's view and its
+    /// full decided log. The requester adopts the higher view and merges
+    /// any decisions it missed (deduplicated by sequence number).
+    StateResponse {
+        /// The responder's current view.
+        view: u64,
+        /// Everything the responder has decided, as `(seq, value)` pairs.
+        decided: Vec<(u64, Digest)>,
+    },
 }
 
 /// One PBFT replica.
@@ -82,6 +102,13 @@ pub struct PbftReplica {
     prepared: HashSet<(u64, u64)>,
     committed_seqs: HashSet<(u64, u64)>,
     decided: Vec<(u64, Digest)>,
+    /// Sequence numbers present in `decided` — guards against the same
+    /// request being decided twice across a view change or a state
+    /// transfer replaying history.
+    decided_seqs: HashSet<u64>,
+    /// Views we have already sent a [`PbftMsg::StateRequest`] for, so a
+    /// burst of higher-view traffic triggers exactly one request.
+    state_requested: HashSet<u64>,
     view_votes: HashMap<u64, HashSet<u32>>,
     /// Pre-prepares for views we have not entered yet (buffered so a fast
     /// new primary does not outrun slower replicas' view changes).
@@ -112,6 +139,8 @@ impl PbftReplica {
             prepared: HashSet::new(),
             committed_seqs: HashSet::new(),
             decided: Vec::new(),
+            decided_seqs: HashSet::new(),
+            state_requested: HashSet::new(),
             view_votes: HashMap::new(),
             future_preprepares: Vec::new(),
             request_timer: None,
@@ -257,6 +286,44 @@ impl PbftReplica {
         }
     }
 
+    /// Asks `from` for its state the first time we observe traffic from
+    /// `view > self.view` — the catch-up path for a replica that slept
+    /// through one or more view changes (e.g. a healed crash window).
+    /// Rate-limited to one request per observed view.
+    fn maybe_request_state(&mut self, view: u64, from: usize, ctx: &mut Context<'_, PbftMsg>) {
+        if view <= self.view || !self.state_requested.insert(view) {
+            return;
+        }
+        self.obs.metrics().inc("pbft.state_requests");
+        ctx.send_sized(from, "pbft-staterequest", 8, PbftMsg::StateRequest);
+    }
+
+    /// Enters `new_view` (which must be higher than the current view):
+    /// replays buffered pre-prepares and, if this replica is the new
+    /// primary, re-proposes its backlog.
+    fn enter_view(&mut self, new_view: u64, ctx: &mut Context<'_, PbftMsg>) {
+        self.view = new_view;
+        self.obs.emit(
+            ctx.now().ticks(),
+            self.net_idx(),
+            ObsEvent::PbftViewChange { view: new_view },
+        );
+        self.prepared.clear();
+        // Replay pre-prepares buffered for this view.
+        let ready: Vec<_> = self
+            .future_preprepares
+            .iter()
+            .filter(|(v, _, _)| *v <= new_view)
+            .copied()
+            .collect();
+        self.future_preprepares.retain(|(v, _, _)| *v > new_view);
+        for (v, seq, value) in ready {
+            self.on_preprepare(v, seq, value, ctx);
+        }
+        // The new primary re-proposes its backlog.
+        self.try_propose(ctx);
+    }
+
     fn check_committed(&mut self, view: u64, seq: u64, value: Digest, now: u64) {
         let have = self
             .commits
@@ -264,7 +331,9 @@ impl PbftReplica {
             .map(HashSet::len)
             .unwrap_or(0);
         if have >= self.quorum() && self.committed_seqs.insert((view, seq)) {
-            self.decided.push((seq, value));
+            if self.decided_seqs.insert(seq) {
+                self.decided.push((seq, value));
+            }
             self.request_timer = None;
             self.obs
                 .emit(now, self.net_idx(), ObsEvent::PbftCommitted { view, seq });
@@ -289,6 +358,7 @@ impl Actor for PbftReplica {
                 if self.gov_of(env.from) != Some(self.primary_of(view)) {
                     return; // only the view's primary may pre-prepare
                 }
+                self.maybe_request_state(view, env.from, ctx);
                 self.on_preprepare(view, seq, value, ctx);
             }
             PbftMsg::Prepare { view, seq, value } => {
@@ -298,6 +368,7 @@ impl Actor for PbftReplica {
                 if view < self.view {
                     return;
                 }
+                self.maybe_request_state(view, env.from, ctx);
                 // Future-view prepares are recorded; the quorum check only
                 // fires once we have pre-prepared in that view ourselves.
                 self.record_prepare(view, seq, value, from);
@@ -312,11 +383,48 @@ impl Actor for PbftReplica {
                 if view < self.view {
                     return;
                 }
+                self.maybe_request_state(view, env.from, ctx);
                 self.commits
                     .entry((view, seq, value))
                     .or_default()
                     .insert(from);
                 self.check_committed(view, seq, value, ctx.now().ticks());
+            }
+            PbftMsg::StateRequest => {
+                if self.gov_of(env.from).is_none() {
+                    return;
+                }
+                let msg = PbftMsg::StateResponse {
+                    view: self.view,
+                    decided: self.decided.clone(),
+                };
+                let bytes = 8 + 40 * self.decided.len();
+                ctx.send_sized(env.from, "pbft-stateresponse", bytes, msg);
+            }
+            PbftMsg::StateResponse { view, decided } => {
+                if self.gov_of(env.from).is_none() {
+                    return;
+                }
+                // Merge any decisions we slept through; dedupe by seq so
+                // overlapping responses (or our own commit-quorum path)
+                // cannot double-decide.
+                let mut merged = false;
+                for (seq, value) in decided {
+                    if self.decided_seqs.insert(seq) {
+                        self.decided.push((seq, value));
+                        merged = true;
+                    }
+                }
+                if merged {
+                    // Restore global decision order after the merge.
+                    self.decided.sort_by_key(|&(seq, _)| seq);
+                    self.next_seq = self
+                        .next_seq
+                        .max(self.decided.last().map(|&(seq, _)| seq + 1).unwrap_or(0));
+                }
+                if view > self.view {
+                    self.enter_view(view, ctx);
+                }
             }
             PbftMsg::ViewChange { new_view } => {
                 let Some(from) = self.gov_of(env.from) else {
@@ -328,26 +436,7 @@ impl Actor for PbftReplica {
                 let votes = self.view_votes.entry(new_view).or_default();
                 votes.insert(from);
                 if votes.len() >= self.quorum() {
-                    self.view = new_view;
-                    self.obs.emit(
-                        ctx.now().ticks(),
-                        self.net_idx(),
-                        ObsEvent::PbftViewChange { view: new_view },
-                    );
-                    self.prepared.clear();
-                    // Replay pre-prepares buffered for this view.
-                    let ready: Vec<_> = self
-                        .future_preprepares
-                        .iter()
-                        .filter(|(v, _, _)| *v <= new_view)
-                        .copied()
-                        .collect();
-                    self.future_preprepares.retain(|(v, _, _)| *v > new_view);
-                    for (v, seq, value) in ready {
-                        self.on_preprepare(v, seq, value, ctx);
-                    }
-                    // The new primary re-proposes its backlog.
-                    self.try_propose(ctx);
+                    self.enter_view(new_view, ctx);
                 }
             }
         }
@@ -458,6 +547,47 @@ mod tests {
         let r = PbftReplica::new(0, 10, 0, SimDuration(10));
         assert_eq!(r.max_faults(), 3);
         assert_eq!(r.quorum(), 7);
+    }
+
+    #[test]
+    fn healed_replica_catches_up_via_state_transfer() {
+        let m = 7; // f = 2: tolerates the dead primary plus one sleeper
+        let mut net = build(m);
+        let mut faults = FaultPlan::none();
+        faults.crash(0, SimTime(0)); // primary of view 0, permanently dead
+        faults.crash_window(6, SimTime(0), SimTime(5_000));
+        net.set_faults(faults);
+        let v1 = sha256(b"while-6-slept");
+        for i in 1..6 {
+            net.send_external(i, "client", PbftMsg::ClientRequest(v1), SimTime(0));
+        }
+        // Replicas 1..=5 view-change to view 1 and decide v1 while 6 is
+        // down; after healing, traffic for v2 carries the higher view and
+        // triggers 6's state transfer.
+        let v2 = sha256(b"after-heal");
+        net.send_external(1, "client", PbftMsg::ClientRequest(v2), SimTime(6_000));
+        net.run_until(SimTime(12_000));
+        assert_eq!(net.node(6).view(), 1, "sleeper should adopt view 1");
+        assert_eq!(
+            net.node(6).decided(),
+            &[(0, v1), (1, v2)],
+            "sleeper should hold the missed decision and the live one, in seq order"
+        );
+        for i in 1..6 {
+            assert_eq!(net.node(i).decided(), &[(0, v1), (1, v2)], "replica {i}");
+        }
+        assert!(net.stats().kind("pbft-staterequest").sent >= 1);
+        assert!(net.stats().kind("pbft-stateresponse").sent >= 1);
+    }
+
+    #[test]
+    fn no_state_requests_in_the_normal_case() {
+        let m = 4;
+        let mut net = build(m);
+        let v = sha256(b"quiet");
+        net.send_external(0, "client", PbftMsg::ClientRequest(v), SimTime(0));
+        net.run_until(SimTime(400));
+        assert_eq!(net.stats().kind("pbft-staterequest").sent, 0);
     }
 
     #[test]

@@ -14,8 +14,9 @@ use prb_crypto::identity::NodeId;
 use prb_crypto::signer::{CryptoScheme, KeyPair, PublicKey, Sig};
 use prb_ledger::oracle::ValidityOracle;
 use prb_ledger::transaction::{Label, LabeledTx, SignedTx, TxPayload};
-use prb_net::message::{Envelope, NodeIdx};
+use prb_net::message::{Envelope, NodeIdx, TimerId};
 use prb_net::order::{ChannelId, OrderedInbox};
+use prb_net::retry::{ReliableSender, RetryConfig};
 use prb_net::sim::Context;
 use prb_obs::{EventKind as ObsEvent, Obs, ObsHandle};
 
@@ -44,6 +45,8 @@ pub struct CollectorNode {
     obs: ObsHandle,
     /// This collector's kernel node index (set with the obs handle).
     net_idx: u64,
+    /// Ack-based retransmission for tx uploads (None = fire-and-forget).
+    retry: Option<ReliableSender<ProtocolMsg>>,
 }
 
 impl CollectorNode {
@@ -75,6 +78,7 @@ impl CollectorNode {
             forged: 0,
             obs: Obs::off(),
             net_idx: 0,
+            retry: None,
         }
     }
 
@@ -82,8 +86,30 @@ impl CollectorNode {
     /// (defaults to [`Obs::off`]); adversarial actions then emit
     /// `col.adversary` events.
     pub fn set_obs(&mut self, obs: ObsHandle, net_idx: u64) {
-        self.obs = obs;
+        self.obs = obs.clone();
         self.net_idx = net_idx;
+        if let Some(r) = &mut self.retry {
+            r.set_obs(obs);
+        }
+    }
+
+    /// Enables reliable delivery for tx-upload sends.
+    pub fn set_reliable(&mut self, cfg: RetryConfig) {
+        self.retry = Some(ReliableSender::new(cfg));
+    }
+
+    /// Routes an ack for a tracked send.
+    pub fn on_ack(&mut self, token: u64) {
+        if let Some(r) = &mut self.retry {
+            r.on_ack(token);
+        }
+    }
+
+    /// Handles a timer fire (only retransmission timers reach collectors).
+    pub fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<'_, ProtocolMsg>) {
+        if let Some(r) = &mut self.retry {
+            r.on_timer(timer, ctx);
+        }
     }
 
     /// The collector's index.
@@ -166,16 +192,27 @@ impl CollectorNode {
         self.upload_seq += 1;
         self.uploaded += 1;
         let size = ltx.wire_size();
-        for &g in &self.governor_nets {
-            ctx.send_sized(
-                g,
-                "tx-upload",
-                size,
-                ProtocolMsg::TxUpload {
-                    seq,
-                    ltx: ltx.clone(),
-                },
-            );
+        let CollectorNode {
+            retry,
+            governor_nets,
+            ..
+        } = self;
+        for &g in governor_nets.iter() {
+            let msg = ProtocolMsg::TxUpload {
+                seq,
+                ltx: ltx.clone(),
+            };
+            match retry {
+                Some(r) => {
+                    r.send_with(ctx, g, "tx-upload", size + 8, |token| {
+                        ProtocolMsg::Reliable {
+                            token,
+                            inner: Box::new(msg),
+                        }
+                    });
+                }
+                None => ctx.send_sized(g, "tx-upload", size, msg),
+            }
         }
     }
 

@@ -111,6 +111,15 @@ pub struct ProtocolConfig {
     /// bit-identical ledgers — pooling changes wall-clock only — so the
     /// default of 1 keeps small simulations free of thread overhead.
     pub verify_threads: usize,
+    /// Wrap the critical hops (provider→collector submission,
+    /// collector→governor upload, block dissemination) in the ack-based
+    /// retry envelope from `prb_net::retry`. Off by default: a loss-free
+    /// network needs no retransmission and the envelope adds ack
+    /// traffic. Turn on for fault-injection runs.
+    pub reliable_delivery: bool,
+    /// Maximum blocks per `SyncResponse` page during anti-entropy chain
+    /// sync; a recovering node pages until it reaches the peer's head.
+    pub sync_page: usize,
     /// Master seed; every run with the same config is bit-identical.
     pub seed: u64,
 }
@@ -137,6 +146,8 @@ impl Default for ProtocolConfig {
             validation_cost: 50,
             verify_blocks: false,
             verify_threads: 1,
+            reliable_delivery: false,
+            sync_page: 16,
             seed: 42,
         }
     }
@@ -191,6 +202,9 @@ impl ProtocolConfig {
         }
         if self.stake_per_governor == 0 {
             return Err("governors need stake to be electable".into());
+        }
+        if self.sync_page == 0 {
+            return Err("sync_page must be positive".into());
         }
         if let RevealPolicy::Probabilistic { prob, .. } = self.reveal {
             if !(0.0..=1.0).contains(&prob) {
@@ -271,6 +285,15 @@ mod tests {
             ..Default::default()
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_sync_page_rejected() {
+        let cfg = ProtocolConfig {
+            sync_page: 0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("sync_page"));
     }
 
     #[test]

@@ -22,6 +22,7 @@ use prb_consensus::election::{elect_with_pool, ElectionClaim};
 use prb_consensus::stake::{StakeTable, StakeTransfer};
 use prb_consensus::verify_pool::VerifyPool;
 use prb_crypto::identity::NodeId;
+use prb_crypto::sha256::Digest;
 use prb_crypto::signer::{KeyPair, PublicKey, Sig};
 use prb_ledger::block::{Block, BlockEntry, Verdict};
 use prb_ledger::chain::Chain;
@@ -29,6 +30,7 @@ use prb_ledger::oracle::ValidityOracle;
 use prb_ledger::transaction::{Label, LabeledTx, SignedTx, TxId};
 use prb_net::message::{Envelope, NodeIdx, TimerId};
 use prb_net::order::{ChannelId, OrderedInbox};
+use prb_net::retry::{ReliableSender, RetryConfig};
 use prb_net::sim::Context;
 use prb_net::time::SimDuration;
 use prb_net::topology::Topology;
@@ -73,6 +75,32 @@ struct TxRecord {
 /// bounded however long the run.
 const SIG_MEMO_MAX: usize = 8192;
 
+/// Peer rotations before an anti-entropy sync round is abandoned (the
+/// next observed gap re-triggers it).
+const MAX_SYNC_ATTEMPTS: u32 = 8;
+
+/// Anti-entropy recovery status: crashed → recovering → synced.
+///
+/// A node cannot observe its own crash window; what it observes is the
+/// *evidence* of one — a round-number gap or a block past the next
+/// serial. Either moves it to `Recovering`, where it pages missing
+/// blocks from a peer (rotating peers that do not answer) until it
+/// reaches a peer's head, then returns to `Synced`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SyncState {
+    /// No known gap; the chain is believed current.
+    Synced,
+    /// Actively requesting missing block ranges.
+    Recovering {
+        /// Peer-rotation counter (resets on page progress).
+        attempt: u32,
+        /// Governor index currently being asked.
+        peer: u32,
+        /// Tick the gap was detected, for the recovery-time metric.
+        since: u64,
+    },
+}
+
 #[derive(Clone, Debug)]
 struct PendingTx {
     ltx: LabeledTx,
@@ -114,6 +142,24 @@ pub struct GovernorNode {
     round: u64,
     claims: Vec<ElectionClaim>,
     leader: Option<u32>,
+    /// This governor's own VRF claim for the current round, attached to
+    /// its block proposal so peers can rank it during head-fork
+    /// resolution.
+    my_claim: Option<ElectionClaim>,
+    /// Priority of the proposal that produced the chain head, as
+    /// `(vrf_output, governor, round)` — the election's ordering key
+    /// plus the round it was won in. `None` for settled heads (genesis,
+    /// sync-applied blocks, or heads with a committed successor), which
+    /// can never be displaced.
+    head_priority: Option<(Digest, u32, u64)>,
+    /// Serial of the lowest contiguous head block that is this
+    /// governor's own self-proposal elected *without* the full claim
+    /// set. Such blocks are provisional — the true winner's claim may
+    /// have been lost in transit — and are rolled back when a rival
+    /// proposal with a smaller election key arrives, when a successor
+    /// built on a different head proves the network chose otherwise, or
+    /// when recovery refetches the settled chain.
+    provisional_base: Option<u64>,
     metrics: GovernorMetrics,
     obs: ObsHandle,
     /// Memoized provider-signature verdicts, keyed by
@@ -135,6 +181,16 @@ pub struct GovernorNode {
     election_span: Option<Span>,
     proposal_span: Option<Span>,
     commit_span: Option<Span>,
+    /// Ack-based retransmission for block dissemination (None = off).
+    retry: Option<ReliableSender<ProtocolMsg>>,
+    /// Anti-entropy recovery state machine.
+    sync: SyncState,
+    /// Timers driving sync peer rotation, as `(attempt, height when
+    /// armed)` — a fire with stale values means progress happened and is
+    /// ignored.
+    sync_timers: HashMap<TimerId, (u32, u64)>,
+    /// Open recovery span (crash-recovery latency in the trace).
+    recovery_span: Option<Span>,
 }
 
 impl std::fmt::Debug for GovernorNode {
@@ -191,6 +247,9 @@ impl GovernorNode {
             round: 0,
             claims: Vec::new(),
             leader: None,
+            my_claim: None,
+            head_priority: None,
+            provisional_base: None,
             obs: Obs::off(),
             sig_memo: HashMap::new(),
             verify_queue: Vec::new(),
@@ -201,14 +260,38 @@ impl GovernorNode {
             election_span: None,
             proposal_span: None,
             commit_span: None,
+            retry: None,
+            sync: SyncState::Synced,
+            sync_timers: HashMap::new(),
+            recovery_span: None,
         }
     }
 
     /// Installs an observability hub (defaults to [`Obs::off`]); the
     /// governor then emits `gov.*` events and election / proposal /
-    /// screening / commit / reveal / argue phase spans.
+    /// screening / commit / reveal / argue / recovery phase spans.
     pub fn set_obs(&mut self, obs: ObsHandle) {
+        if let Some(r) = &mut self.retry {
+            r.set_obs(obs.clone());
+        }
         self.obs = obs;
+    }
+
+    /// Enables reliable delivery for block dissemination.
+    pub fn set_reliable(&mut self, cfg: RetryConfig) {
+        self.retry = Some(ReliableSender::new(cfg));
+    }
+
+    /// Routes an ack for a tracked send.
+    pub fn on_ack(&mut self, token: u64) {
+        if let Some(r) = &mut self.retry {
+            r.on_ack(token);
+        }
+    }
+
+    /// Whether the governor is mid-recovery (diagnostics).
+    pub fn is_recovering(&self) -> bool {
+        matches!(self.sync, SyncState::Recovering { .. })
     }
 
     fn net_idx(&self) -> u64 {
@@ -255,17 +338,36 @@ impl GovernorNode {
         self.pending.len()
     }
 
+    /// Broadcasts `msg` to every peer governor — through the retry
+    /// envelope when reliable delivery is on. Election claims and block
+    /// proposals are both critical hops: a lost claim makes the round's
+    /// election run under-informed (risking a head fork), and a lost
+    /// proposal forks the peer until it syncs.
     fn broadcast_governors(
-        &self,
+        &mut self,
         ctx: &mut Context<'_, ProtocolMsg>,
         kind: &'static str,
         size: usize,
-        msg: &ProtocolMsg,
+        msg: ProtocolMsg,
     ) {
-        for g in 0..self.cfg.governors as usize {
-            let peer = self.governor_base + g;
-            if peer != ctx.self_idx() {
-                ctx.send_sized(peer, kind, size, msg.clone());
+        let governors = self.cfg.governors as usize;
+        let base = self.governor_base;
+        let self_idx = ctx.self_idx();
+        let GovernorNode { retry, .. } = self;
+        for g in 0..governors {
+            let peer = base + g;
+            if peer == self_idx {
+                continue;
+            }
+            let msg = msg.clone();
+            match retry {
+                Some(r) => {
+                    r.send_with(ctx, peer, kind, size + 8, |token| ProtocolMsg::Reliable {
+                        token,
+                        inner: Box::new(msg),
+                    });
+                }
+                None => ctx.send_sized(peer, kind, size, msg),
             }
         }
     }
@@ -274,7 +376,13 @@ impl GovernorNode {
     pub fn on_message(&mut self, env: Envelope<ProtocolMsg>, ctx: &mut Context<'_, ProtocolMsg>) {
         match env.payload {
             ProtocolMsg::StartRound { round } => self.on_start_round(round, ctx),
-            ProtocolMsg::Election { round, claim } if round == self.round => {
+            ProtocolMsg::Election { round, claim }
+                if round == self.round
+                // Claims travel through the retry envelope, so a slow ack
+                // can deliver the same claim twice — dedupe by claimant
+                // before counting toward the full-set threshold.
+                && !self.claims.iter().any(|c| c.governor == claim.governor) =>
+            {
                 self.claims.push(claim);
                 if self.claims.len() == self.cfg.governors as usize {
                     self.run_election(ctx.now().ticks());
@@ -287,10 +395,10 @@ impl GovernorNode {
                 }
             }
             ProtocolMsg::ProposeBlock { round } => self.on_propose(round, ctx),
-            ProtocolMsg::BlockProposal(block) => self.on_block(block, ctx),
+            ProtocolMsg::BlockProposal { block, claim } => self.on_block(block, claim, ctx),
             ProtocolMsg::SyncRequest { have } => self.on_sync_request(have, env.from, ctx),
-            ProtocolMsg::SyncResponse { blocks } => {
-                self.on_sync_response(blocks, ctx.now().ticks());
+            ProtocolMsg::SyncResponse { blocks, head } => {
+                self.on_sync_response(blocks, head, env.from, ctx);
             }
             ProtocolMsg::Argue { tx, .. } => self.on_argue(tx, ctx),
             ProtocolMsg::StakeTransfer(transfer) => self.on_stake_transfer(transfer, ctx),
@@ -299,14 +407,29 @@ impl GovernorNode {
         }
     }
 
-    /// Handles a Δ aggregation timer.
+    /// Handles a timer: retransmission, sync rotation, or Δ aggregation.
     pub fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<'_, ProtocolMsg>) {
+        if let Some(r) = &mut self.retry {
+            if r.on_timer(timer, ctx) {
+                return;
+            }
+        }
+        if let Some((attempt, height)) = self.sync_timers.remove(&timer) {
+            self.on_sync_timer(attempt, height, ctx);
+            return;
+        }
         if let Some(tx) = self.timers.remove(&timer) {
             self.screen_tx(tx, ctx);
         }
     }
 
     fn on_start_round(&mut self, round: u64, ctx: &mut Context<'_, ProtocolMsg>) {
+        // A round-number gap is crash evidence: StartRound commands
+        // arrive every round, so skipping one means this node was deaf
+        // for at least a full round and may have missed blocks.
+        if round > self.round + 1 {
+            self.start_recovery(None, ctx);
+        }
         self.round = round;
         self.claims.clear();
         self.leader = None;
@@ -321,13 +444,14 @@ impl GovernorNode {
             self.stake_table.stake(self.index).unwrap_or(0),
             &self.key,
         );
+        self.my_claim = claim.clone();
         if let Some(claim) = claim {
             self.claims.push(claim.clone());
             self.broadcast_governors(
                 ctx,
                 "election-claim",
                 96,
-                &ProtocolMsg::Election { round, claim },
+                ProtocolMsg::Election { round, claim },
             );
         }
     }
@@ -666,11 +790,24 @@ impl GovernorNode {
     }
 
     fn on_propose(&mut self, round: u64, ctx: &mut Context<'_, ProtocolMsg>) {
+        // A leader already chosen means the election ran over the full
+        // claim set; electing from a partial set below may miss the true
+        // winner, so a block proposed that way stays provisional.
+        let informed = self.leader.is_some();
         if self.leader.is_none() {
             // Missing claims (crashed governors): elect from what arrived.
             self.run_election(ctx.now().ticks());
         }
         if self.leader != Some(self.index) {
+            return;
+        }
+        if self.provisional_base.is_some() {
+            // The previous provisional self-proposal is still
+            // unconfirmed; building on it would deepen a potential fork
+            // past what same-serial contests can undo. Skip the round —
+            // the streak resolves via a rival's key, a foreign
+            // successor, or recovery.
+            self.metrics.proposals_withheld += 1;
             return;
         }
         let _ = round;
@@ -737,15 +874,27 @@ impl GovernorNode {
                 if let Some(span) = self.commit_span.take() {
                     self.obs.end_span(span, now, self.net_idx());
                 }
+                // Rank the new head so same-serial rivals can contest it
+                // by election key, and mark it provisional when the
+                // election that produced it was under-informed.
+                self.head_priority = self
+                    .my_claim
+                    .clone()
+                    .and_then(|c| self.claim_key(&c, self.round));
+                if !informed && self.provisional_base.is_none() {
+                    self.provisional_base = Some(block.serial);
+                }
             }
             Err(_) => self.metrics.append_failures += 1,
         }
         self.metrics.rounds_led += 1;
+        let claim = self.my_claim.clone();
+        let size = size + claim.as_ref().map_or(0, |_| 96);
         self.broadcast_governors(
             ctx,
             "block-proposal",
             size,
-            &ProtocolMsg::BlockProposal(block),
+            ProtocolMsg::BlockProposal { block, claim },
         );
     }
 
@@ -765,31 +914,202 @@ impl GovernorNode {
         }
     }
 
-    fn on_block(&mut self, block: Block, ctx: &mut Context<'_, ProtocolMsg>) {
+    fn on_block(
+        &mut self,
+        block: Block,
+        claim: Option<ElectionClaim>,
+        ctx: &mut Context<'_, ProtocolMsg>,
+    ) {
         if block.leader == NodeId::governor(self.index) {
             return; // own proposal echoed back (should not happen)
         }
+        let now = ctx.now().ticks();
+        // Strictly below the head: a retransmitted or slow duplicate,
+        // not an agreement violation.
+        if block.serial < self.chain.height() {
+            self.metrics.duplicate_blocks += 1;
+            return;
+        }
+        // Same serial as the head: a duplicate, or a head fork — two
+        // governors self-elected under message loss and both proposed.
+        // Forks resolve by the election's own ordering: the proposal
+        // whose verified claim has the smaller (vrf_output, governor)
+        // key wins, so every governor converges on the minimum over the
+        // claims it saw, exactly as a fully-informed election would.
+        if block.serial == self.chain.height() {
+            if self.chain.latest().hash() == block.hash() {
+                self.metrics.duplicate_blocks += 1;
+                return;
+            }
+            let parent_match = self
+                .chain
+                .retrieve(block.serial.saturating_sub(1))
+                .is_some_and(|p| p.hash() == block.prev_hash);
+            if !parent_match {
+                // The rival disagrees deeper than the head — no local
+                // key comparison can rank the chains. Shed whatever of
+                // our head suffix is still unconfirmed; if that opens a
+                // gap, the block parks and recovery refetches the chain
+                // the network agreed on.
+                self.rollback_unconfirmed();
+                if block.serial > self.chain.height() + 1 {
+                    let proposer = block.leader.index;
+                    if !self.future_blocks.iter().any(|b| b.serial == block.serial) {
+                        self.future_blocks.push(block);
+                    }
+                    self.start_recovery(Some(proposer), ctx);
+                } else {
+                    self.metrics.duplicate_blocks += 1;
+                }
+                return;
+            }
+            if let Some(key) = self.rival_priority(&block, claim.as_ref()) {
+                if self.cfg.verify_blocks && !self.entries_authentic(&block) {
+                    self.metrics.append_failures += 1;
+                    return;
+                }
+                self.pop_head_repool();
+                if self.append_and_clean(block, now) {
+                    // Same parent as the popped head, so the prefix
+                    // agrees with the winner: nothing provisional left.
+                    self.head_priority = Some(key);
+                    self.provisional_base = None;
+                }
+            } else {
+                self.metrics.duplicate_blocks += 1;
+            }
+            return;
+        }
+        // A successor built on a different head than ours: the network
+        // committed to a rival chain while our head was still
+        // unconfirmed. Roll back to the settled prefix; the block then
+        // lands past a gap and the ordinary recovery path refetches the
+        // winner's blocks. (If the head is settled, nothing pops and the
+        // append below fails harmlessly into `append_failures`.)
+        if block.serial == self.chain.height() + 1 && block.prev_hash != self.chain.latest().hash()
+        {
+            self.rollback_unconfirmed();
+        }
         // Gap: we missed blocks (e.g. while crashed). Park the block and
-        // ask its proposer to backfill.
+        // enter recovery, starting from its proposer.
         if block.serial > self.chain.height() + 1 {
             let proposer = block.leader.index;
             if !self.future_blocks.iter().any(|b| b.serial == block.serial) {
                 self.future_blocks.push(block);
             }
-            let have = self.chain.height();
-            ctx.send_sized(
-                self.governor_base + proposer as usize,
-                "sync-request",
-                16,
-                ProtocolMsg::SyncRequest { have },
-            );
+            self.start_recovery(Some(proposer), ctx);
             return;
         }
         if self.cfg.verify_blocks && !self.entries_authentic(&block) {
             self.metrics.append_failures += 1;
             return;
         }
-        self.append_and_clean(block, ctx.now().ticks());
+        if self.append_and_clean(block.clone(), now) {
+            // A committed successor settles every block beneath it, and
+            // the new head is ranked for future same-serial contests.
+            self.provisional_base = None;
+            self.head_priority = claim
+                .filter(|c| c.governor == block.leader.index)
+                .and_then(|c| self.claim_key(&c, self.round));
+        }
+    }
+
+    /// The election ordering key of `claim`, verified against `round`:
+    /// `(vrf_output, governor, round)`. `None` when the claim does not
+    /// verify, claims a stake unit the governor does not own, or names
+    /// an unknown governor — the VRF binds governor and round, so a
+    /// stolen or replayed claim fails here.
+    fn claim_key(&self, claim: &ElectionClaim, round: u64) -> Option<(Digest, u32, u64)> {
+        if claim.unit >= self.stake_table.stake(claim.governor).unwrap_or(0) {
+            return None;
+        }
+        let pk = self.governor_pks.get(claim.governor as usize)?;
+        let out = claim.verify(b"prb-chain", round, pk)?;
+        Some((out, claim.governor, round))
+    }
+
+    /// Ranks a same-serial rival proposal against the current head,
+    /// returning the rival's election key when it genuinely wins: the
+    /// head must still be contestable (no committed successor yet), both
+    /// proposals must share a parent, and the rival's claim must verify
+    /// against the round the head was won in with a strictly smaller
+    /// election key.
+    fn rival_priority(
+        &self,
+        block: &Block,
+        claim: Option<&ElectionClaim>,
+    ) -> Option<(Digest, u32, u64)> {
+        let (head_out, head_gov, head_round) = self.head_priority?;
+        let claim = claim?;
+        if claim.governor != block.leader.index {
+            return None;
+        }
+        let parent = self.chain.retrieve(block.serial.checked_sub(1)?)?;
+        if parent.hash() != block.prev_hash {
+            return None;
+        }
+        let (out, gov, round) = self.claim_key(claim, head_round)?;
+        ((out, gov) < (head_out, head_gov)).then_some((out, gov, round))
+    }
+
+    /// Pops the head block, returning its displaced entries to the ready
+    /// pool so a later led round re-records whatever the winning chain
+    /// does not already cover (`on_propose` dedups against the ledger).
+    fn pop_head_repool(&mut self) {
+        let Some(block) = self.chain.pop() else {
+            return;
+        };
+        self.metrics.head_rollbacks += 1;
+        if self.obs.is_enabled() {
+            self.obs.metrics().inc("sync.rollback");
+        }
+        if self
+            .provisional_base
+            .is_some_and(|b| b > self.chain.height())
+        {
+            self.provisional_base = None;
+        }
+        self.head_priority = None;
+        for e in block.entries {
+            if self.chain.find_tx(e.tx.id()).is_none()
+                && !self.ready_entries.iter().any(|r| r.tx.id() == e.tx.id())
+            {
+                self.ready_entries.push(e);
+            }
+        }
+    }
+
+    /// Rolls back every provisional head block — this governor's own
+    /// self-proposals made without the full claim set — down to the
+    /// settled prefix.
+    fn rollback_provisional(&mut self) {
+        let Some(base) = self.provisional_base else {
+            return;
+        };
+        while self.chain.height() >= base {
+            self.pop_head_repool();
+        }
+        self.provisional_base = None;
+    }
+
+    /// Rolls back the whole unconfirmed head suffix in the face of fork
+    /// evidence a key comparison cannot rank: provisional blocks, then
+    /// this governor's own-led streak at the head (own blocks with no
+    /// foreign successor are exactly the ones the network may have
+    /// bypassed), and finally — if nothing else popped — a foreign head
+    /// that is still contestable. Settled blocks are never popped, and a
+    /// wrongly shed block is simply refetched by the recovery that
+    /// follows.
+    fn rollback_unconfirmed(&mut self) {
+        let me = NodeId::governor(self.index);
+        let before = self.metrics.head_rollbacks;
+        self.rollback_provisional();
+        while self.chain.height() > 0 && self.chain.latest().leader == me {
+            self.pop_head_repool();
+        }
+        if self.metrics.head_rollbacks == before && self.head_priority.is_some() {
+            self.pop_head_repool();
+        }
     }
 
     /// Paranoid mode: every entry must carry a genuine provider signature
@@ -877,7 +1197,10 @@ impl GovernorNode {
         ok
     }
 
-    fn append_and_clean(&mut self, block: Block, now: u64) {
+    /// Appends `block` and drops local buffers it covers. Returns whether
+    /// the append succeeded (callers re-rank or settle the head on
+    /// success).
+    fn append_and_clean(&mut self, block: Block, now: u64) -> bool {
         let included: HashSet<TxId> = block.entries.iter().map(|e| e.tx.id()).collect();
         let (serial, entries) = (block.serial, block.entries.len() as u64);
         match self.chain.append(block) {
@@ -894,7 +1217,7 @@ impl GovernorNode {
             }
             Err(_) => {
                 self.metrics.append_failures += 1;
-                return;
+                return false;
             }
         }
         // Drop local buffers covered by the leader's block.
@@ -902,6 +1225,116 @@ impl GovernorNode {
             .retain(|e| !included.contains(&e.tx.id()));
         self.argued_entries
             .retain(|e| !included.contains(&e.tx.id()));
+        true
+    }
+
+    /// Enters the `Recovering` state (no-op when already recovering or
+    /// when there is no peer to ask) and sends the first page request.
+    /// `preferred` names the peer to try first — the proposer of the
+    /// block that exposed the gap, when known.
+    fn start_recovery(&mut self, preferred: Option<u32>, ctx: &mut Context<'_, ProtocolMsg>) {
+        if matches!(self.sync, SyncState::Recovering { .. }) || self.cfg.governors < 2 {
+            return;
+        }
+        // A provisional head would shadow the peer's settled block at the
+        // same serial (incoming pages skip serials we "already have") —
+        // roll it back first; recovery refetches the agreed truth.
+        self.rollback_provisional();
+        let now = ctx.now().ticks();
+        let peer = preferred
+            .filter(|&p| p != self.index && p < self.cfg.governors)
+            .unwrap_or_else(|| self.sync_peer(0));
+        self.sync = SyncState::Recovering {
+            attempt: 0,
+            peer,
+            since: now,
+        };
+        self.metrics.sync_requested += 1;
+        if self.obs.is_enabled() {
+            self.obs.metrics().inc("sync.requested");
+        }
+        self.recovery_span = Some(Span::begin(phases::RECOVERY, now));
+        self.send_sync_request(peer, ctx);
+    }
+
+    /// The peer asked on rotation `attempt`: cycles over the other
+    /// governors starting just past this one's own index.
+    fn sync_peer(&self, attempt: u32) -> u32 {
+        let m = self.cfg.governors;
+        let mut peer = (self.index + 1 + attempt) % m;
+        if peer == self.index {
+            peer = (peer + 1) % m;
+        }
+        peer
+    }
+
+    /// Sends one page request to `peer` and arms the rotation timer.
+    fn send_sync_request(&mut self, peer: u32, ctx: &mut Context<'_, ProtocolMsg>) {
+        let have = self.chain.height();
+        ctx.send_sized(
+            self.governor_base + peer as usize,
+            "sync-request",
+            16,
+            ProtocolMsg::SyncRequest { have },
+        );
+        if let SyncState::Recovering { attempt, .. } = self.sync {
+            // Deadline for the page: a request/response round trip plus
+            // slack. No response (crashed peer, lost message) rotates.
+            let timer = ctx.set_timer(SimDuration(4 * self.cfg.max_delay + 4));
+            self.sync_timers.insert(timer, (attempt, have));
+        }
+    }
+
+    /// A rotation timer fired: if the recovery it belongs to is still
+    /// stalled at the same attempt and height, try the next peer.
+    fn on_sync_timer(
+        &mut self,
+        attempt: u32,
+        height_at_arm: u64,
+        ctx: &mut Context<'_, ProtocolMsg>,
+    ) {
+        let SyncState::Recovering {
+            attempt: current,
+            peer,
+            since,
+        } = self.sync
+        else {
+            return; // recovery already completed
+        };
+        if current != attempt || self.chain.height() != height_at_arm {
+            // Progress since this timer was armed. A sync page always
+            // re-requests (arming a fresh timer), but progress from a
+            // normally-appended block does not — if no other rotation
+            // timer is pending, probe the current peer again so the
+            // rotation chain survives instead of going zombie.
+            if self.sync_timers.is_empty() {
+                self.send_sync_request(peer, ctx);
+            }
+            return;
+        }
+        let next = attempt + 1;
+        if next >= MAX_SYNC_ATTEMPTS {
+            self.abandon_recovery();
+            return;
+        }
+        let peer = self.sync_peer(next);
+        self.sync = SyncState::Recovering {
+            attempt: next,
+            peer,
+            since,
+        };
+        self.send_sync_request(peer, ctx);
+    }
+
+    /// Gives up on the current recovery (every rotation went
+    /// unanswered). The next observed gap re-triggers it.
+    fn abandon_recovery(&mut self) {
+        self.sync = SyncState::Synced;
+        self.recovery_span = None;
+        self.metrics.sync_abandoned += 1;
+        if self.obs.is_enabled() {
+            self.obs.metrics().inc("sync.abandoned");
+        }
     }
 
     fn on_sync_request(
@@ -910,27 +1343,61 @@ impl GovernorNode {
         requester: NodeIdx,
         ctx: &mut Context<'_, ProtocolMsg>,
     ) {
-        if have >= self.chain.height() {
-            return; // nothing to offer
-        }
-        let blocks: Vec<Block> = ((have + 1)..=self.chain.height())
+        // Always respond — an empty page still tells the requester this
+        // peer's head, letting it finish (or re-aim) its recovery.
+        let head = self.chain.height();
+        let blocks: Vec<Block> = ((have + 1)..=head)
+            .take(self.cfg.sync_page)
             .filter_map(|s| self.chain.retrieve(s).cloned())
             .collect();
-        let size = 64 + 96 * blocks.iter().map(Block::tx_count).sum::<usize>();
+        let size = 80 + 96 * blocks.iter().map(Block::tx_count).sum::<usize>();
         ctx.send_sized(
             requester,
             "sync-response",
             size,
-            ProtocolMsg::SyncResponse { blocks },
+            ProtocolMsg::SyncResponse { blocks, head },
         );
         self.metrics.sync_served += 1;
+        if self.obs.is_enabled() {
+            self.obs.metrics().inc("sync.served");
+        }
     }
 
-    fn on_sync_response(&mut self, blocks: Vec<Block>, now: u64) {
+    fn on_sync_response(
+        &mut self,
+        blocks: Vec<Block>,
+        head: u64,
+        from: NodeIdx,
+        ctx: &mut Context<'_, ProtocolMsg>,
+    ) {
+        let now = ctx.now().ticks();
+        let before = self.chain.height();
         for block in blocks {
-            if block.serial == self.chain.height() + 1 {
-                self.append_and_clean(block, now);
+            if block.serial != self.chain.height() + 1 {
+                continue; // stale page or duplicate
+            }
+            if block.prev_hash != self.chain.latest().hash() {
+                // The peer's settled chain disagrees with our head: fork
+                // evidence discovered mid-recovery. Shed the unconfirmed
+                // suffix; the follow-up page request (our new, lower
+                // height) refetches from the divergence point.
+                self.rollback_unconfirmed();
+                if block.serial != self.chain.height() + 1 {
+                    continue;
+                }
+            }
+            if self.cfg.verify_blocks && !self.entries_authentic(&block) {
+                self.metrics.append_failures += 1;
+                continue;
+            }
+            if self.append_and_clean(block, now) {
+                // Sync-applied blocks come from a peer's settled chain.
+                self.head_priority = None;
+                self.provisional_base = None;
                 self.metrics.sync_applied += 1;
+                if self.obs.is_enabled() {
+                    self.obs.metrics().inc("sync.applied");
+                }
             }
         }
         // Drain any parked blocks that now fit.
@@ -938,9 +1405,57 @@ impl GovernorNode {
         let parked = std::mem::take(&mut self.future_blocks);
         for block in parked {
             if block.serial == self.chain.height() + 1 {
-                self.append_and_clean(block, now);
+                if self.append_and_clean(block, now) {
+                    self.head_priority = None;
+                    self.provisional_base = None;
+                }
             } else if block.serial > self.chain.height() + 1 {
                 self.future_blocks.push(block);
+            }
+        }
+        let SyncState::Recovering { attempt, since, .. } = self.sync else {
+            return; // unsolicited (e.g. a late page after completion)
+        };
+        if self.chain.height() < head {
+            // More pages remain. Page progress resets the rotation
+            // counter and keeps asking the peer that just answered; a
+            // pageless response (peer cannot help) rotates.
+            let progressed = self.chain.height() > before;
+            let next = if progressed { 0 } else { attempt + 1 };
+            if next >= MAX_SYNC_ATTEMPTS {
+                self.abandon_recovery();
+                return;
+            }
+            let peer = if progressed && from >= self.governor_base {
+                (from - self.governor_base) as u32
+            } else {
+                self.sync_peer(next)
+            };
+            self.sync = SyncState::Recovering {
+                attempt: next,
+                peer,
+                since,
+            };
+            self.send_sync_request(peer, ctx);
+        } else {
+            // Caught up to the responder's head: recovery complete.
+            self.sync = SyncState::Synced;
+            self.metrics.sync_recovered += 1;
+            self.metrics.recovery_ticks.push(now.saturating_sub(since));
+            if self.obs.is_enabled() {
+                self.obs.metrics().inc("sync.recovered");
+                self.obs
+                    .metrics()
+                    .observe("sync.recovery_ticks", now.saturating_sub(since));
+            }
+            if let Some(span) = self.recovery_span.take() {
+                self.obs.end_span(span, now, self.net_idx());
+            }
+            // Parked blocks past a *new* gap (committed while we paged):
+            // chase that gap immediately.
+            if let Some(next_gap) = self.future_blocks.iter().min_by_key(|b| b.serial) {
+                let proposer = next_gap.leader.index;
+                self.start_recovery(Some(proposer), ctx);
             }
         }
     }
@@ -1119,4 +1634,200 @@ fn label_pairs(reports: &[(u32, Label)]) -> Vec<(NodeId, Label)> {
         .iter()
         .map(|(c, l)| (NodeId::collector(*c), *l))
         .collect()
+}
+
+#[cfg(test)]
+mod fork_tests {
+    //! Direct tests of the head-fork resolution helpers: election-key
+    //! ranking of rival proposals, and the rollback paths that shed
+    //! provisional or own-led head blocks before recovery refetches the
+    //! settled chain.
+
+    use super::*;
+    use prb_crypto::signer::CryptoScheme;
+    use prb_ledger::transaction::TxPayload;
+
+    const TAG: &[u8] = b"prb-chain";
+
+    fn rig(governors: u32) -> (Vec<KeyPair>, GovernorNode) {
+        let cfg = ProtocolConfig {
+            governors,
+            seed: 7,
+            ..Default::default()
+        };
+        let scheme = CryptoScheme::sim();
+        let keys: Vec<KeyPair> = (0..governors)
+            .map(|g| scheme.keypair_from_seed(format!("fork-g{g}").as_bytes()))
+            .collect();
+        let pks: Vec<PublicKey> = keys.iter().map(|k| k.public_key()).collect();
+        let topology = Rc::new(Topology::cyclic(cfg.topology_params()).unwrap());
+        let oracle = Rc::new(RefCell::new(ValidityOracle::new()));
+        let gov = GovernorNode::new(
+            0,
+            keys[0].clone(),
+            cfg,
+            topology,
+            oracle,
+            0,
+            Vec::new(),
+            Vec::new(),
+            pks,
+        );
+        (keys, gov)
+    }
+
+    fn entry(nonce: u64, key: &KeyPair) -> BlockEntry {
+        let tx = SignedTx::create(
+            TxPayload {
+                provider: NodeId::provider(0),
+                nonce,
+                data: vec![1],
+            },
+            1,
+            key,
+        );
+        BlockEntry {
+            tx,
+            verdict: Verdict::CheckedValid,
+            reported_labels: Vec::new(),
+        }
+    }
+
+    fn claim_for(gov: &GovernorNode, keys: &[KeyPair], g: u32, round: u64) -> ElectionClaim {
+        let stake = gov.stake_table.stake(g).unwrap();
+        ElectionClaim::compute(TAG, round, g, stake, &keys[g as usize]).unwrap()
+    }
+
+    #[test]
+    fn claim_key_enforces_stake_round_and_proof() {
+        let (keys, gov) = rig(2);
+        let claim = claim_for(&gov, &keys, 1, 3);
+        assert!(gov.claim_key(&claim, 3).is_some());
+        // The VRF proof binds the round it was computed for.
+        assert!(gov.claim_key(&claim, 4).is_none());
+        // A unit at or past the governor's stake mints no lottery ticket.
+        let mut over = claim.clone();
+        over.unit = gov.stake_table.stake(1).unwrap();
+        assert!(gov.claim_key(&over, 3).is_none());
+        // A claim evaluated under a foreign key fails verification.
+        let stake = gov.stake_table.stake(1).unwrap();
+        let forged = ElectionClaim::compute(TAG, 3, 1, stake, &keys[0]).unwrap();
+        assert!(gov.claim_key(&forged, 3).is_none());
+    }
+
+    #[test]
+    fn rival_priority_contests_only_smaller_keys_on_contestable_heads() {
+        let (keys, mut gov) = rig(2);
+        let round = 1;
+        let claim0 = claim_for(&gov, &keys, 0, round);
+        let claim1 = claim_for(&gov, &keys, 1, round);
+        let key0 = gov.claim_key(&claim0, round).unwrap();
+        let key1 = gov.claim_key(&claim1, round).unwrap();
+        assert_ne!(key0, key1);
+        let parent = gov.chain.latest().hash();
+        gov.chain
+            .append(Block::build(1, Vec::new(), parent, NodeId::governor(0), 10))
+            .unwrap();
+        // Orient by the actual VRF ordering so both directions are covered.
+        let (small_key, small_claim, small_gov, big_key, big_claim, big_gov) = if key0 < key1 {
+            (key0, claim0, 0, key1, claim1, 1)
+        } else {
+            (key1, claim1, 1, key0, claim0, 0)
+        };
+        let small_block = Block::build(1, Vec::new(), parent, NodeId::governor(small_gov), 11);
+        let big_block = Block::build(1, Vec::new(), parent, NodeId::governor(big_gov), 11);
+        // A head held under the larger key loses to the smaller rival...
+        gov.head_priority = Some(big_key);
+        assert_eq!(
+            gov.rival_priority(&small_block, Some(&small_claim)),
+            Some(small_key)
+        );
+        // ...but a head already under the smaller key beats the larger rival.
+        gov.head_priority = Some(small_key);
+        assert!(gov.rival_priority(&big_block, Some(&big_claim)).is_none());
+        // A settled head (priority None) is never contested.
+        gov.head_priority = None;
+        assert!(gov
+            .rival_priority(&small_block, Some(&small_claim))
+            .is_none());
+        // A claim by anyone but the block's leader is ignored.
+        gov.head_priority = Some(big_key);
+        assert!(gov.rival_priority(&small_block, Some(&big_claim)).is_none());
+        // A rival built on a different parent cannot be ranked.
+        let mut off_parent = small_block;
+        off_parent.prev_hash = Digest::default();
+        assert!(gov
+            .rival_priority(&off_parent, Some(&small_claim))
+            .is_none());
+    }
+
+    #[test]
+    fn pop_head_repool_returns_uncommitted_entries_to_the_pool() {
+        let (keys, mut gov) = rig(2);
+        let e = entry(0, &keys[0]);
+        let parent = gov.chain.latest().hash();
+        gov.chain
+            .append(Block::build(
+                1,
+                vec![e.clone()],
+                parent,
+                NodeId::governor(0),
+                5,
+            ))
+            .unwrap();
+        gov.pop_head_repool();
+        assert_eq!(gov.chain.height(), 0);
+        assert_eq!(gov.metrics.head_rollbacks, 1);
+        assert!(gov.head_priority.is_none());
+        assert!(gov.ready_entries.iter().any(|r| r.tx.id() == e.tx.id()));
+        // Popping again stops at genesis and counts nothing.
+        gov.pop_head_repool();
+        assert_eq!(gov.chain.height(), 0);
+        assert_eq!(gov.metrics.head_rollbacks, 1);
+    }
+
+    #[test]
+    fn rollback_unconfirmed_sheds_provisional_and_own_led_suffix() {
+        let (_keys, mut gov) = rig(2);
+        // serial 1: foreign block; serials 2-3: own-led, 3 provisional.
+        let parent = gov.chain.latest().hash();
+        gov.chain
+            .append(Block::build(1, Vec::new(), parent, NodeId::governor(1), 5))
+            .unwrap();
+        let h1 = gov.chain.latest().hash();
+        gov.chain
+            .append(Block::build(2, Vec::new(), h1, NodeId::governor(0), 6))
+            .unwrap();
+        let h2 = gov.chain.latest().hash();
+        gov.chain
+            .append(Block::build(3, Vec::new(), h2, NodeId::governor(0), 7))
+            .unwrap();
+        gov.provisional_base = Some(3);
+        gov.rollback_unconfirmed();
+        // The provisional head and the own-led block under it are shed; the
+        // foreign block survives as the new head.
+        assert_eq!(gov.chain.height(), 1);
+        assert!(gov.provisional_base.is_none());
+        assert_eq!(gov.metrics.head_rollbacks, 2);
+    }
+
+    #[test]
+    fn rollback_unconfirmed_pops_one_contestable_foreign_head() {
+        let (keys, mut gov) = rig(2);
+        let parent = gov.chain.latest().hash();
+        gov.chain
+            .append(Block::build(1, Vec::new(), parent, NodeId::governor(1), 5))
+            .unwrap();
+        // A settled foreign head is left alone: no fork evidence applies.
+        gov.rollback_unconfirmed();
+        assert_eq!(gov.chain.height(), 1);
+        // A contestable foreign head (priority still tracked) is popped so
+        // recovery can refetch whichever proposal the network agreed on.
+        let claim = claim_for(&gov, &keys, 1, 1);
+        gov.head_priority = gov.claim_key(&claim, 1);
+        assert!(gov.head_priority.is_some());
+        gov.rollback_unconfirmed();
+        assert_eq!(gov.chain.height(), 0);
+        assert_eq!(gov.metrics.head_rollbacks, 1);
+    }
 }

@@ -49,6 +49,23 @@ pub struct GovernorMetrics {
     pub sync_served: u64,
     /// Blocks this governor recovered via sync after its own crash.
     pub sync_applied: u64,
+    /// Recoveries started (a chain gap or round gap was observed).
+    pub sync_requested: u64,
+    /// Recoveries completed (caught up to a peer's head).
+    pub sync_recovered: u64,
+    /// Recoveries abandoned after exhausting peer rotations.
+    pub sync_abandoned: u64,
+    /// Ticks each completed recovery took, gap detection → caught up.
+    pub recovery_ticks: Vec<u64>,
+    /// Retransmitted or slow duplicate blocks discarded on arrival.
+    pub duplicate_blocks: u64,
+    /// Head blocks rolled back during fork resolution (a provisional
+    /// self-proposal lost to a rival with a smaller election key, or was
+    /// unwound before refetching the settled chain).
+    pub head_rollbacks: u64,
+    /// Led rounds skipped because the previous provisional self-proposal
+    /// was still unconfirmed (extending it could deepen a fork).
+    pub proposals_withheld: u64,
     /// Realized loss per provider.
     pub realized_loss_by_provider: HashMap<u32, f64>,
     /// Expected loss per provider.

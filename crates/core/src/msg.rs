@@ -54,8 +54,18 @@ pub enum ProtocolMsg {
         /// The round being closed.
         round: u64,
     },
-    /// Leader → governor: the proposed block.
-    BlockProposal(Block),
+    /// Leader → governor: the proposed block, carrying the leader's
+    /// winning election claim so receivers can resolve same-serial head
+    /// forks deterministically (smallest verified `(vrf_output, index)`
+    /// key wins, exactly the election's ordering).
+    BlockProposal {
+        /// The proposed block.
+        block: Block,
+        /// The proposer's VRF claim for the round that elected it.
+        /// `None` only for driver-injected test traffic; claimless
+        /// proposals cannot displace a contested head.
+        claim: Option<ElectionClaim>,
+    },
     /// Driver → provider: a block was committed; these are the verdicts
     /// (the provider's view of `retrieve(s)`).
     BlockNotify {
@@ -80,10 +90,32 @@ pub enum ProtocolMsg {
         /// The requester's current chain height.
         have: u64,
     },
-    /// Governor → governor: the blocks requested by a [`ProtocolMsg::SyncRequest`].
+    /// Governor → governor: one page of the blocks requested by a
+    /// [`ProtocolMsg::SyncRequest`]. Responses are paginated; the
+    /// requester keeps asking while its height trails `head`.
     SyncResponse {
-        /// Consecutive blocks starting at the requester's `have + 1`.
+        /// Consecutive blocks starting at the requester's `have + 1`,
+        /// capped at the responder's `sync_page` limit.
         blocks: Vec<Block>,
+        /// The responder's chain height at reply time, so the requester
+        /// knows whether more pages remain.
+        head: u64,
+    },
+    /// Reliable-delivery envelope: `inner` carried under an ack token.
+    /// The receiver acks `token` back to the sender on every copy (so
+    /// retransmissions re-ack) and dispatches `inner` exactly as if it
+    /// had arrived bare; duplicate suppression happens downstream
+    /// (sequenced inboxes, block serials).
+    Reliable {
+        /// Token identifying the tracked send at the sender.
+        token: u64,
+        /// The wrapped protocol message.
+        inner: Box<ProtocolMsg>,
+    },
+    /// Acknowledgement of a [`ProtocolMsg::Reliable`] delivery.
+    Ack {
+        /// The token being acknowledged.
+        token: u64,
     },
     /// Driver → governor: external evidence reveals an unchecked
     /// transaction's real status (the reveal policy of Theorem 1).

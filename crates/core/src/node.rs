@@ -54,6 +54,28 @@ impl Actor for NodeActor {
     type Msg = ProtocolMsg;
 
     fn on_message(&mut self, env: Envelope<ProtocolMsg>, ctx: &mut Context<'_, ProtocolMsg>) {
+        // Unwrap the reliable-delivery envelope here, once for every
+        // role: ack first (so a retransmitted copy re-acks even when its
+        // payload is a downstream duplicate), then dispatch the inner
+        // message as if it had arrived bare.
+        let env = match env.payload {
+            ProtocolMsg::Reliable { token, inner } => {
+                ctx.send_sized(env.from, "ack", 8, ProtocolMsg::Ack { token });
+                Envelope {
+                    payload: *inner,
+                    ..env
+                }
+            }
+            ProtocolMsg::Ack { token } => {
+                match self {
+                    NodeActor::Provider(p) => p.on_ack(token),
+                    NodeActor::Collector(c) => c.on_ack(token),
+                    NodeActor::Governor(g) => g.on_ack(token),
+                }
+                return;
+            }
+            _ => env,
+        };
         match self {
             NodeActor::Provider(p) => p.on_message(env, ctx),
             NodeActor::Collector(c) => c.on_message(env, ctx),
@@ -62,8 +84,10 @@ impl Actor for NodeActor {
     }
 
     fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<'_, ProtocolMsg>) {
-        if let NodeActor::Governor(g) = self {
-            g.on_timer(timer, ctx);
+        match self {
+            NodeActor::Provider(p) => p.on_timer(timer, ctx),
+            NodeActor::Collector(c) => c.on_timer(timer, ctx),
+            NodeActor::Governor(g) => g.on_timer(timer, ctx),
         }
     }
 }

@@ -15,8 +15,10 @@ use prb_crypto::signer::KeyPair;
 use prb_ledger::block::Verdict;
 use prb_ledger::oracle::ValidityOracle;
 use prb_ledger::transaction::{SignedTx, TxId, TxPayload};
-use prb_net::message::{Envelope, NodeIdx};
+use prb_net::message::{Envelope, NodeIdx, TimerId};
+use prb_net::retry::{ReliableSender, RetryConfig};
 use prb_net::sim::Context;
+use prb_obs::ObsHandle;
 
 use crate::behavior::ProviderProfile;
 use crate::msg::ProtocolMsg;
@@ -39,6 +41,8 @@ pub struct ProviderNode {
     argued: HashSet<TxId>,
     created: u64,
     argues_sent: u64,
+    /// Ack-based retransmission for tx submissions (None = fire-and-forget).
+    retry: Option<ReliableSender<ProtocolMsg>>,
 }
 
 impl ProviderNode {
@@ -64,6 +68,33 @@ impl ProviderNode {
             argued: HashSet::new(),
             created: 0,
             argues_sent: 0,
+            retry: None,
+        }
+    }
+
+    /// Enables reliable delivery for tx-broadcast sends.
+    pub fn set_reliable(&mut self, cfg: RetryConfig) {
+        self.retry = Some(ReliableSender::new(cfg));
+    }
+
+    /// Installs an observability hub (threaded into the retry sender).
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        if let Some(r) = &mut self.retry {
+            r.set_obs(obs);
+        }
+    }
+
+    /// Routes an ack for a tracked send.
+    pub fn on_ack(&mut self, token: u64) {
+        if let Some(r) = &mut self.retry {
+            r.on_ack(token);
+        }
+    }
+
+    /// Handles a timer fire (only retransmission timers reach providers).
+    pub fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<'_, ProtocolMsg>) {
+        if let Some(r) = &mut self.retry {
+            r.on_timer(timer, ctx);
         }
     }
 
@@ -106,16 +137,27 @@ impl ProviderNode {
                     let seq = self.seq;
                     self.seq += 1;
                     let size = tx.wire_size();
-                    for &c in &self.collector_nets {
-                        ctx.send_sized(
-                            c,
-                            "tx-broadcast",
-                            size,
-                            ProtocolMsg::TxBroadcast {
-                                seq,
-                                tx: tx.clone(),
-                            },
-                        );
+                    let ProviderNode {
+                        retry,
+                        collector_nets,
+                        ..
+                    } = self;
+                    for &c in collector_nets.iter() {
+                        let msg = ProtocolMsg::TxBroadcast {
+                            seq,
+                            tx: tx.clone(),
+                        };
+                        match retry {
+                            Some(r) => {
+                                r.send_with(ctx, c, "tx-broadcast", size + 8, |token| {
+                                    ProtocolMsg::Reliable {
+                                        token,
+                                        inner: Box::new(msg),
+                                    }
+                                });
+                            }
+                            None => ctx.send_sized(c, "tx-broadcast", size, msg),
+                        }
                     }
                 }
             }

@@ -23,9 +23,10 @@ use prb_ledger::oracle::ValidityOracle;
 use prb_ledger::transaction::TxId;
 use prb_net::fault::FaultPlan;
 use prb_net::message::NodeIdx;
+use prb_net::retry::RetryConfig;
 use prb_net::sim::{NetConfig, Network};
 use prb_net::stats::MessageStats;
-use prb_net::time::SimTime;
+use prb_net::time::{SimDuration, SimTime};
 use prb_net::topology::Topology;
 use prb_obs::{Obs, ObsHandle, Role};
 
@@ -284,6 +285,18 @@ impl Simulation {
             )));
         }
 
+        if cfg.reliable_delivery {
+            // One retry policy for every critical hop, derived from Δ.
+            let retry_cfg = RetryConfig::for_delta(SimDuration(cfg.max_delay));
+            for idx in 0..net.node_count() {
+                match net.node_mut(idx) {
+                    NodeActor::Provider(p) => p.set_reliable(retry_cfg),
+                    NodeActor::Collector(c) => c.set_reliable(retry_cfg),
+                    NodeActor::Governor(g) => g.set_reliable(retry_cfg),
+                }
+            }
+        }
+
         let governor_keys: Vec<KeyPair> =
             governor_creds.iter().map(|c| c.keypair.clone()).collect();
         let workload = builder.workload.unwrap_or_else(|| {
@@ -355,7 +368,7 @@ impl Simulation {
         self.net.set_obs(Rc::clone(&obs));
         for idx in 0..self.net.node_count() {
             match self.net.node_mut(idx) {
-                NodeActor::Provider(_) => {}
+                NodeActor::Provider(p) => p.set_obs(Rc::clone(&obs)),
                 NodeActor::Collector(c) => c.set_obs(Rc::clone(&obs), idx as u64),
                 NodeActor::Governor(g) => g.set_obs(Rc::clone(&obs)),
             }
@@ -463,6 +476,31 @@ impl Simulation {
             let other = self.governor_node(g).chain();
             other.height() == reference.height()
                 && other.latest().hash() == reference.latest().hash()
+        })
+    }
+
+    /// Prefix agreement: every listed governor's chain is byte-identical
+    /// to the others' up to the shortest height (the safety invariant
+    /// under faults — a lagging replica may be short, never divergent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `governors` is empty or contains an out-of-range index.
+    pub fn chains_prefix_agree(&self, governors: &[u32]) -> bool {
+        let reference = self.governor_node(governors[0]).chain();
+        let min_height = governors
+            .iter()
+            .map(|&g| self.governor_node(g).chain().height())
+            .min()
+            .expect("at least one governor");
+        governors[1..].iter().all(|&g| {
+            let other = self.governor_node(g).chain();
+            (1..=min_height).all(|serial| {
+                match (reference.retrieve(serial), other.retrieve(serial)) {
+                    (Some(a), Some(b)) => a.hash() == b.hash(),
+                    _ => false,
+                }
+            })
         })
     }
 
@@ -741,5 +779,15 @@ impl Simulation {
                 self.schedule_reveals(verdicts);
             }
         }
+    }
+
+    /// Advances the network `ticks` past the end of the last round
+    /// without starting new rounds, so in-flight retransmissions, acks
+    /// and sync pages can land. The final round's block is otherwise
+    /// still mid-dissemination at cutoff — a slow peer would read one
+    /// short of the head through no fault of the recovery machinery.
+    pub fn settle(&mut self, ticks: u64) {
+        self.net.run_until(SimTime(self.next_start + ticks));
+        self.next_start += ticks;
     }
 }

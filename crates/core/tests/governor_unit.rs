@@ -391,7 +391,12 @@ fn paranoid_mode_rejects_blocks_with_fabricated_entries() {
             NodeId::governor(1),
             50,
         );
-        net.send_external(0, "block", ProtocolMsg::BlockProposal(block), SimTime(0));
+        net.send_external(
+            0,
+            "block",
+            ProtocolMsg::BlockProposal { block, claim: None },
+            SimTime(0),
+        );
         net.run_until_idle(100);
         let gov = net.node(0).as_governor().unwrap();
         if expect_failure {

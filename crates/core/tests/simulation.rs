@@ -619,3 +619,39 @@ fn obs_trace_reconciles_with_net_stats_and_captures_protocol_events() {
     assert!(summary.contains("screening"), "{summary}");
     assert!(summary.contains("election"), "{summary}");
 }
+
+#[test]
+fn deterministic_under_faults_and_recovery() {
+    // Satellite of the robustness PR: the entire fault pipeline — drops,
+    // a crash window, reliable-delivery retries, and chain-sync recovery
+    // — must stay bit-for-bit deterministic under a fixed seed. Two
+    // identical runs must produce byte-identical ledgers on every
+    // governor and identical network traffic accounting.
+    use prb_net::fault::FaultPlan;
+    use prb_net::time::SimTime;
+    let run = || {
+        let cfg = ProtocolConfig {
+            governors: 5,
+            reliable_delivery: true,
+            seed: 90,
+            ..base_config()
+        };
+        let rt = cfg.round_ticks();
+        let mut sim = Simulation::new(cfg.clone()).unwrap();
+        let mut faults = FaultPlan::none();
+        faults.drop_all(0.2);
+        faults.crash_window(sim.governor_net_index(1), SimTime(2 * rt), SimTime(4 * rt));
+        sim.set_faults(faults);
+        sim.run(6);
+        sim.run_drain_rounds(1);
+        sim.settle(5 * rt);
+        let chains: Vec<Vec<u8>> = (0..cfg.governors)
+            .map(|g| sim.governor(g).chain().export())
+            .collect();
+        (chains, sim.net_stats().clone())
+    };
+    let (chains_a, stats_a) = run();
+    let (chains_b, stats_b) = run();
+    assert_eq!(chains_a, chains_b, "ledgers diverged across identical runs");
+    assert_eq!(stats_a, stats_b, "traffic diverged across identical runs");
+}

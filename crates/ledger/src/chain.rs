@@ -201,6 +201,24 @@ impl Chain {
         None
     }
 
+    /// Removes and returns the head block, unwinding the transaction-index
+    /// entries it introduced.
+    ///
+    /// Rollback support for head-fork resolution during crash recovery:
+    /// when two governors self-elect under message loss, the loser undoes
+    /// its provisional head and re-pools the displaced entries. The
+    /// genesis block is never removed.
+    pub fn pop(&mut self) -> Option<Block> {
+        if self.blocks.len() <= 1 {
+            return None;
+        }
+        let block = self.blocks.pop().expect("length checked above");
+        // `append` only indexes first recordings, so every index entry
+        // pointing at this serial was introduced by this block.
+        self.tx_index.retain(|_, loc| loc.serial != block.serial);
+        Some(block)
+    }
+
     /// Full-chain integrity audit: rehashes every link and recomputes every
     /// Merkle root. Returns the serial of the first bad block, if any.
     pub fn audit(&self) -> Option<u64> {
@@ -347,6 +365,35 @@ mod tests {
         assert_eq!(chain.retrieve(1), Some(&b1));
         assert_eq!(chain.retrieve(2), None);
         assert_eq!(chain.tx_count(), 1);
+    }
+
+    #[test]
+    fn pop_unwinds_head_and_index_but_never_genesis() {
+        let mut chain = Chain::new(b"t", 100);
+        assert!(chain.pop().is_none(), "genesis must be irremovable");
+        let b1 = extend(&chain, vec![entry(0, Verdict::CheckedValid)]);
+        chain.append(b1.clone()).unwrap();
+        let b2 = extend(&chain, vec![entry(1, Verdict::CheckedValid)]);
+        chain.append(b2.clone()).unwrap();
+        let tx1 = b1.entries[0].tx.id();
+        let tx2 = b2.entries[0].tx.id();
+
+        assert_eq!(chain.pop(), Some(b2));
+        assert_eq!(chain.height(), 1);
+        assert!(chain.find_tx(tx1).is_some(), "earlier recordings survive");
+        assert!(chain.find_tx(tx2).is_none(), "popped recordings unwound");
+        assert_eq!(chain.tx_count(), 1);
+
+        // A re-record of tx1 at serial 2 must not be unwound when the
+        // *re-recording* block is popped: the index points at serial 1.
+        let b2b = extend(&chain, vec![entry(0, Verdict::CheckedValid)]);
+        chain.append(b2b).unwrap();
+        chain.pop().unwrap();
+        assert!(chain.find_tx(tx1).is_some());
+
+        assert_eq!(chain.pop(), Some(b1));
+        assert!(chain.pop().is_none(), "genesis still irremovable");
+        assert_eq!(chain.audit(), None);
     }
 
     #[test]

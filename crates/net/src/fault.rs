@@ -47,8 +47,12 @@ impl FaultPlan {
 
     /// Crashes `node` for the window `[from, until)`: a crash-recovery
     /// fault. The node is deaf and mute inside the window and resumes with
-    /// its pre-crash state afterwards (any recovery protocol — e.g. chain
-    /// sync — is the application's job).
+    /// its pre-crash state afterwards; recovery (chain sync, retransmits)
+    /// is handled by the protocol layer — see `prb_core`'s governor sync
+    /// state machine and [`crate::retry::ReliableSender`]. As a special
+    /// case, a window ending at [`SimTime::MAX`] is a *permanent* crash
+    /// and is inclusive of `SimTime::MAX` itself (there is no later tick
+    /// at which the node could be alive again).
     pub fn crash_window(&mut self, node: NodeIdx, from: SimTime, until: SimTime) -> &mut Self {
         self.crashes.entry(node).or_default().push((from, until));
         self
@@ -77,7 +81,28 @@ impl FaultPlan {
     }
 
     /// Adds a timed partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition window is empty (`from >= until`) or if
+    /// any node appears in more than one group — overlapping groups
+    /// would make `is_partitioned` depend on group declaration order.
     pub fn partition(&mut self, partition: Partition) -> &mut Self {
+        assert!(
+            partition.from < partition.until,
+            "partition window is empty: from {:?} must precede until {:?}",
+            partition.from,
+            partition.until
+        );
+        let mut seen = std::collections::HashSet::new();
+        for group in &partition.groups {
+            for &node in group {
+                assert!(
+                    seen.insert(node),
+                    "partition groups overlap: node {node} appears in more than one group"
+                );
+            }
+        }
         self.partitions.push(partition);
         self
     }
@@ -85,9 +110,11 @@ impl FaultPlan {
     /// Whether `node` is crashed at time `at`.
     pub fn is_crashed(&self, node: NodeIdx, at: SimTime) -> bool {
         self.crashes.get(&node).is_some_and(|windows| {
+            // `until` is exclusive, except that a permanent crash
+            // (`until == SimTime::MAX`) covers `SimTime::MAX` too.
             windows
                 .iter()
-                .any(|&(from, until)| at >= from && at < until)
+                .any(|&(from, until)| at >= from && (at < until || until == SimTime::MAX))
         })
     }
 
@@ -175,5 +202,61 @@ mod tests {
         // Bystander (node 4 in no group): fine both ways.
         assert!(!plan.is_partitioned(4, 0, SimTime(15)));
         assert!(!plan.is_partitioned(2, 4, SimTime(15)));
+    }
+
+    #[test]
+    fn permanent_crash_covers_sim_time_max() {
+        // Regression: `until` is exclusive, so a permanent crash via
+        // `SimTime::MAX` used to report not-crashed at exactly
+        // `SimTime::MAX`. Permanent crashes are now inclusive.
+        let mut plan = FaultPlan::none();
+        plan.crash(2, SimTime(100));
+        assert!(plan.is_crashed(2, SimTime(u64::MAX - 1)));
+        assert!(plan.is_crashed(2, SimTime::MAX));
+        // Finite windows keep the exclusive upper bound.
+        plan.crash_window(5, SimTime(10), SimTime(20));
+        assert!(!plan.is_crashed(5, SimTime(20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "partition window is empty")]
+    fn empty_partition_window_rejected() {
+        FaultPlan::none().partition(Partition {
+            groups: vec![vec![0], vec![1]],
+            from: SimTime(20),
+            until: SimTime(20),
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "partition window is empty")]
+    fn inverted_partition_window_rejected() {
+        FaultPlan::none().partition(Partition {
+            groups: vec![vec![0], vec![1]],
+            from: SimTime(30),
+            until: SimTime(20),
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "partition groups overlap")]
+    fn overlapping_partition_groups_rejected() {
+        // Node 1 in two groups would make is_partitioned(1, ..) depend on
+        // which group happens to be found first.
+        FaultPlan::none().partition(Partition {
+            groups: vec![vec![0, 1], vec![1, 2]],
+            from: SimTime(10),
+            until: SimTime(20),
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one group")]
+    fn duplicate_node_within_a_group_rejected() {
+        FaultPlan::none().partition(Partition {
+            groups: vec![vec![0, 0], vec![1]],
+            from: SimTime(10),
+            until: SimTime(20),
+        });
     }
 }

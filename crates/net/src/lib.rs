@@ -15,6 +15,8 @@
 //! - [`order`] — atomic (total-order) broadcast primitives
 //!   ([`order::Sequencer`] / [`order::OrderedInbox`]),
 //! - [`fault`] — crash, loss and partition injection,
+//! - [`retry`] — ack-based reliable delivery with exponential backoff
+//!   and deterministic jitter for critical protocol hops,
 //! - [`topology`] — the l/n/m three-tier wiring with `r·l = s·n`,
 //! - [`stats`] — per-kind message accounting for the complexity
 //!   experiments (E6).
@@ -50,11 +52,13 @@
 pub mod fault;
 pub mod message;
 pub mod order;
+pub mod retry;
 pub mod sim;
 pub mod stats;
 pub mod time;
 pub mod topology;
 
 pub use message::{Envelope, NodeIdx, TimerId, EXTERNAL};
+pub use retry::{ReliableSender, RetryConfig, RetryStats};
 pub use sim::{Actor, Context, NetConfig, Network};
 pub use time::{SimDuration, SimTime};

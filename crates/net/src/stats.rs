@@ -29,7 +29,11 @@ pub struct KindStats {
 ///
 /// Kinds are `&'static str` tags chosen by the sending actor (e.g.
 /// `"tx-upload"`, `"block-proposal"`).
-#[derive(Clone, Debug, Default)]
+///
+/// Equality compares every per-kind counter; the determinism regression
+/// tests rely on this to show two same-seed runs exchanged byte-identical
+/// traffic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MessageStats {
     by_kind: BTreeMap<&'static str, KindStats>,
     timers_fired: u64,

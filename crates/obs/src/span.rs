@@ -18,6 +18,8 @@ pub mod phases {
     pub const REVEAL: &str = "reveal";
     /// Argue: block commit to argue resolution.
     pub const ARGUE: &str = "argue";
+    /// Crash recovery: chain gap detected to caught up with a peer.
+    pub const RECOVERY: &str = "recovery";
 }
 
 /// An open interval of sim time attributed to a named phase.
