@@ -94,6 +94,10 @@ pub enum ClaimRejection {
     UnitOutOfRange,
     /// The claiming governor index is unknown.
     UnknownGovernor,
+    /// The claiming governor was expelled from the committee on
+    /// equivocation evidence; its claims are ignored regardless of any
+    /// residual stake.
+    Expelled,
 }
 
 impl fmt::Display for ClaimRejection {
@@ -102,6 +106,7 @@ impl fmt::Display for ClaimRejection {
             ClaimRejection::BadProof => "vrf proof invalid",
             ClaimRejection::UnitOutOfRange => "claimed stake unit out of range",
             ClaimRejection::UnknownGovernor => "unknown governor",
+            ClaimRejection::Expelled => "governor expelled from committee",
         })
     }
 }
@@ -147,6 +152,25 @@ pub fn elect_with_pool(
     pks: &[PublicKey],
     pool: &VerifyPool,
 ) -> (Option<ElectionResult>, Vec<(u32, ClaimRejection)>) {
+    elect_excluding(chain_tag, round, claims, stakes, pks, &[], pool)
+}
+
+/// [`elect_with_pool`] restricted to the *active* committee: claims from
+/// governors listed in `expelled` are rejected with
+/// [`ClaimRejection::Expelled`] before any proof work. Expulsion already
+/// slashes the culprit's stake to zero (so its claims would fail
+/// structurally anyway), but the explicit exclusion makes the tally's
+/// reasoning auditable and keeps working even if the culprit somehow
+/// regains stake through an in-flight transfer.
+pub fn elect_excluding(
+    chain_tag: &[u8],
+    round: u64,
+    claims: &[ElectionClaim],
+    stakes: &[u64],
+    pks: &[PublicKey],
+    expelled: &[u32],
+    pool: &VerifyPool,
+) -> (Option<ElectionResult>, Vec<(u32, ClaimRejection)>) {
     // Pass 1: structural checks, recording which claims reach the proof
     // stage and the VRF message each one must verify against.
     let mut verdicts: Vec<Option<ClaimRejection>> = vec![None; claims.len()];
@@ -154,6 +178,10 @@ pub fn elect_with_pool(
     let mut msgs = Vec::new();
     for (i, claim) in claims.iter().enumerate() {
         let g = claim.governor as usize;
+        if expelled.contains(&claim.governor) {
+            verdicts[i] = Some(ClaimRejection::Expelled);
+            continue;
+        }
         if g >= stakes.len() || g >= pks.len() {
             verdicts[i] = Some(ClaimRejection::UnknownGovernor);
             continue;
@@ -321,6 +349,29 @@ mod tests {
         let claim = ElectionClaim::compute(TAG, 1, 7, 1, &keys[0]).unwrap();
         let (_, rejections) = elect(TAG, 1, &[claim], &[1], &pks);
         assert_eq!(rejections, vec![(7, ClaimRejection::UnknownGovernor)]);
+    }
+
+    #[test]
+    fn expelled_governor_cannot_win_even_with_stake() {
+        let keys = keys(3);
+        let stakes = [5, 1, 1];
+        let pks: Vec<PublicKey> = keys.iter().map(|k| k.public_key()).collect();
+        let claims: Vec<ElectionClaim> = keys
+            .iter()
+            .enumerate()
+            .filter_map(|(g, k)| ElectionClaim::compute(TAG, 2, g as u32, stakes[g], k))
+            .collect();
+        let pool = VerifyPool::single_threaded();
+        let (full, _) = elect_excluding(TAG, 2, &claims, &stakes, &pks, &[], &pool);
+        let (result, rejections) = elect_excluding(TAG, 2, &claims, &stakes, &pks, &[0], &pool);
+        assert_eq!(rejections, vec![(0, ClaimRejection::Expelled)]);
+        let result = result.unwrap();
+        assert_ne!(result.leader, 0, "expelled claims never tally");
+        // Exclusion only removes governor 0's claim from the race.
+        let (without, _) = elect(TAG, 2, &claims[1..], &stakes, &pks);
+        assert_eq!(Some(result), without);
+        assert!(full.is_some());
+        assert!(ClaimRejection::Expelled.to_string().contains("expelled"));
     }
 
     #[test]

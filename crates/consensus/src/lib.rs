@@ -13,6 +13,9 @@
 //!   simulated network (message complexity `O(m²)`, measured by E6),
 //! - [`pbft`] — a simplified PBFT baseline (normal case + crash-fault view
 //!   change) for the message-complexity comparison,
+//! - [`evidence`] — self-verifying equivocation evidence (two conflicting
+//!   signed proposal headers) backing the accountability pipeline that
+//!   detects and expels double-signing governors (E12),
 //! - [`round_robin`] — deterministic rotation schedules,
 //! - [`rotation`] — the executable rotating-leader replication protocol
 //!   (propose + ≥2/3 votes, crashed leaders skipped by timeout),
@@ -45,6 +48,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod election;
+pub mod evidence;
 pub mod pbft;
 pub mod rotation;
 pub mod round_robin;
@@ -52,7 +56,8 @@ pub mod stake;
 pub mod stake_block;
 pub mod verify_pool;
 
-pub use election::{elect, elect_with_pool, ElectionClaim, ElectionResult};
+pub use election::{elect, elect_excluding, elect_with_pool, ElectionClaim, ElectionResult};
+pub use evidence::{EquivocationEvidence, SignedHeader};
 pub use stake::{StakeTable, StakeTransfer};
 pub use stake_block::{StakeBlock, StakeGovernor, StakeMsg};
 pub use verify_pool::VerifyPool;

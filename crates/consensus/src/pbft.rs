@@ -25,7 +25,10 @@
 //! to the sender (rate-limited to one per observed view), and the
 //! [`PbftMsg::StateResponse`] carries the responder's view and decided
 //! log, which the requester merges (deduplicated by sequence number)
-//! before adopting the view.
+//! before adopting the view. Responses are accepted only from the replica
+//! the request went to, while an answer is outstanding, and only when the
+//! claimed view is not behind ours — unsolicited, stale or malformed
+//! responses are forgeries and never overwrite local state.
 
 use std::collections::{HashMap, HashSet};
 
@@ -109,6 +112,17 @@ pub struct PbftReplica {
     /// Views we have already sent a [`PbftMsg::StateRequest`] for, so a
     /// burst of higher-view traffic triggers exactly one request.
     state_requested: HashSet<u64>,
+    /// The replica we most recently asked for state, if an answer is
+    /// still outstanding. Responses from anyone else — or arriving when
+    /// nothing was asked — are forged or stale and must not overwrite
+    /// local state.
+    state_request_peer: Option<u32>,
+    /// Byzantine test hook: when set and this replica is primary, it
+    /// equivocates on proposals — pre-preparing `.0` toward even-indexed
+    /// replicas and `.1` toward odd-indexed ones (processing `.0` on its
+    /// own path). Honest replicas must never decide conflicting values;
+    /// a clean split starves both quorums and the view change recovers.
+    pub equivocate_values: Option<(Digest, Digest)>,
     view_votes: HashMap<u64, HashSet<u32>>,
     /// Pre-prepares for views we have not entered yet (buffered so a fast
     /// new primary does not outrun slower replicas' view changes).
@@ -141,6 +155,8 @@ impl PbftReplica {
             decided: Vec::new(),
             decided_seqs: HashSet::new(),
             state_requested: HashSet::new(),
+            state_request_peer: None,
+            equivocate_values: None,
             view_votes: HashMap::new(),
             future_preprepares: Vec::new(),
             request_timer: None,
@@ -210,6 +226,25 @@ impl PbftReplica {
         while let Some(value) = self.backlog.pop() {
             let seq = self.next_seq;
             self.next_seq += 1;
+            if let Some((a, b)) = self.equivocate_values {
+                // Byzantine primary: split the committee between two
+                // conflicting proposals for the same (view, seq).
+                for g in 0..self.m as usize {
+                    let peer = self.net_base + g;
+                    if peer == ctx.self_idx() {
+                        continue;
+                    }
+                    let split = if g % 2 == 0 { a } else { b };
+                    let msg = PbftMsg::PrePrepare {
+                        view: self.view,
+                        seq,
+                        value: split,
+                    };
+                    ctx.send_sized(peer, "pbft-preprepare", 48, msg);
+                }
+                self.on_preprepare(self.view, seq, a, ctx);
+                continue;
+            }
             let msg = PbftMsg::PrePrepare {
                 view: self.view,
                 seq,
@@ -295,7 +330,53 @@ impl PbftReplica {
             return;
         }
         self.obs.metrics().inc("pbft.state_requests");
+        self.state_request_peer = self.gov_of(from);
         ctx.send_sized(from, "pbft-staterequest", 8, PbftMsg::StateRequest);
+    }
+
+    /// Validates a [`PbftMsg::StateResponse`] before letting it touch
+    /// local state, and merges it when it passes. Returns whether the
+    /// claimed view should be adopted (it exceeds ours).
+    ///
+    /// A response counts only if it is *solicited* — it comes from the
+    /// exact replica we last sent a [`PbftMsg::StateRequest`] to while
+    /// the answer is still outstanding — its claimed `view` is not behind
+    /// ours (stale), and its decided log is well-formed (no duplicate
+    /// sequence numbers). Anything else is dropped without side effects:
+    /// an unsolicited "response" is indistinguishable from a forgery and
+    /// previously allowed any replica to overwrite a peer's decided log
+    /// and fast-forward its view.
+    fn accept_state_response(&mut self, from: u32, view: u64, decided: &[(u64, Digest)]) -> bool {
+        if self.state_request_peer != Some(from) || view < self.view {
+            self.obs.metrics().inc("pbft.state_responses_rejected");
+            return false;
+        }
+        let mut seqs: Vec<u64> = decided.iter().map(|&(seq, _)| seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        if seqs.len() != decided.len() {
+            self.obs.metrics().inc("pbft.state_responses_rejected");
+            return false;
+        }
+        self.state_request_peer = None;
+        // Merge any decisions we slept through; dedupe by seq so
+        // overlapping responses (or our own commit-quorum path) cannot
+        // double-decide.
+        let mut merged = false;
+        for &(seq, value) in decided {
+            if self.decided_seqs.insert(seq) {
+                self.decided.push((seq, value));
+                merged = true;
+            }
+        }
+        if merged {
+            // Restore global decision order after the merge.
+            self.decided.sort_by_key(|&(seq, _)| seq);
+            self.next_seq = self
+                .next_seq
+                .max(self.decided.last().map(|&(seq, _)| seq + 1).unwrap_or(0));
+        }
+        view > self.view
     }
 
     /// Enters `new_view` (which must be higher than the current view):
@@ -402,27 +483,10 @@ impl Actor for PbftReplica {
                 ctx.send_sized(env.from, "pbft-stateresponse", bytes, msg);
             }
             PbftMsg::StateResponse { view, decided } => {
-                if self.gov_of(env.from).is_none() {
+                let Some(from) = self.gov_of(env.from) else {
                     return;
-                }
-                // Merge any decisions we slept through; dedupe by seq so
-                // overlapping responses (or our own commit-quorum path)
-                // cannot double-decide.
-                let mut merged = false;
-                for (seq, value) in decided {
-                    if self.decided_seqs.insert(seq) {
-                        self.decided.push((seq, value));
-                        merged = true;
-                    }
-                }
-                if merged {
-                    // Restore global decision order after the merge.
-                    self.decided.sort_by_key(|&(seq, _)| seq);
-                    self.next_seq = self
-                        .next_seq
-                        .max(self.decided.last().map(|&(seq, _)| seq + 1).unwrap_or(0));
-                }
-                if view > self.view {
+                };
+                if self.accept_state_response(from, view, &decided) {
                     self.enter_view(view, ctx);
                 }
             }
@@ -588,6 +652,89 @@ mod tests {
         net.send_external(0, "client", PbftMsg::ClientRequest(v), SimTime(0));
         net.run_until(SimTime(400));
         assert_eq!(net.stats().kind("pbft-staterequest").sent, 0);
+    }
+
+    #[test]
+    fn unsolicited_state_response_is_rejected() {
+        // A forged response arriving when no request is outstanding must
+        // not overwrite the decided log or fast-forward the view.
+        let mut r = PbftReplica::new(3, 4, 0, SimDuration(500));
+        let forged = vec![(0, sha256(b"planted")), (5, sha256(b"also planted"))];
+        assert!(!r.accept_state_response(1, 7, &forged));
+        assert!(r.decided().is_empty(), "forged log must not be adopted");
+        assert_eq!(r.next_seq, 0);
+    }
+
+    #[test]
+    fn state_response_from_wrong_peer_is_rejected() {
+        let mut r = PbftReplica::new(3, 4, 0, SimDuration(500));
+        r.state_request_peer = Some(2); // we asked replica 2...
+        let forged = vec![(0, sha256(b"planted"))];
+        assert!(!r.accept_state_response(1, 7, &forged)); // ...1 answers
+        assert!(r.decided().is_empty());
+        // The genuine answer still goes through afterwards.
+        let real = vec![(0, sha256(b"real"))];
+        assert!(r.accept_state_response(2, 7, &real));
+        assert_eq!(r.decided(), &[(0, sha256(b"real"))]);
+        assert_eq!(r.next_seq, 1);
+    }
+
+    #[test]
+    fn stale_and_malformed_state_responses_are_rejected() {
+        let mut r = PbftReplica::new(3, 4, 0, SimDuration(500));
+        r.view = 5;
+        r.state_request_peer = Some(1);
+        // Stale: the responder's claimed view is behind ours.
+        assert!(!r.accept_state_response(1, 4, &[(0, sha256(b"old"))]));
+        assert!(r.decided().is_empty());
+        // Malformed: duplicate sequence numbers in one response.
+        let dup = vec![(0, sha256(b"a")), (0, sha256(b"b"))];
+        assert!(!r.accept_state_response(1, 6, &dup));
+        assert!(r.decided().is_empty());
+        // Equal view is fine (nothing to adopt) and consumes the request.
+        assert!(!r.accept_state_response(1, 5, &[(0, sha256(b"ok"))]));
+        assert_eq!(r.decided(), &[(0, sha256(b"ok"))]);
+        assert_eq!(r.state_request_peer, None);
+    }
+
+    #[test]
+    fn equivocating_primary_never_splits_decisions() {
+        // Primary 0 sends conflicting pre-prepares to the two halves of
+        // the committee. Neither value can gather a 2f+1 quorum, so no
+        // replica may decide either value at seq 0 — safety holds and the
+        // view change eventually removes the primary.
+        let m = 4;
+        let mut net = build(m);
+        net.node_mut(0).equivocate_values = Some((sha256(b"fork-a"), sha256(b"fork-b")));
+        net.send_external(
+            0,
+            "client",
+            PbftMsg::ClientRequest(sha256(b"ignored")),
+            SimTime(0),
+        );
+        net.run_until(SimTime(3_000));
+        for seq in 0..2u64 {
+            let mut values: Vec<Digest> = (0..m as usize)
+                .flat_map(|i| {
+                    net.node(i)
+                        .decided()
+                        .iter()
+                        .filter(|&&(s, _)| s == seq)
+                        .map(|&(_, v)| v)
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            values.sort_unstable();
+            values.dedup();
+            assert!(
+                values.len() <= 1,
+                "seq {seq} decided conflicting values {values:?}"
+            );
+        }
+        // The clean split specifically starves both quorums entirely.
+        for i in 1..m as usize {
+            assert!(net.node(i).decided().is_empty(), "replica {i}");
+        }
     }
 
     #[test]

@@ -209,6 +209,22 @@ impl StakeTable {
         rejected
     }
 
+    /// Burns governor `g`'s entire balance — the expulsion penalty for a
+    /// convicted equivocator. With zero stake the governor can no longer
+    /// produce election claims (`ElectionClaim::compute` returns `None`),
+    /// so slashing doubles as committee removal. The burn is recorded in
+    /// the certified state: [`StakeTable::digest`] changes, and `total()`
+    /// permanently drops by the burned amount.
+    ///
+    /// Idempotent: slashing an already-slashed governor burns 0. Returns
+    /// the burned amount, or `None` for an unknown governor.
+    pub fn slash(&mut self, g: u32) -> Option<u64> {
+        let balance = self.stakes.get_mut(g as usize)?;
+        let burned = *balance;
+        *balance = 0;
+        Some(burned)
+    }
+
     /// Canonical digest of the state (the `NEW_STATE` commitment).
     pub fn digest(&self) -> Digest {
         let mut h = Sha256::new();
@@ -333,6 +349,28 @@ mod tests {
         c.apply(&back).unwrap();
         assert_eq!(c.stakes(), a.stakes());
         assert_ne!(c.digest(), a.digest());
+    }
+
+    #[test]
+    fn slash_burns_stake_and_marks_the_state() {
+        let mut table = StakeTable::uniform(3, 10);
+        let before = table.digest();
+        assert_eq!(table.slash(1), Some(10));
+        assert_eq!(table.stake(1), Some(0));
+        assert_eq!(table.total(), 20, "burned stake leaves the system");
+        assert_ne!(
+            table.digest(),
+            before,
+            "expulsion is part of the certified state"
+        );
+        // Idempotent, and the slashed governor can no longer pay.
+        assert_eq!(table.slash(1), Some(0));
+        let t = StakeTransfer::create(1, 0, 1, 0, &key(1));
+        assert!(matches!(
+            table.apply(&t),
+            Err(StakeError::InsufficientStake { .. })
+        ));
+        assert_eq!(table.slash(9), None);
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //!    *it* received; on a match it returns its signature to the leader, on
 //!    a mismatch it broadcasts expulsion evidence (the leader's signed,
 //!    provably wrong digest).
-//! 3. The leader packs the digest and all `m` signatures into a
-//!    stake-transform block and broadcasts it; followers verify the
-//!    signature set and adopt the new state.
+//! 3. The leader packs the digest and one signature per *active*
+//!    governor into a stake-transform block and broadcasts it; followers
+//!    verify the signature set and adopt the new state. Expelled
+//!    governors drop out of the quorum on both sides, so the committee
+//!    keeps committing after a conviction.
 //!
 //! Determinism note: the paper assumes atomic broadcast, under which every
 //! governor holds the same transfer set in the same order. Our simulator
@@ -286,7 +288,10 @@ impl Actor for StakeGovernor {
                     .position(|&p| p == env.from)
                     .map(|g| g as u32);
                 if let Some(g) = from_gov {
-                    if self.pks[g as usize].verify(&state_sig_bytes(round, &digest), &sig) {
+                    // Expelled governors no longer count toward the quorum.
+                    if !self.expelled.contains(&g)
+                        && self.pks[g as usize].verify(&state_sig_bytes(round, &digest), &sig)
+                    {
                         self.acks.insert(g, sig);
                     }
                 }
@@ -314,15 +319,21 @@ impl Actor for StakeGovernor {
                 if block.round != self.round {
                     return;
                 }
-                // Verify the full signature set — all over the same
-                // `(round, digest)` message, so the certificate drains
-                // through the pool as a single batch.
+                // Verify the certificate — every *active* (non-expelled)
+                // governor must have signed the same `(round, digest)`
+                // message, so the set drains through the pool as a single
+                // batch. Expelled governors neither count toward nor
+                // against the recomputed quorum.
                 let msg = state_sig_bytes(block.round, &block.state_digest);
-                let in_range = block.signatures.len() == self.pks.len()
+                let mut signers: Vec<u32> = block.signatures.iter().map(|(g, _)| *g).collect();
+                signers.sort_unstable();
+                signers.dedup();
+                let in_range = signers.len() == block.signatures.len()
+                    && block.signatures.len() >= self.quorum()
                     && block
                         .signatures
                         .iter()
-                        .all(|(g, _)| (*g as usize) < self.pks.len());
+                        .all(|(g, _)| (*g as usize) < self.pks.len() && !self.expelled.contains(g));
                 let all_valid = in_range && {
                     let items: Vec<(&[u8], &Sig, &PublicKey)> = block
                         .signatures
@@ -340,11 +351,18 @@ impl Actor for StakeGovernor {
 }
 
 impl StakeGovernor {
+    /// Signatures required to commit: every governor still on the active
+    /// committee. Expulsions shrink the quorum so a round can close
+    /// without the culprit's cooperation.
+    fn quorum(&self) -> usize {
+        self.pks.len() - self.expelled.len()
+    }
+
     fn maybe_commit(&mut self, ctx: &mut Context<'_, StakeMsg>) {
         if !self.is_leader() || self.proposed.is_none() {
             return;
         }
-        if self.acks.len() == self.pks.len() {
+        if self.acks.len() == self.quorum() {
             let digest = self.proposed.expect("checked above");
             let mut signatures: Vec<(u32, Sig)> =
                 self.acks.iter().map(|(g, s)| (*g, s.clone())).collect();
@@ -459,6 +477,41 @@ mod tests {
             assert!(net.node(g).committed().is_empty());
             // State unchanged: the round never committed.
             assert_eq!(net.node(g).table().stake(0), Some(10));
+        }
+    }
+
+    #[test]
+    fn quorum_recomputes_after_expulsion_and_rounds_continue() {
+        let m = 4;
+        let (mut net, keys) = build(m, 10);
+        // Round 1: leader 1 equivocates and is expelled by every honest
+        // governor (no commit).
+        net.node_mut(1).equivocate_digest = Some(prb_crypto::sha256::sha256(b"bogus"));
+        start_round(&mut net, m, 1, 1, 100);
+        net.run_until_idle(10_000);
+        for g in [0usize, 2, 3] {
+            assert_eq!(net.node(g).expelled(), &[1]);
+        }
+        // Round 2: honest leader 0. The culprit still acks, but its
+        // signature no longer counts; the round must commit with the
+        // recomputed quorum of m − 1 signatures.
+        let t = StakeTransfer::create(2, 3, 4, 0, &keys[2]);
+        net.send_external(2, "submit", StakeMsg::SubmitTransfer(t), SimTime(20_000));
+        start_round(&mut net, m, 2, 0, 20_100);
+        net.run_until_idle(100_000);
+        // Every governor commits — including the culprit, which expelled
+        // itself when it verified the evidence against its own signature —
+        // but the certificate carries only the m − 1 active signatures.
+        for g in 0..m as usize {
+            assert_eq!(net.node(g).committed().len(), 1, "governor {g}");
+            let block = &net.node(g).committed()[0];
+            assert_eq!(block.signatures.len(), m as usize - 1);
+            assert!(
+                block.signatures.iter().all(|(signer, _)| *signer != 1),
+                "expelled governor must not appear in the certificate"
+            );
+            assert_eq!(net.node(g).table().stake(2), Some(6));
+            assert_eq!(net.node(g).table().stake(3), Some(14));
         }
     }
 

@@ -1,4 +1,4 @@
-//! Behaviour profiles for collectors and providers.
+//! Behaviour profiles for collectors, providers and governors.
 //!
 //! §4.2 names three classes of collector misbehaviour: misreporting a
 //! status, failing to report, and forging transactions. A
@@ -6,8 +6,29 @@
 //! an optional activation round (sleeper adversaries that build reputation
 //! first), which is exactly the adversary family exercised by experiments
 //! E1/E4/E7.
+//!
+//! [`GovernorProfile`] extends the same pattern to the committee itself:
+//! a governor can equivocate, propose invalid blocks, censor transactions
+//! or go silent, each within a `from_round..until_round` sleeper window.
+//! E12 sweeps these modes against the accountability pipeline.
 
 use rand::Rng;
+
+/// Panics unless `p` is a probability in `[0, 1]`.
+fn check_prob(name: &str, p: f64) {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "{name} must be a probability in [0, 1], got {p}"
+    );
+}
+
+/// Panics unless the sleeper window is well-formed.
+fn check_window(from_round: u64, until_round: u64) {
+    assert!(
+        from_round <= until_round,
+        "from_round {from_round} exceeds until_round {until_round}"
+    );
+}
 
 /// A collector's (mis)behaviour parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -48,6 +69,7 @@ impl CollectorProfile {
 
     /// Flips labels with probability `p`.
     pub fn misreporter(p: f64) -> Self {
+        check_prob("flip_prob", p);
         CollectorProfile {
             flip_prob: p,
             ..Self::honest()
@@ -57,6 +79,7 @@ impl CollectorProfile {
     /// Discards transactions with probability `p` (the concealing
     /// collector a selfish governor would bribe).
     pub fn concealer(p: f64) -> Self {
+        check_prob("drop_prob", p);
         CollectorProfile {
             drop_prob: p,
             ..Self::honest()
@@ -65,6 +88,7 @@ impl CollectorProfile {
 
     /// Fabricates transactions at rate `p`.
     pub fn forger(p: f64) -> Self {
+        check_prob("forge_prob", p);
         CollectorProfile {
             forge_prob: p,
             ..Self::honest()
@@ -74,13 +98,25 @@ impl CollectorProfile {
     /// Behaves as `self` only from round `round`; honest before.
     pub fn sleeper(mut self, round: u64) -> Self {
         self.from_round = round;
+        check_window(self.from_round, self.until_round);
         self
     }
 
     /// Stops misbehaving at `round` (exclusive); honest afterwards.
     pub fn reformed_at(mut self, round: u64) -> Self {
         self.until_round = round;
+        check_window(self.from_round, self.until_round);
         self
+    }
+
+    /// Panics with a descriptive message if any probability falls outside
+    /// `[0, 1]` or the sleeper window is inverted. Hand-built literals
+    /// should pass through here; the constructors already validate.
+    pub fn validate(&self) {
+        check_prob("flip_prob", self.flip_prob);
+        check_prob("drop_prob", self.drop_prob);
+        check_prob("forge_prob", self.forge_prob);
+        check_window(self.from_round, self.until_round);
     }
 
     /// Whether the adversarial parameters are live in `round`.
@@ -148,6 +184,131 @@ impl ProviderProfile {
             invalid_rate,
             active: false,
         }
+    }
+}
+
+/// What a Byzantine governor does while its window is active.
+///
+/// Unlike collector misbehaviour, governor attacks are deterministic:
+/// E12's hard asserts (detection on every honest node, byte-identical
+/// reruns) need the adversary itself to be reproducible, so the modes
+/// fire on every led round inside the window rather than by coin flip.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ByzantineMode {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Double-signs two conflicting blocks at the same serial (differing
+    /// timestamps) and sends each variant to half the committee. The
+    /// accountability pipeline detects and expels this mode.
+    Equivocate,
+    /// Proposes a block carrying a fabricated transaction with a forged
+    /// provider signature. Paranoid governors (`verify_blocks`) reject
+    /// and attribute the block; the led round is lost.
+    InvalidProposal,
+    /// Drops a deterministic subset of screened transactions from its
+    /// proposals (every second entry by tx-id order). Censored
+    /// transactions survive in the other governors' buffers.
+    Censor,
+    /// Stops participating: no election claims, no proposals.
+    Silent,
+}
+
+/// A governor's (mis)behaviour parameters, mirroring [`CollectorProfile`]:
+/// a mode plus a `from_round..until_round` sleeper window. Injected via
+/// `ProtocolConfig::governor_profiles`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GovernorProfile {
+    /// The attack to mount while the window is active.
+    pub mode: ByzantineMode,
+    /// The profile applies from this round on (sleeper adversaries).
+    pub from_round: u64,
+    /// The profile stops applying at this round (exclusive).
+    pub until_round: u64,
+}
+
+impl Default for GovernorProfile {
+    fn default() -> Self {
+        Self::honest()
+    }
+}
+
+impl GovernorProfile {
+    /// Fully honest governor.
+    pub fn honest() -> Self {
+        GovernorProfile {
+            mode: ByzantineMode::Honest,
+            from_round: 0,
+            until_round: u64::MAX,
+        }
+    }
+
+    /// A governor running `mode` for its whole lifetime.
+    pub fn with_mode(mode: ByzantineMode) -> Self {
+        GovernorProfile {
+            mode,
+            ..Self::honest()
+        }
+    }
+
+    /// Double-signs conflicting blocks on every led round.
+    pub fn equivocator() -> Self {
+        Self::with_mode(ByzantineMode::Equivocate)
+    }
+
+    /// Proposes blocks with a fabricated entry on every led round.
+    pub fn invalid_proposer() -> Self {
+        Self::with_mode(ByzantineMode::InvalidProposal)
+    }
+
+    /// Censors transactions from its proposals.
+    pub fn censor() -> Self {
+        Self::with_mode(ByzantineMode::Censor)
+    }
+
+    /// Withholds claims and proposals entirely.
+    pub fn silent() -> Self {
+        Self::with_mode(ByzantineMode::Silent)
+    }
+
+    /// Behaves as `self` only from round `round`; honest before.
+    pub fn sleeper(mut self, round: u64) -> Self {
+        self.from_round = round;
+        check_window(self.from_round, self.until_round);
+        self
+    }
+
+    /// Stops misbehaving at `round` (exclusive); honest afterwards.
+    pub fn reformed_at(mut self, round: u64) -> Self {
+        self.until_round = round;
+        check_window(self.from_round, self.until_round);
+        self
+    }
+
+    /// Whether the adversarial window is live in `round`.
+    pub fn active(&self, round: u64) -> bool {
+        round >= self.from_round && round < self.until_round
+    }
+
+    /// The mode to apply in `round`: the configured attack inside the
+    /// window, honest outside it.
+    pub fn mode_in(&self, round: u64) -> ByzantineMode {
+        if self.active(round) {
+            self.mode
+        } else {
+            ByzantineMode::Honest
+        }
+    }
+
+    /// Whether the profile is honest at every round.
+    pub fn is_honest(&self) -> bool {
+        self.mode == ByzantineMode::Honest
+    }
+
+    /// Panics with a descriptive message if the sleeper window is
+    /// inverted — the same check [`CollectorProfile::validate`] applies.
+    pub fn validate(&self) {
+        check_window(self.from_round, self.until_round);
     }
 }
 
@@ -225,5 +386,74 @@ mod tests {
         assert!(!ProviderProfile::passive(0.5).active);
         let default = ProviderProfile::default();
         assert!(default.active);
+    }
+
+    #[test]
+    #[should_panic(expected = "flip_prob must be a probability in [0, 1], got 1.5")]
+    fn misreporter_rejects_probability_above_one() {
+        CollectorProfile::misreporter(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_prob must be a probability in [0, 1], got -0.1")]
+    fn concealer_rejects_negative_probability() {
+        CollectorProfile::concealer(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "forge_prob must be a probability in [0, 1]")]
+    fn validate_catches_hand_built_bad_forge_prob() {
+        CollectorProfile {
+            forge_prob: 2.0,
+            ..CollectorProfile::honest()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "from_round 9 exceeds until_round 3")]
+    fn collector_window_must_not_invert() {
+        CollectorProfile::misreporter(0.5).reformed_at(3).sleeper(9);
+    }
+
+    #[test]
+    fn validate_accepts_boundary_probabilities() {
+        CollectorProfile::misreporter(1.0).validate();
+        CollectorProfile::forger(0.0).validate();
+        CollectorProfile::honest()
+            .sleeper(4)
+            .reformed_at(4)
+            .validate();
+    }
+
+    #[test]
+    fn governor_profile_windows_mirror_collector_semantics() {
+        let p = GovernorProfile::equivocator().sleeper(3).reformed_at(7);
+        assert!(!p.active(2));
+        assert!(p.active(3));
+        assert!(p.active(6));
+        assert!(!p.active(7));
+        assert_eq!(p.mode_in(2), ByzantineMode::Honest);
+        assert_eq!(p.mode_in(5), ByzantineMode::Equivocate);
+        assert!(!p.is_honest());
+        assert!(GovernorProfile::honest().is_honest());
+        assert!(GovernorProfile::default().is_honest());
+    }
+
+    #[test]
+    #[should_panic(expected = "from_round 8 exceeds until_round 2")]
+    fn governor_window_must_not_invert() {
+        GovernorProfile::silent().reformed_at(2).sleeper(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_round 5 exceeds until_round 1")]
+    fn governor_validate_catches_hand_built_window() {
+        GovernorProfile {
+            mode: ByzantineMode::Censor,
+            from_round: 5,
+            until_round: 1,
+        }
+        .validate();
     }
 }

@@ -5,6 +5,8 @@ use prb_crypto::signer::CryptoScheme;
 use prb_net::topology::TopologyParams;
 use prb_reputation::ReputationParams;
 
+use crate::behavior::GovernorProfile;
+
 use std::fmt;
 
 /// How the provider↔collector bipartite graph is wired.
@@ -120,6 +122,10 @@ pub struct ProtocolConfig {
     /// Maximum blocks per `SyncResponse` page during anti-entropy chain
     /// sync; a recovering node pages until it reaches the peer's head.
     pub sync_page: usize,
+    /// Byzantine behaviour per governor (E12 fault injection). Empty
+    /// means every governor is honest; otherwise one
+    /// [`GovernorProfile`] per governor, index-aligned.
+    pub governor_profiles: Vec<GovernorProfile>,
     /// Master seed; every run with the same config is bit-identical.
     pub seed: u64,
 }
@@ -148,6 +154,7 @@ impl Default for ProtocolConfig {
             verify_threads: 1,
             reliable_delivery: false,
             sync_page: 16,
+            governor_profiles: Vec::new(),
             seed: 42,
         }
     }
@@ -218,7 +225,27 @@ impl ProtocolConfig {
                 self.b_limit
             ));
         }
+        if !self.governor_profiles.is_empty()
+            && self.governor_profiles.len() != self.governors as usize
+        {
+            return Err(format!(
+                "governor_profiles has {} entries for {} governors",
+                self.governor_profiles.len(),
+                self.governors
+            ));
+        }
+        for profile in &self.governor_profiles {
+            profile.validate();
+        }
         Ok(())
+    }
+
+    /// The behaviour profile of governor `g` (honest when none configured).
+    pub fn governor_profile(&self, g: u32) -> GovernorProfile {
+        self.governor_profiles
+            .get(g as usize)
+            .copied()
+            .unwrap_or_default()
     }
 }
 
@@ -300,6 +327,26 @@ mod tests {
     fn round_ticks_cover_aggregation() {
         let cfg = ProtocolConfig::default();
         assert!(cfg.round_ticks() > cfg.aggregation_window() + 2 * cfg.max_delay);
+    }
+
+    #[test]
+    fn governor_profiles_must_align_with_committee() {
+        let cfg = ProtocolConfig {
+            governor_profiles: vec![GovernorProfile::equivocator(); 3],
+            ..Default::default() // 4 governors
+        };
+        assert!(cfg
+            .validate()
+            .unwrap_err()
+            .contains("governor_profiles has 3 entries for 4 governors"));
+        let cfg = ProtocolConfig {
+            governor_profiles: vec![GovernorProfile::honest(); 4],
+            ..Default::default()
+        };
+        cfg.validate().unwrap();
+        assert!(cfg.governor_profile(2).is_honest());
+        // No profiles configured: everyone defaults to honest.
+        assert!(ProtocolConfig::default().governor_profile(0).is_honest());
     }
 
     #[test]

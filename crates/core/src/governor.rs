@@ -18,7 +18,8 @@ use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
-use prb_consensus::election::{elect_with_pool, ElectionClaim};
+use prb_consensus::election::{elect_excluding, ElectionClaim};
+use prb_consensus::evidence::{EquivocationEvidence, SignedHeader};
 use prb_consensus::stake::{StakeTable, StakeTransfer};
 use prb_consensus::verify_pool::VerifyPool;
 use prb_crypto::identity::NodeId;
@@ -27,7 +28,7 @@ use prb_crypto::signer::{KeyPair, PublicKey, Sig};
 use prb_ledger::block::{Block, BlockEntry, Verdict};
 use prb_ledger::chain::Chain;
 use prb_ledger::oracle::ValidityOracle;
-use prb_ledger::transaction::{Label, LabeledTx, SignedTx, TxId};
+use prb_ledger::transaction::{Label, LabeledTx, SignedTx, TxId, TxPayload};
 use prb_net::message::{Envelope, NodeIdx, TimerId};
 use prb_net::order::{ChannelId, OrderedInbox};
 use prb_net::retry::{ReliableSender, RetryConfig};
@@ -39,6 +40,7 @@ use prb_reputation::screening::{screen, Report};
 use prb_reputation::update::{RevealedBehaviour, RevealedReport};
 use prb_reputation::{revenue, ReputationTable};
 
+use crate::behavior::{ByzantineMode, GovernorProfile};
 use crate::config::{GovernorMode, ProtocolConfig};
 use crate::metrics::GovernorMetrics;
 use crate::msg::ProtocolMsg;
@@ -191,6 +193,18 @@ pub struct GovernorNode {
     sync_timers: HashMap<TimerId, (u32, u64)>,
     /// Open recovery span (crash-recovery latency in the trace).
     recovery_span: Option<Span>,
+    /// This governor's (mis)behaviour profile — honest by default,
+    /// byzantine modes are injected via `ProtocolConfig::governor_profiles`.
+    profile: GovernorProfile,
+    /// First signed proposal header seen per `(proposer, serial)`, with
+    /// the tick it arrived — the baseline for detection-latency spans.
+    seen_headers: HashMap<(u32, u64), (SignedHeader, u64)>,
+    /// `(proposer, serial, block hash)` triples already echoed, so each
+    /// distinct header is re-gossiped exactly once.
+    echoed: HashSet<(u32, u64, Digest)>,
+    /// Governors this node has expelled from its committee view, each
+    /// backed by verified equivocation evidence (sorted).
+    expelled: Vec<u32>,
 }
 
 impl std::fmt::Debug for GovernorNode {
@@ -221,6 +235,7 @@ impl GovernorNode {
         let s = cfg.s() as usize;
         let stake_table = StakeTable::uniform(cfg.governors as usize, cfg.stake_per_governor);
         let verify_pool = VerifyPool::new(cfg.verify_threads);
+        let profile = cfg.governor_profile(index);
         GovernorNode {
             index,
             key,
@@ -264,6 +279,10 @@ impl GovernorNode {
             sync: SyncState::Synced,
             sync_timers: HashMap::new(),
             recovery_span: None,
+            profile,
+            seen_headers: HashMap::new(),
+            echoed: HashSet::new(),
+            expelled: Vec::new(),
         }
     }
 
@@ -328,6 +347,11 @@ impl GovernorNode {
         &self.stake_table
     }
 
+    /// Governors this node has expelled, sorted by index.
+    pub fn expelled(&self) -> &[u32] {
+        &self.expelled
+    }
+
     /// Transaction ids currently buffered for inclusion (diagnostics).
     pub fn ready_tx_ids(&self) -> Vec<TxId> {
         self.ready_entries.iter().map(|e| e.tx.id()).collect()
@@ -350,25 +374,35 @@ impl GovernorNode {
         size: usize,
         msg: ProtocolMsg,
     ) {
-        let governors = self.cfg.governors as usize;
-        let base = self.governor_base;
-        let self_idx = ctx.self_idx();
-        let GovernorNode { retry, .. } = self;
-        for g in 0..governors {
-            let peer = base + g;
-            if peer == self_idx {
-                continue;
+        for g in 0..self.cfg.governors as usize {
+            self.send_governor(ctx, g, kind, size, msg.clone());
+        }
+    }
+
+    /// Sends `msg` to governor `g` alone (no-op for this node itself) —
+    /// through the retry envelope when reliable delivery is on. The
+    /// equivocating byzantine path needs per-peer sends: it feeds each
+    /// committee half a different block.
+    fn send_governor(
+        &mut self,
+        ctx: &mut Context<'_, ProtocolMsg>,
+        g: usize,
+        kind: &'static str,
+        size: usize,
+        msg: ProtocolMsg,
+    ) {
+        let peer = self.governor_base + g;
+        if peer == ctx.self_idx() {
+            return;
+        }
+        match &mut self.retry {
+            Some(r) => {
+                r.send_with(ctx, peer, kind, size + 8, |token| ProtocolMsg::Reliable {
+                    token,
+                    inner: Box::new(msg),
+                });
             }
-            let msg = msg.clone();
-            match retry {
-                Some(r) => {
-                    r.send_with(ctx, peer, kind, size + 8, |token| ProtocolMsg::Reliable {
-                        token,
-                        inner: Box::new(msg),
-                    });
-                }
-                None => ctx.send_sized(peer, kind, size, msg),
-            }
+            None => ctx.send_sized(peer, kind, size, msg),
         }
     }
 
@@ -380,11 +414,13 @@ impl GovernorNode {
                 if round == self.round
                 // Claims travel through the retry envelope, so a slow ack
                 // can deliver the same claim twice — dedupe by claimant
-                // before counting toward the full-set threshold.
+                // before counting toward the full-set threshold. Expelled
+                // governors are out of the committee entirely.
+                && !self.expelled.contains(&claim.governor)
                 && !self.claims.iter().any(|c| c.governor == claim.governor) =>
             {
                 self.claims.push(claim);
-                if self.claims.len() == self.cfg.governors as usize {
+                if self.claims.len() == self.cfg.governors as usize - self.expelled.len() {
                     self.run_election(ctx.now().ticks());
                 }
             }
@@ -395,7 +431,18 @@ impl GovernorNode {
                 }
             }
             ProtocolMsg::ProposeBlock { round } => self.on_propose(round, ctx),
-            ProtocolMsg::BlockProposal { block, claim } => self.on_block(block, claim, ctx),
+            ProtocolMsg::BlockProposal {
+                block,
+                claim,
+                header,
+            } => {
+                if let Some(header) = &header {
+                    self.note_header(header.clone(), ctx);
+                }
+                self.on_block(block, claim, header, ctx);
+            }
+            ProtocolMsg::HeaderEcho { header } => self.note_header(header, ctx),
+            ProtocolMsg::Evidence { evidence } => self.on_evidence(evidence, ctx),
             ProtocolMsg::SyncRequest { have } => self.on_sync_request(have, env.from, ctx),
             ProtocolMsg::SyncResponse { blocks, head } => {
                 self.on_sync_response(blocks, head, env.from, ctx);
@@ -437,6 +484,12 @@ impl GovernorNode {
         self.election_span = Some(Span::begin(phases::ELECTION, now));
         self.proposal_span = Some(Span::begin(phases::PROPOSAL, now));
         self.commit_span = Some(Span::begin(phases::COMMIT, now));
+        if self.profile.mode_in(round) == ByzantineMode::Silent {
+            // A silent governor makes no claim and will never propose; to
+            // its peers the round looks exactly like a crash.
+            self.metrics.silent_rounds += 1;
+            return;
+        }
         let claim = ElectionClaim::compute(
             b"prb-chain",
             round,
@@ -457,12 +510,13 @@ impl GovernorNode {
     }
 
     fn run_election(&mut self, now: u64) {
-        let (result, _rejected) = elect_with_pool(
+        let (result, _rejected) = elect_excluding(
             b"prb-chain",
             self.round,
             &self.claims,
             self.stake_table.stakes(),
             &self.governor_pks,
+            &self.expelled,
             &self.verify_pool,
         );
         self.leader = result.map(|r| r.leader);
@@ -810,7 +864,7 @@ impl GovernorNode {
             self.metrics.proposals_withheld += 1;
             return;
         }
-        let _ = round;
+        let mode = self.profile.mode_in(round);
         // Argued re-records first, then fresh screenings, capped by b_limit.
         let mut entries: Vec<BlockEntry> = Vec::new();
         let mut argued_rest = Vec::new();
@@ -838,6 +892,48 @@ impl GovernorNode {
             }
         }
         self.ready_entries = ready_rest;
+
+        if mode == ByzantineMode::Censor {
+            // Drop every second entry of the deterministic assembly order:
+            // selective censorship with plausible deniability — the block
+            // stays well-formed, so this is tolerated, not detected.
+            let before = entries.len();
+            let mut nth = 0usize;
+            entries.retain(|_| {
+                nth += 1;
+                nth % 2 == 1
+            });
+            self.metrics.censored_txs += (before - entries.len()) as u64;
+            if self.obs.is_enabled() {
+                self.obs
+                    .metrics()
+                    .add("byzantine.censored_txs", (before - entries.len()) as u64);
+            }
+        }
+        if mode == ByzantineMode::InvalidProposal {
+            // A structurally plausible block entry whose "provider"
+            // signature was actually made with the governor's own key,
+            // mislabeled CheckedValid. Paranoid receivers reject the whole
+            // block and attribute it to the proposer.
+            let forged = SignedTx::create(
+                TxPayload {
+                    provider: NodeId::provider(0),
+                    nonce: u64::MAX - round,
+                    data: vec![0xBD],
+                },
+                ctx.now().ticks(),
+                &self.key,
+            );
+            entries.push(BlockEntry {
+                tx: forged,
+                verdict: Verdict::CheckedValid,
+                reported_labels: Vec::new(),
+            });
+            self.metrics.invalid_proposals_sent += 1;
+            if self.obs.is_enabled() {
+                self.obs.metrics().inc("byzantine.invalid_proposals_sent");
+            }
+        }
 
         let block = Block::build(
             self.chain.height() + 1,
@@ -889,13 +985,60 @@ impl GovernorNode {
         }
         self.metrics.rounds_led += 1;
         let claim = self.my_claim.clone();
-        let size = size + claim.as_ref().map_or(0, |_| 96);
-        self.broadcast_governors(
-            ctx,
-            "block-proposal",
-            size,
-            ProtocolMsg::BlockProposal { block, claim },
-        );
+        let size = size + claim.as_ref().map_or(0, |_| 96) + 72;
+        let header = SignedHeader::create(self.index, round, block.serial, block.hash(), &self.key);
+        if mode == ByzantineMode::Equivocate {
+            // Double-sign a twin block differing only by timestamp and
+            // split the committee: even-indexed peers get the original,
+            // odd-indexed the twin. Neither half sees both blocks
+            // directly — only the header echoes expose the conflict.
+            let twin = Block::build(
+                block.serial,
+                block.entries.clone(),
+                block.prev_hash,
+                block.leader,
+                block.timestamp + 1,
+            );
+            let twin_header =
+                SignedHeader::create(self.index, round, twin.serial, twin.hash(), &self.key);
+            self.metrics.equivocations_sent += 1;
+            if self.metrics.first_equivocation_round.is_none() {
+                self.metrics.first_equivocation_round = Some(round);
+            }
+            if self.obs.is_enabled() {
+                self.obs.metrics().inc("byzantine.equivocations_sent");
+            }
+            for g in 0..self.cfg.governors {
+                if g == self.index {
+                    continue;
+                }
+                let msg = if g % 2 == 0 {
+                    ProtocolMsg::BlockProposal {
+                        block: block.clone(),
+                        claim: claim.clone(),
+                        header: Some(header.clone()),
+                    }
+                } else {
+                    ProtocolMsg::BlockProposal {
+                        block: twin.clone(),
+                        claim: claim.clone(),
+                        header: Some(twin_header.clone()),
+                    }
+                };
+                self.send_governor(ctx, g as usize, "block-proposal", size, msg);
+            }
+        } else {
+            self.broadcast_governors(
+                ctx,
+                "block-proposal",
+                size,
+                ProtocolMsg::BlockProposal {
+                    block,
+                    claim,
+                    header: Some(header),
+                },
+            );
+        }
     }
 
     fn pay_collectors(&mut self, block: &Block) {
@@ -918,10 +1061,19 @@ impl GovernorNode {
         &mut self,
         block: Block,
         claim: Option<ElectionClaim>,
+        header: Option<SignedHeader>,
         ctx: &mut Context<'_, ProtocolMsg>,
     ) {
         if block.leader == NodeId::governor(self.index) {
             return; // own proposal echoed back (should not happen)
+        }
+        if self.expelled.contains(&block.leader.index) {
+            // Blocks from a convicted governor are ignored outright; any
+            // settled prefix it contributed before conviction stands.
+            if self.obs.is_enabled() {
+                self.obs.metrics().inc("byzantine.blocks_ignored");
+            }
+            return;
         }
         let now = ctx.now().ticks();
         // Strictly below the head: a retransmitted or slow duplicate,
@@ -965,7 +1117,7 @@ impl GovernorNode {
             }
             if let Some(key) = self.rival_priority(&block, claim.as_ref()) {
                 if self.cfg.verify_blocks && !self.entries_authentic(&block) {
-                    self.metrics.append_failures += 1;
+                    self.reject_invalid_block(&block, header.as_ref(), now);
                     return;
                 }
                 self.pop_head_repool();
@@ -1001,7 +1153,7 @@ impl GovernorNode {
             return;
         }
         if self.cfg.verify_blocks && !self.entries_authentic(&block) {
-            self.metrics.append_failures += 1;
+            self.reject_invalid_block(&block, header.as_ref(), now);
             return;
         }
         if self.append_and_clean(block.clone(), now) {
@@ -1011,6 +1163,147 @@ impl GovernorNode {
             self.head_priority = claim
                 .filter(|c| c.governor == block.leader.index)
                 .and_then(|c| self.claim_key(&c, self.round));
+        }
+    }
+
+    /// Books a proposed block that failed paranoid entry verification,
+    /// and convicts the proposer when the forgery is attributable: a
+    /// direct proposal carries the proposer's signed header over this
+    /// exact block hash, so signing garbage is self-incriminating to
+    /// every governor it was broadcast to. Sync-served blocks carry no
+    /// header (any peer could have fabricated the leader field), so they
+    /// are rejected without conviction.
+    fn reject_invalid_block(&mut self, block: &Block, header: Option<&SignedHeader>, now: u64) {
+        self.metrics.append_failures += 1;
+        self.metrics.invalid_blocks_rejected += 1;
+        if self.obs.is_enabled() {
+            self.obs.metrics().inc("byzantine.invalid_blocks_rejected");
+        }
+        if let Some(h) = header {
+            if h.proposer == block.leader.index
+                && h.serial == block.serial
+                && h.block_hash == block.hash()
+                && h.verify(&self.governor_pks)
+            {
+                self.expel(h.proposer, now);
+            }
+        }
+    }
+
+    /// Records a signed proposal header, echoes first sightings, and
+    /// convicts on conflict. The header's own signature is the sole
+    /// authority — echoes relayed by untrusted peers carry the proposer's
+    /// signature verbatim, so relaying cannot frame anyone.
+    fn note_header(&mut self, header: SignedHeader, ctx: &mut Context<'_, ProtocolMsg>) {
+        if header.proposer == self.index
+            || self.expelled.contains(&header.proposer)
+            || !header.verify(&self.governor_pks)
+        {
+            return;
+        }
+        let now = ctx.now().ticks();
+        // Re-gossip each distinct (proposer, serial, hash) exactly once,
+        // so a split-sent conflicting pair reaches every honest governor
+        // within one further delivery delay.
+        if self
+            .echoed
+            .insert((header.proposer, header.serial, header.block_hash))
+        {
+            self.broadcast_governors(
+                ctx,
+                "header-echo",
+                72,
+                ProtocolMsg::HeaderEcho {
+                    header: header.clone(),
+                },
+            );
+        }
+        let key = (header.proposer, header.serial);
+        match self.seen_headers.get(&key).cloned() {
+            None => {
+                self.seen_headers.insert(key, (header, now));
+            }
+            Some((first, _)) if first.block_hash == header.block_hash => {}
+            Some((first, seen_at)) => {
+                // Two conflicting signed commitments at one serial:
+                // assemble the self-verifying proof, tell everyone, and
+                // expel locally.
+                let evidence = EquivocationEvidence::new(first, header);
+                let Ok(culprit) = evidence.verify(&self.governor_pks) else {
+                    return; // defensive; both halves verified above
+                };
+                self.metrics.evidence_broadcast += 1;
+                if self.obs.is_enabled() {
+                    self.obs.metrics().inc("byzantine.equivocations_detected");
+                    self.obs.metrics().inc("byzantine.evidence_broadcast");
+                }
+                self.broadcast_governors(ctx, "evidence", 160, ProtocolMsg::Evidence { evidence });
+                self.obs.emit(
+                    now,
+                    self.net_idx(),
+                    ObsEvent::EquivocationDetected {
+                        culprit: culprit as u64,
+                        serial: key.1,
+                    },
+                );
+                self.obs
+                    .end_span(Span::begin(phases::DETECTION, seen_at), now, self.net_idx());
+                self.expel(culprit, now);
+            }
+        }
+    }
+
+    /// A peer forwarded equivocation evidence: verify both signatures
+    /// (the accuser is not trusted) and expel the convicted governor.
+    fn on_evidence(&mut self, evidence: EquivocationEvidence, ctx: &mut Context<'_, ProtocolMsg>) {
+        let Ok(culprit) = evidence.verify(&self.governor_pks) else {
+            return;
+        };
+        self.metrics.evidence_received += 1;
+        if self.obs.is_enabled() {
+            self.obs.metrics().inc("byzantine.evidence_received");
+        }
+        self.expel(culprit, ctx.now().ticks());
+    }
+
+    /// Expels `culprit` from this node's committee view: slashes its
+    /// stake (so it can never mint another election claim), discards its
+    /// live claim, and shrinks the full-claim-set threshold. Idempotent —
+    /// concurrent detectors all broadcast evidence, and a culprit
+    /// receiving proof against itself expels itself the same way,
+    /// keeping every stake table in agreement.
+    fn expel(&mut self, culprit: u32, now: u64) {
+        if self.expelled.contains(&culprit) {
+            return;
+        }
+        self.expelled.push(culprit);
+        self.expelled.sort_unstable();
+        self.stake_table.slash(culprit);
+        self.claims.retain(|c| c.governor != culprit);
+        self.metrics.expulsions += 1;
+        self.metrics.expulsion_round.insert(culprit, self.round);
+        self.obs.emit(
+            now,
+            self.net_idx(),
+            ObsEvent::GovernorExpelled {
+                culprit: culprit as u64,
+                round: self.round,
+            },
+        );
+        if self.obs.is_enabled() {
+            self.obs.metrics().inc("byzantine.expulsions");
+        }
+        // Drop the culprit's blocks still sitting at the contestable head:
+        // with the proposer convicted of double-signing, neither twin can
+        // be trusted, and an equivocation in the final round would
+        // otherwise leave the committee split with no successor to force
+        // the usual prev-mismatch rollback. Every honest node applies the
+        // same rule on the same evidence, so the shed serial is re-proposed
+        // by an honest leader and the prefixes reconverge. Settled blocks
+        // (those with a successor) are never popped.
+        let culprit_id = NodeId::governor(culprit);
+        while self.chain.height() > 0 && self.chain.latest().leader == culprit_id {
+            self.pop_head_repool();
         }
     }
 
@@ -1468,6 +1761,9 @@ impl GovernorNode {
     /// that certifies the resulting state is exercised separately in
     /// `prb-consensus` (this path keeps the election weights live).
     fn on_stake_transfer(&mut self, transfer: StakeTransfer, _ctx: &mut Context<'_, ProtocolMsg>) {
+        if self.expelled.contains(&transfer.from) || self.expelled.contains(&transfer.to) {
+            return; // expelled governors are out of the stake economy
+        }
         let Some(sender_pk) = self.governor_pks.get(transfer.from as usize) else {
             return;
         };
@@ -1809,6 +2105,30 @@ mod fork_tests {
         assert_eq!(gov.chain.height(), 1);
         assert!(gov.provisional_base.is_none());
         assert_eq!(gov.metrics.head_rollbacks, 2);
+    }
+
+    #[test]
+    fn expel_slashes_discards_claims_and_is_idempotent() {
+        let (keys, mut gov) = rig(3);
+        gov.round = 4;
+        gov.claims.push(claim_for(&gov, &keys, 1, 4));
+        gov.claims.push(claim_for(&gov, &keys, 2, 4));
+        gov.expel(1, 100);
+        assert_eq!(gov.expelled(), &[1]);
+        assert_eq!(gov.stake_table.stake(1), Some(0));
+        assert!(gov.claims.iter().all(|c| c.governor != 1));
+        assert_eq!(gov.claims.len(), 1);
+        assert_eq!(gov.metrics.expulsions, 1);
+        assert_eq!(gov.metrics.expulsion_round[&1], 4);
+        // A second conviction of the same governor changes nothing.
+        gov.expel(1, 200);
+        assert_eq!(gov.expelled(), &[1]);
+        assert_eq!(gov.metrics.expulsions, 1);
+        // A slashed governor can no longer mint election claims.
+        assert!(
+            ElectionClaim::compute(TAG, 5, 1, gov.stake_table.stake(1).unwrap(), &keys[1])
+                .is_none()
+        );
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! - [`config`] — every protocol tunable (`l, n, m, r, s, f, β, μ, ν,
 //!   b_limit, U, Δ`) plus the check-all / check-none baselines,
 //! - [`behavior`] — collector adversary profiles (misreport / conceal /
-//!   forge / sleeper) and provider activity profiles,
+//!   forge / sleeper), provider activity profiles, and Byzantine governor
+//!   profiles (equivocate / invalid-proposal / censor / silent),
 //! - [`provider`] / [`collector`] / [`governor`] — the three roles;
 //!   Algorithm 1 lives in the collector, Algorithms 2 and 3 plus argue
 //!   handling, elections, blocks and revenue live in the governor,
@@ -45,6 +46,6 @@ pub mod workload;
 
 pub use prb_obs as obs;
 
-pub use behavior::{CollectorProfile, ProviderProfile};
+pub use behavior::{ByzantineMode, CollectorProfile, GovernorProfile, ProviderProfile};
 pub use config::{GovernorMode, ProtocolConfig, RevealPolicy};
 pub use sim::{RoundOutcome, Simulation};

@@ -66,6 +66,28 @@ pub struct GovernorMetrics {
     /// Led rounds skipped because the previous provisional self-proposal
     /// was still unconfirmed (extending it could deepen a fork).
     pub proposals_withheld: u64,
+    /// Equivocating proposals this governor deliberately double-signed
+    /// (byzantine profiles only).
+    pub equivocations_sent: u64,
+    /// The first round in which this governor equivocated, if it ever did.
+    pub first_equivocation_round: Option<u64>,
+    /// Invalid (forged-entry) proposals this governor deliberately sent.
+    pub invalid_proposals_sent: u64,
+    /// Transactions this governor dropped from its own proposals while
+    /// censoring.
+    pub censored_txs: u64,
+    /// Led or claim-eligible rounds this governor sat out while silent.
+    pub silent_rounds: u64,
+    /// Equivocation evidence records this governor assembled and broadcast.
+    pub evidence_broadcast: u64,
+    /// Evidence records received from peers that verified.
+    pub evidence_received: u64,
+    /// Governors this node expelled from its committee view.
+    pub expulsions: u64,
+    /// Round each expulsion took effect locally, keyed by culprit.
+    pub expulsion_round: HashMap<u32, u64>,
+    /// Proposed blocks rejected on arrival for failing authentication.
+    pub invalid_blocks_rejected: u64,
     /// Realized loss per provider.
     pub realized_loss_by_provider: HashMap<u32, f64>,
     /// Expected loss per provider.

@@ -6,6 +6,7 @@
 //! experiments' protocol-message kinds.
 
 use prb_consensus::election::ElectionClaim;
+use prb_consensus::evidence::{EquivocationEvidence, SignedHeader};
 use prb_consensus::stake::StakeTransfer;
 use prb_ledger::block::{Block, Verdict};
 use prb_ledger::transaction::{LabeledTx, SignedTx, TxId};
@@ -65,6 +66,26 @@ pub enum ProtocolMsg {
         /// `None` only for driver-injected test traffic; claimless
         /// proposals cannot displace a contested head.
         claim: Option<ElectionClaim>,
+        /// The proposer's signed commitment to exactly this block at
+        /// this serial. Two conflicting headers convict an equivocator;
+        /// `None` only for driver-injected test traffic (unsigned
+        /// proposals cannot be held accountable).
+        header: Option<SignedHeader>,
+    },
+    /// Governor → governor: re-gossip of a proposal header, sent once per
+    /// distinct `(proposer, serial, block hash)` observed, so that an
+    /// equivocator splitting the committee between two blocks is exposed
+    /// to every honest governor within one delivery delay.
+    HeaderEcho {
+        /// The observed signed header, forwarded verbatim.
+        header: SignedHeader,
+    },
+    /// Governor → governor: self-verifying proof that `culprit()` signed
+    /// two conflicting blocks at one serial. Receivers verify both
+    /// signatures before expelling — the accuser is not trusted.
+    Evidence {
+        /// The two conflicting signed headers.
+        evidence: EquivocationEvidence,
     },
     /// Driver → provider: a block was committed; these are the verdicts
     /// (the provider's view of `retrieve(s)`).

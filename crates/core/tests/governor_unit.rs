@@ -394,7 +394,11 @@ fn paranoid_mode_rejects_blocks_with_fabricated_entries() {
         net.send_external(
             0,
             "block",
-            ProtocolMsg::BlockProposal { block, claim: None },
+            ProtocolMsg::BlockProposal {
+                block,
+                claim: None,
+                header: None,
+            },
             SimTime(0),
         );
         net.run_until_idle(100);

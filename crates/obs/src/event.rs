@@ -175,6 +175,22 @@ pub enum EventKind {
         /// `flip`, `drop`, or `forge`.
         action: &'static str,
     },
+    /// Governor: verified equivocation evidence against a governor
+    /// (`byzantine.equivocation`).
+    EquivocationDetected {
+        /// The double-signing governor.
+        culprit: u64,
+        /// The block serial both conflicting headers claim.
+        serial: u64,
+    },
+    /// Governor: a governor was expelled from the committee
+    /// (`byzantine.expelled`).
+    GovernorExpelled {
+        /// The expelled governor.
+        culprit: u64,
+        /// The round the expulsion took effect locally.
+        round: u64,
+    },
     /// PBFT: a replica accepted a pre-prepare (`pbft.preprepare`).
     PbftPrePrepare {
         /// View number.
@@ -237,6 +253,8 @@ impl EventKind {
             EventKind::ArgueRejected { .. } => "gov.argue_rejected",
             EventKind::Revealed { .. } => "gov.revealed",
             EventKind::CollectorAction { .. } => "col.adversary",
+            EventKind::EquivocationDetected { .. } => "byzantine.equivocation",
+            EventKind::GovernorExpelled { .. } => "byzantine.expelled",
             EventKind::PbftPrePrepare { .. } => "pbft.preprepare",
             EventKind::PbftPrepared { .. } => "pbft.prepared",
             EventKind::PbftCommitted { .. } => "pbft.committed",
@@ -321,6 +339,14 @@ impl EventKind {
                 f("verdict_correct", Bool(verdict_correct));
             }
             EventKind::CollectorAction { action } => f("action", Str(action)),
+            EventKind::EquivocationDetected { culprit, serial } => {
+                f("culprit", U64(culprit));
+                f("serial", U64(serial));
+            }
+            EventKind::GovernorExpelled { culprit, round } => {
+                f("culprit", U64(culprit));
+                f("round", U64(round));
+            }
             EventKind::PbftPrePrepare { view, seq }
             | EventKind::PbftPrepared { view, seq }
             | EventKind::PbftCommitted { view, seq } => {

@@ -20,6 +20,8 @@ pub mod phases {
     pub const ARGUE: &str = "argue";
     /// Crash recovery: chain gap detected to caught up with a peer.
     pub const RECOVERY: &str = "recovery";
+    /// Accountability: first conflicting header seen to culprit expelled.
+    pub const DETECTION: &str = "detection";
 }
 
 /// An open interval of sim time attributed to a named phase.
