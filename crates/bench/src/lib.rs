@@ -25,6 +25,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod crypto_bench;
+pub mod trace;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -33,7 +34,7 @@ use std::rc::Rc;
 use prb_core::behavior::{CollectorProfile, ProviderProfile};
 use prb_core::config::{ProtocolConfig, RevealPolicy};
 use prb_core::sim::Simulation;
-use prb_obs::{JsonlRecorder, Obs};
+use prb_obs::{JsonlRecorder, Obs, RingRecorder, TeeRecorder};
 
 /// A markdown table under construction.
 #[derive(Clone, Debug)]
@@ -262,11 +263,20 @@ where
     };
     let recorder = JsonlRecorder::create(path)
         .unwrap_or_else(|e| panic!("cannot create trace file {path}: {e}"));
-    let obs = Obs::with_sink(Rc::new(recorder));
+    // Tee into a flight recorder so a hard-assert panic anywhere in the
+    // run can still dump the last events for post-mortem.
+    let ring = Rc::new(RingRecorder::new(FLIGHT_RING_CAPACITY));
+    let tee = TeeRecorder::new(
+        Rc::new(recorder),
+        Rc::clone(&ring) as Rc<dyn prb_obs::Recorder>,
+    );
+    let obs = Obs::with_sink(Rc::new(tee));
     let mut sim = build();
     sim.set_obs(Rc::clone(&obs));
-    sim.run(rounds);
-    sim.run_drain_rounds(drain);
+    with_flight_dump(&ring, || {
+        sim.run(rounds);
+        sim.run_drain_rounds(drain);
+    });
     println!("{}", sim.obs_summary());
     let ok = print_reconciliation(&sim);
     println!(
@@ -274,6 +284,32 @@ where
         if ok { "OK" } else { "MISMATCH" }
     );
     true
+}
+
+/// Events the flight recorder keeps for a post-mortem dump.
+pub const FLIGHT_RING_CAPACITY: usize = 512;
+
+/// Runs `f`; when it panics (a failed `assert!` in an experiment's hard
+/// checks, say), dumps the flight recorder's tail to stderr as JSONL
+/// before resuming the unwind — the last events before death are the
+/// first thing in the post-mortem.
+pub fn with_flight_dump<R>(ring: &Rc<RingRecorder>, f: impl FnOnce() -> R) -> R {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    match result {
+        Ok(r) => r,
+        Err(payload) => {
+            eprintln!(
+                "\n=== flight recorder: last {} events before the failure ===",
+                ring.len()
+            );
+            let mut err = std::io::stderr().lock();
+            if let Err(e) = ring.dump_jsonl(&mut err) {
+                eprintln!("(flight dump failed: {e})");
+            }
+            eprintln!("=== end flight recorder ===");
+            std::panic::resume_unwind(payload);
+        }
+    }
 }
 
 /// Prints the per-message-kind reconciliation of trace events against the

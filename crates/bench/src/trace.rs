@@ -1,0 +1,784 @@
+//! Offline analysis of `--trace-out` JSONL traces: per-transaction
+//! lifecycle timelines, stage/end-to-end latency percentiles, phase
+//! attribution, and the machine-readable `BENCH_latency.json` artifact.
+//!
+//! The input is the flat JSONL the [`prb_obs::JsonlRecorder`] writes —
+//! one object per line, string/u64/f64/bool/null values, no nesting —
+//! so the parser here is a small hand-rolled scanner rather than a JSON
+//! library. Every number the analyzer derives comes from *sim time* and
+//! *rounds*, never wall clock, which is what makes the artifact
+//! byte-identical across same-seed runs.
+//!
+//! A transaction's timeline is assembled first-wins per stage across
+//! every replica's events (the replication factor means most stages fire
+//! on several governors; the earliest occurrence is the one that defines
+//! progress). Terminal state resolves as **committed wins over
+//! dropped**: a censored or concealed copy can still commit through an
+//! honest path, and the drop event merely records the detour.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use prb_obs::lifecycle::Stage;
+use prb_obs::{Event, EventKind, Role};
+
+/// One parsed scalar from a trace line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// An unsigned integer (the common case: times, ids, counts).
+    U64(u64),
+    /// A float (sim configs may log rates).
+    F64(f64),
+    /// A boolean (`checked`, `valid`, …).
+    Bool(bool),
+    /// A string (kinds, roles, reasons).
+    Str(String),
+    /// JSON `null`.
+    Null,
+}
+
+impl Value {
+    /// The value as a `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// One trace line, decoded.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Sim time (`"t"`).
+    pub time: u64,
+    /// Emitting node's network index (`"node"`).
+    pub node: u64,
+    /// Protocol round at emission (`"round"`).
+    pub round: u64,
+    /// Role string (`"governor"`, …).
+    pub role: String,
+    /// Dotted kind name (`"tx.committed"`, …).
+    pub kind: String,
+    /// Every other field on the line.
+    pub fields: BTreeMap<String, Value>,
+}
+
+impl TraceEvent {
+    /// The trace id, when this is a lifecycle event.
+    pub fn trace(&self) -> Option<u64> {
+        self.fields.get("trace").and_then(Value::as_u64)
+    }
+}
+
+/// Parses one flat JSON object line.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct.
+pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
+    let mut fields = parse_flat_object(line)?;
+    let take_u64 = |fields: &mut BTreeMap<String, Value>, key: &str| -> Result<u64, String> {
+        fields
+            .remove(key)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("missing or non-integer field \"{key}\""))
+    };
+    let time = take_u64(&mut fields, "t")?;
+    // The simulation driver writes `"node":null` (see
+    // `prb_obs::EXTERNAL_NODE`); map it back to the sentinel.
+    let node = match fields.remove("node") {
+        Some(Value::U64(n)) => n,
+        Some(Value::Null) => prb_obs::EXTERNAL_NODE,
+        _ => return Err("missing or non-integer field \"node\"".into()),
+    };
+    let round = take_u64(&mut fields, "round")?;
+    let role = match fields.remove("role") {
+        Some(Value::Str(s)) => s,
+        _ => return Err("missing field \"role\"".into()),
+    };
+    let kind = match fields.remove("kind") {
+        Some(Value::Str(s)) => s,
+        _ => return Err("missing field \"kind\"".into()),
+    };
+    Ok(TraceEvent {
+        time,
+        node,
+        round,
+        role,
+        kind,
+        fields,
+    })
+}
+
+/// Parses a whole trace (one event per non-empty line).
+///
+/// # Errors
+///
+/// Returns `(line number, description)` for the first bad line.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, (usize, String)> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|e| (i + 1, e))?);
+    }
+    Ok(out)
+}
+
+fn parse_flat_object(line: &str) -> Result<BTreeMap<String, Value>, String> {
+    let mut fields = BTreeMap::new();
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |bytes: &[u8], mut i: usize| {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    };
+    i = skip_ws(bytes, i);
+    if i >= bytes.len() || bytes[i] != b'{' {
+        return Err("expected '{'".into());
+    }
+    i += 1;
+    loop {
+        i = skip_ws(bytes, i);
+        if i < bytes.len() && bytes[i] == b'}' {
+            i += 1;
+            break;
+        }
+        let (key, next) = parse_string(line, i)?;
+        i = skip_ws(bytes, next);
+        if i >= bytes.len() || bytes[i] != b':' {
+            return Err(format!("expected ':' after key \"{key}\""));
+        }
+        i = skip_ws(bytes, i + 1);
+        let (value, next) = parse_value(line, i)?;
+        fields.insert(key, value);
+        i = skip_ws(bytes, next);
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => {
+                i += 1;
+                break;
+            }
+            _ => return Err("expected ',' or '}'".into()),
+        }
+    }
+    if skip_ws(bytes, i) != line.len() {
+        return Err("trailing garbage after object".into());
+    }
+    Ok(fields)
+}
+
+fn parse_string(line: &str, start: usize) -> Result<(String, usize), String> {
+    let bytes = line.as_bytes();
+    if bytes.get(start) != Some(&b'"') {
+        return Err("expected '\"'".into());
+    }
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Ok((out, i + 1)),
+            b'\\' => {
+                let esc = bytes.get(i + 1).ok_or("dangling escape")?;
+                out.push(match esc {
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'/' => '/',
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    _ => return Err(format!("unsupported escape \\{}", *esc as char)),
+                });
+                i += 2;
+            }
+            _ => {
+                // Multi-byte UTF-8 passes through byte-exact.
+                let ch_len = line[i..].chars().next().map_or(1, char::len_utf8);
+                out.push_str(&line[i..i + ch_len]);
+                i += ch_len;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_value(line: &str, start: usize) -> Result<(Value, usize), String> {
+    let bytes = line.as_bytes();
+    match bytes.get(start) {
+        Some(b'"') => {
+            let (s, next) = parse_string(line, start)?;
+            Ok((Value::Str(s), next))
+        }
+        Some(b't') if line[start..].starts_with("true") => Ok((Value::Bool(true), start + 4)),
+        Some(b'f') if line[start..].starts_with("false") => Ok((Value::Bool(false), start + 5)),
+        Some(b'n') if line[start..].starts_with("null") => Ok((Value::Null, start + 4)),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let mut end = start + 1;
+            while end < bytes.len()
+                && (bytes[end].is_ascii_digit()
+                    || matches!(bytes[end], b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                end += 1;
+            }
+            let text = &line[start..end];
+            if let Ok(n) = text.parse::<u64>() {
+                Ok((Value::U64(n), end))
+            } else if let Ok(f) = text.parse::<f64>() {
+                Ok((Value::F64(f), end))
+            } else {
+                Err(format!("bad number {text}"))
+            }
+        }
+        _ => Err("unsupported value".into()),
+    }
+}
+
+/// A transaction's assembled lifecycle: first occurrence (sim time,
+/// round) per stage across all replicas.
+#[derive(Clone, Debug, Default)]
+pub struct TxTimeline {
+    /// The trace id.
+    pub trace: u64,
+    /// `tx.submitted`.
+    pub submitted: Option<(u64, u64)>,
+    /// `tx.admitted`.
+    pub admitted: Option<(u64, u64)>,
+    /// `gov.screened`.
+    pub screened: Option<(u64, u64)>,
+    /// `tx.validated`.
+    pub validated: Option<(u64, u64)>,
+    /// `tx.proposed`.
+    pub proposed: Option<(u64, u64)>,
+    /// `tx.committed`.
+    pub committed: Option<(u64, u64)>,
+    /// First `tx.dropped` (time, reason).
+    pub dropped: Option<(u64, String)>,
+}
+
+impl TxTimeline {
+    /// Terminal state with committed winning over dropped.
+    pub fn terminal(&self) -> &'static str {
+        if self.committed.is_some() {
+            "committed"
+        } else if self.dropped.is_some() {
+            "dropped"
+        } else if self.submitted.is_some() {
+            "open"
+        } else {
+            "orphan"
+        }
+    }
+}
+
+/// Percentile summary of one latency population (exact, from the sorted
+/// samples — the offline analyzer has no reason to bucket).
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    /// Sample count.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Computes the summary from raw samples.
+    pub fn from_samples(mut samples: Vec<u64>) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let mean = samples.iter().map(|&s| s as f64).sum::<f64>() / count as f64;
+        let pick = |q: f64| {
+            let idx = ((q * count as f64).ceil() as usize).clamp(1, samples.len()) - 1;
+            samples[idx]
+        };
+        LatencyStats {
+            count,
+            mean,
+            p50: pick(0.50),
+            p99: pick(0.99),
+            p999: pick(0.999),
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Everything the analyzer derives from one trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceReport {
+    /// Per-transaction timelines, keyed by trace id.
+    pub timelines: BTreeMap<u64, TxTimeline>,
+    /// Terminal-state counts: submitted / committed / dropped / open /
+    /// orphan.
+    pub submitted: u64,
+    /// Transactions whose timeline reached `tx.committed`.
+    pub committed: u64,
+    /// Terminal drops (never committed anywhere).
+    pub dropped: u64,
+    /// Submitted but neither committed nor dropped.
+    pub open: u64,
+    /// Lifecycle events whose trace never saw a submission.
+    pub orphans: u64,
+    /// Drop-reason counts over terminal drops.
+    pub drop_reasons: BTreeMap<String, u64>,
+    /// Per-stage and end-to-end latency in sim ticks, keyed by stage
+    /// name (`submit_to_admit`, …, `submit_to_commit`).
+    pub stages_ticks: BTreeMap<&'static str, LatencyStats>,
+    /// End-to-end commit latency in rounds.
+    pub commit_rounds: LatencyStats,
+    /// Phase attribution from `phase.end`: name → (count, total ticks).
+    pub phases: BTreeMap<String, (u64, u64)>,
+    /// Total lifecycle events seen (for coverage statements).
+    pub lifecycle_events: u64,
+}
+
+/// Builds the report from a parsed trace.
+pub fn analyze(events: &[TraceEvent]) -> TraceReport {
+    let mut report = TraceReport::default();
+    for e in events {
+        if e.kind == "phase.end" {
+            if let (Some(name), Some(ticks)) = (
+                e.fields.get("phase").and_then(Value::as_str),
+                e.fields.get("ticks").and_then(Value::as_u64),
+            ) {
+                let slot = report.phases.entry(name.to_owned()).or_insert((0, 0));
+                slot.0 += 1;
+                slot.1 += ticks;
+            }
+            continue;
+        }
+        let Some(stage) = Stage::from_kind_name(&e.kind) else {
+            continue;
+        };
+        let Some(trace) = e.trace() else { continue };
+        report.lifecycle_events += 1;
+        let tl = report.timelines.entry(trace).or_insert_with(|| TxTimeline {
+            trace,
+            ..TxTimeline::default()
+        });
+        let at = (e.time, e.round);
+        let slot = match stage {
+            Stage::Submitted => &mut tl.submitted,
+            Stage::Admitted => &mut tl.admitted,
+            Stage::Screened => &mut tl.screened,
+            Stage::Validated => &mut tl.validated,
+            Stage::Proposed => &mut tl.proposed,
+            Stage::Committed => &mut tl.committed,
+            Stage::Dropped => {
+                if tl.dropped.is_none() {
+                    let reason = e
+                        .fields
+                        .get("reason")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unknown")
+                        .to_owned();
+                    tl.dropped = Some((e.time, reason));
+                }
+                continue;
+            }
+        };
+        if slot.is_none() {
+            *slot = Some(at);
+        }
+    }
+    let mut submit_admit = Vec::new();
+    let mut admit_screen = Vec::new();
+    let mut screen_propose = Vec::new();
+    let mut propose_commit = Vec::new();
+    let mut submit_commit = Vec::new();
+    let mut commit_rounds = Vec::new();
+    for tl in report.timelines.values() {
+        match tl.terminal() {
+            "committed" => report.committed += 1,
+            "dropped" => {
+                report.dropped += 1;
+                let reason = tl.dropped.as_ref().expect("terminal is dropped").1.clone();
+                *report.drop_reasons.entry(reason).or_insert(0) += 1;
+            }
+            "open" => report.open += 1,
+            _ => report.orphans += 1,
+        }
+        if tl.submitted.is_some() {
+            report.submitted += 1;
+        }
+        let (Some(sub), Some(com)) = (tl.submitted, tl.committed) else {
+            continue;
+        };
+        submit_commit.push(com.0.saturating_sub(sub.0));
+        commit_rounds.push(com.1.saturating_sub(sub.1));
+        if let Some(adm) = tl.admitted {
+            submit_admit.push(adm.0.saturating_sub(sub.0));
+            if let Some(scr) = tl.screened {
+                admit_screen.push(scr.0.saturating_sub(adm.0));
+            }
+        }
+        if let (Some(scr), Some(prop)) = (tl.screened, tl.proposed) {
+            screen_propose.push(prop.0.saturating_sub(scr.0));
+            propose_commit.push(com.0.saturating_sub(prop.0));
+        }
+    }
+    report
+        .stages_ticks
+        .insert("submit_to_admit", LatencyStats::from_samples(submit_admit));
+    report
+        .stages_ticks
+        .insert("admit_to_screen", LatencyStats::from_samples(admit_screen));
+    report.stages_ticks.insert(
+        "screen_to_propose",
+        LatencyStats::from_samples(screen_propose),
+    );
+    report.stages_ticks.insert(
+        "propose_to_commit",
+        LatencyStats::from_samples(propose_commit),
+    );
+    report.stages_ticks.insert(
+        "submit_to_commit",
+        LatencyStats::from_samples(submit_commit),
+    );
+    report.commit_rounds = LatencyStats::from_samples(commit_rounds);
+    report
+}
+
+/// Reconstructs typed lifecycle events so the shared state machine in
+/// [`prb_obs::lifecycle`] can validate a replayed trace. Non-lifecycle
+/// lines are skipped; unknown drop reasons map to `"other"`.
+pub fn lifecycle_events(events: &[TraceEvent]) -> Vec<Event> {
+    let u = |e: &TraceEvent, key: &str| e.fields.get(key).and_then(Value::as_u64).unwrap_or(0);
+    let b = |e: &TraceEvent, key: &str| e.fields.get(key).and_then(Value::as_bool).unwrap_or(false);
+    events
+        .iter()
+        .filter_map(|e| {
+            let trace = e.trace()?;
+            let kind = match e.kind.as_str() {
+                "tx.submitted" => EventKind::TxSubmitted {
+                    trace,
+                    provider: u(e, "provider"),
+                },
+                "tx.admitted" => EventKind::TxAdmitted { trace },
+                "gov.screened" => EventKind::TxScreened {
+                    trace,
+                    drawn: u(e, "drawn"),
+                    checked: b(e, "checked"),
+                    label_valid: b(e, "label_valid"),
+                },
+                "tx.validated" => EventKind::TxValidated {
+                    trace,
+                    valid: b(e, "valid"),
+                },
+                "tx.proposed" => EventKind::TxProposed {
+                    trace,
+                    serial: u(e, "serial"),
+                },
+                "tx.committed" => EventKind::TxCommitted {
+                    trace,
+                    serial: u(e, "serial"),
+                },
+                "tx.dropped" => EventKind::TxDropped {
+                    trace,
+                    reason: match e.fields.get("reason").and_then(Value::as_str) {
+                        Some("concealed") => "concealed",
+                        Some("forged") => "forged",
+                        Some("invalid") => "invalid",
+                        Some("censored") => "censored",
+                        _ => "other",
+                    },
+                },
+                _ => return None,
+            };
+            Some(Event {
+                time: e.time,
+                node: e.node,
+                round: e.round,
+                role: match e.role.as_str() {
+                    "provider" => Role::Provider,
+                    "collector" => Role::Collector,
+                    "governor" => Role::Governor,
+                    "replica" => Role::Replica,
+                    _ => Role::External,
+                },
+                kind,
+            })
+        })
+        .collect()
+}
+
+fn stats_line(out: &mut String, name: &str, s: &LatencyStats) {
+    let _ = writeln!(
+        out,
+        "{name:<20} {:>8} {:>10.1} {:>8} {:>8} {:>8} {:>8}",
+        s.count, s.mean, s.p50, s.p99, s.p999, s.max
+    );
+}
+
+/// Renders the human report: coverage, latency tables, phase and
+/// critical-path attribution.
+pub fn render_report(report: &TraceReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## lifecycle coverage");
+    let _ = writeln!(
+        out,
+        "txs submitted {}  committed {}  dropped {}  open {}  orphans {}  (lifecycle events {})",
+        report.submitted,
+        report.committed,
+        report.dropped,
+        report.open,
+        report.orphans,
+        report.lifecycle_events
+    );
+    if !report.drop_reasons.is_empty() {
+        let reasons: Vec<String> = report
+            .drop_reasons
+            .iter()
+            .map(|(r, n)| format!("{r}={n}"))
+            .collect();
+        let _ = writeln!(out, "drop reasons: {}", reasons.join("  "));
+    }
+    let _ = writeln!(out, "\n## latency (sim ticks)");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "stage", "count", "mean", "p50", "p99", "p999", "max"
+    );
+    for (name, s) in &report.stages_ticks {
+        stats_line(&mut out, name, s);
+    }
+    stats_line(&mut out, "commit_rounds", &report.commit_rounds);
+    let _ = writeln!(out, "(commit_rounds row is in rounds, not ticks)");
+    if !report.phases.is_empty() {
+        let _ = writeln!(out, "\n## phase attribution (sim ticks)");
+        let total: u64 = report.phases.values().map(|(_, t)| t).sum();
+        for (name, (count, ticks)) in &report.phases {
+            let pct = if total > 0 {
+                100.0 * *ticks as f64 / total as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{name:<12} spans {count:>6}  total {ticks:>10}  {pct:>5.1}%"
+            );
+        }
+    }
+    // Critical path: the mean stage deltas of a committed tx, in order.
+    let path = [
+        "submit_to_admit",
+        "admit_to_screen",
+        "screen_to_propose",
+        "propose_to_commit",
+    ];
+    if report.committed > 0 {
+        let _ = writeln!(out, "\n## critical path of a committed tx (mean ticks)");
+        for name in path {
+            if let Some(s) = report.stages_ticks.get(name) {
+                if s.count > 0 {
+                    let _ = writeln!(out, "{name:<20} {:>10.1}", s.mean);
+                }
+            }
+        }
+        if let Some(e2e) = report.stages_ticks.get("submit_to_commit") {
+            let _ = writeln!(out, "{:<20} {:>10.1}", "end_to_end", e2e.mean);
+        }
+    }
+    out
+}
+
+fn json_stats(out: &mut String, s: &LatencyStats) {
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"mean\":{:.3},\"p50\":{},\"p99\":{},\"p999\":{},\"max\":{}}}",
+        s.count, s.mean, s.p50, s.p99, s.p999, s.max
+    );
+}
+
+/// Renders `BENCH_latency.json`: hand-written, key-sorted, fixed float
+/// formatting — byte-identical for identical traces.
+pub fn to_json(report: &TraceReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"experiment\": \"latency\",\n");
+    let _ = writeln!(
+        out,
+        "  \"txs\": {{\"submitted\":{},\"committed\":{},\"dropped\":{},\"open\":{},\"orphans\":{}}},",
+        report.submitted, report.committed, report.dropped, report.open, report.orphans
+    );
+    out.push_str("  \"drop_reasons\": {");
+    for (i, (reason, n)) in report.drop_reasons.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{reason}\":{n}");
+    }
+    out.push_str("},\n  \"stages_ticks\": {");
+    for (i, (name, s)) in report.stages_ticks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{name}\": ");
+        json_stats(&mut out, s);
+    }
+    out.push_str("\n  },\n  \"commit_rounds\": ");
+    json_stats(&mut out, &report.commit_rounds);
+    out.push_str(",\n  \"phases_ticks\": {");
+    for (i, (name, (count, ticks))) in report.phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    \"{name}\": {{\"spans\":{count},\"total\":{ticks}}}"
+        );
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+{"t":1,"node":0,"role":"provider","round":1,"kind":"tx.submitted","trace":7,"provider":0}
+{"t":5,"node":20,"role":"governor","round":1,"kind":"tx.admitted","trace":7}
+{"t":9,"node":20,"role":"governor","round":1,"kind":"gov.screened","trace":7,"drawn":3,"checked":true,"label_valid":true}
+{"t":9,"node":20,"role":"governor","round":1,"kind":"tx.validated","trace":7,"valid":true}
+{"t":12,"node":20,"role":"governor","round":1,"kind":"tx.proposed","trace":7,"serial":1}
+{"t":15,"node":20,"role":"governor","round":2,"kind":"tx.committed","trace":7,"serial":1}
+{"t":16,"node":21,"role":"governor","round":2,"kind":"tx.committed","trace":7,"serial":1}
+{"t":2,"node":8,"role":"collector","round":1,"kind":"tx.submitted","trace":8,"provider":1}
+{"t":6,"node":9,"role":"collector","round":1,"kind":"tx.dropped","trace":8,"reason":"concealed"}
+{"t":20,"node":20,"role":"governor","round":2,"kind":"phase.end","phase":"screening","ticks":4}
+{"t":22,"node":20,"role":"governor","round":2,"kind":"phase.end","phase":"commit","ticks":6}
+"#;
+
+    #[test]
+    fn parses_and_analyzes_the_sample() {
+        let events = parse_trace(SAMPLE).expect("sample parses");
+        assert_eq!(events.len(), 11);
+        let report = analyze(&events);
+        assert_eq!(report.submitted, 2);
+        assert_eq!(report.committed, 1);
+        assert_eq!(report.dropped, 1);
+        assert_eq!(report.open, 0);
+        assert_eq!(report.drop_reasons.get("concealed"), Some(&1));
+        let e2e = &report.stages_ticks["submit_to_commit"];
+        assert_eq!((e2e.count, e2e.p50, e2e.max), (1, 14, 14));
+        assert_eq!(report.commit_rounds.p50, 1);
+        assert_eq!(report.phases["screening"], (1, 4));
+    }
+
+    #[test]
+    fn first_wins_across_replicas() {
+        let events = parse_trace(SAMPLE).expect("sample parses");
+        let report = analyze(&events);
+        // Two governors committed trace 7; the timeline keeps the first.
+        assert_eq!(report.timelines[&7].committed, Some((15, 2)));
+    }
+
+    #[test]
+    fn committed_wins_over_dropped() {
+        let text = r#"
+{"t":1,"node":0,"role":"provider","round":1,"kind":"tx.submitted","trace":5,"provider":0}
+{"t":3,"node":9,"role":"governor","round":1,"kind":"tx.dropped","trace":5,"reason":"censored"}
+{"t":8,"node":10,"role":"governor","round":1,"kind":"tx.committed","trace":5,"serial":1}
+"#;
+        let report = analyze(&parse_trace(text).expect("parses"));
+        assert_eq!(report.committed, 1);
+        assert_eq!(report.dropped, 0);
+        assert!(report.drop_reasons.is_empty());
+    }
+
+    #[test]
+    fn orphan_events_are_counted_not_crashed() {
+        let text =
+            r#"{"t":5,"node":9,"role":"governor","round":1,"kind":"tx.admitted","trace":99}"#;
+        let report = analyze(&parse_trace(text).expect("parses"));
+        assert_eq!(report.orphans, 1);
+        assert_eq!(report.submitted, 0);
+    }
+
+    #[test]
+    fn replayed_stream_passes_the_shared_validator() {
+        let events = parse_trace(SAMPLE).expect("sample parses");
+        let typed = lifecycle_events(&events);
+        assert_eq!(typed.len(), 9); // phase.end lines are not lifecycle
+        prb_obs::lifecycle::validate(&typed, prb_obs::lifecycle::Checks::default())
+            .expect("sample stream is legal");
+    }
+
+    #[test]
+    fn json_artifact_is_stable_and_wellformed_enough() {
+        let events = parse_trace(SAMPLE).expect("sample parses");
+        let report = analyze(&events);
+        let a = to_json(&report);
+        let b = to_json(&analyze(&parse_trace(SAMPLE).expect("parses")));
+        assert_eq!(a, b, "same trace, same bytes");
+        assert!(a.contains("\"submit_to_commit\""));
+        assert!(a.ends_with("}\n"));
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+    }
+
+    #[test]
+    fn latency_stats_edge_cases() {
+        let empty = LatencyStats::from_samples(vec![]);
+        assert_eq!(
+            (empty.count, empty.p50, empty.p999, empty.max),
+            (0, 0, 0, 0)
+        );
+        let one = LatencyStats::from_samples(vec![42]);
+        assert_eq!(
+            (one.count, one.p50, one.p99, one.p999, one.max),
+            (1, 42, 42, 42, 42)
+        );
+        let run = LatencyStats::from_samples((1..=1000).collect());
+        assert_eq!(run.p50, 500);
+        assert_eq!(run.p99, 990);
+        assert_eq!(run.p999, 999);
+        assert_eq!(run.max, 1000);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line("{\"t\":1}").is_err()); // missing fields
+        assert!(parse_trace("{\"t\":oops}").is_err());
+    }
+
+    #[test]
+    fn render_report_mentions_everything() {
+        let events = parse_trace(SAMPLE).expect("sample parses");
+        let text = render_report(&analyze(&events));
+        assert!(text.contains("lifecycle coverage"));
+        assert!(text.contains("submit_to_commit"));
+        assert!(text.contains("critical path"));
+        assert!(text.contains("phase attribution"));
+    }
+}

@@ -25,6 +25,7 @@ use prb_crypto::sha256::{Digest, Sha256};
 use prb_crypto::signer::{KeyPair, PublicKey, Sig};
 use prb_net::message::Envelope;
 use prb_net::sim::{Actor, Context};
+use prb_obs::{Obs, ObsHandle};
 
 use crate::stake::{StakeTable, StakeTransfer};
 use crate::verify_pool::VerifyPool;
@@ -116,6 +117,7 @@ pub struct StakeGovernor {
     expelled: Vec<u32>,
     /// Drains the Commit certificate's `m` signatures as one batch.
     pool: VerifyPool,
+    obs: ObsHandle,
 }
 
 impl StakeGovernor {
@@ -145,6 +147,7 @@ impl StakeGovernor {
             committed: Vec::new(),
             expelled: Vec::new(),
             pool: VerifyPool::single_threaded(),
+            obs: Obs::off(),
         }
     }
 
@@ -154,6 +157,13 @@ impl StakeGovernor {
     pub fn with_verify_pool(mut self, pool: VerifyPool) -> Self {
         self.pool = pool;
         self
+    }
+
+    /// Installs an observability hub (defaults to [`Obs::off`]); the
+    /// governor then reports certificate batch sizes and wall-clock crypto
+    /// time (`crypto.batch.size` / `wall.crypto_ns`).
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// The current stake table.
@@ -340,7 +350,14 @@ impl Actor for StakeGovernor {
                         .iter()
                         .map(|(g, sig)| (&msg[..], sig, &self.pks[*g as usize]))
                         .collect();
-                    self.pool.verify_sigs(&items).iter().all(|&ok| ok)
+                    self.obs.observe("crypto.batch.size", items.len() as u64);
+                    let t0 = self.obs.is_enabled().then(std::time::Instant::now);
+                    let ok = self.pool.verify_sigs(&items).iter().all(|&ok| ok);
+                    if let Some(t0) = t0 {
+                        self.obs
+                            .add_counter("wall.crypto_ns", t0.elapsed().as_nanos() as u64);
+                    }
+                    ok
                 };
                 if all_valid {
                     self.finish_round(block);

@@ -165,6 +165,16 @@ impl CollectorNode {
                 self.net_idx,
                 ObsEvent::CollectorAction { action: "drop" },
             );
+            // Lifecycle: this copy dies here. Terminal only if every
+            // replica of the tx is concealed; a commit elsewhere wins.
+            self.obs.emit(
+                ctx.now().ticks(),
+                self.net_idx,
+                ObsEvent::TxDropped {
+                    trace: tx.id().trace(),
+                    reason: "concealed",
+                },
+            );
             return;
         };
         // l ← validate(tx): the collector does the validation work itself;

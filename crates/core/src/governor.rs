@@ -481,6 +481,20 @@ impl GovernorNode {
         self.claims.clear();
         self.leader = None;
         let now = ctx.now().ticks();
+        if self.obs.is_enabled() {
+            self.obs
+                .observe("depth.gov_pending", self.pending.len() as u64);
+            self.obs
+                .observe("depth.gov_ready", self.ready_entries.len() as u64);
+            self.obs
+                .observe("depth.gov_argued", self.argued_entries.len() as u64);
+            self.obs
+                .set_gauge("depth.gov_pending", self.pending.len() as f64);
+            self.obs
+                .set_gauge("depth.gov_ready", self.ready_entries.len() as f64);
+            self.obs
+                .set_gauge("depth.gov_argued", self.argued_entries.len() as f64);
+        }
         self.election_span = Some(Span::begin(phases::ELECTION, now));
         self.proposal_span = Some(Span::begin(phases::PROPOSAL, now));
         self.commit_span = Some(Span::begin(phases::COMMIT, now));
@@ -490,6 +504,7 @@ impl GovernorNode {
             self.metrics.silent_rounds += 1;
             return;
         }
+        let t0 = self.obs.is_enabled().then(std::time::Instant::now);
         let claim = ElectionClaim::compute(
             b"prb-chain",
             round,
@@ -497,6 +512,10 @@ impl GovernorNode {
             self.stake_table.stake(self.index).unwrap_or(0),
             &self.key,
         );
+        if let Some(t0) = t0 {
+            self.obs
+                .add_counter("wall.crypto_ns", t0.elapsed().as_nanos() as u64);
+        }
         self.my_claim = claim.clone();
         if let Some(claim) = claim {
             self.claims.push(claim.clone());
@@ -510,6 +529,7 @@ impl GovernorNode {
     }
 
     fn run_election(&mut self, now: u64) {
+        let t0 = self.obs.is_enabled().then(std::time::Instant::now);
         let (result, _rejected) = elect_excluding(
             b"prb-chain",
             self.round,
@@ -519,6 +539,10 @@ impl GovernorNode {
             &self.expelled,
             &self.verify_pool,
         );
+        if let Some(t0) = t0 {
+            self.obs
+                .add_counter("wall.crypto_ns", t0.elapsed().as_nanos() as u64);
+        }
         self.leader = result.map(|r| r.leader);
         if let Some(leader) = self.leader {
             self.obs.emit(
@@ -616,6 +640,11 @@ impl GovernorNode {
         if verdict.is_none() {
             Self::enqueue_verify(&mut self.verify_queue, &mut self.queued, memo_key, &ltx.tx);
         }
+        self.obs.emit(
+            ctx.now().ticks(),
+            self.net_idx(),
+            ObsEvent::TxAdmitted { trace: id.trace() },
+        );
         let timer = ctx.set_timer(SimDuration(self.cfg.aggregation_window()));
         self.timers.insert(timer, id);
         self.screen_spans
@@ -673,7 +702,12 @@ impl GovernorNode {
             .iter()
             .map(|(p, _, sig, msg)| (&msg[..], sig, &self.provider_pks[*p as usize]))
             .collect();
+        let t0 = self.obs.is_enabled().then(std::time::Instant::now);
         let verdicts = self.verify_pool.verify_sigs(&items);
+        if let Some(t0) = t0 {
+            self.obs
+                .add_counter("wall.crypto_ns", t0.elapsed().as_nanos() as u64);
+        }
         self.metrics.sig_memo_misses += queue.len() as u64;
         if self.obs.is_enabled() {
             self.obs
@@ -732,6 +766,14 @@ impl GovernorNode {
             // Every copy was forged: nothing to screen (and no screening
             // randomness is consumed, matching the eager-verification
             // behaviour where such a window never opened).
+            self.obs.emit(
+                ctx.now().ticks(),
+                self.net_idx(),
+                ObsEvent::TxDropped {
+                    trace: id.trace(),
+                    reason: "forged",
+                },
+            );
             self.screen_spans.remove(&id);
             return;
         }
@@ -777,6 +819,7 @@ impl GovernorNode {
             now,
             self.net_idx(),
             ObsEvent::TxScreened {
+                trace: id.trace(),
                 drawn: screen_reports[outcome.drawn].collector as u64,
                 checked: check,
                 label_valid: drawn_label.is_valid(),
@@ -790,6 +833,24 @@ impl GovernorNode {
             let valid = self.oracle.borrow().validate(id);
             self.metrics.validations += 1;
             self.metrics.checked += 1;
+            self.obs.emit(
+                now,
+                self.net_idx(),
+                ObsEvent::TxValidated {
+                    trace: id.trace(),
+                    valid,
+                },
+            );
+            if !valid {
+                self.obs.emit(
+                    now,
+                    self.net_idx(),
+                    ObsEvent::TxDropped {
+                        trace: id.trace(),
+                        reason: "invalid",
+                    },
+                );
+            }
             // Case 2: every reporter's misreport counter moves.
             let case2: Vec<(usize, bool)> = reports
                 .iter()
@@ -899,15 +960,32 @@ impl GovernorNode {
             // stays well-formed, so this is tolerated, not detected.
             let before = entries.len();
             let mut nth = 0usize;
-            entries.retain(|_| {
+            let mut censored: Vec<u64> = Vec::new();
+            let trace_drops = self.obs.is_enabled();
+            entries.retain(|e| {
                 nth += 1;
-                nth % 2 == 1
+                let keep = nth % 2 == 1;
+                if !keep && trace_drops {
+                    censored.push(e.tx.id().trace());
+                }
+                keep
             });
             self.metrics.censored_txs += (before - entries.len()) as u64;
             if self.obs.is_enabled() {
                 self.obs
                     .metrics()
                     .add("byzantine.censored_txs", (before - entries.len()) as u64);
+            }
+            let t = ctx.now().ticks();
+            for trace in censored {
+                self.obs.emit(
+                    t,
+                    self.net_idx(),
+                    ObsEvent::TxDropped {
+                        trace,
+                        reason: "censored",
+                    },
+                );
             }
         }
         if mode == ByzantineMode::InvalidProposal {
@@ -952,6 +1030,18 @@ impl GovernorNode {
                 entries: block.entries.len() as u64,
             },
         );
+        if self.obs.is_enabled() {
+            for e in &block.entries {
+                self.obs.emit(
+                    now,
+                    self.net_idx(),
+                    ObsEvent::TxProposed {
+                        trace: e.tx.id().trace(),
+                        serial: block.serial,
+                    },
+                );
+            }
+        }
         if let Some(span) = self.proposal_span.take() {
             self.obs.end_span(span, now, self.net_idx());
         }
@@ -967,6 +1057,18 @@ impl GovernorNode {
                         entries: block.entries.len() as u64,
                     },
                 );
+                if self.obs.is_enabled() {
+                    for e in &block.entries {
+                        self.obs.emit(
+                            now,
+                            self.net_idx(),
+                            ObsEvent::TxCommitted {
+                                trace: e.tx.id().trace(),
+                                serial: block.serial,
+                            },
+                        );
+                    }
+                }
                 if let Some(span) = self.commit_span.take() {
                     self.obs.end_span(span, now, self.net_idx());
                 }
@@ -1446,7 +1548,12 @@ impl GovernorNode {
                 .iter()
                 .map(|(p, _, sig, msg)| (&msg[..], sig, &self.provider_pks[*p as usize]))
                 .collect();
+            let t0 = self.obs.is_enabled().then(std::time::Instant::now);
             let verdicts = self.verify_pool.verify_sigs(&items);
+            if let Some(t0) = t0 {
+                self.obs
+                    .add_counter("wall.crypto_ns", t0.elapsed().as_nanos() as u64);
+            }
             for ((p, id, sig, _), ok) in fresh.into_iter().zip(verdicts) {
                 if self.sig_memo.len() >= SIG_MEMO_MAX {
                     self.sig_memo.clear();
@@ -1496,6 +1603,11 @@ impl GovernorNode {
     fn append_and_clean(&mut self, block: Block, now: u64) -> bool {
         let included: HashSet<TxId> = block.entries.iter().map(|e| e.tx.id()).collect();
         let (serial, entries) = (block.serial, block.entries.len() as u64);
+        let traces: Vec<u64> = if self.obs.is_enabled() {
+            block.entries.iter().map(|e| e.tx.id().trace()).collect()
+        } else {
+            Vec::new()
+        };
         match self.chain.append(block) {
             Ok(()) => {
                 self.metrics.blocks_appended += 1;
@@ -1504,6 +1616,10 @@ impl GovernorNode {
                     self.net_idx(),
                     ObsEvent::BlockCommitted { serial, entries },
                 );
+                for trace in traces {
+                    self.obs
+                        .emit(now, self.net_idx(), ObsEvent::TxCommitted { trace, serial });
+                }
                 if let Some(span) = self.commit_span.take() {
                     self.obs.end_span(span, now, self.net_idx());
                 }

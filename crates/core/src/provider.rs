@@ -18,7 +18,7 @@ use prb_ledger::transaction::{SignedTx, TxId, TxPayload};
 use prb_net::message::{Envelope, NodeIdx, TimerId};
 use prb_net::retry::{ReliableSender, RetryConfig};
 use prb_net::sim::Context;
-use prb_obs::ObsHandle;
+use prb_obs::{EventKind, Obs, ObsHandle};
 
 use crate::behavior::ProviderProfile;
 use crate::msg::ProtocolMsg;
@@ -43,6 +43,7 @@ pub struct ProviderNode {
     argues_sent: u64,
     /// Ack-based retransmission for tx submissions (None = fire-and-forget).
     retry: Option<ReliableSender<ProtocolMsg>>,
+    obs: ObsHandle,
 }
 
 impl ProviderNode {
@@ -69,6 +70,7 @@ impl ProviderNode {
             created: 0,
             argues_sent: 0,
             retry: None,
+            obs: Obs::off(),
         }
     }
 
@@ -77,11 +79,13 @@ impl ProviderNode {
         self.retry = Some(ReliableSender::new(cfg));
     }
 
-    /// Installs an observability hub (threaded into the retry sender).
+    /// Installs an observability hub (threaded into the retry sender;
+    /// also the source of `tx.submitted` lifecycle events).
     pub fn set_obs(&mut self, obs: ObsHandle) {
         if let Some(r) = &mut self.retry {
-            r.set_obs(obs);
+            r.set_obs(Rc::clone(&obs));
         }
+        self.obs = obs;
     }
 
     /// Routes an ack for a tracked send.
@@ -134,6 +138,14 @@ impl ProviderNode {
                     self.oracle.borrow_mut().register(id, gen.valid);
                     self.my_txs.insert(id, gen.valid);
                     self.created += 1;
+                    self.obs.emit(
+                        ctx.now().ticks(),
+                        ctx.self_idx() as u64,
+                        EventKind::TxSubmitted {
+                            trace: id.trace(),
+                            provider: self.index as u64,
+                        },
+                    );
                     let seq = self.seq;
                     self.seq += 1;
                     let size = tx.wire_size();

@@ -403,7 +403,27 @@ impl Simulation {
             m.add("crypto.batch.fallback_items", d.batch_fallback_items);
         }
         self.obs.flush();
-        self.obs.summary()
+        let mut out = self.obs.summary();
+        if self.obs.is_enabled() {
+            // Wall-clock phase attribution: how much of each round's real
+            // time the crypto (verify-pool batches + VRF) accounted for.
+            let m = self.obs.metrics();
+            let round_ns = m.counter("wall.round_ns");
+            let rounds = m.counter("wall.rounds");
+            if round_ns > 0 && rounds > 0 {
+                let crypto_ns = m.counter("wall.crypto_ns").min(round_ns);
+                let other_ns = round_ns - crypto_ns;
+                let pct = 100.0 * crypto_ns as f64 / round_ns as f64;
+                out.push_str("\n## wall-clock phase profile\n");
+                out.push_str(&format!(
+                    "rounds {rounds}  avg round {:.2} ms  crypto {:.2} ms ({pct:.1}%)  non-crypto {:.2} ms\n",
+                    round_ns as f64 / rounds as f64 / 1e6,
+                    crypto_ns as f64 / rounds as f64 / 1e6,
+                    other_ns as f64 / rounds as f64 / 1e6,
+                ));
+            }
+        }
+        out
     }
 
     fn governor_node(&self, g: u32) -> &GovernorNode {
@@ -563,6 +583,10 @@ impl Simulation {
 
     /// Runs one full protocol round; returns what was committed.
     pub fn run_round(&mut self) -> RoundOutcome {
+        // Wall-clock profile: `wall.round_ns` is the whole round;
+        // `wall.crypto_ns` (fed at the verify-pool and VRF call sites)
+        // splits out the crypto share, so non-crypto = round − crypto.
+        let wall = self.obs.is_enabled().then(std::time::Instant::now);
         self.round += 1;
         let round = self.round;
         self.obs.set_round(round);
@@ -665,6 +689,11 @@ impl Simulation {
             }
             // Schedule reveals per policy.
             self.schedule_reveals(verdicts);
+        }
+        if let Some(wall) = wall {
+            self.obs
+                .add_counter("wall.round_ns", wall.elapsed().as_nanos() as u64);
+            self.obs.add_counter("wall.rounds", 1);
         }
         outcome
     }

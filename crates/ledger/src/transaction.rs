@@ -16,6 +16,16 @@ use prb_crypto::signer::{KeyPair, PublicKey, Sig};
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TxId(pub Digest);
 
+impl TxId {
+    /// The causal trace id lifecycle events carry: the first 8 digest
+    /// bytes as a little-endian `u64`. Unique with overwhelming
+    /// probability, and computable at any site holding the tx, so no
+    /// message needs to carry it on the wire.
+    pub fn trace(&self) -> u64 {
+        u64::from_le_bytes(self.0 .0[..8].try_into().expect("digest is 32 bytes"))
+    }
+}
+
 impl fmt::Debug for TxId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "TxId({}…)", &self.0.to_hex()[..12])

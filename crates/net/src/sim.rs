@@ -374,6 +374,9 @@ impl<A: Actor> Network<A> {
                     return true;
                 }
                 self.stats.record_delivered(envelope.kind, envelope.size);
+                // Depth of the kernel's event heap at delivery time — the
+                // network-side queue pressure behind commit latency.
+                self.obs.observe("depth.net_queue", self.queue.len() as u64);
                 self.obs.emit(
                     self.now.ticks(),
                     envelope.to as u64,

@@ -121,14 +121,66 @@ pub enum EventKind {
         /// Number of claims considered.
         claims: u64,
     },
+    /// Provider: a signed transaction entered the system (`tx.submitted`).
+    /// `trace` is the causal trace id (first 8 bytes of the tx digest)
+    /// every later lifecycle event carries.
+    TxSubmitted {
+        /// Causal trace id.
+        trace: u64,
+        /// The submitting provider's index.
+        provider: u64,
+    },
+    /// Governor: first labeled copy arrived, the Δ aggregation window
+    /// opened and the tx entered the mempool (`tx.admitted`).
+    TxAdmitted {
+        /// Causal trace id.
+        trace: u64,
+    },
     /// Governor: Algorithm 2 screened a transaction (`gov.screened`).
     TxScreened {
+        /// Causal trace id.
+        trace: u64,
         /// The drawn reporter's collector id.
         drawn: u64,
         /// Whether the drawn report was checked (vs. trusted).
         checked: bool,
         /// The label the drawn reporter gave.
         label_valid: bool,
+    },
+    /// Governor: a checked transaction went through full validation
+    /// (`tx.validated`).
+    TxValidated {
+        /// Causal trace id.
+        trace: u64,
+        /// Ground-truth validity the oracle returned.
+        valid: bool,
+    },
+    /// Governor: the leader included the transaction in a proposed block
+    /// (`tx.proposed`).
+    TxProposed {
+        /// Causal trace id.
+        trace: u64,
+        /// Serial of the proposed block.
+        serial: u64,
+    },
+    /// Governor: the transaction's block was appended to the local chain
+    /// (`tx.committed`).
+    TxCommitted {
+        /// Causal trace id.
+        trace: u64,
+        /// Serial of the committed block.
+        serial: u64,
+    },
+    /// A transaction left the pipeline without committing (`tx.dropped`).
+    /// Reasons: `concealed` (collector suppressed it), `forged` (every
+    /// copy's signature failed), `invalid` (checked and rejected),
+    /// `censored` (a byzantine leader filtered it). A drop is terminal
+    /// only if no other replica commits the tx later.
+    TxDropped {
+        /// Causal trace id.
+        trace: u64,
+        /// Why it was dropped.
+        reason: &'static str,
     },
     /// Governor: an upload's signature did not verify (`gov.forgery`).
     ForgeryDetected {
@@ -245,7 +297,13 @@ impl EventKind {
             EventKind::MsgDropped { .. } => "msg.dropped",
             EventKind::TimerFired { .. } => "timer.fired",
             EventKind::ElectionDecided { .. } => "gov.election",
+            EventKind::TxSubmitted { .. } => "tx.submitted",
+            EventKind::TxAdmitted { .. } => "tx.admitted",
             EventKind::TxScreened { .. } => "gov.screened",
+            EventKind::TxValidated { .. } => "tx.validated",
+            EventKind::TxProposed { .. } => "tx.proposed",
+            EventKind::TxCommitted { .. } => "tx.committed",
+            EventKind::TxDropped { .. } => "tx.dropped",
             EventKind::ForgeryDetected { .. } => "gov.forgery",
             EventKind::BlockProposed { .. } => "gov.proposed",
             EventKind::BlockCommitted { .. } => "gov.committed",
@@ -271,6 +329,20 @@ impl EventKind {
             EventKind::MsgSent { msg, .. }
             | EventKind::MsgDelivered { msg, .. }
             | EventKind::MsgDropped { msg, .. } => Some(msg),
+            _ => None,
+        }
+    }
+
+    /// For transaction-lifecycle events, the causal trace id.
+    pub fn trace_id(&self) -> Option<u64> {
+        match *self {
+            EventKind::TxSubmitted { trace, .. }
+            | EventKind::TxAdmitted { trace }
+            | EventKind::TxScreened { trace, .. }
+            | EventKind::TxValidated { trace, .. }
+            | EventKind::TxProposed { trace, .. }
+            | EventKind::TxCommitted { trace, .. }
+            | EventKind::TxDropped { trace, .. } => Some(trace),
             _ => None,
         }
     }
@@ -311,14 +383,33 @@ impl EventKind {
                 f("leader", U64(leader));
                 f("claims", U64(claims));
             }
+            EventKind::TxSubmitted { trace, provider } => {
+                f("trace", U64(trace));
+                f("provider", U64(provider));
+            }
+            EventKind::TxAdmitted { trace } => f("trace", U64(trace)),
             EventKind::TxScreened {
+                trace,
                 drawn,
                 checked,
                 label_valid,
             } => {
+                f("trace", U64(trace));
                 f("drawn", U64(drawn));
                 f("checked", Bool(checked));
                 f("label_valid", Bool(label_valid));
+            }
+            EventKind::TxValidated { trace, valid } => {
+                f("trace", U64(trace));
+                f("valid", Bool(valid));
+            }
+            EventKind::TxProposed { trace, serial } | EventKind::TxCommitted { trace, serial } => {
+                f("trace", U64(trace));
+                f("serial", U64(serial));
+            }
+            EventKind::TxDropped { trace, reason } => {
+                f("trace", U64(trace));
+                f("reason", Str(reason));
             }
             EventKind::ForgeryDetected { collector } => f("collector", U64(collector)),
             EventKind::BlockProposed { serial, entries }
@@ -446,6 +537,71 @@ mod tests {
         let mut out = String::new();
         event.write_json(&mut out);
         assert!(out.contains("\"node\":null"), "{out}");
+    }
+
+    #[test]
+    fn lifecycle_events_carry_the_trace_id() {
+        let kinds = [
+            EventKind::TxSubmitted {
+                trace: 7,
+                provider: 2,
+            },
+            EventKind::TxAdmitted { trace: 7 },
+            EventKind::TxScreened {
+                trace: 7,
+                drawn: 1,
+                checked: true,
+                label_valid: true,
+            },
+            EventKind::TxValidated {
+                trace: 7,
+                valid: true,
+            },
+            EventKind::TxProposed {
+                trace: 7,
+                serial: 3,
+            },
+            EventKind::TxCommitted {
+                trace: 7,
+                serial: 3,
+            },
+            EventKind::TxDropped {
+                trace: 7,
+                reason: "invalid",
+            },
+        ];
+        for k in kinds {
+            assert_eq!(k.trace_id(), Some(7), "{}", k.name());
+            let mut first = None;
+            k.visit_fields(|name, value| {
+                if first.is_none() {
+                    first = Some((name, value));
+                }
+            });
+            assert_eq!(first, Some(("trace", FieldValue::U64(7))), "{}", k.name());
+        }
+        assert_eq!(EventKind::TimerFired { timer: 0 }.trace_id(), None);
+    }
+
+    #[test]
+    fn lifecycle_json_shape_is_stable() {
+        let event = Event {
+            time: 9,
+            node: 20,
+            role: Role::Governor,
+            round: 2,
+            kind: EventKind::TxCommitted {
+                trace: 12345,
+                serial: 4,
+            },
+        };
+        let mut out = String::new();
+        event.write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"t\":9,\"node\":20,\"role\":\"governor\",\"round\":2,\
+             \"kind\":\"tx.committed\",\"trace\":12345,\"serial\":4}"
+        );
     }
 
     #[test]

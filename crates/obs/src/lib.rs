@@ -27,6 +27,7 @@
 
 mod event;
 pub mod json;
+pub mod lifecycle;
 mod metrics;
 mod recorder;
 mod span;
@@ -37,7 +38,7 @@ use std::rc::Rc;
 
 pub use event::{DropReason, Event, EventKind, FieldValue, Role, EXTERNAL_NODE};
 pub use metrics::{Histogram, Metrics};
-pub use recorder::{JsonlRecorder, NullRecorder, Recorder, RingRecorder};
+pub use recorder::{JsonlRecorder, NullRecorder, Recorder, RingRecorder, TeeRecorder};
 pub use span::{phases, Span};
 
 /// The shared, cheaply-cloned handle the whole stack threads through.
@@ -55,6 +56,31 @@ pub struct MsgCounts {
     pub dropped: u64,
 }
 
+/// Where one transaction stands in its lifecycle: the first-seen tick
+/// (and round, for the bookends) of each stage across all replicas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct TxTimes {
+    submitted: Option<(u64, u64)>,
+    admitted: Option<u64>,
+    screened: Option<u64>,
+    proposed: Option<u64>,
+    committed: Option<(u64, u64)>,
+    dropped: bool,
+}
+
+/// Aggregate lifecycle tallies over distinct trace ids.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LifecycleCounts {
+    /// Traces with a `tx.submitted` event.
+    pub submitted: u64,
+    /// Traces some replica committed.
+    pub committed: u64,
+    /// Traces that were dropped and never committed.
+    pub dropped: u64,
+    /// Submitted traces with no terminal event yet (orphans).
+    pub open: u64,
+}
+
 /// The observability hub: an event sink, the metrics registry, and the
 /// ambient context (round number, node roles) events are stamped with.
 pub struct Obs {
@@ -65,6 +91,8 @@ pub struct Obs {
     roles: RefCell<Vec<Role>>,
     /// (event kind, msg kind or "") → occurrences.
     kind_counts: RefCell<BTreeMap<(&'static str, &'static str), u64>>,
+    /// trace id → first-seen stage times; feeds the `lat.*` histograms.
+    lifecycle: RefCell<BTreeMap<u64, TxTimes>>,
 }
 
 impl std::fmt::Debug for Obs {
@@ -87,6 +115,7 @@ impl Obs {
             round: Cell::new(0),
             roles: RefCell::new(Vec::new()),
             kind_counts: RefCell::new(BTreeMap::new()),
+            lifecycle: RefCell::new(BTreeMap::new()),
         })
     }
 
@@ -99,6 +128,7 @@ impl Obs {
             round: Cell::new(0),
             roles: RefCell::new(Vec::new()),
             kind_counts: RefCell::new(BTreeMap::new()),
+            lifecycle: RefCell::new(BTreeMap::new()),
         })
     }
 
@@ -155,6 +185,9 @@ impl Obs {
             .borrow_mut()
             .entry((kind.name(), kind.msg_kind().unwrap_or("")))
             .or_insert(0) += 1;
+        if kind.trace_id().is_some() {
+            self.track_lifecycle(time, &kind);
+        }
         let event = Event {
             time,
             node,
@@ -163,6 +196,111 @@ impl Obs {
             kind,
         };
         self.sink.record(&event);
+    }
+
+    /// Folds one lifecycle event into the per-trace timeline. Each stage
+    /// keeps its *first* occurrence (replicas re-report later ones); the
+    /// first commit closes the timeline and feeds the `lat.*` histograms
+    /// in both sim ticks and rounds.
+    fn track_lifecycle(&self, time: u64, kind: &EventKind) {
+        let Some(trace) = kind.trace_id() else {
+            return;
+        };
+        let round = self.round.get();
+        let mut map = self.lifecycle.borrow_mut();
+        let tx = map.entry(trace).or_default();
+        match kind {
+            EventKind::TxSubmitted { .. } => {
+                tx.submitted.get_or_insert((time, round));
+            }
+            EventKind::TxAdmitted { .. } => {
+                tx.admitted.get_or_insert(time);
+            }
+            EventKind::TxScreened { .. } | EventKind::TxValidated { .. } => {
+                tx.screened.get_or_insert(time);
+            }
+            EventKind::TxProposed { .. } => {
+                tx.proposed.get_or_insert(time);
+            }
+            EventKind::TxCommitted { .. } => {
+                if tx.committed.is_some() {
+                    return;
+                }
+                tx.committed = Some((time, round));
+                if let Some((t0, r0)) = tx.submitted {
+                    self.metrics
+                        .observe("lat.submit_to_commit", time.saturating_sub(t0));
+                    self.metrics
+                        .observe("lat.commit_rounds", round.saturating_sub(r0));
+                    if let Some(ts) = tx.screened {
+                        self.metrics
+                            .observe("lat.submit_to_screen", ts.saturating_sub(t0));
+                    }
+                }
+                if let (Some(ts), Some(tp)) = (tx.screened, tx.proposed) {
+                    self.metrics
+                        .observe("lat.screen_to_propose", tp.saturating_sub(ts));
+                }
+                if let Some(tp) = tx.proposed {
+                    self.metrics
+                        .observe("lat.propose_to_commit", time.saturating_sub(tp));
+                }
+            }
+            EventKind::TxDropped { .. } => tx.dropped = true,
+            _ => {}
+        }
+    }
+
+    /// Aggregate lifecycle tallies over distinct trace ids.
+    pub fn lifecycle_counts(&self) -> LifecycleCounts {
+        let mut out = LifecycleCounts::default();
+        for tx in self.lifecycle.borrow().values() {
+            if tx.submitted.is_some() {
+                out.submitted += 1;
+            }
+            if tx.committed.is_some() {
+                out.committed += 1;
+            } else if tx.dropped {
+                out.dropped += 1;
+            } else if tx.submitted.is_some() {
+                out.open += 1;
+            }
+        }
+        out
+    }
+
+    /// Trace ids that were submitted but never reached a terminal stage
+    /// (committed or dropped) — the lifecycle-coverage failures.
+    pub fn open_traces(&self) -> Vec<u64> {
+        self.lifecycle
+            .borrow()
+            .iter()
+            .filter(|(_, tx)| tx.submitted.is_some() && tx.committed.is_none() && !tx.dropped)
+            .map(|(&t, _)| t)
+            .collect()
+    }
+
+    /// Adds `n` to counter `name` (no-op when disabled). Used by hot
+    /// paths (e.g. wall-clock nanosecond accumulation) that must cost a
+    /// single branch in untraced runs.
+    pub fn add_counter(&self, name: &'static str, n: u64) {
+        if self.enabled {
+            self.metrics.add(name, n);
+        }
+    }
+
+    /// Records `value` into histogram `name` (no-op when disabled).
+    pub fn observe(&self, name: &'static str, value: u64) {
+        if self.enabled {
+            self.metrics.observe(name, value);
+        }
+    }
+
+    /// Sets gauge `name` (no-op when disabled).
+    pub fn set_gauge(&self, name: &'static str, value: f64) {
+        if self.enabled {
+            self.metrics.set_gauge(name, value);
+        }
     }
 
     /// Opens a phase span at tick `now` (pure; see [`Obs::end_span`]).
@@ -232,8 +370,11 @@ impl Obs {
         out
     }
 
-    /// The end-of-run summary: event counts per kind, then phase-latency
-    /// percentiles in sim ticks. Empty string when disabled or empty.
+    /// The end-of-run summary: event counts per kind, then phase- and
+    /// commit-latency percentiles in sim ticks, then gauges. Every
+    /// section iterates `BTreeMap`-backed registries, so the output is
+    /// byte-for-byte deterministic for a given run. Empty string when
+    /// disabled or empty.
     pub fn summary(&self) -> String {
         use std::fmt::Write;
         if !self.enabled {
@@ -249,33 +390,62 @@ impl Obs {
                 let _ = writeln!(out, "{kind:<20} {msg:<16} {n:>10}");
             }
         }
-        let phase_rows: Vec<(&'static str, Histogram)> = self
-            .metrics
-            .histograms()
-            .into_iter()
-            .filter(|(name, _)| name.starts_with("phase."))
-            .collect();
-        if !phase_rows.is_empty() {
+        let section =
+            |out: &mut String, title: &str, strip: &str, rows: Vec<(&'static str, Histogram)>| {
+                if rows.is_empty() {
+                    return;
+                }
+                if !out.is_empty() {
+                    let _ = writeln!(out);
+                }
+                let _ = writeln!(out, "## {title}");
+                let _ = writeln!(
+                    out,
+                    "{:<20} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                    "name", "count", "p50", "p95", "p99", "p999", "max"
+                );
+                for (name, h) in rows {
+                    let name = name.strip_prefix(strip).unwrap_or(name);
+                    let _ = writeln!(
+                        out,
+                        "{name:<20} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                        h.count(),
+                        h.p50(),
+                        h.p95(),
+                        h.p99(),
+                        h.p999(),
+                        h.max()
+                    );
+                }
+            };
+        let rows_with = |prefix: &str| -> Vec<(&'static str, Histogram)> {
+            self.metrics
+                .histograms()
+                .into_iter()
+                .filter(|(name, _)| name.starts_with(prefix))
+                .collect()
+        };
+        section(
+            &mut out,
+            "phase latency (sim ticks)",
+            "phase.",
+            rows_with("phase."),
+        );
+        section(
+            &mut out,
+            "commit latency (sim ticks; *_rounds in rounds)",
+            "lat.",
+            rows_with("lat."),
+        );
+        section(&mut out, "queue depth", "depth.", rows_with("depth."));
+        let gauges = self.metrics.gauges();
+        if !gauges.is_empty() {
             if !out.is_empty() {
                 let _ = writeln!(out);
             }
-            let _ = writeln!(out, "## phase latency (sim ticks)");
-            let _ = writeln!(
-                out,
-                "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
-                "phase", "count", "p50", "p95", "p99", "max"
-            );
-            for (name, h) in phase_rows {
-                let phase = name.strip_prefix("phase.").unwrap_or(name);
-                let _ = writeln!(
-                    out,
-                    "{phase:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
-                    h.count(),
-                    h.p50(),
-                    h.p95(),
-                    h.p99(),
-                    h.max()
-                );
+            let _ = writeln!(out, "## gauges");
+            for (name, v) in gauges {
+                let _ = writeln!(out, "{name:<28} {v:>12.2}");
             }
         }
         out
@@ -378,6 +548,148 @@ mod tests {
                 dropped: 1
             })
         );
+    }
+
+    fn lifecycle_run(obs: &Obs) {
+        obs.set_round(1);
+        obs.emit(
+            10,
+            0,
+            EventKind::TxSubmitted {
+                trace: 7,
+                provider: 0,
+            },
+        );
+        obs.emit(30, 5, EventKind::TxAdmitted { trace: 7 });
+        obs.emit(
+            50,
+            5,
+            EventKind::TxScreened {
+                trace: 7,
+                drawn: 1,
+                checked: false,
+                label_valid: true,
+            },
+        );
+        obs.set_round(2);
+        obs.emit(
+            80,
+            5,
+            EventKind::TxProposed {
+                trace: 7,
+                serial: 1,
+            },
+        );
+        obs.emit(
+            95,
+            6,
+            EventKind::TxCommitted {
+                trace: 7,
+                serial: 1,
+            },
+        );
+        // Replica re-reports are first-wins; they must not re-feed lat.*.
+        obs.emit(
+            99,
+            7,
+            EventKind::TxCommitted {
+                trace: 7,
+                serial: 1,
+            },
+        );
+        obs.emit(
+            11,
+            0,
+            EventKind::TxSubmitted {
+                trace: 8,
+                provider: 1,
+            },
+        );
+        obs.emit(
+            40,
+            5,
+            EventKind::TxDropped {
+                trace: 8,
+                reason: "invalid",
+            },
+        );
+        obs.emit(
+            12,
+            0,
+            EventKind::TxSubmitted {
+                trace: 9,
+                provider: 2,
+            },
+        );
+    }
+
+    #[test]
+    fn lifecycle_tracker_feeds_latency_histograms_once() {
+        let obs = Obs::counting();
+        lifecycle_run(&obs);
+        let e2e = obs.metrics().histogram("lat.submit_to_commit").unwrap();
+        assert_eq!(e2e.count(), 1);
+        assert_eq!(e2e.max(), 85);
+        let rounds = obs.metrics().histogram("lat.commit_rounds").unwrap();
+        assert_eq!(rounds.max(), 1);
+        assert_eq!(
+            obs.metrics()
+                .histogram("lat.submit_to_screen")
+                .unwrap()
+                .max(),
+            40
+        );
+        assert_eq!(
+            obs.metrics()
+                .histogram("lat.propose_to_commit")
+                .unwrap()
+                .max(),
+            15
+        );
+        let counts = obs.lifecycle_counts();
+        assert_eq!(
+            counts,
+            LifecycleCounts {
+                submitted: 3,
+                committed: 1,
+                dropped: 1,
+                open: 1
+            }
+        );
+        assert_eq!(obs.open_traces(), vec![9]);
+    }
+
+    #[test]
+    fn summary_is_deterministic_and_lists_all_sections() {
+        let build = || {
+            let obs = Obs::counting();
+            lifecycle_run(&obs);
+            let span = obs.span(phases::COMMIT, 0);
+            obs.end_span(span, 12, 5);
+            obs.set_gauge("gov.mempool_depth", 3.0);
+            obs.observe("depth.ready", 2);
+            obs.summary()
+        };
+        let a = build();
+        assert_eq!(a, build(), "summary must be byte-identical across runs");
+        assert!(a.contains("commit latency"), "{a}");
+        assert!(a.contains("submit_to_commit"), "{a}");
+        assert!(a.contains("p999"), "{a}");
+        assert!(a.contains("## gauges"), "{a}");
+        assert!(a.contains("gov.mempool_depth"), "{a}");
+        assert!(a.contains("## queue depth"), "{a}");
+    }
+
+    #[test]
+    fn gated_helpers_are_noops_when_off() {
+        let obs = Obs::off();
+        obs.add_counter("wall.crypto_ns", 5);
+        obs.observe("depth.ready", 1);
+        obs.set_gauge("g", 1.0);
+        assert_eq!(obs.metrics().counter("wall.crypto_ns"), 0);
+        assert!(obs.metrics().histogram("depth.ready").is_none());
+        assert_eq!(obs.metrics().gauge("g"), None);
+        assert_eq!(obs.lifecycle_counts(), LifecycleCounts::default());
     }
 
     #[test]

@@ -1,0 +1,439 @@
+//! The legal transaction-lifecycle state machine.
+//!
+//! A transaction's trace — `tx.submitted` → `tx.admitted` →
+//! `gov.screened` (+ `tx.validated` when checked) → `tx.proposed` →
+//! `tx.committed`, or `tx.dropped` with a reason — must obey a small
+//! set of causal rules no matter which faults the run injected. This
+//! module is the single source of truth for those rules, shared by the
+//! property tests in `prb-core` and the `prb-trace` analyzer.
+//!
+//! Rules checked by [`validate`]:
+//!
+//! 1. **Uniqueness** — at most one `tx.submitted` per trace id (each
+//!    signed tx enters the system exactly once).
+//! 2. **Foundedness** — every lifecycle event belongs to a trace with a
+//!    `tx.submitted` at an earlier-or-equal tick. Exception: a trace
+//!    dropped with reason `forged` is a collector *fabrication* — it
+//!    never had a provider submission, by construction — so its
+//!    governor-side events (admitted, screened, dropped) are exempt.
+//! 3. **Monotonicity** — per trace, event times never decrease in
+//!    stream order.
+//! 4. **Per-replica order** — on one node, `gov.screened` requires an
+//!    earlier `tx.admitted`, and `tx.validated` an earlier-or-equal
+//!    `gov.screened` (screening and validation share a tick).
+//! 5. **Commit causality** (optional, [`Checks::strict_propose`]) — a
+//!    committed trace has a `tx.proposed` at an earlier-or-equal tick.
+//!    Disabled for byzantine runs: an equivocating leader's twin block
+//!    commits entries whose proposal event names the other twin.
+//!
+//! A drop is deliberately *not* terminal per replica: a censored or
+//! collector-dropped tx can still be proposed by an honest leader and
+//! commit later; the analyzer resolves terminal state as "committed
+//! wins over dropped".
+
+use crate::event::{Event, EventKind};
+
+/// One step of the lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Provider signed and broadcast the tx (`tx.submitted`).
+    Submitted,
+    /// A governor opened the Δ aggregation window (`tx.admitted`).
+    Admitted,
+    /// Algorithm 2 screened it (`gov.screened`).
+    Screened,
+    /// Checked path: full validation ran (`tx.validated`).
+    Validated,
+    /// The leader included it in a block (`tx.proposed`).
+    Proposed,
+    /// A replica appended its block (`tx.committed`).
+    Committed,
+    /// It left the pipeline without committing (`tx.dropped`).
+    Dropped,
+}
+
+impl Stage {
+    /// The stage a lifecycle event advances, if any.
+    pub fn of(kind: &EventKind) -> Option<Stage> {
+        Self::from_kind_name(kind.name())
+    }
+
+    /// Maps a dotted kind name (as found in a JSONL trace) to its stage.
+    pub fn from_kind_name(name: &str) -> Option<Stage> {
+        match name {
+            "tx.submitted" => Some(Stage::Submitted),
+            "tx.admitted" => Some(Stage::Admitted),
+            "gov.screened" => Some(Stage::Screened),
+            "tx.validated" => Some(Stage::Validated),
+            "tx.proposed" => Some(Stage::Proposed),
+            "tx.committed" => Some(Stage::Committed),
+            "tx.dropped" => Some(Stage::Dropped),
+            _ => None,
+        }
+    }
+
+    /// The lower-case report name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Submitted => "submitted",
+            Stage::Admitted => "admitted",
+            Stage::Screened => "screened",
+            Stage::Validated => "validated",
+            Stage::Proposed => "proposed",
+            Stage::Committed => "committed",
+            Stage::Dropped => "dropped",
+        }
+    }
+}
+
+/// Which optional rules [`validate`] enforces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Checks {
+    /// Rule 5: every commit is preceded by a proposal. Turn off for
+    /// byzantine (equivocation) runs.
+    pub strict_propose: bool,
+}
+
+impl Default for Checks {
+    fn default() -> Self {
+        Checks {
+            strict_propose: true,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct TraceState {
+    submitted_at: Option<u64>,
+    proposed_at: Option<u64>,
+    committed_at: Option<u64>,
+    last_time: u64,
+    /// (node, stage=Admitted/Screened) pairs seen, for rule 4.
+    admitted_nodes: Vec<u64>,
+    screened_nodes: Vec<u64>,
+}
+
+/// Validates a complete event stream (in emission order) against the
+/// lifecycle rules above. Returns every violation found, as
+/// human-readable strings; an empty `Ok(())` means the stream is legal.
+///
+/// # Errors
+///
+/// Returns the list of violations when any rule is broken.
+pub fn validate(events: &[Event], checks: Checks) -> Result<(), Vec<String>> {
+    use std::collections::{BTreeMap, BTreeSet};
+    // Pre-pass for rule 2's exemption: traces dropped as `forged` are
+    // collector fabrications and legitimately have no submission.
+    let forged: BTreeSet<u64> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::TxDropped {
+                trace,
+                reason: "forged",
+            } => Some(trace),
+            _ => None,
+        })
+        .collect();
+    let mut traces: BTreeMap<u64, TraceState> = BTreeMap::new();
+    let mut violations = Vec::new();
+    for e in events {
+        let Some(stage) = Stage::of(&e.kind) else {
+            continue;
+        };
+        let trace = e.kind.trace_id().expect("lifecycle events carry a trace");
+        let st = traces.entry(trace).or_default();
+        // Rule 3: per-trace monotone sim time in stream order.
+        if e.time < st.last_time {
+            violations.push(format!(
+                "trace {trace}: {} at t={} after an event at t={}",
+                stage.as_str(),
+                e.time,
+                st.last_time
+            ));
+        }
+        st.last_time = st.last_time.max(e.time);
+        match stage {
+            Stage::Submitted => {
+                // Rule 1: unique submission.
+                if st.submitted_at.is_some() {
+                    violations.push(format!("trace {trace}: submitted twice"));
+                }
+                st.submitted_at.get_or_insert(e.time);
+            }
+            Stage::Admitted => st.admitted_nodes.push(e.node),
+            Stage::Screened => {
+                // Rule 4: the same replica admitted it first.
+                if !st.admitted_nodes.contains(&e.node) {
+                    violations.push(format!(
+                        "trace {trace}: node {} screened without admitting",
+                        e.node
+                    ));
+                }
+                st.screened_nodes.push(e.node);
+            }
+            Stage::Validated => {
+                if !st.screened_nodes.contains(&e.node) {
+                    violations.push(format!(
+                        "trace {trace}: node {} validated without screening",
+                        e.node
+                    ));
+                }
+            }
+            Stage::Proposed => {
+                st.proposed_at.get_or_insert(e.time);
+            }
+            Stage::Committed => {
+                if checks.strict_propose && st.proposed_at.is_none() {
+                    violations.push(format!("trace {trace}: committed without a proposal"));
+                }
+                st.committed_at.get_or_insert(e.time);
+            }
+            Stage::Dropped => {}
+        }
+        // Rule 2: everything is founded on a submission (modulo the
+        // forged-fabrication exemption).
+        if stage != Stage::Submitted && st.submitted_at.is_none() && !forged.contains(&trace) {
+            violations.push(format!(
+                "trace {trace}: {} before any submission",
+                stage.as_str()
+            ));
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Role;
+
+    fn ev(time: u64, node: u64, kind: EventKind) -> Event {
+        Event {
+            time,
+            node,
+            role: Role::Governor,
+            round: 0,
+            kind,
+        }
+    }
+
+    fn legal_stream() -> Vec<Event> {
+        vec![
+            ev(
+                1,
+                0,
+                EventKind::TxSubmitted {
+                    trace: 1,
+                    provider: 0,
+                },
+            ),
+            ev(5, 9, EventKind::TxAdmitted { trace: 1 }),
+            ev(
+                8,
+                9,
+                EventKind::TxScreened {
+                    trace: 1,
+                    drawn: 0,
+                    checked: true,
+                    label_valid: true,
+                },
+            ),
+            ev(
+                8,
+                9,
+                EventKind::TxValidated {
+                    trace: 1,
+                    valid: true,
+                },
+            ),
+            ev(
+                12,
+                9,
+                EventKind::TxProposed {
+                    trace: 1,
+                    serial: 1,
+                },
+            ),
+            ev(
+                12,
+                9,
+                EventKind::TxCommitted {
+                    trace: 1,
+                    serial: 1,
+                },
+            ),
+            ev(
+                20,
+                10,
+                EventKind::TxCommitted {
+                    trace: 1,
+                    serial: 1,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn legal_stream_validates() {
+        assert_eq!(validate(&legal_stream(), Checks::default()), Ok(()));
+    }
+
+    #[test]
+    fn double_submission_is_caught() {
+        let mut s = legal_stream();
+        s.push(ev(
+            30,
+            0,
+            EventKind::TxSubmitted {
+                trace: 1,
+                provider: 0,
+            },
+        ));
+        let errs = validate(&s, Checks::default()).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("submitted twice")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn screening_without_admission_is_caught() {
+        let s = vec![
+            ev(
+                1,
+                0,
+                EventKind::TxSubmitted {
+                    trace: 2,
+                    provider: 0,
+                },
+            ),
+            ev(
+                5,
+                9,
+                EventKind::TxScreened {
+                    trace: 2,
+                    drawn: 0,
+                    checked: false,
+                    label_valid: true,
+                },
+            ),
+        ];
+        let errs = validate(&s, Checks::default()).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("screened without admitting")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn time_regression_is_caught() {
+        let mut s = legal_stream();
+        s.push(ev(
+            3,
+            11,
+            EventKind::TxCommitted {
+                trace: 1,
+                serial: 1,
+            },
+        ));
+        let errs = validate(&s, Checks::default()).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("after an event at")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn unfounded_lifecycle_event_is_caught() {
+        let s = vec![ev(5, 9, EventKind::TxAdmitted { trace: 3 })];
+        let errs = validate(&s, Checks::default()).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("before any submission")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn forged_fabrications_are_exempt_from_foundedness() {
+        // A collector fabrication is admitted and dropped without ever
+        // being submitted — legal, because the drop reason says forged.
+        let s = vec![
+            ev(5, 9, EventKind::TxAdmitted { trace: 7 }),
+            ev(
+                8,
+                9,
+                EventKind::TxDropped {
+                    trace: 7,
+                    reason: "forged",
+                },
+            ),
+        ];
+        assert_eq!(validate(&s, Checks::default()), Ok(()));
+        // Any other unfounded drop reason is still a violation.
+        let s = vec![
+            ev(5, 9, EventKind::TxAdmitted { trace: 8 }),
+            ev(
+                8,
+                9,
+                EventKind::TxDropped {
+                    trace: 8,
+                    reason: "invalid",
+                },
+            ),
+        ];
+        assert!(validate(&s, Checks::default()).is_err());
+    }
+
+    #[test]
+    fn strict_propose_is_optional() {
+        let s = vec![
+            ev(
+                1,
+                0,
+                EventKind::TxSubmitted {
+                    trace: 4,
+                    provider: 0,
+                },
+            ),
+            ev(
+                9,
+                10,
+                EventKind::TxCommitted {
+                    trace: 4,
+                    serial: 2,
+                },
+            ),
+        ];
+        assert!(validate(&s, Checks::default()).is_err());
+        assert_eq!(
+            validate(
+                &s,
+                Checks {
+                    strict_propose: false
+                }
+            ),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn stage_name_round_trip() {
+        for (name, stage) in [
+            ("tx.submitted", Stage::Submitted),
+            ("tx.admitted", Stage::Admitted),
+            ("gov.screened", Stage::Screened),
+            ("tx.validated", Stage::Validated),
+            ("tx.proposed", Stage::Proposed),
+            ("tx.committed", Stage::Committed),
+            ("tx.dropped", Stage::Dropped),
+        ] {
+            assert_eq!(Stage::from_kind_name(name), Some(stage));
+        }
+        assert_eq!(Stage::from_kind_name("msg.sent"), None);
+    }
+}

@@ -97,10 +97,17 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
+                // Bucket `i > 0` spans `[2^(i-1), 2^i)`, so its inclusive
+                // upper bound is `2^i - 1` — except the top bucket, whose
+                // range is capped by the u64 domain itself. The old
+                // `(1 << (i-1)) * 2 - 1` form saturated one short of
+                // `u64::MAX` for bucket 64.
                 let upper = if i == 0 {
                     0
+                } else if i >= 64 {
+                    u64::MAX
                 } else {
-                    (1u64 << (i - 1)).saturating_mul(2) - 1
+                    (1u64 << i) - 1
                 };
                 return upper.min(self.max);
             }
@@ -121,6 +128,11 @@ impl Histogram {
     /// 99th percentile (upper-bound approximation).
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
+    }
+
+    /// 99.9th percentile (upper-bound approximation).
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
     }
 }
 
@@ -266,5 +278,55 @@ mod tests {
         h.observe(5);
         assert_eq!(h.p50(), 5);
         assert_eq!(h.p99(), 5);
+    }
+
+    #[test]
+    fn empty_histogram_every_quantile_is_zero() {
+        let h = Histogram::default();
+        for q in [0.0, 0.5, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(h.p999(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_bucket_quantiles_collapse_to_the_samples() {
+        // All samples land in bucket 10 ([512, 1024)); every quantile must
+        // answer within the observed range, not the bucket's bound.
+        let mut h = Histogram::default();
+        for v in [600, 700, 800] {
+            h.observe(v);
+        }
+        for q in [0.01, 0.5, 0.999] {
+            let ans = h.quantile(q);
+            assert!((600..=800).contains(&ans), "q={q} ans={ans}");
+        }
+        assert_eq!(h.p999(), 800);
+    }
+
+    #[test]
+    fn saturating_max_bucket_reports_u64_max() {
+        // Values ≥ 2^63 land in bucket 64, whose upper bound is the u64
+        // domain ceiling — the old `(1 << 63) * 2 - 1` arithmetic
+        // saturated to `u64::MAX - 1` and broke the `≤ max` invariant.
+        let mut h = Histogram::default();
+        h.observe(u64::MAX);
+        assert_eq!(h.p50(), u64::MAX);
+        assert_eq!(h.p999(), u64::MAX);
+        h.observe(1u64 << 63);
+        assert_eq!(h.quantile(0.01), u64::MAX, "bucket bound, capped at max");
+    }
+
+    #[test]
+    fn p999_orders_after_p99() {
+        let mut h = Histogram::default();
+        for v in 1..=10_000u64 {
+            h.observe(v);
+        }
+        assert!(h.p99() <= h.p999());
+        assert!(h.p999() <= h.max().next_power_of_two().max(h.max()));
+        let p999 = h.p999();
+        assert!((9990..=10_000).contains(&p999), "p999={p999}");
     }
 }

@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::rc::Rc;
 
 use crate::event::Event;
 
@@ -70,6 +71,20 @@ impl RingRecorder {
     pub fn total_recorded(&self) -> u64 {
         *self.seen.borrow()
     }
+
+    /// Writes the retained tail as JSONL (oldest first) — the
+    /// flight-recorder dump used for post-mortem debugging when an
+    /// experiment's hard assert fails.
+    pub fn dump_jsonl(&self, out: &mut dyn Write) -> std::io::Result<()> {
+        let mut line = String::with_capacity(256);
+        for event in self.buf.borrow().iter() {
+            line.clear();
+            event.write_json(&mut line);
+            line.push('\n');
+            out.write_all(line.as_bytes())?;
+        }
+        out.flush()
+    }
 }
 
 impl Recorder for RingRecorder {
@@ -80,6 +95,39 @@ impl Recorder for RingRecorder {
         }
         buf.push_back(event.clone());
         *self.seen.borrow_mut() += 1;
+    }
+}
+
+/// Fans every event out to two sinks — typically a [`JsonlRecorder`]
+/// for the full trace plus a [`RingRecorder`] kept as a flight recorder
+/// for post-mortem dumps.
+pub struct TeeRecorder {
+    a: Rc<dyn Recorder>,
+    b: Rc<dyn Recorder>,
+}
+
+impl std::fmt::Debug for TeeRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TeeRecorder").finish_non_exhaustive()
+    }
+}
+
+impl TeeRecorder {
+    /// A sink forwarding every event to both `a` and `b`.
+    pub fn new(a: Rc<dyn Recorder>, b: Rc<dyn Recorder>) -> Self {
+        TeeRecorder { a, b }
+    }
+}
+
+impl Recorder for TeeRecorder {
+    fn record(&self, event: &Event) {
+        self.a.record(event);
+        self.b.record(event);
+    }
+
+    fn flush(&self) {
+        self.a.flush();
+        self.b.flush();
     }
 }
 
@@ -170,6 +218,27 @@ mod tests {
         assert_eq!(times, vec![2, 3, 4]);
         assert_eq!(ring.len(), 3);
         assert_eq!(ring.total_recorded(), 5);
+    }
+
+    #[test]
+    fn tee_feeds_both_sinks_and_ring_dumps_jsonl() {
+        let ring = Rc::new(RingRecorder::new(2));
+        let jsonl = Rc::new(JsonlRecorder::new(Vec::new()));
+        let tee = TeeRecorder::new(ring.clone(), jsonl.clone());
+        for t in 0..3 {
+            tee.record(&event(t));
+        }
+        tee.flush();
+        assert_eq!(ring.len(), 2, "ring keeps the tail");
+        assert_eq!(ring.total_recorded(), 3);
+        let mut dump = Vec::new();
+        ring.dump_jsonl(&mut dump).unwrap();
+        let text = String::from_utf8(dump).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(
+            text.starts_with("{\"t\":1,"),
+            "oldest retained first: {text}"
+        );
     }
 
     #[test]
