@@ -312,6 +312,10 @@ impl PbftReplica {
             self.commit_spans
                 .entry((view, seq))
                 .or_insert_with(|| Span::begin(phases::COMMIT, now));
+            // Stage occupancy: instances prepared but not yet committed —
+            // >1 means consensus is genuinely pipelined across serials.
+            self.obs
+                .set_gauge("pbft.commit_stage_open", self.commit_spans.len() as f64);
             self.commits
                 .entry((view, seq, value))
                 .or_default()
@@ -421,6 +425,8 @@ impl PbftReplica {
             if let Some(span) = self.commit_spans.remove(&(view, seq)) {
                 self.obs.end_span(span, now, self.net_idx());
             }
+            self.obs
+                .set_gauge("pbft.commit_stage_open", self.commit_spans.len() as f64);
         }
     }
 }

@@ -1,0 +1,288 @@
+//! Deferred signature validation for the pipelined round engine.
+//!
+//! The discrete-event simulation processes every node's events on one
+//! thread, so a governor that verifies signatures *synchronously* stalls
+//! the whole simulation for the duration of the batch: round wall-clock
+//! becomes the **sum** of consensus work and validation work. The
+//! [`DeferredValidator`] breaks that sum apart. A batch of signature
+//! checks is **submitted** at one simulation event — handed to a worker
+//! thread that owns its data — and **collected** (joined) at a later,
+//! deterministically chosen simulation event. In between, the main thread
+//! keeps processing events (other nodes' messages, other governors'
+//! crypto), so the worker's wall-clock hides behind useful progress and
+//! the round approaches `max(consensus, validation)` instead of their sum.
+//!
+//! Determinism is preserved by construction: a signature verdict is a pure
+//! function of `(message, signature, public key)`, so *when* the worker
+//! runs — or how many OS threads the embedded [`VerifyPool`] fans out to —
+//! can never change the collected verdict vector. As long as submit and
+//! collect points are fixed simulation events, every protocol decision
+//! downstream of the verdicts is bit-identical to the synchronous engine
+//! (property-tested by `pipeline_depth_never_changes_the_ledger`).
+//!
+//! Accounting: each worker measures its own elapsed wall-clock
+//! (`work_ns`); each collect measures the main thread's join stall
+//! (`wait_ns`). Their difference — work that finished behind the main
+//! thread's back — is the **overlap** (`wall.overlap_ns` in the obs
+//! summary), the quantity E14 asserts on.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use prb_crypto::signer::{PublicKey, Sig};
+
+use crate::verify_pool::VerifyPool;
+
+/// An owned signature-check item: `(message, signature, public key)`.
+///
+/// Owned (not borrowed) because the worker thread outlives the submitting
+/// call frame; clones are cheap — keys share their precomputed tables via
+/// `Arc`.
+pub type DeferItem = (Vec<u8>, Sig, PublicKey);
+
+/// Handle to a submitted batch, redeemed exactly once via
+/// [`DeferredValidator::collect`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(u64);
+
+/// A verified batch travelling back from the worker thread.
+#[derive(Debug)]
+struct Done {
+    id: u64,
+    verdicts: Vec<bool>,
+    work_ns: u64,
+}
+
+/// Cumulative deferral accounting (nanoseconds are host wall-clock).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeferStats {
+    /// Batches submitted.
+    pub batches: u64,
+    /// Signature checks submitted across all batches.
+    pub items: u64,
+    /// Total worker wall-clock spent verifying.
+    pub work_ns: u64,
+    /// Total main-thread stall inside `collect` joins.
+    pub wait_ns: u64,
+    /// Worker wall-clock hidden behind main-thread progress:
+    /// `Σ max(0, work − wait)` per batch.
+    pub overlap_ns: u64,
+}
+
+/// Asynchronous batch signature verifier with deterministic verdicts.
+///
+/// Submit owned batches at one simulation event, collect them at a later
+/// one; verdicts are positionally identical to verifying each item inline
+/// with [`PublicKey::verify`], whatever the wall-clock interleaving.
+#[derive(Debug)]
+pub struct DeferredValidator {
+    jobs: Option<Sender<(u64, Vec<DeferItem>)>>,
+    done: Receiver<Done>,
+    worker: Option<JoinHandle<()>>,
+    next: u64,
+    /// Items per batch submitted but not yet collected (by ticket id).
+    inflight: HashMap<u64, usize>,
+    /// Batches the worker finished that no collect has claimed yet.
+    ready: HashMap<u64, (Vec<bool>, u64)>,
+    stats: DeferStats,
+}
+
+impl DeferredValidator {
+    /// Creates a validator with one persistent worker thread draining
+    /// batches through `pool` in submission order (the pool may fan out
+    /// further inside a batch). A long-lived worker rather than a spawn
+    /// per batch: eager screening submits many small batches per round,
+    /// and per-spawn overhead would eat the overlap it buys.
+    pub fn new(pool: VerifyPool) -> Self {
+        let (jobs, job_rx) = channel::<(u64, Vec<DeferItem>)>();
+        let (done_tx, done) = channel::<Done>();
+        let worker = std::thread::spawn(move || {
+            while let Ok((id, items)) = job_rx.recv() {
+                let start = Instant::now();
+                let refs: Vec<(&[u8], &Sig, &PublicKey)> = items
+                    .iter()
+                    .map(|(msg, sig, pk)| (&msg[..], sig, pk))
+                    .collect();
+                let verdicts = pool.verify_sigs(&refs);
+                let work_ns = start.elapsed().as_nanos() as u64;
+                if done_tx
+                    .send(Done {
+                        id,
+                        verdicts,
+                        work_ns,
+                    })
+                    .is_err()
+                {
+                    return; // validator dropped mid-flight
+                }
+            }
+        });
+        DeferredValidator {
+            jobs: Some(jobs),
+            done,
+            worker: Some(worker),
+            next: 0,
+            inflight: HashMap::new(),
+            ready: HashMap::new(),
+            stats: DeferStats::default(),
+        }
+    }
+
+    /// Hands `items` to the worker thread and returns the ticket that
+    /// redeems its verdicts. Empty batches are accepted (and collect to
+    /// an empty verdict vector) so callers need not special-case them.
+    pub fn submit(&mut self, items: Vec<DeferItem>) -> Ticket {
+        let n = items.len();
+        let id = self.next;
+        self.next += 1;
+        self.jobs
+            .as_ref()
+            .expect("validator still alive")
+            .send((id, items))
+            .expect("deferred worker gone");
+        self.inflight.insert(id, n);
+        self.stats.batches += 1;
+        self.stats.items += n as u64;
+        Ticket(id)
+    }
+
+    /// Joins the batch behind `ticket` and returns its verdict vector
+    /// (`out[i]` is the verdict for `items[i]` as submitted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ticket was never issued or already collected, or if
+    /// the worker thread panicked.
+    pub fn collect(&mut self, ticket: Ticket) -> Vec<bool> {
+        let items = self
+            .inflight
+            .remove(&ticket.0)
+            .expect("deferred ticket unknown or already collected");
+        let wait_start = Instant::now();
+        while !self.ready.contains_key(&ticket.0) {
+            let d = self.done.recv().expect("deferred worker panicked");
+            self.ready.insert(d.id, (d.verdicts, d.work_ns));
+        }
+        let wait_ns = wait_start.elapsed().as_nanos() as u64;
+        let (verdicts, work_ns) = self.ready.remove(&ticket.0).expect("just inserted");
+        debug_assert_eq!(verdicts.len(), items);
+        self.stats.work_ns += work_ns;
+        self.stats.wait_ns += wait_ns;
+        self.stats.overlap_ns += work_ns.saturating_sub(wait_ns);
+        verdicts
+    }
+
+    /// Batches submitted but not yet collected.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Signature checks submitted but not yet collected.
+    pub fn items_in_flight(&self) -> usize {
+        self.inflight.values().sum()
+    }
+
+    /// Cumulative accounting since construction.
+    pub fn stats(&self) -> DeferStats {
+        self.stats
+    }
+}
+
+impl Drop for DeferredValidator {
+    /// Shuts the worker down (closing the job channel ends its loop) and
+    /// joins it so no verification thread outlives the simulation that
+    /// spawned it.
+    fn drop(&mut self) {
+        drop(self.jobs.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prb_crypto::signer::{CryptoScheme, KeyPair};
+
+    fn fixture(n: usize) -> (Vec<KeyPair>, Vec<Vec<u8>>, Vec<Sig>) {
+        let scheme = CryptoScheme::schnorr_test_256();
+        let keys: Vec<KeyPair> = (0..n)
+            .map(|i| scheme.keypair_from_seed(format!("defer-{i}").as_bytes()))
+            .collect();
+        let msgs: Vec<Vec<u8>> = (0..n as u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        let sigs: Vec<Sig> = keys.iter().zip(&msgs).map(|(k, m)| k.sign(m)).collect();
+        (keys, msgs, sigs)
+    }
+
+    #[test]
+    fn deferred_verdicts_match_inline_verification() {
+        let (keys, msgs, mut sigs) = fixture(10);
+        sigs[3] = keys[3].sign(b"forged");
+        sigs[7] = keys[0].sign(&msgs[7]);
+        let items: Vec<DeferItem> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.clone(), sigs[i].clone(), keys[i].public_key()))
+            .collect();
+        let expected: Vec<bool> = items.iter().map(|(m, s, pk)| pk.verify(m, s)).collect();
+        let mut dv = DeferredValidator::new(VerifyPool::new(2));
+        let ticket = dv.submit(items);
+        assert_eq!(dv.in_flight(), 1);
+        assert_eq!(dv.collect(ticket), expected);
+        assert_eq!(dv.in_flight(), 0);
+        assert!(!expected[3] && !expected[7] && expected[0]);
+        let stats = dv.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.items, 10);
+    }
+
+    #[test]
+    fn tickets_collect_in_any_order() {
+        let (keys, msgs, sigs) = fixture(6);
+        let batch = |range: std::ops::Range<usize>| -> Vec<DeferItem> {
+            range
+                .map(|i| (msgs[i].clone(), sigs[i].clone(), keys[i].public_key()))
+                .collect()
+        };
+        let mut dv = DeferredValidator::new(VerifyPool::single_threaded());
+        let t0 = dv.submit(batch(0..3));
+        let t1 = dv.submit(batch(3..6));
+        assert_eq!(dv.items_in_flight(), 6);
+        // Collect out of submission order; verdicts stay positional.
+        assert_eq!(dv.collect(t1), vec![true; 3]);
+        assert_eq!(dv.collect(t0), vec![true; 3]);
+        assert_eq!(dv.stats().items, 6);
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let mut dv = DeferredValidator::new(VerifyPool::single_threaded());
+        let t = dv.submit(Vec::new());
+        assert!(dv.collect(t).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "deferred ticket unknown")]
+    fn double_collect_panics() {
+        let mut dv = DeferredValidator::new(VerifyPool::single_threaded());
+        let t = dv.submit(Vec::new());
+        dv.collect(t);
+        dv.collect(t);
+    }
+
+    #[test]
+    fn drop_joins_outstanding_workers() {
+        let (keys, msgs, sigs) = fixture(4);
+        let items: Vec<DeferItem> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.clone(), sigs[i].clone(), keys[i].public_key()))
+            .collect();
+        let mut dv = DeferredValidator::new(VerifyPool::single_threaded());
+        let _ticket = dv.submit(items);
+        drop(dv); // must not leak the worker (joins internally)
+    }
+}

@@ -1,0 +1,325 @@
+//! Pipelined round engine (E14): determinism, abort-and-repool, and
+//! bookkeeping hygiene.
+//!
+//! The pipeline overlaps consensus on serial `N+1` with deferred
+//! validation of serial `N`. Because only *pure* signature verdicts are
+//! deferred — every protocol decision (screening draws, reputation
+//! moves, oracle checks) stays at its original sim-time event — the
+//! committed ledger must be **byte-identical** to the serial engine for
+//! every pipeline depth, seed, and verify-thread width. Byzantine
+//! proposers must not be able to smuggle forged transactions past the
+//! honest prefix: a forged deferred root convicts at ordering time, and
+//! forged entry signatures convict at settle time via abort-and-repool.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use prb_core::behavior::{CollectorProfile, GovernorProfile, ProviderProfile};
+use prb_core::config::ProtocolConfig;
+use prb_core::governor::GovernorNode;
+use prb_core::msg::ProtocolMsg;
+use prb_core::node::NodeActor;
+use prb_core::sim::Simulation;
+use prb_crypto::identity::NodeId;
+use prb_crypto::signer::CryptoScheme;
+use prb_ledger::block::Block;
+use prb_ledger::oracle::ValidityOracle;
+use prb_net::sim::{NetConfig, Network};
+use prb_net::time::SimTime;
+use prb_net::topology::Topology;
+use prb_obs::lifecycle::{validate, Checks};
+use prb_obs::{Obs, ObsHandle, Recorder, RingRecorder};
+
+/// Runs a full adversarial deployment (one forging collector, one
+/// misreporter, invalid-rate providers) and exports governor 0's chain
+/// in the canonical binary codec.
+fn ledger_bytes(depth: usize, seed: u64, threads: usize, inline_min: usize) -> Vec<u8> {
+    let cfg = ProtocolConfig {
+        providers: 4,
+        collectors: 4,
+        governors: 4,
+        replication: 3,
+        tx_per_provider: 3,
+        verify_blocks: true,
+        pipeline_depth: depth,
+        verify_threads: threads,
+        verify_inline_min: inline_min,
+        seed,
+        ..Default::default()
+    };
+    let mut collectors = vec![CollectorProfile::honest(); 4];
+    collectors[1] = CollectorProfile::forger(0.5);
+    collectors[2] = CollectorProfile::misreporter(0.5);
+    let mut sim = Simulation::builder(cfg)
+        .collector_profiles(collectors)
+        .provider_profiles(vec![
+            ProviderProfile {
+                invalid_rate: 0.3,
+                active: false
+            };
+            4
+        ])
+        .build()
+        .expect("valid config");
+    sim.run(8);
+    sim.run_drain_rounds(3);
+    assert!(sim.chains_agree(), "committee diverged (depth {depth})");
+    sim.governor(0).chain().export()
+}
+
+#[test]
+fn pipeline_depth_never_changes_the_ledger() {
+    for seed in [7u64, 21, 63] {
+        let baseline = ledger_bytes(0, seed, 1, 8);
+        assert!(!baseline.is_empty());
+        for depth in [1usize, 2] {
+            for threads in [1usize, 4] {
+                let got = ledger_bytes(depth, seed, threads, 8);
+                assert_eq!(
+                    got, baseline,
+                    "ledger diverged: seed {seed} depth {depth} threads {threads}"
+                );
+            }
+        }
+        // The verify-pool inline threshold is a pure tuning knob.
+        for inline_min in [1usize, 64] {
+            let got = ledger_bytes(1, seed, 4, inline_min);
+            assert_eq!(
+                got, baseline,
+                "ledger diverged: seed {seed} inline_min {inline_min}"
+            );
+        }
+    }
+}
+
+/// E12's invalid-proposal profile under the pipelined engine. The forged
+/// entry's *root* is honest (it commits the garbage the proposer actually
+/// shipped), so receivers order the block immediately — deferred
+/// validation then fails one serial behind, the block is aborted and
+/// repooled, the fabrication excised, and the proposer convicted in the
+/// round of the crime. Honest prefixes stay identical throughout.
+#[test]
+fn pipelined_forged_entries_abort_repool_and_convict_same_round() {
+    let cfg = ProtocolConfig {
+        providers: 2,
+        collectors: 2,
+        governors: 4,
+        replication: 2,
+        tx_per_provider: 2,
+        verify_blocks: true,
+        reliable_delivery: true,
+        pipeline_depth: 1,
+        governor_profiles: vec![
+            GovernorProfile::honest(),
+            GovernorProfile::honest(),
+            GovernorProfile::honest(),
+            GovernorProfile::invalid_proposer().sleeper(2),
+        ],
+        seed: 3,
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(cfg).unwrap();
+    let obs = Obs::with_sink(Rc::new(RingRecorder::new(100_000)) as Rc<dyn Recorder>);
+    sim.set_obs(Rc::clone(&obs));
+    let mut fired = 0u32;
+    for r in 1..=24 {
+        sim.run_round();
+        if sim.metrics(3).invalid_proposals_sent >= 1 {
+            fired = r;
+            break;
+        }
+    }
+    assert!(fired > 0, "governor 3 never led; pick another seed");
+    sim.run(3);
+    sim.settle(200);
+
+    assert!(
+        obs.metrics().counter("pipeline.aborts") >= 1,
+        "no deferred-validation abort was recorded"
+    );
+    assert!(obs.metrics().counter("pipeline.excised_txs") >= 1);
+    for g in 0..3 {
+        let chain = sim.governor(g).chain();
+        for serial in 1..=chain.height() {
+            let block = chain.retrieve(serial).unwrap();
+            assert!(
+                block.entries.iter().all(|e| e.tx.payload.data != [0xBD]),
+                "governor {g} kept a forged entry at serial {serial}"
+            );
+        }
+        assert_eq!(sim.governor(g).expelled(), &[3], "governor {g}");
+        assert_eq!(sim.governor(g).stake_table().stake(3), Some(0));
+        // Same-round conviction: the deferred check settles before the
+        // next round's number is adopted, so the expulsion books to the
+        // round the forged proposal was made in.
+        let expelled_in = sim.metrics(g).expulsion_round[&3];
+        assert!(
+            expelled_in <= u64::from(fired),
+            "governor {g} convicted in round {expelled_in} (crime in {fired})"
+        );
+    }
+    assert!(sim.chains_prefix_agree(&[0, 1, 2]));
+    assert!(
+        sim.governor(0).chain().height() >= u64::from(fired),
+        "committee stalled after the abort"
+    );
+}
+
+/// A proposer whose deferred root does not cover the entries it shipped
+/// is convicted at ordering time, hash-only — the cheap check runs
+/// before the block can enter the chain at all.
+#[test]
+fn forged_deferred_root_convicts_at_ordering_time() {
+    let cfg = ProtocolConfig {
+        providers: 2,
+        collectors: 2,
+        governors: 2,
+        replication: 2,
+        tx_per_provider: 1,
+        verify_blocks: true,
+        pipeline_depth: 1,
+        seed: 5,
+        ..Default::default()
+    };
+    let scheme = CryptoScheme::sim();
+    let g0_key = scheme.keypair_from_seed(b"root-g0");
+    let g1_key = scheme.keypair_from_seed(b"root-g1");
+    let provider_pks = (0..2)
+        .map(|p| {
+            scheme
+                .keypair_from_seed(format!("root-p{p}").as_bytes())
+                .public_key()
+        })
+        .collect();
+    let collector_pks = (0..2)
+        .map(|c| {
+            scheme
+                .keypair_from_seed(format!("root-c{c}").as_bytes())
+                .public_key()
+        })
+        .collect();
+    let topology = Rc::new(Topology::cyclic(cfg.topology_params()).unwrap());
+    let oracle = Rc::new(RefCell::new(ValidityOracle::new()));
+    let mut net = Network::new(NetConfig::uniform(1, 2), 4);
+    // Both committee members exist as real nodes so header echoes have a
+    // destination; only governor 0 is driven.
+    for (g, key) in [(0u32, &g0_key), (1u32, &g1_key)] {
+        let governor = GovernorNode::new(
+            g,
+            key.clone(),
+            cfg.clone(),
+            Rc::clone(&topology),
+            Rc::clone(&oracle),
+            0,
+            Clone::clone(&collector_pks),
+            Clone::clone(&provider_pks),
+            vec![g0_key.public_key(), g1_key.public_key()],
+        );
+        net.add_node(NodeActor::governor(governor));
+    }
+
+    let genesis_hash = net.node(0).as_governor().unwrap().chain().latest().hash();
+    let block = Block::build(1, Vec::new(), genesis_hash, NodeId::governor(1), 50);
+    let header = prb_consensus::evidence::SignedHeader::create(1, 1, 1, block.hash(), &g1_key);
+    // The root of a *different* block: a commitment that does not cover
+    // what was shipped.
+    let decoy = Block::build(2, Vec::new(), genesis_hash, NodeId::governor(1), 50);
+    let forged_root = decoy.validation_root();
+    assert_ne!(forged_root, block.validation_root());
+    net.send_external(
+        0,
+        "block",
+        ProtocolMsg::BlockProposal {
+            block,
+            claim: None,
+            header: Some(header),
+            deferred_root: Some(forged_root),
+        },
+        SimTime(0),
+    );
+    net.run_until_idle(100);
+    let gov = net.node(0).as_governor().unwrap();
+    assert_eq!(gov.chain().height(), 0, "forged-root block was ordered");
+    assert_eq!(gov.metrics().invalid_blocks_rejected, 1);
+    assert_eq!(gov.expelled(), &[1], "proposer not convicted same-round");
+}
+
+/// An honest pipelined run's event stream obeys the full lifecycle state
+/// machine (strict rules included) and closes every trace.
+#[test]
+fn pipelined_honest_run_stream_is_legal_and_fully_closed() {
+    let ring = Rc::new(RingRecorder::new(200_000));
+    let obs: ObsHandle = Obs::with_sink(Rc::clone(&ring) as Rc<dyn Recorder>);
+    let cfg = ProtocolConfig {
+        verify_blocks: true,
+        pipeline_depth: 2,
+        seed: 29,
+        ..Default::default()
+    };
+    let mut sim = Simulation::builder(cfg)
+        .provider_profiles(vec![ProviderProfile::honest_active(); 8])
+        .build()
+        .expect("valid config");
+    sim.set_obs(Rc::clone(&obs));
+    sim.run(6);
+    sim.run_drain_rounds(3);
+    validate(&ring.events(), Checks::default()).expect("honest pipelined stream is legal");
+    assert!(obs.open_traces().is_empty(), "transactions left open");
+    assert!(obs.lifecycle_counts().committed > 0);
+}
+
+/// Satellite regression: pipelined runs — including aborts that excise
+/// fabricated entries — leave zero open traces. Every screening span and
+/// reveal clock opened for an excised transaction is closed when it is
+/// excised.
+#[test]
+fn pipelined_abort_leaves_no_open_traces() {
+    let ring = Rc::new(RingRecorder::new(200_000));
+    let obs: ObsHandle = Obs::with_sink(Rc::clone(&ring) as Rc<dyn Recorder>);
+    let cfg = ProtocolConfig {
+        providers: 2,
+        collectors: 2,
+        governors: 4,
+        replication: 2,
+        tx_per_provider: 2,
+        verify_blocks: true,
+        reliable_delivery: true,
+        pipeline_depth: 1,
+        governor_profiles: vec![
+            GovernorProfile::honest(),
+            GovernorProfile::honest(),
+            GovernorProfile::honest(),
+            GovernorProfile::invalid_proposer().sleeper(2),
+        ],
+        seed: 3,
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(cfg).unwrap();
+    sim.set_obs(Rc::clone(&obs));
+    sim.run(12);
+    sim.run_drain_rounds(3);
+    sim.settle(400);
+
+    assert!(
+        sim.metrics(3).invalid_proposals_sent >= 1,
+        "governor 3 never forged; pick another seed"
+    );
+    // No full-stream `validate` here: after its expulsion the byzantine
+    // governor keeps committing fabrications to its *own* fork, which
+    // honest nodes ignore outright — those traces are proposed/committed
+    // in g3's stream with no drop anywhere, unfounded by design (the
+    // serial engine behaves identically; see the lifecycle suite's
+    // documented forged-drop exemption). The hygiene claim under test is
+    // about *submitted* transactions: every one of them must terminate.
+    let _ = ring.events();
+    assert!(
+        obs.open_traces().is_empty(),
+        "open traces left behind: {:?}",
+        obs.open_traces()
+    );
+    assert!(obs.lifecycle_counts().committed > 0);
+    assert!(
+        obs.metrics().counter("pipeline.excised_txs") >= 1,
+        "the abort path never excised the fabrication"
+    );
+}
