@@ -1,5 +1,5 @@
-//! **Runs the entire experiment suite** (E1–E10 plus ablations) and emits
-//! one markdown report — the source of EXPERIMENTS.md.
+//! **Runs the entire experiment suite** (E1–E10 and E15 plus ablations)
+//! and emits one markdown report — the source of EXPERIMENTS.md.
 //!
 //! ```text
 //! cargo build --release -p prb-bench
@@ -132,6 +132,14 @@ fn main() {
             },
         ),
         ("exp_properties", vec!["--rounds", "12"]),
+        (
+            "exp_scale",
+            if quick {
+                vec!["--quick", "--bench-out", "/tmp/BENCH_scale.json"]
+            } else {
+                vec!["--bench-out", "BENCH_scale.json"]
+            },
+        ),
     ];
 
     println!("# prb experiment suite — full run\n");

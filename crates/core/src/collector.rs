@@ -7,7 +7,7 @@
 //! forged ones (§4.2's three misbehaviour classes).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use prb_crypto::identity::NodeId;
@@ -33,9 +33,22 @@ pub struct CollectorNode {
     round: u64,
     /// Providers this collector is linked with, and their public keys.
     provider_pks: HashMap<u32, PublicKey>,
+    /// Interned signing identities for the E15 scale workload: simulated
+    /// provider `p` signs with `pk_pool[p % len]`. Consulted only when
+    /// `p` is absent from `provider_pks`, so enrolled providers are
+    /// unaffected. Empty outside scale runs.
+    pk_pool: Vec<PublicKey>,
     governor_nets: Vec<NodeIdx>,
     oracle: Rc<RefCell<ValidityOracle>>,
     inbox: OrderedInbox<SignedTx>,
+    /// Open-loop admission queue: arrivals wait here until the next
+    /// round start drains them through Algorithm 1. Bounded by
+    /// `mempool_capacity`; `None` capacity = closed loop (process on
+    /// arrival, the pre-E15 behaviour).
+    mempool: VecDeque<SignedTx>,
+    mempool_capacity: Option<usize>,
+    mempool_high_water: usize,
+    shed: u64,
     upload_seq: u64,
     forge_nonce: u64,
     uploaded: u64,
@@ -67,9 +80,14 @@ impl CollectorNode {
             profile,
             round: 0,
             provider_pks,
+            pk_pool: Vec::new(),
             governor_nets,
             oracle,
             inbox: OrderedInbox::new(),
+            mempool: VecDeque::new(),
+            mempool_capacity: None,
+            mempool_high_water: 0,
+            shed: 0,
             upload_seq: 0,
             forge_nonce: 0,
             uploaded: 0,
@@ -96,6 +114,33 @@ impl CollectorNode {
     /// Enables reliable delivery for tx-upload sends.
     pub fn set_reliable(&mut self, cfg: RetryConfig) {
         self.retry = Some(ReliableSender::new(cfg));
+    }
+
+    /// Installs the interned signing-identity pool for scale workloads:
+    /// provider `p` verifies against `pool[p % pool.len()]` when not
+    /// individually enrolled.
+    pub fn set_pk_pool(&mut self, pool: Vec<PublicKey>) {
+        self.pk_pool = pool;
+    }
+
+    /// Switches the collector to open-loop ingestion with a bounded
+    /// mempool of `capacity` transactions, drained at each round start.
+    pub fn set_open_loop(&mut self, capacity: usize) {
+        self.mempool_capacity = Some(capacity.max(1));
+    }
+
+    /// Open-loop mempool accounting: `(queued, high_water, shed)`.
+    pub fn mempool_stats(&self) -> (usize, usize, u64) {
+        (self.mempool.len(), self.mempool_high_water, self.shed)
+    }
+
+    /// Retransmission-queue accounting: `(in_flight, high_water, dropped)`.
+    /// All zeros with reliable delivery off.
+    pub fn retry_queue_stats(&self) -> (usize, usize, u64) {
+        match &self.retry {
+            Some(r) => (r.in_flight(), r.high_water(), r.stats().dropped),
+            None => (0, 0, 0),
+        }
     }
 
     /// Routes an ack for a tracked send.
@@ -132,24 +177,71 @@ impl CollectorNode {
         match env.payload {
             ProtocolMsg::StartRound { round } => {
                 self.round = round;
+                self.drain_mempool(ctx);
             }
             ProtocolMsg::TxBroadcast { seq, tx } => {
                 let provider_index = tx.payload.provider.index;
-                let released = self.inbox.push(ChannelId(provider_index as u64), seq, tx);
+                let released = self
+                    .inbox
+                    .push(ChannelId(u64::from(provider_index)), seq, tx);
                 for tx in released {
-                    self.process_tx(tx, ctx);
+                    if self.mempool_capacity.is_some() {
+                        self.admit(tx, ctx);
+                    } else {
+                        self.process_tx(tx, ctx);
+                    }
                 }
             }
             _ => {}
         }
     }
 
+    /// Open-loop admission: queue the arrival, shedding the *oldest*
+    /// queued transaction when the bounded mempool is full. Oldest-first
+    /// is deterministic (the queue is FIFO in arrival order) and favours
+    /// fresh traffic — a stale transaction the chain has not ordered for
+    /// a full congestion window is the right one to sacrifice.
+    fn admit(&mut self, tx: SignedTx, ctx: &mut Context<'_, ProtocolMsg>) {
+        let cap = self.mempool_capacity.expect("admit only in open loop");
+        self.mempool.push_back(tx);
+        while self.mempool.len() > cap {
+            let victim = self.mempool.pop_front().expect("len > cap >= 1");
+            self.shed += 1;
+            if self.obs.is_enabled() {
+                self.obs.metrics().inc("mempool.shed");
+            }
+            self.obs.emit(
+                ctx.now().ticks(),
+                self.net_idx,
+                ObsEvent::TxDropped {
+                    trace: victim.id().trace(),
+                    reason: "shed",
+                },
+            );
+        }
+        self.mempool_high_water = self.mempool_high_water.max(self.mempool.len());
+    }
+
+    /// Drains every admitted transaction through Algorithm 1 (label,
+    /// sign, upload). Called at round start in open-loop mode.
+    fn drain_mempool(&mut self, ctx: &mut Context<'_, ProtocolMsg>) {
+        while let Some(tx) = self.mempool.pop_front() {
+            self.process_tx(tx, ctx);
+        }
+    }
+
     fn process_tx(&mut self, tx: SignedTx, ctx: &mut Context<'_, ProtocolMsg>) {
         let provider_index = tx.payload.provider.index;
         // verify(p_k, tx): signature by a provider this collector is linked
-        // with (Algorithm 1 line 3).
-        let Some(pk) = self.provider_pks.get(&provider_index) else {
-            return; // not linked: ignore entirely
+        // with (Algorithm 1 line 3). Scale runs resolve interned provider
+        // ids through the shared identity pool instead of per-provider
+        // enrollment.
+        let pk = match self.provider_pks.get(&provider_index) {
+            Some(pk) => pk,
+            None if !self.pk_pool.is_empty() => {
+                &self.pk_pool[provider_index as usize % self.pk_pool.len()]
+            }
+            None => return, // not linked: ignore entirely
         };
         if !tx.verify(pk) {
             return; // bad provider signature: discard
@@ -207,11 +299,18 @@ impl CollectorNode {
             governor_nets,
             ..
         } = self;
-        for &g in governor_nets.iter() {
-            let msg = ProtocolMsg::TxUpload {
-                seq,
-                ltx: ltx.clone(),
+        // Fan-out without a wasted clone: the last governor takes the
+        // original by move. With one governor (or r = 1 routing) the
+        // upload path is allocation-free past the LabeledTx itself.
+        let mut ltx = Some(ltx);
+        let last = governor_nets.len().saturating_sub(1);
+        for (i, &g) in governor_nets.iter().enumerate() {
+            let payload = if i == last {
+                ltx.take().expect("one payload per fan-out slot")
+            } else {
+                ltx.as_ref().expect("moved only on the last slot").clone()
             };
+            let msg = ProtocolMsg::TxUpload { seq, ltx: payload };
             match retry {
                 Some(r) => {
                     r.send_with(ctx, g, "tx-upload", size + 8, |token| {
@@ -486,6 +585,176 @@ mod tests {
         // Upload order follows provider sequence order.
         assert_eq!(got[0].tx.id(), tx0.id());
         assert_eq!(got[1].tx.id(), tx1.id());
+    }
+
+    #[test]
+    fn open_loop_mempool_queues_until_round_start() {
+        let (mut net, oracle) = build(CollectorProfile::honest());
+        let Harness::Collector(c) = net.node_mut(0) else {
+            panic!()
+        };
+        c.set_open_loop(8);
+        let tx = make_tx(0, 0, &oracle, true);
+        net.send_external(0, "tx", ProtocolMsg::TxBroadcast { seq: 0, tx }, SimTime(0));
+        net.run_until_idle(100);
+        assert!(uploads(&net).is_empty(), "queued, not processed");
+        let Harness::Collector(c) = net.node(0) else {
+            panic!()
+        };
+        assert_eq!(c.mempool_stats(), (1, 1, 0));
+        net.send_external(
+            0,
+            "round",
+            ProtocolMsg::StartRound { round: 1 },
+            SimTime(200),
+        );
+        net.run_until_idle(100);
+        assert_eq!(uploads(&net).len(), 1, "drained at round start");
+        let Harness::Collector(c) = net.node(0) else {
+            panic!()
+        };
+        assert_eq!(c.mempool_stats().0, 0);
+    }
+
+    #[test]
+    fn full_mempool_sheds_oldest_first_and_caps_high_water() {
+        let (mut net, oracle) = build(CollectorProfile::honest());
+        let Harness::Collector(c) = net.node_mut(0) else {
+            panic!()
+        };
+        c.set_open_loop(3);
+        let txs: Vec<_> = (0..5).map(|i| make_tx(0, i, &oracle, true)).collect();
+        for (i, tx) in txs.iter().cloned().enumerate() {
+            net.send_external(
+                0,
+                "tx",
+                ProtocolMsg::TxBroadcast { seq: i as u64, tx },
+                SimTime(i as u64),
+            );
+        }
+        net.run_until_idle(100);
+        let Harness::Collector(c) = net.node(0) else {
+            panic!()
+        };
+        // 5 arrivals into capacity 3: the 2 oldest shed; high water never
+        // exceeds the configured bound.
+        assert_eq!(c.mempool_stats(), (3, 3, 2));
+        net.send_external(
+            0,
+            "round",
+            ProtocolMsg::StartRound { round: 1 },
+            SimTime(200),
+        );
+        net.run_until_idle(100);
+        let got = uploads(&net);
+        assert_eq!(got.len(), 3);
+        // The survivors are exactly the newest three arrivals. (Compared
+        // as sets: uploads leave in drain order but the harness network
+        // jitters per-message delivery, so sink order is not drain order.)
+        let mut ids: Vec<_> = got.iter().map(|l| l.tx.id()).collect();
+        let mut want: Vec<_> = txs[2..].iter().map(|t| t.id()).collect();
+        ids.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(ids, want, "oldest-first shedding keeps the tail");
+    }
+
+    #[test]
+    fn shed_then_resubmit_is_admitted_and_uploaded() {
+        let (mut net, oracle) = build(CollectorProfile::honest());
+        let Harness::Collector(c) = net.node_mut(0) else {
+            panic!()
+        };
+        c.set_open_loop(1);
+        let first = make_tx(0, 0, &oracle, true);
+        let second = make_tx(0, 1, &oracle, true);
+        net.send_external(
+            0,
+            "tx",
+            ProtocolMsg::TxBroadcast {
+                seq: 0,
+                tx: first.clone(),
+            },
+            SimTime(0),
+        );
+        net.send_external(
+            0,
+            "tx",
+            ProtocolMsg::TxBroadcast { seq: 1, tx: second },
+            SimTime(1),
+        );
+        net.run_until_idle(50);
+        let Harness::Collector(c) = net.node(0) else {
+            panic!()
+        };
+        assert_eq!(c.mempool_stats().2, 1, "first arrival shed");
+        // The provider resubmits the shed transaction on a fresh seq; it
+        // must be admitted and (after the drain) uploaded like any other.
+        net.send_external(
+            0,
+            "tx",
+            ProtocolMsg::TxBroadcast {
+                seq: 2,
+                tx: first.clone(),
+            },
+            SimTime(60),
+        );
+        net.send_external(
+            0,
+            "round",
+            ProtocolMsg::StartRound { round: 1 },
+            SimTime(200),
+        );
+        net.run_until_idle(100);
+        let got = uploads(&net);
+        assert!(
+            got.iter().any(|l| l.tx.id() == first.id()),
+            "resubmitted tx reached upload"
+        );
+    }
+
+    #[test]
+    fn pk_pool_resolves_interned_providers() {
+        let (mut net, oracle) = build(CollectorProfile::honest());
+        let Harness::Collector(c) = net.node_mut(0) else {
+            panic!()
+        };
+        // Pool of 2 identities; provider 7 is not enrolled in
+        // provider_pks, so it resolves to pool slot 7 % 2 = 1.
+        c.set_pk_pool(vec![
+            provider_key(100).public_key(),
+            provider_key(101).public_key(),
+        ]);
+        let tx = SignedTx::create(
+            TxPayload {
+                provider: NodeId::provider(7),
+                nonce: 0,
+                data: vec![1],
+            },
+            5,
+            &provider_key(101),
+        );
+        oracle.borrow_mut().register(tx.id(), true);
+        net.send_external(0, "tx", ProtocolMsg::TxBroadcast { seq: 0, tx }, SimTime(0));
+        // A second unenrolled provider signing with the *wrong* pool
+        // identity must still be rejected.
+        let bad = SignedTx::create(
+            TxPayload {
+                provider: NodeId::provider(8), // slot 0
+                nonce: 0,
+                data: vec![1],
+            },
+            5,
+            &provider_key(101), // but signed by slot 1's key
+        );
+        oracle.borrow_mut().register(bad.id(), true);
+        net.send_external(
+            0,
+            "tx",
+            ProtocolMsg::TxBroadcast { seq: 0, tx: bad },
+            SimTime(1),
+        );
+        net.run_until_idle(100);
+        assert_eq!(uploads(&net).len(), 1, "pool-verified tx only");
     }
 
     #[test]

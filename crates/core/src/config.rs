@@ -143,6 +143,34 @@ pub struct ProtocolConfig {
     /// means every governor is honest; otherwise one
     /// [`GovernorProfile`] per governor, index-aligned.
     pub governor_profiles: Vec<GovernorProfile>,
+    /// Open-loop ingestion (the E15 scale harness): transactions arrive
+    /// at the collectors at a driver-controlled rate instead of being
+    /// generated per provider per round. Collectors queue arrivals in a
+    /// bounded mempool and drain it at each round start; when on,
+    /// `tx_per_provider` may be 0 and the closed-loop per-round volume
+    /// check against `b_limit` is skipped (admission control bounds the
+    /// volume instead).
+    pub open_loop: bool,
+    /// Capacity of each collector's open-loop mempool. When a new
+    /// arrival would exceed it, the *oldest* queued transaction is shed
+    /// deterministically (`tx.dropped{shed}` + `mempool.shed`).
+    pub mempool_capacity: usize,
+    /// Capacity of each governor's pending aggregation pool. The pool
+    /// holds transactions between first upload and the Δ-window
+    /// screening timer; under sustained overload it would otherwise grow
+    /// without bound. Exceeding it sheds the oldest pending transaction.
+    pub pending_capacity: usize,
+    /// Capacity of each node's [`prb_net::retry::ReliableSender`]
+    /// in-flight queue. Exceeding it drops the oldest tracked send
+    /// (`net.retry.dropped`) — the retransmission guarantee degrades
+    /// before memory does.
+    pub retry_capacity: usize,
+    /// Seed for the deterministic fast hasher behind every hot-path map
+    /// ([`crate::fasthash`]). Any value yields byte-identical ledgers —
+    /// the `hash_seed_never_changes_the_ledger` regression proves map
+    /// iteration order never reaches consensus. `0` means the library
+    /// default seed.
+    pub hash_seed: u64,
     /// Master seed; every run with the same config is bit-identical.
     pub seed: u64,
 }
@@ -174,6 +202,11 @@ impl Default for ProtocolConfig {
             reliable_delivery: false,
             sync_page: 16,
             governor_profiles: Vec::new(),
+            open_loop: false,
+            mempool_capacity: 8192,
+            pending_capacity: 65536,
+            retry_capacity: 65536,
+            hash_seed: 0,
             seed: 42,
         }
     }
@@ -220,8 +253,8 @@ impl ProtocolConfig {
         if self.b_limit == 0 {
             return Err("b_limit must be positive".into());
         }
-        if self.tx_per_provider == 0 {
-            return Err("tx_per_provider must be positive".into());
+        if self.tx_per_provider == 0 && !self.open_loop {
+            return Err("tx_per_provider must be positive in closed-loop mode".into());
         }
         if self.min_delay > self.max_delay {
             return Err("min_delay exceeds max_delay".into());
@@ -246,12 +279,23 @@ impl ProtocolConfig {
                 return Err(format!("reveal probability {prob} out of [0,1]"));
             }
         }
-        let per_round = self.providers as u64 * self.tx_per_provider as u64;
-        if per_round > self.b_limit as u64 {
-            return Err(format!(
-                "{per_round} transactions per round exceed b_limit {}",
-                self.b_limit
-            ));
+        if !self.open_loop {
+            let per_round = self.providers as u64 * self.tx_per_provider as u64;
+            if per_round > self.b_limit as u64 {
+                return Err(format!(
+                    "{per_round} transactions per round exceed b_limit {}",
+                    self.b_limit
+                ));
+            }
+        }
+        if self.mempool_capacity == 0 {
+            return Err("mempool_capacity must be positive".into());
+        }
+        if self.pending_capacity == 0 {
+            return Err("pending_capacity must be positive".into());
+        }
+        if self.retry_capacity == 0 {
+            return Err("retry_capacity must be positive".into());
         }
         if !self.governor_profiles.is_empty()
             && self.governor_profiles.len() != self.governors as usize
@@ -266,6 +310,16 @@ impl ProtocolConfig {
             profile.validate();
         }
         Ok(())
+    }
+
+    /// The effective fast-hash seed: `hash_seed`, or the library default
+    /// when left at 0.
+    pub fn resolved_hash_seed(&self) -> u64 {
+        if self.hash_seed == 0 {
+            prb_crypto::fxhash::DEFAULT_SEED
+        } else {
+            self.hash_seed
+        }
     }
 
     /// The behaviour profile of governor `g` (honest when none configured).
@@ -400,6 +454,51 @@ mod tests {
         assert!(cfg.governor_profile(2).is_honest());
         // No profiles configured: everyone defaults to honest.
         assert!(ProtocolConfig::default().governor_profile(0).is_honest());
+    }
+
+    #[test]
+    fn zero_capacities_rejected() {
+        for patch in [
+            |c: &mut ProtocolConfig| c.mempool_capacity = 0,
+            |c: &mut ProtocolConfig| c.pending_capacity = 0,
+            |c: &mut ProtocolConfig| c.retry_capacity = 0,
+        ] {
+            let mut cfg = ProtocolConfig::default();
+            patch(&mut cfg);
+            assert!(cfg.validate().unwrap_err().contains("capacity"));
+        }
+    }
+
+    #[test]
+    fn open_loop_relaxes_closed_loop_volume_checks() {
+        // Closed loop: zero tx_per_provider and over-b_limit volume both
+        // rejected.
+        let cfg = ProtocolConfig {
+            tx_per_provider: 0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        // Open loop: both allowed — admission control bounds the volume.
+        let cfg = ProtocolConfig {
+            open_loop: true,
+            tx_per_provider: 0,
+            providers: 100_000,
+            collectors: 10,
+            replication: 2,
+            ..Default::default()
+        };
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn hash_seed_zero_resolves_to_library_default() {
+        let cfg = ProtocolConfig::default();
+        assert_eq!(cfg.resolved_hash_seed(), prb_crypto::fxhash::DEFAULT_SEED);
+        let cfg = ProtocolConfig {
+            hash_seed: 7,
+            ..Default::default()
+        };
+        assert_eq!(cfg.resolved_hash_seed(), 7);
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Deterministic fast hashing for per-transaction hot paths.
+//!
+//! Thin facade over [`prb_crypto::fxhash`]: the protocol crates key their
+//! hot maps (signature memo, pending pools, chain index) by values that
+//! are either internal indices or SHA-256 digests, so SipHash's keyed DoS
+//! resistance buys nothing while its per-byte cost and random seeding
+//! hurt both throughput and reproducibility. Everything here hashes with
+//! the seeded Fx mix instead.
+//!
+//! The seed is plumbed from [`ProtocolConfig::hash_seed`]
+//! (crate::config::ProtocolConfig::hash_seed) into every consensus-side
+//! map so the `hash_seed_never_changes_the_ledger` regression test can
+//! flip it and prove byte-identical ledgers — i.e. that no map's
+//! iteration order leaks into consensus.
+
+pub use prb_crypto::fxhash::{
+    fx_map, fx_map_seeded, fx_set, fx_set_seeded, FxHasher, FxMap, FxSeed, FxSet, DEFAULT_SEED,
+};
+
+/// A `FastMap` is the hot-path replacement for `std::collections::HashMap`.
+pub type FastMap<K, V> = FxMap<K, V>;
+
+/// A `FastSet` is the hot-path replacement for `std::collections::HashSet`.
+pub type FastSet<K> = FxSet<K>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_round_trip() {
+        let mut m: FastMap<u32, &str> = fx_map_seeded(7);
+        m.insert(1, "one");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FastSet<u32> = fx_set();
+        assert!(s.insert(9));
+        assert_eq!(fx_map::<u32, u32>().len(), 0);
+        assert_eq!(fx_set_seeded::<u32>(3).len(), 0);
+        assert_ne!(DEFAULT_SEED, 0);
+    }
+}

@@ -43,6 +43,7 @@ use prb_reputation::{revenue, ReputationTable};
 
 use crate::behavior::{ByzantineMode, GovernorProfile};
 use crate::config::{GovernorMode, ProtocolConfig};
+use crate::fasthash::{fx_map_seeded, fx_set_seeded, FastMap, FastSet};
 use crate::metrics::GovernorMetrics;
 use crate::msg::ProtocolMsg;
 
@@ -172,16 +173,30 @@ pub struct GovernorNode {
     governor_base: NodeIdx,
     collector_pks: Vec<PublicKey>,
     provider_pks: Vec<PublicKey>,
+    /// Scale-mode signer pool: when `provider_pks` does not cover a
+    /// provider index (interned providers carry no per-provider keypair),
+    /// provider `p` resolves to `pk_pool[p % pool.len()]`. Empty outside
+    /// the open-loop scale harness.
+    pk_pool: Vec<PublicKey>,
     governor_pks: Vec<PublicKey>,
     stake_table: StakeTable,
     reputation: ReputationTable,
     chain: Chain,
     inbox: OrderedInbox<LabeledTx>,
-    pending: HashMap<TxId, PendingTx>,
-    timers: HashMap<TimerId, TxId>,
-    history: HashMap<TxId, TxRecord>,
-    revealed: HashSet<TxId>,
-    unchecked_counter: HashMap<u32, u64>,
+    pending: FastMap<TxId, PendingTx>,
+    /// Δ-window insertion order of `pending` ids, for deterministic
+    /// oldest-first shedding when the pool hits
+    /// [`ProtocolConfig::pending_capacity`]. May hold stale ids (screened
+    /// transactions are not removed eagerly); compacted lazily.
+    pending_order: VecDeque<TxId>,
+    /// Largest `pending` population ever reached (bounded-memory assert).
+    pending_high_water: usize,
+    /// Transactions shed from the pending pool, oldest first.
+    shed: u64,
+    timers: FastMap<TimerId, TxId>,
+    history: FastMap<TxId, TxRecord>,
+    revealed: FastSet<TxId>,
+    unchecked_counter: FastMap<u32, u64>,
     /// Screened entries awaiting inclusion in a block.
     ready_entries: Vec<BlockEntry>,
     /// Accepted argues awaiting re-recording.
@@ -213,20 +228,20 @@ pub struct GovernorNode {
     obs: ObsHandle,
     /// Memoized provider-signature verdicts, keyed by
     /// `(provider, tx id, signature)`.
-    sig_memo: HashMap<(u32, TxId, Sig), bool>,
+    sig_memo: FastMap<(u32, TxId, Sig), bool>,
     /// Provider signatures awaiting the next batched drain: copies whose
     /// verdict the memo does not know yet, as `(provider, tx id,
     /// signature, signed bytes)`.
     verify_queue: Vec<(u32, TxId, Sig, Vec<u8>)>,
     /// Dedupe set over the queue's `(provider, tx id, signature)` keys.
-    queued: HashSet<(u32, TxId, Sig)>,
+    queued: FastSet<(u32, TxId, Sig)>,
     /// Drains accumulated verifications as RLC batches, optionally across
     /// worker threads (`ProtocolConfig::verify_threads`).
     verify_pool: VerifyPool,
     /// Open per-transaction Δ-window screening spans.
-    screen_spans: HashMap<TxId, Span>,
+    screen_spans: FastMap<TxId, Span>,
     /// Screening tick of still-unchecked transactions (reveal/argue spans).
-    screened_at: HashMap<TxId, u64>,
+    screened_at: FastMap<TxId, u64>,
     election_span: Option<Span>,
     proposal_span: Option<Span>,
     commit_span: Option<Span>,
@@ -292,6 +307,14 @@ impl GovernorNode {
             exported: DeferStats::default(),
         });
         let profile = cfg.governor_profile(index);
+        // Per-governor hash seed: the configured run seed, decorrelated
+        // per node so no two governors share bucket layouts. Iteration
+        // order of these maps must never reach consensus state — the
+        // `hash_seed_never_changes_the_ledger` regression test holds the
+        // line.
+        let hs = cfg
+            .resolved_hash_seed()
+            .wrapping_add((index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         GovernorNode {
             index,
             key,
@@ -304,14 +327,18 @@ impl GovernorNode {
             governor_base,
             collector_pks,
             provider_pks,
+            pk_pool: Vec::new(),
             governor_pks,
             stake_table,
             inbox: OrderedInbox::new(),
-            pending: HashMap::new(),
-            timers: HashMap::new(),
-            history: HashMap::new(),
-            revealed: HashSet::new(),
-            unchecked_counter: HashMap::new(),
+            pending: fx_map_seeded(hs),
+            pending_order: VecDeque::new(),
+            pending_high_water: 0,
+            shed: 0,
+            timers: fx_map_seeded(hs),
+            history: fx_map_seeded(hs),
+            revealed: fx_set_seeded(hs),
+            unchecked_counter: fx_map_seeded(hs),
             ready_entries: Vec::new(),
             argued_entries: Vec::new(),
             future_blocks: Vec::new(),
@@ -322,12 +349,12 @@ impl GovernorNode {
             head_priority: None,
             provisional_base: None,
             obs: Obs::off(),
-            sig_memo: HashMap::new(),
+            sig_memo: fx_map_seeded(hs),
             verify_queue: Vec::new(),
-            queued: HashSet::new(),
+            queued: fx_set_seeded(hs),
             verify_pool,
-            screen_spans: HashMap::new(),
-            screened_at: HashMap::new(),
+            screen_spans: fx_map_seeded(hs),
+            screened_at: fx_map_seeded(hs),
             election_span: None,
             proposal_span: None,
             commit_span: None,
@@ -356,6 +383,43 @@ impl GovernorNode {
     /// Enables reliable delivery for block dissemination.
     pub fn set_reliable(&mut self, cfg: RetryConfig) {
         self.retry = Some(ReliableSender::new(cfg));
+    }
+
+    /// Installs the scale-mode signer pool: provider indices beyond
+    /// `provider_pks` resolve to `pool[p % pool.len()]`, so 10⁵–10⁶
+    /// interned providers share a handful of real verification keys
+    /// instead of carrying one each.
+    pub fn set_pk_pool(&mut self, pool: Vec<PublicKey>) {
+        self.pk_pool = pool;
+    }
+
+    /// Resolves the verification key for provider `p`: the per-provider
+    /// key when one exists, else the scale-mode pool slot `p % len` (for
+    /// in-range interned providers), else `None` (out of range — the
+    /// structural forgery case).
+    fn provider_pk(&self, p: u32) -> Option<&PublicKey> {
+        if let Some(pk) = self.provider_pks.get(p as usize) {
+            return Some(pk);
+        }
+        if !self.pk_pool.is_empty() && p < self.topology.params().providers {
+            return Some(&self.pk_pool[p as usize % self.pk_pool.len()]);
+        }
+        None
+    }
+
+    /// `(pending now, pending high-water, shed count)` for the pending
+    /// pool — the E15 bounded-memory and reconciliation asserts.
+    pub fn pending_stats(&self) -> (usize, usize, u64) {
+        (self.pending.len(), self.pending_high_water, self.shed)
+    }
+
+    /// `(in-flight now, high-water, dropped)` for the block-dissemination
+    /// retry queue (zeros when reliable delivery is off).
+    pub fn retry_queue_stats(&self) -> (usize, usize, u64) {
+        match &self.retry {
+            Some(r) => (r.in_flight(), r.high_water(), r.stats().dropped),
+            None => (0, 0, 0),
+        }
     }
 
     /// Routes an ack for a tracked send.
@@ -414,6 +478,11 @@ impl GovernorNode {
         self.ready_entries.iter().map(|e| e.tx.id()).collect()
     }
 
+    /// Number of screened transactions buffered for inclusion.
+    pub fn ready_len(&self) -> usize {
+        self.ready_entries.len()
+    }
+
     /// Number of transactions still inside their Δ window (diagnostics).
     pub fn pending_count(&self) -> usize {
         self.pending.len()
@@ -431,8 +500,24 @@ impl GovernorNode {
         size: usize,
         msg: ProtocolMsg,
     ) {
-        for g in 0..self.cfg.governors as usize {
-            self.send_governor(ctx, g, kind, size, msg.clone());
+        // Move the original into the last real send instead of cloning
+        // for every peer and dropping the original — one clone saved per
+        // broadcast, which at scale is one per election claim / proposal.
+        let m = self.cfg.governors as usize;
+        let last = (0..m)
+            .rev()
+            .find(|g| self.governor_base + g != ctx.self_idx());
+        let mut msg = Some(msg);
+        for g in 0..m {
+            if self.governor_base + g == ctx.self_idx() {
+                continue;
+            }
+            let payload = if Some(g) == last {
+                msg.take().expect("taken only on the last peer")
+            } else {
+                msg.as_ref().expect("present until the last peer").clone()
+            };
+            self.send_governor(ctx, g, kind, size, payload);
         }
     }
 
@@ -646,7 +731,7 @@ impl GovernorNode {
         // unless the memo already knows this copy's verdict.
         let provider = ltx.tx.payload.provider.index;
         let structural_ok = ltx.tx.payload.provider.role == prb_crypto::identity::Role::Provider
-            && (provider as usize) < self.provider_pks.len()
+            && self.provider_pk(provider).is_some()
             && self.topology.linked(provider, collector);
         if !structural_ok {
             // Case 1: a mis-attributed transaction.
@@ -729,6 +814,40 @@ impl GovernorNode {
                 ltx,
             },
         );
+        self.pending_order.push_back(id);
+        // Bounded pool: past capacity, shed the oldest still-pending
+        // window deterministically. Its Δ timer later fires as a no-op
+        // (`screen_tx` tolerates a missing entry).
+        let now = ctx.now().ticks();
+        while self.pending.len() > self.cfg.pending_capacity {
+            let Some(oldest) = self.pending_order.pop_front() else {
+                break;
+            };
+            if self.pending.remove(&oldest).is_none() {
+                continue; // stale id, already screened
+            }
+            self.screen_spans.remove(&oldest);
+            self.shed += 1;
+            if self.obs.is_enabled() {
+                self.obs.metrics().inc("gov.pending.shed");
+            }
+            self.obs.emit(
+                now,
+                self.net_idx(),
+                ObsEvent::TxDropped {
+                    trace: oldest.trace(),
+                    reason: "shed",
+                },
+            );
+        }
+        self.pending_high_water = self.pending_high_water.max(self.pending.len());
+        // Lazy compaction keeps the order deque proportional to the live
+        // pool: screened ids are not removed eagerly (that would be O(n)
+        // per screen), so sweep them out once they dominate.
+        if self.pending_order.len() > (self.pending.len() * 2).max(64) {
+            self.pending_order
+                .retain(|id| self.pending.contains_key(id));
+        }
     }
 
     /// Records a case-1 forgery against `collector`.
@@ -747,7 +866,7 @@ impl GovernorNode {
     /// Queues a provider signature for the next batched drain (deduped).
     fn enqueue_verify(
         queue: &mut Vec<(u32, TxId, Sig, Vec<u8>)>,
-        queued: &mut HashSet<(u32, TxId, Sig)>,
+        queued: &mut FastSet<(u32, TxId, Sig)>,
         key: (u32, TxId, Sig),
         tx: &SignedTx,
     ) {
@@ -771,7 +890,10 @@ impl GovernorNode {
         }
         let items: Vec<(&[u8], &Sig, &PublicKey)> = queue
             .iter()
-            .map(|(p, _, sig, msg)| (&msg[..], sig, &self.provider_pks[*p as usize]))
+            .map(|(p, _, sig, msg)| {
+                let pk = self.provider_pk(*p).expect("queued after structural check");
+                (&msg[..], sig, pk)
+            })
             .collect();
         let t0 = self.obs.is_enabled().then(std::time::Instant::now);
         let verdicts = self.verify_pool.verify_sigs(&items);
@@ -809,9 +931,9 @@ impl GovernorNode {
     /// verdict a copy receives is identical to the synchronous drain's.
     /// No-op under the serial engine.
     fn submit_screen_batch(&mut self) {
-        let Some(pipe) = &mut self.pipeline else {
+        if self.pipeline.is_none() {
             return;
-        };
+        }
         // Coalesce: a batch only ships once it reaches the pool's inline
         // threshold — submitting every delivery as its own batch costs a
         // worker wake-up per handful of signatures. Whatever is still
@@ -837,9 +959,14 @@ impl GovernorNode {
         let mut keys = Vec::with_capacity(queue.len());
         let mut items: Vec<DeferItem> = Vec::with_capacity(queue.len());
         for (p, id, sig, msg) in queue {
-            items.push((msg, sig.clone(), self.provider_pks[p as usize].clone()));
+            let pk = self
+                .provider_pk(p)
+                .expect("queued after structural check")
+                .clone();
+            items.push((msg, sig.clone(), pk));
             keys.push((p, id, sig));
         }
+        let pipe = self.pipeline.as_mut().expect("checked above");
         let ticket = pipe.validator.submit(items);
         pipe.screen_batches.push((ticket, keys));
     }
@@ -881,12 +1008,12 @@ impl GovernorNode {
             let p = e.tx.payload.provider.index;
             let key = (p, e.tx.id(), e.tx.provider_sig.clone());
             if !self.sig_memo.contains_key(&key) && seen.insert(key.clone()) {
-                items.push((
-                    e.tx.signing_bytes(),
-                    e.tx.provider_sig.clone(),
-                    self.provider_pks[p as usize].clone(),
-                ));
-                batch_keys.push(key.clone());
+                // An unresolvable provider key is left out of the batch;
+                // the settle-time inline re-verify then scores it false.
+                if let Some(pk) = self.provider_pk(p) {
+                    items.push((e.tx.signing_bytes(), e.tx.provider_sig.clone(), pk.clone()));
+                    batch_keys.push(key.clone());
+                }
             }
             entries.push((key.0, key.1, key.2, e.tx.signing_bytes()));
         }
@@ -967,7 +1094,7 @@ impl GovernorNode {
             let ok = match self.sig_memo.get(&key) {
                 Some(&ok) => ok,
                 None => {
-                    let ok = self.provider_pks[*p as usize].verify(bytes, sig);
+                    let ok = self.provider_pk(*p).is_some_and(|pk| pk.verify(bytes, sig));
                     self.memoize(key, ok);
                     ok
                 }
@@ -1115,7 +1242,9 @@ impl GovernorNode {
                 None => {
                     // The memo filled and was cleared between the drain and
                     // this lookup; verify the straggler inline.
-                    let ok = self.provider_pks[provider as usize].verify(&signed_bytes, &sig);
+                    let ok = self
+                        .provider_pk(provider)
+                        .is_some_and(|pk| pk.verify(&signed_bytes, &sig));
                     self.sig_memo.insert(key, ok);
                     ok
                 }
@@ -1949,7 +2078,7 @@ impl GovernorNode {
     fn entries_well_formed(&self, block: &Block) -> bool {
         block.entries.iter().all(|e| {
             e.tx.payload.provider.role == prb_crypto::identity::Role::Provider
-                && (e.tx.payload.provider.index as usize) < self.provider_pks.len()
+                && self.provider_pk(e.tx.payload.provider.index).is_some()
         })
     }
 
@@ -1979,7 +2108,10 @@ impl GovernorNode {
             self.metrics.sig_memo_misses += fresh.len() as u64;
             let items: Vec<(&[u8], &Sig, &PublicKey)> = fresh
                 .iter()
-                .map(|(p, _, sig, msg)| (&msg[..], sig, &self.provider_pks[*p as usize]))
+                .map(|(p, _, sig, msg)| {
+                    let pk = self.provider_pk(*p).expect("well-formedness checked");
+                    (&msg[..], sig, pk)
+                })
                 .collect();
             let t0 = self.obs.is_enabled().then(std::time::Instant::now);
             let verdicts = self.verify_pool.verify_sigs(&items);
@@ -2018,7 +2150,7 @@ impl GovernorNode {
             }
             return ok;
         }
-        let ok = tx.verify(&self.provider_pks[provider as usize]);
+        let ok = self.provider_pk(provider).is_some_and(|pk| tx.verify(pk));
         self.metrics.sig_memo_misses += 1;
         if self.obs.is_enabled() {
             self.obs.metrics().inc("gov.sig_memo_miss");
@@ -2268,10 +2400,16 @@ impl GovernorNode {
                 self.abandon_recovery();
                 return;
             }
-            let peer = if progressed && from >= self.governor_base {
-                (from - self.governor_base) as u32
-            } else {
-                self.sync_peer(next)
+            // Checked committee-offset conversion: a responder outside
+            // the governor range (or past u32 on exotic layouts) must
+            // rotate, never silently truncate into a bogus peer index.
+            let responder = from
+                .checked_sub(self.governor_base)
+                .and_then(|off| u32::try_from(off).ok())
+                .filter(|&g| g < self.cfg.governors);
+            let peer = match responder {
+                Some(g) if progressed => g,
+                _ => self.sync_peer(next),
             };
             self.sync = SyncState::Recovering {
                 attempt: next,

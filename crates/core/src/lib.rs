@@ -36,11 +36,13 @@
 pub mod behavior;
 pub mod collector;
 pub mod config;
+pub mod fasthash;
 pub mod governor;
 pub mod metrics;
 pub mod msg;
 pub mod node;
 pub mod provider;
+pub mod scale;
 pub mod sim;
 pub mod workload;
 

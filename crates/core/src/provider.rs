@@ -154,11 +154,18 @@ impl ProviderNode {
                         collector_nets,
                         ..
                     } = self;
-                    for &c in collector_nets.iter() {
-                        let msg = ProtocolMsg::TxBroadcast {
-                            seq,
-                            tx: tx.clone(),
+                    // Fan-out without the wasted clone: the last collector
+                    // takes the original transaction by move (r clones
+                    // become r−1 on the per-tx broadcast fast path).
+                    let mut tx = Some(tx);
+                    let last = collector_nets.len().saturating_sub(1);
+                    for (i, &c) in collector_nets.iter().enumerate() {
+                        let payload = if i == last {
+                            tx.take().expect("one payload per fan-out slot")
+                        } else {
+                            tx.as_ref().expect("moved only on the last slot").clone()
                         };
+                        let msg = ProtocolMsg::TxBroadcast { seq, tx: payload };
                         match retry {
                             Some(r) => {
                                 r.send_with(ctx, c, "tx-broadcast", size + 8, |token| {

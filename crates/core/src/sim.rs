@@ -40,6 +40,15 @@ use crate::node::NodeActor;
 use crate::provider::ProviderNode;
 use crate::workload::{UniformWorkload, Workload};
 
+/// Checked tier-offset arithmetic for kernel node indices: sums are
+/// computed in `u64` and narrowed with `try_from`, so a configuration
+/// whose node count overflows the platform `usize` (or a `u32`
+/// intermediate sum at 10⁶-provider scale) fails loudly instead of
+/// silently truncating into a wrong — but valid-looking — node index.
+pub(crate) fn net_index(idx: u64) -> NodeIdx {
+    NodeIdx::try_from(idx).expect("node index fits the platform usize")
+}
+
 /// What happened in one round (driver's view, read from governor 0).
 #[derive(Clone, Debug, PartialEq)]
 pub struct RoundOutcome {
@@ -205,8 +214,8 @@ impl Simulation {
         let l = cfg.providers;
         let n = cfg.collectors;
         let m = cfg.governors;
-        let collector_net = |c: u32| (l + c) as NodeIdx;
-        let governor_base = (l + n) as NodeIdx;
+        let collector_net = |c: u32| net_index(l as u64 + c as u64);
+        let governor_base = net_index(l as u64 + n as u64);
         let governor_nets: Vec<NodeIdx> = (0..m).map(|g| governor_base + g as NodeIdx).collect();
 
         // Enroll everyone and gather public keys.
@@ -286,8 +295,11 @@ impl Simulation {
         }
 
         if cfg.reliable_delivery {
-            // One retry policy for every critical hop, derived from Δ.
-            let retry_cfg = RetryConfig::for_delta(SimDuration(cfg.max_delay));
+            // One retry policy for every critical hop, derived from Δ;
+            // the pending queue is bounded by `retry_capacity` (oldest
+            // tokens are abandoned first under sustained overload).
+            let retry_cfg = RetryConfig::for_delta(SimDuration(cfg.max_delay))
+                .with_max_pending(cfg.retry_capacity);
             for idx in 0..net.node_count() {
                 match net.node_mut(idx) {
                     NodeActor::Provider(p) => p.set_reliable(retry_cfg),
@@ -444,7 +456,7 @@ impl Simulation {
 
     fn governor_node(&self, g: u32) -> &GovernorNode {
         self.net
-            .node((self.cfg.providers + self.cfg.collectors + g) as NodeIdx)
+            .node(self.governor_net_index(g))
             .as_governor()
             .expect("index is a governor")
     }
@@ -489,7 +501,7 @@ impl Simulation {
     pub fn collector(&self, c: u32) -> &crate::collector::CollectorNode {
         assert!(c < self.cfg.collectors);
         self.net
-            .node((self.cfg.providers + c) as NodeIdx)
+            .node(self.collector_net_index(c))
             .as_collector()
             .expect("index is a collector")
     }
@@ -549,12 +561,12 @@ impl Simulation {
 
     /// The network index of governor `g` (for fault plans).
     pub fn governor_net_index(&self, g: u32) -> NodeIdx {
-        (self.cfg.providers + self.cfg.collectors + g) as NodeIdx
+        net_index(self.cfg.providers as u64 + self.cfg.collectors as u64 + g as u64)
     }
 
     /// The network index of collector `c` (for fault plans).
     pub fn collector_net_index(&self, c: u32) -> NodeIdx {
-        (self.cfg.providers + c) as NodeIdx
+        net_index(self.cfg.providers as u64 + c as u64)
     }
 
     /// The network index of provider `p` (for fault plans).
@@ -588,7 +600,7 @@ impl Simulation {
         let at = SimTime(self.next_start);
         for g in 0..self.cfg.governors {
             self.net.send_external(
-                (l + n + g) as NodeIdx,
+                net_index(l as u64 + n as u64 + g as u64),
                 "stake-transfer",
                 ProtocolMsg::StakeTransfer(transfer.clone()),
                 at,
@@ -618,7 +630,7 @@ impl Simulation {
         // round number (for sleeper profiles).
         for g in 0..m {
             self.net.send_external(
-                (l + n + g) as NodeIdx,
+                net_index(l as u64 + n as u64 + g as u64),
                 "start-round",
                 ProtocolMsg::StartRound { round },
                 SimTime(t0),
@@ -626,7 +638,7 @@ impl Simulation {
         }
         for c in 0..n {
             self.net.send_external(
-                (l + c) as NodeIdx,
+                net_index(l as u64 + c as u64),
                 "start-round",
                 ProtocolMsg::StartRound { round },
                 SimTime(t0),
@@ -652,7 +664,7 @@ impl Simulation {
             + 10;
         for g in 0..m {
             self.net.send_external(
-                (l + n + g) as NodeIdx,
+                net_index(l as u64 + n as u64 + g as u64),
                 "propose-block",
                 ProtocolMsg::ProposeBlock { round },
                 SimTime(propose_at),
@@ -737,7 +749,7 @@ impl Simulation {
             let valid = self.oracle.borrow().peek(*tx).unwrap_or(false);
             for g in 0..m {
                 self.net.send_external(
-                    (l + n + g) as NodeIdx,
+                    net_index(l as u64 + n as u64 + g as u64),
                     "reveal",
                     ProtocolMsg::Reveal { tx: *tx, valid },
                     at,
@@ -773,7 +785,7 @@ impl Simulation {
             let m = self.cfg.governors;
             for g in 0..m {
                 self.net.send_external(
-                    (l + n + g) as NodeIdx,
+                    net_index(l as u64 + n as u64 + g as u64),
                     "start-round",
                     ProtocolMsg::StartRound { round },
                     SimTime(t0),
@@ -782,7 +794,7 @@ impl Simulation {
             let propose_at = t0 + self.cfg.aggregation_window() + 4 * self.cfg.max_delay + 10;
             for g in 0..m {
                 self.net.send_external(
-                    (l + n + g) as NodeIdx,
+                    net_index(l as u64 + n as u64 + g as u64),
                     "propose-block",
                     ProtocolMsg::ProposeBlock { round },
                     SimTime(propose_at),
@@ -834,5 +846,40 @@ impl Simulation {
     pub fn settle(&mut self, ticks: u64) {
         self.net.run_until(SimTime(self.next_start + ticks));
         self.next_start += ticks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_index_survives_u32_overflowing_tier_sums() {
+        // Regression for the `(l + c) as NodeIdx` truncation class (the
+        // PR 3 `b_limit` bug's sibling): tier offsets are summed in u64,
+        // so sums past u32::MAX stay exact instead of wrapping into a
+        // small — and therefore valid-looking — node index.
+        let l = u32::MAX;
+        let c = 7u32;
+        assert_eq!(net_index(l as u64 + c as u64), u32::MAX as usize + 7);
+        // Identity on the small values every real deployment uses.
+        assert_eq!(net_index(0), 0);
+        assert_eq!(net_index(1_000_000 + 64 + 4), 1_000_068);
+    }
+
+    #[test]
+    fn tier_index_accessors_agree_with_layout() {
+        // Providers occupy 0..l, collectors l..l+n, governors l+n..l+n+m.
+        let cfg = ProtocolConfig::default();
+        let sim = Simulation::new(cfg.clone()).unwrap();
+        let l = cfg.providers as usize;
+        let n = cfg.collectors as usize;
+        assert_eq!(sim.provider_net_index(0), 0);
+        assert_eq!(sim.collector_net_index(0), l);
+        assert_eq!(sim.governor_net_index(0), l + n);
+        assert_eq!(
+            sim.governor_net_index(cfg.governors - 1),
+            l + n + cfg.governors as usize - 1
+        );
     }
 }

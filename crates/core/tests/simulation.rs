@@ -56,6 +56,44 @@ fn deterministic_under_seed() {
 }
 
 #[test]
+fn hash_seed_never_changes_the_ledger() {
+    // The per-tx hot paths (governor pending pool, sig memo, chain tx
+    // index, …) use seeded Fx hash maps whose iteration order varies
+    // with `cfg.hash_seed`. Consensus output must not: two runs
+    // differing *only* in the hash seed have to produce byte-identical
+    // ledgers on every governor. A diff here means some map's bucket
+    // order leaked into block contents.
+    let run = |hash_seed: u64| {
+        let mut sim = Simulation::builder(ProtocolConfig {
+            hash_seed,
+            ..base_config()
+        })
+        .provider_profiles(vec![
+            ProviderProfile {
+                invalid_rate: 0.3,
+                ..Default::default()
+            };
+            8
+        ])
+        .build()
+        .unwrap();
+        sim.run(4);
+        sim.run_drain_rounds(2);
+        (0..4)
+            .map(|g| sim.governor(g).chain().export())
+            .collect::<Vec<_>>()
+    };
+    let baseline = run(0);
+    for seed in [1, 42, u64::MAX] {
+        assert_eq!(
+            run(seed),
+            baseline,
+            "ledger bytes changed under hash_seed {seed}: map order leaked into consensus"
+        );
+    }
+}
+
+#[test]
 fn honest_collectors_never_lose_reputation_weight() {
     let mut sim = Simulation::new(base_config()).unwrap();
     sim.run(5);

@@ -38,6 +38,12 @@ pub struct RetryConfig {
     /// Jitter modulus: each armed delay adds `hash(token, attempt) %
     /// jitter` ticks. Zero disables jitter.
     pub jitter: u64,
+    /// Capacity of the pending (unacked) queue. When tracking a new
+    /// send would exceed it, the *oldest* pending send (smallest token)
+    /// is dropped and counted in [`RetryStats::dropped`] — under
+    /// sustained overload the retransmission guarantee degrades
+    /// deterministically instead of the queue growing without bound.
+    pub max_pending: usize,
 }
 
 impl RetryConfig {
@@ -51,6 +57,15 @@ impl RetryConfig {
             max_delay: SimDuration(24 * d),
             max_attempts: 5,
             jitter: d,
+            max_pending: 65536,
+        }
+    }
+
+    /// The same policy with an explicit pending-queue capacity.
+    pub fn with_max_pending(self, max_pending: usize) -> Self {
+        RetryConfig {
+            max_pending: max_pending.max(1),
+            ..self
         }
     }
 }
@@ -74,6 +89,9 @@ pub struct RetryStats {
     pub exhausted: u64,
     /// Acks for unknown/already-settled tokens (harmless duplicates).
     pub duplicate_acks: u64,
+    /// Pending sends evicted oldest-first because the queue hit
+    /// [`RetryConfig::max_pending`].
+    pub dropped: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -99,6 +117,7 @@ pub struct ReliableSender<M> {
     pending: BTreeMap<u64, PendingSend<M>>,
     timers: HashMap<TimerId, u64>,
     stats: RetryStats,
+    high_water: usize,
     obs: ObsHandle,
 }
 
@@ -111,6 +130,7 @@ impl<M: Clone> ReliableSender<M> {
             pending: BTreeMap::new(),
             timers: HashMap::new(),
             stats: RetryStats::default(),
+            high_water: 0,
             obs: Obs::off(),
         }
     }
@@ -129,6 +149,12 @@ impl<M: Clone> ReliableSender<M> {
     /// Number of sends still awaiting an ack.
     pub fn in_flight(&self) -> usize {
         self.pending.len()
+    }
+
+    /// The largest the pending queue has ever been. Never exceeds
+    /// [`RetryConfig::max_pending`] — the E15 bounded-memory assert.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Sends a tracked message to `to`. `make_msg` receives the assigned
@@ -161,6 +187,23 @@ impl<M: Clone> ReliableSender<M> {
                 attempts: 1,
             },
         );
+        // Bounded queue: evict the oldest tracked send (smallest token —
+        // tokens are assigned monotonically) before memory grows past the
+        // cap. Its armed timer is left to fire as a no-op; the dangling
+        // entry costs one map probe, not a retransmission.
+        while self.pending.len() > self.cfg.max_pending.max(1) {
+            let oldest = *self
+                .pending
+                .keys()
+                .next()
+                .expect("non-empty: len > cap >= 1");
+            self.pending.remove(&oldest);
+            self.stats.dropped += 1;
+            if self.obs.is_enabled() {
+                self.obs.metrics().inc("net.retry.dropped");
+            }
+        }
+        self.high_water = self.high_water.max(self.pending.len());
         let timer = ctx.set_timer(self.delay_for(token, 1));
         self.timers.insert(timer, token);
         token
@@ -362,6 +405,7 @@ mod tests {
             max_delay: SimDuration(40),
             max_attempts: 3,
             jitter: 0,
+            ..RetryConfig::default()
         };
         let mut net = build(5, cfg);
         let mut faults = FaultPlan::none();
@@ -387,6 +431,7 @@ mod tests {
             max_delay: SimDuration(2),
             max_attempts: 4,
             jitter: 0,
+            ..RetryConfig::default()
         };
         let mut net = build(7, cfg);
         net.send_external(0, "cmd", Msg::Data { token: 0, value: 9 }, SimTime(0));
@@ -415,12 +460,52 @@ mod tests {
     }
 
     #[test]
+    fn pending_queue_is_bounded_and_sheds_oldest_first() {
+        // A dead receiver never acks, so every tracked send stays
+        // pending; the queue must plateau at `max_pending` by evicting
+        // the smallest (oldest) tokens, never OOM.
+        let cfg = RetryConfig {
+            base_delay: SimDuration(10_000), // park retries out of the run
+            max_delay: SimDuration(10_000),
+            max_attempts: 2,
+            jitter: 0,
+            max_pending: 4,
+        };
+        let mut net = build(9, cfg);
+        let mut faults = FaultPlan::none();
+        faults.crash(1, SimTime(0));
+        net.set_faults(faults);
+        for v in 0..10 {
+            net.send_external(0, "cmd", Msg::Data { token: 0, value: v }, SimTime(v));
+        }
+        net.run_until(SimTime(100));
+        match net.node(0) {
+            Driver::Sender(r) => {
+                assert_eq!(r.in_flight(), 4, "queue capped at max_pending");
+                assert!(r.high_water() <= 4, "high-water {}", r.high_water());
+                assert_eq!(r.stats().dropped, 6, "10 sends − 4 capacity");
+                // Oldest-first: the survivors are the newest tokens 6..10.
+                assert_eq!(
+                    r.pending.keys().copied().collect::<Vec<_>>(),
+                    vec![6, 7, 8, 9]
+                );
+            }
+            Driver::Receiver(_) => unreachable!(),
+        }
+        // The evicted sends' timers fire as no-ops, not retransmissions.
+        net.run_until(SimTime(50_000));
+        let s = sender_stats(&net);
+        assert_eq!(s.resent, 4, "only surviving entries retransmit");
+    }
+
+    #[test]
     fn delay_schedule_backs_off_and_caps() {
         let r: ReliableSender<Msg> = ReliableSender::new(RetryConfig {
             base_delay: SimDuration(10),
             max_delay: SimDuration(35),
             max_attempts: 8,
             jitter: 0,
+            ..RetryConfig::default()
         });
         assert_eq!(r.delay_for(0, 1), SimDuration(10));
         assert_eq!(r.delay_for(0, 2), SimDuration(20));
@@ -432,6 +517,7 @@ mod tests {
             max_delay: SimDuration(80),
             max_attempts: 8,
             jitter: 6,
+            ..RetryConfig::default()
         });
         for token in 0..20 {
             let d = j.delay_for(token, 1).ticks();

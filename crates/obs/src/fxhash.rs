@@ -1,0 +1,107 @@
+//! Private deterministic hasher for the per-transaction lifecycle map.
+//!
+//! The lifecycle tracker is written to on every traced `tx.*` event — one
+//! map operation per transaction per stage — which made the default
+//! SipHash `HashMap` (and before it, `BTreeMap`'s pointer chasing) the
+//! hottest observability cost in the E15 open-loop profile. This is the
+//! same multiply-rotate Fx mix as `prb_crypto::fxhash`, duplicated here
+//! because this crate is deliberately std-only with zero dependencies
+//! (see the crate docs); keep the two in sync by hand.
+//!
+//! The seed is fixed: observability output must not vary run-to-run, and
+//! nothing in this crate reads protocol configuration. Anything
+//! order-sensitive that iterates the map (e.g. `open_traces`) sorts
+//! explicitly rather than leaning on bucket order.
+
+use std::hash::{BuildHasher, Hasher};
+
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+#[inline]
+fn scramble(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Word-at-a-time multiply-rotate hasher started from the fixed seed.
+#[derive(Clone, Copy, Debug)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            self.add(u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            self.add(u64::from(u32::from_le_bytes(
+                bytes[..4].try_into().expect("4 bytes"),
+            )));
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        scramble(self.state)
+    }
+}
+
+/// Fixed-seed [`BuildHasher`]; `Default` is the only constructor on
+/// purpose — every map in this crate hashes identically in every run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxSeed;
+
+impl BuildHasher for FxSeed {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher {
+            state: scramble(SEED),
+        }
+    }
+}
+
+/// A `HashMap` using the fixed-seed deterministic hasher.
+pub type FxMap<K, V> = std::collections::HashMap<K, V, FxSeed>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_map_is_run_stable() {
+        // Two maps built identically iterate identically — the property
+        // the tracker relies on for deterministic metrics aggregation.
+        let build = || {
+            let mut m = FxMap::default();
+            for i in 0..500u64 {
+                m.insert(i.wrapping_mul(0x2545_f491_4f6c_dd1d), i);
+            }
+            m.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

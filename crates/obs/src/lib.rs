@@ -26,6 +26,7 @@
 //! untraced run pays nothing.
 
 mod event;
+mod fxhash;
 pub mod json;
 pub mod lifecycle;
 mod metrics;
@@ -35,6 +36,8 @@ mod span;
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
+
+use fxhash::FxMap;
 
 pub use event::{DropReason, Event, EventKind, FieldValue, Role, EXTERNAL_NODE};
 pub use metrics::{Histogram, Metrics};
@@ -92,7 +95,10 @@ pub struct Obs {
     /// (event kind, msg kind or "") → occurrences.
     kind_counts: RefCell<BTreeMap<(&'static str, &'static str), u64>>,
     /// trace id → first-seen stage times; feeds the `lat.*` histograms.
-    lifecycle: RefCell<BTreeMap<u64, TxTimes>>,
+    /// A seeded-Fx map, not `BTreeMap`: this is written once per traced
+    /// transaction per stage, and nothing reads it in bucket order
+    /// ([`Obs::open_traces`] sorts its output explicitly).
+    lifecycle: RefCell<FxMap<u64, TxTimes>>,
 }
 
 impl std::fmt::Debug for Obs {
@@ -115,7 +121,7 @@ impl Obs {
             round: Cell::new(0),
             roles: RefCell::new(Vec::new()),
             kind_counts: RefCell::new(BTreeMap::new()),
-            lifecycle: RefCell::new(BTreeMap::new()),
+            lifecycle: RefCell::new(FxMap::default()),
         })
     }
 
@@ -128,7 +134,7 @@ impl Obs {
             round: Cell::new(0),
             roles: RefCell::new(Vec::new()),
             kind_counts: RefCell::new(BTreeMap::new()),
-            lifecycle: RefCell::new(BTreeMap::new()),
+            lifecycle: RefCell::new(FxMap::default()),
         })
     }
 
@@ -272,12 +278,15 @@ impl Obs {
     /// Trace ids that were submitted but never reached a terminal stage
     /// (committed or dropped) — the lifecycle-coverage failures.
     pub fn open_traces(&self) -> Vec<u64> {
-        self.lifecycle
+        let mut out: Vec<u64> = self
+            .lifecycle
             .borrow()
             .iter()
             .filter(|(_, tx)| tx.submitted.is_some() && tx.committed.is_none() && !tx.dropped)
             .map(|(&t, _)| t)
-            .collect()
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// Adds `n` to counter `name` (no-op when disabled). Used by hot

@@ -38,9 +38,11 @@
 pub mod adversary;
 pub mod carshare;
 pub mod insurance;
+pub mod scale;
 pub mod trace;
 
 pub use adversary::AdversaryMix;
 pub use carshare::CarShareWorkload;
 pub use insurance::InsuranceWorkload;
+pub use scale::ScaleWorkload;
 pub use trace::{Trace, TraceWorkload};

@@ -1,0 +1,189 @@
+//! E15 admission / backpressure edge cases for the open-loop scale
+//! harness: full-queue shedding, shed-then-resubmit, zero-rate rounds,
+//! single-tick bursts, and same-seed determinism — each closing on the
+//! lifecycle invariant `submitted == committed + dropped`, `open == 0`.
+
+use prb_core::config::{ProtocolConfig, RevealPolicy};
+use prb_core::scale::{Arrival, ScaleSim};
+use prb_obs::Obs;
+use prb_workload::ScaleWorkload;
+
+/// A deliberately tight deployment: 4 collectors × 16-slot mempools with
+/// replication 2, so ~32 distinct transactions fill every queue.
+fn tight_config() -> ProtocolConfig {
+    ProtocolConfig {
+        providers: 2_000,
+        collectors: 4,
+        governors: 3,
+        replication: 2,
+        tx_per_provider: 0,
+        open_loop: true,
+        reveal: RevealPolicy::ArgueOnly,
+        mempool_capacity: 16,
+        seed: 77,
+        ..Default::default()
+    }
+}
+
+fn tight_sim() -> (ScaleSim, ScaleWorkload) {
+    let mut sim = ScaleSim::new(tight_config(), 8).expect("valid config");
+    sim.set_obs(Obs::counting());
+    let wl = ScaleWorkload::for_sim(&sim, 0.0);
+    (sim, wl)
+}
+
+/// Every transaction the run touched is committed or dropped, nothing
+/// is open, and the per-node shed counters reconcile with the metrics.
+fn assert_accounted(sim: &ScaleSim) {
+    let counts = sim.obs().lifecycle_counts();
+    assert_eq!(counts.submitted, sim.injected(), "tracker lost submissions");
+    assert_eq!(
+        counts.committed + counts.dropped,
+        counts.submitted,
+        "submitted != committed + dropped"
+    );
+    assert_eq!(counts.open, 0, "open traces after drain");
+    let metrics = sim.obs().metrics();
+    assert_eq!(metrics.counter("mempool.shed"), sim.mempool_stats().shed);
+    assert_eq!(
+        metrics.counter("gov.pending.shed"),
+        sim.pending_stats().shed
+    );
+    assert!(sim.chains_agree());
+}
+
+/// A burst beyond every mempool's capacity sheds oldest-first, pins the
+/// high-water mark exactly at the bound, and stays fully accounted.
+#[test]
+fn full_queue_admission_sheds_and_accounts() {
+    let (mut sim, mut wl) = tight_sim();
+    let t0 = sim.next_round_start();
+    // 300 arrivals on one tick → 600 admissions over 4×16 slots.
+    let arrivals: Vec<Arrival> = (0..300).map(|_| wl.next_arrival(t0)).collect();
+    sim.run_round(arrivals);
+    sim.drain(8);
+    assert!(sim.drained());
+
+    let mempool = sim.mempool_stats();
+    assert!(mempool.shed > 0, "overload must shed");
+    assert_eq!(
+        mempool.high_water,
+        sim.config().mempool_capacity,
+        "bounded pool may fill exactly to capacity, never past it"
+    );
+    let counts = sim.obs().lifecycle_counts();
+    assert!(counts.dropped > 0);
+    assert!(counts.committed > 0, "admitted share must still commit");
+    assert_accounted(&sim);
+}
+
+/// Providers whose transactions were shed in an overloaded round get
+/// their next submissions committed once load returns to sustainable —
+/// shedding is backpressure, not a ban.
+#[test]
+fn shed_then_resubmit_commits() {
+    let (mut sim, mut wl) = tight_sim();
+
+    // Round 1: overload. Some transactions are shed and dropped.
+    let t0 = sim.next_round_start();
+    let burst: Vec<Arrival> = (0..200).map(|_| wl.next_arrival(t0)).collect();
+    sim.run_round(burst);
+    sim.drain(8);
+    let after_overload = sim.obs().lifecycle_counts();
+    assert!(after_overload.dropped > 0, "overload round must drop");
+
+    // Round 2: the same provider population resubmits (fresh attempts,
+    // next per-provider seq) at a rate the queues absorb.
+    let ticks = sim.round_ticks();
+    let t1 = sim.next_round_start();
+    let retry = wl.window(t1, ticks, 0.2);
+    let resubmitted = retry.len() as u64;
+    sim.run_round(retry);
+    sim.drain(8);
+    assert!(sim.drained());
+
+    let counts = sim.obs().lifecycle_counts();
+    assert_eq!(
+        counts.dropped, after_overload.dropped,
+        "sustainable resubmission must not shed"
+    );
+    assert_eq!(
+        counts.committed,
+        after_overload.committed + resubmitted,
+        "every resubmitted transaction commits"
+    );
+    assert_accounted(&sim);
+}
+
+/// Zero-rate rounds run the full protocol machinery and commit nothing:
+/// no transactions, no sheds, no open traces, chains still agree.
+#[test]
+fn zero_rate_rounds_are_quiet() {
+    let (mut sim, mut wl) = tight_sim();
+    let ticks = sim.round_ticks();
+    for _ in 0..3 {
+        let t0 = sim.next_round_start();
+        let arrivals = wl.window(t0, ticks, 0.0);
+        assert!(arrivals.is_empty());
+        let round = sim.run_round(arrivals);
+        assert_eq!((round.injected, round.committed), (0, 0));
+    }
+    assert!(sim.drained(), "nothing queued after zero-rate rounds");
+    assert_eq!(sim.injected(), 0);
+    assert_eq!(sim.mempool_stats().shed, 0);
+    assert_eq!(sim.mempool_stats().high_water, 0);
+    assert_accounted(&sim);
+}
+
+/// A single-tick burst that fits the queues commits in full — burstiness
+/// alone (arrival pattern, not volume) never sheds.
+#[test]
+fn burst_within_capacity_commits_fully() {
+    let (mut sim, mut wl) = tight_sim();
+    let t0 = sim.next_round_start();
+    // 4 collectors × 16 slots / replication 2 = 32 distinct tx capacity.
+    let burst: Vec<Arrival> = (0..30).map(|_| wl.next_arrival(t0 + 1)).collect();
+    sim.run_round(burst);
+    sim.drain(8);
+
+    assert_eq!(
+        sim.mempool_stats().shed,
+        0,
+        "within-capacity burst never sheds"
+    );
+    let counts = sim.obs().lifecycle_counts();
+    assert_eq!(counts.committed, 30);
+    assert_eq!(counts.dropped, 0);
+    assert_accounted(&sim);
+}
+
+/// Two runs at the same seed — overload, invalid traffic, resubmission
+/// and all — export byte-identical ledgers from every governor.
+#[test]
+fn same_seed_runs_export_identical_ledgers() {
+    let run = || {
+        let mut sim = ScaleSim::new(tight_config(), 8).expect("valid config");
+        sim.set_obs(Obs::counting());
+        let mut wl = ScaleWorkload::for_sim(&sim, 0.25);
+        let ticks = sim.round_ticks();
+        let t0 = sim.next_round_start();
+        let burst: Vec<Arrival> = (0..150).map(|_| wl.next_arrival(t0)).collect();
+        sim.run_round(burst);
+        for _ in 0..2 {
+            let t = sim.next_round_start();
+            let arrivals = wl.window(t, ticks, 0.3);
+            sim.run_round(arrivals);
+        }
+        sim.drain(8);
+        assert!(sim.drained());
+        assert_accounted(&sim);
+        (0..sim.config().governors)
+            .map(|g| sim.governor(g).chain().export())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        run(),
+        run(),
+        "same seed must reproduce the ledgers byte for byte"
+    );
+}
