@@ -1,4 +1,4 @@
-//! **Runs the entire experiment suite** (E1–E10 and E15 plus ablations)
+//! **Runs the entire experiment suite** (E1–E10, E15 and E16 plus ablations)
 //! and emits one markdown report — the source of EXPERIMENTS.md.
 //!
 //! ```text
@@ -138,6 +138,14 @@ fn main() {
                 vec!["--quick", "--bench-out", "/tmp/BENCH_scale.json"]
             } else {
                 vec!["--bench-out", "BENCH_scale.json"]
+            },
+        ),
+        (
+            "exp_persist",
+            if quick {
+                vec!["--quick", "--bench-out", "/tmp/BENCH_persist.json"]
+            } else {
+                vec!["--bench-out", "BENCH_persist.json"]
             },
         ),
     ];

@@ -1,0 +1,435 @@
+//! Quorum-signed checkpoints of the replicated state.
+//!
+//! Every `checkpoint_interval` blocks each governor snapshots its chain
+//! head together with the stake vector (balances + transfer nonces) and
+//! the full reputation table, signs the snapshot's digest under a
+//! dedicated domain tag and gossips the signature as a
+//! [`CheckpointShare`]. Once a BFT quorum (`> 2/3` of the active
+//! committee) of matching shares accumulates, the shares form a
+//! [`CheckpointCert`] — a self-verifying proof that the committee agreed
+//! on the state at that serial. A recovering or freshly joined governor
+//! that verifies a cert can adopt the state wholesale and fetch only the
+//! blocks *after* the checkpoint: O(delta) state-sync instead of an
+//! O(chain) replay from genesis, in the spirit of reputation-snapshot
+//! (re)anchoring in RepChain (arXiv:1901.05741).
+//!
+//! Like [`crate::evidence`], certs need only the committee's public keys
+//! to check, so they can be relayed by untrusted peers; signatures from
+//! governors expelled via equivocation evidence are excluded from the
+//! quorum.
+
+use std::fmt;
+
+use prb_crypto::sha256::{Digest, Sha256};
+use prb_crypto::signer::{KeyPair, PublicKey, Sig};
+
+/// Domain tag for checkpoint-share signatures.
+const CHECKPOINT_TAG: &[u8] = b"prb-checkpoint";
+
+/// One collector's reputation vector, flattened for snapshotting: the
+/// multiplicative per-provider weights plus the two additive counters of
+/// §3.4 (kept scheme-agnostic so `prb-consensus` does not depend on the
+/// reputation crate).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CollectorSnapshot {
+    /// Multiplicative screening weights, one per overseen provider slot.
+    pub weights: Vec<f64>,
+    /// The misreport counter (±1 per checked transaction).
+    pub misreport: i64,
+    /// The forge counter (≤ 0 in honest operation).
+    pub forge: i64,
+}
+
+/// The full replicated state a checkpoint commits to.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointState {
+    /// Serial of the chain head the snapshot was taken at.
+    pub serial: u64,
+    /// Hash of the block at `serial`.
+    pub block_hash: Digest,
+    /// Governor stake balances.
+    pub stakes: Vec<u64>,
+    /// Governor stake-transfer nonces (replay protection survives sync).
+    pub stake_nonces: Vec<u64>,
+    /// One reputation snapshot per collector.
+    pub reputation: Vec<CollectorSnapshot>,
+}
+
+impl CheckpointState {
+    /// The canonical digest every share signs. Weights are committed via
+    /// their IEEE-754 bit patterns, so replicas agree iff their floats are
+    /// bit-identical — the same determinism contract the simulation
+    /// already relies on.
+    pub fn digest(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update_field(CHECKPOINT_TAG);
+        h.update(&self.serial.to_be_bytes());
+        h.update_field(self.block_hash.as_bytes());
+        h.update(&(self.stakes.len() as u64).to_be_bytes());
+        for &s in &self.stakes {
+            h.update(&s.to_be_bytes());
+        }
+        for &n in &self.stake_nonces {
+            h.update(&n.to_be_bytes());
+        }
+        h.update(&(self.reputation.len() as u64).to_be_bytes());
+        for c in &self.reputation {
+            h.update(&(c.weights.len() as u64).to_be_bytes());
+            for &w in &c.weights {
+                h.update(&w.to_bits().to_be_bytes());
+            }
+            h.update(&c.misreport.to_be_bytes());
+            h.update(&c.forge.to_be_bytes());
+        }
+        h.finalize()
+    }
+}
+
+/// Canonical signing bytes for a share over a state digest.
+fn share_bytes(governor: u32, serial: u64, state_digest: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update_field(CHECKPOINT_TAG);
+    h.update(b"share");
+    h.update(&governor.to_be_bytes());
+    h.update(&serial.to_be_bytes());
+    h.update_field(state_digest.as_bytes());
+    h.finalize()
+}
+
+/// One governor's signature over a checkpoint state digest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointShare {
+    /// Serial the snapshot was taken at.
+    pub serial: u64,
+    /// Digest of the signer's [`CheckpointState`].
+    pub state_digest: Digest,
+    /// The signing governor's index.
+    pub governor: u32,
+    /// Signature over the above under the checkpoint domain tag.
+    pub sig: Sig,
+}
+
+impl CheckpointShare {
+    /// Signs a share for the given state digest.
+    pub fn create(serial: u64, state_digest: Digest, governor: u32, key: &KeyPair) -> Self {
+        let msg = share_bytes(governor, serial, &state_digest);
+        CheckpointShare {
+            serial,
+            state_digest,
+            governor,
+            sig: key.sign(msg.as_bytes()),
+        }
+    }
+
+    /// Verifies the signature against the claimed governor's key.
+    pub fn verify(&self, pks: &[PublicKey]) -> bool {
+        let Some(pk) = pks.get(self.governor as usize) else {
+            return false;
+        };
+        let msg = share_bytes(self.governor, self.serial, &self.state_digest);
+        pk.verify(msg.as_bytes(), &self.sig)
+    }
+}
+
+/// Why a checkpoint certificate failed verification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Fewer valid, non-expelled, distinct signers than the quorum.
+    UnderQuorum {
+        /// Valid signatures counted.
+        got: usize,
+        /// Signatures required.
+        need: usize,
+    },
+    /// A signature names an out-of-committee governor or fails to verify.
+    BadSignature {
+        /// The offending signer index.
+        governor: u32,
+    },
+    /// The state's vector lengths are inconsistent with each other.
+    MalformedState,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::UnderQuorum { got, need } => {
+                write!(f, "{got} valid signatures, quorum is {need}")
+            }
+            CheckpointError::BadSignature { governor } => {
+                write!(f, "signature of g{governor} invalid")
+            }
+            CheckpointError::MalformedState => write!(f, "inconsistent state vectors"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl CheckpointError {
+    /// A short stable label for metric keys (`checkpoint.rejected.<kind>`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CheckpointError::UnderQuorum { .. } => "under_quorum",
+            CheckpointError::BadSignature { .. } => "bad_signature",
+            CheckpointError::MalformedState => "malformed_state",
+        }
+    }
+}
+
+/// BFT quorum over the active committee: `> 2/3` of `active` members.
+pub fn quorum(active: usize) -> usize {
+    2 * active / 3 + 1
+}
+
+/// A quorum-certified checkpoint: the state plus the signatures vouching
+/// for it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointCert {
+    /// The agreed state.
+    pub state: CheckpointState,
+    /// `(governor, signature)` pairs, sorted by governor index.
+    pub sigs: Vec<(u32, Sig)>,
+}
+
+impl CheckpointCert {
+    /// Verifies the certificate: the state is well-formed, every counted
+    /// signature is by a distinct, non-expelled committee member over this
+    /// state's digest, and at least [`quorum`] of the active committee
+    /// signed. Expelled governors' signatures are ignored (not fatal):
+    /// evidence may spread after a share was honestly signed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CheckpointError`] encountered.
+    pub fn verify(&self, pks: &[PublicKey], expelled: &[u32]) -> Result<(), CheckpointError> {
+        let m = pks.len();
+        if self.state.stake_nonces.len() != self.state.stakes.len() {
+            return Err(CheckpointError::MalformedState);
+        }
+        let digest = self.state.digest();
+        let active = m - expelled.iter().filter(|&&g| (g as usize) < m).count();
+        let need = quorum(active);
+        let mut seen = vec![false; m];
+        let mut got = 0usize;
+        for (governor, sig) in &self.sigs {
+            let g = *governor as usize;
+            if g >= m {
+                return Err(CheckpointError::BadSignature {
+                    governor: *governor,
+                });
+            }
+            if expelled.contains(governor) || seen[g] {
+                continue;
+            }
+            let msg = share_bytes(*governor, self.state.serial, &digest);
+            if !pks[g].verify(msg.as_bytes(), sig) {
+                return Err(CheckpointError::BadSignature {
+                    governor: *governor,
+                });
+            }
+            seen[g] = true;
+            got += 1;
+        }
+        if got < need {
+            return Err(CheckpointError::UnderQuorum { got, need });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prb_crypto::signer::CryptoScheme;
+
+    fn keys(m: usize) -> (Vec<KeyPair>, Vec<PublicKey>) {
+        let scheme = CryptoScheme::sim();
+        let keys: Vec<_> = (0..m)
+            .map(|g| scheme.keypair_from_seed(format!("ckpt-g{g}").as_bytes()))
+            .collect();
+        let pks = keys.iter().map(|k| k.public_key()).collect();
+        (keys, pks)
+    }
+
+    fn state(serial: u64) -> CheckpointState {
+        CheckpointState {
+            serial,
+            block_hash: prb_crypto::sha256::sha256(&serial.to_be_bytes()),
+            stakes: vec![10, 20, 30, 40],
+            stake_nonces: vec![0, 1, 0, 2],
+            reputation: vec![
+                CollectorSnapshot {
+                    weights: vec![1.0, 0.5],
+                    misreport: 3,
+                    forge: 0,
+                },
+                CollectorSnapshot {
+                    weights: vec![0.25, 1.0],
+                    misreport: -1,
+                    forge: -2,
+                },
+            ],
+        }
+    }
+
+    fn cert(serial: u64, signers: &[usize], keys: &[KeyPair]) -> CheckpointCert {
+        let st = state(serial);
+        let digest = st.digest();
+        let sigs = signers
+            .iter()
+            .map(|&g| {
+                let share = CheckpointShare::create(serial, digest, g as u32, &keys[g]);
+                (g as u32, share.sig)
+            })
+            .collect();
+        CheckpointCert { state: st, sigs }
+    }
+
+    #[test]
+    fn digest_commits_to_every_field() {
+        let base = state(5);
+        let mut variants = vec![base.clone(); 6];
+        variants[0].serial = 6;
+        variants[1].block_hash = prb_crypto::sha256::sha256(b"other");
+        variants[2].stakes[1] = 21;
+        variants[3].stake_nonces[0] = 9;
+        variants[4].reputation[0].weights[1] = 0.75;
+        variants[5].reputation[1].forge = 0;
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(v.digest(), base.digest(), "variant {i} collided");
+        }
+        assert_eq!(base.digest(), state(5).digest(), "digest is deterministic");
+    }
+
+    #[test]
+    fn share_roundtrip_and_forgery() {
+        let (keys, pks) = keys(4);
+        let digest = state(3).digest();
+        let share = CheckpointShare::create(3, digest, 2, &keys[2]);
+        assert!(share.verify(&pks));
+        // Wrong signer index, wrong serial, wrong digest: all rejected.
+        let mut wrong = share.clone();
+        wrong.governor = 1;
+        assert!(!wrong.verify(&pks));
+        let mut wrong = share.clone();
+        wrong.serial = 4;
+        assert!(!wrong.verify(&pks));
+        let mut wrong = share;
+        wrong.state_digest = prb_crypto::sha256::sha256(b"x");
+        assert!(!wrong.verify(&pks));
+    }
+
+    #[test]
+    fn quorum_formula() {
+        assert_eq!(quorum(4), 3);
+        assert_eq!(quorum(5), 4);
+        assert_eq!(quorum(6), 5);
+        assert_eq!(quorum(7), 5);
+    }
+
+    #[test]
+    fn full_quorum_cert_verifies() {
+        let (keys, pks) = keys(4);
+        let c = cert(5, &[0, 1, 2, 3], &keys);
+        assert_eq!(c.verify(&pks, &[]), Ok(()));
+        // Exactly at quorum (3 of 4) also verifies.
+        let c = cert(5, &[0, 2, 3], &keys);
+        assert_eq!(c.verify(&pks, &[]), Ok(()));
+    }
+
+    #[test]
+    fn under_quorum_cert_rejected() {
+        let (keys, pks) = keys(4);
+        let c = cert(5, &[0, 1], &keys);
+        assert_eq!(
+            c.verify(&pks, &[]),
+            Err(CheckpointError::UnderQuorum { got: 2, need: 3 })
+        );
+        // Duplicate signatures do not inflate the count.
+        let mut dup = cert(5, &[0, 1], &keys);
+        let extra = dup.sigs[0].clone();
+        dup.sigs.push(extra);
+        assert_eq!(
+            dup.verify(&pks, &[]),
+            Err(CheckpointError::UnderQuorum { got: 2, need: 3 })
+        );
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let (keys, pks) = keys(4);
+        let mut c = cert(5, &[0, 1, 2], &keys);
+        // g2's slot actually signed by g3's key.
+        let digest = c.state.digest();
+        let forged = CheckpointShare::create(5, digest, 2, &keys[3]);
+        c.sigs[2] = (2, forged.sig);
+        assert_eq!(
+            c.verify(&pks, &[]),
+            Err(CheckpointError::BadSignature { governor: 2 })
+        );
+        // A signature over a *different* state digest is also forged: the
+        // cert's state no longer matches what was signed.
+        let mut c = cert(5, &[0, 1, 2], &keys);
+        c.state.stakes[0] += 1;
+        assert!(matches!(
+            c.verify(&pks, &[]),
+            Err(CheckpointError::BadSignature { .. })
+        ));
+        // Out-of-committee signer index.
+        let mut c = cert(5, &[0, 1, 2], &keys);
+        c.sigs[0].0 = 9;
+        assert_eq!(
+            c.verify(&pks, &[]),
+            Err(CheckpointError::BadSignature { governor: 9 })
+        );
+    }
+
+    #[test]
+    fn expelled_signers_excluded_from_quorum() {
+        let (keys, pks) = keys(4);
+        // All four signed, but g1 was expelled (equivocation evidence):
+        // active committee is 3, quorum is 3, and g1's signature must not
+        // count — the remaining 3 honest signatures carry the cert.
+        let c = cert(5, &[0, 1, 2, 3], &keys);
+        assert_eq!(c.verify(&pks, &[1]), Ok(()));
+        // With g1 expelled AND g3 missing, only 2 of the needed 3 remain.
+        let c = cert(5, &[0, 1, 2], &keys);
+        assert_eq!(
+            c.verify(&pks, &[1]),
+            Err(CheckpointError::UnderQuorum { got: 2, need: 3 })
+        );
+        // An expelled governor cannot manufacture a cert from its own
+        // signature repeated under different slots.
+        let digest = state(5).digest();
+        let evil = CheckpointShare::create(5, digest, 1, &keys[1]);
+        let c = CheckpointCert {
+            state: state(5),
+            sigs: vec![(1, evil.sig.clone()), (1, evil.sig.clone()), (1, evil.sig)],
+        };
+        assert!(matches!(
+            c.verify(&pks, &[1]),
+            Err(CheckpointError::UnderQuorum { got: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_state_rejected() {
+        let (keys, pks) = keys(4);
+        let mut c = cert(5, &[0, 1, 2], &keys);
+        c.state.stake_nonces.pop();
+        assert_eq!(c.verify(&pks, &[]), Err(CheckpointError::MalformedState));
+    }
+
+    #[test]
+    fn error_display_and_kind() {
+        let e = CheckpointError::UnderQuorum { got: 1, need: 3 };
+        assert!(e.to_string().contains("quorum is 3"));
+        assert_eq!(e.kind(), "under_quorum");
+        assert_eq!(
+            CheckpointError::BadSignature { governor: 2 }.kind(),
+            "bad_signature"
+        );
+        assert_eq!(CheckpointError::MalformedState.kind(), "malformed_state");
+    }
+}

@@ -16,6 +16,9 @@
 //! - [`evidence`] — self-verifying equivocation evidence (two conflicting
 //!   signed proposal headers) backing the accountability pipeline that
 //!   detects and expels double-signing governors (E12),
+//! - [`checkpoint`] — quorum-signed checkpoints of the chain head, stake
+//!   vector and reputation table, backing O(delta) state-sync and durable
+//!   restart (E16),
 //! - [`round_robin`] — deterministic rotation schedules,
 //! - [`rotation`] — the executable rotating-leader replication protocol
 //!   (propose + ≥2/3 votes, crashed leaders skipped by timeout),
@@ -51,6 +54,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod election;
 pub mod evidence;
 pub mod pbft;
@@ -61,6 +65,7 @@ pub mod stake;
 pub mod stake_block;
 pub mod verify_pool;
 
+pub use checkpoint::{CheckpointCert, CheckpointShare, CheckpointState, CollectorSnapshot};
 pub use election::{elect, elect_excluding, elect_with_pool, ElectionClaim, ElectionResult};
 pub use evidence::{EquivocationEvidence, SignedHeader};
 pub use pipeline::{DeferItem, DeferStats, DeferredValidator, Ticket};

@@ -126,6 +126,22 @@ impl StakeTable {
         Self::new(vec![amount; governors])
     }
 
+    /// Restores a table from a checkpoint snapshot: balances plus the
+    /// transfer nonces, so replay protection survives a state-sync.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors differ in length.
+    pub fn from_parts(stakes: Vec<u64>, nonces: Vec<u64>) -> Self {
+        assert_eq!(stakes.len(), nonces.len(), "one nonce per governor");
+        StakeTable { stakes, nonces }
+    }
+
+    /// The per-governor transfer nonces (for checkpoint snapshots).
+    pub fn nonces(&self) -> &[u64] {
+        &self.nonces
+    }
+
     /// Balance of governor `g`.
     pub fn stake(&self, g: u32) -> Option<u64> {
         self.stakes.get(g as usize).copied()

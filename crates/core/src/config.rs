@@ -165,6 +165,25 @@ pub struct ProtocolConfig {
     /// (`net.retry.dropped`) — the retransmission guarantee degrades
     /// before memory does.
     pub retry_capacity: usize,
+    /// Form a quorum-signed checkpoint certificate every this many
+    /// blocks (E16 durability/state-sync harness). `0` (default)
+    /// disables checkpointing entirely — no shares are signed or sent —
+    /// keeping every existing experiment byte-identical. With interval
+    /// `k`, each governor signs a [`prb_consensus::checkpoint`] share
+    /// when it commits block `i·k` and assembles a certificate once a
+    /// quorum of shares over the same state digest arrives; the latest
+    /// certificate is offered during anti-entropy sync so a far-behind
+    /// peer can re-anchor and fetch only the suffix (O(delta) sync).
+    pub checkpoint_interval: u64,
+    /// Root directory for the governors' durable block stores
+    /// (`prb-store`). `None` (default) keeps the ledger purely in
+    /// memory. When set, governor `g` persists its chain under
+    /// `<store_dir>/g<g>` and a restart recovers the durable prefix
+    /// from disk instead of resyncing from genesis.
+    pub store_dir: Option<std::path::PathBuf>,
+    /// Segment-file size threshold for the durable store (bytes). A
+    /// segment rolls when the next record would cross this size.
+    pub store_segment_bytes: u64,
     /// Seed for the deterministic fast hasher behind every hot-path map
     /// ([`crate::fasthash`]). Any value yields byte-identical ledgers —
     /// the `hash_seed_never_changes_the_ledger` regression proves map
@@ -173,6 +192,16 @@ pub struct ProtocolConfig {
     pub hash_seed: u64,
     /// Master seed; every run with the same config is bit-identical.
     pub seed: u64,
+    /// Workload/driver seed override. `None` (the default) derives the
+    /// driver RNG from [`seed`](Self::seed), preserving the historical
+    /// bit-identical runs. A restart over a durable
+    /// [`store_dir`](Self::store_dir) should set this to a fresh value:
+    /// identities (which derive from `seed`) stay the same so persisted
+    /// checkpoint certificates still verify, while the resumed workload
+    /// is decorrelated from the crashed run's — otherwise the driver
+    /// would regenerate the exact transactions already committed in the
+    /// recovered chain and every new block would dedup to empty.
+    pub driver_seed: Option<u64>,
 }
 
 impl Default for ProtocolConfig {
@@ -206,8 +235,12 @@ impl Default for ProtocolConfig {
             mempool_capacity: 8192,
             pending_capacity: 65536,
             retry_capacity: 65536,
+            checkpoint_interval: 0,
+            store_dir: None,
+            store_segment_bytes: 1 << 20,
             hash_seed: 0,
             seed: 42,
+            driver_seed: None,
         }
     }
 }
@@ -296,6 +329,9 @@ impl ProtocolConfig {
         }
         if self.retry_capacity == 0 {
             return Err("retry_capacity must be positive".into());
+        }
+        if self.store_segment_bytes < 4096 {
+            return Err("store_segment_bytes must be at least 4096".into());
         }
         if !self.governor_profiles.is_empty()
             && self.governor_profiles.len() != self.governors as usize

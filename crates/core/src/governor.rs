@@ -18,6 +18,9 @@ use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
+use prb_consensus::checkpoint::{
+    quorum, CheckpointCert, CheckpointError, CheckpointShare, CheckpointState, CollectorSnapshot,
+};
 use prb_consensus::election::{elect_excluding, ElectionClaim};
 use prb_consensus::evidence::{EquivocationEvidence, SignedHeader};
 use prb_consensus::pipeline::{DeferItem, DeferStats, DeferredValidator, Ticket};
@@ -27,7 +30,7 @@ use prb_crypto::identity::NodeId;
 use prb_crypto::sha256::Digest;
 use prb_crypto::signer::{KeyPair, PublicKey, Sig};
 use prb_ledger::block::{Block, BlockEntry, Verdict};
-use prb_ledger::chain::Chain;
+use prb_ledger::chain::{Chain, ChainError};
 use prb_ledger::oracle::ValidityOracle;
 use prb_ledger::transaction::{Label, LabeledTx, SignedTx, TxId, TxPayload};
 use prb_net::message::{Envelope, NodeIdx, TimerId};
@@ -39,7 +42,8 @@ use prb_net::topology::Topology;
 use prb_obs::{phases, EventKind as ObsEvent, Obs, ObsHandle, Span};
 use prb_reputation::screening::{screen, Report};
 use prb_reputation::update::{RevealedBehaviour, RevealedReport};
-use prb_reputation::{revenue, ReputationTable};
+use prb_reputation::{revenue, ReputationTable, ReputationVector};
+use prb_store::{BlockStore, Recovered};
 
 use crate::behavior::{ByzantineMode, GovernorProfile};
 use crate::config::{GovernorMode, ProtocolConfig};
@@ -270,6 +274,23 @@ pub struct GovernorNode {
     /// Pipelined round engine (`None` when `pipeline_depth == 0`; the
     /// serial engine then behaves bit-for-bit as before).
     pipeline: Option<PipelineState>,
+    /// Durable block store mirroring every chain mutation (`None` keeps
+    /// the ledger purely in memory, the pre-E16 behaviour).
+    store: Option<BlockStore>,
+    /// Latest quorum-signed checkpoint certificate this node holds —
+    /// assembled from peer shares, adopted from a sync peer, or
+    /// recovered from the durable store.
+    latest_cert: Option<CheckpointCert>,
+    /// Own checkpoint state snapshots awaiting quorum, by serial.
+    /// Captured at the moment block `serial` commits, so the digest
+    /// reflects exactly this node's stake/reputation state then.
+    ckpt_pending: HashMap<u64, CheckpointState>,
+    /// Signature-verified peer shares (plus this node's own) buffered
+    /// per checkpoint serial until a quorum over one digest forms.
+    ckpt_shares: HashMap<u64, Vec<CheckpointShare>>,
+    /// Checkpoint serials committed during the current message dispatch,
+    /// announced (share signed + broadcast) once the dispatch finishes.
+    ckpt_to_announce: Vec<u64>,
 }
 
 impl std::fmt::Debug for GovernorNode {
@@ -367,6 +388,11 @@ impl GovernorNode {
             echoed: HashSet::new(),
             expelled: Vec::new(),
             pipeline,
+            store: None,
+            latest_cert: None,
+            ckpt_pending: HashMap::new(),
+            ckpt_shares: HashMap::new(),
+            ckpt_to_announce: Vec::new(),
         }
     }
 
@@ -391,6 +417,272 @@ impl GovernorNode {
     /// instead of carrying one each.
     pub fn set_pk_pool(&mut self, pool: Vec<PublicKey>) {
         self.pk_pool = pool;
+    }
+
+    /// Installs a durable block store and adopts whatever it recovered:
+    /// the replayed chain replaces the fresh genesis chain, and a valid
+    /// persisted checkpoint certificate restores the certified stake and
+    /// reputation state (a restart then resumes from the durable prefix
+    /// instead of genesis — anti-entropy sync fetches only the suffix).
+    pub fn set_store(&mut self, store: BlockStore, recovered: Recovered) {
+        if recovered.chain.height() > 0 || recovered.chain.is_anchored() {
+            self.chain = recovered.chain;
+        }
+        if let Some(cert) = recovered.cert {
+            if cert.verify(&self.governor_pks, &self.expelled).is_ok() {
+                self.adopt_cert_state(&cert);
+                self.latest_cert = Some(cert);
+            }
+        }
+        self.store = Some(store);
+    }
+
+    /// The latest checkpoint certificate this governor holds, if any.
+    pub fn latest_cert(&self) -> Option<&CheckpointCert> {
+        self.latest_cert.as_ref()
+    }
+
+    /// Restores the certified stake/reputation vectors from `cert`
+    /// (already quorum-verified by the caller).
+    fn adopt_cert_state(&mut self, cert: &CheckpointCert) {
+        self.stake_table =
+            StakeTable::from_parts(cert.state.stakes.clone(), cert.state.stake_nonces.clone());
+        if !cert.state.reputation.is_empty() {
+            let vectors = cert
+                .state
+                .reputation
+                .iter()
+                .map(|c| ReputationVector::from_parts(c.weights.clone(), c.misreport, c.forge))
+                .collect();
+            self.reputation = ReputationTable::from_vectors(vectors, self.cfg.reputation);
+        }
+    }
+
+    /// Mirrors a freshly appended chain head into the durable store.
+    /// Store I/O failure is fatal: a silently diverged store would defeat
+    /// the crash-safety guarantee it exists to provide.
+    fn store_append_head(&mut self) {
+        if let Some(store) = &mut self.store {
+            store
+                .append(self.chain.latest())
+                .expect("durable store append must mirror the chain");
+        }
+    }
+
+    /// Block `serial` (a checkpoint-interval boundary) just committed:
+    /// snapshot the full certified state — head hash, stake vector and
+    /// nonces, reputation vectors — and queue the share announcement.
+    /// Peer shares that arrived early and disagree with this digest are
+    /// discarded (and counted) now that the local truth is known.
+    fn capture_checkpoint(&mut self, serial: u64) {
+        let Some(block_hash) = self.chain.retrieve(serial).map(Block::hash) else {
+            return;
+        };
+        let reputation = (0..self.reputation.collector_count())
+            .map(|i| {
+                let v = self.reputation.collector(i);
+                CollectorSnapshot {
+                    weights: v.weights().to_vec(),
+                    misreport: v.misreport(),
+                    forge: v.forge(),
+                }
+            })
+            .collect();
+        let state = CheckpointState {
+            serial,
+            block_hash,
+            stakes: self.stake_table.stakes().to_vec(),
+            stake_nonces: self.stake_table.nonces().to_vec(),
+            reputation,
+        };
+        let digest = state.digest();
+        if let Some(buf) = self.ckpt_shares.get_mut(&serial) {
+            let before = buf.len();
+            buf.retain(|s| s.state_digest == digest);
+            let dropped = (before - buf.len()) as u64;
+            if dropped > 0 {
+                self.metrics.checkpoint_digest_mismatches += dropped;
+                if self.obs.is_enabled() {
+                    self.obs
+                        .metrics()
+                        .add("checkpoint.digest_mismatch", dropped);
+                }
+            }
+        }
+        self.ckpt_pending.insert(serial, state);
+        self.ckpt_to_announce.push(serial);
+    }
+
+    /// Signs and broadcasts the shares queued by [`Self::capture_checkpoint`]
+    /// during this dispatch, counting the own share toward quorum.
+    fn flush_checkpoint_shares(&mut self, ctx: &mut Context<'_, ProtocolMsg>) {
+        if self.ckpt_to_announce.is_empty() {
+            return;
+        }
+        let serials = std::mem::take(&mut self.ckpt_to_announce);
+        for serial in serials {
+            let Some(digest) = self.ckpt_pending.get(&serial).map(CheckpointState::digest) else {
+                continue;
+            };
+            let share = CheckpointShare::create(serial, digest, self.index, &self.key);
+            self.metrics.checkpoint_shares_sent += 1;
+            if self.obs.is_enabled() {
+                self.obs.metrics().inc("checkpoint.shares_sent");
+            }
+            self.broadcast_governors(
+                ctx,
+                "checkpoint-share",
+                112,
+                ProtocolMsg::CheckpointShare(share.clone()),
+            );
+            self.buffer_share(share);
+            self.try_assemble_cert(serial);
+        }
+    }
+
+    /// Buffers a signature-verified share, one per governor per serial.
+    fn buffer_share(&mut self, share: CheckpointShare) {
+        let buf = self.ckpt_shares.entry(share.serial).or_default();
+        if !buf.iter().any(|s| s.governor == share.governor) {
+            buf.push(share);
+        }
+    }
+
+    /// A peer's checkpoint share arrived: verify its signature, discard
+    /// it when it disagrees with this node's own snapshot digest at that
+    /// serial (transient reveal-timing divergence or a byzantine signer),
+    /// otherwise buffer and attempt certificate assembly.
+    fn on_checkpoint_share(&mut self, share: CheckpointShare) {
+        if self.cfg.checkpoint_interval == 0 || self.expelled.contains(&share.governor) {
+            return;
+        }
+        if self
+            .latest_cert
+            .as_ref()
+            .is_some_and(|c| c.state.serial >= share.serial)
+        {
+            return; // already certified at or past this serial
+        }
+        if !share.verify(&self.governor_pks) {
+            return;
+        }
+        if let Some(state) = self.ckpt_pending.get(&share.serial) {
+            if state.digest() != share.state_digest {
+                self.metrics.checkpoint_digest_mismatches += 1;
+                if self.obs.is_enabled() {
+                    self.obs.metrics().inc("checkpoint.digest_mismatch");
+                }
+                return;
+            }
+        } else if self.ckpt_shares.len() >= 32 && !self.ckpt_shares.contains_key(&share.serial) {
+            return; // bound the early-share buffer against spam
+        }
+        let serial = share.serial;
+        self.buffer_share(share);
+        self.try_assemble_cert(serial);
+    }
+
+    /// Assembles a certificate for `serial` once a quorum of shares over
+    /// this node's own state digest has gathered.
+    fn try_assemble_cert(&mut self, serial: u64) {
+        if self
+            .latest_cert
+            .as_ref()
+            .is_some_and(|c| c.state.serial >= serial)
+        {
+            return;
+        }
+        let Some(state) = self.ckpt_pending.get(&serial) else {
+            return;
+        };
+        let digest = state.digest();
+        let Some(buf) = self.ckpt_shares.get(&serial) else {
+            return;
+        };
+        let mut sigs: Vec<(u32, Sig)> = buf
+            .iter()
+            .filter(|s| s.state_digest == digest && !self.expelled.contains(&s.governor))
+            .map(|s| (s.governor, s.sig.clone()))
+            .collect();
+        let need = quorum(self.cfg.governors as usize - self.expelled.len());
+        if sigs.len() < need {
+            return;
+        }
+        sigs.sort_by_key(|(g, _)| *g);
+        let cert = CheckpointCert {
+            state: state.clone(),
+            sigs,
+        };
+        self.metrics.checkpoint_certs_formed += 1;
+        if self.obs.is_enabled() {
+            self.obs.metrics().inc("checkpoint.cert_formed");
+        }
+        if let Some(store) = &mut self.store {
+            store
+                .save_cert(&cert)
+                .expect("durable store must persist the checkpoint cert");
+        }
+        self.latest_cert = Some(cert);
+        self.prune_checkpoint_buffers(serial);
+    }
+
+    /// Drops pending snapshots and share buffers at or below `serial`.
+    fn prune_checkpoint_buffers(&mut self, serial: u64) {
+        self.ckpt_pending.retain(|&s, _| s > serial);
+        self.ckpt_shares.retain(|&s, _| s > serial);
+    }
+
+    /// A sync peer offered a checkpoint certificate. Adopt it only when
+    /// it verifies against the full committee (minus this node's expelled
+    /// view) *and* is strictly ahead of the local chain head — a stale,
+    /// forged or under-quorum offer is rejected and can never roll an
+    /// honest node back. Adoption re-anchors the chain at the certified
+    /// head, restores the certified stake/reputation state, and resets
+    /// the durable store, so the remaining sync fetches only the
+    /// `delta = head − serial` suffix.
+    fn maybe_adopt_checkpoint(&mut self, cert: CheckpointCert, now: u64) {
+        if cert.state.serial <= self.chain.height() {
+            self.metrics.checkpoints_rejected += 1;
+            if self.obs.is_enabled() {
+                self.obs.metrics().inc("checkpoint.rejected.stale");
+            }
+            return;
+        }
+        if let Err(e) = cert.verify(&self.governor_pks, &self.expelled) {
+            self.metrics.checkpoints_rejected += 1;
+            if self.obs.is_enabled() {
+                let key = match e {
+                    CheckpointError::UnderQuorum { .. } => "checkpoint.rejected.under_quorum",
+                    CheckpointError::BadSignature { .. } => "checkpoint.rejected.bad_signature",
+                    CheckpointError::MalformedState => "checkpoint.rejected.malformed_state",
+                };
+                self.obs.metrics().inc(key);
+            }
+            return;
+        }
+        let serial = cert.state.serial;
+        self.chain = Chain::from_checkpoint(serial, cert.state.block_hash, self.cfg.b_limit);
+        self.adopt_cert_state(&cert);
+        self.head_priority = None;
+        self.provisional_base = None;
+        self.future_blocks.retain(|b| b.serial > serial);
+        if let Some(store) = &mut self.store {
+            store
+                .reset_to_checkpoint(&cert)
+                .expect("durable store must follow a checkpoint adoption");
+        }
+        self.metrics.checkpoints_adopted += 1;
+        self.metrics.adopted_serial = serial;
+        self.metrics.pages_after_adopt = 0;
+        if self.obs.is_enabled() {
+            self.obs.metrics().inc("checkpoint.adopted");
+            self.obs
+                .metrics()
+                .observe("checkpoint.adopted_serial", serial);
+        }
+        let _ = now;
+        self.latest_cert = Some(cert);
+        self.prune_checkpoint_buffers(serial);
     }
 
     /// Resolves the verification key for provider `p`: the per-provider
@@ -593,14 +885,19 @@ impl GovernorNode {
             ProtocolMsg::HeaderEcho { header } => self.note_header(header, ctx),
             ProtocolMsg::Evidence { evidence } => self.on_evidence(evidence, ctx),
             ProtocolMsg::SyncRequest { have } => self.on_sync_request(have, env.from, ctx),
-            ProtocolMsg::SyncResponse { blocks, head } => {
-                self.on_sync_response(blocks, head, env.from, ctx);
+            ProtocolMsg::SyncResponse { blocks, head, cert } => {
+                self.on_sync_response(blocks, head, cert, env.from, ctx);
             }
+            ProtocolMsg::CheckpointShare(share) => self.on_checkpoint_share(share),
             ProtocolMsg::Argue { tx, .. } => self.on_argue(tx, ctx),
             ProtocolMsg::StakeTransfer(transfer) => self.on_stake_transfer(transfer, ctx),
             ProtocolMsg::Reveal { tx, valid } => self.on_reveal(tx, valid, ctx.now().ticks()),
             _ => {}
         }
+        // Any dispatch may have committed a checkpoint-interval boundary
+        // (own proposal, adopted proposal, or a sync page crossing one);
+        // announce the queued shares exactly once, after the handler.
+        self.flush_checkpoint_shares(ctx);
     }
 
     /// Handles a timer: retransmission, sync rotation, or Δ aggregation.
@@ -1516,9 +1813,9 @@ impl GovernorNode {
         }
 
         let block = Block::build(
-            self.chain.height() + 1,
+            self.chain.next_serial(),
             entries,
-            self.chain.latest().hash(),
+            self.chain.head_hash(),
             NodeId::governor(self.index),
             ctx.now().ticks(),
         );
@@ -1573,6 +1870,12 @@ impl GovernorNode {
                 }
                 if let Some(span) = self.commit_span.take() {
                     self.obs.end_span(span, now, self.net_idx());
+                }
+                self.store_append_head();
+                if self.cfg.checkpoint_interval > 0
+                    && block.serial.is_multiple_of(self.cfg.checkpoint_interval)
+                {
+                    self.capture_checkpoint(block.serial);
                 }
                 // Rank the new head so same-serial rivals can contest it
                 // by election key, and mark it provisional when the
@@ -1717,7 +2020,7 @@ impl GovernorNode {
         // key wins, so every governor converges on the minimum over the
         // claims it saw, exactly as a fully-informed election would.
         if block.serial == self.chain.height() {
-            if self.chain.latest().hash() == block.hash() {
+            if self.chain.head_hash() == block.hash() {
                 self.metrics.duplicate_blocks += 1;
                 return;
             }
@@ -1749,7 +2052,7 @@ impl GovernorNode {
                     return;
                 }
                 self.pop_head_repool();
-                if self.append_and_clean(block, now) {
+                if self.append_and_clean(block, now).is_ok() {
                     // Same parent as the popped head, so the prefix
                     // agrees with the winner: nothing provisional left.
                     self.head_priority = Some(key);
@@ -1766,8 +2069,7 @@ impl GovernorNode {
         // lands past a gap and the ordinary recovery path refetches the
         // winner's blocks. (If the head is settled, nothing pops and the
         // append below fails harmlessly into `append_failures`.)
-        if block.serial == self.chain.height() + 1 && block.prev_hash != self.chain.latest().hash()
-        {
+        if block.serial == self.chain.height() + 1 && block.prev_hash != self.chain.head_hash() {
             self.rollback_unconfirmed();
         }
         // Gap: we missed blocks (e.g. while crashed). Park the block and
@@ -1811,7 +2113,7 @@ impl GovernorNode {
             }
             false
         };
-        if self.append_and_clean(block.clone(), now) {
+        if self.append_and_clean(block.clone(), now).is_ok() {
             // A committed successor settles every block beneath it, and
             // the new head is ranked for future same-serial contests.
             self.provisional_base = None;
@@ -1960,7 +2262,11 @@ impl GovernorNode {
         // by an honest leader and the prefixes reconverge. Settled blocks
         // (those with a successor) are never popped.
         let culprit_id = NodeId::governor(culprit);
-        while self.chain.height() > 0 && self.chain.latest().leader == culprit_id {
+        while self
+            .chain
+            .latest_opt()
+            .is_some_and(|b| b.serial > 0 && b.leader == culprit_id)
+        {
             self.pop_head_repool();
         }
     }
@@ -2010,6 +2316,11 @@ impl GovernorNode {
         let Some(block) = self.chain.pop() else {
             return;
         };
+        if let Some(store) = &mut self.store {
+            store
+                .pop()
+                .expect("durable store pop must mirror the chain");
+        }
         self.metrics.head_rollbacks += 1;
         if self.obs.is_enabled() {
             self.obs.metrics().inc("sync.rollback");
@@ -2055,7 +2366,11 @@ impl GovernorNode {
         let me = NodeId::governor(self.index);
         let before = self.metrics.head_rollbacks;
         self.rollback_provisional();
-        while self.chain.height() > 0 && self.chain.latest().leader == me {
+        while self
+            .chain
+            .latest_opt()
+            .is_some_and(|b| b.serial > 0 && b.leader == me)
+        {
             self.pop_head_repool();
         }
         if self.metrics.head_rollbacks == before && self.head_priority.is_some() {
@@ -2162,10 +2477,11 @@ impl GovernorNode {
         ok
     }
 
-    /// Appends `block` and drops local buffers it covers. Returns whether
-    /// the append succeeded (callers re-rank or settle the head on
-    /// success).
-    fn append_and_clean(&mut self, block: Block, now: u64) -> bool {
+    /// Appends `block` and drops local buffers it covers. On failure the
+    /// typed [`ChainError`] names exactly which integrity check rejected
+    /// the block (callers on the sync path surface its
+    /// [`ChainError::kind`] in the rejection metrics).
+    fn append_and_clean(&mut self, block: Block, now: u64) -> Result<(), ChainError> {
         let included: HashSet<TxId> = block.entries.iter().map(|e| e.tx.id()).collect();
         let (serial, entries) = (block.serial, block.entries.len() as u64);
         let traces: Vec<u64> = if self.obs.is_enabled() {
@@ -2188,10 +2504,14 @@ impl GovernorNode {
                 if let Some(span) = self.commit_span.take() {
                     self.obs.end_span(span, now, self.net_idx());
                 }
+                self.store_append_head();
+                if self.cfg.checkpoint_interval > 0 && serial % self.cfg.checkpoint_interval == 0 {
+                    self.capture_checkpoint(serial);
+                }
             }
-            Err(_) => {
+            Err(e) => {
                 self.metrics.append_failures += 1;
-                return false;
+                return Err(e);
             }
         }
         // Drop local buffers covered by the leader's block.
@@ -2199,7 +2519,7 @@ impl GovernorNode {
             .retain(|e| !included.contains(&e.tx.id()));
         self.argued_entries
             .retain(|e| !included.contains(&e.tx.id()));
-        true
+        Ok(())
     }
 
     /// Enters the `Recovering` state (no-op when already recovering or
@@ -2324,12 +2644,24 @@ impl GovernorNode {
             .take(self.cfg.sync_page)
             .filter_map(|s| self.chain.retrieve(s).cloned())
             .collect();
-        let size = 80 + 96 * blocks.iter().map(Block::tx_count).sum::<usize>();
+        // Offer the latest checkpoint certificate when the requester is
+        // behind it: adopting it lets the peer skip every pre-checkpoint
+        // page and fetch only the suffix (O(delta) state-sync).
+        let cert = self
+            .latest_cert
+            .as_ref()
+            .filter(|c| c.state.serial > have)
+            .map(|c| Box::new(c.clone()));
+        let size = 80
+            + 96 * blocks.iter().map(Block::tx_count).sum::<usize>()
+            + cert
+                .as_ref()
+                .map_or(0, |c| 104 + 16 * c.state.stakes.len() + 96 * c.sigs.len());
         ctx.send_sized(
             requester,
             "sync-response",
             size,
-            ProtocolMsg::SyncResponse { blocks, head },
+            ProtocolMsg::SyncResponse { blocks, head, cert },
         );
         self.metrics.sync_served += 1;
         if self.obs.is_enabled() {
@@ -2341,16 +2673,25 @@ impl GovernorNode {
         &mut self,
         blocks: Vec<Block>,
         head: u64,
+        cert: Option<Box<CheckpointCert>>,
         from: NodeIdx,
         ctx: &mut Context<'_, ProtocolMsg>,
     ) {
         let now = ctx.now().ticks();
         let before = self.chain.height();
+        // A certificate offer is handled first: adopting it re-anchors
+        // the chain past every page the peer would otherwise have to
+        // serve. A stale or invalid offer is rejected (counted) and the
+        // plain block path below proceeds unaffected.
+        if let Some(cert) = cert {
+            self.maybe_adopt_checkpoint(*cert, now);
+        }
+        let before_page = self.chain.height();
         for block in blocks {
             if block.serial != self.chain.height() + 1 {
                 continue; // stale page or duplicate
             }
-            if block.prev_hash != self.chain.latest().hash() {
+            if block.prev_hash != self.chain.head_hash() {
                 // The peer's settled chain disagrees with our head: fork
                 // evidence discovered mid-recovery. Shed the unconfirmed
                 // suffix; the follow-up page request (our new, lower
@@ -2364,22 +2705,38 @@ impl GovernorNode {
                 self.metrics.append_failures += 1;
                 continue;
             }
-            if self.append_and_clean(block, now) {
-                // Sync-applied blocks come from a peer's settled chain.
-                self.head_priority = None;
-                self.provisional_base = None;
-                self.metrics.sync_applied += 1;
-                if self.obs.is_enabled() {
-                    self.obs.metrics().inc("sync.applied");
+            match self.append_and_clean(block, now) {
+                Ok(()) => {
+                    // Sync-applied blocks come from a peer's settled chain.
+                    self.head_priority = None;
+                    self.provisional_base = None;
+                    self.metrics.sync_applied += 1;
+                    if self.obs.is_enabled() {
+                        self.obs.metrics().inc("sync.applied");
+                    }
+                }
+                Err(e) => {
+                    // Surface exactly which integrity check rejected the
+                    // page block — a corrupt or byzantine sync payload is
+                    // visible in the metrics, never silently dropped.
+                    *self.metrics.sync_rejected.entry(e.kind()).or_default() += 1;
+                    if self.obs.is_enabled() {
+                        self.obs.metrics().inc("sync.rejected");
+                    }
                 }
             }
+        }
+        if self.metrics.adopted_serial > 0 && self.chain.height() > before_page {
+            // O(delta) accounting: pages that contributed blocks after
+            // the most recent checkpoint adoption.
+            self.metrics.pages_after_adopt += 1;
         }
         // Drain any parked blocks that now fit.
         self.future_blocks.sort_by_key(|b| b.serial);
         let parked = std::mem::take(&mut self.future_blocks);
         for block in parked {
             if block.serial == self.chain.height() + 1 {
-                if self.append_and_clean(block, now) {
+                if self.append_and_clean(block, now).is_ok() {
                     self.head_priority = None;
                     self.provisional_base = None;
                 }

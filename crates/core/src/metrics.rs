@@ -88,6 +88,34 @@ pub struct GovernorMetrics {
     pub expulsion_round: HashMap<u32, u64>,
     /// Proposed blocks rejected on arrival for failing authentication.
     pub invalid_blocks_rejected: u64,
+    /// Checkpoint shares this governor signed and broadcast.
+    pub checkpoint_shares_sent: u64,
+    /// Checkpoint certificates this governor assembled from a quorum of
+    /// shares.
+    pub checkpoint_certs_formed: u64,
+    /// Checkpoint shares discarded because their state digest did not
+    /// match this governor's own snapshot at that serial (transient
+    /// reveal-timing divergence, or a byzantine signer).
+    pub checkpoint_digest_mismatches: u64,
+    /// Checkpoint certificates offered by sync peers that this governor
+    /// verified and adopted, re-anchoring its chain.
+    pub checkpoints_adopted: u64,
+    /// Serial of the most recently adopted checkpoint (0 = never).
+    pub adopted_serial: u64,
+    /// Sync pages applied after the most recent checkpoint adoption —
+    /// the O(delta) bound: at most `delta / sync_page + 1` where
+    /// `delta = head − adopted_serial`.
+    pub pages_after_adopt: u64,
+    /// Checkpoint certificates offered by peers but rejected (stale
+    /// serial, forged or under-quorum signatures). A rejected offer
+    /// never rolls the chain back.
+    pub checkpoints_rejected: u64,
+    /// Sync-page blocks rejected by chain validation, keyed by
+    /// [`prb_ledger::chain::ChainError::kind`] label and carrying the
+    /// typed import/append diagnostics (satellite of the durable-store
+    /// tentpole: corrupted or byzantine sync payloads are visible, not
+    /// silent).
+    pub sync_rejected: HashMap<&'static str, u64>,
     /// Realized loss per provider.
     pub realized_loss_by_provider: HashMap<u32, f64>,
     /// Expected loss per provider.

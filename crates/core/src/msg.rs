@@ -5,6 +5,7 @@
 //! `from == EXTERNAL` and are never counted toward the complexity
 //! experiments' protocol-message kinds.
 
+use prb_consensus::checkpoint::{CheckpointCert, CheckpointShare};
 use prb_consensus::election::ElectionClaim;
 use prb_consensus::evidence::{EquivocationEvidence, SignedHeader};
 use prb_consensus::stake::StakeTransfer;
@@ -130,7 +131,20 @@ pub enum ProtocolMsg {
         /// The responder's chain height at reply time, so the requester
         /// knows whether more pages remain.
         head: u64,
+        /// The responder's latest quorum-signed checkpoint certificate,
+        /// attached only when its serial is beyond the requester's
+        /// `have`. A far-behind requester verifies the quorum, adopts
+        /// the certified state and re-anchors, so it fetches only the
+        /// suffix past the checkpoint instead of the whole chain
+        /// (O(delta) state-sync). `None` when checkpointing is off or
+        /// the requester is already past the latest checkpoint.
+        cert: Option<Box<CheckpointCert>>,
     },
+    /// Governor → governor: a signed share of the checkpoint state at a
+    /// checkpoint-interval boundary. A governor that collects a quorum
+    /// of shares over one state digest assembles a
+    /// [`CheckpointCert`].
+    CheckpointShare(CheckpointShare),
     /// Reliable-delivery envelope: `inner` carried under an ack token.
     /// The receiver acks `token` back to the sender on every copy (so
     /// retransmissions re-ack) and dispatches `inner` exactly as if it

@@ -281,7 +281,7 @@ impl Simulation {
             )));
         }
         for g in 0..m {
-            net.add_node(NodeActor::governor(GovernorNode::new(
+            let mut gov = GovernorNode::new(
                 g,
                 governor_creds[g as usize].keypair.clone(),
                 cfg.clone(),
@@ -291,7 +291,23 @@ impl Simulation {
                 collector_pks.clone(),
                 provider_pks.clone(),
                 governor_pks.clone(),
-            )));
+            );
+            // Durable persistence: each governor mirrors its chain into
+            // `<store_dir>/g<idx>`, recovering whatever durable prefix
+            // (and checkpoint certificate) a previous run left there.
+            if let Some(dir) = &cfg.store_dir {
+                let opts = prb_store::StoreOptions {
+                    chain_tag: b"prb-chain".to_vec(),
+                    b_limit: cfg.b_limit,
+                    segment_bytes: cfg.store_segment_bytes,
+                    fsync: prb_store::FsyncPolicy::Always,
+                };
+                let (store, recovered) =
+                    prb_store::BlockStore::open(&dir.join(format!("g{g}")), opts)
+                        .map_err(|e| format!("governor {g} store: {e}"))?;
+                gov.set_store(store, recovered);
+            }
+            net.add_node(NodeActor::governor(gov));
         }
 
         if cfg.reliable_delivery {
@@ -321,7 +337,23 @@ impl Simulation {
                 payload_len: 32,
             })
         });
-        let driver_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x5151_5151));
+        let driver_rng = StdRng::seed_from_u64(
+            cfg.driver_seed
+                .unwrap_or(cfg.seed)
+                .wrapping_add(0x5151_5151),
+        );
+        // A restart over a durable store resumes with governor 0 already
+        // holding its recovered prefix; the driver's block-notification
+        // cursor starts past it (old blocks belong to the previous run's
+        // workload — replaying their notifications against fresh
+        // providers and a fresh oracle would be meaningless).
+        let observed_height = if cfg.store_dir.is_some() {
+            net.node(governor_base)
+                .as_governor()
+                .map_or(0, |g| g.chain().height())
+        } else {
+            0
+        };
         Ok(Simulation {
             cfg,
             net,
@@ -335,7 +367,7 @@ impl Simulation {
             crypto_stats_base: prb_crypto::stats::snapshot(),
             round: 0,
             next_start: 0,
-            observed_height: 0,
+            observed_height,
             reveal_scheduled: HashSet::new(),
         })
     }
@@ -522,8 +554,10 @@ impl Simulation {
         let reference = self.governor_node(governors[0]).chain();
         governors[1..].iter().all(|&g| {
             let other = self.governor_node(g).chain();
-            other.height() == reference.height()
-                && other.latest().hash() == reference.latest().hash()
+            // `head_hash` is total (the anchor hash for a freshly
+            // checkpoint-anchored chain), so agreement also covers
+            // governors that re-anchored via state-sync.
+            other.height() == reference.height() && other.head_hash() == reference.head_hash()
         })
     }
 
@@ -541,9 +575,18 @@ impl Simulation {
             .map(|&g| self.governor_node(g).chain().height())
             .min()
             .expect("at least one governor");
+        // A checkpoint-anchored chain holds no blocks below its base:
+        // the comparable window starts at the highest base among the
+        // listed governors (the certified prefix below it is vouched for
+        // by the checkpoint quorum, not by block-by-block comparison).
+        let lo = governors
+            .iter()
+            .map(|&g| self.governor_node(g).chain().base().max(1))
+            .max()
+            .expect("at least one governor");
         governors[1..].iter().all(|&g| {
             let other = self.governor_node(g).chain();
-            (1..=min_height).all(|serial| {
+            (lo..=min_height).all(|serial| {
                 match (reference.retrieve(serial), other.retrieve(serial)) {
                     (Some(a), Some(b)) => a.hash() == b.hash(),
                     _ => false,

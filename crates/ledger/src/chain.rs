@@ -9,13 +9,21 @@
 //!   `H(latest)`.
 //! - **No Skipping** — `append` rejects serial numbers other than
 //!   `latest + 1`, so retrieval of serial `s` implies all of `1..s` exist.
+//!
+//! A chain is either rooted at genesis (`base == 0`) or *anchored* at a
+//! checkpoint: [`Chain::from_checkpoint`] builds a chain that holds no
+//! blocks but knows the certified hash of the block at `base - 1`, so the
+//! hash-chain invariant extends through the anchor exactly as it would
+//! through a held block. Blocks below the anchor are unavailable
+//! (`retrieve` returns `None`) but remain committed-to by the anchor hash.
 
 use std::fmt;
 
 use prb_crypto::fxhash::{fx_map, FxMap};
+use prb_crypto::sha256::Digest;
 
 use crate::block::{Block, BlockEntry, Verdict};
-use crate::codec;
+use crate::codec::{self, DecodeError};
 use crate::transaction::TxId;
 
 /// Errors returned by [`Chain::append`].
@@ -28,7 +36,8 @@ pub enum ChainError {
         /// Serial the block carried.
         got: u64,
     },
-    /// The block's `prev_hash` does not equal the hash of the latest block.
+    /// The block's `prev_hash` does not equal the hash of the latest block
+    /// (or the anchor hash, for a chain freshly anchored at a checkpoint).
     BrokenHashChain {
         /// The offending block's serial.
         serial: u64,
@@ -45,6 +54,18 @@ pub enum ChainError {
         /// The configured `b_limit`.
         limit: usize,
     },
+}
+
+impl ChainError {
+    /// A short stable label for metric keys (`sync.rejected.<kind>`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ChainError::NonConsecutiveSerial { .. } => "non_consecutive_serial",
+            ChainError::BrokenHashChain { .. } => "broken_hash_chain",
+            ChainError::MerkleMismatch { .. } => "merkle_mismatch",
+            ChainError::BlockTooLarge { .. } => "block_too_large",
+        }
+    }
 }
 
 impl fmt::Display for ChainError {
@@ -67,6 +88,146 @@ impl fmt::Display for ChainError {
 }
 
 impl std::error::Error for ChainError {}
+
+/// Errors returned by [`Chain::import`], pinpointing where in the byte
+/// stream the import failed and which block serial was being processed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ImportError {
+    /// Input shorter than the fixed header plus authentication trailer.
+    Truncated {
+        /// Length of the rejected input.
+        len: usize,
+    },
+    /// The `b_limit` field exceeds the platform word size.
+    BLimitOverflow,
+    /// The header declares an anchored chain but the anchor digest is
+    /// missing or cut short.
+    MissingAnchor,
+    /// A block failed to decode.
+    Decode {
+        /// Serial the chain expected at this position.
+        serial: u64,
+        /// Byte offset where the failing block starts.
+        offset: usize,
+        /// The underlying codec error.
+        source: DecodeError,
+    },
+    /// A block decoded but violated a chain invariant on replay.
+    Invalid {
+        /// Serial of the offending block.
+        serial: u64,
+        /// Byte offset where the offending block starts.
+        offset: usize,
+        /// The violated invariant.
+        source: ChainError,
+    },
+    /// Bytes remain after the declared block count.
+    TrailingBytes {
+        /// Byte offset where the unexpected bytes start.
+        offset: usize,
+    },
+    /// A genesis-rooted export with no blocks at all.
+    EmptyChain,
+    /// The first block of a genesis-rooted export is not serial 0.
+    NotGenesis {
+        /// Serial the first block carried.
+        serial: u64,
+    },
+    /// The authentication trailer does not match the reconstructed chain:
+    /// head, anchor or `b_limit` was tampered with.
+    TrailerMismatch,
+}
+
+impl ImportError {
+    /// Byte offset of the failure, when one is known.
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            ImportError::Decode { offset, .. }
+            | ImportError::Invalid { offset, .. }
+            | ImportError::TrailingBytes { offset } => Some(*offset),
+            _ => None,
+        }
+    }
+
+    /// Block serial involved in the failure, when one is known.
+    pub fn serial(&self) -> Option<u64> {
+        match self {
+            ImportError::Decode { serial, .. } | ImportError::Invalid { serial, .. } => {
+                Some(*serial)
+            }
+            ImportError::NotGenesis { serial } => Some(*serial),
+            _ => None,
+        }
+    }
+
+    /// A short stable label for metric keys.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ImportError::Truncated { .. } => "truncated",
+            ImportError::BLimitOverflow => "b_limit_overflow",
+            ImportError::MissingAnchor => "missing_anchor",
+            ImportError::Decode { .. } => "decode",
+            ImportError::Invalid { source, .. } => source.kind(),
+            ImportError::TrailingBytes { .. } => "trailing_bytes",
+            ImportError::EmptyChain => "empty_chain",
+            ImportError::NotGenesis { .. } => "not_genesis",
+            ImportError::TrailerMismatch => "trailer_mismatch",
+        }
+    }
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::Truncated { len } => {
+                write!(f, "input of {len} bytes is shorter than header + trailer")
+            }
+            ImportError::BLimitOverflow => {
+                write!(f, "b_limit field exceeds the platform word size")
+            }
+            ImportError::MissingAnchor => {
+                write!(f, "anchored export is missing its anchor digest")
+            }
+            ImportError::Decode {
+                serial,
+                offset,
+                source,
+            } => {
+                write!(f, "block {serial} at byte {offset}: {source}")
+            }
+            ImportError::Invalid {
+                serial,
+                offset,
+                source,
+            } => {
+                write!(f, "block {serial} at byte {offset}: {source}")
+            }
+            ImportError::TrailingBytes { offset } => {
+                write!(f, "trailing bytes after chain at byte {offset}")
+            }
+            ImportError::EmptyChain => write!(f, "empty chain has no genesis"),
+            ImportError::NotGenesis { serial } => {
+                write!(f, "first block has serial {serial}, not a genesis block")
+            }
+            ImportError::TrailerMismatch => {
+                write!(
+                    f,
+                    "authentication trailer mismatch: head, anchor or b_limit tampered"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImportError::Decode { source, .. } => Some(source),
+            ImportError::Invalid { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// Where a transaction ended up in the chain.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,6 +252,11 @@ pub struct TxLocation {
 #[derive(Clone)]
 pub struct Chain {
     blocks: Vec<Block>,
+    /// Serial of `blocks[0]`. Zero for a genesis-rooted chain; the first
+    /// post-checkpoint serial for an anchored chain.
+    base: u64,
+    /// Certified hash of the block at `base - 1`; present iff `base > 0`.
+    anchor: Option<Digest>,
     // Keyed by a SHA-256 digest, so the seeded Fx mix is collision-safe
     // here; the default SipHash map cost ~2x on the per-commit index path.
     tx_index: FxMap<TxId, TxLocation>,
@@ -101,6 +267,7 @@ impl fmt::Debug for Chain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Chain")
             .field("height", &self.height())
+            .field("base", &self.base)
             .field("transactions", &self.tx_index.len())
             .field("b_limit", &self.b_limit)
             .finish()
@@ -114,6 +281,29 @@ impl Chain {
     pub fn new(chain_tag: &[u8], b_limit: usize) -> Self {
         Chain {
             blocks: vec![Block::genesis(chain_tag)],
+            base: 0,
+            anchor: None,
+            tx_index: fx_map(),
+            b_limit,
+        }
+    }
+
+    /// Creates a chain anchored at a quorum-certified checkpoint: the
+    /// caller vouches (by verifying a checkpoint certificate) that the
+    /// block at `head_serial` hashes to `head_hash`. The chain holds no
+    /// blocks yet; its height is `head_serial` and the first block it will
+    /// accept is `head_serial + 1` with `prev_hash == head_hash`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_serial` is `u64::MAX` (the next serial would
+    /// overflow).
+    pub fn from_checkpoint(head_serial: u64, head_hash: Digest, b_limit: usize) -> Self {
+        assert!(head_serial < u64::MAX, "checkpoint serial overflow");
+        Chain {
+            blocks: Vec::new(),
+            base: head_serial + 1,
+            anchor: Some(head_hash),
             tx_index: fx_map(),
             b_limit,
         }
@@ -124,42 +314,89 @@ impl Chain {
         self.b_limit
     }
 
-    /// Height = serial of the latest block (genesis is height 0).
+    /// Serial of the first block this chain holds (0 unless anchored).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The certified hash of the block below `base`, for anchored chains.
+    pub fn anchor(&self) -> Option<Digest> {
+        self.anchor
+    }
+
+    /// Whether this chain is anchored at a checkpoint rather than rooted
+    /// at genesis.
+    pub fn is_anchored(&self) -> bool {
+        self.base > 0
+    }
+
+    /// Height = serial of the latest block (genesis is height 0). For a
+    /// freshly anchored chain holding no blocks yet this is the certified
+    /// checkpoint serial, `base - 1`.
     pub fn height(&self) -> u64 {
-        self.blocks.len() as u64 - 1
+        self.base + self.blocks.len() as u64 - 1
+    }
+
+    /// The serial the next appended block must carry.
+    pub fn next_serial(&self) -> u64 {
+        self.base + self.blocks.len() as u64
     }
 
     /// The latest block.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an anchored chain that holds no blocks yet; use
+    /// [`head_hash`](Self::head_hash) or [`latest_opt`](Self::latest_opt)
+    /// where that state is reachable.
     pub fn latest(&self) -> &Block {
-        self.blocks.last().expect("chain always has genesis")
+        self.blocks.last().expect("chain holds no blocks")
+    }
+
+    /// The latest block, or `None` for a freshly anchored chain.
+    pub fn latest_opt(&self) -> Option<&Block> {
+        self.blocks.last()
+    }
+
+    /// Hash of the block at [`height`](Self::height). Total even when the
+    /// chain holds no blocks: the anchor hash *is* the certified head.
+    pub fn head_hash(&self) -> Digest {
+        match self.blocks.last() {
+            Some(block) => block.hash(),
+            None => self.anchor.expect("empty chain is always anchored"),
+        }
     }
 
     /// The paper's `retrieve(s)`: the block with serial `s`, if present.
+    /// Blocks below an anchored chain's base are unavailable.
     pub fn retrieve(&self, serial: u64) -> Option<&Block> {
-        self.blocks.get(serial as usize)
+        let index = serial.checked_sub(self.base)?;
+        self.blocks.get(index as usize)
     }
 
-    /// Iterates over all blocks from genesis.
+    /// Iterates over all held blocks, lowest serial first (from genesis
+    /// unless anchored).
     pub fn iter(&self) -> impl Iterator<Item = &Block> {
         self.blocks.iter()
     }
 
     /// Appends a block after validating serial, hash chain, Merkle root and
-    /// size bound.
+    /// size bound. On a freshly anchored chain the hash-chain check is
+    /// against the anchor digest.
     ///
     /// # Errors
     ///
     /// Returns a [`ChainError`] describing the violated invariant; the chain
     /// is unchanged on error.
     pub fn append(&mut self, block: Block) -> Result<(), ChainError> {
-        let expected = self.height() + 1;
+        let expected = self.next_serial();
         if block.serial != expected {
             return Err(ChainError::NonConsecutiveSerial {
                 expected,
                 got: block.serial,
             });
         }
-        if block.prev_hash != self.latest().hash() {
+        if block.prev_hash != self.head_hash() {
             return Err(ChainError::BrokenHashChain {
                 serial: block.serial,
             });
@@ -185,10 +422,10 @@ impl Chain {
         Ok(())
     }
 
-    /// Finds the first recording of a transaction.
+    /// Finds the first recording of a transaction among the held blocks.
     pub fn find_tx(&self, id: TxId) -> Option<(TxLocation, &BlockEntry)> {
         let loc = *self.tx_index.get(&id)?;
-        let entry = &self.blocks[loc.serial as usize].entries[loc.index];
+        let entry = &self.blocks[(loc.serial - self.base) as usize].entries[loc.index];
         Some((loc, entry))
     }
 
@@ -210,12 +447,13 @@ impl Chain {
     /// Rollback support for head-fork resolution during crash recovery:
     /// when two governors self-elect under message loss, the loser undoes
     /// its provisional head and re-pools the displaced entries. The
-    /// genesis block is never removed.
+    /// genesis block is never removed; an anchored chain can pop down to
+    /// its (quorum-certified, hence settled) anchor but no further.
     pub fn pop(&mut self) -> Option<Block> {
-        if self.blocks.len() <= 1 {
+        if self.base == 0 && self.blocks.len() <= 1 {
             return None;
         }
-        let block = self.blocks.pop().expect("length checked above");
+        let block = self.blocks.pop()?;
         // `append` only indexes first recordings, so every index entry
         // pointing at this serial was introduced by this block.
         self.tx_index.retain(|_, loc| loc.serial != block.serial);
@@ -223,8 +461,14 @@ impl Chain {
     }
 
     /// Full-chain integrity audit: rehashes every link and recomputes every
-    /// Merkle root. Returns the serial of the first bad block, if any.
+    /// Merkle root, including the link into the anchor. Returns the serial
+    /// of the first bad block, if any.
     pub fn audit(&self) -> Option<u64> {
+        if let (Some(anchor), Some(first)) = (self.anchor, self.blocks.first()) {
+            if first.prev_hash != anchor || !first.merkle_consistent() {
+                return Some(first.serial);
+            }
+        }
         for window in self.blocks.windows(2) {
             let (prev, next) = (&window[0], &window[1]);
             if next.serial != prev.serial + 1
@@ -245,15 +489,21 @@ impl Chain {
     /// Serializes the whole chain (genesis tag is implied by the genesis
     /// block itself) to canonical bytes for sync or offline audit.
     ///
-    /// The file ends with an authentication trailer — the hash of the
-    /// configuration and the chain head — so that *every* byte of the
-    /// export is either structural or hash-committed: the hash chain
-    /// covers all interior blocks, and the trailer pins the otherwise
-    /// free-floating head header and `b_limit`.
+    /// Layout: `b_limit u64 | base u64 | count u64 | [anchor digest iff
+    /// base > 0] | blocks | trailer`. The file ends with an authentication
+    /// trailer — the hash of the configuration, base, anchor and chain
+    /// head — so that *every* byte of the export is either structural or
+    /// hash-committed: the hash chain covers all interior blocks, and the
+    /// trailer pins the otherwise free-floating head header, anchor and
+    /// `b_limit`.
     pub fn export(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&(self.b_limit as u64).to_be_bytes());
+        out.extend_from_slice(&self.base.to_be_bytes());
         out.extend_from_slice(&(self.blocks.len() as u64).to_be_bytes());
+        if let Some(anchor) = self.anchor {
+            out.extend_from_slice(anchor.as_bytes());
+        }
         for block in &self.blocks {
             codec::encode_block(&mut out, block);
         }
@@ -261,11 +511,16 @@ impl Chain {
         out
     }
 
-    fn export_trailer(&self) -> prb_crypto::sha256::Digest {
+    fn export_trailer(&self) -> Digest {
         let mut h = prb_crypto::sha256::Sha256::new();
         h.update_field(b"prb-chain-export");
         h.update(&(self.b_limit as u64).to_be_bytes());
-        h.update_field(self.latest().hash().as_bytes());
+        h.update(&self.base.to_be_bytes());
+        match self.anchor {
+            Some(anchor) => h.update_field(anchor.as_bytes()),
+            None => h.update_field(&[]),
+        };
+        h.update_field(self.head_hash().as_bytes());
         h.finalize()
     }
 
@@ -276,48 +531,77 @@ impl Chain {
     ///
     /// # Errors
     ///
-    /// Returns a decode error description or the violated chain invariant.
-    pub fn import(bytes: &[u8]) -> Result<Self, String> {
-        if bytes.len() < 16 + 32 {
-            return Err("input shorter than header + trailer".into());
+    /// Returns an [`ImportError`] carrying the failing byte offset and
+    /// block serial where applicable.
+    pub fn import(bytes: &[u8]) -> Result<Self, ImportError> {
+        const HEADER: usize = 24;
+        if bytes.len() < HEADER + 32 {
+            return Err(ImportError::Truncated { len: bytes.len() });
         }
         let (body, trailer) = bytes.split_at(bytes.len() - 32);
-        let mut r = codec::Reader::new(body);
-        let header = &body[..16];
         // `b_limit` arrives as a u64 from untrusted bytes; a plain
         // `as usize` cast would silently truncate on 32-bit targets and
         // turn an absurd bound into a small one.
-        let b_limit: usize = u64::from_be_bytes(header[..8].try_into().expect("8 bytes"))
+        let b_limit: usize = u64::from_be_bytes(body[..8].try_into().expect("8 bytes"))
             .try_into()
-            .map_err(|_| "b_limit field exceeds the platform word size".to_string())?;
-        let count = u64::from_be_bytes(header[8..16].try_into().expect("8 bytes"));
-        // Skip the header in the reader.
-        r.skip(16).expect("length checked above");
-        let mut blocks = Vec::new();
-        for i in 0..count {
-            blocks.push(codec::decode_block(&mut r).map_err(|e| format!("block {i}: {e}"))?);
+            .map_err(|_| ImportError::BLimitOverflow)?;
+        let base = u64::from_be_bytes(body[8..16].try_into().expect("8 bytes"));
+        let count = u64::from_be_bytes(body[16..24].try_into().expect("8 bytes"));
+        let mut r = codec::Reader::new(body);
+        r.skip(HEADER).expect("length checked above");
+        let mut chain = if base > 0 {
+            let anchor = r.digest().map_err(|_| ImportError::MissingAnchor)?;
+            Chain {
+                blocks: Vec::new(),
+                base,
+                anchor: Some(anchor),
+                tx_index: fx_map(),
+                b_limit,
+            }
+        } else {
+            if count == 0 {
+                return Err(ImportError::EmptyChain);
+            }
+            let genesis = codec::decode_block(&mut r).map_err(|source| ImportError::Decode {
+                serial: 0,
+                offset: HEADER,
+                source,
+            })?;
+            if genesis.serial != 0 {
+                return Err(ImportError::NotGenesis {
+                    serial: genesis.serial,
+                });
+            }
+            Chain {
+                blocks: vec![genesis],
+                base: 0,
+                anchor: None,
+                tx_index: fx_map(),
+                b_limit,
+            }
+        };
+        while chain.blocks.len() < count as usize {
+            let offset = body.len() - r.remaining();
+            let serial = chain.next_serial();
+            let block = codec::decode_block(&mut r).map_err(|source| ImportError::Decode {
+                serial,
+                offset,
+                source,
+            })?;
+            let serial = block.serial;
+            chain.append(block).map_err(|source| ImportError::Invalid {
+                serial,
+                offset,
+                source,
+            })?;
         }
         if r.remaining() != 0 {
-            return Err("trailing bytes after chain".into());
-        }
-        let mut iter = blocks.into_iter();
-        let genesis = iter.next().ok_or("empty chain has no genesis")?;
-        if genesis.serial != 0 {
-            return Err("first block is not a genesis block".into());
-        }
-        let mut chain = Chain {
-            blocks: vec![genesis],
-            tx_index: fx_map(),
-            b_limit,
-        };
-        for block in iter {
-            let serial = block.serial;
-            chain
-                .append(block)
-                .map_err(|e| format!("block {serial}: {e}"))?;
+            return Err(ImportError::TrailingBytes {
+                offset: body.len() - r.remaining(),
+            });
         }
         if chain.export_trailer().as_bytes() != trailer {
-            return Err("authentication trailer mismatch: head or b_limit tampered".into());
+            return Err(ImportError::TrailerMismatch);
         }
         Ok(chain)
     }
@@ -353,7 +637,7 @@ mod tests {
         Block::build(
             chain.height() + 1,
             entries,
-            chain.latest().hash(),
+            chain.head_hash(),
             NodeId::governor(0),
             10,
         )
@@ -509,6 +793,89 @@ mod tests {
     }
 
     #[test]
+    fn anchored_chain_extends_from_checkpoint() {
+        // Build the "real" chain, then anchor a fresh replica at height 2
+        // as checkpoint adoption would and feed it the suffix.
+        let mut full = Chain::new(b"t", 100);
+        for i in 0..4 {
+            full.append(extend(&full, vec![entry(i, Verdict::CheckedValid)]))
+                .unwrap();
+        }
+        let head2 = full.retrieve(2).unwrap().hash();
+        let mut anchored = Chain::from_checkpoint(2, head2, 100);
+        assert!(anchored.is_anchored());
+        assert_eq!(anchored.height(), 2);
+        assert_eq!(anchored.next_serial(), 3);
+        assert_eq!(anchored.head_hash(), head2);
+        assert!(anchored.latest_opt().is_none());
+        assert_eq!(anchored.retrieve(2), None, "pre-anchor blocks unavailable");
+        assert_eq!(anchored.retrieve(0), None);
+
+        // A block that does not link into the anchor is rejected.
+        let mut wrong = full.retrieve(3).unwrap().clone();
+        wrong.prev_hash = prb_crypto::sha256::sha256(b"bogus");
+        assert_eq!(
+            anchored.append(wrong),
+            Err(ChainError::BrokenHashChain { serial: 3 })
+        );
+
+        anchored.append(full.retrieve(3).unwrap().clone()).unwrap();
+        anchored.append(full.retrieve(4).unwrap().clone()).unwrap();
+        assert_eq!(anchored.height(), 4);
+        assert_eq!(anchored.head_hash(), full.head_hash());
+        assert_eq!(anchored.audit(), None);
+        assert_eq!(
+            anchored.retrieve(4).unwrap().hash(),
+            full.retrieve(4).unwrap().hash()
+        );
+        // Suffix transactions are findable; pre-anchor ones are not held.
+        let tx3 = full.retrieve(3).unwrap().entries[0].tx.id();
+        assert_eq!(anchored.find_tx(tx3).unwrap().0.serial, 3);
+
+        // Pops unwind down to the anchor, never past it.
+        assert!(anchored.pop().is_some());
+        assert!(anchored.pop().is_some());
+        assert!(anchored.pop().is_none(), "anchor is the floor");
+        assert_eq!(anchored.height(), 2);
+        assert_eq!(anchored.head_hash(), head2);
+    }
+
+    #[test]
+    fn anchored_export_import_roundtrips() {
+        let mut full = Chain::new(b"t", 100);
+        for i in 0..4 {
+            full.append(extend(&full, vec![entry(i, Verdict::CheckedValid)]))
+                .unwrap();
+        }
+        let mut anchored = Chain::from_checkpoint(2, full.retrieve(2).unwrap().hash(), 100);
+        // Empty anchored chain round-trips (a node that adopted a
+        // checkpoint but crashed before the first suffix block arrived).
+        let empty = anchored.export();
+        let back = Chain::import(&empty).unwrap();
+        assert_eq!(back.export(), empty);
+        assert_eq!(back.height(), 2);
+        assert_eq!(back.head_hash(), anchored.head_hash());
+
+        anchored.append(full.retrieve(3).unwrap().clone()).unwrap();
+        anchored.append(full.retrieve(4).unwrap().clone()).unwrap();
+        let bytes = anchored.export();
+        let back = Chain::import(&bytes).unwrap();
+        assert_eq!(back.export(), bytes);
+        assert_eq!(back.base(), 3);
+        assert_eq!(back.height(), 4);
+
+        // Every single-byte flip of the anchored export is detected.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x80;
+            assert!(
+                Chain::import(&bad).is_err(),
+                "flip of byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
     fn import_corruption_matrix_errors_without_panicking() {
         // A valid export, then every class of corruption the wire can
         // produce. Each mutation must yield Err — never a panic, never a
@@ -523,7 +890,7 @@ mod tests {
         assert!(Chain::import(&good).is_ok(), "baseline export must import");
 
         // Truncated body: every prefix shorter than the full export.
-        for cut in [0, 1, 15, 16, 47, 48, good.len() / 2, good.len() - 1] {
+        for cut in [0, 1, 15, 16, 23, 24, 55, 56, good.len() / 2, good.len() - 1] {
             assert!(
                 Chain::import(&good[..cut]).is_err(),
                 "truncation to {cut} bytes must fail"
@@ -532,7 +899,7 @@ mod tests {
 
         // Inflated count: header promises more blocks than the body holds.
         let mut inflated = good.clone();
-        inflated[8..16].copy_from_slice(&u64::MAX.to_be_bytes());
+        inflated[16..24].copy_from_slice(&u64::MAX.to_be_bytes());
         assert!(Chain::import(&inflated).is_err());
 
         // Oversized b_limit: u64::MAX either exceeds the platform word
@@ -541,6 +908,12 @@ mod tests {
         let mut oversized = good.clone();
         oversized[..8].copy_from_slice(&u64::MAX.to_be_bytes());
         assert!(Chain::import(&oversized).is_err());
+
+        // Nonzero base with no anchor bytes where the first block was: the
+        // digest read consumes block bytes, so decode or trailer must trip.
+        let mut rebased = good.clone();
+        rebased[8..16].copy_from_slice(&1u64.to_be_bytes());
+        assert!(Chain::import(&rebased).is_err());
 
         // Flipped trailer byte: the authentication trailer must reject.
         let mut flipped = good.clone();
@@ -579,6 +952,7 @@ mod tests {
         // plausible, so only the append replay can catch the duplicate.
         let mut out = Vec::new();
         out.extend_from_slice(&100u64.to_be_bytes());
+        out.extend_from_slice(&0u64.to_be_bytes());
         out.extend_from_slice(&3u64.to_be_bytes());
         for block in [chain.retrieve(0).unwrap(), &b1, &b1] {
             codec::encode_block(&mut out, block);
@@ -586,10 +960,50 @@ mod tests {
         let mut h = prb_crypto::sha256::Sha256::new();
         h.update_field(b"prb-chain-export");
         h.update(&100u64.to_be_bytes());
+        h.update(&0u64.to_be_bytes());
+        h.update_field(&[]);
         h.update_field(b1.hash().as_bytes());
         out.extend_from_slice(h.finalize().as_bytes());
         let err = Chain::import(&out).unwrap_err();
-        assert!(err.contains("expected serial 2"), "got: {err}");
+        assert_eq!(err.serial(), Some(1));
+        assert!(err.offset().is_some(), "replay errors carry an offset");
+        match err {
+            ImportError::Invalid {
+                source:
+                    ChainError::NonConsecutiveSerial {
+                        expected: 2,
+                        got: 1,
+                    },
+                ..
+            } => {}
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn import_error_pinpoints_offset_and_serial() {
+        let mut chain = Chain::new(b"t", 100);
+        for i in 0..3 {
+            chain
+                .append(extend(&chain, vec![entry(i, Verdict::CheckedValid)]))
+                .unwrap();
+        }
+        let good = chain.export();
+        // Cut the export mid-way through the last block: the decode error
+        // must name the serial the replay expected and an offset inside
+        // the body (past the 24-byte header).
+        let cut = good.len() - 40;
+        let err = Chain::import(&good[..cut]).unwrap_err();
+        match err {
+            ImportError::Decode { serial, offset, .. } => {
+                assert_eq!(serial, 3);
+                assert!(offset >= 24, "offset {offset} inside the header");
+                assert!(offset < cut);
+            }
+            ImportError::Truncated { .. } => panic!("cut leaves a plausible body"),
+            other => panic!("unexpected error: {other:?}"),
+        }
+        assert_eq!(err.kind(), "decode");
     }
 
     #[test]
@@ -625,5 +1039,13 @@ mod tests {
         assert!(ChainError::BrokenHashChain { serial: 3 }
             .to_string()
             .contains("block 3"));
+        let ie = ImportError::Invalid {
+            serial: 3,
+            offset: 99,
+            source: ChainError::BrokenHashChain { serial: 3 },
+        };
+        assert!(ie.to_string().contains("byte 99"));
+        assert_eq!(ie.kind(), "broken_hash_chain");
+        assert!(std::error::Error::source(&ie).is_some());
     }
 }

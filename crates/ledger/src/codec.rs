@@ -78,7 +78,12 @@ impl<'a> Reader<'a> {
         self.take(n).map(|_| ())
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+    /// Consumes and returns the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEnd`] when fewer remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.remaining() < n {
             return Err(DecodeError::UnexpectedEnd);
         }
@@ -87,23 +92,45 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
-    fn u8(&mut self) -> Result<u8, DecodeError> {
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEnd`] when none remain.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, DecodeError> {
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEnd`] when fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
         Ok(u32::from_be_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
-    fn u64(&mut self) -> Result<u64, DecodeError> {
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEnd`] when fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
         Ok(u64::from_be_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
 
-    fn bytes_field(&mut self) -> Result<&'a [u8], DecodeError> {
+    /// Reads a `u32` length prefix followed by that many bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::BadLength`] when the prefix overruns the
+    /// input, or [`DecodeError::UnexpectedEnd`] when the prefix itself is
+    /// cut short.
+    pub fn bytes_field(&mut self) -> Result<&'a [u8], DecodeError> {
         let len = self.u32()? as usize;
         if len > self.remaining() {
             return Err(DecodeError::BadLength);
@@ -111,7 +138,13 @@ impl<'a> Reader<'a> {
         self.take(len)
     }
 
-    fn digest(&mut self) -> Result<Digest, DecodeError> {
+    /// Reads a raw 32-byte SHA-256 digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEnd`] when fewer than 32 bytes
+    /// remain.
+    pub fn digest(&mut self) -> Result<Digest, DecodeError> {
         Digest::from_slice(self.take(32)?).ok_or(DecodeError::UnexpectedEnd)
     }
 }
@@ -144,7 +177,7 @@ fn decode_node_id(r: &mut Reader<'_>) -> Result<NodeId, DecodeError> {
 }
 
 /// Encodes a signature (canonical: tag byte + parts).
-pub(crate) fn encode_sig(out: &mut Vec<u8>, sig: &Sig) {
+pub fn encode_sig(out: &mut Vec<u8>, sig: &Sig) {
     match sig {
         Sig::Sim(s) => {
             out.push(0);
@@ -158,7 +191,12 @@ pub(crate) fn encode_sig(out: &mut Vec<u8>, sig: &Sig) {
     }
 }
 
-fn decode_sig(r: &mut Reader<'_>) -> Result<Sig, DecodeError> {
+/// Decodes a signature encoded with [`encode_sig`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncation or an unknown scheme tag.
+pub fn decode_sig(r: &mut Reader<'_>) -> Result<Sig, DecodeError> {
     match r.u8()? {
         0 => {
             let digest = r.digest()?;

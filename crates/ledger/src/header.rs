@@ -79,12 +79,17 @@ impl Block {
 #[derive(Clone)]
 pub struct HeaderChain {
     headers: Vec<BlockHeader>,
+    /// Serial of `headers[0]`; nonzero when anchored at a checkpoint.
+    base: u64,
+    /// Certified hash of the block at `base - 1`; present iff `base > 0`.
+    anchor: Option<Digest>,
 }
 
 impl fmt::Debug for HeaderChain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("HeaderChain")
             .field("height", &self.height())
+            .field("base", &self.base)
             .finish()
     }
 }
@@ -94,28 +99,71 @@ impl HeaderChain {
     pub fn new(chain_tag: &[u8]) -> Self {
         HeaderChain {
             headers: vec![Block::genesis(chain_tag).header()],
+            base: 0,
+            anchor: None,
         }
     }
 
-    /// Height (serial of the latest header).
+    /// A light chain anchored at a quorum-certified checkpoint: the caller
+    /// vouches that the block at `head_serial` hashes to `head_hash`, and
+    /// the chain then only needs the headers *after* the checkpoint — a
+    /// million-block ledger audits from a recent checkpoint in O(delta)
+    /// headers instead of O(chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_serial` is `u64::MAX`.
+    pub fn from_checkpoint(head_serial: u64, head_hash: Digest) -> Self {
+        assert!(head_serial < u64::MAX, "checkpoint serial overflow");
+        HeaderChain {
+            headers: Vec::new(),
+            base: head_serial + 1,
+            anchor: Some(head_hash),
+        }
+    }
+
+    /// Serial of the first held header (0 unless anchored).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Height (serial of the latest header; the certified checkpoint
+    /// serial for a freshly anchored chain).
     pub fn height(&self) -> u64 {
-        self.headers.len() as u64 - 1
+        self.base + self.headers.len() as u64 - 1
     }
 
     /// The latest header.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an anchored chain holding no headers yet; use
+    /// [`head_hash`](Self::head_hash) where that state is reachable.
     pub fn latest(&self) -> &BlockHeader {
-        self.headers.last().expect("genesis always present")
+        self.headers.last().expect("chain holds no headers")
     }
 
-    /// The header with serial `s`, if present.
+    /// Hash of the block at [`height`](Self::height); the anchor hash for
+    /// a freshly anchored chain.
+    pub fn head_hash(&self) -> Digest {
+        match self.headers.last() {
+            Some(header) => header.hash(),
+            None => self.anchor.expect("empty chain is always anchored"),
+        }
+    }
+
+    /// The header with serial `s`, if present. Headers below an anchored
+    /// chain's base are unavailable.
     pub fn retrieve(&self, serial: u64) -> Option<&BlockHeader> {
-        self.headers.get(serial as usize)
+        let index = serial.checked_sub(self.base)?;
+        self.headers.get(index as usize)
     }
 
     /// Appends a header after verifying serial continuity and the hash
     /// chain (the light-client analogue of [`crate::chain::Chain::append`];
     /// Merkle consistency of the body is checked lazily per inclusion
-    /// proof).
+    /// proof). On a freshly anchored chain the hash check is against the
+    /// anchor digest.
     ///
     /// # Errors
     ///
@@ -128,7 +176,7 @@ impl HeaderChain {
                 got: header.serial,
             });
         }
-        if header.prev_hash != self.latest().hash() {
+        if header.prev_hash != self.head_hash() {
             return Err(ChainError::BrokenHashChain {
                 serial: header.serial,
             });
@@ -290,6 +338,36 @@ mod tests {
         let mut tampered = block.entries[0].clone();
         tampered.verdict = Verdict::ArguedValid;
         assert!(!light.verify_inclusion(1, &proof, &tampered));
+    }
+
+    #[test]
+    fn anchored_light_chain_audits_suffix_only() {
+        let chain = full_chain(6, 3);
+        // A provider that trusts a checkpoint at height 4 only ever sees
+        // the suffix — O(delta) headers on a chain of any length.
+        let mut light = HeaderChain::from_checkpoint(4, chain.retrieve(4).unwrap().hash());
+        assert_eq!(light.height(), 4);
+        assert_eq!(light.base(), 5);
+        assert_eq!(light.head_hash(), chain.retrieve(4).unwrap().hash());
+        assert_eq!(light.retrieve(4), None, "pre-anchor headers unavailable");
+
+        // A suffix header that does not link into the anchor is rejected.
+        let mut forged = chain.retrieve(5).unwrap().header();
+        forged.prev_hash = prb_crypto::sha256::sha256(b"forged");
+        assert!(matches!(
+            light.append(forged),
+            Err(ChainError::BrokenHashChain { serial: 5 })
+        ));
+
+        light.sync_from(chain.iter()).unwrap();
+        assert_eq!(light.height(), 6);
+        assert_eq!(light.head_hash(), chain.head_hash());
+
+        // Inclusion proofs still verify against the suffix headers.
+        let block = chain.retrieve(6).unwrap();
+        let proof = block.prove_inclusion(1).unwrap();
+        assert!(light.verify_inclusion(6, &proof, &block.entries[1]));
+        assert!(!light.verify_inclusion(4, &proof, &block.entries[1]));
     }
 
     #[test]

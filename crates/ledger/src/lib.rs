@@ -50,6 +50,6 @@ pub mod oracle;
 pub mod transaction;
 
 pub use block::{Block, BlockEntry, Verdict};
-pub use chain::{Chain, ChainError};
+pub use chain::{Chain, ChainError, ImportError};
 pub use oracle::ValidityOracle;
 pub use transaction::{Label, LabeledTx, SignedTx, TxId, TxPayload};

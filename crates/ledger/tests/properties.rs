@@ -156,9 +156,10 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Export/import round-trips exactly, and flipping any byte past the
-    /// 16-byte file header (b_limit + block count) is rejected on import:
-    /// every content byte is either hash-committed or structural.
+    /// Export/import round-trips exactly, and flipping any byte of the
+    /// file — including the 24-byte header (b_limit + base + block count)
+    /// — is rejected on import: every content byte is either
+    /// hash-committed or structural.
     #[test]
     fn export_is_tamper_evident(
         n_blocks in 1u64..5,
@@ -199,6 +200,156 @@ proptest! {
             Chain::import(&tampered).is_err(),
             "flip of bit {bit} at byte {idx} (of {}) imported cleanly",
             bytes.len()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codec hardening: the canonical encoders round-trip exactly, and no
+// corruption of the byte stream — truncation at any boundary or a flip of
+// any single byte — can make a decoder panic. A corrupted stream either
+// errors or decodes to a value whose canonical re-encoding reproduces the
+// corrupted bytes exactly (the codec is injective, so nothing is silently
+// reinterpreted).
+// ---------------------------------------------------------------------
+
+fn label_strategy() -> impl Strategy<Value = Label> {
+    prop_oneof![Just(Label::Valid), Just(Label::Invalid)]
+}
+
+fn entry_strategy() -> impl Strategy<Value = BlockEntry> {
+    (
+        0u32..8,
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..24),
+        any::<u64>(),
+        verdict_strategy(),
+        proptest::collection::vec((0u32..8, label_strategy()), 0..4),
+    )
+        .prop_map(|(provider, nonce, data, ts, verdict, labels)| {
+            let key = CryptoScheme::sim().keypair_from_seed(format!("codec-{provider}").as_bytes());
+            BlockEntry {
+                tx: SignedTx::create(
+                    TxPayload {
+                        provider: NodeId::provider(provider),
+                        nonce,
+                        data,
+                    },
+                    ts,
+                    &key,
+                ),
+                verdict,
+                reported_labels: labels
+                    .into_iter()
+                    .map(|(c, l)| (NodeId::collector(c), l))
+                    .collect(),
+            }
+        })
+}
+
+fn block_strategy() -> impl Strategy<Value = Block> {
+    (
+        1u64..1000,
+        proptest::collection::vec(entry_strategy(), 0..5),
+        any::<u64>(),
+    )
+        .prop_map(|(serial, entries, ts)| {
+            Block::build(
+                serial,
+                entries,
+                prb_crypto::sha256::sha256(&serial.to_be_bytes()),
+                NodeId::governor((serial % 4) as u32),
+                ts,
+            )
+        })
+}
+
+/// Shared corruption sweep: decoding any strict prefix must not panic, and
+/// decoding any one-byte corruption must not panic; when a corrupted input
+/// decodes cleanly and is fully consumed, its canonical re-encoding must
+/// equal the corrupted input byte for byte.
+fn assert_corruption_immune<T>(
+    bytes: &[u8],
+    decode: impl Fn(&mut prb_ledger::codec::Reader<'_>) -> Result<T, prb_ledger::codec::DecodeError>,
+    encode: impl Fn(&T) -> Vec<u8>,
+) {
+    for cut in 0..bytes.len() {
+        let mut r = prb_ledger::codec::Reader::new(&bytes[..cut]);
+        match decode(&mut r) {
+            // A strict prefix can only decode cleanly if a trailing field
+            // shrank; full consumption plus canonical re-encode rules out
+            // silent reinterpretation.
+            Ok(v) if r.remaining() == 0 => assert_eq!(encode(&v), &bytes[..cut]),
+            Ok(_) | Err(_) => {}
+        }
+    }
+    for i in 0..bytes.len() {
+        let mut bad = bytes.to_vec();
+        bad[i] ^= 0x80;
+        let mut r = prb_ledger::codec::Reader::new(&bad);
+        match decode(&mut r) {
+            Ok(v) if r.remaining() == 0 => {
+                assert_eq!(encode(&v), bad, "byte {i} silently reinterpreted")
+            }
+            Ok(_) | Err(_) => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `encode_signed_tx`/`decode_signed_tx` round-trip exactly and are
+    /// immune to truncation and single-byte corruption.
+    #[test]
+    fn signed_tx_codec_roundtrips_and_survives_corruption(e in entry_strategy()) {
+        let tx = e.tx;
+        let mut bytes = Vec::new();
+        prb_ledger::codec::encode_signed_tx(&mut bytes, &tx);
+        let mut r = prb_ledger::codec::Reader::new(&bytes);
+        let back = prb_ledger::codec::decode_signed_tx(&mut r).expect("clean decode");
+        prop_assert_eq!(r.remaining(), 0);
+        prop_assert_eq!(&back, &tx);
+        prop_assert_eq!(back.id(), tx.id(), "tx id re-derived identically");
+        assert_corruption_immune(
+            &bytes,
+            prb_ledger::codec::decode_signed_tx,
+            |t| { let mut o = Vec::new(); prb_ledger::codec::encode_signed_tx(&mut o, t); o },
+        );
+    }
+
+    /// `encode_entry`/`decode_entry` round-trip exactly and are immune to
+    /// truncation and single-byte corruption.
+    #[test]
+    fn entry_codec_roundtrips_and_survives_corruption(e in entry_strategy()) {
+        let mut bytes = Vec::new();
+        prb_ledger::codec::encode_entry(&mut bytes, &e);
+        let mut r = prb_ledger::codec::Reader::new(&bytes);
+        let back = prb_ledger::codec::decode_entry(&mut r).expect("clean decode");
+        prop_assert_eq!(r.remaining(), 0);
+        prop_assert_eq!(&back, &e);
+        assert_corruption_immune(
+            &bytes,
+            prb_ledger::codec::decode_entry,
+            |t| { let mut o = Vec::new(); prb_ledger::codec::encode_entry(&mut o, t); o },
+        );
+    }
+
+    /// `encode_block`/`decode_block` round-trip exactly and are immune to
+    /// truncation and single-byte corruption.
+    #[test]
+    fn block_codec_roundtrips_and_survives_corruption(b in block_strategy()) {
+        let mut bytes = Vec::new();
+        prb_ledger::codec::encode_block(&mut bytes, &b);
+        let mut r = prb_ledger::codec::Reader::new(&bytes);
+        let back = prb_ledger::codec::decode_block(&mut r).expect("clean decode");
+        prop_assert_eq!(r.remaining(), 0);
+        prop_assert_eq!(&back, &b);
+        prop_assert_eq!(back.hash(), b.hash());
+        assert_corruption_immune(
+            &bytes,
+            prb_ledger::codec::decode_block,
+            |t| { let mut o = Vec::new(); prb_ledger::codec::encode_block(&mut o, t); o },
         );
     }
 }

@@ -91,6 +91,13 @@ impl ReputationTable {
         &self.params
     }
 
+    /// Restores a table from per-collector vectors (checkpoint
+    /// state-sync): the adopted vectors replace any locally accumulated
+    /// history.
+    pub fn from_vectors(vectors: Vec<ReputationVector>, params: ReputationParams) -> Self {
+        ReputationTable { vectors, params }
+    }
+
     /// The vector for collector `i`.
     ///
     /// # Panics

@@ -29,6 +29,15 @@ impl ReputationVector {
         }
     }
 
+    /// Restores a vector from snapshot parts (checkpoint state-sync).
+    pub fn from_parts(per_provider: Vec<f64>, misreport: i64, forge: i64) -> Self {
+        ReputationVector {
+            per_provider,
+            misreport,
+            forge,
+        }
+    }
+
     /// Number of provider slots (`s`).
     pub fn provider_slots(&self) -> usize {
         self.per_provider.len()

@@ -1,0 +1,158 @@
+//! Atomic persistence of the latest checkpoint certificate.
+//!
+//! The cert is the store's trust anchor after a reset-to-checkpoint, so
+//! it is written with full crash discipline: encode + trailing checksum
+//! into a temp file, fsync, rename over the live name, fsync the
+//! directory. A torn or tampered cert file fails its checksum and is
+//! treated as absent — the store then recovers from whatever segments
+//! remain, which is always safe (the cert is an optimization, the
+//! segments are the ground truth for a genesis-rooted store).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use prb_consensus::checkpoint::{CheckpointCert, CheckpointState, CollectorSnapshot};
+use prb_crypto::sha256::sha256;
+use prb_ledger::codec::{self, DecodeError, Reader};
+
+use crate::store::StoreError;
+
+/// File name of the persisted certificate inside the store directory.
+pub const CERT_FILE: &str = "checkpoint.cert";
+
+/// Canonical encoding of a checkpoint certificate (no trailing checksum).
+pub fn encode_cert(out: &mut Vec<u8>, cert: &CheckpointCert) {
+    let s = &cert.state;
+    out.extend_from_slice(&s.serial.to_be_bytes());
+    out.extend_from_slice(s.block_hash.as_bytes());
+    out.extend_from_slice(&(s.stakes.len() as u32).to_be_bytes());
+    for &v in &s.stakes {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+    for &v in &s.stake_nonces {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+    out.extend_from_slice(&(s.reputation.len() as u32).to_be_bytes());
+    for c in &s.reputation {
+        out.extend_from_slice(&(c.weights.len() as u32).to_be_bytes());
+        for &w in &c.weights {
+            out.extend_from_slice(&w.to_bits().to_be_bytes());
+        }
+        out.extend_from_slice(&c.misreport.to_be_bytes());
+        out.extend_from_slice(&c.forge.to_be_bytes());
+    }
+    out.extend_from_slice(&(cert.sigs.len() as u32).to_be_bytes());
+    for (g, sig) in &cert.sigs {
+        out.extend_from_slice(&g.to_be_bytes());
+        codec::encode_sig(out, sig);
+    }
+}
+
+/// Decodes a certificate encoded with [`encode_cert`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncation or malformed fields.
+pub fn decode_cert(r: &mut Reader<'_>) -> Result<CheckpointCert, DecodeError> {
+    let serial = r.u64()?;
+    let block_hash = r.digest()?;
+    let n_stakes = r.u32()? as usize;
+    if n_stakes > r.remaining() / 8 {
+        return Err(DecodeError::BadLength);
+    }
+    let mut stakes = Vec::with_capacity(n_stakes);
+    for _ in 0..n_stakes {
+        stakes.push(r.u64()?);
+    }
+    let mut stake_nonces = Vec::with_capacity(n_stakes);
+    for _ in 0..n_stakes {
+        stake_nonces.push(r.u64()?);
+    }
+    let n_rep = r.u32()? as usize;
+    if n_rep > r.remaining() / 20 {
+        return Err(DecodeError::BadLength);
+    }
+    let mut reputation = Vec::with_capacity(n_rep);
+    for _ in 0..n_rep {
+        let n_w = r.u32()? as usize;
+        if n_w > r.remaining() / 8 {
+            return Err(DecodeError::BadLength);
+        }
+        let mut weights = Vec::with_capacity(n_w);
+        for _ in 0..n_w {
+            weights.push(f64::from_bits(r.u64()?));
+        }
+        let misreport = r.u64()? as i64;
+        let forge = r.u64()? as i64;
+        reputation.push(CollectorSnapshot {
+            weights,
+            misreport,
+            forge,
+        });
+    }
+    let n_sigs = r.u32()? as usize;
+    if n_sigs > r.remaining() / 5 {
+        return Err(DecodeError::BadLength);
+    }
+    let mut sigs = Vec::with_capacity(n_sigs);
+    for _ in 0..n_sigs {
+        let g = r.u32()?;
+        sigs.push((g, codec::decode_sig(r)?));
+    }
+    Ok(CheckpointCert {
+        state: CheckpointState {
+            serial,
+            block_hash,
+            stakes,
+            stake_nonces,
+            reputation,
+        },
+        sigs,
+    })
+}
+
+/// Atomically persists `cert` to `dir/checkpoint.cert`.
+pub fn save(dir: &Path, cert: &CheckpointCert) -> Result<(), StoreError> {
+    let mut bytes = Vec::new();
+    encode_cert(&mut bytes, cert);
+    let checksum = sha256(&bytes);
+    bytes.extend_from_slice(checksum.as_bytes());
+    let tmp: PathBuf = dir.join("checkpoint.cert.tmp");
+    let live: PathBuf = dir.join(CERT_FILE);
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)?;
+    file.write_all(&bytes)?;
+    file.sync_data()?;
+    drop(file);
+    std::fs::rename(&tmp, &live)?;
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// Loads the persisted certificate, if a valid one exists. Any torn,
+/// truncated or tampered file is reported as `None` — never an error and
+/// never a panic.
+pub fn load(dir: &Path) -> Option<CheckpointCert> {
+    let mut bytes = Vec::new();
+    File::open(dir.join(CERT_FILE))
+        .ok()?
+        .read_to_end(&mut bytes)
+        .ok()?;
+    if bytes.len() < 32 {
+        return None;
+    }
+    let (body, checksum) = bytes.split_at(bytes.len() - 32);
+    if sha256(body).as_bytes() != checksum {
+        return None;
+    }
+    let mut r = Reader::new(body);
+    let cert = decode_cert(&mut r).ok()?;
+    if r.remaining() != 0 {
+        return None;
+    }
+    Some(cert)
+}

@@ -16,6 +16,7 @@
 //! | [`ledger`] | transactions, blocks, hash-chained ledger, validity oracle |
 //! | [`reputation`] | reputation vectors, RWM, screening math, revenue |
 //! | [`consensus`] | PoS-VRF election, stake blocks, PBFT/rotation baselines |
+//! | [`store`] | durable crash-safe block store with checkpoint certificates |
 //! | [`core`] | the protocol: roles, Algorithms 1–3, argue, simulation driver |
 //! | [`workload`] | car-sharing and insurance scenarios, adversary mixes |
 //!
@@ -43,4 +44,5 @@ pub use prb_ledger as ledger;
 pub use prb_net as net;
 pub use prb_obs as obs;
 pub use prb_reputation as reputation;
+pub use prb_store as store;
 pub use prb_workload as workload;
