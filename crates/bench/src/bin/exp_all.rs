@@ -148,6 +148,14 @@ fn main() {
                 vec!["--bench-out", "BENCH_persist.json"]
             },
         ),
+        (
+            "exp_churn",
+            if quick {
+                vec!["--quick", "--bench-out", "/tmp/BENCH_churn.json"]
+            } else {
+                vec!["--bench-out", "BENCH_churn.json"]
+            },
+        ),
     ];
 
     println!("# prb experiment suite — full run\n");

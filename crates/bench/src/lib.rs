@@ -207,6 +207,17 @@ impl Args {
     }
 }
 
+/// Applies the shared dynamic-membership flags — `--join-rate`,
+/// `--leave-rate`, `--bootstrap-rep`, `--decay-halflife` — onto `cfg`
+/// (E17). Absent or malformed values leave the config's own defaults in
+/// place, so a plain invocation keeps the static committee.
+pub fn apply_churn_args(args: &Args, cfg: &mut ProtocolConfig) {
+    cfg.join_rate = args.get_or("join-rate", cfg.join_rate);
+    cfg.leave_rate = args.get_or("leave-rate", cfg.leave_rate);
+    cfg.bootstrap_rep = args.get_or("bootstrap-rep", cfg.bootstrap_rep);
+    cfg.decay_halflife = args.get_or("decay-halflife", cfg.decay_halflife);
+}
+
 /// The crypto scheme chosen by `--crypto` (default `sim`).
 ///
 /// # Panics
@@ -439,6 +450,48 @@ mod tests {
         assert!(!run_traced(&untraced, 1, 0, || unreachable!(
             "must not build"
         )));
+    }
+
+    #[test]
+    fn churn_flags_wire_into_the_config() {
+        let args = Args::from_args(
+            [
+                "--join-rate",
+                "0.1",
+                "--leave-rate",
+                "0.05",
+                "--bootstrap-rep",
+                "0.6",
+                "--decay-halflife",
+                "4",
+            ]
+            .into_iter()
+            .map(String::from),
+        );
+        let mut cfg = ProtocolConfig::default();
+        assert!(!cfg.churn_enabled());
+        apply_churn_args(&args, &mut cfg);
+        assert_eq!(cfg.join_rate, 0.1);
+        assert_eq!(cfg.leave_rate, 0.05);
+        assert_eq!(cfg.bootstrap_rep, 0.6);
+        assert_eq!(cfg.decay_halflife, 4);
+        assert!(cfg.churn_enabled());
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn churn_flags_default_to_the_static_committee() {
+        let args = Args::from_args(["--rounds", "5"].into_iter().map(String::from));
+        let mut cfg = ProtocolConfig::default();
+        apply_churn_args(&args, &mut cfg);
+        assert!(!cfg.churn_enabled());
+        assert_eq!(cfg.bootstrap_rep, 1.0);
+        // A malformed value falls back to the config default instead of
+        // silently enabling churn.
+        let bad = Args::from_args(["--join-rate", "lots"].into_iter().map(String::from));
+        apply_churn_args(&bad, &mut cfg);
+        assert_eq!(cfg.join_rate, 0.0);
+        assert!(!cfg.churn_enabled());
     }
 
     #[test]

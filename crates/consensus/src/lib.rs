@@ -19,6 +19,9 @@
 //! - [`checkpoint`] — quorum-signed checkpoints of the chain head, stake
 //!   vector and reputation table, backing O(delta) state-sync and durable
 //!   restart (E16),
+//! - [`membership`] — dynamic membership: quorum-certified
+//!   join/leave/evict transitions and the [`membership::EpochLog`] that
+//!   sizes quorums by the committee epoch at a given serial (E17),
 //! - [`round_robin`] — deterministic rotation schedules,
 //! - [`rotation`] — the executable rotating-leader replication protocol
 //!   (propose + ≥2/3 votes, crashed leaders skipped by timeout),
@@ -57,6 +60,7 @@
 pub mod checkpoint;
 pub mod election;
 pub mod evidence;
+pub mod membership;
 pub mod pbft;
 pub mod pipeline;
 pub mod rotation;
@@ -68,6 +72,9 @@ pub mod verify_pool;
 pub use checkpoint::{CheckpointCert, CheckpointShare, CheckpointState, CollectorSnapshot};
 pub use election::{elect, elect_excluding, elect_with_pool, ElectionClaim, ElectionResult};
 pub use evidence::{EquivocationEvidence, SignedHeader};
+pub use membership::{
+    EpochLog, MemberRole, MembershipAction, MembershipCert, MembershipRequest, MembershipShare,
+};
 pub use pipeline::{DeferItem, DeferStats, DeferredValidator, Ticket};
 pub use stake::{StakeTable, StakeTransfer};
 pub use stake_block::{StakeBlock, StakeGovernor, StakeMsg};

@@ -60,6 +60,10 @@ pub struct CollectorNode {
     net_idx: u64,
     /// Ack-based retransmission for tx uploads (None = fire-and-forget).
     retry: Option<ReliableSender<ProtocolMsg>>,
+    /// Committee standing under dynamic membership (E17): an inactive
+    /// collector ignores provider traffic and uploads nothing until a
+    /// certified rejoin reactivates it.
+    active: bool,
 }
 
 impl CollectorNode {
@@ -97,6 +101,34 @@ impl CollectorNode {
             obs: Obs::off(),
             net_idx: 0,
             retry: None,
+            active: true,
+        }
+    }
+
+    /// Whether the collector is an active committee member.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Sets the collector's committee standing (applied by the driver
+    /// when a certified membership transition takes effect). Departing
+    /// clears the mempool and purges the retransmission queue — no
+    /// retry timer keeps chasing acks for a member that left. Returns
+    /// the number of purged in-flight sends.
+    pub fn set_active(&mut self, active: bool) -> usize {
+        self.active = active;
+        if active {
+            return 0;
+        }
+        self.mempool.clear();
+        let CollectorNode {
+            retry,
+            governor_nets,
+            ..
+        } = self;
+        match retry {
+            Some(r) => governor_nets.iter().map(|&g| r.purge_peer(g)).sum(),
+            None => 0,
         }
     }
 
@@ -180,6 +212,9 @@ impl CollectorNode {
                 self.drain_mempool(ctx);
             }
             ProtocolMsg::TxBroadcast { seq, tx } => {
+                if !self.active {
+                    return; // departed: out of the committee entirely
+                }
                 let provider_index = tx.payload.provider.index;
                 let released = self
                     .inbox

@@ -184,6 +184,25 @@ pub struct ProtocolConfig {
     /// Segment-file size threshold for the durable store (bytes). A
     /// segment rolls when the next record would cross this size.
     pub store_segment_bytes: u64,
+    /// Per-round probability that each *departed* collector rejoins
+    /// under driver-injected churn (E17). `0.0` (default) disables join
+    /// churn entirely — no membership messages, no extra RNG draws,
+    /// existing runs stay byte-identical.
+    pub join_rate: f64,
+    /// Per-round probability that each *live* collector leaves under
+    /// driver-injected churn (E17), subject to the driver's live-count
+    /// floor (strictly more than half stay). `0.0` (default) disables
+    /// leave churn.
+    pub leave_rate: f64,
+    /// Bootstrap reputation prior for newly admitted (or readmitted)
+    /// collectors: every per-provider screening weight starts at this
+    /// value instead of the incumbent 1.0. Must be in `(0, 1]`.
+    pub bootstrap_rep: f64,
+    /// Half-life, in silent rounds, of a non-uploading collector's
+    /// screening weights: each silent round multiplies them by
+    /// `0.5^(1/halflife)` (floored at the reputation `weight_floor`).
+    /// `0` (default) disables silence decay.
+    pub decay_halflife: u64,
     /// Seed for the deterministic fast hasher behind every hot-path map
     /// ([`crate::fasthash`]). Any value yields byte-identical ledgers —
     /// the `hash_seed_never_changes_the_ledger` regression proves map
@@ -236,6 +255,10 @@ impl Default for ProtocolConfig {
             pending_capacity: 65536,
             retry_capacity: 65536,
             checkpoint_interval: 0,
+            join_rate: 0.0,
+            leave_rate: 0.0,
+            bootstrap_rep: 1.0,
+            decay_halflife: 0,
             store_dir: None,
             store_segment_bytes: 1 << 20,
             hash_seed: 0,
@@ -330,6 +353,27 @@ impl ProtocolConfig {
         if self.retry_capacity == 0 {
             return Err("retry_capacity must be positive".into());
         }
+        if !(self.join_rate.is_finite() && self.join_rate >= 0.0) {
+            return Err(format!(
+                "join_rate must be finite and >= 0, got {}",
+                self.join_rate
+            ));
+        }
+        if !(self.leave_rate.is_finite() && self.leave_rate >= 0.0) {
+            return Err(format!(
+                "leave_rate must be finite and >= 0, got {}",
+                self.leave_rate
+            ));
+        }
+        if !(self.bootstrap_rep.is_finite()
+            && self.bootstrap_rep > 0.0
+            && self.bootstrap_rep <= 1.0)
+        {
+            return Err(format!(
+                "bootstrap_rep must be in (0,1], got {}",
+                self.bootstrap_rep
+            ));
+        }
         if self.store_segment_bytes < 4096 {
             return Err("store_segment_bytes must be at least 4096".into());
         }
@@ -355,6 +399,25 @@ impl ProtocolConfig {
             prb_crypto::fxhash::DEFAULT_SEED
         } else {
             self.hash_seed
+        }
+    }
+
+    /// Whether any churn machinery is active: rate-driven joins/leaves
+    /// or silence decay. When `false` the membership subsystem sends no
+    /// messages and draws no randomness — existing runs are preserved
+    /// byte-for-byte.
+    pub fn churn_enabled(&self) -> bool {
+        self.join_rate > 0.0 || self.leave_rate > 0.0 || self.decay_halflife > 0
+    }
+
+    /// The per-silent-round decay factor implied by
+    /// [`decay_halflife`](Self::decay_halflife): `0.5^(1/halflife)`, or
+    /// `None` when decay is disabled.
+    pub fn decay_factor(&self) -> Option<f64> {
+        if self.decay_halflife == 0 {
+            None
+        } else {
+            Some(0.5f64.powf(1.0 / self.decay_halflife as f64))
         }
     }
 
@@ -535,6 +598,42 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(cfg.resolved_hash_seed(), 7);
+    }
+
+    #[test]
+    fn churn_fields_validated_and_gate_correctly() {
+        let cfg = ProtocolConfig::default();
+        assert!(!cfg.churn_enabled(), "defaults must disable churn");
+        assert_eq!(cfg.decay_factor(), None);
+        for patch in [
+            |c: &mut ProtocolConfig| c.join_rate = -0.1,
+            |c: &mut ProtocolConfig| c.join_rate = f64::NAN,
+            |c: &mut ProtocolConfig| c.leave_rate = -1.0,
+            |c: &mut ProtocolConfig| c.bootstrap_rep = 0.0,
+            |c: &mut ProtocolConfig| c.bootstrap_rep = 1.5,
+            |c: &mut ProtocolConfig| c.bootstrap_rep = f64::NAN,
+        ] {
+            let mut cfg = ProtocolConfig::default();
+            patch(&mut cfg);
+            assert!(cfg.validate().is_err());
+        }
+        let cfg = ProtocolConfig {
+            join_rate: 0.5,
+            leave_rate: 0.25,
+            bootstrap_rep: 0.5,
+            decay_halflife: 4,
+            ..Default::default()
+        };
+        cfg.validate().unwrap();
+        assert!(cfg.churn_enabled());
+        let f = cfg.decay_factor().unwrap();
+        assert!((f.powi(4) - 0.5).abs() < 1e-12, "4 rounds halve the weight");
+        // Decay alone also counts as churn (it changes reputations).
+        let cfg = ProtocolConfig {
+            decay_halflife: 8,
+            ..Default::default()
+        };
+        assert!(cfg.churn_enabled());
     }
 
     #[test]

@@ -23,6 +23,9 @@ use prb_consensus::checkpoint::{
 };
 use prb_consensus::election::{elect_excluding, ElectionClaim};
 use prb_consensus::evidence::{EquivocationEvidence, SignedHeader};
+use prb_consensus::membership::{
+    EpochLog, MemberRole, MembershipAction, MembershipCert, MembershipRequest, MembershipShare,
+};
 use prb_consensus::pipeline::{DeferItem, DeferStats, DeferredValidator, Ticket};
 use prb_consensus::stake::{StakeTable, StakeTransfer};
 use prb_consensus::verify_pool::VerifyPool;
@@ -33,16 +36,17 @@ use prb_ledger::block::{Block, BlockEntry, Verdict};
 use prb_ledger::chain::{Chain, ChainError};
 use prb_ledger::oracle::ValidityOracle;
 use prb_ledger::transaction::{Label, LabeledTx, SignedTx, TxId, TxPayload};
+use prb_net::health::PeerHealth;
 use prb_net::message::{Envelope, NodeIdx, TimerId};
 use prb_net::order::{ChannelId, OrderedInbox};
 use prb_net::retry::{ReliableSender, RetryConfig};
 use prb_net::sim::Context;
-use prb_net::time::SimDuration;
+use prb_net::time::{SimDuration, SimTime};
 use prb_net::topology::Topology;
 use prb_obs::{phases, EventKind as ObsEvent, Obs, ObsHandle, Span};
 use prb_reputation::screening::{screen, Report};
 use prb_reputation::update::{RevealedBehaviour, RevealedReport};
-use prb_reputation::{revenue, ReputationTable, ReputationVector};
+use prb_reputation::{revenue, ReputationTable, ReputationVector, TransitiveView};
 use prb_store::{BlockStore, Recovered};
 
 use crate::behavior::{ByzantineMode, GovernorProfile};
@@ -74,6 +78,10 @@ struct TxRecord {
     ltx: LabeledTx,
     provider: u32,
     reports: Vec<(u32, Label)>,
+    /// Linked collectors that were not active members when the tx was
+    /// screened. They owed no report, so a later reveal must not charge
+    /// them a Missed loss — even if they have since (re)joined.
+    absent: Vec<u32>,
     outcome: Outcome,
 }
 
@@ -86,6 +94,14 @@ const SIG_MEMO_MAX: usize = 8192;
 /// Peer rotations before an anti-entropy sync round is abandoned (the
 /// next observed gap re-triggers it).
 const MAX_SYNC_ATTEMPTS: u32 = 8;
+
+/// Distinct membership requests whose shares may buffer concurrently;
+/// past this the governor ignores new digests (request-spam bound).
+const MEMBER_SHARE_BUFFERS: usize = 64;
+
+/// Mean-weight level at which a silence-decayed collector is proposed
+/// for eviction (the configured `weight_floor` when it is higher).
+const EVICTION_FLOOR: f64 = 1e-3;
 
 /// Anti-entropy recovery status: crashed → recovering → synced.
 ///
@@ -291,6 +307,40 @@ pub struct GovernorNode {
     /// Checkpoint serials committed during the current message dispatch,
     /// announced (share signed + broadcast) once the dispatch finishes.
     ckpt_to_announce: Vec<u64>,
+    /// Per-collector committee standing under dynamic membership:
+    /// `false` once a certified leave/evict applied. Uploads from
+    /// inactive collectors are dropped, they owe no reports at reveal,
+    /// and they leave the screening draw entirely.
+    collector_active: Vec<bool>,
+    /// Governors departed via certified membership transitions, sorted.
+    /// Distinct from `expelled` (equivocation convictions): departures
+    /// are voluntary or administrative and are epoch-logged so old
+    /// certificates still verify against the committee of their day.
+    gov_departed: Vec<u32>,
+    /// Committee epoch log: serial-stamped departures and readmissions.
+    /// Checkpoint-cert quorums are sized by `active_at(serial)` — the
+    /// membership epoch at the cert's serial — not today's headcount.
+    gov_epochs: EpochLog,
+    /// Membership shares buffered per request digest until quorum, with
+    /// the request itself once it has been seen.
+    member_shares: HashMap<Digest, (Option<MembershipRequest>, Vec<MembershipShare>)>,
+    /// Quorum-certified membership transitions, oldest first — the
+    /// auditable epoch record, persisted through the durable store.
+    member_certs: Vec<MembershipCert>,
+    /// Certified transitions awaiting their effective round.
+    member_to_apply: Vec<MembershipCert>,
+    /// Advisory EigenTrust-style gossip blend of peer opinions about
+    /// collector quality (never feeds consensus state).
+    transitive: TransitiveView,
+    /// Last-seen tracker over active collectors, driving silence decay
+    /// and eviction proposals (keyed by collector index).
+    health: PeerHealth,
+    /// Collectors this governor already proposed to evict (dedupe).
+    eviction_proposed: HashSet<u32>,
+    /// Tick of the most recent verified collector upload, any channel.
+    /// A round in which *nobody* spoke (drain, settle) is not evidence
+    /// of individual silence, so decay skips it.
+    last_upload_at: u64,
 }
 
 impl std::fmt::Debug for GovernorNode {
@@ -328,6 +378,10 @@ impl GovernorNode {
             exported: DeferStats::default(),
         });
         let profile = cfg.governor_profile(index);
+        let mut health = PeerHealth::new();
+        for c in 0..n {
+            health.watch(c, SimTime(0));
+        }
         // Per-governor hash seed: the configured run seed, decorrelated
         // per node so no two governors share bucket layouts. Iteration
         // order of these maps must never reach consensus state — the
@@ -342,6 +396,9 @@ impl GovernorNode {
             reputation: ReputationTable::new(n, s, cfg.reputation),
             chain: Chain::new(b"prb-chain", cfg.b_limit),
             metrics: GovernorMetrics::new(n),
+            gov_epochs: EpochLog::new(cfg.governors as usize),
+            // Advisory-only view: neutral 0.5 prior, moderate blend rate.
+            transitive: TransitiveView::new(n, 0.5, 0.3),
             cfg,
             topology,
             oracle,
@@ -393,6 +450,14 @@ impl GovernorNode {
             ckpt_pending: HashMap::new(),
             ckpt_shares: HashMap::new(),
             ckpt_to_announce: Vec::new(),
+            collector_active: vec![true; n],
+            gov_departed: Vec::new(),
+            member_shares: HashMap::new(),
+            member_certs: Vec::new(),
+            member_to_apply: Vec::new(),
+            health,
+            eviction_proposed: HashSet::new(),
+            last_upload_at: 0,
         }
     }
 
@@ -428,8 +493,20 @@ impl GovernorNode {
         if recovered.chain.height() > 0 || recovered.chain.is_anchored() {
             self.chain = recovered.chain;
         }
+        // Replay the persisted membership log first: the committee
+        // epochs must be restored before the checkpoint certificate is
+        // quorum-sized against them. The certified reputation state
+        // adopted below supersedes any bootstrap the replay performs.
+        let members = store.load_members();
+        if !members.is_empty() {
+            for cert in &members {
+                self.apply_member_cert(cert, 0);
+            }
+            self.member_certs = members;
+        }
         if let Some(cert) = recovered.cert {
-            if cert.verify(&self.governor_pks, &self.expelled).is_ok() {
+            let departed = self.gov_epochs.departed_at(cert.state.serial);
+            if cert.verify(&self.governor_pks, &departed).is_ok() {
                 self.adopt_cert_state(&cert);
                 self.latest_cert = Some(cert);
             }
@@ -553,7 +630,13 @@ impl GovernorNode {
     /// serial (transient reveal-timing divergence or a byzantine signer),
     /// otherwise buffer and attempt certificate assembly.
     fn on_checkpoint_share(&mut self, share: CheckpointShare) {
-        if self.cfg.checkpoint_interval == 0 || self.expelled.contains(&share.governor) {
+        if self.cfg.checkpoint_interval == 0
+            || self.expelled.contains(&share.governor)
+            || self
+                .gov_epochs
+                .departed_at(share.serial)
+                .contains(&share.governor)
+        {
             return;
         }
         if self
@@ -599,12 +682,29 @@ impl GovernorNode {
         let Some(buf) = self.ckpt_shares.get(&serial) else {
             return;
         };
+        let departed = self.gov_epochs.departed_at(serial);
         let mut sigs: Vec<(u32, Sig)> = buf
             .iter()
-            .filter(|s| s.state_digest == digest && !self.expelled.contains(&s.governor))
+            .filter(|s| {
+                s.state_digest == digest
+                    && !self.expelled.contains(&s.governor)
+                    && !departed.contains(&s.governor)
+            })
             .map(|s| (s.governor, s.sig.clone()))
             .collect();
-        let need = quorum(self.cfg.governors as usize - self.expelled.len());
+        // Quorum is sized by the membership epoch at this cert's serial
+        // — the committee as it stood when the shares were signed — less
+        // any equivocation expulsions the epoch log does not cover.
+        let extra_expelled = self
+            .expelled
+            .iter()
+            .filter(|g| !departed.contains(g))
+            .count();
+        let need = quorum(
+            self.gov_epochs
+                .active_at(serial)
+                .saturating_sub(extra_expelled),
+        );
         if sigs.len() < need {
             return;
         }
@@ -648,7 +748,12 @@ impl GovernorNode {
             }
             return;
         }
-        if let Err(e) = cert.verify(&self.governor_pks, &self.expelled) {
+        // Size the quorum by the membership epoch at the cert's serial:
+        // a cert formed before a departure (or expulsion this node
+        // witnessed later) still verifies, because its shares were
+        // signed by the committee of that day.
+        let departed = self.gov_epochs.departed_at(cert.state.serial);
+        if let Err(e) = cert.verify(&self.governor_pks, &departed) {
             self.metrics.checkpoints_rejected += 1;
             if self.obs.is_enabled() {
                 let key = match e {
@@ -683,6 +788,401 @@ impl GovernorNode {
         let _ = now;
         self.latest_cert = Some(cert);
         self.prune_checkpoint_buffers(serial);
+    }
+
+    // ── Dynamic membership (E17) ─────────────────────────────────────
+
+    /// Governors out of the live committee: the union of equivocation
+    /// expulsions and certified departures, sorted.
+    fn excluded_governors(&self) -> Vec<u32> {
+        let mut out = self.expelled.clone();
+        for &g in &self.gov_departed {
+            if !out.contains(&g) {
+                out.push(g);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The subject verification key for a membership request, when the
+    /// subject index is in range for its tier.
+    fn member_pk(&self, role: MemberRole, member: u32) -> Option<&PublicKey> {
+        match role {
+            MemberRole::Collector => self.collector_pks.get(member as usize),
+            MemberRole::Governor => self.governor_pks.get(member as usize),
+        }
+    }
+
+    /// Whether this governor will endorse `req` with a share: in-range
+    /// subject, properly authorized, stake-backed when joining, in the
+    /// future, and consistent with the subject's current standing. An
+    /// expelled governor is never readmittable — its stake was slashed
+    /// on conviction.
+    fn membership_acceptable(&self, req: &MembershipRequest) -> bool {
+        let Some(pk) = self.member_pk(req.role, req.member) else {
+            return false;
+        };
+        if !req.authorized(pk) || req.effective_round <= self.round {
+            return false;
+        }
+        if req.role == MemberRole::Governor && self.expelled.contains(&req.member) {
+            return false;
+        }
+        let active = match req.role {
+            MemberRole::Collector => self
+                .collector_active
+                .get(req.member as usize)
+                .copied()
+                .unwrap_or(false),
+            MemberRole::Governor => !self.gov_departed.contains(&req.member),
+        };
+        match req.action {
+            MembershipAction::Join => req.bond >= 1 && !active,
+            MembershipAction::Leave | MembershipAction::Evict => req.bond == 0 && active,
+        }
+    }
+
+    /// A membership request arrived (peer relay or driver-injected):
+    /// validate it, endorse it with this governor's share, and broadcast
+    /// the share so the committee can assemble a certificate.
+    fn on_membership(&mut self, req: MembershipRequest, ctx: &mut Context<'_, ProtocolMsg>) {
+        if !self.cfg.churn_enabled() || !self.membership_acceptable(&req) {
+            return;
+        }
+        let digest = req.digest();
+        if self
+            .member_certs
+            .iter()
+            .any(|c| c.request.digest() == digest)
+        {
+            return; // already certified
+        }
+        if self.member_shares.len() >= MEMBER_SHARE_BUFFERS
+            && !self.member_shares.contains_key(&digest)
+        {
+            return; // bound the buffer against request spam
+        }
+        let entry = self.member_shares.entry(digest).or_default();
+        if entry.0.is_none() {
+            entry.0 = Some(req);
+        }
+        if !entry.1.iter().any(|s| s.governor == self.index) {
+            let share = MembershipShare::create(digest, self.index, &self.key);
+            entry.1.push(share.clone());
+            if self.obs.is_enabled() {
+                self.obs.metrics().inc("member.share_signed");
+            }
+            self.broadcast_governors(ctx, "member-share", 112, ProtocolMsg::MemberShare(share));
+        }
+        self.try_assemble_member_cert(digest);
+    }
+
+    /// A peer's endorsement share arrived: verify, buffer (one per
+    /// governor per digest), and attempt certificate assembly.
+    fn on_member_share(&mut self, share: MembershipShare) {
+        if !self.cfg.churn_enabled()
+            || self.expelled.contains(&share.governor)
+            || self.gov_departed.contains(&share.governor)
+            || !share.verify(&self.governor_pks)
+        {
+            return;
+        }
+        let digest = share.request_digest;
+        if self
+            .member_certs
+            .iter()
+            .any(|c| c.request.digest() == digest)
+        {
+            return;
+        }
+        if self.member_shares.len() >= MEMBER_SHARE_BUFFERS
+            && !self.member_shares.contains_key(&digest)
+        {
+            return;
+        }
+        let entry = self.member_shares.entry(digest).or_default();
+        if !entry.1.iter().any(|s| s.governor == share.governor) {
+            entry.1.push(share);
+        }
+        self.try_assemble_member_cert(digest);
+    }
+
+    /// Assembles a [`MembershipCert`] once a quorum of the currently
+    /// active committee has endorsed the request, persists the updated
+    /// log, and queues the transition for its effective round.
+    fn try_assemble_member_cert(&mut self, digest: Digest) {
+        let excluded = self.excluded_governors();
+        let need = quorum(self.cfg.governors as usize - excluded.len());
+        let (req, sigs) = {
+            let Some((Some(req), shares)) = self.member_shares.get(&digest) else {
+                return;
+            };
+            let mut sigs: Vec<(u32, Sig)> = shares
+                .iter()
+                .filter(|s| !excluded.contains(&s.governor))
+                .map(|s| (s.governor, s.sig.clone()))
+                .collect();
+            if sigs.len() < need {
+                return;
+            }
+            sigs.sort_by_key(|(g, _)| *g);
+            (req.clone(), sigs)
+        };
+        self.member_shares.remove(&digest);
+        let cert = MembershipCert { request: req, sigs };
+        self.member_certs.push(cert.clone());
+        self.member_to_apply.push(cert);
+        self.metrics.member_certs_formed += 1;
+        if self.obs.is_enabled() {
+            self.obs.metrics().inc("member.cert_formed");
+        }
+        if let Some(store) = &mut self.store {
+            store
+                .save_members(&self.member_certs)
+                .expect("durable store must persist the membership log");
+        }
+    }
+
+    /// Applies every certified transition whose effective round has
+    /// arrived, in an order every governor derives identically.
+    fn apply_due_members(&mut self, round: u64, now: u64) {
+        if self.member_to_apply.is_empty() {
+            return;
+        }
+        let mut due = Vec::new();
+        let mut later = Vec::new();
+        for cert in std::mem::take(&mut self.member_to_apply) {
+            if cert.request.effective_round <= round {
+                due.push(cert);
+            } else {
+                later.push(cert);
+            }
+        }
+        self.member_to_apply = later;
+        due.sort_by_key(|c| {
+            let r = &c.request;
+            (r.effective_round, r.role, r.member, r.action)
+        });
+        for cert in due {
+            self.apply_member_cert(&cert, now);
+        }
+    }
+
+    /// Applies one certified transition to the local committee view.
+    /// Also replays the persisted membership log on restart (`now = 0`).
+    fn apply_member_cert(&mut self, cert: &MembershipCert, now: u64) {
+        let req = &cert.request;
+        let member = req.member;
+        match (req.role, req.action) {
+            (MemberRole::Collector, MembershipAction::Join) => {
+                let c = member as usize;
+                if c < self.collector_active.len() && !self.collector_active[c] {
+                    self.collector_active[c] = true;
+                    // Newcomers start from the configured prior, not any
+                    // stale pre-departure score.
+                    self.reputation
+                        .bootstrap_collector(c, self.cfg.bootstrap_rep);
+                    self.health.watch(c, SimTime(now));
+                    self.eviction_proposed.remove(&member);
+                }
+            }
+            (MemberRole::Collector, MembershipAction::Leave | MembershipAction::Evict) => {
+                let c = member as usize;
+                if c < self.collector_active.len() && self.collector_active[c] {
+                    self.collector_active[c] = false;
+                    self.health.unwatch(c);
+                    let peer = self.topology.params().providers as usize + c;
+                    if let Some(r) = &mut self.retry {
+                        r.purge_peer(peer);
+                    }
+                }
+            }
+            (MemberRole::Governor, MembershipAction::Leave | MembershipAction::Evict) => {
+                if !self.gov_departed.contains(&member) {
+                    self.gov_departed.push(member);
+                    self.gov_departed.sort_unstable();
+                    self.gov_epochs
+                        .record_departure(member, req.effective_round);
+                    self.claims.retain(|c| c.governor != member);
+                    self.transitive.purge_reporter(member);
+                    let peer = self.governor_base + member as usize;
+                    if let Some(r) = &mut self.retry {
+                        r.purge_peer(peer);
+                    }
+                }
+            }
+            (MemberRole::Governor, MembershipAction::Join) => {
+                if let Some(pos) = self.gov_departed.iter().position(|&g| g == member) {
+                    self.gov_departed.remove(pos);
+                    self.gov_epochs
+                        .record_readmission(member, req.effective_round);
+                }
+            }
+        }
+        self.metrics.member_applied += 1;
+        if self.obs.is_enabled() {
+            self.obs.metrics().inc("member.applied");
+        }
+    }
+
+    /// First-hand opinion of each collector: the mean of its screening
+    /// weights, clamped to `[0, 1]`.
+    fn first_hand_opinions(&self) -> Vec<f64> {
+        (0..self.reputation.collector_count())
+            .map(|c| {
+                let w = self.reputation.collector(c).weights();
+                let mean = w.iter().sum::<f64>() / w.len().max(1) as f64;
+                mean.clamp(0.0, 1.0)
+            })
+            .collect()
+    }
+
+    /// Folds a peer's advisory reputation gossip into the transitive
+    /// view, weighted by that reporter's earned trust (EigenTrust-style;
+    /// never touches consensus state).
+    fn on_rep_gossip(&mut self, reporter: u32, scores: Vec<u64>) {
+        if !self.cfg.churn_enabled()
+            || reporter == self.index
+            || reporter as usize >= self.cfg.governors as usize
+            || self.expelled.contains(&reporter)
+            || self.gov_departed.contains(&reporter)
+        {
+            return;
+        }
+        let claim: Vec<f64> = scores.iter().map(|b| f64::from_bits(*b)).collect();
+        let local = self.first_hand_opinions();
+        let merged = self.transitive.merge_claim(reporter, &claim, &local);
+        if self.obs.is_enabled() {
+            self.obs.metrics().inc(if merged {
+                "member.gossip_merged"
+            } else {
+                "member.gossip_rejected"
+            });
+        }
+    }
+
+    /// Round-boundary churn maintenance, the local half: decays the
+    /// screening weights of collectors silent for at least a full round
+    /// and returns those sunk to the eviction floor. Runs on every
+    /// profile (silent byzantine governors included) so the honest
+    /// committee's reputation tables stay in lockstep.
+    fn churn_decay(&mut self, now: u64) -> Vec<u32> {
+        let Some(factor) = self.cfg.decay_factor() else {
+            return Vec::new();
+        };
+        let threshold = SimDuration(self.cfg.round_ticks());
+        // A peer watched since genesis has had no chance to speak before
+        // the first round boundary — the first meaningful silence check
+        // is at the start of round 2, after one full round of uploads.
+        if threshold.0 == 0 || now < 2 * threshold.0 {
+            return Vec::new();
+        }
+        if now.saturating_sub(self.last_upload_at) >= threshold.0 {
+            // The whole committee went quiet for the window (drain or
+            // settle rounds): no discriminating silence signal.
+            return Vec::new();
+        }
+        let mut candidates = Vec::new();
+        for c in self.health.suspects(SimTime(now), threshold) {
+            if !self.collector_active.get(c).copied().unwrap_or(false) {
+                continue;
+            }
+            self.reputation.decay_collector(c, factor);
+            self.metrics.decay_events += 1;
+            if self.obs.is_enabled() {
+                self.obs.metrics().inc("member.decay");
+            }
+            let w = self.reputation.collector(c).weights();
+            let mean = w.iter().sum::<f64>() / w.len().max(1) as f64;
+            let floor = self.cfg.reputation.weight_floor.max(EVICTION_FLOOR);
+            if mean <= floor && !self.eviction_proposed.contains(&(c as u32)) {
+                candidates.push(c as u32);
+            }
+        }
+        candidates
+    }
+
+    /// The speaking half of churn maintenance: gossip this governor's
+    /// first-hand view and propose evicting collectors that decayed to
+    /// the floor. Silent and departed governors never reach this.
+    fn churn_speak(
+        &mut self,
+        candidates: Vec<u32>,
+        round: u64,
+        ctx: &mut Context<'_, ProtocolMsg>,
+    ) {
+        if !self.cfg.churn_enabled() {
+            return;
+        }
+        let scores: Vec<u64> = self
+            .first_hand_opinions()
+            .iter()
+            .map(|w| w.to_bits())
+            .collect();
+        let size = 16 + 8 * scores.len();
+        self.broadcast_governors(
+            ctx,
+            "rep-gossip",
+            size,
+            ProtocolMsg::RepGossip {
+                reporter: self.index,
+                scores,
+            },
+        );
+        for member in candidates {
+            self.eviction_proposed.insert(member);
+            let req = MembershipRequest::evict(MemberRole::Collector, member, round + 2);
+            self.metrics.evictions_proposed += 1;
+            if self.obs.is_enabled() {
+                self.obs.metrics().inc("member.evict_proposed");
+            }
+            self.broadcast_governors(
+                ctx,
+                "membership",
+                64,
+                ProtocolMsg::Membership(Box::new(req.clone())),
+            );
+            self.on_membership(req, ctx);
+        }
+    }
+
+    /// Whether collector `c` is currently an active committee member.
+    pub fn collector_is_active(&self, c: u32) -> bool {
+        self.collector_active
+            .get(c as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Indices of the currently active collectors, ascending.
+    pub fn active_collectors(&self) -> Vec<u32> {
+        self.collector_active
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a)
+            .map(|(c, _)| c as u32)
+            .collect()
+    }
+
+    /// Governors departed via certified membership transitions, sorted.
+    pub fn departed_governors(&self) -> &[u32] {
+        &self.gov_departed
+    }
+
+    /// The quorum-certified membership transition log, oldest first.
+    pub fn membership_certs(&self) -> &[MembershipCert] {
+        &self.member_certs
+    }
+
+    /// The committee epoch log (serial-stamped departures/readmissions).
+    pub fn epoch_log(&self) -> &EpochLog {
+        &self.gov_epochs
+    }
+
+    /// The advisory transitive-reputation view.
+    pub fn transitive_view(&self) -> &TransitiveView {
+        &self.transitive
     }
 
     /// Resolves the verification key for provider `p`: the per-provider
@@ -851,10 +1351,12 @@ impl GovernorNode {
                 // before counting toward the full-set threshold. Expelled
                 // governors are out of the committee entirely.
                 && !self.expelled.contains(&claim.governor)
+                && !self.gov_departed.contains(&claim.governor)
                 && !self.claims.iter().any(|c| c.governor == claim.governor) =>
             {
                 self.claims.push(claim);
-                if self.claims.len() == self.cfg.governors as usize - self.expelled.len() {
+                let live = self.cfg.governors as usize - self.excluded_governors().len();
+                if self.claims.len() == live {
                     self.run_election(ctx.now().ticks());
                 }
             }
@@ -889,6 +1391,9 @@ impl GovernorNode {
                 self.on_sync_response(blocks, head, cert, env.from, ctx);
             }
             ProtocolMsg::CheckpointShare(share) => self.on_checkpoint_share(share),
+            ProtocolMsg::Membership(req) => self.on_membership(*req, ctx),
+            ProtocolMsg::MemberShare(share) => self.on_member_share(share),
+            ProtocolMsg::RepGossip { reporter, scores } => self.on_rep_gossip(reporter, scores),
             ProtocolMsg::Argue { tx, .. } => self.on_argue(tx, ctx),
             ProtocolMsg::StakeTransfer(transfer) => self.on_stake_transfer(transfer, ctx),
             ProtocolMsg::Reveal { tx, valid } => self.on_reveal(tx, valid, ctx.now().ticks()),
@@ -934,6 +1439,15 @@ impl GovernorNode {
         self.claims.clear();
         self.leader = None;
         let now = ctx.now().ticks();
+        self.apply_due_members(round, now);
+        if self.gov_departed.contains(&self.index) {
+            // This governor's own certified departure took effect: stay
+            // dark — no claim, no gossip — while still following
+            // committed blocks so a readmission resumes from a warm
+            // chain.
+            return;
+        }
+        let evict_candidates = self.churn_decay(now);
         if self.obs.is_enabled() {
             self.obs
                 .observe("depth.gov_pending", self.pending.len() as u64);
@@ -957,6 +1471,7 @@ impl GovernorNode {
             self.metrics.silent_rounds += 1;
             return;
         }
+        self.churn_speak(evict_candidates, round, ctx);
         let t0 = self.obs.is_enabled().then(std::time::Instant::now);
         let claim = ElectionClaim::compute(
             b"prb-chain",
@@ -983,13 +1498,14 @@ impl GovernorNode {
 
     fn run_election(&mut self, now: u64) {
         let t0 = self.obs.is_enabled().then(std::time::Instant::now);
+        let excluded = self.excluded_governors();
         let (result, _rejected) = elect_excluding(
             b"prb-chain",
             self.round,
             &self.claims,
             self.stake_table.stakes(),
             &self.governor_pks,
-            &self.expelled,
+            &excluded,
             &self.verify_pool,
         );
         if let Some(t0) = t0 {
@@ -1021,6 +1537,16 @@ impl GovernorNode {
         if !ltx.verify_collector(collector_pk) {
             return; // not actually from that collector
         }
+        if !self
+            .collector_active
+            .get(collector as usize)
+            .copied()
+            .unwrap_or(true)
+        {
+            return; // certified departure: out of the screening set
+        }
+        self.health.record_seen(collector as usize, ctx.now());
+        self.last_upload_at = ctx.now().ticks();
         // The paper's verify(c, Tx): the provider must be linked with the
         // collector, and the inner provider signature must be genuine. The
         // structural half is checked here; the signature check is deferred
@@ -1623,6 +2149,19 @@ impl GovernorNode {
         if let Some(span) = self.screen_spans.remove(&id) {
             self.obs.end_span(span, now, self.net_idx());
         }
+        let absent: Vec<u32> = self
+            .topology
+            .collectors_of(provider)
+            .iter()
+            .copied()
+            .filter(|&c| {
+                !self
+                    .collector_active
+                    .get(c as usize)
+                    .copied()
+                    .unwrap_or(true)
+            })
+            .collect();
 
         if check {
             let valid = self.oracle.borrow().validate(id);
@@ -1665,6 +2204,7 @@ impl GovernorNode {
                     ltx: pending.ltx,
                     provider,
                     reports,
+                    absent: absent.clone(),
                     outcome: Outcome::Checked { valid },
                 },
             );
@@ -1690,6 +2230,7 @@ impl GovernorNode {
                     ltx: pending.ltx,
                     provider,
                     reports,
+                    absent,
                     outcome: Outcome::Unchecked {
                         recorded: drawn_label,
                         index,
@@ -2934,6 +3475,18 @@ impl GovernorNode {
             });
         }
         for &c in self.topology.collectors_of(provider) {
+            if !self
+                .collector_active
+                .get(c as usize)
+                .copied()
+                .unwrap_or(true)
+                || record.absent.contains(&c)
+            {
+                // Departed collectors owe no report; neither does a
+                // member that was absent when the tx was screened,
+                // however long ago it rejoined.
+                continue;
+            }
             if !reporters.contains(&c) {
                 let slot = self
                     .topology

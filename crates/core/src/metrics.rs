@@ -116,6 +116,20 @@ pub struct GovernorMetrics {
     /// tentpole: corrupted or byzantine sync payloads are visible, not
     /// silent).
     pub sync_rejected: HashMap<&'static str, u64>,
+    /// Membership certificates this governor assembled from a quorum of
+    /// shares (E17).
+    pub member_certs_formed: u64,
+    /// Certified membership transitions applied at their effective
+    /// round.
+    pub member_applied: u64,
+    /// Eviction proposals this governor originated (silent or
+    /// below-floor collectors).
+    pub evictions_proposed: u64,
+    /// Silence-decay steps applied to collectors' screening weights.
+    pub decay_events: u64,
+    /// Reveals per provider (denominator for per-collector quality
+    /// estimates under churn).
+    pub revealed_by_provider: HashMap<u32, u64>,
     /// Realized loss per provider.
     pub realized_loss_by_provider: HashMap<u32, f64>,
     /// Expected loss per provider.
@@ -144,6 +158,7 @@ impl GovernorMetrics {
         involvements: impl IntoIterator<Item = (u32, f64)>,
     ) {
         self.revealed += 1;
+        *self.revealed_by_provider.entry(provider).or_default() += 1;
         self.expected_loss += l_tx;
         *self.expected_loss_by_provider.entry(provider).or_default() += l_tx;
         if recorded_label_was_wrong {

@@ -8,6 +8,7 @@
 use prb_consensus::checkpoint::{CheckpointCert, CheckpointShare};
 use prb_consensus::election::ElectionClaim;
 use prb_consensus::evidence::{EquivocationEvidence, SignedHeader};
+use prb_consensus::membership::{MembershipRequest, MembershipShare};
 use prb_consensus::stake::StakeTransfer;
 use prb_ledger::block::{Block, Verdict};
 use prb_ledger::transaction::{LabeledTx, SignedTx, TxId};
@@ -145,6 +146,29 @@ pub enum ProtocolMsg {
     /// of shares over one state digest assembles a
     /// [`CheckpointCert`].
     CheckpointShare(CheckpointShare),
+    /// Governor → governor (or driver-injected): a membership
+    /// transition offered to the committee. Subject-signed for
+    /// join/leave, unsigned for an eviction proposal (the share quorum
+    /// authorizes it). Governors that accept sign and broadcast a
+    /// [`MembershipShare`].
+    Membership(Box<MembershipRequest>),
+    /// Governor → governor: a signed endorsement of a membership
+    /// request. A quorum of shares over one request digest forms a
+    /// [`prb_consensus::membership::MembershipCert`], applied by every
+    /// governor at the request's effective round.
+    MemberShare(MembershipShare),
+    /// Governor → governor: advisory EigenTrust-style reputation gossip
+    /// (E17). `scores[c]` is the reporter's first-hand opinion of
+    /// collector `c` in `[0,1]`, carried as `f64` bits for a hashable,
+    /// byte-exact wire form. Blended into the receiver's
+    /// [`prb_reputation::TransitiveView`] weighted by the reporter's
+    /// earned trust; never touches consensus state.
+    RepGossip {
+        /// The reporting governor's committee index.
+        reporter: u32,
+        /// Per-collector opinions as `f64::to_bits` values.
+        scores: Vec<u64>,
+    },
     /// Reliable-delivery envelope: `inner` carried under an ack token.
     /// The receiver acks `token` back to the sender on every copy (so
     /// retransmissions re-ack) and dispatches `inner` exactly as if it

@@ -35,7 +35,13 @@ pub struct ProviderNode {
     governor_nets: Vec<NodeIdx>,
     oracle: Rc<RefCell<ValidityOracle>>,
     nonce: u64,
-    seq: u64,
+    /// Per-link broadcast sequence numbers, aligned with
+    /// `collector_nets`. Each provider→collector channel is sender-
+    /// sequenced independently so a collector that departs and later
+    /// rejoins resumes at exactly the sequence number its ordered inbox
+    /// expects — a shared counter would leave a permanent gap and stall
+    /// the channel.
+    seqs: Vec<u64>,
     /// Ground truth of own transactions, by id.
     my_txs: HashMap<TxId, bool>,
     argued: HashSet<TxId>,
@@ -43,6 +49,9 @@ pub struct ProviderNode {
     argues_sent: u64,
     /// Ack-based retransmission for tx submissions (None = fire-and-forget).
     retry: Option<ReliableSender<ProtocolMsg>>,
+    /// Net indices of linked collectors currently departed (dynamic
+    /// membership, E17): fan-out skips them and no retries chase them.
+    dead_collectors: HashSet<NodeIdx>,
     obs: ObsHandle,
 }
 
@@ -56,6 +65,7 @@ impl ProviderNode {
         governor_nets: Vec<NodeIdx>,
         oracle: Rc<RefCell<ValidityOracle>>,
     ) -> Self {
+        let seqs = vec![0; collector_nets.len()];
         ProviderNode {
             index,
             key,
@@ -64,13 +74,30 @@ impl ProviderNode {
             governor_nets,
             oracle,
             nonce: 0,
-            seq: 0,
+            seqs,
             my_txs: HashMap::new(),
             argued: HashSet::new(),
             created: 0,
             argues_sent: 0,
             retry: None,
+            dead_collectors: HashSet::new(),
             obs: Obs::off(),
+        }
+    }
+
+    /// Marks the collector at net index `peer` departed (`false`) or
+    /// readmitted (`true`). Departing purges in-flight retransmissions
+    /// to it; returns the number of sends purged.
+    pub fn set_collector_active(&mut self, peer: NodeIdx, active: bool) -> usize {
+        if active {
+            self.dead_collectors.remove(&peer);
+            0
+        } else {
+            self.dead_collectors.insert(peer);
+            match &mut self.retry {
+                Some(r) => r.purge_peer(peer),
+                None => 0,
+            }
         }
     }
 
@@ -146,20 +173,31 @@ impl ProviderNode {
                             provider: self.index as u64,
                         },
                     );
-                    let seq = self.seq;
-                    self.seq += 1;
                     let size = tx.wire_size();
                     let ProviderNode {
                         retry,
                         collector_nets,
+                        dead_collectors,
+                        seqs,
                         ..
                     } = self;
-                    // Fan-out without the wasted clone: the last collector
-                    // takes the original transaction by move (r clones
-                    // become r−1 on the per-tx broadcast fast path).
+                    // Fan-out without the wasted clone: the last live
+                    // collector takes the original transaction by move (r
+                    // clones become r−1 on the per-tx broadcast fast
+                    // path). Departed collectors are skipped entirely.
+                    let Some(last) = collector_nets
+                        .iter()
+                        .rposition(|c| !dead_collectors.contains(c))
+                    else {
+                        continue; // every linked collector departed
+                    };
                     let mut tx = Some(tx);
-                    let last = collector_nets.len().saturating_sub(1);
                     for (i, &c) in collector_nets.iter().enumerate() {
+                        if dead_collectors.contains(&c) {
+                            continue;
+                        }
+                        let seq = seqs[i];
+                        seqs[i] += 1;
                         let payload = if i == last {
                             tx.take().expect("one payload per fan-out slot")
                         } else {

@@ -15,6 +15,7 @@ use std::rc::Rc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use prb_consensus::membership::{MemberRole, MembershipAction, MembershipRequest};
 use prb_consensus::stake::StakeTransfer;
 use prb_crypto::identity::{IdentityManager, NodeId};
 use prb_crypto::signer::{KeyPair, PublicKey};
@@ -146,6 +147,17 @@ impl SimulationBuilder {
     }
 }
 
+/// Driver-side record of a certified collector transition awaiting its
+/// effective round (mirrored from governor 0's certificate log so the
+/// collector/provider actors change behaviour in lockstep with the
+/// committee's view).
+#[derive(Clone, Copy, Debug)]
+struct PendingChurn {
+    effective_round: u64,
+    collector: u32,
+    activate: bool,
+}
+
 /// A fully wired protocol deployment.
 pub struct Simulation {
     cfg: ProtocolConfig,
@@ -154,6 +166,7 @@ pub struct Simulation {
     oracle: Rc<RefCell<ValidityOracle>>,
     workload: Box<dyn Workload>,
     governor_keys: Vec<KeyPair>,
+    collector_keys: Vec<KeyPair>,
     stake_nonces: Vec<u64>,
     driver_rng: StdRng,
     obs: ObsHandle,
@@ -166,6 +179,17 @@ pub struct Simulation {
     /// Transactions already scheduled for reveal (argue may race; the
     /// governor dedupes, this only avoids duplicate events).
     reveal_scheduled: HashSet<TxId>,
+    /// Driver's view of which collectors are live (E17 churn): departed
+    /// collectors generate no uploads and providers skip them.
+    collector_live: Vec<bool>,
+    /// Certified collector transitions not yet at their effective round.
+    pending_churn: Vec<PendingChurn>,
+    /// Cursor into governor 0's membership-certificate log (how many
+    /// certs the driver has already mirrored).
+    observed_member_certs: usize,
+    /// Collectors with a membership request in flight (drawn or
+    /// submitted, not yet applied) — suppresses duplicate draws.
+    churn_inflight: HashSet<u32>,
 }
 
 impl fmt::Debug for Simulation {
@@ -327,6 +351,8 @@ impl Simulation {
 
         let governor_keys: Vec<KeyPair> =
             governor_creds.iter().map(|c| c.keypair.clone()).collect();
+        let collector_keys: Vec<KeyPair> =
+            collector_creds.iter().map(|c| c.keypair.clone()).collect();
         let workload = builder.workload.unwrap_or_else(|| {
             Box::new(UniformWorkload {
                 invalid_rates: builder
@@ -362,6 +388,8 @@ impl Simulation {
             workload,
             stake_nonces: vec![0; governor_keys.len()],
             governor_keys,
+            collector_live: vec![true; collector_keys.len()],
+            collector_keys,
             driver_rng,
             obs: Obs::off(),
             crypto_stats_base: prb_crypto::stats::snapshot(),
@@ -369,6 +397,9 @@ impl Simulation {
             next_start: 0,
             observed_height,
             reveal_scheduled: HashSet::new(),
+            pending_churn: Vec::new(),
+            observed_member_certs: 0,
+            churn_inflight: HashSet::new(),
         })
     }
 
@@ -652,6 +683,207 @@ impl Simulation {
         Ok(())
     }
 
+    /// Submits a subject-signed membership request (join, voluntary
+    /// leave, or an externally scripted eviction) to every governor,
+    /// delivered at the start of the next round. The transition takes
+    /// effect two rounds later, once a governor quorum certifies it
+    /// (E17 dynamic membership).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range members, or when churn is
+    /// disabled in the config (governors drop membership traffic then).
+    pub fn submit_membership(
+        &mut self,
+        role: MemberRole,
+        member: u32,
+        action: MembershipAction,
+    ) -> Result<(), String> {
+        if !self.cfg.churn_enabled() {
+            return Err(
+                "membership churn is disabled (set a join/leave rate or decay half-life)".into(),
+            );
+        }
+        let in_range = match role {
+            MemberRole::Collector => member < self.cfg.collectors,
+            MemberRole::Governor => member < self.cfg.governors,
+        };
+        if !in_range {
+            return Err(format!("unknown {role:?} member {member}"));
+        }
+        let effective = self.round + 2;
+        let req = if action == MembershipAction::Evict {
+            MembershipRequest::evict(role, member, effective)
+        } else {
+            let bond = if action == MembershipAction::Join {
+                1
+            } else {
+                0
+            };
+            let key = match role {
+                MemberRole::Collector => &self.collector_keys[member as usize],
+                MemberRole::Governor => &self.governor_keys[member as usize],
+            };
+            MembershipRequest::create(role, member, action, bond, effective, key)
+        };
+        if role == MemberRole::Collector {
+            self.churn_inflight.insert(member);
+        }
+        let at = SimTime(self.next_start);
+        self.broadcast_membership(&req, at);
+        Ok(())
+    }
+
+    /// Driver's view of whether collector `c` is currently live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn collector_is_live(&self, c: u32) -> bool {
+        self.collector_live[c as usize]
+    }
+
+    /// Live collectors in ascending order (driver's view).
+    pub fn live_collectors(&self) -> Vec<u32> {
+        (0..self.cfg.collectors)
+            .filter(|&c| self.collector_live[c as usize])
+            .collect()
+    }
+
+    fn broadcast_membership(&mut self, req: &MembershipRequest, at: SimTime) {
+        let l = self.cfg.providers;
+        let n = self.cfg.collectors;
+        for g in 0..self.cfg.governors {
+            self.net.send_external(
+                net_index(l as u64 + n as u64 + g as u64),
+                "membership",
+                ProtocolMsg::Membership(Box::new(req.clone())),
+                at,
+            );
+        }
+    }
+
+    /// Pulls membership certificates governor 0 formed since the last
+    /// mirror into the driver's pending queue. The certificate log — not
+    /// the driver's own submissions — is the source of truth, so
+    /// governor-originated evictions flip the actors too.
+    fn mirror_member_certs(&mut self) {
+        let new: Vec<(MemberRole, u32, MembershipAction, u64)> = {
+            let certs = self.governor_node(0).membership_certs();
+            certs[self.observed_member_certs..]
+                .iter()
+                .map(|c| {
+                    (
+                        c.request.role,
+                        c.request.member,
+                        c.request.action,
+                        c.request.effective_round,
+                    )
+                })
+                .collect()
+        };
+        self.observed_member_certs += new.len();
+        for (role, member, action, effective_round) in new {
+            if role != MemberRole::Collector {
+                // Governor transitions live entirely inside the governor
+                // actors (quorums, election, gossip); no driver-side
+                // behaviour change.
+                continue;
+            }
+            self.pending_churn.push(PendingChurn {
+                effective_round,
+                collector: member,
+                activate: action == MembershipAction::Join,
+            });
+        }
+    }
+
+    /// Applies certified collector transitions due at `round`: flips the
+    /// collector actor (mempool cleared, retries purged) and tells every
+    /// linked provider to skip (or resume) the fan-out — the same round
+    /// boundary at which governors apply the certificate.
+    fn apply_due_churn(&mut self, round: u64) {
+        if self.pending_churn.is_empty() {
+            return;
+        }
+        let mut due: Vec<PendingChurn> = Vec::new();
+        self.pending_churn.retain(|p| {
+            if p.effective_round <= round {
+                due.push(*p);
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|p| (p.effective_round, p.collector, p.activate));
+        let topology = Rc::clone(&self.topology);
+        for p in due {
+            let c = p.collector;
+            self.collector_live[c as usize] = p.activate;
+            self.churn_inflight.remove(&c);
+            let c_net = self.collector_net_index(c);
+            if let NodeActor::Collector(node) = self.net.node_mut(c_net) {
+                node.set_active(p.activate);
+            }
+            for &prov in topology.providers_of(c) {
+                if let NodeActor::Provider(node) = self.net.node_mut(prov as NodeIdx) {
+                    node.set_collector_active(c_net, p.activate);
+                }
+            }
+        }
+    }
+
+    /// Draws this round's rate-driven join/leave requests from the
+    /// driver RNG: each live collector leaves with probability
+    /// `leave_rate`, each departed one rejoins with probability
+    /// `join_rate`. A live-count floor keeps strictly more than half the
+    /// collectors active so screening always has a quorum of experts.
+    fn draw_churn(&mut self, round: u64, at: SimTime) {
+        if self.cfg.join_rate <= 0.0 && self.cfg.leave_rate <= 0.0 {
+            return;
+        }
+        let n = self.cfg.collectors;
+        let floor = n as usize / 2 + 1;
+        let mut committed_live = (0..n)
+            .filter(|&c| self.collector_live[c as usize] && !self.churn_inflight.contains(&c))
+            .count();
+        for c in 0..n {
+            if self.churn_inflight.contains(&c) {
+                continue;
+            }
+            if self.collector_live[c as usize] {
+                if self.cfg.leave_rate > 0.0
+                    && committed_live > floor
+                    && self.driver_rng.gen::<f64>() < self.cfg.leave_rate
+                {
+                    committed_live -= 1;
+                    self.churn_inflight.insert(c);
+                    let req = MembershipRequest::create(
+                        MemberRole::Collector,
+                        c,
+                        MembershipAction::Leave,
+                        0,
+                        round + 2,
+                        &self.collector_keys[c as usize],
+                    );
+                    self.broadcast_membership(&req, at);
+                }
+            } else if self.cfg.join_rate > 0.0 && self.driver_rng.gen::<f64>() < self.cfg.join_rate
+            {
+                self.churn_inflight.insert(c);
+                let req = MembershipRequest::create(
+                    MemberRole::Collector,
+                    c,
+                    MembershipAction::Join,
+                    1,
+                    round + 2,
+                    &self.collector_keys[c as usize],
+                );
+                self.broadcast_membership(&req, at);
+            }
+        }
+    }
+
     /// Runs one full protocol round; returns what was committed.
     pub fn run_round(&mut self) -> RoundOutcome {
         // Wall-clock profile: `wall.round_ns` is the whole round;
@@ -668,6 +900,16 @@ impl Simulation {
         let l = self.cfg.providers;
         let n = self.cfg.collectors;
         let m = self.cfg.governors;
+
+        // E17 dynamic membership: mirror transitions the committee
+        // certified in earlier rounds, flip actors for the ones due now
+        // (the same boundary at which governors apply them), then draw
+        // this round's rate-driven join/leave requests.
+        if self.cfg.churn_enabled() {
+            self.mirror_member_certs();
+            self.apply_due_churn(round);
+            self.draw_churn(round, SimTime(t0));
+        }
 
         // Round start: governors run the election, collectors learn the
         // round number (for sleeper profiles).
@@ -826,6 +1068,12 @@ impl Simulation {
             let l = self.cfg.providers;
             let n = self.cfg.collectors;
             let m = self.cfg.governors;
+            // Drain rounds apply due membership transitions but draw no
+            // new churn (the workload is closed; the committee settles).
+            if self.cfg.churn_enabled() {
+                self.mirror_member_certs();
+                self.apply_due_churn(round);
+            }
             for g in 0..m {
                 self.net.send_external(
                     net_index(l as u64 + n as u64 + g as u64),

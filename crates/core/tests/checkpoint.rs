@@ -278,6 +278,95 @@ fn quorum_cert_offer_is_adopted_and_stale_or_forged_offers_never_roll_back() {
     );
 }
 
+/// Regression for checkpoint quorum sizing under dynamic membership:
+/// the quorum must be read from the membership epoch at the cert's
+/// *serial*, not from the current committee size. A governor that knows
+/// g3 left at round 4 must still adopt a cert from serial 2 carrying
+/// g3's signature (the committee of that day), must accept a
+/// post-departure cert signed by the surviving three alone, and must
+/// reject a post-departure cert that leans on the departed signature.
+#[test]
+fn cert_quorum_is_sized_by_the_epoch_at_its_serial() {
+    use prb_consensus::membership::{
+        MemberRole, MembershipAction, MembershipCert, MembershipRequest, MembershipShare,
+    };
+
+    let mut rig = CertRig::new();
+    // Certify governor 3's voluntary departure, effective round 4, and
+    // install it the way a real run would see it after a restart: through
+    // the persisted membership log that `set_store` replays.
+    let req = MembershipRequest::create(
+        MemberRole::Governor,
+        3,
+        MembershipAction::Leave,
+        0,
+        4,
+        &rig.keys[3],
+    );
+    let digest = req.digest();
+    let sigs = (0..3)
+        .map(|g| {
+            let share = MembershipShare::create(digest, g, &rig.keys[g as usize]);
+            (g, share.sig)
+        })
+        .collect();
+    let leave = MembershipCert { request: req, sigs };
+
+    let cfg = ProtocolConfig::default();
+    let dir = std::env::temp_dir().join(format!("prb-core-epoch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = prb_store::StoreOptions {
+        chain_tag: b"prb-chain".to_vec(),
+        b_limit: cfg.b_limit,
+        segment_bytes: cfg.store_segment_bytes,
+        fsync: prb_store::FsyncPolicy::Always,
+    };
+    let (mut store, recovered) = prb_store::BlockStore::open(&dir, opts).unwrap();
+    store.save_members(&[leave]).unwrap();
+    if let NodeActor::Governor(g) = rig.net.node_mut(0) {
+        g.set_store(store, recovered);
+        assert_eq!(g.departed_governors(), &[3]);
+    }
+
+    // A cert from serial 2 — before the departure epoch — signed by
+    // governors 1, 2 and 3: the committee of that day was all four, so
+    // g3's signature counts and quorum(4) = 3 is met. Sizing the quorum
+    // by the current three-member committee would skip g3 and reject
+    // this genuine certificate as under-quorum.
+    let old_epoch = rig.cert(2, &[1, 2, 3]);
+    rig.offer(old_epoch, 10);
+    {
+        let gov = rig.governor();
+        assert_eq!(
+            gov.metrics().checkpoints_rejected,
+            0,
+            "pre-departure cert rejected against the shrunken committee"
+        );
+        assert_eq!(gov.metrics().checkpoints_adopted, 1);
+        assert_eq!(gov.chain().height(), 2);
+    }
+
+    // After the departure epoch the quorum shrinks with the committee:
+    // the surviving three certify alone (quorum(3) = 3).
+    let survivors = rig.cert(6, &[0, 1, 2]);
+    rig.offer(survivors, 20);
+    assert_eq!(rig.governor().metrics().checkpoints_adopted, 2);
+    assert_eq!(rig.governor().chain().height(), 6);
+
+    // ...but a post-departure cert leaning on the departed signature is
+    // under-quorum: g3 no longer counts past its epoch boundary.
+    let leaning = rig.cert(8, &[1, 2, 3]);
+    rig.offer(leaning, 30);
+    assert_eq!(rig.governor().metrics().checkpoints_rejected, 1);
+    assert_eq!(
+        rig.governor().chain().height(),
+        6,
+        "rejected offer never moved the head"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn sim_restart_recovers_from_durable_store() {
     let dir = std::env::temp_dir().join(format!("prb-core-restart-{}", std::process::id()));

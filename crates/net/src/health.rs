@@ -1,0 +1,140 @@
+//! Peer-health tracking for membership under churn (E17).
+//!
+//! A governor deciding whether a member has gone *silent* needs a
+//! deterministic, clock-driven record of when each peer last showed
+//! signs of life. [`PeerHealth`] is that record: callers feed it
+//! `record_seen` on every authenticated message from a peer and ask
+//! `suspects` at round boundaries. Everything is driven by the caller's
+//! simulated clock — no wall time, no RNG — so two runs of the same
+//! schedule produce identical suspicion verdicts, and the eviction
+//! proposals built on them stay byte-reproducible.
+//!
+//! The tracker is policy-free: it reports *who is silent for how long*;
+//! the membership layer decides what silence threshold warrants a decay
+//! step or an eviction proposal.
+
+use std::collections::BTreeMap;
+
+use crate::message::NodeIdx;
+use crate::time::{SimDuration, SimTime};
+
+/// Deterministic last-seen tracking over a set of watched peers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PeerHealth {
+    last_seen: BTreeMap<NodeIdx, SimTime>,
+}
+
+impl PeerHealth {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        PeerHealth::default()
+    }
+
+    /// Starts (or restarts) watching `peer`, treating `now` as its last
+    /// sign of life — a freshly admitted member is not instantly silent.
+    pub fn watch(&mut self, peer: NodeIdx, now: SimTime) {
+        self.last_seen.insert(peer, now);
+    }
+
+    /// Stops watching `peer` (it left or was evicted). Idempotent.
+    pub fn unwatch(&mut self, peer: NodeIdx) {
+        self.last_seen.remove(&peer);
+    }
+
+    /// Whether `peer` is currently watched.
+    pub fn is_watched(&self, peer: NodeIdx) -> bool {
+        self.last_seen.contains_key(&peer)
+    }
+
+    /// Number of watched peers.
+    pub fn watched(&self) -> usize {
+        self.last_seen.len()
+    }
+
+    /// Records an authenticated sign of life from `peer` at `now`.
+    /// Ignored for unwatched peers (stale traffic from a departed node
+    /// must not resurrect it).
+    pub fn record_seen(&mut self, peer: NodeIdx, now: SimTime) {
+        if let Some(t) = self.last_seen.get_mut(&peer) {
+            if now.0 > t.0 {
+                *t = now;
+            }
+        }
+    }
+
+    /// How long `peer` has been silent as of `now`; `None` when not
+    /// watched.
+    pub fn silent_for(&self, peer: NodeIdx, now: SimTime) -> Option<SimDuration> {
+        self.last_seen
+            .get(&peer)
+            .map(|t| SimDuration(now.0.saturating_sub(t.0)))
+    }
+
+    /// The watched peers silent for at least `threshold` as of `now`,
+    /// in ascending index order (deterministic).
+    pub fn suspects(&self, now: SimTime, threshold: SimDuration) -> Vec<NodeIdx> {
+        self.last_seen
+            .iter()
+            .filter(|(_, t)| now.0.saturating_sub(t.0) >= threshold.0)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_watch_is_not_silent() {
+        let mut h = PeerHealth::new();
+        h.watch(3, SimTime(100));
+        assert_eq!(h.silent_for(3, SimTime(100)), Some(SimDuration(0)));
+        assert!(h.suspects(SimTime(100), SimDuration(1)).is_empty());
+    }
+
+    #[test]
+    fn silence_accumulates_and_seen_resets_it() {
+        let mut h = PeerHealth::new();
+        h.watch(1, SimTime(0));
+        h.watch(2, SimTime(0));
+        h.record_seen(1, SimTime(90));
+        assert_eq!(h.silent_for(1, SimTime(100)), Some(SimDuration(10)));
+        assert_eq!(h.silent_for(2, SimTime(100)), Some(SimDuration(100)));
+        assert_eq!(h.suspects(SimTime(100), SimDuration(50)), vec![2]);
+    }
+
+    #[test]
+    fn out_of_order_seen_never_moves_last_seen_backwards() {
+        let mut h = PeerHealth::new();
+        h.watch(1, SimTime(0));
+        h.record_seen(1, SimTime(80));
+        h.record_seen(1, SimTime(40)); // late-delivered older message
+        assert_eq!(h.silent_for(1, SimTime(100)), Some(SimDuration(20)));
+    }
+
+    #[test]
+    fn departed_peers_stay_gone() {
+        let mut h = PeerHealth::new();
+        h.watch(5, SimTime(0));
+        h.unwatch(5);
+        assert!(!h.is_watched(5));
+        // Stale traffic from a gone node must not resurrect it.
+        h.record_seen(5, SimTime(10));
+        assert_eq!(h.silent_for(5, SimTime(20)), None);
+        assert!(h.suspects(SimTime(1_000), SimDuration(0)).is_empty());
+        h.unwatch(5); // idempotent
+    }
+
+    #[test]
+    fn suspects_are_sorted_and_threshold_inclusive() {
+        let mut h = PeerHealth::new();
+        for p in [9, 2, 7] {
+            h.watch(p, SimTime(0));
+        }
+        h.record_seen(7, SimTime(50));
+        assert_eq!(h.suspects(SimTime(100), SimDuration(100)), vec![2, 9]);
+        assert_eq!(h.suspects(SimTime(100), SimDuration(50)), vec![2, 7, 9]);
+        assert_eq!(h.watched(), 3);
+    }
+}

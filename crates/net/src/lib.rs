@@ -17,6 +17,8 @@
 //! - [`fault`] — crash, loss and partition injection,
 //! - [`retry`] — ack-based reliable delivery with exponential backoff
 //!   and deterministic jitter for critical protocol hops,
+//! - [`health`] — deterministic last-seen tracking that feeds the
+//!   membership layer's silence-decay and eviction timers (E17),
 //! - [`topology`] — the l/n/m three-tier wiring with `r·l = s·n`,
 //! - [`stats`] — per-kind message accounting for the complexity
 //!   experiments (E6).
@@ -50,6 +52,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod fault;
+pub mod health;
 pub mod message;
 pub mod order;
 pub mod retry;
@@ -58,6 +61,7 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
+pub use health::PeerHealth;
 pub use message::{Envelope, NodeIdx, TimerId, EXTERNAL};
 pub use retry::{ReliableSender, RetryConfig, RetryStats};
 pub use sim::{Actor, Context, NetConfig, Network};

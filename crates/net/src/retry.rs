@@ -92,6 +92,9 @@ pub struct RetryStats {
     /// Pending sends evicted oldest-first because the queue hit
     /// [`RetryConfig::max_pending`].
     pub dropped: u64,
+    /// Pending sends discarded because the destination peer left or was
+    /// evicted ([`ReliableSender::purge_peer`], E17).
+    pub purged: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -223,6 +226,23 @@ impl<M: Clone> ReliableSender<M> {
             self.stats.duplicate_acks += 1;
             false
         }
+    }
+
+    /// Discards every pending send addressed to `peer` — called when a
+    /// member leaves or is evicted, so retries to a gone node stop
+    /// immediately instead of burning the full backoff budget and
+    /// inflating `net.retry.{resent,exhausted}`. Armed timers are left
+    /// to fire as no-ops (the established stale-timer pattern). Returns
+    /// the number of sends purged.
+    pub fn purge_peer(&mut self, peer: NodeIdx) -> usize {
+        let before = self.pending.len();
+        self.pending.retain(|_, p| p.to != peer);
+        let purged = before - self.pending.len();
+        self.stats.purged += purged as u64;
+        if purged > 0 && self.obs.is_enabled() {
+            self.obs.metrics().add("net.retry.purged", purged as u64);
+        }
+        purged
     }
 
     /// Handles a timer fire. Returns `true` when the timer belonged to
@@ -496,6 +516,49 @@ mod tests {
         net.run_until(SimTime(50_000));
         let s = sender_stats(&net);
         assert_eq!(s.resent, 4, "only surviving entries retransmit");
+    }
+
+    #[test]
+    fn retries_to_departed_peer_are_purged_not_backed_off() {
+        // A receiver that will never ack again (left/evicted). Without
+        // the purge every tracked send burns the full max_attempts
+        // backoff budget; with it, pending state drops to zero at the
+        // membership change and not one retransmission is issued.
+        let cfg = RetryConfig {
+            base_delay: SimDuration(50),
+            max_delay: SimDuration(50),
+            max_attempts: 5,
+            jitter: 0,
+            ..RetryConfig::default()
+        };
+        let mut net = build(13, cfg);
+        let mut faults = FaultPlan::none();
+        faults.crash(1, SimTime(0));
+        net.set_faults(faults);
+        for v in 0..6 {
+            net.send_external(0, "cmd", Msg::Data { token: 0, value: v }, SimTime(v));
+        }
+        // Let the sends go out but purge before the first retry at ~t=50.
+        net.run_until(SimTime(20));
+        match net.node_mut(0) {
+            Driver::Sender(r) => {
+                assert_eq!(r.in_flight(), 6);
+                assert_eq!(r.purge_peer(1), 6);
+                assert_eq!(r.in_flight(), 0);
+                assert_eq!(r.stats().purged, 6);
+                // Purging an already-clean peer is a no-op.
+                assert_eq!(r.purge_peer(1), 0);
+            }
+            Driver::Receiver(_) => unreachable!(),
+        }
+        // The armed timers fire as no-ops: no retransmission, no
+        // exhaustion, nothing new on the wire.
+        net.run_until(SimTime(10_000));
+        let s = sender_stats(&net);
+        assert_eq!(s.sent, 6);
+        assert_eq!(s.resent, 0, "purged sends must not retransmit");
+        assert_eq!(s.exhausted, 0, "purged sends never exhaust");
+        assert_eq!(net.stats().kind("data").sent, 6, "wire saw only originals");
     }
 
     #[test]

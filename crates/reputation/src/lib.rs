@@ -13,7 +13,10 @@
 //! - [`screening`] — the weighted source draw and `1 − f·Pr` coin of
 //!   Algorithm 2 plus the Lemma 2 skip-probability formula,
 //! - [`update`] — Algorithm 3 (all three cases) over a governor's table,
-//! - [`revenue`] — the `∏w · μ^mis · ν^forge` profit split of §3.4.3.
+//! - [`revenue`] — the `∏w · μ^mis · ν^forge` profit split of §3.4.3,
+//! - [`transitive`] — advisory EigenTrust-style gossip blending: claims
+//!   weighted by the reporter's own earned trust, for churn telemetry
+//!   (E17).
 //!
 //! # Quickstart
 //!
@@ -40,9 +43,11 @@ pub mod params;
 pub mod revenue;
 pub mod rwm;
 pub mod screening;
+pub mod transitive;
 pub mod update;
 pub mod vector;
 
 pub use params::ReputationParams;
+pub use transitive::TransitiveView;
 pub use update::ReputationTable;
 pub use vector::ReputationVector;

@@ -1,0 +1,234 @@
+//! EigenTrust-style transitive reputation over gossiped claims (E17).
+//!
+//! Under churn a governor also hears *claims* about collector quality
+//! from its peers. Taking such claims at face value is a collusion
+//! vector: a clique of fresh joiners could vouch each other up. The
+//! EigenTrust insight is to weight each incoming claim by the
+//! *reporter's own* standing, and to earn that standing by agreeing
+//! with the local first-hand view over time.
+//!
+//! This layer is **advisory only**: it never feeds the screening draw,
+//! the revenue split, or any consensus-critical path, so it cannot
+//! perturb the Theorem 1 regret bound or two-run determinism. It exists
+//! so operators (and E17's telemetry) can compare first-hand and
+//! gossip-blended views and flag diverging reporters.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default trust assigned to a reporter never heard from before.
+pub const DEFAULT_REPORTER_TRUST: f64 = 0.5;
+
+/// A governor's transitive (gossip-blended) view of collector quality.
+///
+/// Opinions and reporter trust both live in `[0, 1]`. Reporters are
+/// keyed by an opaque `u32` id (their net/committee index) in a
+/// `BTreeMap` so iteration — and therefore any derived output — is
+/// deterministic.
+#[derive(Clone, PartialEq)]
+pub struct TransitiveView {
+    opinion: Vec<f64>,
+    trust: BTreeMap<u32, f64>,
+    alpha: f64,
+    merged: u64,
+    rejected: u64,
+}
+
+impl fmt::Debug for TransitiveView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TransitiveView")
+            .field("collectors", &self.opinion.len())
+            .field("reporters", &self.trust.len())
+            .field("alpha", &self.alpha)
+            .field("merged", &self.merged)
+            .field("rejected", &self.rejected)
+            .finish()
+    }
+}
+
+impl TransitiveView {
+    /// A view over `collectors` collectors, every opinion starting at
+    /// `prior` and blend rate `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prior` is outside `[0, 1]` or `alpha` outside `(0, 1]`.
+    pub fn new(collectors: usize, prior: f64, alpha: f64) -> Self {
+        assert!(
+            prior.is_finite() && (0.0..=1.0).contains(&prior),
+            "opinion prior must be in [0,1], got {prior}"
+        );
+        assert!(
+            alpha.is_finite() && alpha > 0.0 && alpha <= 1.0,
+            "blend rate must be in (0,1], got {alpha}"
+        );
+        TransitiveView {
+            opinion: vec![prior; collectors],
+            trust: BTreeMap::new(),
+            alpha,
+            merged: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Current trust in `reporter` (the default for strangers).
+    pub fn trust(&self, reporter: u32) -> f64 {
+        self.trust
+            .get(&reporter)
+            .copied()
+            .unwrap_or(DEFAULT_REPORTER_TRUST)
+    }
+
+    /// The blended opinion of collector `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn opinion(&self, c: usize) -> f64 {
+        self.opinion[c]
+    }
+
+    /// All blended opinions.
+    pub fn opinions(&self) -> &[f64] {
+        &self.opinion
+    }
+
+    /// Claims merged / rejected so far (for `member.*` telemetry).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.merged, self.rejected)
+    }
+
+    /// Merges one gossiped claim vector from `reporter`, weighting it
+    /// by the reporter's current trust and then re-scoring that trust
+    /// by how well the claim agreed with the governor's first-hand
+    /// `local` view.
+    ///
+    /// Per collector `c`: `opinion[c] ← (1 − α·t)·opinion[c] + α·t·claim[c]`
+    /// with `t` the reporter's trust — a stranger (t = 0.5) moves the
+    /// needle half as fast as a fully trusted peer, a fully distrusted
+    /// one not at all. Trust then updates towards `1 − d` where `d` is
+    /// the mean absolute disagreement with `local`.
+    ///
+    /// Returns `false` (and counts a rejection, leaving all state
+    /// untouched) when the claim is malformed: wrong length, or any
+    /// entry non-finite or outside `[0, 1]`.
+    pub fn merge_claim(&mut self, reporter: u32, claim: &[f64], local: &[f64]) -> bool {
+        let well_formed = claim.len() == self.opinion.len()
+            && local.len() == self.opinion.len()
+            && claim
+                .iter()
+                .chain(local)
+                .all(|w| w.is_finite() && (0.0..=1.0).contains(w));
+        if !well_formed {
+            self.rejected += 1;
+            return false;
+        }
+        let t = self.trust(reporter);
+        let gain = self.alpha * t;
+        for (o, &c) in self.opinion.iter_mut().zip(claim) {
+            *o = (1.0 - gain) * *o + gain * c;
+        }
+        let disagreement = claim
+            .iter()
+            .zip(local)
+            .map(|(c, l)| (c - l).abs())
+            .sum::<f64>()
+            / claim.len().max(1) as f64;
+        let entry = self.trust.entry(reporter).or_insert(DEFAULT_REPORTER_TRUST);
+        *entry = ((1.0 - self.alpha) * *entry + self.alpha * (1.0 - disagreement)).clamp(0.0, 1.0);
+        self.merged += 1;
+        true
+    }
+
+    /// Forgets a departed reporter entirely: its trust no longer
+    /// occupies state, and on rejoin it starts from the stranger
+    /// default rather than any pre-departure standing.
+    pub fn purge_reporter(&mut self, reporter: u32) {
+        self.trust.remove(&reporter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strangers_start_at_default_trust_and_prior_opinion() {
+        let v = TransitiveView::new(3, 0.5, 0.2);
+        assert_eq!(v.trust(7), DEFAULT_REPORTER_TRUST);
+        assert_eq!(v.opinions(), &[0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn agreement_raises_trust_and_disagreement_lowers_it() {
+        let mut v = TransitiveView::new(2, 0.5, 0.3);
+        let local = [0.9, 0.1];
+        for _ in 0..10 {
+            assert!(v.merge_claim(1, &[0.9, 0.1], &local));
+            assert!(v.merge_claim(2, &[0.1, 0.9], &local));
+        }
+        assert!(v.trust(1) > 0.9, "agreeing reporter trust {}", v.trust(1));
+        assert!(
+            v.trust(2) < DEFAULT_REPORTER_TRUST,
+            "disagreeing reporter trust {}",
+            v.trust(2)
+        );
+    }
+
+    #[test]
+    fn trusted_reporters_move_opinions_more() {
+        let local = [0.5];
+        let mut trusted = TransitiveView::new(1, 0.5, 0.3);
+        for _ in 0..10 {
+            trusted.merge_claim(1, &[0.5], &local); // earn trust
+        }
+        let mut stranger = TransitiveView::new(1, 0.5, 0.3);
+        trusted.merge_claim(1, &[1.0], &local);
+        stranger.merge_claim(2, &[1.0], &local);
+        assert!(
+            trusted.opinion(0) > stranger.opinion(0),
+            "trusted {} vs stranger {}",
+            trusted.opinion(0),
+            stranger.opinion(0)
+        );
+    }
+
+    #[test]
+    fn malformed_claims_are_rejected_without_side_effects() {
+        let mut v = TransitiveView::new(2, 0.5, 0.2);
+        let local = [0.5, 0.5];
+        assert!(!v.merge_claim(1, &[0.5], &local)); // wrong length
+        assert!(!v.merge_claim(1, &[f64::NAN, 0.5], &local));
+        assert!(!v.merge_claim(1, &[1.5, 0.5], &local));
+        assert!(!v.merge_claim(1, &[-0.1, 0.5], &local));
+        assert_eq!(v.opinions(), &[0.5, 0.5]);
+        assert_eq!(v.trust(1), DEFAULT_REPORTER_TRUST);
+        assert_eq!(v.stats(), (0, 4));
+    }
+
+    #[test]
+    fn trust_stays_in_unit_interval() {
+        let mut v = TransitiveView::new(1, 0.5, 1.0);
+        let local = [1.0];
+        for _ in 0..50 {
+            v.merge_claim(1, &[1.0], &local);
+        }
+        assert!(v.trust(1) <= 1.0);
+        for _ in 0..50 {
+            v.merge_claim(1, &[0.0], &local);
+        }
+        assert!(v.trust(1) >= 0.0);
+    }
+
+    #[test]
+    fn purged_reporter_rejoins_as_stranger() {
+        let mut v = TransitiveView::new(1, 0.5, 0.3);
+        let local = [0.9];
+        for _ in 0..10 {
+            v.merge_claim(3, &[0.9], &local);
+        }
+        assert!(v.trust(3) > 0.9);
+        v.purge_reporter(3);
+        assert_eq!(v.trust(3), DEFAULT_REPORTER_TRUST);
+    }
+}

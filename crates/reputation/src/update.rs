@@ -121,6 +121,32 @@ impl ReputationTable {
         self.vectors[collector].weight(provider_slot)
     }
 
+    /// Resets collector `i` to a fresh prior-seeded vector — a member
+    /// (re)joining under churn starts from the configured bootstrap
+    /// prior, never from a stale pre-departure score (E17).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `prior` is outside `(0, 1]`.
+    pub fn bootstrap_collector(&mut self, i: usize, prior: f64) {
+        let s = self.vectors[i].provider_slots();
+        self.vectors[i] = ReputationVector::with_prior(s, prior);
+    }
+
+    /// Applies one silence-decay step to collector `i`: every screening
+    /// weight is multiplied by `factor`, floored at the table's
+    /// `weight_floor` so a silent member never reaches an exact zero
+    /// (which would be unrecoverable in the multiplicative-weights
+    /// regime).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `factor` is outside `(0, 1]`.
+    pub fn decay_collector(&mut self, i: usize, factor: f64) {
+        let floor = self.params.weight_floor;
+        self.vectors[i].decay(factor, floor);
+    }
+
     /// Case 1: collector `i` uploaded a transaction with an illegal
     /// signature.
     ///
@@ -292,6 +318,50 @@ mod tests {
         // in all cases L < 1 (the equal-weight value).
         assert!(out.l_tx < 1.0);
         assert!(out.w_wrong < out.w_right);
+    }
+
+    #[test]
+    fn rejoin_bootstraps_from_prior_not_stale_score() {
+        let mut t = table();
+        // Build a terrible pre-departure history for collector 1.
+        t.record_checked(&[(1, false), (1, false)]);
+        for _ in 0..10 {
+            t.record_revealed(&[RevealedReport {
+                collector: 1,
+                provider_slot: 0,
+                behaviour: RevealedBehaviour::Wrong,
+            }]);
+        }
+        assert!(t.weight(1, 0) < 0.5);
+        assert_eq!(t.collector(1).misreport(), -2);
+
+        // Leave + rejoin: the fresh vector carries the configured prior
+        // everywhere and zeroed counters — no stale score survives.
+        t.bootstrap_collector(1, 0.5);
+        assert_eq!(t.weight(1, 0), 0.5);
+        assert_eq!(t.weight(1, 1), 0.5);
+        assert_eq!(t.collector(1).misreport(), 0);
+        assert_eq!(t.collector(1).forge(), 0);
+        // Untouched incumbents keep their state.
+        assert_eq!(t.weight(0, 0), 1.0);
+    }
+
+    #[test]
+    fn silence_decay_respects_table_floor() {
+        let params = ReputationParams {
+            weight_floor: 0.01,
+            ..ReputationParams::default()
+        };
+        let mut t = ReputationTable::new(2, 2, params);
+        for _ in 0..1_000 {
+            t.decay_collector(0, 0.5);
+        }
+        for slot in 0..2 {
+            let w = t.weight(0, slot);
+            assert!(w.is_finite() && w >= 0.01, "weight {w} broke the floor");
+        }
+        // The silent collector decayed; the active one did not.
+        assert_eq!(t.weight(1, 0), 1.0);
     }
 
     #[test]

@@ -29,6 +29,49 @@ impl ReputationVector {
         }
     }
 
+    /// A newcomer's vector: all per-provider weights start at `prior`
+    /// (the configurable bootstrap reputation for members admitted under
+    /// churn, E17), counters at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prior` is not a finite value in `(0, 1]` — a newcomer
+    /// may not start above the incumbent maximum.
+    pub fn with_prior(s: usize, prior: f64) -> Self {
+        assert!(
+            prior.is_finite() && prior > 0.0 && prior <= 1.0,
+            "bootstrap prior must be in (0,1], got {prior}"
+        );
+        ReputationVector {
+            per_provider: vec![prior; s],
+            misreport: 0,
+            forge: 0,
+        }
+    }
+
+    /// Multiplies every per-provider weight by `factor`, never dropping
+    /// below `floor` — the silence decay for members that stop uploading
+    /// (E17). Counters are untouched: decay models staleness of the
+    /// screening weights, not checked-transaction behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]` or `floor` is negative or
+    /// not finite (either could mint negative/NaN screening weights).
+    pub fn decay(&mut self, factor: f64, floor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "decay factor must be in (0,1], got {factor}"
+        );
+        assert!(
+            floor.is_finite() && floor >= 0.0,
+            "decay floor must be finite and non-negative, got {floor}"
+        );
+        for w in &mut self.per_provider {
+            *w = (*w * factor).max(floor);
+        }
+    }
+
     /// Restores a vector from snapshot parts (checkpoint state-sync).
     pub fn from_parts(per_provider: Vec<f64>, misreport: i64, forge: i64) -> Self {
         ReputationVector {
@@ -234,6 +277,57 @@ mod tests {
     }
 
     #[test]
+    fn prior_vector_starts_at_prior_with_zero_counters() {
+        let v = ReputationVector::with_prior(3, 0.25);
+        assert_eq!(v.weights(), &[0.25, 0.25, 0.25]);
+        assert_eq!(v.misreport(), 0);
+        assert_eq!(v.forge(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bootstrap prior")]
+    fn zero_prior_rejected() {
+        ReputationVector::with_prior(1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bootstrap prior")]
+    fn superunit_prior_rejected() {
+        ReputationVector::with_prior(1, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bootstrap prior")]
+    fn nan_prior_rejected() {
+        ReputationVector::with_prior(1, f64::NAN);
+    }
+
+    #[test]
+    fn zero_interaction_decay_stops_at_floor() {
+        // A collector that never interacts again decays towards the
+        // floor but never through it, no matter how many silent rounds.
+        let mut v = ReputationVector::new(2);
+        for _ in 0..10_000 {
+            v.decay(0.5, 1e-6);
+        }
+        for &w in v.weights() {
+            assert!((w - 1e-6).abs() < 1e-18, "weight {w} left the floor");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "decay floor")]
+    fn negative_decay_floor_rejected() {
+        ReputationVector::new(1).decay(0.9, -0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn amplifying_decay_rejected() {
+        ReputationVector::new(1).decay(1.1, 0.0);
+    }
+
+    #[test]
     fn display_renders() {
         let v = ReputationVector::new(2);
         assert!(v.to_string().contains("mis=0"));
@@ -250,6 +344,24 @@ mod tests {
                 prop_assert!(v.weight(0) <= prev + 1e-15);
                 prop_assert!(v.weight(0) > 0.0);
                 prev = v.weight(0);
+            }
+        }
+
+        /// Decay never produces a negative or NaN screening weight, for
+        /// any admissible factor/floor sequence and starting prior.
+        #[test]
+        fn decay_weights_stay_finite_nonnegative(
+            prior in 0.001f64..=1.0,
+            steps in proptest::collection::vec((0.01f64..=1.0, 0.0f64..=0.5), 1..60),
+        ) {
+            let mut v = ReputationVector::with_prior(2, prior);
+            for (factor, floor) in steps {
+                v.decay(factor, floor);
+                for &w in v.weights() {
+                    prop_assert!(w.is_finite(), "weight went non-finite");
+                    prop_assert!(w >= 0.0, "weight went negative: {w}");
+                    prop_assert!(w >= floor - 1e-15, "weight fell through the floor");
+                }
             }
         }
 

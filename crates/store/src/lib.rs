@@ -13,7 +13,11 @@
 //! - [`certfile`] — atomic persistence of the latest quorum-signed
 //!   checkpoint certificate, enabling O(delta) restarts: a long-crashed
 //!   governor re-anchors at the checkpoint instead of replaying from
-//!   genesis.
+//!   genesis,
+//! - [`memberfile`] — atomic persistence of the membership-certificate
+//!   log, so committee epochs (join/leave/evict history) survive
+//!   restart and old checkpoint certs verify against the right quorum
+//!   size (E17).
 //!
 //! The crate is std-only (no external dependencies) like the rest of the
 //! workspace, and deliberately knows nothing about the network: the
@@ -34,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod certfile;
+pub mod memberfile;
 pub mod segment;
 pub mod store;
 

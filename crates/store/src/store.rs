@@ -563,6 +563,27 @@ impl BlockStore {
         Ok(())
     }
 
+    /// Persists the full membership-certificate log (atomic: temp file +
+    /// rename + fsync), so committee epochs survive restart.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors only.
+    pub fn save_members(
+        &mut self,
+        certs: &[prb_consensus::membership::MembershipCert],
+    ) -> Result<(), StoreError> {
+        crate::memberfile::save(&self.dir, certs)?;
+        self.stats.fsyncs += 2;
+        self.obs.metrics().inc("store.members_saved");
+        Ok(())
+    }
+
+    /// Loads the persisted membership log (empty when absent or torn).
+    pub fn load_members(&self) -> Vec<prb_consensus::membership::MembershipCert> {
+        crate::memberfile::load(&self.dir)
+    }
+
     /// Re-anchors the store at a verified checkpoint: persists the cert,
     /// deletes every segment, and starts a fresh one at
     /// `cert.serial + 1`. Crash-safe in every interleaving: the cert is

@@ -95,6 +95,10 @@ fn main() -> Result<(), String> {
         println!("       --verify-inline-min N  (batch size below which the pool verifies");
         println!("                               inline; verdict-neutral tuning knob)");
         println!("       --misreporter i:p  --concealer i:p  --forger i:p  (repeatable)");
+        println!("       --join-rate P --leave-rate P   (per-collector per-round churn");
+        println!("                                       probabilities; 0 = static committee)");
+        println!("       --bootstrap-rep R    (newcomer screening-weight prior, (0,1])");
+        println!("       --decay-halflife N   (half-life in silent rounds; 0 = no decay)");
         println!("       --export-chain PATH");
         return Ok(());
     }
@@ -121,6 +125,10 @@ fn main() -> Result<(), String> {
     cfg.verify_threads = cli.get("verify-threads", cfg.verify_threads);
     cfg.pipeline_depth = cli.get("pipeline-depth", cfg.pipeline_depth);
     cfg.verify_inline_min = cli.get("verify-inline-min", cfg.verify_inline_min);
+    cfg.join_rate = cli.get("join-rate", cfg.join_rate);
+    cfg.leave_rate = cli.get("leave-rate", cfg.leave_rate);
+    cfg.bootstrap_rep = cli.get("bootstrap-rep", cfg.bootstrap_rep);
+    cfg.decay_halflife = cli.get("decay-halflife", cfg.decay_halflife);
     let rounds: u32 = cli.get("rounds", 10);
     let invalid_rate: f64 = cli.get("invalid-rate", 0.2);
 
@@ -178,6 +186,17 @@ fn main() -> Result<(), String> {
     sim.run_drain_rounds(3);
 
     println!("\nagreement: {}", sim.chains_agree());
+    if sim.config().churn_enabled() {
+        let m0 = sim.metrics(0);
+        println!(
+            "membership: live collectors {:?} | certs {} | applied {} | evictions proposed {} | decay steps {}",
+            sim.live_collectors(),
+            m0.member_certs_formed,
+            m0.member_applied,
+            m0.evictions_proposed,
+            m0.decay_events
+        );
+    }
     let metrics = sim.metrics(0);
     println!(
         "governor g0: screened {} | checked {} | unchecked {} ({:.1}%) | validations {}",
